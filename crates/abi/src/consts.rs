@@ -1,0 +1,76 @@
+//! Standardized integer constants.
+//!
+//! These values are part of the ABI contract. They deliberately differ from
+//! both vendors' native values (MPICH uses `MPI_ANY_SOURCE = -2`,
+//! `MPI_PROC_NULL = -1`; our Open MPI flavour uses `-1`/`-2` respectively),
+//! so the shim **must** translate them — a translation the test suite
+//! verifies in both directions.
+
+/// Wildcard source rank for receives.
+pub const ANY_SOURCE: i32 = -1;
+
+/// Wildcard tag for receives.
+pub const ANY_TAG: i32 = -2;
+
+/// Null process: sends/receives to it complete immediately with no data.
+pub const PROC_NULL: i32 = -3;
+
+/// Root marker for intercommunicator collectives (reserved; not used by the
+/// vendor simulations but part of the ABI surface).
+pub const ROOT: i32 = -4;
+
+/// "Undefined" result (e.g. `comm_split` color for ranks excluded from any
+/// resulting communicator).
+pub const UNDEFINED: i32 = -32766;
+
+/// Largest tag value an ABI-compliant library must support.
+pub const TAG_UB: i32 = i32::MAX / 2;
+
+/// `comm_compare` result: identical handles.
+pub const IDENT: i32 = 0;
+/// `comm_compare` result: same group and ranks, different context.
+pub const CONGRUENT: i32 = 1;
+/// `comm_compare` result: same members, different order.
+pub const SIMILAR: i32 = 2;
+/// `comm_compare` result: different groups.
+pub const UNEQUAL: i32 = 3;
+
+/// Maximum length of the library version string.
+pub const MAX_LIBRARY_VERSION_STRING: usize = 256;
+
+/// Maximum length of error strings.
+pub const MAX_ERROR_STRING: usize = 256;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcards_are_distinct_and_negative() {
+        let special = [ANY_SOURCE, ANY_TAG, PROC_NULL, ROOT, UNDEFINED];
+        for (i, a) in special.iter().enumerate() {
+            assert!(*a < 0, "special rank/tag constants must be negative");
+            for b in &special[i + 1..] {
+                assert_ne!(a, b, "special constants must be pairwise distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn tag_ub_leaves_room_for_internal_tags() {
+        // Vendor libraries reserve tags above TAG_UB for internal protocol
+        // traffic (collective fragments, drain control).
+        assert!(TAG_UB > 0);
+        assert!(TAG_UB < i32::MAX);
+    }
+
+    #[test]
+    fn comparison_results_are_distinct() {
+        let all = [IDENT, CONGRUENT, SIMILAR, UNEQUAL];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

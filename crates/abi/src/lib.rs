@@ -1,0 +1,50 @@
+//! # mpi-abi — the proposed standard MPI ABI
+//!
+//! This crate is the Rust analogue of the `mpi.h` being standardized by the
+//! MPI Forum's ABI working group for MPI-5 (and prototyped by Mukautuva):
+//! it pins down **how MPI data is represented**, not just how functions are
+//! called.
+//!
+//! Everything an "application binary" may depend on lives here and **only**
+//! here:
+//!
+//! * [`Handle`] — 64-bit opaque handles with a fixed, documented encoding
+//!   (kind tag in the top byte, predefined objects at fixed values);
+//! * [`consts`] — integer constants (`ANY_SOURCE`, `ANY_TAG`, `PROC_NULL`, …)
+//!   with standardized values;
+//! * [`Datatype`] — predefined datatypes with fixed handle values and sizes;
+//! * [`ReduceOp`] — predefined reduction operations with fixed handle values;
+//! * [`AbiStatus`] — the standardized status object layout;
+//! * [`AbiError`] — standardized error classes and code values;
+//! * [`MpiAbi`] — the complete function table (the Rust analogue of the
+//!   symbol set an ABI-compliant `libmpi.so` must export).
+//!
+//! An application written against this crate is "compiled once": it can run
+//! over any library that implements [`MpiAbi`] — the Mukautuva-like shim in
+//! the `muk` crate implements it over either vendor library, and the
+//! MANA-like wrappers in `mana-sim` interpose on it transparently. That is
+//! the first leg of the paper's three-legged stool.
+//!
+//! Vendor libraries (`mpich-sim`, `ompi-sim`) deliberately do **not** use
+//! these encodings internally: each has its own incompatible native ABI,
+//! which is exactly the problem the standard ABI exists to solve.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consts;
+pub mod datatype;
+pub mod error;
+pub mod handle;
+pub mod op;
+pub mod status;
+pub mod traits;
+pub mod version;
+
+pub use datatype::Datatype;
+pub use error::{AbiError, AbiResult};
+pub use handle::{Handle, HandleKind};
+pub use op::ReduceOp;
+pub use status::AbiStatus;
+pub use traits::{MpiAbi, UserOpFn};
+pub use version::AbiVersion;

@@ -1,0 +1,83 @@
+//! The standardized status object.
+//!
+//! The fields of `MPI_Status` are one of the specific pain points Hammond
+//! et al. report for ABI standardization: MPICH and Open MPI lay the public
+//! fields out differently and keep different private fields. The standard
+//! ABI fixes one layout; the vendor simulations in this workspace each use
+//! their own incompatible layout, and the `muk` shim converts.
+
+use crate::consts;
+use crate::datatype::Datatype;
+
+/// Standardized receive status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AbiStatus {
+    /// Rank of the message source.
+    pub source: i32,
+    /// Message tag.
+    pub tag: i32,
+    /// Error code for this operation (used by `waitall` semantics).
+    pub error: i32,
+    /// Number of **bytes** actually transferred. Element counts are derived
+    /// via [`AbiStatus::get_count`], mirroring `MPI_Get_count`.
+    pub count_bytes: u64,
+}
+
+impl AbiStatus {
+    /// An empty status (used for operations with no meaningful status, like
+    /// sends — mirrors `MPI_STATUS_IGNORE` semantics).
+    pub fn empty() -> AbiStatus {
+        AbiStatus {
+            source: consts::ANY_SOURCE,
+            tag: consts::ANY_TAG,
+            error: 0,
+            count_bytes: 0,
+        }
+    }
+
+    /// Construct a status for a completed receive.
+    pub fn for_receive(source: i32, tag: i32, count_bytes: usize) -> AbiStatus {
+        AbiStatus { source, tag, error: 0, count_bytes: count_bytes as u64 }
+    }
+
+    /// Number of whole elements of `datatype` received
+    /// (`MPI_Get_count`). Returns [`consts::UNDEFINED`] as `None` — i.e.
+    /// `None` — if the byte count is not a whole multiple of the type size.
+    pub fn get_count(&self, datatype: Datatype) -> Option<usize> {
+        let sz = datatype.size() as u64;
+        if self.count_bytes.is_multiple_of(sz) {
+            Some((self.count_bytes / sz) as usize)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_count_divides_exactly() {
+        let st = AbiStatus::for_receive(3, 9, 32);
+        assert_eq!(st.get_count(Datatype::Double), Some(4));
+        assert_eq!(st.get_count(Datatype::Int32), Some(8));
+        assert_eq!(st.get_count(Datatype::Byte), Some(32));
+    }
+
+    #[test]
+    fn get_count_rejects_partial_elements() {
+        let st = AbiStatus::for_receive(0, 0, 30);
+        assert_eq!(st.get_count(Datatype::Double), None);
+        assert_eq!(st.get_count(Datatype::Int16), Some(15));
+    }
+
+    #[test]
+    fn empty_status_is_wildcarded() {
+        let st = AbiStatus::empty();
+        assert_eq!(st.source, consts::ANY_SOURCE);
+        assert_eq!(st.tag, consts::ANY_TAG);
+        assert_eq!(st.error, 0);
+        assert_eq!(st.count_bytes, 0);
+    }
+}

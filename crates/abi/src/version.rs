@@ -1,0 +1,54 @@
+//! ABI version identification.
+
+/// Version of the standard ABI implemented by a library.
+///
+/// The paper targets the ABI "to be standardized in MPI-5"; we version the
+/// simulated ABI as 1.0 with the MPI level it corresponds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AbiVersion {
+    /// ABI major version. Incompatible encoding changes bump this.
+    pub major: u32,
+    /// ABI minor version. Backward-compatible additions bump this.
+    pub minor: u32,
+}
+
+impl AbiVersion {
+    /// The ABI version this crate defines.
+    pub const CURRENT: AbiVersion = AbiVersion { major: 1, minor: 0 };
+
+    /// The MPI standard level the ABI belongs to.
+    pub const MPI_STANDARD: (u32, u32) = (5, 0);
+
+    /// Whether a library exposing `self` can serve a binary compiled
+    /// against `required` (same major, at-least minor).
+    pub fn supports(self, required: AbiVersion) -> bool {
+        self.major == required.major && self.minor >= required.minor
+    }
+}
+
+impl std::fmt::Display for AbiVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_rules() {
+        let v10 = AbiVersion { major: 1, minor: 0 };
+        let v11 = AbiVersion { major: 1, minor: 1 };
+        let v20 = AbiVersion { major: 2, minor: 0 };
+        assert!(v11.supports(v10), "newer minor serves older binaries");
+        assert!(!v10.supports(v11), "older minor cannot serve newer binaries");
+        assert!(!v20.supports(v10), "major break is incompatible");
+        assert!(v10.supports(v10));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AbiVersion::CURRENT.to_string(), "1.0");
+    }
+}

@@ -1,0 +1,32 @@
+//! # mpi-apps — the paper's evaluation workloads
+//!
+//! Every workload the paper measures, implemented once against the
+//! portable API (`stool::MpiProgram`) and therefore runnable unchanged on
+//! every stack configuration — native vendor, +Mukautuva, +Mukautuva+MANA:
+//!
+//! * [`osu`] — OSU Micro-Benchmark-style latency kernels for
+//!   `MPI_Alltoall`, `MPI_Bcast`, `MPI_Allreduce` (Figs. 2–4), including
+//!   the paper's *modified* alltoall with a post-warmup sleep window for
+//!   the Fig. 6 checkpoint;
+//! * [`wave`] — the 1-D wave equation solver (Burkardt's `wave_mpi`):
+//!   domain decomposition with nearest-neighbour exchange, against an
+//!   exact analytic solution;
+//! * [`comd`] — a CoMD-like classical molecular-dynamics mini-app:
+//!   Lennard-Jones forces with cell lists, velocity-Verlet integration,
+//!   halo exchange and atom migration between neighbouring domains,
+//!   energy diagnostics via reductions.
+//!
+//! All three keep their evolving state in checkpointable memory and expose
+//! a safe point every step, so any of them can be checkpointed under one
+//! MPI library and restarted under the other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comd;
+pub mod osu;
+pub mod wave;
+
+pub use comd::CoMdMini;
+pub use osu::{OsuKernel, OsuLatency};
+pub use wave::WaveMpi;

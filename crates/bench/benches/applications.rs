@@ -1,0 +1,45 @@
+//! Criterion: the real-world applications (Fig. 5's workloads) end to end
+//! on the simulator, native vs full stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpi_apps::{CoMdMini, WaveMpi};
+use simnet::ClusterSpec;
+use stool::{Checkpointer, MpiProgram, Session, Vendor};
+
+fn run_app(program: &dyn MpiProgram, vendor: Vendor, full: bool) -> f64 {
+    let cluster = ClusterSpec::builder().nodes(2).ranks_per_node(2).build();
+    let mut b = Session::builder().cluster(cluster).vendor(vendor);
+    if full {
+        b = b.checkpointer(Checkpointer::mana());
+    } else {
+        b = b.native_abi();
+    }
+    let session = b.build().unwrap();
+    session.launch(program).unwrap().makespan().as_secs_f64()
+}
+
+fn applications(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applications");
+    group.sample_size(10);
+    let comd = CoMdMini { nx: 6, nsteps: 8, print_rate: 4, ..CoMdMini::default() };
+    let wave = WaveMpi { npoints: 1_000, nsteps: 150, gather_final: false, ..WaveMpi::default() };
+
+    for (name, program) in [("comd", &comd as &dyn MpiProgram), ("wave", &wave)] {
+        for vendor in [Vendor::Mpich, Vendor::OpenMpi] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_native"), vendor.name()),
+                &vendor,
+                |b, &v| b.iter(|| run_app(program, v, false)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_full_stack"), vendor.name()),
+                &vendor,
+                |b, &v| b.iter(|| run_app(program, v, true)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, applications);
+criterion_main!(benches);

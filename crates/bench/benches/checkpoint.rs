@@ -1,0 +1,89 @@
+//! Criterion: checkpoint mechanics — image encode/decode throughput and a
+//! full checkpoint/restart cycle including the cross-vendor rebind.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpi_apps::WaveMpi;
+use simnet::ClusterSpec;
+use stool::{Checkpointer, CkptMode, Session, Vendor, WorldImage};
+
+fn image_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("image_codec");
+    group.sample_size(20);
+    for npoints in [1_000usize, 50_000] {
+        // Produce a real image from a wave run of this size.
+        let cluster = ClusterSpec::builder().nodes(1).ranks_per_node(2).build();
+        let program = WaveMpi { npoints, nsteps: 4, gather_final: false, ..WaveMpi::default() };
+        let session = Session::builder()
+            .cluster(cluster)
+            .vendor(Vendor::Mpich)
+            .checkpointer(Checkpointer::mana())
+            .checkpoint_at_step(2, CkptMode::Stop)
+            .build()
+            .unwrap();
+        let image = session.launch(&program).unwrap().into_image().unwrap();
+        let encoded: Vec<Vec<u8>> = image.ranks.iter().map(|r| r.encode()).collect();
+        let bytes: usize = encoded.iter().map(Vec::len).sum();
+
+        group.bench_with_input(BenchmarkId::new("encode", npoints), &image, |b, img| {
+            b.iter(|| img.ranks.iter().map(|r| r.encode().len()).sum::<usize>());
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("decode_{bytes}B"), npoints),
+            &encoded,
+            |b, enc| {
+                b.iter(|| {
+                    enc.iter()
+                        .map(|e| dmtcp_sim::RankImage::decode(e).unwrap().total_bytes())
+                        .sum::<usize>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ckpt_restart_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ckpt_restart");
+    group.sample_size(10);
+    let cluster = ClusterSpec::builder().nodes(2).ranks_per_node(2).build();
+    let program = WaveMpi { npoints: 2_000, nsteps: 30, gather_final: false, ..WaveMpi::default() };
+
+    group.bench_function("checkpoint_stop", |b| {
+        b.iter(|| {
+            let session = Session::builder()
+                .cluster(cluster.clone())
+                .vendor(Vendor::OpenMpi)
+                .checkpointer(Checkpointer::mana())
+                .checkpoint_at_step(15, CkptMode::Stop)
+                .build()
+                .unwrap();
+            session.launch(&program).unwrap().into_image().unwrap().total_bytes()
+        });
+    });
+
+    // Pre-build one image for the restore benchmark.
+    let session = Session::builder()
+        .cluster(cluster.clone())
+        .vendor(Vendor::OpenMpi)
+        .checkpointer(Checkpointer::mana())
+        .checkpoint_at_step(15, CkptMode::Stop)
+        .build()
+        .unwrap();
+    let image: WorldImage = session.launch(&program).unwrap().into_image().unwrap();
+
+    group.bench_function("restore_cross_vendor", |b| {
+        b.iter(|| {
+            let restore = Session::builder()
+                .cluster(cluster.clone())
+                .vendor(Vendor::Mpich)
+                .checkpointer(Checkpointer::mana())
+                .build()
+                .unwrap();
+            restore.restore(&image, &program).unwrap().is_completed()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, image_codec, ckpt_restart_cycle);
+criterion_main!(benches);

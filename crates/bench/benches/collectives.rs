@@ -1,0 +1,69 @@
+//! Criterion: real (wall-clock) cost of running the vendor collective
+//! algorithms on the simulator — one bench group per paper figure's
+//! collective, both vendors, small and large messages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpi_abi::{Datatype, Handle, MpiAbi, ReduceOp};
+use muk::registry::open_vendor;
+use muk::Vendor;
+use simnet::{ClusterSpec, World};
+
+fn bench_collective(
+    c: &mut Criterion,
+    group_name: &str,
+    op: impl Fn(&mut dyn MpiAbi, &[u8], &mut [u8]) + Sync + Copy,
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    let spec = ClusterSpec::builder().nodes(2).ranks_per_node(4).build();
+    for vendor in [Vendor::Mpich, Vendor::OpenMpi] {
+        for size in [64usize, 16 * 1024] {
+            group.bench_with_input(
+                BenchmarkId::new(vendor.name(), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        World::run(&spec, |ctx| {
+                            let mut lib = open_vendor(vendor, ctx.clone());
+                            let n = ctx.nranks();
+                            let send = vec![1u8; size * n];
+                            let mut recv = vec![0u8; size * n];
+                            for _ in 0..4 {
+                                op(lib.as_mut(), &send, &mut recv);
+                            }
+                            Ok(())
+                        })
+                        .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn collectives(c: &mut Criterion) {
+    bench_collective(c, "alltoall", |mpi, send, recv| {
+        mpi.alltoall(send, recv, Datatype::Byte.handle(), Handle::COMM_WORLD).unwrap();
+    });
+    bench_collective(c, "bcast", |mpi, send, recv| {
+        // Per-rank payload (not scaled by nranks like alltoall).
+        let n = send.len().min(recv.len()) / 8;
+        mpi.bcast(&mut recv[..n], Datatype::Byte.handle(), 0, Handle::COMM_WORLD).unwrap();
+    });
+    bench_collective(c, "allreduce", |mpi, send, recv| {
+        // Whole doubles only.
+        let len = send.len() / 8 * 8;
+        mpi.allreduce(
+            &send[..len],
+            &mut recv[..len],
+            Datatype::Double.handle(),
+            ReduceOp::Sum.handle(),
+            Handle::COMM_WORLD,
+        )
+        .unwrap();
+    });
+}
+
+criterion_group!(benches, collectives);
+criterion_main!(benches);

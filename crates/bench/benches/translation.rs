@@ -1,0 +1,80 @@
+//! Criterion: the real cost of the Mukautuva translation layer and the
+//! MANA virtual-id layer — the mechanisms whose *modelled* costs drive the
+//! paper's overhead numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpi_abi::{Handle, MpiAbi};
+use muk::{registry::open_vendor, MukOverhead, MukShim, Vendor};
+use simnet::{ClusterSpec, World};
+
+fn translation(c: &mut Criterion) {
+    let spec = ClusterSpec::builder().nodes(1).ranks_per_node(1).build();
+
+    let mut group = c.benchmark_group("translation");
+    group.sample_size(20);
+
+    group.bench_function("native_comm_rank", |b| {
+        b.iter(|| {
+            World::run(&spec, |ctx| {
+                let mut lib = open_vendor(Vendor::Mpich, ctx.clone());
+                for _ in 0..10_000 {
+                    lib.comm_rank(Handle::COMM_WORLD).unwrap();
+                }
+                Ok(())
+            })
+            .unwrap()
+        });
+    });
+
+    group.bench_function("muk_comm_rank", |b| {
+        b.iter(|| {
+            World::run(&spec, |ctx| {
+                let mut shim =
+                    MukShim::load_with_overhead(Vendor::Mpich, ctx.clone(), MukOverhead::default());
+                for _ in 0..10_000 {
+                    shim.comm_rank(Handle::COMM_WORLD).unwrap();
+                }
+                Ok(())
+            })
+            .unwrap()
+        });
+    });
+
+    group.bench_function("mana_muk_comm_rank", |b| {
+        b.iter(|| {
+            World::run(&spec, |ctx| {
+                let shim = MukShim::load(Vendor::Mpich, ctx.clone());
+                let mut mana = mana_sim::ManaMpi::launch(
+                    ctx.clone(),
+                    mana_sim::ManaConfig::default(),
+                    Box::new(shim),
+                );
+                for _ in 0..10_000 {
+                    mana.comm_rank(Handle::COMM_WORLD).unwrap();
+                }
+                Ok(())
+            })
+            .unwrap()
+        });
+    });
+
+    group.bench_function("dynamic_handle_translation", |b| {
+        b.iter(|| {
+            World::run(&spec, |ctx| {
+                let mut shim = MukShim::load(Vendor::OpenMpi, ctx.clone());
+                let dup = shim.comm_dup(Handle::COMM_WORLD).unwrap();
+                for _ in 0..10_000 {
+                    shim.comm_rank(dup).unwrap();
+                }
+                shim.comm_free(dup).unwrap();
+                Ok(())
+            })
+            .unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, translation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation: vendor collective algorithm families at a fixed network.
+//!
+//! Both vendor libraries run on the *identical* cluster model; the latency
+//! differences in this table are purely their collective algorithm +
+//! per-message software cost choices — the reason the paper's figures show
+//! two distinct curve families.
+//!
+//! Usage: `abl_algorithms [--quick]`.
+
+use mpi_apps::{OsuKernel, OsuLatency};
+use simnet::ClusterSpec;
+use stool::{Session, Vendor};
+
+fn run(kernel: OsuKernel, bench: &OsuLatency, cluster: &ClusterSpec, vendor: Vendor) -> Vec<f64> {
+    let session = Session::builder()
+        .cluster(cluster.clone())
+        .vendor(vendor)
+        .native_abi()
+        .build()
+        .expect("session");
+    let mut b = bench.clone();
+    b.kernel = kernel;
+    let out = session.launch(&b).expect("run");
+    out.memories().expect("completed")[0]
+        .f64s("osu.lat_us")
+        .expect("results")
+        .to_vec()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bench = OsuLatency {
+        kernel: OsuKernel::Alltoall,
+        min_size: 1,
+        max_size: if quick { 4 * 1024 } else { 256 * 1024 },
+        warmup: 2,
+        iters: if quick { 10 } else { 50 },
+        ckpt_window: None,
+    };
+    let cluster = if quick {
+        ClusterSpec::builder().nodes(2).ranks_per_node(4).build()
+    } else {
+        ClusterSpec::discovery()
+    };
+    println!("# Ablation: collective algorithm families (native, same network model)");
+    for kernel in [OsuKernel::Alltoall, OsuKernel::Bcast, OsuKernel::Allreduce] {
+        let mpich = run(kernel, &bench, &cluster, Vendor::Mpich);
+        let ompi = run(kernel, &bench, &cluster, Vendor::OpenMpi);
+        println!("## {kernel:?}");
+        println!("{:>10} {:>14} {:>14} {:>10}", "Size(B)", "MPICH(us)", "OpenMPI(us)", "ratio");
+        for (i, size) in bench.sizes().iter().enumerate() {
+            println!(
+                "{:>10} {:>14.2} {:>14.2} {:>10.2}",
+                size,
+                mpich[i],
+                ompi[i],
+                mpich[i] / ompi[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Ablation: the FSGSBASE kernel feature.
+//!
+//! The paper attributes MANA's small-message overhead to the missing
+//! user-space FSGSBASE register access on CentOS 7 (kernel 3.10): every
+//! split-process crossing needs an `arch_prctl` syscall instead of a cheap
+//! register write. This ablation runs the same full-stack OSU alltoall on
+//! the same cluster with only the kernel version changed.
+//!
+//! Usage: `abl_fsgsbase [--quick]`.
+
+use mpi_apps::{OsuKernel, OsuLatency};
+use simnet::{ClusterSpec, KernelVersion};
+use stool::{Checkpointer, Session, Vendor};
+
+fn run(kernel_version: KernelVersion, bench: &OsuLatency, cluster: &ClusterSpec) -> Vec<f64> {
+    let mut spec = cluster.clone();
+    spec.kernel = kernel_version;
+    let session = Session::builder()
+        .cluster(spec)
+        .vendor(Vendor::Mpich)
+        .checkpointer(Checkpointer::mana())
+        .build()
+        .expect("session");
+    let out = session.launch(bench).expect("run");
+    out.memories().expect("completed")[0]
+        .f64s("osu.lat_us")
+        .expect("results")
+        .to_vec()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bench = OsuLatency {
+        kernel: OsuKernel::Alltoall,
+        min_size: 1,
+        max_size: if quick { 4 * 1024 } else { 64 * 1024 },
+        warmup: 2,
+        iters: if quick { 10 } else { 50 },
+        ckpt_window: None,
+    };
+    let cluster = if quick {
+        ClusterSpec::builder().nodes(2).ranks_per_node(4).build()
+    } else {
+        ClusterSpec::discovery()
+    };
+    let old = run(KernelVersion::CENTOS7, &bench, &cluster);
+    let new = run(KernelVersion::MODERN, &bench, &cluster);
+    println!("# Ablation: user-space FSGSBASE (kernel >= 5.9) vs syscall path (CentOS 7)");
+    println!("# Full stack (MPICH + Mukautuva + MANA), OSU alltoall");
+    println!("{:>10} {:>16} {:>16} {:>10}", "Size(B)", "3.10 (us)", "5.15 (us)", "saved(%)");
+    for (i, size) in bench.sizes().iter().enumerate() {
+        let saved = (old[i] - new[i]) / old[i] * 100.0;
+        println!("{:>10} {:>16.2} {:>16.2} {:>10.2}", size, old[i], new[i], saved);
+    }
+    println!("# paper: \"the overhead due to FSGSBASE is an artifact of the split process\"");
+}

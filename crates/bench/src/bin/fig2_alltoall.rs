@@ -1,0 +1,33 @@
+//! Fig. 2: OSU `MPI_Alltoall` median latency across four configurations.
+//!
+//! Usage: `fig2_alltoall [--quick]` — `--quick` runs a reduced sweep on a
+//! small cluster for smoke testing; the default reproduces the paper's
+//! setup (48 ranks on 4 nodes, 1 B – 256 KiB, 5 repeats with jitter).
+
+use mpi_apps::{OsuKernel, OsuLatency};
+use stool_bench::{osu_figure, paper_cluster, print_osu_figure, quick_cluster};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bench = if quick {
+        OsuLatency {
+            kernel: OsuKernel::Alltoall,
+            min_size: 1,
+            max_size: 4 * 1024,
+            warmup: 2,
+            iters: 10,
+            ckpt_window: None,
+        }
+    } else {
+        OsuLatency::paper_config(OsuKernel::Alltoall)
+    };
+    let repeats = if quick { 2 } else { 5 };
+    let sigma = 0.06;
+    let fig = if quick {
+        osu_figure(OsuKernel::Alltoall, |r| quick_cluster(r, sigma), &bench, repeats)
+    } else {
+        osu_figure(OsuKernel::Alltoall, |r| paper_cluster(r, sigma), &bench, repeats)
+    }
+    .expect("fig2 run");
+    print_osu_figure(&fig);
+}

@@ -1,0 +1,31 @@
+//! Fig. 3: OSU `MPI_Bcast` median latency across four configurations.
+//!
+//! Usage: `fig3_bcast [--quick]`.
+
+use mpi_apps::{OsuKernel, OsuLatency};
+use stool_bench::{osu_figure, paper_cluster, print_osu_figure, quick_cluster};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bench = if quick {
+        OsuLatency {
+            kernel: OsuKernel::Bcast,
+            min_size: 1,
+            max_size: 4 * 1024,
+            warmup: 2,
+            iters: 10,
+            ckpt_window: None,
+        }
+    } else {
+        OsuLatency::paper_config(OsuKernel::Bcast)
+    };
+    let repeats = if quick { 2 } else { 5 };
+    let sigma = 0.06;
+    let fig = if quick {
+        osu_figure(OsuKernel::Bcast, |r| quick_cluster(r, sigma), &bench, repeats)
+    } else {
+        osu_figure(OsuKernel::Bcast, |r| paper_cluster(r, sigma), &bench, repeats)
+    }
+    .expect("fig3 run");
+    print_osu_figure(&fig);
+}

@@ -1,0 +1,37 @@
+//! Fig. 4: OSU `MPI_Allreduce` median latency across four configurations.
+//!
+//! The paper notes that with jitter, the full stack occasionally
+//! *outperforms* native within the error bars — the harness's seeded noise
+//! reproduces that.
+//!
+//! Usage: `fig4_allreduce [--quick]`.
+
+use mpi_apps::{OsuKernel, OsuLatency};
+use stool_bench::{osu_figure, paper_cluster, print_osu_figure, quick_cluster};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bench = if quick {
+        OsuLatency {
+            kernel: OsuKernel::Allreduce,
+            min_size: 8,
+            max_size: 4 * 1024,
+            warmup: 2,
+            iters: 10,
+            ckpt_window: None,
+        }
+    } else {
+        OsuLatency { min_size: 8, ..OsuLatency::paper_config(OsuKernel::Allreduce) }
+    };
+    let repeats = if quick { 2 } else { 5 };
+    // Higher jitter than Figs. 2-3: the paper remarks on the larger
+    // standard deviation in the allreduce results.
+    let sigma = 0.10;
+    let fig = if quick {
+        osu_figure(OsuKernel::Allreduce, |r| quick_cluster(r, sigma), &bench, repeats)
+    } else {
+        osu_figure(OsuKernel::Allreduce, |r| paper_cluster(r, sigma), &bench, repeats)
+    }
+    .expect("fig4 run");
+    print_osu_figure(&fig);
+}

@@ -1,0 +1,32 @@
+//! Fig. 6: launch the modified OSU alltoall under Open MPI (+Mukautuva
+//! +MANA), checkpoint during its 10-second post-warmup sleep window,
+//! restart under MPICH, and compare the measured latencies against the two
+//! uninterrupted launches.
+//!
+//! Usage: `fig6_restart [--quick]`.
+
+use mpi_apps::{OsuKernel, OsuLatency};
+use stool_bench::{fig6_data, paper_cluster, print_restart_figure, quick_cluster};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bench = if quick {
+        OsuLatency {
+            kernel: OsuKernel::Alltoall,
+            min_size: 1,
+            max_size: 4 * 1024,
+            warmup: 2,
+            iters: 10,
+            ckpt_window: None, // fig6_data sets the 10 s window itself
+        }
+    } else {
+        OsuLatency::paper_config(OsuKernel::Alltoall)
+    };
+    let fig = if quick {
+        fig6_data(|r| quick_cluster(r, 0.0), &bench)
+    } else {
+        fig6_data(|r| paper_cluster(r, 0.0), &bench)
+    }
+    .expect("fig6 run");
+    print_restart_figure(&fig);
+}

@@ -1,0 +1,129 @@
+//! The experiment configurations of the paper's §5.
+
+use muk::Vendor;
+use simnet::{ClusterSpec, NoiseModel};
+use stool::{Checkpointer, Session, StoolResult};
+
+/// The four measured configurations of Figs. 2–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigKind {
+    /// Native MPICH (application recompiled against the vendor).
+    MpichNative,
+    /// MPICH + Mukautuva + MANA (the full stool).
+    MpichFull,
+    /// Native Open MPI.
+    OmpiNative,
+    /// Open MPI + Mukautuva + MANA.
+    OmpiFull,
+}
+
+impl ConfigKind {
+    /// All four, in the paper's legend order.
+    pub const ALL: [ConfigKind; 4] = [
+        ConfigKind::MpichNative,
+        ConfigKind::MpichFull,
+        ConfigKind::OmpiNative,
+        ConfigKind::OmpiFull,
+    ];
+
+    /// Legend label, matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfigKind::MpichNative => "MPICH",
+            ConfigKind::MpichFull => "MPICH + Mukautuva + MANA",
+            ConfigKind::OmpiNative => "Open MPI",
+            ConfigKind::OmpiFull => "Open MPI + Mukautuva + MANA",
+        }
+    }
+
+    /// The underlying vendor.
+    pub fn vendor(self) -> Vendor {
+        match self {
+            ConfigKind::MpichNative | ConfigKind::MpichFull => Vendor::Mpich,
+            ConfigKind::OmpiNative | ConfigKind::OmpiFull => Vendor::OpenMpi,
+        }
+    }
+
+    /// Whether the full interposition stack is on.
+    pub fn is_full(self) -> bool {
+        matches!(self, ConfigKind::MpichFull | ConfigKind::OmpiFull)
+    }
+
+    /// The native counterpart of a full config (for overhead computation).
+    pub fn native_of(self) -> ConfigKind {
+        match self {
+            ConfigKind::MpichFull => ConfigKind::MpichNative,
+            ConfigKind::OmpiFull => ConfigKind::OmpiNative,
+            other => other,
+        }
+    }
+
+    /// Build the session for this configuration on a cluster.
+    pub fn session(self, cluster: ClusterSpec) -> StoolResult<Session> {
+        let b = Session::builder().cluster(cluster).vendor(self.vendor());
+        let b = if self.is_full() {
+            b.checkpointer(Checkpointer::mana())
+        } else {
+            b.native_abi()
+        };
+        b.build()
+    }
+}
+
+/// The paper's testbed: 4 nodes × 12 ranks, 10 GbE, CentOS 7 — with a
+/// per-repeat noise seed (experiments are "repeated 5 times").
+pub fn paper_cluster(repeat: u64, rel_sigma: f64) -> ClusterSpec {
+    let mut spec = ClusterSpec::discovery();
+    if rel_sigma > 0.0 {
+        spec.noise = NoiseModel::with_sigma(rel_sigma, 0xC0FFEE ^ repeat.wrapping_mul(0x9E37));
+    }
+    spec
+}
+
+/// A smaller cluster for quick runs and CI (2 nodes × 4 ranks).
+pub fn quick_cluster(repeat: u64, rel_sigma: f64) -> ClusterSpec {
+    let mut spec = ClusterSpec::builder()
+        .nodes(2)
+        .ranks_per_node(4)
+        .kernel(simnet::KernelVersion::CENTOS7)
+        .build();
+    if rel_sigma > 0.0 {
+        spec.noise = NoiseModel::with_sigma(rel_sigma, 0xC0FFEE ^ repeat.wrapping_mul(0x9E37));
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_pairing() {
+        assert_eq!(ConfigKind::MpichFull.native_of(), ConfigKind::MpichNative);
+        assert_eq!(ConfigKind::OmpiFull.native_of(), ConfigKind::OmpiNative);
+        assert_eq!(ConfigKind::OmpiNative.native_of(), ConfigKind::OmpiNative);
+        assert!(ConfigKind::MpichFull.label().contains("Mukautuva + MANA"));
+        assert!(!ConfigKind::MpichNative.is_full());
+    }
+
+    #[test]
+    fn sessions_build_for_all_configs() {
+        for kind in ConfigKind::ALL {
+            let session = kind.session(quick_cluster(0, 0.0)).unwrap();
+            if kind.is_full() {
+                assert!(session.label().contains("MANA"));
+            } else {
+                assert!(!session.label().contains("MANA"));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_cluster_is_discovery() {
+        let c = paper_cluster(0, 0.0);
+        assert_eq!(c.nranks(), 48);
+        assert!(!c.kernel.has_userspace_fsgsbase());
+        let noisy = paper_cluster(1, 0.08);
+        assert!(noisy.noise.enabled());
+    }
+}

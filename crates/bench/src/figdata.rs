@@ -1,0 +1,228 @@
+//! Data collection for each figure.
+
+use mpi_apps::{CoMdMini, OsuKernel, OsuLatency, WaveMpi};
+use simnet::{median, stddev, ClusterSpec, VirtualTime};
+use stool::{CkptMode, MpiProgram, Session, StoolResult, Vendor};
+
+use crate::configs::ConfigKind;
+use crate::report::Series;
+
+/// One OSU figure (Figs. 2–4): four config series over message sizes.
+#[derive(Debug, Clone)]
+pub struct OsuFigure {
+    /// The collective measured.
+    pub kernel: OsuKernel,
+    /// Message sizes (bytes).
+    pub sizes: Vec<usize>,
+    /// The four series in legend order.
+    pub series: Vec<Series>,
+}
+
+impl OsuFigure {
+    /// Per-size relative overhead (%) of a full config over its native
+    /// counterpart.
+    pub fn overhead_pct(&self, full: ConfigKind) -> Vec<f64> {
+        let native = full.native_of();
+        let f = self.series.iter().find(|s| s.label == full.label()).expect("series");
+        let n = self.series.iter().find(|s| s.label == native.label()).expect("series");
+        f.median_us
+            .iter()
+            .zip(&n.median_us)
+            .map(|(a, b)| (a / b - 1.0) * 100.0)
+            .collect()
+    }
+
+    /// The maximum relative overhead across sizes and vendors (the
+    /// paper's headline numbers: 10.9 % alltoall, 17.2 % bcast/allreduce).
+    pub fn max_overhead_pct(&self) -> f64 {
+        [ConfigKind::MpichFull, ConfigKind::OmpiFull]
+            .into_iter()
+            .flat_map(|k| self.overhead_pct(k))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Run one OSU kernel across the four configurations, `repeats` times
+/// each (the paper: 5), with measurement noise when `rel_sigma > 0`.
+pub fn osu_figure(
+    kernel: OsuKernel,
+    cluster_for: impl Fn(u64) -> ClusterSpec,
+    bench: &OsuLatency,
+    repeats: u64,
+) -> StoolResult<OsuFigure> {
+    let sizes = bench.sizes();
+    let mut series = Vec::new();
+    for kind in ConfigKind::ALL {
+        let mut per_repeat: Vec<Vec<f64>> = Vec::new();
+        for rep in 0..repeats {
+            let session = kind.session(cluster_for(rep))?;
+            let out = session.launch(bench)?;
+            let mem = &out.memories()?[0];
+            per_repeat.push(mem.f64s("osu.lat_us").expect("osu results").to_vec());
+        }
+        let median_us: Vec<f64> = (0..sizes.len())
+            .map(|i| median(&per_repeat.iter().map(|r| r[i]).collect::<Vec<_>>()))
+            .collect();
+        let stddev_us: Vec<f64> = (0..sizes.len())
+            .map(|i| stddev(&per_repeat.iter().map(|r| r[i]).collect::<Vec<_>>()))
+            .collect();
+        series.push(Series { label: kind.label().to_string(), median_us, stddev_us });
+    }
+    Ok(OsuFigure { kernel, sizes, series })
+}
+
+/// One bar of Fig. 5: an application under one configuration.
+#[derive(Debug, Clone)]
+pub struct AppBar {
+    /// Application name.
+    pub app: &'static str,
+    /// Configuration label.
+    pub config: String,
+    /// Median completion time (seconds).
+    pub median_s: f64,
+    /// Standard deviation across repeats (seconds).
+    pub stddev_s: f64,
+}
+
+/// Fig. 5: CoMD and wave_mpi completion times under the four configs.
+pub fn fig5_data(
+    cluster_for: impl Fn(u64) -> ClusterSpec,
+    comd: &CoMdMini,
+    wave: &WaveMpi,
+    repeats: u64,
+) -> StoolResult<Vec<AppBar>> {
+    let mut bars = Vec::new();
+    let apps: [(&'static str, &dyn MpiProgram); 2] = [("CoMD", comd), ("wave_mpi", wave)];
+    for (app_name, program) in apps {
+        for kind in ConfigKind::ALL {
+            let mut times = Vec::new();
+            for rep in 0..repeats {
+                let session = kind.session(cluster_for(rep))?;
+                let out = session.launch(program)?;
+                times.push(out.makespan().as_secs_f64());
+            }
+            bars.push(AppBar {
+                app: app_name,
+                config: kind.label().to_string(),
+                median_s: median(&times),
+                stddev_s: stddev(&times),
+            });
+        }
+    }
+    Ok(bars)
+}
+
+/// Fig. 6: the cross-vendor restart experiment.
+#[derive(Debug, Clone)]
+pub struct RestartFigure {
+    /// Message sizes.
+    pub sizes: Vec<usize>,
+    /// "Launch with Open MPI" (full stack, uninterrupted).
+    pub launch_ompi: Series,
+    /// "Launch with MPICH" (full stack, uninterrupted).
+    pub launch_mpich: Series,
+    /// "Launch with Open MPI, restart with MPICH".
+    pub restarted: Series,
+}
+
+/// Run the Fig. 6 experiment: the modified alltoall benchmark (post-warmup
+/// sleep window) is launched under Open MPI + Mukautuva + MANA, checkpointed
+/// during the window, stopped, and restarted under MPICH; its measurements
+/// land after the restart. The two uninterrupted runs are the references.
+pub fn fig6_data(
+    cluster_for: impl Fn(u64) -> ClusterSpec,
+    bench: &OsuLatency,
+) -> StoolResult<RestartFigure> {
+    let sizes = bench.sizes();
+    let mut modified = bench.clone();
+    modified.ckpt_window = Some(VirtualTime::from_secs(10));
+
+    let run_full = |vendor: Vendor| -> StoolResult<Series> {
+        let session = ConfigKind::ALL
+            .into_iter()
+            .find(|k| k.is_full() && k.vendor() == vendor)
+            .expect("full config")
+            .session(cluster_for(0))?;
+        let out = session.launch(&modified)?;
+        let lat = out.memories()?[0].f64s("osu.lat_us").expect("results").to_vec();
+        Ok(Series {
+            label: format!("Launch with {}", vendor.name()),
+            median_us: lat,
+            stddev_us: vec![0.0; sizes.len()],
+        })
+    };
+
+    let launch_ompi = run_full(Vendor::OpenMpi)?;
+    let launch_mpich = run_full(Vendor::Mpich)?;
+
+    // Checkpoint during the sleep window (safe-point step 1 is the first
+    // point after the window), stop, restart under MPICH.
+    let launch = Session::builder()
+        .cluster(cluster_for(0))
+        .vendor(Vendor::OpenMpi)
+        .checkpointer(stool::Checkpointer::mana())
+        .checkpoint_at_step(1, CkptMode::Stop)
+        .build()?;
+    let image = launch.launch(&modified)?.into_image()?;
+    assert_eq!(image.vendor_hint, "Open MPI");
+
+    let restart = Session::builder()
+        .cluster(cluster_for(0))
+        .vendor(Vendor::Mpich)
+        .checkpointer(stool::Checkpointer::mana())
+        .build()?;
+    let out = restart.restore(&image, &modified)?;
+    let lat = out.memories()?[0].f64s("osu.lat_us").expect("results").to_vec();
+    let restarted = Series {
+        label: "Launch with Open MPI, restart with MPICH".to_string(),
+        median_us: lat,
+        stddev_us: vec![0.0; sizes.len()],
+    };
+
+    Ok(RestartFigure { sizes, launch_ompi, launch_mpich, restarted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::quick_cluster;
+
+    fn tiny_osu(kernel: OsuKernel) -> OsuLatency {
+        OsuLatency {
+            kernel,
+            min_size: 1,
+            max_size: 16,
+            warmup: 1,
+            iters: 4,
+            ckpt_window: None,
+        }
+    }
+
+    #[test]
+    fn osu_figure_has_four_series_and_positive_overheads() {
+        let bench = tiny_osu(OsuKernel::Bcast);
+        let fig = osu_figure(OsuKernel::Bcast, |r| quick_cluster(r, 0.0), &bench, 1).unwrap();
+        assert_eq!(fig.series.len(), 4);
+        assert_eq!(fig.sizes, vec![1, 2, 4, 8, 16]);
+        for kind in [ConfigKind::MpichFull, ConfigKind::OmpiFull] {
+            for o in fig.overhead_pct(kind) {
+                assert!(o > 0.0, "interposition must cost something: {o}");
+            }
+        }
+        assert!(fig.max_overhead_pct() > 0.0);
+    }
+
+    #[test]
+    fn fig6_restarted_series_matches_mpich_shape() {
+        let bench = tiny_osu(OsuKernel::Alltoall);
+        let fig = fig6_data(|r| quick_cluster(r, 0.0), &bench).unwrap();
+        assert_eq!(fig.restarted.median_us.len(), fig.sizes.len());
+        // After restarting under MPICH, the measured latencies must equal
+        // the launch-with-MPICH reference exactly (deterministic clock,
+        // identical post-restart execution).
+        for (a, b) in fig.restarted.median_us.iter().zip(&fig.launch_mpich.median_us) {
+            let rel = (a - b).abs() / b.max(1e-9);
+            assert!(rel < 0.05, "restarted {a} vs mpich {b}");
+        }
+    }
+}

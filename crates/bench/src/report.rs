@@ -1,0 +1,103 @@
+//! Paper-style table printing.
+
+use crate::configs::ConfigKind;
+use crate::figdata::{AppBar, OsuFigure, RestartFigure};
+
+/// One plotted line: median + stddev per message size.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Median latency per size (µs).
+    pub median_us: Vec<f64>,
+    /// Standard deviation per size (µs).
+    pub stddev_us: Vec<f64>,
+}
+
+fn size_label(bytes: usize) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{}M", bytes / (1024 * 1024))
+    } else if bytes >= 1024 {
+        format!("{}K", bytes / 1024)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+/// Print an OSU figure as the paper's log-log series, one row per size.
+pub fn print_osu_figure(fig: &OsuFigure) {
+    println!("# {}", fig.kernel.title());
+    println!("# Median latency (us), 4 configurations — cf. paper Figs. 2-4");
+    print!("{:>8}", "Size(B)");
+    for s in &fig.series {
+        print!("  {:>28}", s.label);
+    }
+    println!();
+    for (i, &size) in fig.sizes.iter().enumerate() {
+        print!("{:>8}", size_label(size));
+        for s in &fig.series {
+            print!("  {:>20.2} ±{:>6.2}", s.median_us[i], s.stddev_us[i]);
+        }
+        println!();
+    }
+    for kind in [ConfigKind::MpichFull, ConfigKind::OmpiFull] {
+        let ov = fig.overhead_pct(kind);
+        let max = ov.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max_at = ov.iter().position(|&o| o == max).unwrap_or(0);
+        let large = *ov.last().unwrap_or(&0.0);
+        println!(
+            "# overhead[{}]: max {:.1}% at {} bytes; at largest size {:.1}%",
+            kind.label(),
+            max,
+            fig.sizes.get(max_at).copied().unwrap_or(0),
+            large
+        );
+    }
+    println!(
+        "# paper: max overhead 10.9% (alltoall @1B) / 17.2% (bcast, allreduce small); <1% large"
+    );
+}
+
+/// Print Fig. 5's bars.
+pub fn print_fig5(bars: &[AppBar]) {
+    println!("# Runtime performance of real-world MPI applications (cf. paper Fig. 5)");
+    println!("{:>10} {:>30} {:>12} {:>10}", "App", "Configuration", "Median(s)", "Stddev(s)");
+    for b in bars {
+        println!(
+            "{:>10} {:>30} {:>12.3} {:>10.3}",
+            b.app, b.config, b.median_s, b.stddev_s
+        );
+    }
+    println!("# paper: CoMD 2.70/2.53/2.16/2.29 s; wave_mpi 3.12/3.11/1.04/1.02 s");
+}
+
+/// Print Fig. 6's three lines.
+pub fn print_restart_figure(fig: &RestartFigure) {
+    println!("# Performance After Restart with Different MPI Implementation (cf. paper Fig. 6)");
+    print!("{:>8}", "Size(B)");
+    for s in [&fig.launch_ompi, &fig.launch_mpich, &fig.restarted] {
+        print!("  {:>42}", s.label);
+    }
+    println!();
+    for (i, &size) in fig.sizes.iter().enumerate() {
+        print!("{:>8}", size_label(size));
+        for s in [&fig.launch_ompi, &fig.launch_mpich, &fig.restarted] {
+            print!("  {:>42.2}", s.median_us[i]);
+        }
+        println!();
+    }
+    println!("# paper: the restarted curve tracks the launch-with-MPICH curve");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(1), "1");
+        assert_eq!(size_label(512), "512");
+        assert_eq!(size_label(2048), "2K");
+        assert_eq!(size_label(1 << 20), "1M");
+    }
+}

@@ -1,0 +1,200 @@
+//! Small built-in programs: smoke-test workloads and doc examples.
+//!
+//! The paper's evaluation workloads (OSU micro-benchmarks, CoMD, wave_mpi)
+//! live in the `mpi-apps` crate; these are minimal programs used by the
+//! session tests and documentation.
+
+use mpi_abi::{Handle, ReduceOp};
+use simnet::VirtualTime;
+
+use crate::error::StoolResult;
+use crate::program::{AppCtx, MpiProgram};
+
+/// A ring exchange repeated for a number of rounds, with a checkpoint safe
+/// point between rounds. Each rank accumulates what it receives into
+/// `mem["ring.sum"]`; at the end, the global sum lands in
+/// `mem["ring.total"]`.
+pub struct RingPings {
+    /// Number of ring rounds.
+    pub rounds: u64,
+    /// Payload doubles per message.
+    pub payload: usize,
+}
+
+impl MpiProgram for RingPings {
+    fn name(&self) -> &'static str {
+        "ring-pings"
+    }
+
+    fn run(&self, app: &mut AppCtx<'_>) -> StoolResult<()> {
+        let me = app.rank() as i32;
+        let n = app.nranks() as i32;
+        let next = (me + 1) % n;
+        let prev = (me + n - 1) % n;
+        app.mem.f64s_mut("ring.sum", 1);
+        for step in app.resume_step()..self.rounds {
+            if app.checkpoint_point(step)?.is_stop() {
+                return Ok(());
+            }
+            let acc = app.mem.f64s("ring.sum").expect("segment exists")[0];
+            let payload = vec![acc + me as f64 + step as f64; self.payload.max(1)];
+            let mut incoming = vec![0.0; self.payload.max(1)];
+            let mut p = app.pmpi();
+            p.sendrecv_f64s(&payload, next, 11, &mut incoming, prev, 11, Handle::COMM_WORLD)?;
+            app.mem.f64s_mut("ring.sum", 1)[0] += incoming[0];
+            app.compute(VirtualTime::from_micros(5));
+        }
+        let sum = app.mem.f64s("ring.sum").expect("segment exists")[0];
+        let total = app.pmpi().allreduce_f64(sum, ReduceOp::Sum, Handle::COMM_WORLD)?;
+        app.mem.set_f64("ring.total", total);
+        Ok(())
+    }
+}
+
+/// A program that does nothing but sleep in virtual time — used to test
+/// checkpoint windows (the Fig. 6 pattern).
+pub struct SleepyProgram {
+    /// Steps to take.
+    pub steps: u64,
+    /// Virtual sleep per step.
+    pub nap: VirtualTime,
+}
+
+impl MpiProgram for SleepyProgram {
+    fn name(&self) -> &'static str {
+        "sleepy"
+    }
+
+    fn run(&self, app: &mut AppCtx<'_>) -> StoolResult<()> {
+        for step in app.resume_step()..self.steps {
+            if app.checkpoint_point(step)?.is_stop() {
+                return Ok(());
+            }
+            app.sleep(self.nap);
+            app.mem.set_u64("sleepy.steps_done", step + 1);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{Checkpointer, Session};
+    use dmtcp_sim::coordinator::CkptMode;
+    use muk::Vendor;
+    use simnet::ClusterSpec;
+
+    fn small_cluster() -> ClusterSpec {
+        ClusterSpec::builder().nodes(2).ranks_per_node(2).build()
+    }
+
+    #[test]
+    fn ring_completes_on_all_stack_shapes() {
+        let program = RingPings { rounds: 5, payload: 8 };
+        for vendor in [Vendor::Mpich, Vendor::OpenMpi] {
+            for ckpt in [Checkpointer::None, Checkpointer::mana()] {
+                let session = Session::builder()
+                    .cluster(small_cluster())
+                    .vendor(vendor)
+                    .checkpointer(ckpt)
+                    .build()
+                    .unwrap();
+                let out = session.launch(&program).unwrap();
+                let memories = out.memories().unwrap();
+                let total0 = memories[0].get_f64("ring.total").unwrap();
+                // All ranks agree on the total.
+                for m in memories {
+                    assert_eq!(m.get_f64("ring.total"), Some(total0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_stop_and_cross_vendor_restore() {
+        let program = RingPings { rounds: 9, payload: 4 };
+        // Uninterrupted reference (any vendor: the dataflow is p2p only,
+        // plus one deterministic allreduce at the end).
+        let reference = Session::builder()
+            .cluster(small_cluster())
+            .vendor(Vendor::OpenMpi)
+            .checkpointer(Checkpointer::mana())
+            .build()
+            .unwrap()
+            .launch(&program)
+            .unwrap();
+        let expect = reference.memories().unwrap()[0].get_f64("ring.total").unwrap();
+
+        // Launch under Open MPI, stop at step 4.
+        let launch = Session::builder()
+            .cluster(small_cluster())
+            .vendor(Vendor::OpenMpi)
+            .checkpointer(Checkpointer::mana())
+            .checkpoint_at_step(4, CkptMode::Stop)
+            .build()
+            .unwrap();
+        let out = launch.launch(&program).unwrap();
+        assert!(!out.is_completed());
+        let image = out.into_image().unwrap();
+        assert_eq!(image.vendor_hint, "Open MPI");
+
+        // Restore under MPICH.
+        let restore = Session::builder()
+            .cluster(small_cluster())
+            .vendor(Vendor::Mpich)
+            .checkpointer(Checkpointer::mana())
+            .build()
+            .unwrap();
+        let done = restore.restore(&image, &program).unwrap();
+        let got = done.memories().unwrap()[0].get_f64("ring.total").unwrap();
+        assert_eq!(got, expect, "cross-vendor restart must finish the same computation");
+    }
+
+    #[test]
+    fn checkpoint_continue_keeps_running() {
+        let program = SleepyProgram { steps: 6, nap: VirtualTime::from_millis(1) };
+        let session = Session::builder()
+            .cluster(small_cluster())
+            .vendor(Vendor::Mpich)
+            .checkpointer(Checkpointer::mana())
+            .checkpoint_at_step(2, CkptMode::Continue)
+            .build()
+            .unwrap();
+        let out = session.launch(&program).unwrap();
+        assert!(out.is_completed(), "Continue mode must not stop the world");
+        let memories = out.memories().unwrap();
+        assert_eq!(memories[0].get_u64("sleepy.steps_done"), Some(6));
+    }
+
+    #[test]
+    fn policy_without_checkpointer_rejected() {
+        let err = Session::builder()
+            .cluster(small_cluster())
+            .checkpoint_at_step(1, CkptMode::Stop)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, crate::error::StoolError::Config(_)));
+    }
+
+    #[test]
+    fn restore_needs_matching_world_size() {
+        let program = SleepyProgram { steps: 4, nap: VirtualTime::from_micros(1) };
+        let session = Session::builder()
+            .cluster(small_cluster())
+            .vendor(Vendor::Mpich)
+            .checkpointer(Checkpointer::mana())
+            .checkpoint_at_step(1, CkptMode::Stop)
+            .build()
+            .unwrap();
+        let image = session.launch(&program).unwrap().into_image().unwrap();
+        let bad = Session::builder()
+            .cluster(ClusterSpec::builder().nodes(1).ranks_per_node(2).build())
+            .vendor(Vendor::Mpich)
+            .checkpointer(Checkpointer::mana())
+            .build()
+            .unwrap();
+        let err = bad.restore(&image, &program).unwrap_err();
+        assert!(matches!(err, crate::error::StoolError::Restore(_)));
+    }
+}

@@ -1,0 +1,521 @@
+//! Sessions: binding the three legs of the stool at run time.
+
+use std::sync::Arc;
+
+use dmtcp_sim::coordinator::{CkptMode, Coordinator};
+use dmtcp_sim::image::WorldImage;
+use dmtcp_sim::memory::Memory;
+use mana_sim::ckpt::restore_rank;
+use mana_sim::ManaConfig;
+use muk::{MukOverhead, Vendor};
+use simnet::rank::RankCounters;
+use simnet::{ClusterSpec, VirtualTime, World};
+
+use crate::error::{to_sim, StoolError, StoolResult};
+use crate::program::{AppCtx, MpiProgram};
+use crate::stack::{Stack, StackSpec};
+
+/// The checkpointing leg of the stool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Checkpointer {
+    /// No checkpointing package (the "native"/"+Mukautuva" baselines).
+    None,
+    /// The MANA-like package with its cost model.
+    Mana(ManaConfig),
+}
+
+impl Checkpointer {
+    /// MANA with default costs.
+    pub fn mana() -> Checkpointer {
+        Checkpointer::Mana(ManaConfig::default())
+    }
+}
+
+/// When the session itself should trigger a checkpoint (deterministic,
+/// step-keyed — every rank requests at the same safe point, so the
+/// coordinated quiesce cannot deadlock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CkptPolicy {
+    /// Checkpoint when the application reaches this safe-point step.
+    pub at_step: Option<u64>,
+    /// Additionally checkpoint every N safe-point steps (periodic
+    /// checkpointing; always [`CkptMode::Continue`]).
+    pub every_steps: Option<u64>,
+    /// What to do after the `at_step` checkpoint.
+    pub mode: CkptMode,
+}
+
+impl Default for CkptPolicy {
+    fn default() -> Self {
+        CkptPolicy { at_step: None, every_steps: None, mode: CkptMode::Continue }
+    }
+}
+
+/// A deterministic injected failure: the job is killed when the application
+/// reaches the given safe-point step (the paper's motivating scenarios:
+/// node crash, allocation timeout, cluster shutdown).
+///
+/// Failure is observed *globally*, like an `MPI_Abort` or a fatal
+/// communication error under a non-fault-tolerant MPI: every rank unwinds
+/// at the same safe point. Recovery is Reinit-style global restart from the
+/// last completed checkpoint image ([`Session::run_resilient`]) — under any
+/// vendor, which is this paper's contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The safe-point step at which the failure strikes.
+    pub at_step: u64,
+    /// The node blamed for the failure (cosmetic: selects the error text).
+    pub node: usize,
+}
+
+/// Full session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The (simulated) cluster to run on.
+    pub cluster: ClusterSpec,
+    /// The MPI library (leg 2).
+    pub vendor: Vendor,
+    /// Route calls through the Mukautuva shim? `false` models an
+    /// application recompiled against the vendor's native headers.
+    pub use_muk: bool,
+    /// Shim cost model.
+    pub muk_overhead: MukOverhead,
+    /// The checkpointing package (leg 3).
+    pub checkpointer: Checkpointer,
+    /// Session-driven checkpoint policy.
+    pub policy: CkptPolicy,
+    /// Injected failure, if any (fault-tolerance experiments).
+    pub fault: Option<FaultPlan>,
+    /// Canonical rank-ordered reductions through the shim (bitwise
+    /// reproducible across vendors; requires `use_muk`).
+    pub deterministic_reductions: bool,
+}
+
+/// Builder for [`Session`].
+pub struct SessionBuilder {
+    config: SessionConfig,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            config: SessionConfig {
+                cluster: ClusterSpec::discovery(),
+                vendor: Vendor::Mpich,
+                use_muk: true,
+                muk_overhead: MukOverhead::default(),
+                checkpointer: Checkpointer::None,
+                policy: CkptPolicy::default(),
+                fault: None,
+                deterministic_reductions: false,
+            },
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Set the cluster.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.config.cluster = cluster;
+        self
+    }
+
+    /// Choose the MPI library.
+    pub fn vendor(mut self, vendor: Vendor) -> Self {
+        self.config.vendor = vendor;
+        self
+    }
+
+    /// Bypass the Mukautuva shim (native-ABI baseline).
+    pub fn native_abi(mut self) -> Self {
+        self.config.use_muk = false;
+        self
+    }
+
+    /// Override the shim cost model.
+    pub fn muk_overhead(mut self, overhead: MukOverhead) -> Self {
+        self.config.muk_overhead = overhead;
+        self
+    }
+
+    /// Make reductions bitwise reproducible across MPI implementations:
+    /// the Mukautuva shim gathers contributions and folds them in world
+    /// rank order instead of trusting the vendor's association (see
+    /// `muk::fold`). Matters when a job checkpoints under one vendor and
+    /// restarts under another and its output must not depend on where it
+    /// ran. Costs a gather + bcast per reduction.
+    pub fn deterministic_reductions(mut self) -> Self {
+        self.config.deterministic_reductions = true;
+        self
+    }
+
+    /// Choose the checkpointing package.
+    pub fn checkpointer(mut self, ckpt: Checkpointer) -> Self {
+        self.config.checkpointer = ckpt;
+        self
+    }
+
+    /// Checkpoint (and continue or stop) when the application reaches the
+    /// given safe-point step.
+    pub fn checkpoint_at_step(mut self, step: u64, mode: CkptMode) -> Self {
+        self.config.policy.at_step = Some(step);
+        self.config.policy.mode = mode;
+        self
+    }
+
+    /// Take a periodic checkpoint every `n` safe-point steps and keep
+    /// running (classic interval checkpointing; feeds
+    /// [`Session::run_resilient`]).
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.config.policy.every_steps = Some(n);
+        self
+    }
+
+    /// Inject a global failure when the application reaches `step`,
+    /// attributed to `node`.
+    pub fn inject_node_failure(mut self, step: u64, node: usize) -> Self {
+        self.config.fault = Some(FaultPlan { at_step: step, node });
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> StoolResult<Session> {
+        let c = &self.config;
+        c.cluster.validate().map_err(StoolError::Config)?;
+        if (c.policy.at_step.is_some() || c.policy.every_steps.is_some())
+            && matches!(c.checkpointer, Checkpointer::None)
+        {
+            return Err(StoolError::Config(
+                "a checkpoint policy requires a checkpointing package".into(),
+            ));
+        }
+        if c.policy.every_steps == Some(0) {
+            return Err(StoolError::Config("checkpoint_every(0) is meaningless".into()));
+        }
+        if c.deterministic_reductions && !c.use_muk {
+            return Err(StoolError::Config(
+                "deterministic reductions are a feature of the Mukautuva shim;                  they are unavailable with native_abi()"
+                    .into(),
+            ));
+        }
+        if let Some(fault) = c.fault {
+            if fault.node >= c.cluster.nodes {
+                return Err(StoolError::Config(format!(
+                    "fault blames node {} but the cluster has {} nodes",
+                    fault.node, c.cluster.nodes
+                )));
+            }
+        }
+        Ok(Session { config: self.config })
+    }
+}
+
+/// A bound three-legged stool, ready to launch programs.
+#[derive(Debug)]
+pub struct Session {
+    /// The configuration in force.
+    pub config: SessionConfig,
+}
+
+/// The result of running a program under a session.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The program ran to completion.
+    Completed {
+        /// Per-rank final memories (the program's outputs).
+        memories: Vec<Memory>,
+        /// Per-rank final virtual clocks.
+        clocks: Vec<VirtualTime>,
+        /// Per-rank communication counters.
+        counters: Vec<RankCounters>,
+    },
+    /// A checkpoint-and-stop was taken; the world image is ready for
+    /// [`Session::restore`] — under any vendor.
+    Checkpointed {
+        /// The collected world image.
+        image: WorldImage,
+        /// Per-rank clocks at stop time.
+        clocks: Vec<VirtualTime>,
+    },
+    /// An injected failure killed the job (see [`FaultPlan`]).
+    Failed {
+        /// The last *completed* periodic checkpoint before the failure, if
+        /// any — the recovery point for a Reinit-style global restart.
+        image: Option<WorldImage>,
+        /// The safe-point step at which the failure struck.
+        failed_step: u64,
+        /// Per-rank clocks at failure time.
+        clocks: Vec<VirtualTime>,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the program completed (vs. checkpoint-stopped).
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed { .. })
+    }
+
+    /// Whether the run was killed by an injected failure.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, RunOutcome::Failed { .. })
+    }
+
+    /// The makespan: max final clock across ranks.
+    pub fn makespan(&self) -> VirtualTime {
+        let clocks = match self {
+            RunOutcome::Completed { clocks, .. } => clocks,
+            RunOutcome::Checkpointed { clocks, .. } => clocks,
+            RunOutcome::Failed { clocks, .. } => clocks,
+        };
+        clocks.iter().copied().fold(VirtualTime::ZERO, VirtualTime::max)
+    }
+
+    /// Per-rank memories of a completed run.
+    pub fn memories(&self) -> StoolResult<&[Memory]> {
+        match self {
+            RunOutcome::Completed { memories, .. } => Ok(memories),
+            RunOutcome::Checkpointed { .. } => {
+                Err(StoolError::App("run was checkpoint-stopped, no final memories".into()))
+            }
+            RunOutcome::Failed { failed_step, .. } => Err(StoolError::App(format!(
+                "run failed at step {failed_step}, no final memories"
+            ))),
+        }
+    }
+
+    /// The world image of a checkpoint-stopped run.
+    pub fn into_image(self) -> StoolResult<WorldImage> {
+        match self {
+            RunOutcome::Checkpointed { image, .. } => Ok(image),
+            RunOutcome::Failed { image: Some(image), .. } => Ok(image),
+            RunOutcome::Failed { image: None, failed_step, .. } => Err(StoolError::App(format!(
+                "run failed at step {failed_step} before any checkpoint completed"
+            ))),
+            RunOutcome::Completed { .. } => {
+                Err(StoolError::App("run completed, no checkpoint image".into()))
+            }
+        }
+    }
+}
+
+/// One recovery performed by [`Session::run_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    /// The safe-point step at which the failure struck.
+    pub failed_at: u64,
+    /// Whether recovery used a checkpoint image (`false` = no checkpoint
+    /// had completed yet, so the job restarted from scratch).
+    pub from_image: bool,
+}
+
+/// What [`Session::run_resilient`] did to finish the job.
+#[derive(Debug)]
+pub struct ResilienceReport {
+    /// The final (completed) outcome.
+    pub outcome: RunOutcome,
+    /// The global restarts that were needed, in order.
+    pub recoveries: Vec<Recovery>,
+}
+
+impl Session {
+    /// Begin building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The stack specification implied by the configuration.
+    pub fn stack_spec(&self) -> StackSpec {
+        StackSpec {
+            vendor: self.config.vendor,
+            muk: self.config.use_muk.then_some(self.config.muk_overhead),
+            mana: match self.config.checkpointer {
+                Checkpointer::Mana(cfg) => Some(cfg),
+                Checkpointer::None => None,
+            },
+            deterministic_reductions: self.config.deterministic_reductions,
+        }
+    }
+
+    /// A human-readable label of the configuration (paper legend style).
+    pub fn label(&self) -> String {
+        self.stack_spec().label()
+    }
+
+    /// Launch a program fresh.
+    pub fn launch(&self, program: &dyn MpiProgram) -> StoolResult<RunOutcome> {
+        self.run_inner(program, None)
+    }
+
+    /// Restore a checkpointed world image and continue the program —
+    /// possibly under a different vendor than it was checkpointed with.
+    pub fn restore(
+        &self,
+        image: &WorldImage,
+        program: &dyn MpiProgram,
+    ) -> StoolResult<RunOutcome> {
+        let mana_cfg = match self.config.checkpointer {
+            Checkpointer::Mana(cfg) => cfg,
+            Checkpointer::None => {
+                return Err(StoolError::Config(
+                    "restoring requires the MANA checkpointer in the session".into(),
+                ))
+            }
+        };
+        if image.nranks() != self.config.cluster.nranks() {
+            return Err(StoolError::Restore(format!(
+                "image has {} ranks, cluster has {}",
+                image.nranks(),
+                self.config.cluster.nranks()
+            )));
+        }
+        self.run_inner(program, Some((image, mana_cfg)))
+    }
+
+    fn run_inner(
+        &self,
+        program: &dyn MpiProgram,
+        restore: Option<(&WorldImage, ManaConfig)>,
+    ) -> StoolResult<RunOutcome> {
+        let spec = self.stack_spec();
+        let cluster = &self.config.cluster;
+        let coordinator = match self.config.checkpointer {
+            Checkpointer::Mana(_) => Some(Coordinator::new(cluster.nranks())),
+            Checkpointer::None => None,
+        };
+        let policy = self.config.policy;
+        let image = restore.map(|(img, cfg)| (Arc::new(img.clone()), cfg));
+
+        let outcome = World::run(cluster, |ctx| {
+            let (mut stack, mut mem, resume) = match &image {
+                None => (Stack::build(&spec, &ctx), Memory::new(), None),
+                Some((img, mana_cfg)) => {
+                    let lower = spec.build_lower(&ctx);
+                    let restored =
+                        restore_rank(ctx.clone(), *mana_cfg, lower, &img.ranks[ctx.rank()])
+                            .map_err(|e| to_sim(StoolError::Restore(e)))?;
+                    (
+                        Stack::Mana(Box::new(restored.mana)),
+                        restored.memory,
+                        Some(restored.resume_step),
+                    )
+                }
+            };
+            let agent = coordinator.as_ref().map(|c| c.agent(ctx.rank()));
+            let mut app = AppCtx {
+                stack: &mut stack,
+                mem: &mut mem,
+                sim: ctx.clone(),
+                resume,
+                policy,
+                fault: self.config.fault,
+                coordinator: coordinator.clone(),
+                agent,
+                stopped: false,
+                failed_at: None,
+            };
+            program.run(&mut app).map_err(to_sim)?;
+            let stopped = app.was_stopped();
+            let failed_at = app.failed_at();
+            Ok((mem, stopped, failed_at))
+        })
+        .map_err(StoolError::Sim)?;
+
+        let failed: Vec<Option<u64>> = outcome.results.iter().map(|(_, _, f)| *f).collect();
+        if let Some(&Some(step)) = failed.iter().find(|f| f.is_some()) {
+            if !failed.iter().all(|&f| f == Some(step)) {
+                return Err(StoolError::Config(
+                    "inconsistent failure across ranks (programs must share safe-point steps)"
+                        .into(),
+                ));
+            }
+            // Salvage the last completed periodic checkpoint, if any.
+            let image = coordinator
+                .as_ref()
+                .filter(|c| c.completed_epoch() > 0)
+                .and_then(|c| c.take_world_image(self.config.vendor.name()));
+            return Ok(RunOutcome::Failed { image, failed_step: step, clocks: outcome.clocks });
+        }
+
+        let stopped: Vec<bool> = outcome.results.iter().map(|(_, s, _)| *s).collect();
+        if stopped.iter().any(|&s| s) {
+            if !stopped.iter().all(|&s| s) {
+                return Err(StoolError::Config(
+                    "inconsistent checkpoint stop across ranks (program must unwind on Flow::Stop)"
+                        .into(),
+                ));
+            }
+            let coordinator = coordinator
+                .ok_or_else(|| StoolError::Config("stopped without a coordinator".into()))?;
+            let image = coordinator
+                .take_world_image(self.config.vendor.name())
+                .ok_or_else(|| StoolError::Config("stop without a complete image".into()))?;
+            return Ok(RunOutcome::Checkpointed { image, clocks: outcome.clocks });
+        }
+
+        Ok(RunOutcome::Completed {
+            memories: outcome.results.into_iter().map(|(m, _, _)| m).collect(),
+            clocks: outcome.clocks,
+            counters: outcome.counters,
+        })
+    }
+
+    /// Run to completion through failures: Reinit-style global restart.
+    ///
+    /// Launches the program under this session's configuration (typically
+    /// with [`SessionBuilder::checkpoint_every`] for periodic checkpoints
+    /// and [`SessionBuilder::inject_node_failure`] for the experiment's
+    /// fault). Each time the job fails, it is restarted from the last
+    /// completed checkpoint image — or from scratch if none exists —
+    /// treating injected faults as transient (they are not re-injected on
+    /// the retry, like a crashed node that was replaced).
+    ///
+    /// `max_restarts` bounds the number of recoveries.
+    pub fn run_resilient(
+        &self,
+        program: &dyn MpiProgram,
+        max_restarts: usize,
+    ) -> StoolResult<ResilienceReport> {
+        if matches!(self.config.checkpointer, Checkpointer::None) {
+            return Err(StoolError::Config(
+                "run_resilient requires the MANA checkpointer".into(),
+            ));
+        }
+        let mut recoveries = Vec::new();
+        let mut pending_image: Option<WorldImage> = None;
+        loop {
+            let outcome = match &pending_image {
+                None => self.launch(program)?,
+                Some(image) => {
+                    // The retry session: same stack, fault cleared.
+                    let mut retry = Session { config: self.config.clone() };
+                    retry.config.fault = None;
+                    retry.restore(image, program)?
+                }
+            };
+            match outcome {
+                RunOutcome::Failed { image, failed_step, .. } => {
+                    if recoveries.len() >= max_restarts {
+                        return Err(StoolError::App(format!(
+                            "job failed at step {failed_step} after {} restarts",
+                            recoveries.len()
+                        )));
+                    }
+                    recoveries
+                        .push(Recovery { failed_at: failed_step, from_image: image.is_some() });
+                    pending_image = image;
+                    // After the first failure the fault is spent; a fresh
+                    // from-scratch launch must not re-fail, so clear it by
+                    // retrying through a fault-free session when no image
+                    // exists either.
+                    if pending_image.is_none() {
+                        let mut retry = Session { config: self.config.clone() };
+                        retry.config.fault = None;
+                        let outcome = retry.launch(program)?;
+                        return Ok(ResilienceReport { outcome, recoveries });
+                    }
+                }
+                done => return Ok(ResilienceReport { outcome: done, recoveries }),
+            }
+        }
+    }
+}

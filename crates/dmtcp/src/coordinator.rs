@@ -1,0 +1,927 @@
+//! The checkpoint coordinator.
+//!
+//! DMTCP runs a coordinator process that user commands (or timers) poke to
+//! trigger a checkpoint; every application process runs a checkpoint thread
+//! that cooperates in a barrier-phased protocol. Here the coordinator is a
+//! shared-state object and each rank holds a [`RankAgent`] that it polls at
+//! every application *safe point* (a point with no incomplete nonblocking
+//! requests, between two steps of the main loop).
+//!
+//! # The coordinated quiesce: gather, then rendezvous at the cut
+//!
+//! A request ("press the button") may be observed by different ranks at
+//! *different* safe-point steps, and a naive "everyone stops at their next
+//! safe point" deadlocks: a rank parked at step *s* has not yet executed
+//! its step-*s* sends, so a peer blocked in a step-*s* receive never
+//! reaches its own safe point. Instead the protocol runs in two phases:
+//!
+//! 1. **Gather** — at its first safe point after the request, each rank
+//!    publishes its position and *keeps running* (nothing is withheld, so
+//!    every rank makes progress to its next safe point). When the last
+//!    rank has published, the **cut** is finalized as the maximum over all
+//!    positions, counting ranks already released back into their step body
+//!    as `position + 1` (the next step they can stop at).
+//! 2. **Rendezvous** — each rank runs forward normally and enters the
+//!    checkpoint barrier exactly at the cut step. A rank waiting at the
+//!    cut has already executed every send below it (and the transport is
+//!    eager), so ranks below the cut never need a waiting rank to make
+//!    progress: the rendezvous always forms.
+//!
+//! Inside the rendezvous, phases proceed over a poisonable barrier:
+//! counter exchange (publish per-peer send/receive counts, learn the
+//! in-flight deficit), *drain* (performed by the MANA layer through the
+//! MPI library itself), image submission, and a final barrier that latches
+//! the consumed request epoch and the continue/stop decision.
+//!
+//! The safe-point contract this imposes on applications: consecutive safe
+//! points on a rank must carry step numbers that increase by exactly one
+//! (the unit-step structure every iterative MPI workload has), and all
+//! ranks must share the same step structure. Violations are detected and
+//! reported as [`CkptError::StepSkew`]/[`CkptError::Overrun`] rather than
+//! deadlocking. A rank that finishes its program while a gather is in
+//! progress aborts the round (a world image missing a rank is not
+//! restorable); a rank that dies mid-rendezvous poisons the barrier so the
+//! survivors unwind with [`CkptError::Poisoned`] instead of hanging.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::image::{RankImage, WorldImage};
+
+/// What the world should do after the checkpoint is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptMode {
+    /// Keep running after the checkpoint (classic periodic checkpointing).
+    Continue,
+    /// Stop the world after the checkpoint (checkpoint-and-exit; the mode
+    /// used for the paper's Fig. 6 cross-vendor restart experiment).
+    Stop,
+}
+
+/// Why a checkpoint round failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptError {
+    /// A participant died mid-round; the protocol barrier was poisoned so
+    /// the survivors unwind instead of hanging.
+    Poisoned,
+    /// A rank's safe-point steps did not increase by exactly one while a
+    /// round was active (the application violated the safe-point contract).
+    StepSkew {
+        /// The step of this rank's previous safe point in the round.
+        last: u64,
+        /// The step it presented now.
+        got: u64,
+    },
+    /// A rank turned up at a safe point beyond the agreed cut. With the
+    /// unit-step contract this cannot happen; seeing it means the contract
+    /// was violated in a way the skew check could not catch.
+    Overrun {
+        /// The agreed cut step.
+        cut: u64,
+        /// The step the rank presented.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Poisoned => write!(f, "checkpoint round poisoned: a participant died"),
+            CkptError::StepSkew { last, got } => write!(
+                f,
+                "safe-point steps must increase by exactly 1 during a checkpoint round \
+                 (previous {last}, got {got})"
+            ),
+            CkptError::Overrun { cut, got } => {
+                write!(f, "rank overran the checkpoint cut (cut {cut}, reached {got})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// A reusable barrier whose waiters can be released with an error when a
+/// participant dies (std's `Barrier` would hang them forever).
+struct SyncPoint {
+    state: Mutex<SyncState>,
+    cv: Condvar,
+}
+
+struct SyncState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl SyncPoint {
+    fn new() -> SyncPoint {
+        SyncPoint {
+            state: Mutex::new(SyncState { arrived: 0, generation: 0, poisoned: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wait for `n` participants. Returns `true` on exactly one caller per
+    /// generation (the leader).
+    fn wait(&self, n: usize) -> Result<bool, CkptError> {
+        let mut st = self.state.lock().expect("syncpoint lock");
+        if st.poisoned {
+            return Err(CkptError::Poisoned);
+        }
+        st.arrived += 1;
+        if st.arrived == n {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            Ok(true)
+        } else {
+            let gen = st.generation;
+            while st.generation == gen && !st.poisoned {
+                st = self.cv.wait(st).expect("syncpoint wait");
+            }
+            if st.poisoned {
+                Err(CkptError::Poisoned)
+            } else {
+                Ok(false)
+            }
+        }
+    }
+
+    /// Permanently poison the barrier, releasing all waiters with
+    /// [`CkptError::Poisoned`].
+    fn poison(&self) {
+        let mut st = self.state.lock().expect("syncpoint lock");
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Where a checkpoint round stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// No round in progress.
+    Idle,
+    /// Collecting each rank's first post-request position.
+    Gather,
+    /// The cut is agreed; ranks are running forward to it.
+    Rendezvous {
+        /// The step every rank checkpoints at.
+        cut: u64,
+        /// This round's epoch (becomes `completed_epoch` on success).
+        epoch: u64,
+        /// The continue/stop decision, latched when the cut was agreed.
+        mode: CkptMode,
+    },
+    /// The round was abandoned (a rank finished its program first).
+    Aborted {
+        /// Requests up to this epoch are consumed by the abort.
+        epoch: u64,
+    },
+}
+
+struct Round {
+    phase: Phase,
+    /// Per-rank last safe-point step seen in the current round.
+    pos: Vec<Option<u64>>,
+    /// Ranks that have resigned (finished their program or died).
+    finished: usize,
+    /// Ranks that have entered the rendezvous barrier this round. While
+    /// zero, a resignation can still abort the round cleanly; once any
+    /// rank is inside the barrier, a resignation must poison it.
+    entered: usize,
+    /// Set by the finish() leader; every participant latches it as its
+    /// consumed epoch so no rank re-enters for requests this round served.
+    consumed_epoch: u64,
+}
+
+struct Shared {
+    nranks: usize,
+    requested_epoch: AtomicU64,
+    mode: Mutex<CkptMode>,
+    round: Mutex<Round>,
+    sync: SyncPoint,
+    /// Per-rank (sent_to, received_from) matrices for the drain protocol.
+    counters: Mutex<Vec<Option<(Vec<u64>, Vec<u64>)>>>,
+    images: Mutex<Vec<Option<RankImage>>>,
+    completed_epoch: AtomicU64,
+    completed_rounds: AtomicU64,
+}
+
+/// Coordinator handle (cheap to clone; shared across threads).
+#[derive(Clone)]
+pub struct Coordinator {
+    shared: Arc<Shared>,
+}
+
+impl Coordinator {
+    /// Create a coordinator for a world of `nranks`.
+    pub fn new(nranks: usize) -> Coordinator {
+        Coordinator {
+            shared: Arc::new(Shared {
+                nranks,
+                requested_epoch: AtomicU64::new(0),
+                mode: Mutex::new(CkptMode::Continue),
+                round: Mutex::new(Round {
+                    phase: Phase::Idle,
+                    pos: (0..nranks).map(|_| None).collect(),
+                    finished: 0,
+                    entered: 0,
+                    consumed_epoch: 0,
+                }),
+                sync: SyncPoint::new(),
+                counters: Mutex::new((0..nranks).map(|_| None).collect()),
+                images: Mutex::new((0..nranks).map(|_| None).collect()),
+                completed_epoch: AtomicU64::new(0),
+                completed_rounds: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// World size this coordinator serves.
+    pub fn nranks(&self) -> usize {
+        self.shared.nranks
+    }
+
+    /// Request a checkpoint ("press the button"). Ranks observe it at
+    /// their next safe point and run the gather/rendezvous protocol.
+    /// Returns the new epoch.
+    pub fn request_checkpoint(&self, mode: CkptMode) -> u64 {
+        *self.shared.mode.lock().expect("mode lock") = mode;
+        let e = self.shared.requested_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        if std::env::var_os("CKPT_TRACE").is_some() {
+            eprintln!("[coord] request mode={mode:?} epoch={e}");
+        }
+        e
+    }
+
+    /// Schedule a checkpoint at an exact safe-point step (the
+    /// policy-driven path). Unlike [`Coordinator::request_checkpoint`],
+    /// every rank runs the same policy and calls this at the *same* step,
+    /// so no gather is needed: the cut is pinned to `step` exactly.
+    /// Idempotent across ranks; the first caller opens the round.
+    ///
+    /// A rank must call this at its own `step` safe point *before* polling
+    /// there. If an asynchronous round is already in progress the call
+    /// degrades to a plain request, served by the pending round.
+    pub fn schedule_checkpoint_at(&self, step: u64, mode: CkptMode) -> u64 {
+        let mut round = self.shared.round.lock().expect("round lock");
+        let epoch = {
+            *self.shared.mode.lock().expect("mode lock") = mode;
+            self.shared.requested_epoch.fetch_add(1, Ordering::SeqCst) + 1
+        };
+        if round.phase == Phase::Idle && round.finished == 0 {
+            let round_no = self.shared.completed_rounds.load(Ordering::SeqCst) + 1;
+            round.phase = Phase::Rendezvous { cut: step, epoch: round_no, mode };
+            round.pos.fill(None);
+            if std::env::var_os("CKPT_TRACE").is_some() {
+                eprintln!("[coord] scheduled cut={step} mode={mode:?}");
+            }
+        }
+        epoch
+    }
+
+    /// The epoch of the most recently completed checkpoint (0 = none yet).
+    pub fn completed_epoch(&self) -> u64 {
+        self.shared.completed_epoch.load(Ordering::SeqCst)
+    }
+
+    /// How many checkpoint rounds have completed.
+    pub fn completed_rounds(&self) -> u64 {
+        self.shared.completed_rounds.load(Ordering::SeqCst)
+    }
+
+    /// Collect the world image of the last completed checkpoint, if every
+    /// rank submitted one. Clears the staging area.
+    pub fn take_world_image(&self, vendor_hint: &str) -> Option<WorldImage> {
+        let mut staged = self.shared.images.lock().expect("images lock");
+        if staged.iter().any(Option::is_none) {
+            return None;
+        }
+        let ranks: Vec<RankImage> = staged.iter_mut().map(|s| s.take().expect("some")).collect();
+        Some(WorldImage::new(vendor_hint.to_string(), ranks))
+    }
+
+    /// Create the per-rank agent (called inside each rank's thread).
+    pub fn agent(&self, rank: usize) -> RankAgent {
+        assert!(rank < self.shared.nranks, "agent rank out of range");
+        RankAgent {
+            shared: self.shared.clone(),
+            rank,
+            seen_epoch: 0,
+            in_protocol: false,
+            resigned: false,
+        }
+    }
+}
+
+/// What [`RankAgent::poll`] decided at a safe point.
+pub enum Poll<'a> {
+    /// No checkpoint is pending; run on.
+    None,
+    /// A round is in progress but this rank's turn to checkpoint has not
+    /// come; keep running to the next safe point.
+    KeepRunning,
+    /// This safe point is the cut: run the checkpoint protocol now.
+    Enter(CkptSession<'a>),
+}
+
+/// A rank's connection to the coordinator (DMTCP's checkpoint thread).
+pub struct RankAgent {
+    shared: Arc<Shared>,
+    rank: usize,
+    seen_epoch: u64,
+    /// True between entering the rendezvous barrier and finishing; used to
+    /// poison the round if this rank dies inside it.
+    in_protocol: bool,
+    resigned: bool,
+}
+
+impl RankAgent {
+    /// This agent's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Whether a checkpoint request exists that this rank has not yet
+    /// served. Cheap; a single atomic load.
+    #[inline]
+    pub fn checkpoint_pending(&self) -> bool {
+        self.shared.requested_epoch.load(Ordering::Relaxed) > self.seen_epoch
+    }
+
+    /// Poll at an application safe point. `next_step` is the step about to
+    /// execute (and the resume position recorded if the checkpoint happens
+    /// here). Must be called at every safe point; while a round is active,
+    /// consecutive polls must present steps that increase by exactly one.
+    pub fn poll(&mut self, next_step: u64) -> Result<Poll<'_>, CkptError> {
+        if !self.checkpoint_pending() {
+            return Ok(Poll::None);
+        }
+        let shared = self.shared.clone();
+        let mut round = shared.round.lock().expect("round lock");
+        match round.phase {
+            Phase::Aborted { epoch } => {
+                self.seen_epoch = self.seen_epoch.max(epoch);
+                Ok(Poll::None)
+            }
+            _ if round.finished > 0 => {
+                // A rank has left for good: no future round can complete.
+                // Consume everything requested so far and run on.
+                self.seen_epoch = shared.requested_epoch.load(Ordering::SeqCst);
+                Ok(Poll::None)
+            }
+            Phase::Idle => {
+                round.phase = Phase::Gather;
+                round.pos.fill(None);
+                round.pos[self.rank] = Some(next_step);
+                self.gather_or_run(&mut round, next_step)
+            }
+            Phase::Gather => {
+                self.check_step(&round, next_step)?;
+                round.pos[self.rank] = Some(next_step);
+                self.gather_or_run(&mut round, next_step)
+            }
+            Phase::Rendezvous { cut, epoch, mode } => {
+                self.check_step(&round, next_step)?;
+                round.pos[self.rank] = Some(next_step);
+                self.at_rendezvous(&mut round, next_step, cut, epoch, mode)
+            }
+        }
+    }
+
+    /// Validate the unit-step contract while a round is active.
+    fn check_step(&self, round: &Round, next_step: u64) -> Result<(), CkptError> {
+        if let Some(last) = round.pos[self.rank] {
+            if next_step != last + 1 {
+                return Err(CkptError::StepSkew { last, got: next_step });
+            }
+        }
+        Ok(())
+    }
+
+    /// In the gather phase with our position recorded: finalize the cut if
+    /// we are the last to publish, then decide our own fate.
+    fn gather_or_run(
+        &mut self,
+        round: &mut Round,
+        next_step: u64,
+    ) -> Result<Poll<'_>, CkptError> {
+        if round.pos.iter().any(Option::is_none) {
+            // Others still unheard from; keep running (nothing is
+            // withheld, so they all reach a safe point).
+            return Ok(Poll::KeepRunning);
+        }
+        // Everyone has published: finalize. A rank other than us may be
+        // anywhere inside its current step body, so the earliest step it
+        // can still stop at is its last published position + 1.
+        let cut = round
+            .pos
+            .iter()
+            .enumerate()
+            .map(|(r, p)| p.expect("all published") + u64::from(r != self.rank))
+            .max()
+            .expect("nranks > 0");
+        let epoch = self.shared.completed_rounds.load(Ordering::SeqCst) + 1;
+        let mode = *self.shared.mode.lock().expect("mode lock");
+        if std::env::var_os("CKPT_TRACE").is_some() {
+            eprintln!("[coord] rank {} finalized cut={cut} epoch={epoch} mode={mode:?} pos={:?}", self.rank, round.pos);
+        }
+        round.phase = Phase::Rendezvous { cut, epoch, mode };
+        self.at_rendezvous(round, next_step, cut, epoch, mode)
+    }
+
+    /// A round is committed to `cut`; decide what this rank does at
+    /// `next_step`.
+    fn at_rendezvous(
+        &mut self,
+        round: &mut Round,
+        next_step: u64,
+        cut: u64,
+        epoch: u64,
+        mode: CkptMode,
+    ) -> Result<Poll<'_>, CkptError> {
+        if next_step < cut {
+            Ok(Poll::KeepRunning)
+        } else if next_step == cut {
+            if std::env::var_os("CKPT_TRACE").is_some() {
+                eprintln!("[coord] rank {} ENTER at cut={cut}", self.rank);
+            }
+            round.entered += 1;
+            self.in_protocol = true;
+            Ok(Poll::Enter(CkptSession { agent: self, cut, epoch, mode }))
+        } else {
+            Err(CkptError::Overrun { cut, got: next_step })
+        }
+    }
+
+    /// Declare that this rank will reach no further safe points (its
+    /// program completed or it is unwinding from a failure). Idempotent;
+    /// also invoked on drop. A gather in progress is aborted; a rendezvous
+    /// in progress is poisoned so waiting peers unwind.
+    pub fn resign(&mut self) {
+        if self.resigned {
+            return;
+        }
+        self.resigned = true;
+        let mut round = self.shared.round.lock().expect("round lock");
+        round.finished += 1;
+        match round.phase {
+            Phase::Gather => {
+                if std::env::var_os("CKPT_TRACE").is_some() {
+                    eprintln!("[coord] rank {} resign ABORTS gather, pos={:?}", self.rank, round.pos);
+                }
+                round.phase = Phase::Aborted {
+                    epoch: self.shared.requested_epoch.load(Ordering::SeqCst),
+                };
+            }
+            Phase::Rendezvous { .. } => {
+                if round.entered > 0 {
+                    // Peers are inside the barrier; without us it can
+                    // never fill. Release them with an error.
+                    self.shared.sync.poison();
+                } else {
+                    // Nobody is committed past recall yet (e.g. the cut
+                    // landed beyond the program's final safe point):
+                    // abandon the round cleanly.
+                    round.phase = Phase::Aborted {
+                        epoch: self.shared.requested_epoch.load(Ordering::SeqCst),
+                    };
+                }
+            }
+            Phase::Idle | Phase::Aborted { .. } => {}
+        }
+    }
+}
+
+impl Drop for RankAgent {
+    fn drop(&mut self) {
+        self.resign();
+    }
+}
+
+/// An in-progress checkpoint on one rank (the rendezvous was reached).
+pub struct CkptSession<'a> {
+    agent: &'a mut RankAgent,
+    cut: u64,
+    epoch: u64,
+    mode: CkptMode,
+}
+
+impl CkptSession<'_> {
+    /// The epoch being checkpointed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The agreed cut step (every rank's resume position).
+    pub fn cut(&self) -> u64 {
+        self.cut
+    }
+
+    /// This participant's rank.
+    pub fn rank(&self) -> usize {
+        self.agent.rank
+    }
+
+    /// Publish this rank's per-peer counters and learn how many messages
+    /// are still in flight *towards* this rank from each peer:
+    /// `pending_from[j] = sent_to[j][me] − received_from[me][j]`.
+    pub fn exchange_counters(
+        &self,
+        sent_to: &[u64],
+        received_from: &[u64],
+    ) -> Result<Vec<u64>, CkptError> {
+        let shared = &self.agent.shared;
+        {
+            let mut table = shared.counters.lock().expect("counters lock");
+            table[self.agent.rank] = Some((sent_to.to_vec(), received_from.to_vec()));
+        }
+        shared.sync.wait(shared.nranks)?;
+        let table = shared.counters.lock().expect("counters lock");
+        Ok((0..shared.nranks)
+            .map(|j| {
+                let sent_j_to_me = table[j]
+                    .as_ref()
+                    .map(|(sent, _)| sent[self.agent.rank])
+                    .expect("all ranks published");
+                sent_j_to_me.saturating_sub(received_from[j])
+            })
+            .collect())
+    }
+
+    /// Submit this rank's serialized image.
+    pub fn submit_image(&self, image: RankImage) {
+        let mut staged = self.agent.shared.images.lock().expect("images lock");
+        staged[self.agent.rank] = Some(image);
+    }
+
+    /// Final barrier: the checkpoint is globally complete. Latches the
+    /// consumed request epoch on every participant and returns the mode
+    /// (continue or stop) agreed when the cut was finalized.
+    pub fn finish(self) -> Result<CkptMode, CkptError> {
+        let shared = self.agent.shared.clone();
+        let leader = shared.sync.wait(shared.nranks)?;
+        if leader {
+            // Only now is every participant done reading the exchanged
+            // counter matrices; clearing any earlier races peers still
+            // computing their drain deficits.
+            shared.counters.lock().expect("counters lock").fill(None);
+            // All participants are parked between the two barriers, and
+            // every participant's own requests happened before it entered:
+            // reading the request counter here absorbs every request this
+            // round can possibly serve.
+            let mut round = shared.round.lock().expect("round lock");
+            round.consumed_epoch = shared.requested_epoch.load(Ordering::SeqCst);
+            round.phase = Phase::Idle;
+            round.pos.fill(None);
+            round.entered = 0;
+            shared.completed_epoch.store(self.epoch, Ordering::SeqCst);
+            shared.completed_rounds.fetch_add(1, Ordering::SeqCst);
+        }
+        shared.sync.wait(shared.nranks)?;
+        self.agent.seen_epoch = shared.round.lock().expect("round lock").consumed_epoch;
+        self.agent.in_protocol = false;
+        Ok(self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive one rank's side of the protocol: poll at increasing steps
+    /// from `start` until a session opens, run it, and return
+    /// (cut, mode, steps_polled).
+    fn run_to_checkpoint(
+        agent: &mut RankAgent,
+        start: u64,
+        sent: &[u64],
+        rcvd: &[u64],
+    ) -> (u64, CkptMode, u64) {
+        let mut step = start;
+        loop {
+            match agent.poll(step).expect("poll") {
+                Poll::None | Poll::KeepRunning => {
+                    step += 1;
+                    std::thread::yield_now();
+                }
+                Poll::Enter(session) => {
+                    let cut = session.cut();
+                    let pending = session.exchange_counters(sent, rcvd).expect("counters");
+                    assert!(pending.iter().all(|&p| p == 0), "no traffic in these tests");
+                    let rank = session.rank();
+                    let n = sent.len();
+                    session.submit_image(RankImage::new(rank, n, session.epoch()));
+                    let mode = session.finish().expect("finish");
+                    return (cut, mode, step - start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_protocol_over_threads() {
+        let n = 4;
+        let coord = Coordinator::new(n);
+        coord.request_checkpoint(CkptMode::Continue);
+        let cuts = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let coord = coord.clone();
+                let cuts = &cuts;
+                s.spawn(move || {
+                    let mut agent = coord.agent(rank);
+                    assert!(agent.checkpoint_pending());
+                    let zeros = vec![0u64; n];
+                    let (cut, mode, _) = run_to_checkpoint(&mut agent, 0, &zeros, &zeros);
+                    assert_eq!(mode, CkptMode::Continue);
+                    assert!(!agent.checkpoint_pending());
+                    cuts.lock().unwrap().push(cut);
+                });
+            }
+        });
+        let cuts = cuts.into_inner().unwrap();
+        assert_eq!(cuts.len(), n);
+        assert!(cuts.iter().all(|&c| c == cuts[0]), "uniform cut: {cuts:?}");
+        assert_eq!(coord.completed_epoch(), 1);
+        assert_eq!(coord.completed_rounds(), 1);
+        let world = coord.take_world_image("test").expect("all images staged");
+        assert_eq!(world.nranks(), n);
+        // Taking again yields nothing: staging was drained.
+        assert!(coord.take_world_image("test").is_none());
+    }
+
+    #[test]
+    fn counter_deficit_computed_from_peer_matrices() {
+        let n = 4;
+        let coord = Coordinator::new(n);
+        coord.request_checkpoint(CkptMode::Continue);
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let coord = coord.clone();
+                s.spawn(move || {
+                    let mut agent = coord.agent(rank);
+                    let mut step = 0;
+                    let session = loop {
+                        match agent.poll(step).expect("poll") {
+                            Poll::Enter(session) => break session,
+                            _ => {
+                                step += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    };
+                    // Rank r has sent r messages to each peer; rank 2
+                    // pretends it missed one message from rank 3.
+                    let sent = vec![rank as u64; n];
+                    let mut rcvd: Vec<u64> = (0..n).map(|j| j as u64).collect();
+                    if rank == 2 {
+                        rcvd[3] = 2;
+                    }
+                    let pending = session.exchange_counters(&sent, &rcvd).expect("counters");
+                    for j in 0..n {
+                        let expect = if rank == 2 && j == 3 { 1 } else { 0 };
+                        assert_eq!(pending[j], expect, "rank {rank} peer {j}");
+                    }
+                    session.submit_image(RankImage::new(rank, n, session.epoch()));
+                    session.finish().expect("finish");
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn stop_mode_propagates() {
+        let n = 2;
+        let coord = Coordinator::new(n);
+        coord.request_checkpoint(CkptMode::Stop);
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let coord = coord.clone();
+                s.spawn(move || {
+                    let mut agent = coord.agent(rank);
+                    let zeros = vec![0u64; n];
+                    let (_, mode, _) = run_to_checkpoint(&mut agent, 0, &zeros, &zeros);
+                    assert_eq!(mode, CkptMode::Stop);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn skewed_start_positions_meet_at_max_cut() {
+        // Ranks first observe the request at different steps; the cut is
+        // the max and everyone checkpoints there.
+        let n = 3;
+        let coord = Coordinator::new(n);
+        coord.request_checkpoint(CkptMode::Continue);
+        let cuts = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let coord = coord.clone();
+                let cuts = &cuts;
+                s.spawn(move || {
+                    let mut agent = coord.agent(rank);
+                    let zeros = vec![0u64; n];
+                    // Rank r starts polling at step 10*r.
+                    let start = 10 * rank as u64;
+                    let (cut, _, _) = run_to_checkpoint(&mut agent, start, &zeros, &zeros);
+                    assert!(cut >= start, "cut {cut} must be reachable from {start}");
+                    cuts.lock().unwrap().push(cut);
+                });
+            }
+        });
+        let cuts = cuts.into_inner().unwrap();
+        assert!(cuts.iter().all(|&c| c == cuts[0]), "uniform cut: {cuts:?}");
+        // The last rank cannot first-observe the request below step 20, so
+        // the agreed cut is at least there (the exact value depends on how
+        // far the other ranks ran before the gather closed).
+        assert!(cuts[0] >= 20, "cut must be at least the max start, got {}", cuts[0]);
+    }
+
+    #[test]
+    fn no_request_means_no_pending() {
+        let coord = Coordinator::new(1);
+        let mut agent = coord.agent(0);
+        assert!(!agent.checkpoint_pending());
+        assert!(matches!(agent.poll(0), Ok(Poll::None)));
+        assert_eq!(coord.completed_epoch(), 0);
+        assert!(coord.take_world_image("x").is_none());
+    }
+
+    #[test]
+    fn single_rank_enters_immediately() {
+        let coord = Coordinator::new(1);
+        coord.request_checkpoint(CkptMode::Continue);
+        let mut agent = coord.agent(0);
+        match agent.poll(7).expect("poll") {
+            Poll::Enter(session) => {
+                assert_eq!(session.cut(), 7);
+                let z = vec![0u64; 1];
+                session.exchange_counters(&z, &z).expect("counters");
+                session.submit_image(RankImage::new(0, 1, session.epoch()));
+                assert_eq!(session.finish().expect("finish"), CkptMode::Continue);
+            }
+            _ => panic!("single rank must enter at its first safe point"),
+        }
+        assert!(!agent.checkpoint_pending());
+    }
+
+    #[test]
+    fn multiple_epochs() {
+        let coord = Coordinator::new(1);
+        assert_eq!(coord.request_checkpoint(CkptMode::Continue), 1);
+        let mut agent = coord.agent(0);
+        match agent.poll(0).expect("poll") {
+            Poll::Enter(s) => {
+                let z = vec![0u64; 1];
+                s.exchange_counters(&z, &z).unwrap();
+                s.submit_image(RankImage::new(0, 1, s.epoch()));
+                s.finish().unwrap();
+            }
+            _ => panic!("expected to enter"),
+        }
+        let _ = coord.take_world_image("v");
+        assert_eq!(coord.request_checkpoint(CkptMode::Continue), 2);
+        assert!(agent.checkpoint_pending());
+        match agent.poll(5).expect("poll") {
+            Poll::Enter(s) => {
+                assert_eq!(s.epoch(), 2);
+                let z = vec![0u64; 1];
+                s.exchange_counters(&z, &z).unwrap();
+                s.submit_image(RankImage::new(0, 1, s.epoch()));
+                s.finish().unwrap();
+            }
+            _ => panic!("expected to enter the second round"),
+        }
+        assert_eq!(coord.completed_epoch(), 2);
+        assert_eq!(coord.completed_rounds(), 2);
+    }
+
+    #[test]
+    fn resign_during_gather_aborts_round() {
+        let n = 2;
+        let coord = Coordinator::new(n);
+        coord.request_checkpoint(CkptMode::Continue);
+        let mut a0 = coord.agent(0);
+        let mut a1 = coord.agent(1);
+        // Rank 0 observes the request and keeps running (gather open).
+        assert!(matches!(a0.poll(3), Ok(Poll::KeepRunning)));
+        // Rank 1 finishes its program without ever polling.
+        a1.resign();
+        // Rank 0's next poll consumes the aborted request and runs on.
+        assert!(matches!(a0.poll(4), Ok(Poll::None)));
+        assert!(!a0.checkpoint_pending());
+        assert_eq!(coord.completed_rounds(), 0);
+    }
+
+    #[test]
+    fn requests_after_any_resignation_are_consumed() {
+        let coord = Coordinator::new(2);
+        let mut a0 = coord.agent(0);
+        let mut a1 = coord.agent(1);
+        a1.resign();
+        coord.request_checkpoint(CkptMode::Stop);
+        // No round can ever complete; the request is absorbed.
+        assert!(matches!(a0.poll(0), Ok(Poll::None)));
+        assert!(!a0.checkpoint_pending());
+    }
+
+    #[test]
+    fn death_mid_rendezvous_poisons_waiters() {
+        let n = 2;
+        let coord = Coordinator::new(n);
+        coord.request_checkpoint(CkptMode::Continue);
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            let c0 = coord.clone();
+            let b = &barrier;
+            s.spawn(move || {
+                let mut agent = c0.agent(0);
+                // Poll until we are in the rendezvous and enter it.
+                let mut step = 0;
+                let session = loop {
+                    match agent.poll(step).expect("poll") {
+                        Poll::Enter(session) => break session,
+                        _ => {
+                            step += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                };
+                b.wait(); // let rank 1 die only once we are committed
+                let err = session.exchange_counters(&[0, 0], &[0, 0]).unwrap_err();
+                assert_eq!(err, CkptError::Poisoned);
+            });
+            let c1 = coord.clone();
+            s.spawn(move || {
+                let mut agent = c1.agent(1);
+                // Publish one gather position so the cut can be agreed,
+                // then die before ever reaching it.
+                match agent.poll(0) {
+                    Ok(_) => {}
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+                b.wait();
+                agent.resign(); // dies mid-round → poison
+            });
+        });
+    }
+
+    #[test]
+    fn step_skew_detected_during_round() {
+        let coord = Coordinator::new(2);
+        coord.request_checkpoint(CkptMode::Continue);
+        let mut a0 = coord.agent(0);
+        assert!(matches!(a0.poll(5), Ok(Poll::KeepRunning)));
+        match a0.poll(9) {
+            Err(e) => assert_eq!(e, CkptError::StepSkew { last: 5, got: 9 }),
+            Ok(_) => panic!("step skew must be detected"),
+        }
+    }
+
+    #[test]
+    fn consumed_epoch_absorbs_all_requests_before_finish() {
+        // All ranks request "their own" checkpoint at the same step (the
+        // policy-driven pattern); one round serves every request.
+        let n = 4;
+        let coord = Coordinator::new(n);
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let coord = coord.clone();
+                s.spawn(move || {
+                    let mut agent = coord.agent(rank);
+                    let zeros = vec![0u64; n];
+                    let mut step = 0;
+                    loop {
+                        if step == 3 {
+                            coord.request_checkpoint(CkptMode::Continue);
+                        }
+                        match agent.poll(step).expect("poll") {
+                            Poll::None | Poll::KeepRunning => {
+                                step += 1;
+                                std::thread::yield_now();
+                            }
+                            Poll::Enter(session) => {
+                                session
+                                    .exchange_counters(&zeros, &zeros)
+                                    .expect("counters");
+                                session.submit_image(RankImage::new(
+                                    rank,
+                                    n,
+                                    session.epoch(),
+                                ));
+                                session.finish().expect("finish");
+                                break;
+                            }
+                        }
+                    }
+                    // Every rank's request was absorbed by the one round.
+                    assert!(!agent.checkpoint_pending());
+                });
+            }
+        });
+        assert_eq!(coord.completed_rounds(), 1, "one round serves all four requests");
+    }
+}

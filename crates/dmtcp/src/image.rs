@@ -1,0 +1,229 @@
+//! Checkpoint images: one per rank, grouped per world, savable to files.
+//!
+//! A [`RankImage`] is a set of named sections, each an opaque byte blob
+//! produced by a layer of the stack (the platform writes `memory` and
+//! `meta`; the MANA layer adds `mana.vids`, `mana.pool`, `mana.counters`).
+//! This sectioning mirrors how DMTCP plugins contribute areas to a real
+//! `.dmtcp` image.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write as IoWrite};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{CodecError, Reader, Writer};
+
+const RANK_MAGIC: u64 = 0x4D50_4953_544F_4F4C; // "MPISTOOL"
+const IMAGE_VERSION: u64 = 1;
+
+/// A single rank's checkpoint image.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RankImage {
+    /// Rank id within the world at checkpoint time.
+    pub rank: usize,
+    /// World size at checkpoint time.
+    pub nranks: usize,
+    /// Checkpoint epoch (coordinator-assigned, monotonic).
+    pub epoch: u64,
+    /// Named sections.
+    sections: BTreeMap<String, Vec<u8>>,
+}
+
+impl RankImage {
+    /// New empty image for a rank.
+    pub fn new(rank: usize, nranks: usize, epoch: u64) -> RankImage {
+        RankImage { rank, nranks, epoch, sections: BTreeMap::new() }
+    }
+
+    /// Add or replace a section.
+    pub fn put_section(&mut self, name: &str, data: Vec<u8>) {
+        self.sections.insert(name.to_string(), data);
+    }
+
+    /// Fetch a section.
+    pub fn section(&self, name: &str) -> Option<&[u8]> {
+        self.sections.get(name).map(Vec::as_slice)
+    }
+
+    /// Section names in deterministic order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.keys().map(String::as_str)
+    }
+
+    /// Total payload size (what would hit the parallel filesystem).
+    pub fn total_bytes(&self) -> usize {
+        self.sections.values().map(Vec::len).sum()
+    }
+
+    /// Serialize with magic, version and checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(RANK_MAGIC);
+        w.u64(IMAGE_VERSION);
+        w.u64(self.rank as u64);
+        w.u64(self.nranks as u64);
+        w.u64(self.epoch);
+        w.u64(self.sections.len() as u64);
+        for (name, data) in &self.sections {
+            w.string(name);
+            w.bytes(data);
+        }
+        w.finish()
+    }
+
+    /// Deserialize, verifying checksum and magic.
+    pub fn decode(buf: &[u8]) -> Result<RankImage, CodecError> {
+        let mut r = Reader::checked(buf)?;
+        r.expect_magic(RANK_MAGIC)?;
+        r.expect_magic(IMAGE_VERSION)?;
+        let rank = r.u64()? as usize;
+        let nranks = r.u64()? as usize;
+        let epoch = r.u64()?;
+        let nsections = r.u64()?;
+        if nsections > 4096 {
+            return Err(CodecError::LengthOutOfBounds(nsections));
+        }
+        let mut sections = BTreeMap::new();
+        for _ in 0..nsections {
+            let name = r.string()?;
+            let data = r.bytes()?.to_vec();
+            sections.insert(name, data);
+        }
+        Ok(RankImage { rank, nranks, epoch, sections })
+    }
+}
+
+/// The set of images of one checkpointed world, plus world-level metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldImage {
+    /// Which MPI library the world ran under when checkpointed (hint only:
+    /// the whole point of the paper is that restart may pick another).
+    pub vendor_hint: String,
+    /// Per-rank images, indexed by rank.
+    pub ranks: Vec<RankImage>,
+}
+
+impl WorldImage {
+    /// Assemble from per-rank images (must be dense in rank order).
+    pub fn new(vendor_hint: String, ranks: Vec<RankImage>) -> WorldImage {
+        WorldImage { vendor_hint, ranks }
+    }
+
+    /// World size.
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Total bytes across all rank images.
+    pub fn total_bytes(&self) -> usize {
+        self.ranks.iter().map(RankImage::total_bytes).sum()
+    }
+
+    /// File path of one rank's image under `dir`.
+    pub fn rank_path(dir: &Path, rank: usize) -> PathBuf {
+        dir.join(format!("ckpt_rank_{rank:05}.img"))
+    }
+
+    /// Save all rank images under a directory (like `ckpt_*.dmtcp` files).
+    pub fn save_dir(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut meta = Writer::new();
+        meta.u64(RANK_MAGIC);
+        meta.string(&self.vendor_hint);
+        meta.u64(self.ranks.len() as u64);
+        std::fs::File::create(dir.join("world.meta"))?.write_all(&meta.finish())?;
+        for img in &self.ranks {
+            let path = Self::rank_path(dir, img.rank);
+            std::fs::File::create(path)?.write_all(&img.encode())?;
+        }
+        Ok(())
+    }
+
+    /// Load a world image from a directory.
+    pub fn load_dir(dir: &Path) -> Result<WorldImage, String> {
+        let mut meta_buf = Vec::new();
+        std::fs::File::open(dir.join("world.meta"))
+            .map_err(|e| format!("open world.meta: {e}"))?
+            .read_to_end(&mut meta_buf)
+            .map_err(|e| format!("read world.meta: {e}"))?;
+        let mut r = Reader::checked(&meta_buf).map_err(|e| e.to_string())?;
+        r.expect_magic(RANK_MAGIC).map_err(|e| e.to_string())?;
+        let vendor_hint = r.string().map_err(|e| e.to_string())?;
+        let nranks = r.u64().map_err(|e| e.to_string())? as usize;
+        let mut ranks = Vec::with_capacity(nranks);
+        for rank in 0..nranks {
+            let mut buf = Vec::new();
+            std::fs::File::open(Self::rank_path(dir, rank))
+                .map_err(|e| format!("open rank {rank} image: {e}"))?
+                .read_to_end(&mut buf)
+                .map_err(|e| format!("read rank {rank} image: {e}"))?;
+            let img = RankImage::decode(&buf).map_err(|e| format!("rank {rank}: {e}"))?;
+            if img.rank != rank {
+                return Err(format!("rank image {rank} claims rank {}", img.rank));
+            }
+            ranks.push(img);
+        }
+        Ok(WorldImage { vendor_hint, ranks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image(rank: usize) -> RankImage {
+        let mut img = RankImage::new(rank, 4, 3);
+        img.put_section("memory", vec![1, 2, 3, rank as u8]);
+        img.put_section("mana.vids", vec![9; 16]);
+        img
+    }
+
+    #[test]
+    fn rank_image_round_trip() {
+        let img = sample_image(2);
+        let buf = img.encode();
+        let back = RankImage::decode(&buf).unwrap();
+        assert_eq!(img, back);
+        assert_eq!(back.section("memory").unwrap(), &[1, 2, 3, 2]);
+        assert_eq!(back.total_bytes(), 20);
+        assert_eq!(back.section_names().collect::<Vec<_>>(), vec!["mana.vids", "memory"]);
+    }
+
+    #[test]
+    fn corrupted_rank_image_rejected() {
+        let img = sample_image(0);
+        let mut buf = img.encode();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        assert!(RankImage::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn world_image_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("stool_img_test_{}", std::process::id()));
+        let world = WorldImage::new(
+            "Open MPI".to_string(),
+            (0..4).map(sample_image).collect(),
+        );
+        world.save_dir(&dir).unwrap();
+        let back = WorldImage::load_dir(&dir).unwrap();
+        assert_eq!(world, back);
+        assert_eq!(back.vendor_hint, "Open MPI");
+        assert_eq!(back.nranks(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_image_file_detected() {
+        let dir =
+            std::env::temp_dir().join(format!("stool_img_trunc_{}", std::process::id()));
+        let world = WorldImage::new("MPICH".to_string(), (0..2).map(sample_image).collect());
+        world.save_dir(&dir).unwrap();
+        // Truncate one rank's file.
+        let path = WorldImage::rank_path(&dir, 1);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = WorldImage::load_dir(&dir).unwrap_err();
+        assert!(err.contains("rank 1"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

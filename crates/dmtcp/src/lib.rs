@@ -1,0 +1,39 @@
+//! # dmtcp-sim — a DMTCP-like transparent checkpointing platform
+//!
+//! DMTCP (Distributed MultiThreaded CheckPointing) is the platform MANA is
+//! built on: a coordinator process orchestrates checkpoints across ranks,
+//! each process's state is serialized into an image file, and *process
+//! virtualization* lets the restarted process rebuild kernel resources from
+//! virtual references.
+//!
+//! This crate reproduces the platform layer, MPI-agnostically:
+//!
+//! * [`codec`] — a self-describing, checksummed binary format for images
+//!   (hand-rolled: the offline crate set has no serde format crate, and a
+//!   checkpointing system wants explicit control of its wire format anyway);
+//! * [`memory`] — [`memory::Memory`]: the "upper-half memory" abstraction,
+//!   named typed segments that stand in for the application's writable
+//!   address space (see DESIGN.md §1 for why Rust needs this cooperative
+//!   substitute for raw page capture);
+//! * [`image`] — per-rank checkpoint images ([`image::RankImage`]) grouped
+//!   into a world image ([`image::WorldImage`]), with file save/load;
+//! * [`coordinator`] — the checkpoint coordinator: epoch-based requests,
+//!   phase barriers, counter exchange used by the MANA drain protocol, and
+//!   image collection.
+//!
+//! The MPI-specific parts (split process, virtual ids, drain) live in
+//! `mana-sim`, which plugs into this platform exactly as MANA plugs into
+//! DMTCP.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod coordinator;
+pub mod image;
+pub mod memory;
+
+pub use codec::{CodecError, Reader, Writer};
+pub use coordinator::{CkptError, CkptMode, CkptSession, Coordinator, Poll, RankAgent};
+pub use image::{RankImage, WorldImage};
+pub use memory::Memory;

@@ -1,0 +1,338 @@
+//! The "upper-half memory": the application state a checkpoint captures.
+//!
+//! MANA saves the upper-half program's writable memory pages. Safe Rust
+//! cannot serialize a live stack, so applications in this reproduction keep
+//! their evolving state in a [`Memory`] — named, typed segments that the
+//! checkpointer can snapshot and restore byte-exactly. The application code
+//! path is otherwise unchanged, and a restored run must be bit-identical,
+//! which the integration tests verify.
+
+use std::collections::BTreeMap;
+
+use crate::codec::{CodecError, Reader, Writer};
+
+/// One typed segment of application memory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// Signed 64-bit integers.
+    I64(Vec<i64>),
+    /// Unsigned 64-bit integers.
+    U64(Vec<u64>),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+}
+
+impl Segment {
+    fn tag(&self) -> u8 {
+        match self {
+            Segment::F64(_) => 0,
+            Segment::I64(_) => 1,
+            Segment::U64(_) => 2,
+            Segment::Bytes(_) => 3,
+        }
+    }
+
+    /// Approximate in-memory size in bytes (for image size accounting).
+    pub fn byte_len(&self) -> usize {
+        match self {
+            Segment::F64(v) => v.len() * 8,
+            Segment::I64(v) => v.len() * 8,
+            Segment::U64(v) => v.len() * 8,
+            Segment::Bytes(v) => v.len(),
+        }
+    }
+}
+
+/// Named, typed application memory. Iteration order is deterministic
+/// (BTreeMap), so serialized images are byte-stable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Memory {
+    segments: BTreeMap<String, Segment>,
+}
+
+impl Memory {
+    /// Empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether no segments exist.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total payload bytes across segments.
+    pub fn total_bytes(&self) -> usize {
+        self.segments.values().map(Segment::byte_len).sum()
+    }
+
+    /// Segment names in deterministic order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.segments.keys().map(String::as_str)
+    }
+
+    /// Remove a segment.
+    pub fn remove(&mut self, name: &str) -> Option<Segment> {
+        self.segments.remove(name)
+    }
+
+    /// Whether a segment exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.segments.contains_key(name)
+    }
+
+    /// Get or create an `f64` segment of the given initial length.
+    pub fn f64s_mut(&mut self, name: &str, default_len: usize) -> &mut Vec<f64> {
+        let seg = self
+            .segments
+            .entry(name.to_string())
+            .or_insert_with(|| Segment::F64(vec![0.0; default_len]));
+        match seg {
+            Segment::F64(v) => v,
+            other => panic!("segment {name:?} is {other:?}, not F64"),
+        }
+    }
+
+    /// Read-only view of an `f64` segment.
+    pub fn f64s(&self, name: &str) -> Option<&[f64]> {
+        match self.segments.get(name) {
+            Some(Segment::F64(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Get or create an `i64` segment.
+    pub fn i64s_mut(&mut self, name: &str, default_len: usize) -> &mut Vec<i64> {
+        let seg = self
+            .segments
+            .entry(name.to_string())
+            .or_insert_with(|| Segment::I64(vec![0; default_len]));
+        match seg {
+            Segment::I64(v) => v,
+            other => panic!("segment {name:?} is {other:?}, not I64"),
+        }
+    }
+
+    /// Read-only view of an `i64` segment.
+    pub fn i64s(&self, name: &str) -> Option<&[i64]> {
+        match self.segments.get(name) {
+            Some(Segment::I64(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Get or create a `u64` segment.
+    pub fn u64s_mut(&mut self, name: &str, default_len: usize) -> &mut Vec<u64> {
+        let seg = self
+            .segments
+            .entry(name.to_string())
+            .or_insert_with(|| Segment::U64(vec![0; default_len]));
+        match seg {
+            Segment::U64(v) => v,
+            other => panic!("segment {name:?} is {other:?}, not U64"),
+        }
+    }
+
+    /// Read-only view of a `u64` segment.
+    pub fn u64s(&self, name: &str) -> Option<&[u64]> {
+        match self.segments.get(name) {
+            Some(Segment::U64(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Get or create a byte segment.
+    pub fn bytes_mut(&mut self, name: &str, default_len: usize) -> &mut Vec<u8> {
+        let seg = self
+            .segments
+            .entry(name.to_string())
+            .or_insert_with(|| Segment::Bytes(vec![0; default_len]));
+        match seg {
+            Segment::Bytes(v) => v,
+            other => panic!("segment {name:?} is {other:?}, not Bytes"),
+        }
+    }
+
+    /// Read-only view of a byte segment.
+    pub fn bytes(&self, name: &str) -> Option<&[u8]> {
+        match self.segments.get(name) {
+            Some(Segment::Bytes(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Store a scalar convenience value.
+    pub fn set_u64(&mut self, name: &str, v: u64) {
+        self.segments.insert(name.to_string(), Segment::U64(vec![v]));
+    }
+
+    /// Load a scalar convenience value.
+    pub fn get_u64(&self, name: &str) -> Option<u64> {
+        self.u64s(name).and_then(|v| v.first().copied())
+    }
+
+    /// Store a scalar `f64`.
+    pub fn set_f64(&mut self, name: &str, v: f64) {
+        self.segments.insert(name.to_string(), Segment::F64(vec![v]));
+    }
+
+    /// Load a scalar `f64`.
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        self.f64s(name).and_then(|v| v.first().copied())
+    }
+
+    /// Serialize into a writer.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u64(self.segments.len() as u64);
+        for (name, seg) in &self.segments {
+            w.string(name);
+            w.u8(seg.tag());
+            match seg {
+                Segment::F64(v) => {
+                    w.u64(v.len() as u64);
+                    for &x in v {
+                        w.f64(x);
+                    }
+                }
+                Segment::I64(v) => {
+                    w.u64(v.len() as u64);
+                    for &x in v {
+                        w.i64(x);
+                    }
+                }
+                Segment::U64(v) => {
+                    w.u64(v.len() as u64);
+                    for &x in v {
+                        w.u64(x);
+                    }
+                }
+                Segment::Bytes(v) => w.bytes(v),
+            }
+        }
+    }
+
+    /// Deserialize from a reader.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Memory, CodecError> {
+        let count = r.u64()?;
+        if count > 1 << 24 {
+            return Err(CodecError::LengthOutOfBounds(count));
+        }
+        let mut segments = BTreeMap::new();
+        for _ in 0..count {
+            let name = r.string()?;
+            let tag = r.u8()?;
+            let seg = match tag {
+                0 => {
+                    let len = r.u64()? as usize;
+                    let mut v = Vec::with_capacity(len.min(1 << 20));
+                    for _ in 0..len {
+                        v.push(r.f64()?);
+                    }
+                    Segment::F64(v)
+                }
+                1 => {
+                    let len = r.u64()? as usize;
+                    let mut v = Vec::with_capacity(len.min(1 << 20));
+                    for _ in 0..len {
+                        v.push(r.i64()?);
+                    }
+                    Segment::I64(v)
+                }
+                2 => {
+                    let len = r.u64()? as usize;
+                    let mut v = Vec::with_capacity(len.min(1 << 20));
+                    for _ in 0..len {
+                        v.push(r.u64()?);
+                    }
+                    Segment::U64(v)
+                }
+                3 => Segment::Bytes(r.bytes()?.to_vec()),
+                t => return Err(CodecError::LengthOutOfBounds(t as u64)),
+            };
+            segments.insert(name, seg);
+        }
+        Ok(Memory { segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_segments_round_trip() {
+        let mut m = Memory::new();
+        m.f64s_mut("u", 3).copy_from_slice(&[1.5, -2.5, 3.25]);
+        m.i64s_mut("steps", 2).copy_from_slice(&[-7, 9]);
+        m.u64s_mut("seeds", 1)[0] = 42;
+        m.bytes_mut("blob", 4).copy_from_slice(b"\x01\x02\x03\x04");
+        m.set_f64("energy", -1.25e6);
+
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let buf = w.finish();
+        let mut r = Reader::checked(&buf).unwrap();
+        let m2 = Memory::decode(&mut r).unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(m2.f64s("u").unwrap(), &[1.5, -2.5, 3.25]);
+        assert_eq!(m2.get_f64("energy"), Some(-1.25e6));
+        assert_eq!(m2.get_u64("seeds"), Some(42));
+    }
+
+    #[test]
+    fn growth_and_defaults() {
+        let mut m = Memory::new();
+        assert!(m.is_empty());
+        let v = m.f64s_mut("x", 5);
+        assert_eq!(v.len(), 5);
+        v.push(9.0);
+        // Re-fetch keeps the grown data, ignores default_len.
+        assert_eq!(m.f64s_mut("x", 1).len(), 6);
+        assert_eq!(m.total_bytes(), 48);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains("x"));
+        assert!(!m.contains("y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not F64")]
+    fn type_confusion_panics() {
+        let mut m = Memory::new();
+        m.bytes_mut("x", 1);
+        let _ = m.f64s_mut("x", 1);
+    }
+
+    #[test]
+    fn deterministic_encoding_order() {
+        let mut a = Memory::new();
+        a.set_u64("zeta", 1);
+        a.set_u64("alpha", 2);
+        let mut b = Memory::new();
+        b.set_u64("alpha", 2);
+        b.set_u64("zeta", 1);
+        let enc = |m: &Memory| {
+            let mut w = Writer::new();
+            m.encode(&mut w);
+            w.finish()
+        };
+        assert_eq!(enc(&a), enc(&b), "insertion order must not leak into images");
+    }
+
+    #[test]
+    fn wrong_type_reads_return_none() {
+        let mut m = Memory::new();
+        m.set_u64("n", 3);
+        assert!(m.f64s("n").is_none());
+        assert!(m.bytes("n").is_none());
+        assert!(m.i64s("n").is_none());
+        assert_eq!(m.remove("n").map(|s| s.byte_len()), Some(8));
+        assert!(m.remove("n").is_none());
+    }
+}

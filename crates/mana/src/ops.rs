@@ -1,0 +1,97 @@
+//! Named registry for user-defined reduction functions.
+//!
+//! Real MANA restores function pointers for free because it restores the
+//! whole address space; a safe-Rust reproduction cannot conjure a function
+//! pointer from bytes. Instead, applications register their reduction
+//! functions by name **once** (the analogue of the function living at a
+//! known symbol in the restored binary); the MANA wrapper records the
+//! *name* in its replay log and the restart path resolves it again.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use mpi_abi::UserOpFn;
+
+static REGISTRY: Mutex<Option<HashMap<String, UserOpFn>>> = Mutex::new(None);
+
+/// Lock the registry, shrugging off poison: the only write that can panic
+/// is the deliberate symbol-clash panic, which leaves the map intact.
+fn registry() -> MutexGuard<'static, Option<HashMap<String, UserOpFn>>> {
+    REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Register a user-defined reduction function under a stable name.
+/// Re-registering the same name with the same function is a no-op;
+/// re-registering with a different function panics (symbol clash).
+pub fn register(name: &str, func: UserOpFn) {
+    let mut guard = registry();
+    let map = guard.get_or_insert_with(HashMap::new);
+    match map.get(name) {
+        Some(&existing) if std::ptr::fn_addr_eq(existing, func) => {}
+        Some(_) => panic!("user op {name:?} already registered with a different function"),
+        None => {
+            map.insert(name.to_string(), func);
+        }
+    }
+}
+
+/// Look up a function by name (restart path).
+pub fn lookup(name: &str) -> Option<UserOpFn> {
+    registry().as_ref()?.get(name).copied()
+}
+
+/// Reverse lookup: find the registered name of a function pointer
+/// (checkpoint path, when the application calls `op_create`).
+pub fn name_of(func: UserOpFn) -> Option<String> {
+    let guard = registry();
+    let map = guard.as_ref()?;
+    map.iter().find(|(_, &f)| std::ptr::fn_addr_eq(f, func)).map(|(n, _)| n.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op_a(inv: &[u8], io: &mut [u8], _e: usize) {
+        for (a, b) in inv.iter().zip(io.iter_mut()) {
+            *b = b.wrapping_add(*a);
+        }
+    }
+
+    fn op_b(inv: &[u8], io: &mut [u8], _e: usize) {
+        for (a, b) in inv.iter().zip(io.iter_mut()) {
+            *b ^= *a;
+        }
+    }
+
+    #[test]
+    fn register_lookup_round_trip() {
+        register("test.sum8", op_a);
+        register("test.xor8", op_b);
+        assert_eq!(lookup("test.sum8"), Some(op_a as UserOpFn));
+        assert_eq!(lookup("test.xor8"), Some(op_b as UserOpFn));
+        assert_eq!(lookup("test.nope"), None);
+        assert_eq!(name_of(op_a).as_deref(), Some("test.sum8"));
+        // Idempotent re-registration.
+        register("test.sum8", op_a);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn clashing_registration_panics() {
+        // Local functions: the registry is process-global and the reverse
+        // lookup in `register_lookup_round_trip` must stay unambiguous.
+        fn op_c(inv: &[u8], io: &mut [u8], _e: usize) {
+            for (a, b) in inv.iter().zip(io.iter_mut()) {
+                *b = (*b).max(*a);
+            }
+        }
+        fn op_d(inv: &[u8], io: &mut [u8], _e: usize) {
+            for (a, b) in inv.iter().zip(io.iter_mut()) {
+                *b = (*b).min(*a);
+            }
+        }
+        register("test.clash", op_c);
+        register("test.clash", op_d);
+    }
+}

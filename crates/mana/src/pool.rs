@@ -1,0 +1,161 @@
+//! The drained in-flight message pool.
+//!
+//! At checkpoint time, messages that were sent but not yet received are
+//! pulled out of the network into upper-half memory (this pool), so the
+//! checkpoint image captures them and the lower half can be discarded with
+//! "no pending inter-process communication" — the invariant the paper
+//! highlights that lets a restarted world freely pick a different MPI
+//! library and even different transports.
+//!
+//! After restart, receive wrappers consult the pool **before** the network,
+//! in FIFO order, preserving MPI's non-overtaking guarantee across the
+//! checkpoint boundary.
+
+use std::collections::VecDeque;
+
+use dmtcp_sim::codec::{CodecError, Reader, Writer};
+use mpi_abi::{consts, Handle};
+
+/// A message caught in flight at checkpoint time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PooledMsg {
+    /// Virtual id of the communicator it was sent on.
+    pub vcomm: Handle,
+    /// Source rank *within that communicator*.
+    pub src: i32,
+    /// Message tag.
+    pub tag: i32,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// FIFO pool of drained messages.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DrainPool {
+    msgs: VecDeque<PooledMsg>,
+}
+
+impl DrainPool {
+    /// Empty pool.
+    pub fn new() -> DrainPool {
+        DrainPool::default()
+    }
+
+    /// Number of pooled messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether the pool is empty (the common case outside restarts).
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Total pooled payload bytes (image size accounting).
+    pub fn total_bytes(&self) -> usize {
+        self.msgs.iter().map(|m| m.payload.len()).sum()
+    }
+
+    /// Add a drained message (checkpoint path).
+    pub fn push(&mut self, msg: PooledMsg) {
+        self.msgs.push_back(msg);
+    }
+
+    /// Take the first message matching (communicator, source, tag), where
+    /// source/tag accept the standard wildcards. FIFO order.
+    pub fn take_match(&mut self, vcomm: Handle, src: i32, tag: i32) -> Option<PooledMsg> {
+        let pos = self.msgs.iter().position(|m| {
+            m.vcomm == vcomm
+                && (src == consts::ANY_SOURCE || m.src == src)
+                && (tag == consts::ANY_TAG || m.tag == tag)
+        })?;
+        self.msgs.remove(pos)
+    }
+
+    /// Peek (probe semantics): like [`DrainPool::take_match`] but
+    /// non-consuming.
+    pub fn peek_match(&self, vcomm: Handle, src: i32, tag: i32) -> Option<&PooledMsg> {
+        self.msgs.iter().find(|m| {
+            m.vcomm == vcomm
+                && (src == consts::ANY_SOURCE || m.src == src)
+                && (tag == consts::ANY_TAG || m.tag == tag)
+        })
+    }
+
+    /// Serialize.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u64(self.msgs.len() as u64);
+        for m in &self.msgs {
+            w.u64(m.vcomm.raw());
+            w.i32(m.src);
+            w.i32(m.tag);
+            w.bytes(&m.payload);
+        }
+    }
+
+    /// Deserialize.
+    pub fn decode(r: &mut Reader<'_>) -> Result<DrainPool, CodecError> {
+        let count = r.u64()?;
+        if count > 1 << 24 {
+            return Err(CodecError::LengthOutOfBounds(count));
+        }
+        let mut msgs = VecDeque::with_capacity(count as usize);
+        for _ in 0..count {
+            msgs.push_back(PooledMsg {
+                vcomm: Handle::from_raw(r.u64()?),
+                src: r.i32()?,
+                tag: r.i32()?,
+                payload: r.bytes()?.to_vec(),
+            });
+        }
+        Ok(DrainPool { msgs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: i32, tag: i32, byte: u8) -> PooledMsg {
+        PooledMsg { vcomm: Handle::COMM_WORLD, src, tag, payload: vec![byte; 4] }
+    }
+
+    #[test]
+    fn fifo_matching_with_wildcards() {
+        let mut p = DrainPool::new();
+        p.push(msg(0, 1, 0xA));
+        p.push(msg(1, 1, 0xB));
+        p.push(msg(0, 2, 0xC));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.total_bytes(), 12);
+        // Wildcard source takes arrival order.
+        let first = p.take_match(Handle::COMM_WORLD, consts::ANY_SOURCE, 1).unwrap();
+        assert_eq!(first.payload[0], 0xA);
+        // Specific source skips non-matching entries.
+        let c = p.take_match(Handle::COMM_WORLD, 0, consts::ANY_TAG).unwrap();
+        assert_eq!(c.payload[0], 0xC);
+        // Peek does not consume.
+        assert!(p.peek_match(Handle::COMM_WORLD, 1, 1).is_some());
+        assert_eq!(p.len(), 1);
+        // Wrong communicator: no match.
+        assert!(p.take_match(Handle::COMM_SELF, consts::ANY_SOURCE, consts::ANY_TAG).is_none());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut p = DrainPool::new();
+        p.push(msg(3, 9, 0x7));
+        p.push(PooledMsg {
+            vcomm: Handle::dynamic(mpi_abi::HandleKind::Comm, 0x1000),
+            src: 0,
+            tag: 0,
+            payload: vec![],
+        });
+        let mut w = Writer::new();
+        p.encode(&mut w);
+        let buf = w.finish();
+        let mut r = Reader::checked(&buf).unwrap();
+        let back = DrainPool::decode(&mut r).unwrap();
+        assert_eq!(p, back);
+    }
+}

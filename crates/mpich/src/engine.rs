@@ -1,0 +1,285 @@
+//! The matching engine: MPICH-flavour progress and (context, source, tag)
+//! matching over the raw FIFO transport.
+//!
+//! Real MPI libraries keep an *unexpected message queue* per process; posted
+//! receives first search it, then block on the network. We do exactly that.
+//! Matching scans in arrival order, which — combined with the fabric's
+//! per-pair FIFO guarantee — yields MPI's non-overtaking semantics.
+
+use std::collections::VecDeque;
+
+use simnet::{Envelope, RankCtx, SimError, SimResult, VirtualTime};
+
+/// An envelope that has been pulled off the wire, with its computed arrival
+/// time (the receiver's jitter is applied exactly once, at pull time).
+#[derive(Debug, Clone)]
+pub struct Arrived {
+    /// The message.
+    pub env: Envelope,
+    /// When it reached this rank.
+    pub arrival: VirtualTime,
+}
+
+/// Source selector for matching (already translated to world ranks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcSel {
+    /// Match any source (`MPI_ANY_SOURCE`).
+    Any,
+    /// Match a specific world rank.
+    World(usize),
+}
+
+/// Tag selector for matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match any tag (`MPI_ANY_TAG`).
+    Any,
+    /// Match a specific tag.
+    Is(i32),
+}
+
+/// The per-process matching engine.
+#[derive(Default)]
+pub struct MatchEngine {
+    unexpected: VecDeque<Arrived>,
+    /// ch3:sock progress-engine latency added to small inter-node
+    /// messages (see [`crate::tuning::Tuning::sock_small_latency`]).
+    sock_small_latency: VirtualTime,
+    /// Payloads up to this size pay `sock_small_latency`.
+    sock_small_max: usize,
+}
+
+impl MatchEngine {
+    /// Create an empty engine.
+    pub fn new() -> MatchEngine {
+        MatchEngine::default()
+    }
+
+    /// Configure the sock-channel small-message latency model.
+    pub fn with_sock_latency(latency: VirtualTime, max_bytes: usize) -> MatchEngine {
+        MatchEngine {
+            unexpected: VecDeque::new(),
+            sock_small_latency: latency,
+            sock_small_max: max_bytes,
+        }
+    }
+
+    /// Arrival time of an envelope at this rank, including the sock
+    /// channel's wakeup latency for small inter-node messages.
+    fn arrived(&self, ctx: &RankCtx, env: Envelope) -> Arrived {
+        let mut arrival = ctx.arrival_time(&env);
+        if env.payload.len() <= self.sock_small_max
+            && ctx.spec().link_class(env.src, ctx.rank()) == simnet::LinkClass::InterNode
+        {
+            arrival += self.sock_small_latency;
+        }
+        Arrived { env, arrival }
+    }
+
+    /// Number of queued unexpected messages (diagnostics / drain).
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    fn matches(a: &Arrived, ctx_id: u64, src: SrcSel, tag: TagSel) -> bool {
+        a.env.ctx_id == ctx_id
+            && match src {
+                SrcSel::Any => true,
+                SrcSel::World(w) => a.env.src == w,
+            }
+            && match tag {
+                TagSel::Any => true,
+                TagSel::Is(t) => a.env.tag == t,
+            }
+    }
+
+    /// Pull everything currently available off the wire into the
+    /// unexpected queue (non-blocking).
+    pub fn pump(&mut self, ctx: &RankCtx) -> SimResult<()> {
+        while let Some(env) = ctx.endpoint().poll_raw()? {
+            let a = self.arrived(ctx, env);
+            self.unexpected.push_back(a);
+        }
+        Ok(())
+    }
+
+    fn find(&self, ctx_id: u64, src: SrcSel, tag: TagSel) -> Option<usize> {
+        self.unexpected.iter().position(|a| Self::matches(a, ctx_id, src, tag))
+    }
+
+    /// Non-blocking match: returns the first matching message in arrival
+    /// order, if one is already here.
+    pub fn match_nonblocking(
+        &mut self,
+        ctx: &RankCtx,
+        ctx_id: u64,
+        src: SrcSel,
+        tag: TagSel,
+    ) -> SimResult<Option<Arrived>> {
+        self.pump(ctx)?;
+        let found = self.find(ctx_id, src, tag).and_then(|i| self.unexpected.remove(i));
+        if let Some(a) = &found {
+            ctx.count_recv(a.env.len());
+        }
+        Ok(found)
+    }
+
+    /// Blocking match: waits for a matching message.
+    pub fn match_blocking(
+        &mut self,
+        ctx: &RankCtx,
+        ctx_id: u64,
+        src: SrcSel,
+        tag: TagSel,
+    ) -> SimResult<Arrived> {
+        loop {
+            if let Some(found) = self.match_nonblocking(ctx, ctx_id, src, tag)? {
+                return Ok(found);
+            }
+            // Nothing queued: block for the next wire message, then retry.
+            let env = ctx.endpoint().recv_raw()?;
+            let a = self.arrived(ctx, env);
+            self.unexpected.push_back(a);
+        }
+    }
+
+    /// Non-blocking peek (for `MPI_Iprobe`): like match, but leaves the
+    /// message queued.
+    pub fn peek_nonblocking(
+        &mut self,
+        ctx: &RankCtx,
+        ctx_id: u64,
+        src: SrcSel,
+        tag: TagSel,
+    ) -> SimResult<Option<Arrived>> {
+        self.pump(ctx)?;
+        Ok(self.find(ctx_id, src, tag).map(|i| self.unexpected[i].clone()))
+    }
+
+    /// Blocking peek (for `MPI_Probe`).
+    pub fn peek_blocking(
+        &mut self,
+        ctx: &RankCtx,
+        ctx_id: u64,
+        src: SrcSel,
+        tag: TagSel,
+    ) -> SimResult<Arrived> {
+        loop {
+            if let Some(found) = self.peek_nonblocking(ctx, ctx_id, src, tag)? {
+                return Ok(found);
+            }
+            let env = ctx.endpoint().recv_raw()?;
+            let a = self.arrived(ctx, env);
+            self.unexpected.push_back(a);
+        }
+    }
+
+    /// Used by fault-tolerant paths: true if the engine would block forever
+    /// because the fabric is gone.
+    pub fn is_disconnected(err: &SimError) -> bool {
+        matches!(err, SimError::Disconnected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use simnet::{ClusterSpec, Fabric, NoiseModel};
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    fn pair() -> (Rc<RankCtx>, Rc<RankCtx>) {
+        let spec = Arc::new(ClusterSpec::builder().nodes(1).ranks_per_node(2).build());
+        let (_fabric, mut eps) = Fabric::new(&spec);
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let c0 = Rc::new(RankCtx::new(0, spec.clone(), ep0, NoiseModel::disabled().stream_for_rank(0)));
+        let c1 = Rc::new(RankCtx::new(1, spec, ep1, NoiseModel::disabled().stream_for_rank(1)));
+        (c0, c1)
+    }
+
+    fn send(c: &RankCtx, dst: usize, ctx_id: u64, tag: i32, data: &[u8]) {
+        c.endpoint().send_raw(dst, ctx_id, tag, Bytes::copy_from_slice(data), c).unwrap();
+    }
+
+    #[test]
+    fn matches_by_context_source_and_tag() {
+        let (c0, c1) = pair();
+        send(&c0, 1, 7, 5, b"wrong ctx");
+        send(&c0, 1, 9, 5, b"right");
+        let mut eng = MatchEngine::new();
+        let got = eng
+            .match_nonblocking(&c1, 9, SrcSel::World(0), TagSel::Is(5))
+            .unwrap()
+            .expect("should match");
+        assert_eq!(&got.env.payload[..], b"right");
+        // The wrong-context message stays queued.
+        assert_eq!(eng.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn nonblocking_miss_returns_none() {
+        let (c0, c1) = pair();
+        send(&c0, 1, 3, 1, b"tag one");
+        let mut eng = MatchEngine::new();
+        assert!(eng
+            .match_nonblocking(&c1, 3, SrcSel::World(0), TagSel::Is(2))
+            .unwrap()
+            .is_none());
+        assert_eq!(eng.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn wildcard_source_and_tag() {
+        let (c0, c1) = pair();
+        send(&c0, 1, 3, 42, b"first");
+        send(&c0, 1, 3, 43, b"second");
+        let mut eng = MatchEngine::new();
+        let a = eng.match_nonblocking(&c1, 3, SrcSel::Any, TagSel::Any).unwrap().unwrap();
+        assert_eq!(&a.env.payload[..], b"first", "arrival order respected");
+        let b = eng.match_nonblocking(&c1, 3, SrcSel::Any, TagSel::Any).unwrap().unwrap();
+        assert_eq!(&b.env.payload[..], b"second");
+    }
+
+    #[test]
+    fn fifo_non_overtaking_same_tag() {
+        let (c0, c1) = pair();
+        for i in 0..8u8 {
+            send(&c0, 1, 3, 7, &[i]);
+        }
+        let mut eng = MatchEngine::new();
+        for i in 0..8u8 {
+            let got =
+                eng.match_blocking(&c1, 3, SrcSel::World(0), TagSel::Is(7)).unwrap();
+            assert_eq!(got.env.payload[0], i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let (c0, c1) = pair();
+        send(&c0, 1, 3, 7, b"peeked");
+        let mut eng = MatchEngine::new();
+        let p = eng
+            .peek_nonblocking(&c1, 3, SrcSel::World(0), TagSel::Is(7))
+            .unwrap()
+            .unwrap();
+        assert_eq!(&p.env.payload[..], b"peeked");
+        assert_eq!(eng.unexpected_len(), 1);
+        let m = eng.match_blocking(&c1, 3, SrcSel::World(0), TagSel::Is(7)).unwrap();
+        assert_eq!(&m.env.payload[..], b"peeked");
+        assert_eq!(eng.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn arrival_time_recorded_once() {
+        let (c0, c1) = pair();
+        send(&c0, 1, 3, 7, b"x");
+        let mut eng = MatchEngine::new();
+        let p = eng.peek_nonblocking(&c1, 3, SrcSel::Any, TagSel::Any).unwrap().unwrap();
+        let m = eng.match_nonblocking(&c1, 3, SrcSel::Any, TagSel::Any).unwrap().unwrap();
+        assert_eq!(p.arrival, m.arrival, "jitter must be drawn exactly once per message");
+        assert!(m.arrival >= c1.spec().link_between(0, 1).alpha);
+    }
+}

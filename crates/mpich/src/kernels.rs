@@ -1,0 +1,192 @@
+//! Reduction arithmetic on raw byte buffers.
+//!
+//! All wire data is little-endian (the simulated cluster is x86-64, like the
+//! paper's). Each vendor library carries its own copy of these kernels —
+//! independent implementations, as in reality.
+
+use crate::mpih::{self, MpiOp};
+
+/// The element kind a reduction operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemKind {
+    /// Signed integers of width 1, 2, 4, 8.
+    Int(usize),
+    /// Unsigned integers of width 1, 2, 4, 8.
+    Uint(usize),
+    /// IEEE-754 floats of width 4 or 8.
+    Float(usize),
+}
+
+impl ElemKind {
+    /// Element width in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            ElemKind::Int(s) | ElemKind::Uint(s) | ElemKind::Float(s) => s,
+        }
+    }
+
+    /// Kind for a predefined MPICH datatype handle.
+    pub fn of_builtin(dt: mpih::MpiDatatype) -> Option<ElemKind> {
+        Some(match dt {
+            mpih::MPI_BYTE | mpih::MPI_CHAR | mpih::MPI_UINT8_T => ElemKind::Uint(1),
+            mpih::MPI_INT8_T => ElemKind::Int(1),
+            mpih::MPI_INT16_T => ElemKind::Int(2),
+            mpih::MPI_UINT16_T => ElemKind::Uint(2),
+            mpih::MPI_INT => ElemKind::Int(4),
+            mpih::MPI_UINT32_T => ElemKind::Uint(4),
+            mpih::MPI_INT64_T => ElemKind::Int(8),
+            mpih::MPI_UINT64_T => ElemKind::Uint(8),
+            mpih::MPI_FLOAT => ElemKind::Float(4),
+            mpih::MPI_DOUBLE => ElemKind::Float(8),
+            _ => return None,
+        })
+    }
+}
+
+macro_rules! combine_as {
+    ($ty:ty, $acc:expr, $other:expr, $f:expr) => {{
+        const W: usize = std::mem::size_of::<$ty>();
+        for (a, b) in $acc.chunks_exact_mut(W).zip($other.chunks_exact(W)) {
+            let x = <$ty>::from_le_bytes(a.try_into().unwrap());
+            let y = <$ty>::from_le_bytes(b.try_into().unwrap());
+            let f: fn($ty, $ty) -> $ty = $f;
+            a.copy_from_slice(&f(x, y).to_le_bytes());
+        }
+    }};
+}
+
+macro_rules! int_ops {
+    ($ty:ty, $op:expr, $acc:expr, $other:expr) => {
+        match $op {
+            mpih::MPI_SUM => combine_as!($ty, $acc, $other, |x, y| x.wrapping_add(y)),
+            mpih::MPI_PROD => combine_as!($ty, $acc, $other, |x, y| x.wrapping_mul(y)),
+            mpih::MPI_MIN => combine_as!($ty, $acc, $other, |x, y| x.min(y)),
+            mpih::MPI_MAX => combine_as!($ty, $acc, $other, |x, y| x.max(y)),
+            mpih::MPI_LAND => {
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0) && (y != 0)) as $ty)
+            }
+            mpih::MPI_LOR => combine_as!($ty, $acc, $other, |x, y| ((x != 0) || (y != 0)) as $ty),
+            mpih::MPI_LXOR => {
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0) ^ (y != 0)) as $ty)
+            }
+            mpih::MPI_BAND => combine_as!($ty, $acc, $other, |x, y| x & y),
+            mpih::MPI_BOR => combine_as!($ty, $acc, $other, |x, y| x | y),
+            mpih::MPI_BXOR => combine_as!($ty, $acc, $other, |x, y| x ^ y),
+            _ => return Err(mpih::MPI_ERR_OP),
+        }
+    };
+}
+
+macro_rules! float_ops {
+    ($ty:ty, $op:expr, $acc:expr, $other:expr) => {
+        match $op {
+            mpih::MPI_SUM => combine_as!($ty, $acc, $other, |x, y| x + y),
+            mpih::MPI_PROD => combine_as!($ty, $acc, $other, |x, y| x * y),
+            mpih::MPI_MIN => combine_as!($ty, $acc, $other, |x, y| x.min(y)),
+            mpih::MPI_MAX => combine_as!($ty, $acc, $other, |x, y| x.max(y)),
+            mpih::MPI_LAND => {
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) && (y != 0.0)) as u8 as $ty)
+            }
+            mpih::MPI_LOR => {
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) || (y != 0.0)) as u8 as $ty)
+            }
+            mpih::MPI_LXOR => {
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) ^ (y != 0.0)) as u8 as $ty)
+            }
+            _ => return Err(mpih::MPI_ERR_OP),
+        }
+    };
+}
+
+/// Element-wise `acc = op(acc, other)` for a predefined op.
+///
+/// `acc` and `other` must be equal-length multiples of the element size.
+pub fn combine(op: MpiOp, kind: ElemKind, acc: &mut [u8], other: &[u8]) -> mpih::MpichResult<()> {
+    if acc.len() != other.len() || !acc.len().is_multiple_of(kind.size()) {
+        return Err(mpih::MPI_ERR_COUNT);
+    }
+    match kind {
+        ElemKind::Int(1) => int_ops!(i8, op, acc, other),
+        ElemKind::Int(2) => int_ops!(i16, op, acc, other),
+        ElemKind::Int(4) => int_ops!(i32, op, acc, other),
+        ElemKind::Int(8) => int_ops!(i64, op, acc, other),
+        ElemKind::Uint(1) => int_ops!(u8, op, acc, other),
+        ElemKind::Uint(2) => int_ops!(u16, op, acc, other),
+        ElemKind::Uint(4) => int_ops!(u32, op, acc, other),
+        ElemKind::Uint(8) => int_ops!(u64, op, acc, other),
+        ElemKind::Float(4) => float_ops!(f32, op, acc, other),
+        ElemKind::Float(8) => float_ops!(f64, op, acc, other),
+        _ => return Err(mpih::MPI_ERR_TYPE),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f64s(xs: &[f64]) -> Vec<u8> {
+        xs.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+
+    fn to_f64s(b: &[u8]) -> Vec<f64> {
+        b.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+    }
+
+    #[test]
+    fn f64_sum_and_max() {
+        let mut acc = f64s(&[1.0, 2.0, 3.0]);
+        combine(mpih::MPI_SUM, ElemKind::Float(8), &mut acc, &f64s(&[10.0, 20.0, 30.0])).unwrap();
+        assert_eq!(to_f64s(&acc), vec![11.0, 22.0, 33.0]);
+        combine(mpih::MPI_MAX, ElemKind::Float(8), &mut acc, &f64s(&[100.0, 0.0, 100.0])).unwrap();
+        assert_eq!(to_f64s(&acc), vec![100.0, 22.0, 100.0]);
+    }
+
+    #[test]
+    fn i32_wrapping_sum_and_bitwise() {
+        let mut acc = i32::MAX.to_le_bytes().to_vec();
+        combine(mpih::MPI_SUM, ElemKind::Int(4), &mut acc, &1i32.to_le_bytes()).unwrap();
+        assert_eq!(i32::from_le_bytes(acc[..].try_into().unwrap()), i32::MIN);
+        let mut acc = 0b1100i32.to_le_bytes().to_vec();
+        combine(mpih::MPI_BAND, ElemKind::Int(4), &mut acc, &0b1010i32.to_le_bytes()).unwrap();
+        assert_eq!(i32::from_le_bytes(acc[..].try_into().unwrap()), 0b1000);
+    }
+
+    #[test]
+    fn logical_ops_normalize_to_zero_one() {
+        let mut acc = 5i32.to_le_bytes().to_vec();
+        combine(mpih::MPI_LAND, ElemKind::Int(4), &mut acc, &3i32.to_le_bytes()).unwrap();
+        assert_eq!(i32::from_le_bytes(acc[..].try_into().unwrap()), 1);
+        let mut acc = 0i32.to_le_bytes().to_vec();
+        combine(mpih::MPI_LOR, ElemKind::Int(4), &mut acc, &0i32.to_le_bytes()).unwrap();
+        assert_eq!(i32::from_le_bytes(acc[..].try_into().unwrap()), 0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut acc = vec![0u8; 8];
+        let other = vec![0u8; 16];
+        assert_eq!(
+            combine(mpih::MPI_SUM, ElemKind::Float(8), &mut acc, &other),
+            Err(mpih::MPI_ERR_COUNT)
+        );
+    }
+
+    #[test]
+    fn bitwise_on_floats_rejected() {
+        let mut acc = f64s(&[1.0]);
+        let other = f64s(&[2.0]);
+        assert_eq!(
+            combine(mpih::MPI_BAND, ElemKind::Float(8), &mut acc, &other),
+            Err(mpih::MPI_ERR_OP)
+        );
+    }
+
+    #[test]
+    fn builtin_kind_mapping() {
+        assert_eq!(ElemKind::of_builtin(mpih::MPI_DOUBLE), Some(ElemKind::Float(8)));
+        assert_eq!(ElemKind::of_builtin(mpih::MPI_INT), Some(ElemKind::Int(4)));
+        assert_eq!(ElemKind::of_builtin(mpih::MPI_BYTE), Some(ElemKind::Uint(1)));
+        assert_eq!(ElemKind::of_builtin(0x1234), None);
+    }
+}

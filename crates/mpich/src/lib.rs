@@ -1,0 +1,39 @@
+//! # mpich-sim — an MPICH-flavoured MPI implementation
+//!
+//! One of the two **vendor MPI libraries** of the reproduction (the other is
+//! `ompi-sim`). Its job is to be a complete, working MPI with the MPICH
+//! family's characteristic choices:
+//!
+//! * **Native ABI** ([`mpih`]): 32-bit *integer* handles with bit-packed
+//!   kind/size fields, MPICH constant values (`MPI_ANY_SOURCE = -2`, …) and
+//!   MPICH's `MPI_Status` layout. This ABI is deliberately incompatible with
+//!   `ompi-sim`'s pointer-style ABI — the incompatibility the paper's
+//!   standard-ABI + Mukautuva stack exists to bridge.
+//! * **Collective algorithms** ([`coll`]): Bruck and pairwise-exchange
+//!   alltoall, binomial and van de Geijn broadcast, recursive-doubling and
+//!   Rabenseifner allreduce — the MPICH lineage, with MPICH-like switchover
+//!   thresholds ([`tuning::Tuning`]).
+//! * **Its own progress engine** ([`engine`]): unexpected-message queue and
+//!   (context, source, tag) matching above the raw transport.
+//!
+//! The library is instantiated per rank ([`MpichProcess::init`]) inside a
+//! `simnet` world and charges all costs to the rank's virtual clock.
+//!
+//! This crate knows nothing about the standard ABI, Mukautuva, or MANA:
+//! dependency-wise it sits at the bottom of the stool, exactly like a real
+//! vendor MPI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coll;
+pub mod engine;
+pub mod kernels;
+pub mod mpih;
+pub mod objects;
+pub mod proc;
+pub mod tuning;
+
+pub use objects::MpichUserFn;
+pub use proc::MpichProcess;
+pub use tuning::Tuning;

@@ -1,0 +1,105 @@
+//! Bidirectional handle table used by the wrap libraries.
+//!
+//! Maps standard-ABI dynamic handle slots to vendor-native handles and
+//! back. Slot allocation is monotonic (never reused) so the mapping stays
+//! deterministic across a MANA replay.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use mpi_abi::{Handle, HandleKind};
+
+/// A bidirectional map between standard dynamic handles (of one kind) and
+/// native handles of type `N`.
+pub(crate) struct BiMap<N> {
+    kind: HandleKind,
+    to_native: HashMap<u32, N>,
+    from_native: HashMap<N, u32>,
+    next_slot: u32,
+}
+
+impl<N: Copy + Eq + Hash> BiMap<N> {
+    pub(crate) fn new(kind: HandleKind) -> BiMap<N> {
+        BiMap {
+            kind,
+            to_native: HashMap::new(),
+            from_native: HashMap::new(),
+            next_slot: Handle::FIRST_DYNAMIC_INDEX,
+        }
+    }
+
+    /// Register a native handle, returning its standard handle (idempotent:
+    /// re-registering returns the existing mapping).
+    pub(crate) fn intern(&mut self, native: N) -> Handle {
+        if let Some(&slot) = self.from_native.get(&native) {
+            return Handle::dynamic(self.kind, slot);
+        }
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.to_native.insert(slot, native);
+        self.from_native.insert(native, slot);
+        Handle::dynamic(self.kind, slot)
+    }
+
+    /// Resolve a standard handle to its native handle.
+    pub(crate) fn native_of(&self, h: Handle) -> Option<N> {
+        if h.kind() != self.kind {
+            return None;
+        }
+        self.to_native.get(&h.index()).copied()
+    }
+
+    /// Remove a mapping (on free/completion). Returns the native handle.
+    pub(crate) fn remove(&mut self, h: Handle) -> Option<N> {
+        if h.kind() != self.kind {
+            return None;
+        }
+        let native = self.to_native.remove(&h.index())?;
+        self.from_native.remove(&native);
+        Some(native)
+    }
+
+    /// Number of live mappings (diagnostics; exercised by tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.to_native.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_bijective() {
+        let mut m: BiMap<i32> = BiMap::new(HandleKind::Comm);
+        let a = m.intern(0x4400_1234);
+        let b = m.intern(0x4400_5678);
+        assert_ne!(a, b);
+        assert_eq!(m.intern(0x4400_1234), a);
+        assert_eq!(m.native_of(a), Some(0x4400_1234));
+        assert_eq!(m.native_of(b), Some(0x4400_5678));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn remove_clears_both_directions() {
+        let mut m: BiMap<i32> = BiMap::new(HandleKind::Request);
+        let a = m.intern(7);
+        assert_eq!(m.remove(a), Some(7));
+        assert_eq!(m.native_of(a), None);
+        assert_eq!(m.remove(a), None);
+        // Slot is not recycled.
+        let b = m.intern(7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let mut m: BiMap<i32> = BiMap::new(HandleKind::Comm);
+        let a = m.intern(1);
+        let wrong = Handle::dynamic(HandleKind::Datatype, a.index());
+        assert_eq!(m.native_of(wrong), None);
+        assert_eq!(m.remove(wrong), None);
+    }
+}

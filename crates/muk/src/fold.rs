@@ -1,0 +1,177 @@
+//! Canonical (rank-ordered) reduction folding for the shim's
+//! deterministic-reductions mode.
+//!
+//! Different MPI implementations associate floating-point reductions
+//! differently (recursive doubling vs ring vs Rabenseifner), so the same
+//! `MPI_Allreduce` can return different final bits under MPICH and
+//! Open MPI — a real portability wart the MPI Forum's ABI discussions
+//! call out, and one this repository's cross-vendor restart tests run
+//! straight into. [`crate::MukShim`] can therefore route reductions
+//! through a **canonical order**: gather all contributions, fold them in
+//! world-rank order (a plain left fold, rank 0 first), and distribute the
+//! result. The answer is then a pure function of the inputs — identical
+//! bits under every vendor — at the price of a less scalable algorithm.
+//!
+//! This module provides the fold kernel on standard-ABI types. It
+//! deliberately supports only predefined datatypes and operations: user
+//! ops and derived types fall back to the vendor's native reduction
+//! (MPI already requires user ops to tolerate implementation-defined
+//! association).
+
+use mpi_abi::{AbiError, AbiResult, Datatype, ReduceOp};
+
+macro_rules! fold_as {
+    ($ty:ty, $acc:expr, $next:expr, $f:expr) => {{
+        const W: usize = std::mem::size_of::<$ty>();
+        for (a, b) in $acc.chunks_exact_mut(W).zip($next.chunks_exact(W)) {
+            let x = <$ty>::from_le_bytes(a.try_into().expect("chunk width"));
+            let y = <$ty>::from_le_bytes(b.try_into().expect("chunk width"));
+            let f: fn($ty, $ty) -> $ty = $f;
+            a.copy_from_slice(&f(x, y).to_le_bytes());
+        }
+    }};
+}
+
+macro_rules! int_fold {
+    ($ty:ty, $op:expr, $acc:expr, $next:expr) => {
+        match $op {
+            ReduceOp::Sum => fold_as!($ty, $acc, $next, |x, y| x.wrapping_add(y)),
+            ReduceOp::Prod => fold_as!($ty, $acc, $next, |x, y| x.wrapping_mul(y)),
+            ReduceOp::Min => fold_as!($ty, $acc, $next, |x, y| x.min(y)),
+            ReduceOp::Max => fold_as!($ty, $acc, $next, |x, y| x.max(y)),
+            ReduceOp::Land => fold_as!($ty, $acc, $next, |x, y| ((x != 0) && (y != 0)) as $ty),
+            ReduceOp::Lor => fold_as!($ty, $acc, $next, |x, y| ((x != 0) || (y != 0)) as $ty),
+            ReduceOp::Lxor => fold_as!($ty, $acc, $next, |x, y| ((x != 0) ^ (y != 0)) as $ty),
+            ReduceOp::Band => fold_as!($ty, $acc, $next, |x, y| x & y),
+            ReduceOp::Bor => fold_as!($ty, $acc, $next, |x, y| x | y),
+            ReduceOp::Bxor => fold_as!($ty, $acc, $next, |x, y| x ^ y),
+        }
+    };
+}
+
+macro_rules! float_fold {
+    ($ty:ty, $op:expr, $acc:expr, $next:expr) => {
+        match $op {
+            ReduceOp::Sum => fold_as!($ty, $acc, $next, |x, y| x + y),
+            ReduceOp::Prod => fold_as!($ty, $acc, $next, |x, y| x * y),
+            ReduceOp::Min => fold_as!($ty, $acc, $next, |x, y| x.min(y)),
+            ReduceOp::Max => fold_as!($ty, $acc, $next, |x, y| x.max(y)),
+            ReduceOp::Land => fold_as!($ty, $acc, $next, |x, y| ((x != 0.0) && (y != 0.0)) as u8 as $ty),
+            ReduceOp::Lor => fold_as!($ty, $acc, $next, |x, y| ((x != 0.0) || (y != 0.0)) as u8 as $ty),
+            ReduceOp::Lxor => fold_as!($ty, $acc, $next, |x, y| ((x != 0.0) ^ (y != 0.0)) as u8 as $ty),
+            // Bitwise ops are undefined on floats in MPI.
+            ReduceOp::Band | ReduceOp::Bor | ReduceOp::Bxor => return Err(AbiError::Op),
+        }
+    };
+}
+
+/// Fold `next` into `acc` (element-wise `acc = op(acc, next)`) on a
+/// predefined datatype. Buffer lengths must match and be whole elements.
+pub fn combine(op: ReduceOp, dt: Datatype, acc: &mut [u8], next: &[u8]) -> AbiResult<()> {
+    if acc.len() != next.len() || !acc.len().is_multiple_of(dt.size()) {
+        return Err(AbiError::Count);
+    }
+    match dt {
+        Datatype::Byte | Datatype::Uint8 | Datatype::Char => int_fold!(u8, op, acc, next),
+        Datatype::Int8 => int_fold!(i8, op, acc, next),
+        Datatype::Int16 => int_fold!(i16, op, acc, next),
+        Datatype::Uint16 => int_fold!(u16, op, acc, next),
+        Datatype::Int32 => int_fold!(i32, op, acc, next),
+        Datatype::Uint32 => int_fold!(u32, op, acc, next),
+        Datatype::Int64 => int_fold!(i64, op, acc, next),
+        Datatype::Uint64 => int_fold!(u64, op, acc, next),
+        Datatype::Float => float_fold!(f32, op, acc, next),
+        Datatype::Double => float_fold!(f64, op, acc, next),
+    }
+    Ok(())
+}
+
+/// Left-fold `n` rank-ordered contributions laid out contiguously in
+/// `gathered` (rank 0's block first) into `out`.
+pub fn fold_ranks(
+    op: ReduceOp,
+    dt: Datatype,
+    gathered: &[u8],
+    n: usize,
+    out: &mut [u8],
+) -> AbiResult<()> {
+    if n == 0 || gathered.len() != out.len() * n {
+        return Err(AbiError::Count);
+    }
+    let block = out.len();
+    out.copy_from_slice(&gathered[..block]);
+    for r in 1..n {
+        combine(op, dt, out, &gathered[r * block..(r + 1) * block])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_sum_folds_in_rank_order() {
+        let gathered: Vec<u8> = [1i32, 2, 3, 4].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut out = [0u8; 4];
+        fold_ranks(ReduceOp::Sum, Datatype::Int32, &gathered, 4, &mut out).unwrap();
+        assert_eq!(i32::from_le_bytes(out), 10);
+    }
+
+    #[test]
+    fn float_fold_is_strict_left_fold() {
+        // (a + b) + c with values chosen so association matters:
+        // (1 + 1e16) - 1e16 = 0, but 1 + (1e16 - 1e16) = 1.
+        let vals = [1.0f64, 1.0e16, -1.0e16];
+        let gathered: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut out = [0u8; 8];
+        fold_ranks(ReduceOp::Sum, Datatype::Double, &gathered, 3, &mut out).unwrap();
+        let left = ((vals[0] + vals[1]) + vals[2]).to_bits();
+        assert_eq!(f64::from_le_bytes(out).to_bits(), left);
+        // Any other association gives a different answer on this input.
+        assert_ne!(left, (vals[0] + (vals[1] + vals[2])).to_bits());
+    }
+
+    #[test]
+    fn all_ops_work_on_unsigned() {
+        for op in ReduceOp::ALL {
+            let gathered: Vec<u8> = [0b1100u64, 0b1010].iter().flat_map(|v| v.to_le_bytes()).collect();
+            let mut out = [0u8; 8];
+            fold_ranks(op, Datatype::Uint64, &gathered, 2, &mut out).unwrap();
+            let v = u64::from_le_bytes(out);
+            let expect = match op {
+                ReduceOp::Sum => 0b1100 + 0b1010,
+                ReduceOp::Prod => 0b1100 * 0b1010,
+                ReduceOp::Min => 0b1010,
+                ReduceOp::Max => 0b1100,
+                ReduceOp::Land | ReduceOp::Lor => 1,
+                ReduceOp::Lxor => 0,
+                ReduceOp::Band => 0b1000,
+                ReduceOp::Bor => 0b1110,
+                ReduceOp::Bxor => 0b0110,
+            };
+            assert_eq!(v, expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn bitwise_on_floats_rejected() {
+        let mut out = [0u8; 8];
+        let err = fold_ranks(ReduceOp::Band, Datatype::Double, &[0u8; 16], 2, &mut out);
+        assert_eq!(err, Err(AbiError::Op));
+    }
+
+    #[test]
+    fn length_mismatches_rejected() {
+        let mut out = [0u8; 8];
+        assert_eq!(
+            fold_ranks(ReduceOp::Sum, Datatype::Double, &[0u8; 12], 2, &mut out),
+            Err(AbiError::Count)
+        );
+        let mut acc = [0u8; 7];
+        assert_eq!(
+            combine(ReduceOp::Sum, Datatype::Double, &mut acc, &[0u8; 7]),
+            Err(AbiError::Count)
+        );
+    }
+}

@@ -1,0 +1,485 @@
+//! `libmpich-wrap.so`: the wrap library that makes the MPICH-flavoured
+//! vendor library speak the standard ABI.
+//!
+//! "Compiled against MPICH's headers" — i.e. this module is the only place
+//! outside the vendor crate that knows MPICH's native handle encodings,
+//! constants, status layout, and error codes. Every standard-ABI call is
+//! translated argument by argument, exactly the per-call work real
+//! Mukautuva wrap libraries do.
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use mpi_abi::{consts, AbiError, AbiResult, AbiStatus, Datatype, Handle, HandleKind, MpiAbi, ReduceOp, UserOpFn};
+use mpich_sim::{mpih, MpichProcess};
+use simnet::RankCtx;
+
+use crate::bimap::BiMap;
+
+/// Translate a native MPICH error code to a standard error class.
+fn err_from_native(code: i32) -> AbiError {
+    match code {
+        mpih::MPI_ERR_BUFFER => AbiError::Buffer,
+        mpih::MPI_ERR_COUNT => AbiError::Count,
+        mpih::MPI_ERR_TYPE => AbiError::Datatype,
+        mpih::MPI_ERR_TAG => AbiError::Tag,
+        mpih::MPI_ERR_COMM => AbiError::Comm,
+        mpih::MPI_ERR_RANK => AbiError::Rank,
+        mpih::MPI_ERR_ROOT => AbiError::Root,
+        mpih::MPI_ERR_GROUP => AbiError::Group,
+        mpih::MPI_ERR_OP => AbiError::Op,
+        mpih::MPI_ERR_REQUEST => AbiError::Request,
+        mpih::MPI_ERR_TRUNCATE => AbiError::Truncate,
+        mpih::MPI_ERR_ARG => AbiError::Arg,
+        mpih::MPI_ERR_INTERN => AbiError::Intern,
+        mpih::MPI_ERR_PROC_FAILED => AbiError::ProcFailed,
+        mpih::MPI_ERR_SHUTDOWN => AbiError::Shutdown,
+        mpih::MPI_ERR_FINALIZED => AbiError::Finalized,
+        _ => AbiError::Other,
+    }
+}
+
+/// The predefined datatype translation table (standard → native).
+fn dtype_native_of(d: Datatype) -> mpih::MpiDatatype {
+    match d {
+        Datatype::Byte => mpih::MPI_BYTE,
+        Datatype::Char => mpih::MPI_CHAR,
+        Datatype::Int8 => mpih::MPI_INT8_T,
+        Datatype::Uint8 => mpih::MPI_UINT8_T,
+        Datatype::Int16 => mpih::MPI_INT16_T,
+        Datatype::Uint16 => mpih::MPI_UINT16_T,
+        Datatype::Int32 => mpih::MPI_INT,
+        Datatype::Uint32 => mpih::MPI_UINT32_T,
+        Datatype::Int64 => mpih::MPI_INT64_T,
+        Datatype::Uint64 => mpih::MPI_UINT64_T,
+        Datatype::Float => mpih::MPI_FLOAT,
+        Datatype::Double => mpih::MPI_DOUBLE,
+    }
+}
+
+/// The predefined reduction-op translation table (standard → native).
+fn op_native_of(op: ReduceOp) -> mpih::MpiOp {
+    match op {
+        ReduceOp::Sum => mpih::MPI_SUM,
+        ReduceOp::Prod => mpih::MPI_PROD,
+        ReduceOp::Min => mpih::MPI_MIN,
+        ReduceOp::Max => mpih::MPI_MAX,
+        ReduceOp::Land => mpih::MPI_LAND,
+        ReduceOp::Lor => mpih::MPI_LOR,
+        ReduceOp::Lxor => mpih::MPI_LXOR,
+        ReduceOp::Band => mpih::MPI_BAND,
+        ReduceOp::Bor => mpih::MPI_BOR,
+        ReduceOp::Bxor => mpih::MPI_BXOR,
+    }
+}
+
+/// The MPICH wrap library.
+pub struct MpichWrap {
+    native: MpichProcess,
+    comms: BiMap<mpih::MpiComm>,
+    dtypes: BiMap<mpih::MpiDatatype>,
+    ops: BiMap<mpih::MpiOp>,
+    reqs: BiMap<mpih::MpiRequest>,
+}
+
+impl MpichWrap {
+    /// "Load" the wrap library: initialize the vendor library underneath.
+    pub fn open(ctx: Rc<RankCtx>) -> MpichWrap {
+        MpichWrap {
+            native: MpichProcess::init(ctx),
+            comms: BiMap::new(HandleKind::Comm),
+            dtypes: BiMap::new(HandleKind::Datatype),
+            ops: BiMap::new(HandleKind::Op),
+            reqs: BiMap::new(HandleKind::Request),
+        }
+    }
+
+    /// Open with explicit vendor tuning (ablation benchmarks).
+    pub fn open_with_tuning(ctx: Rc<RankCtx>, tuning: mpich_sim::Tuning) -> MpichWrap {
+        MpichWrap {
+            native: MpichProcess::init_with_tuning(ctx, tuning),
+            comms: BiMap::new(HandleKind::Comm),
+            dtypes: BiMap::new(HandleKind::Datatype),
+            ops: BiMap::new(HandleKind::Op),
+            reqs: BiMap::new(HandleKind::Request),
+        }
+    }
+
+    // ---- argument translation ------------------------------------------
+
+    fn comm_in(&self, h: Handle) -> AbiResult<mpih::MpiComm> {
+        match h {
+            Handle::COMM_WORLD => Ok(mpih::MPI_COMM_WORLD),
+            Handle::COMM_SELF => Ok(mpih::MPI_COMM_SELF),
+            Handle::COMM_NULL => Err(AbiError::Comm),
+            h => self.comms.native_of(h).ok_or(AbiError::Comm),
+        }
+    }
+
+    fn dtype_in(&self, h: Handle) -> AbiResult<mpih::MpiDatatype> {
+        if let Some(d) = Datatype::from_handle(h) {
+            return Ok(dtype_native_of(d));
+        }
+        self.dtypes.native_of(h).ok_or(AbiError::Datatype)
+    }
+
+    fn op_in(&self, h: Handle) -> AbiResult<mpih::MpiOp> {
+        if let Some(op) = ReduceOp::from_handle(h) {
+            return Ok(op_native_of(op));
+        }
+        self.ops.native_of(h).ok_or(AbiError::Op)
+    }
+
+    fn src_in(src: i32) -> i32 {
+        match src {
+            consts::ANY_SOURCE => mpih::MPI_ANY_SOURCE,
+            consts::PROC_NULL => mpih::MPI_PROC_NULL,
+            r => r,
+        }
+    }
+
+    fn dest_in(dest: i32) -> i32 {
+        if dest == consts::PROC_NULL {
+            mpih::MPI_PROC_NULL
+        } else {
+            dest
+        }
+    }
+
+    fn tag_in(tag: i32) -> i32 {
+        if tag == consts::ANY_TAG {
+            mpih::MPI_ANY_TAG
+        } else {
+            tag
+        }
+    }
+
+    fn status_out(st: mpih::MpiStatus) -> AbiStatus {
+        let source = match st.mpi_source {
+            mpih::MPI_PROC_NULL => consts::PROC_NULL,
+            mpih::MPI_ANY_SOURCE => consts::ANY_SOURCE,
+            r => r,
+        };
+        let tag = if st.mpi_tag == mpih::MPI_ANY_TAG { consts::ANY_TAG } else { st.mpi_tag };
+        AbiStatus {
+            source,
+            tag,
+            error: if st.mpi_error == mpih::MPI_SUCCESS {
+                0
+            } else {
+                err_from_native(st.mpi_error).code()
+            },
+            count_bytes: st.count_bytes(),
+        }
+    }
+
+    fn lift<T>(r: Result<T, i32>) -> AbiResult<T> {
+        r.map_err(err_from_native)
+    }
+}
+
+impl MpiAbi for MpichWrap {
+    fn library_version(&self) -> String {
+        self.native.version().to_string()
+    }
+
+    fn finalize(&mut self) -> AbiResult<()> {
+        Self::lift(self.native.finalize())
+    }
+
+    fn is_finalized(&self) -> bool {
+        self.native.is_finalized()
+    }
+
+    fn wtime(&mut self) -> f64 {
+        self.native.wtime()
+    }
+
+    fn comm_size(&mut self, comm: Handle) -> AbiResult<i32> {
+        let c = self.comm_in(comm)?;
+        Self::lift(self.native.comm_size(c))
+    }
+
+    fn comm_rank(&mut self, comm: Handle) -> AbiResult<i32> {
+        let c = self.comm_in(comm)?;
+        Self::lift(self.native.comm_rank(c))
+    }
+
+    fn comm_translate_rank(&mut self, comm: Handle, rank: i32) -> AbiResult<i32> {
+        let c = self.comm_in(comm)?;
+        Self::lift(self.native.comm_translate_rank(c, rank))
+    }
+
+    fn send(&mut self, buf: &[u8], datatype: Handle, dest: i32, tag: i32, comm: Handle) -> AbiResult<()> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        Self::lift(self.native.send(buf, dt, Self::dest_in(dest), tag, c))
+    }
+
+    fn recv(&mut self, buf: &mut [u8], datatype: Handle, src: i32, tag: i32, comm: Handle) -> AbiResult<AbiStatus> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        let st = Self::lift(self.native.recv(buf, dt, Self::src_in(src), Self::tag_in(tag), c))?;
+        Ok(Self::status_out(st))
+    }
+
+    fn isend(&mut self, buf: &[u8], datatype: Handle, dest: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        let req = Self::lift(self.native.isend(buf, dt, Self::dest_in(dest), tag, c))?;
+        Ok(self.reqs.intern(req))
+    }
+
+    fn irecv(&mut self, max_bytes: usize, datatype: Handle, src: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        let req =
+            Self::lift(self.native.irecv(max_bytes, dt, Self::src_in(src), Self::tag_in(tag), c))?;
+        Ok(self.reqs.intern(req))
+    }
+
+    fn wait(&mut self, request: Handle) -> AbiResult<(AbiStatus, Option<Bytes>)> {
+        let native = self.reqs.remove(request).ok_or(AbiError::Request)?;
+        let (st, payload) = Self::lift(self.native.wait(native))?;
+        Ok((Self::status_out(st), payload))
+    }
+
+    fn test(&mut self, request: Handle) -> AbiResult<Option<(AbiStatus, Option<Bytes>)>> {
+        let native = self.reqs.native_of(request).ok_or(AbiError::Request)?;
+        match Self::lift(self.native.test(native))? {
+            None => Ok(None),
+            Some((st, payload)) => {
+                self.reqs.remove(request);
+                Ok(Some((Self::status_out(st), payload)))
+            }
+        }
+    }
+
+    fn sendrecv(
+        &mut self,
+        sendbuf: &[u8],
+        dest: i32,
+        sendtag: i32,
+        recvbuf: &mut [u8],
+        src: i32,
+        recvtag: i32,
+        datatype: Handle,
+        comm: Handle,
+    ) -> AbiResult<AbiStatus> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        let st = Self::lift(self.native.sendrecv(
+            sendbuf,
+            Self::dest_in(dest),
+            sendtag,
+            recvbuf,
+            Self::src_in(src),
+            Self::tag_in(recvtag),
+            dt,
+            c,
+        ))?;
+        Ok(Self::status_out(st))
+    }
+
+    fn probe(&mut self, src: i32, tag: i32, comm: Handle) -> AbiResult<AbiStatus> {
+        let c = self.comm_in(comm)?;
+        let st = Self::lift(self.native.probe(Self::src_in(src), Self::tag_in(tag), c))?;
+        Ok(Self::status_out(st))
+    }
+
+    fn iprobe(&mut self, src: i32, tag: i32, comm: Handle) -> AbiResult<Option<AbiStatus>> {
+        let c = self.comm_in(comm)?;
+        let st = Self::lift(self.native.iprobe(Self::src_in(src), Self::tag_in(tag), c))?;
+        Ok(st.map(Self::status_out))
+    }
+
+    fn barrier(&mut self, comm: Handle) -> AbiResult<()> {
+        let c = self.comm_in(comm)?;
+        Self::lift(self.native.barrier(c))
+    }
+
+    fn bcast(&mut self, buf: &mut [u8], datatype: Handle, root: i32, comm: Handle) -> AbiResult<()> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        Self::lift(self.native.bcast(buf, dt, root, c))
+    }
+
+    fn reduce(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        op: Handle,
+        root: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, o, c) = (self.dtype_in(datatype)?, self.op_in(op)?, self.comm_in(comm)?);
+        Self::lift(self.native.reduce(sendbuf, recvbuf, dt, o, root, c))
+    }
+
+    fn allreduce(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        op: Handle,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, o, c) = (self.dtype_in(datatype)?, self.op_in(op)?, self.comm_in(comm)?);
+        Self::lift(self.native.allreduce(sendbuf, recvbuf, dt, o, c))
+    }
+
+    fn gather(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        root: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        Self::lift(self.native.gather(sendbuf, recvbuf, dt, root, c))
+    }
+
+    fn scatter(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        root: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        Self::lift(self.native.scatter(sendbuf, recvbuf, dt, root, c))
+    }
+
+    fn allgather(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        Self::lift(self.native.allgather(sendbuf, recvbuf, dt, c))
+    }
+
+    fn alltoall(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        Self::lift(self.native.alltoall(sendbuf, recvbuf, dt, c))
+    }
+
+    fn scan(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        op: Handle,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, o, c) = (self.dtype_in(datatype)?, self.op_in(op)?, self.comm_in(comm)?);
+        Self::lift(self.native.scan(sendbuf, recvbuf, dt, o, c))
+    }
+
+    fn comm_dup(&mut self, comm: Handle) -> AbiResult<Handle> {
+        let c = self.comm_in(comm)?;
+        let dup = Self::lift(self.native.comm_dup(c))?;
+        Ok(self.comms.intern(dup))
+    }
+
+    fn comm_split(&mut self, comm: Handle, color: i32, key: i32) -> AbiResult<Handle> {
+        let c = self.comm_in(comm)?;
+        let color = if color == consts::UNDEFINED { mpih::MPI_UNDEFINED } else { color };
+        let sub = Self::lift(self.native.comm_split(c, color, key))?;
+        if sub == mpih::MPI_COMM_NULL {
+            Ok(Handle::COMM_NULL)
+        } else {
+            Ok(self.comms.intern(sub))
+        }
+    }
+
+    fn comm_free(&mut self, comm: Handle) -> AbiResult<()> {
+        let native = self.comms.remove(comm).ok_or(AbiError::Comm)?;
+        Self::lift(self.native.comm_free(native))
+    }
+
+    fn type_size(&mut self, datatype: Handle) -> AbiResult<usize> {
+        let dt = self.dtype_in(datatype)?;
+        Self::lift(self.native.type_size(dt))
+    }
+
+    fn type_contiguous(&mut self, count: i32, oldtype: Handle) -> AbiResult<Handle> {
+        let old = self.dtype_in(oldtype)?;
+        let new = Self::lift(self.native.type_contiguous(count, old))?;
+        Ok(self.dtypes.intern(new))
+    }
+
+    fn type_commit(&mut self, datatype: Handle) -> AbiResult<()> {
+        let dt = self.dtype_in(datatype)?;
+        Self::lift(self.native.type_commit(dt))
+    }
+
+    fn type_free(&mut self, datatype: Handle) -> AbiResult<()> {
+        let native = self.dtypes.remove(datatype).ok_or(AbiError::Datatype)?;
+        Self::lift(self.native.type_free(native))
+    }
+
+    fn op_create(&mut self, function: UserOpFn, commute: bool) -> AbiResult<Handle> {
+        // `UserOpFn` and the vendor's user-fn type have identical shapes;
+        // the function pointer passes straight through, as in C.
+        let native = Self::lift(self.native.op_create(function, commute))?;
+        Ok(self.ops.intern(native))
+    }
+
+    fn op_free(&mut self, op: Handle) -> AbiResult<()> {
+        let native = self.ops.remove(op).ok_or(AbiError::Op)?;
+        Self::lift(self.native.op_free(native))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_translation_tables() {
+        assert_eq!(MpichWrap::src_in(consts::ANY_SOURCE), mpih::MPI_ANY_SOURCE);
+        assert_eq!(MpichWrap::src_in(consts::PROC_NULL), mpih::MPI_PROC_NULL);
+        assert_eq!(MpichWrap::src_in(5), 5);
+        assert_eq!(MpichWrap::dest_in(consts::PROC_NULL), mpih::MPI_PROC_NULL);
+        assert_eq!(MpichWrap::tag_in(consts::ANY_TAG), mpih::MPI_ANY_TAG);
+        assert_eq!(MpichWrap::tag_in(42), 42);
+    }
+
+    #[test]
+    fn status_layout_conversion() {
+        let native = mpih::MpiStatus::for_receive(mpih::MPI_PROC_NULL, 7, 144);
+        let std = MpichWrap::status_out(native);
+        assert_eq!(std.source, consts::PROC_NULL);
+        assert_eq!(std.tag, 7);
+        assert_eq!(std.count_bytes, 144);
+        assert_eq!(std.error, 0);
+    }
+
+    #[test]
+    fn error_code_translation() {
+        assert_eq!(err_from_native(mpih::MPI_ERR_TRUNCATE), AbiError::Truncate);
+        assert_eq!(err_from_native(mpih::MPI_ERR_REQUEST), AbiError::Request);
+        assert_eq!(err_from_native(mpih::MPI_ERR_PROC_FAILED), AbiError::ProcFailed);
+        assert_eq!(err_from_native(9999), AbiError::Other);
+    }
+
+    #[test]
+    fn predefined_dtype_and_op_tables_are_total() {
+        for d in Datatype::ALL {
+            // Every predefined standard type maps to a native type of the
+            // same size (the size is encoded in the MPICH handle).
+            assert_eq!(mpih::builtin_type_size(dtype_native_of(d)), d.size());
+        }
+        let mut natives: Vec<i32> = ReduceOp::ALL.iter().map(|&o| op_native_of(o)).collect();
+        natives.sort_unstable();
+        natives.dedup();
+        assert_eq!(natives.len(), ReduceOp::ALL.len());
+    }
+}

@@ -1,0 +1,476 @@
+//! `libompi-wrap.so`: the wrap library that makes the Open MPI-flavoured
+//! vendor library speak the standard ABI.
+//!
+//! The mirror image of [`crate::mpich_wrap`], compiled against the *other*
+//! vendor's headers: pointer handles instead of integers, swapped wildcard
+//! values (`ANY_SOURCE`/`PROC_NULL`), a different status layout, different
+//! error code values.
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use mpi_abi::{consts, AbiError, AbiResult, AbiStatus, Datatype, Handle, HandleKind, MpiAbi, ReduceOp, UserOpFn};
+use ompi_sim::{ompi_h, OmpiProcess};
+use simnet::RankCtx;
+
+use crate::bimap::BiMap;
+
+/// Translate a native Open MPI error code to a standard error class.
+fn err_from_native(code: i32) -> AbiError {
+    match code {
+        ompi_h::MPI_ERR_BUFFER => AbiError::Buffer,
+        ompi_h::MPI_ERR_COUNT => AbiError::Count,
+        ompi_h::MPI_ERR_TYPE => AbiError::Datatype,
+        ompi_h::MPI_ERR_TAG => AbiError::Tag,
+        ompi_h::MPI_ERR_COMM => AbiError::Comm,
+        ompi_h::MPI_ERR_RANK => AbiError::Rank,
+        ompi_h::MPI_ERR_REQUEST => AbiError::Request,
+        ompi_h::MPI_ERR_ROOT => AbiError::Root,
+        ompi_h::MPI_ERR_GROUP => AbiError::Group,
+        ompi_h::MPI_ERR_OP => AbiError::Op,
+        ompi_h::MPI_ERR_TRUNCATE => AbiError::Truncate,
+        ompi_h::MPI_ERR_ARG => AbiError::Arg,
+        ompi_h::MPI_ERR_INTERN => AbiError::Intern,
+        ompi_h::MPI_ERR_PROC_FAILED => AbiError::ProcFailed,
+        ompi_h::MPI_ERR_SHUTDOWN => AbiError::Shutdown,
+        ompi_h::MPI_ERR_FINALIZED => AbiError::Finalized,
+        _ => AbiError::Other,
+    }
+}
+
+fn dtype_native_of(d: Datatype) -> ompi_h::MpiDatatype {
+    match d {
+        Datatype::Byte => ompi_h::MPI_BYTE,
+        Datatype::Char => ompi_h::MPI_CHAR,
+        Datatype::Int8 => ompi_h::MPI_INT8_T,
+        Datatype::Uint8 => ompi_h::MPI_UINT8_T,
+        Datatype::Int16 => ompi_h::MPI_INT16_T,
+        Datatype::Uint16 => ompi_h::MPI_UINT16_T,
+        Datatype::Int32 => ompi_h::MPI_INT,
+        Datatype::Uint32 => ompi_h::MPI_UINT32_T,
+        Datatype::Int64 => ompi_h::MPI_INT64_T,
+        Datatype::Uint64 => ompi_h::MPI_UINT64_T,
+        Datatype::Float => ompi_h::MPI_FLOAT,
+        Datatype::Double => ompi_h::MPI_DOUBLE,
+    }
+}
+
+fn op_native_of(op: ReduceOp) -> ompi_h::MpiOp {
+    match op {
+        ReduceOp::Sum => ompi_h::MPI_SUM,
+        ReduceOp::Prod => ompi_h::MPI_PROD,
+        ReduceOp::Min => ompi_h::MPI_MIN,
+        ReduceOp::Max => ompi_h::MPI_MAX,
+        ReduceOp::Land => ompi_h::MPI_LAND,
+        ReduceOp::Lor => ompi_h::MPI_LOR,
+        ReduceOp::Lxor => ompi_h::MPI_LXOR,
+        ReduceOp::Band => ompi_h::MPI_BAND,
+        ReduceOp::Bor => ompi_h::MPI_BOR,
+        ReduceOp::Bxor => ompi_h::MPI_BXOR,
+    }
+}
+
+/// The Open MPI wrap library.
+pub struct OmpiWrap {
+    native: OmpiProcess,
+    comms: BiMap<ompi_h::MpiComm>,
+    dtypes: BiMap<ompi_h::MpiDatatype>,
+    ops: BiMap<ompi_h::MpiOp>,
+    reqs: BiMap<ompi_h::MpiRequest>,
+}
+
+impl OmpiWrap {
+    /// "Load" the wrap library.
+    pub fn open(ctx: Rc<RankCtx>) -> OmpiWrap {
+        OmpiWrap {
+            native: OmpiProcess::init(ctx),
+            comms: BiMap::new(HandleKind::Comm),
+            dtypes: BiMap::new(HandleKind::Datatype),
+            ops: BiMap::new(HandleKind::Op),
+            reqs: BiMap::new(HandleKind::Request),
+        }
+    }
+
+    /// Open with explicit vendor tuning.
+    pub fn open_with_tuning(ctx: Rc<RankCtx>, tuning: ompi_sim::Tuning) -> OmpiWrap {
+        OmpiWrap {
+            native: OmpiProcess::init_with_tuning(ctx, tuning),
+            comms: BiMap::new(HandleKind::Comm),
+            dtypes: BiMap::new(HandleKind::Datatype),
+            ops: BiMap::new(HandleKind::Op),
+            reqs: BiMap::new(HandleKind::Request),
+        }
+    }
+
+    fn comm_in(&self, h: Handle) -> AbiResult<ompi_h::MpiComm> {
+        match h {
+            Handle::COMM_WORLD => Ok(ompi_h::MPI_COMM_WORLD),
+            Handle::COMM_SELF => Ok(ompi_h::MPI_COMM_SELF),
+            Handle::COMM_NULL => Err(AbiError::Comm),
+            h => self.comms.native_of(h).ok_or(AbiError::Comm),
+        }
+    }
+
+    fn dtype_in(&self, h: Handle) -> AbiResult<ompi_h::MpiDatatype> {
+        if let Some(d) = Datatype::from_handle(h) {
+            return Ok(dtype_native_of(d));
+        }
+        self.dtypes.native_of(h).ok_or(AbiError::Datatype)
+    }
+
+    fn op_in(&self, h: Handle) -> AbiResult<ompi_h::MpiOp> {
+        if let Some(op) = ReduceOp::from_handle(h) {
+            return Ok(op_native_of(op));
+        }
+        self.ops.native_of(h).ok_or(AbiError::Op)
+    }
+
+    fn src_in(src: i32) -> i32 {
+        match src {
+            consts::ANY_SOURCE => ompi_h::MPI_ANY_SOURCE,
+            consts::PROC_NULL => ompi_h::MPI_PROC_NULL,
+            r => r,
+        }
+    }
+
+    fn dest_in(dest: i32) -> i32 {
+        if dest == consts::PROC_NULL {
+            ompi_h::MPI_PROC_NULL
+        } else {
+            dest
+        }
+    }
+
+    fn tag_in(tag: i32) -> i32 {
+        if tag == consts::ANY_TAG {
+            ompi_h::MPI_ANY_TAG
+        } else {
+            tag
+        }
+    }
+
+    fn status_out(st: ompi_h::MpiStatus) -> AbiStatus {
+        let source = match st.mpi_source {
+            ompi_h::MPI_PROC_NULL => consts::PROC_NULL,
+            ompi_h::MPI_ANY_SOURCE => consts::ANY_SOURCE,
+            r => r,
+        };
+        let tag = if st.mpi_tag == ompi_h::MPI_ANY_TAG { consts::ANY_TAG } else { st.mpi_tag };
+        AbiStatus {
+            source,
+            tag,
+            error: if st.mpi_error == ompi_h::MPI_SUCCESS {
+                0
+            } else {
+                err_from_native(st.mpi_error).code()
+            },
+            count_bytes: st.count_bytes() as u64,
+        }
+    }
+
+    fn lift<T>(r: Result<T, i32>) -> AbiResult<T> {
+        r.map_err(err_from_native)
+    }
+}
+
+impl MpiAbi for OmpiWrap {
+    fn library_version(&self) -> String {
+        self.native.version().to_string()
+    }
+
+    fn finalize(&mut self) -> AbiResult<()> {
+        Self::lift(self.native.finalize())
+    }
+
+    fn is_finalized(&self) -> bool {
+        self.native.is_finalized()
+    }
+
+    fn wtime(&mut self) -> f64 {
+        self.native.wtime()
+    }
+
+    fn comm_size(&mut self, comm: Handle) -> AbiResult<i32> {
+        let c = self.comm_in(comm)?;
+        Self::lift(self.native.comm_size(c))
+    }
+
+    fn comm_rank(&mut self, comm: Handle) -> AbiResult<i32> {
+        let c = self.comm_in(comm)?;
+        Self::lift(self.native.comm_rank(c))
+    }
+
+    fn comm_translate_rank(&mut self, comm: Handle, rank: i32) -> AbiResult<i32> {
+        let c = self.comm_in(comm)?;
+        Self::lift(self.native.comm_translate_rank(c, rank))
+    }
+
+    fn send(&mut self, buf: &[u8], datatype: Handle, dest: i32, tag: i32, comm: Handle) -> AbiResult<()> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        Self::lift(self.native.send(buf, dt, Self::dest_in(dest), tag, c))
+    }
+
+    fn recv(&mut self, buf: &mut [u8], datatype: Handle, src: i32, tag: i32, comm: Handle) -> AbiResult<AbiStatus> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        let st = Self::lift(self.native.recv(buf, dt, Self::src_in(src), Self::tag_in(tag), c))?;
+        Ok(Self::status_out(st))
+    }
+
+    fn isend(&mut self, buf: &[u8], datatype: Handle, dest: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        let req = Self::lift(self.native.isend(buf, dt, Self::dest_in(dest), tag, c))?;
+        Ok(self.reqs.intern(req))
+    }
+
+    fn irecv(&mut self, max_bytes: usize, datatype: Handle, src: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        let req =
+            Self::lift(self.native.irecv(max_bytes, dt, Self::src_in(src), Self::tag_in(tag), c))?;
+        Ok(self.reqs.intern(req))
+    }
+
+    fn wait(&mut self, request: Handle) -> AbiResult<(AbiStatus, Option<Bytes>)> {
+        let native = self.reqs.remove(request).ok_or(AbiError::Request)?;
+        let (st, payload) = Self::lift(self.native.wait(native))?;
+        Ok((Self::status_out(st), payload))
+    }
+
+    fn test(&mut self, request: Handle) -> AbiResult<Option<(AbiStatus, Option<Bytes>)>> {
+        let native = self.reqs.native_of(request).ok_or(AbiError::Request)?;
+        match Self::lift(self.native.test(native))? {
+            None => Ok(None),
+            Some((st, payload)) => {
+                self.reqs.remove(request);
+                Ok(Some((Self::status_out(st), payload)))
+            }
+        }
+    }
+
+    fn sendrecv(
+        &mut self,
+        sendbuf: &[u8],
+        dest: i32,
+        sendtag: i32,
+        recvbuf: &mut [u8],
+        src: i32,
+        recvtag: i32,
+        datatype: Handle,
+        comm: Handle,
+    ) -> AbiResult<AbiStatus> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        let st = Self::lift(self.native.sendrecv(
+            sendbuf,
+            Self::dest_in(dest),
+            sendtag,
+            recvbuf,
+            Self::src_in(src),
+            Self::tag_in(recvtag),
+            dt,
+            c,
+        ))?;
+        Ok(Self::status_out(st))
+    }
+
+    fn probe(&mut self, src: i32, tag: i32, comm: Handle) -> AbiResult<AbiStatus> {
+        let c = self.comm_in(comm)?;
+        let st = Self::lift(self.native.probe(Self::src_in(src), Self::tag_in(tag), c))?;
+        Ok(Self::status_out(st))
+    }
+
+    fn iprobe(&mut self, src: i32, tag: i32, comm: Handle) -> AbiResult<Option<AbiStatus>> {
+        let c = self.comm_in(comm)?;
+        let st = Self::lift(self.native.iprobe(Self::src_in(src), Self::tag_in(tag), c))?;
+        Ok(st.map(Self::status_out))
+    }
+
+    fn barrier(&mut self, comm: Handle) -> AbiResult<()> {
+        let c = self.comm_in(comm)?;
+        Self::lift(self.native.barrier(c))
+    }
+
+    fn bcast(&mut self, buf: &mut [u8], datatype: Handle, root: i32, comm: Handle) -> AbiResult<()> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        Self::lift(self.native.bcast(buf, dt, root, c))
+    }
+
+    fn reduce(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        op: Handle,
+        root: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, o, c) = (self.dtype_in(datatype)?, self.op_in(op)?, self.comm_in(comm)?);
+        Self::lift(self.native.reduce(sendbuf, recvbuf, dt, o, root, c))
+    }
+
+    fn allreduce(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        op: Handle,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, o, c) = (self.dtype_in(datatype)?, self.op_in(op)?, self.comm_in(comm)?);
+        Self::lift(self.native.allreduce(sendbuf, recvbuf, dt, o, c))
+    }
+
+    fn gather(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        root: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        Self::lift(self.native.gather(sendbuf, recvbuf, dt, root, c))
+    }
+
+    fn scatter(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        root: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        Self::lift(self.native.scatter(sendbuf, recvbuf, dt, root, c))
+    }
+
+    fn allgather(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        Self::lift(self.native.allgather(sendbuf, recvbuf, dt, c))
+    }
+
+    fn alltoall(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
+        Self::lift(self.native.alltoall(sendbuf, recvbuf, dt, c))
+    }
+
+    fn scan(
+        &mut self,
+        sendbuf: &[u8],
+        recvbuf: &mut [u8],
+        datatype: Handle,
+        op: Handle,
+        comm: Handle,
+    ) -> AbiResult<()> {
+        let (dt, o, c) = (self.dtype_in(datatype)?, self.op_in(op)?, self.comm_in(comm)?);
+        Self::lift(self.native.scan(sendbuf, recvbuf, dt, o, c))
+    }
+
+    fn comm_dup(&mut self, comm: Handle) -> AbiResult<Handle> {
+        let c = self.comm_in(comm)?;
+        let dup = Self::lift(self.native.comm_dup(c))?;
+        Ok(self.comms.intern(dup))
+    }
+
+    fn comm_split(&mut self, comm: Handle, color: i32, key: i32) -> AbiResult<Handle> {
+        let c = self.comm_in(comm)?;
+        let color = if color == consts::UNDEFINED { ompi_h::MPI_UNDEFINED } else { color };
+        let sub = Self::lift(self.native.comm_split(c, color, key))?;
+        if sub == ompi_h::MPI_COMM_NULL {
+            Ok(Handle::COMM_NULL)
+        } else {
+            Ok(self.comms.intern(sub))
+        }
+    }
+
+    fn comm_free(&mut self, comm: Handle) -> AbiResult<()> {
+        let native = self.comms.remove(comm).ok_or(AbiError::Comm)?;
+        Self::lift(self.native.comm_free(native))
+    }
+
+    fn type_size(&mut self, datatype: Handle) -> AbiResult<usize> {
+        let dt = self.dtype_in(datatype)?;
+        Self::lift(self.native.type_size(dt))
+    }
+
+    fn type_contiguous(&mut self, count: i32, oldtype: Handle) -> AbiResult<Handle> {
+        let old = self.dtype_in(oldtype)?;
+        let new = Self::lift(self.native.type_contiguous(count, old))?;
+        Ok(self.dtypes.intern(new))
+    }
+
+    fn type_commit(&mut self, datatype: Handle) -> AbiResult<()> {
+        let dt = self.dtype_in(datatype)?;
+        Self::lift(self.native.type_commit(dt))
+    }
+
+    fn type_free(&mut self, datatype: Handle) -> AbiResult<()> {
+        let native = self.dtypes.remove(datatype).ok_or(AbiError::Datatype)?;
+        Self::lift(self.native.type_free(native))
+    }
+
+    fn op_create(&mut self, function: UserOpFn, commute: bool) -> AbiResult<Handle> {
+        let native = Self::lift(self.native.op_create(function, commute))?;
+        Ok(self.ops.intern(native))
+    }
+
+    fn op_free(&mut self, op: Handle) -> AbiResult<()> {
+        let native = self.ops.remove(op).ok_or(AbiError::Op)?;
+        Self::lift(self.native.op_free(native))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_translation_is_the_swapped_pair() {
+        // Standard ANY_SOURCE (−1) happens to equal Open MPI's value, while
+        // PROC_NULL (−3) maps to −2; on the MPICH side the same standard
+        // values map to −2/−1. The swap is exactly the hazard the paper's
+        // ABI standardization removes.
+        assert_eq!(OmpiWrap::src_in(consts::ANY_SOURCE), ompi_h::MPI_ANY_SOURCE);
+        assert_eq!(OmpiWrap::src_in(consts::PROC_NULL), ompi_h::MPI_PROC_NULL);
+        assert_eq!(OmpiWrap::src_in(3), 3);
+        assert_eq!(OmpiWrap::tag_in(consts::ANY_TAG), ompi_h::MPI_ANY_TAG);
+    }
+
+    #[test]
+    fn status_conversion_from_ompi_layout() {
+        let native = ompi_h::MpiStatus::for_receive(ompi_h::MPI_PROC_NULL, 3, 99);
+        let std = OmpiWrap::status_out(native);
+        assert_eq!(std.source, consts::PROC_NULL);
+        assert_eq!(std.count_bytes, 99);
+    }
+
+    #[test]
+    fn error_translation() {
+        assert_eq!(err_from_native(ompi_h::MPI_ERR_REQUEST), AbiError::Request);
+        assert_eq!(err_from_native(ompi_h::MPI_ERR_PROC_FAILED), AbiError::ProcFailed);
+        assert_eq!(err_from_native(-5), AbiError::Other);
+    }
+
+    #[test]
+    fn dtype_table_preserves_sizes() {
+        for d in Datatype::ALL {
+            let native = dtype_native_of(d);
+            let (_, size) = ompi_h::PREDEFINED_DATATYPES
+                .iter()
+                .find(|(h, _)| *h == native)
+                .expect("native type exists");
+            assert_eq!(*size, d.size());
+        }
+    }
+}

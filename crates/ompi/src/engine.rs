@@ -1,0 +1,233 @@
+//! Open MPI-flavour progress engine.
+//!
+//! Structurally different from the MPICH flavour's single unexpected queue:
+//! this engine buckets unexpected messages **per context id** (the way Open
+//! MPI's matching is organized per-communicator), with a global arrival
+//! counter preserving cross-bucket arrival order for diagnostics.
+
+use std::collections::{HashMap, VecDeque};
+
+use simnet::{Envelope, RankCtx, SimResult, VirtualTime};
+
+/// A pulled-off-the-wire message with its arrival time and sequence.
+#[derive(Debug, Clone)]
+pub struct Pulled {
+    /// The message.
+    pub env: Envelope,
+    /// When it reached this rank.
+    pub arrival: VirtualTime,
+    /// Global pull order (monotonic per process).
+    pub order: u64,
+}
+
+/// Source selector (world ranks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Want {
+    /// Any source.
+    AnySrc,
+    /// A specific world rank.
+    Src(usize),
+}
+
+/// Tag selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WantTag {
+    /// Any tag.
+    AnyTag,
+    /// A specific tag.
+    Tag(i32),
+}
+
+/// The per-process matching engine.
+#[derive(Default)]
+pub struct Progress {
+    buckets: HashMap<u64, VecDeque<Pulled>>,
+    next_order: u64,
+}
+
+impl Progress {
+    /// Create an empty engine.
+    pub fn new() -> Progress {
+        Progress::default()
+    }
+
+    /// Total unexpected messages across all contexts.
+    pub fn unexpected_total(&self) -> usize {
+        self.buckets.values().map(|b| b.len()).sum()
+    }
+
+    fn stash(&mut self, ctx: &RankCtx, env: Envelope) {
+        let arrival = ctx.arrival_time(&env);
+        let order = self.next_order;
+        self.next_order += 1;
+        self.buckets
+            .entry(env.ctx_id)
+            .or_default()
+            .push_back(Pulled { env, arrival, order });
+    }
+
+    /// Drain everything currently on the wire into the buckets.
+    pub fn pump(&mut self, ctx: &RankCtx) -> SimResult<()> {
+        while let Some(env) = ctx.endpoint().poll_raw()? {
+            self.stash(ctx, env);
+        }
+        Ok(())
+    }
+
+    fn position(&self, ctx_id: u64, src: Want, tag: WantTag) -> Option<usize> {
+        let bucket = self.buckets.get(&ctx_id)?;
+        bucket.iter().position(|p| {
+            (match src {
+                Want::AnySrc => true,
+                Want::Src(w) => p.env.src == w,
+            }) && (match tag {
+                WantTag::AnyTag => true,
+                WantTag::Tag(t) => p.env.tag == t,
+            })
+        })
+    }
+
+    /// Non-blocking match.
+    pub fn try_match(
+        &mut self,
+        ctx: &RankCtx,
+        ctx_id: u64,
+        src: Want,
+        tag: WantTag,
+    ) -> SimResult<Option<Pulled>> {
+        self.pump(ctx)?;
+        if let Some(i) = self.position(ctx_id, src, tag) {
+            let pulled = self.buckets.get_mut(&ctx_id).and_then(|b| b.remove(i));
+            if let Some(p) = &pulled {
+                ctx.count_recv(p.env.len());
+            }
+            return Ok(pulled);
+        }
+        Ok(None)
+    }
+
+    /// Blocking match.
+    pub fn match_wait(
+        &mut self,
+        ctx: &RankCtx,
+        ctx_id: u64,
+        src: Want,
+        tag: WantTag,
+    ) -> SimResult<Pulled> {
+        loop {
+            if let Some(p) = self.try_match(ctx, ctx_id, src, tag)? {
+                return Ok(p);
+            }
+            let env = ctx.endpoint().recv_raw()?;
+            self.stash(ctx, env);
+        }
+    }
+
+    /// Non-blocking peek (message stays queued).
+    pub fn try_peek(
+        &mut self,
+        ctx: &RankCtx,
+        ctx_id: u64,
+        src: Want,
+        tag: WantTag,
+    ) -> SimResult<Option<Pulled>> {
+        self.pump(ctx)?;
+        Ok(self
+            .position(ctx_id, src, tag)
+            .and_then(|i| self.buckets.get(&ctx_id).map(|b| b[i].clone())))
+    }
+
+    /// Blocking peek.
+    pub fn peek_wait(
+        &mut self,
+        ctx: &RankCtx,
+        ctx_id: u64,
+        src: Want,
+        tag: WantTag,
+    ) -> SimResult<Pulled> {
+        loop {
+            if let Some(p) = self.try_peek(ctx, ctx_id, src, tag)? {
+                return Ok(p);
+            }
+            let env = ctx.endpoint().recv_raw()?;
+            self.stash(ctx, env);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use simnet::{ClusterSpec, Fabric, NoiseModel};
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    fn pair() -> (Rc<RankCtx>, Rc<RankCtx>) {
+        let spec = Arc::new(ClusterSpec::builder().nodes(1).ranks_per_node(2).build());
+        let (_fabric, mut eps) = Fabric::new(&spec);
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        (
+            Rc::new(RankCtx::new(0, spec.clone(), ep0, NoiseModel::disabled().stream_for_rank(0))),
+            Rc::new(RankCtx::new(1, spec, ep1, NoiseModel::disabled().stream_for_rank(1))),
+        )
+    }
+
+    fn send(c: &RankCtx, dst: usize, ctx_id: u64, tag: i32, data: &[u8]) {
+        c.endpoint().send_raw(dst, ctx_id, tag, Bytes::copy_from_slice(data), c).unwrap();
+    }
+
+    #[test]
+    fn buckets_isolate_contexts() {
+        let (c0, c1) = pair();
+        send(&c0, 1, 10, 0, b"ctx ten");
+        send(&c0, 1, 20, 0, b"ctx twenty");
+        let mut eng = Progress::new();
+        let got = eng.try_match(&c1, 20, Want::AnySrc, WantTag::AnyTag).unwrap().unwrap();
+        assert_eq!(&got.env.payload[..], b"ctx twenty");
+        assert_eq!(eng.unexpected_total(), 1);
+        let got = eng.try_match(&c1, 10, Want::AnySrc, WantTag::AnyTag).unwrap().unwrap();
+        assert_eq!(&got.env.payload[..], b"ctx ten");
+    }
+
+    #[test]
+    fn order_counter_is_global() {
+        let (c0, c1) = pair();
+        send(&c0, 1, 10, 0, b"a");
+        send(&c0, 1, 20, 0, b"b");
+        send(&c0, 1, 10, 0, b"c");
+        let mut eng = Progress::new();
+        eng.pump(&c1).unwrap();
+        let x = eng.try_match(&c1, 10, Want::AnySrc, WantTag::AnyTag).unwrap().unwrap();
+        let y = eng.try_match(&c1, 20, Want::AnySrc, WantTag::AnyTag).unwrap().unwrap();
+        let z = eng.try_match(&c1, 10, Want::AnySrc, WantTag::AnyTag).unwrap().unwrap();
+        assert!(x.order < y.order && y.order < z.order);
+        assert_eq!(&z.env.payload[..], b"c");
+    }
+
+    #[test]
+    fn tag_and_src_filters() {
+        let (c0, c1) = pair();
+        send(&c0, 1, 5, 1, b"one");
+        send(&c0, 1, 5, 2, b"two");
+        let mut eng = Progress::new();
+        assert!(eng.try_match(&c1, 5, Want::Src(0), WantTag::Tag(3)).unwrap().is_none());
+        let two = eng.try_match(&c1, 5, Want::Src(0), WantTag::Tag(2)).unwrap().unwrap();
+        assert_eq!(&two.env.payload[..], b"two");
+        let one = eng.match_wait(&c1, 5, Want::Src(0), WantTag::AnyTag).unwrap();
+        assert_eq!(&one.env.payload[..], b"one");
+    }
+
+    #[test]
+    fn peek_preserves_queue() {
+        let (c0, c1) = pair();
+        send(&c0, 1, 5, 1, b"stay");
+        let mut eng = Progress::new();
+        assert!(eng.try_peek(&c1, 5, Want::AnySrc, WantTag::AnyTag).unwrap().is_some());
+        assert_eq!(eng.unexpected_total(), 1);
+        let got = eng.peek_wait(&c1, 5, Want::Src(0), WantTag::Tag(1)).unwrap();
+        assert_eq!(&got.env.payload[..], b"stay");
+        assert_eq!(eng.unexpected_total(), 1);
+    }
+}

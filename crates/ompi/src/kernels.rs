@@ -1,0 +1,161 @@
+//! Reduction arithmetic on raw byte buffers (Open MPI flavour's own copy —
+//! vendor libraries do not share code).
+//!
+//! All wire data is little-endian, as on the paper's x86-64 testbed.
+
+use crate::ompi_h::{self, MpiDatatype, MpiOp};
+
+/// The element kind a reduction operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemKind {
+    /// Signed integers of width 1, 2, 4, 8.
+    Int(usize),
+    /// Unsigned integers of width 1, 2, 4, 8.
+    Uint(usize),
+    /// IEEE-754 floats of width 4 or 8.
+    Float(usize),
+}
+
+impl ElemKind {
+    /// Element width in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            ElemKind::Int(s) | ElemKind::Uint(s) | ElemKind::Float(s) => s,
+        }
+    }
+
+    /// Kind for a predefined datatype handle.
+    pub fn of_builtin(dt: MpiDatatype) -> Option<ElemKind> {
+        Some(match dt {
+            d if d == ompi_h::MPI_BYTE || d == ompi_h::MPI_CHAR || d == ompi_h::MPI_UINT8_T => {
+                ElemKind::Uint(1)
+            }
+            d if d == ompi_h::MPI_INT8_T => ElemKind::Int(1),
+            d if d == ompi_h::MPI_INT16_T => ElemKind::Int(2),
+            d if d == ompi_h::MPI_UINT16_T => ElemKind::Uint(2),
+            d if d == ompi_h::MPI_INT => ElemKind::Int(4),
+            d if d == ompi_h::MPI_UINT32_T => ElemKind::Uint(4),
+            d if d == ompi_h::MPI_INT64_T => ElemKind::Int(8),
+            d if d == ompi_h::MPI_UINT64_T => ElemKind::Uint(8),
+            d if d == ompi_h::MPI_FLOAT => ElemKind::Float(4),
+            d if d == ompi_h::MPI_DOUBLE => ElemKind::Float(8),
+            _ => return None,
+        })
+    }
+}
+
+macro_rules! combine_as {
+    ($ty:ty, $acc:expr, $other:expr, $f:expr) => {{
+        const W: usize = std::mem::size_of::<$ty>();
+        for (a, b) in $acc.chunks_exact_mut(W).zip($other.chunks_exact(W)) {
+            let x = <$ty>::from_le_bytes(a.try_into().unwrap());
+            let y = <$ty>::from_le_bytes(b.try_into().unwrap());
+            let f: fn($ty, $ty) -> $ty = $f;
+            a.copy_from_slice(&f(x, y).to_le_bytes());
+        }
+    }};
+}
+
+macro_rules! int_ops {
+    ($ty:ty, $op:expr, $acc:expr, $other:expr) => {
+        match $op {
+            o if o == ompi_h::MPI_SUM => combine_as!($ty, $acc, $other, |x, y| x.wrapping_add(y)),
+            o if o == ompi_h::MPI_PROD => combine_as!($ty, $acc, $other, |x, y| x.wrapping_mul(y)),
+            o if o == ompi_h::MPI_MIN => combine_as!($ty, $acc, $other, |x, y| x.min(y)),
+            o if o == ompi_h::MPI_MAX => combine_as!($ty, $acc, $other, |x, y| x.max(y)),
+            o if o == ompi_h::MPI_LAND => {
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0) && (y != 0)) as $ty)
+            }
+            o if o == ompi_h::MPI_LOR => {
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0) || (y != 0)) as $ty)
+            }
+            o if o == ompi_h::MPI_LXOR => {
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0) ^ (y != 0)) as $ty)
+            }
+            o if o == ompi_h::MPI_BAND => combine_as!($ty, $acc, $other, |x, y| x & y),
+            o if o == ompi_h::MPI_BOR => combine_as!($ty, $acc, $other, |x, y| x | y),
+            o if o == ompi_h::MPI_BXOR => combine_as!($ty, $acc, $other, |x, y| x ^ y),
+            _ => return Err(ompi_h::MPI_ERR_OP),
+        }
+    };
+}
+
+macro_rules! float_ops {
+    ($ty:ty, $op:expr, $acc:expr, $other:expr) => {
+        match $op {
+            o if o == ompi_h::MPI_SUM => combine_as!($ty, $acc, $other, |x, y| x + y),
+            o if o == ompi_h::MPI_PROD => combine_as!($ty, $acc, $other, |x, y| x * y),
+            o if o == ompi_h::MPI_MIN => combine_as!($ty, $acc, $other, |x, y| x.min(y)),
+            o if o == ompi_h::MPI_MAX => combine_as!($ty, $acc, $other, |x, y| x.max(y)),
+            o if o == ompi_h::MPI_LAND => {
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) && (y != 0.0)) as u8 as $ty)
+            }
+            o if o == ompi_h::MPI_LOR => {
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) || (y != 0.0)) as u8 as $ty)
+            }
+            o if o == ompi_h::MPI_LXOR => {
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) ^ (y != 0.0)) as u8 as $ty)
+            }
+            _ => return Err(ompi_h::MPI_ERR_OP),
+        }
+    };
+}
+
+/// Element-wise `acc = op(acc, other)` for a predefined op.
+pub fn combine(op: MpiOp, kind: ElemKind, acc: &mut [u8], other: &[u8]) -> ompi_h::OmpiResult<()> {
+    if acc.len() != other.len() || !acc.len().is_multiple_of(kind.size()) {
+        return Err(ompi_h::MPI_ERR_COUNT);
+    }
+    match kind {
+        ElemKind::Int(1) => int_ops!(i8, op, acc, other),
+        ElemKind::Int(2) => int_ops!(i16, op, acc, other),
+        ElemKind::Int(4) => int_ops!(i32, op, acc, other),
+        ElemKind::Int(8) => int_ops!(i64, op, acc, other),
+        ElemKind::Uint(1) => int_ops!(u8, op, acc, other),
+        ElemKind::Uint(2) => int_ops!(u16, op, acc, other),
+        ElemKind::Uint(4) => int_ops!(u32, op, acc, other),
+        ElemKind::Uint(8) => int_ops!(u64, op, acc, other),
+        ElemKind::Float(4) => float_ops!(f32, op, acc, other),
+        ElemKind::Float(8) => float_ops!(f64, op, acc, other),
+        _ => return Err(ompi_h::MPI_ERR_TYPE),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_sum() {
+        let mut acc: Vec<u8> = [1.0f64, 2.0].iter().flat_map(|x| x.to_le_bytes()).collect();
+        let other: Vec<u8> = [3.0f64, 4.0].iter().flat_map(|x| x.to_le_bytes()).collect();
+        combine(ompi_h::MPI_SUM, ElemKind::Float(8), &mut acc, &other).unwrap();
+        assert_eq!(f64::from_le_bytes(acc[0..8].try_into().unwrap()), 4.0);
+        assert_eq!(f64::from_le_bytes(acc[8..16].try_into().unwrap()), 6.0);
+    }
+
+    #[test]
+    fn u64_bitwise() {
+        let mut acc = 0b1100u64.to_le_bytes().to_vec();
+        combine(ompi_h::MPI_BXOR, ElemKind::Uint(8), &mut acc, &0b1010u64.to_le_bytes()).unwrap();
+        assert_eq!(u64::from_le_bytes(acc[..].try_into().unwrap()), 0b0110);
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let mut acc = vec![0u8; 8];
+        let other = vec![0u8; 8];
+        assert_eq!(
+            combine(ompi_h::MPI_OP_NULL, ElemKind::Float(8), &mut acc, &other),
+            Err(ompi_h::MPI_ERR_OP)
+        );
+    }
+
+    #[test]
+    fn builtin_kinds() {
+        assert_eq!(ElemKind::of_builtin(ompi_h::MPI_DOUBLE), Some(ElemKind::Float(8)));
+        assert_eq!(ElemKind::of_builtin(ompi_h::MPI_INT), Some(ElemKind::Int(4)));
+        assert_eq!(ElemKind::of_builtin(ompi_h::MPI_DATATYPE_NULL), None);
+    }
+}

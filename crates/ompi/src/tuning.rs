@@ -1,0 +1,66 @@
+//! Open MPI-flavour tuning: a leaner per-message software path than the
+//! MPICH flavour, different protocol switchover points, and the `coll/tuned`
+//! algorithm family (binary-tree + pipelined broadcast, ring allreduce,
+//! linear + pairwise alltoall).
+
+use simnet::VirtualTime;
+
+/// Tuning parameters for the Open MPI-flavoured library.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tuning {
+    /// CPU time charged on the sender per message. Lower than the MPICH
+    /// flavour's: this library's small-message path is leaner, which is
+    /// what makes it faster on the paper's `wave_mpi` workload.
+    pub o_send: VirtualTime,
+    /// CPU time charged on the receiver per matched message.
+    pub o_recv: VirtualTime,
+    /// Messages above this use the rendezvous protocol.
+    pub eager_threshold: usize,
+    /// Bcast: binary tree up to this payload, pipelined chain above.
+    pub bcast_bintree_max: usize,
+    /// Segment size for pipelined bcast/reduce chains.
+    pub pipeline_segment: usize,
+    /// Allreduce: recursive doubling up to this payload, ring above.
+    pub allreduce_recdbl_max: usize,
+    /// Alltoall: posted/linear up to this block size, pairwise above.
+    /// High on this testbed: pairwise pays the full 10 GbE latency per
+    /// round, so the posted algorithm stays ahead until serialization
+    /// dominates.
+    pub alltoall_linear_max: usize,
+    /// Allgather: neighbour-exchange up to this payload, ring above.
+    pub allgather_neighbor_max: usize,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning {
+            o_send: VirtualTime::from_nanos(700),
+            o_recv: VirtualTime::from_nanos(700),
+            eager_threshold: 8 * 1024,
+            bcast_bintree_max: 2 * 1024,
+            pipeline_segment: 8 * 1024,
+            allreduce_recdbl_max: 1024,
+            alltoall_linear_max: 64 * 1024,
+            allgather_neighbor_max: 2 * 1024,
+        }
+    }
+}
+
+impl Tuning {
+    /// Library identification string advertised through the ABI.
+    pub const VERSION: &'static str = "ompi-sim 3.1.2 (native ABI: pointer handles)";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaner_than_mpich_flavour() {
+        let t = Tuning::default();
+        // The vendor performance difference in the paper's Fig. 5 rests on
+        // this inequality; pin it.
+        assert!(t.o_send < VirtualTime::from_nanos(1_800));
+        assert!(t.pipeline_segment > 0);
+    }
+}

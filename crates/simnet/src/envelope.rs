@@ -1,0 +1,71 @@
+//! The unit of transport: a stamped message between two ranks.
+
+use bytes::Bytes;
+
+use crate::time::VirtualTime;
+
+/// A message in flight on the simulated fabric.
+///
+/// The substrate guarantees FIFO delivery per (src, dst) pair and otherwise
+/// attaches no meaning to `ctx_id`/`tag`: those fields exist so the vendor
+/// MPI libraries built on top can implement their own (communicator, tag,
+/// source) matching engines, exactly as real MPI libraries do above their
+/// network layers.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: usize,
+    /// Destination rank.
+    pub dst: usize,
+    /// Communicator context id (vendor-defined namespace).
+    pub ctx_id: u64,
+    /// Message tag (vendor-defined; vendors may reserve negative tags for
+    /// internal protocol messages such as collective fragments).
+    pub tag: i32,
+    /// Payload bytes. `Bytes` is reference-counted, so fan-out sends of the
+    /// same buffer do not copy.
+    pub payload: Bytes,
+    /// Sender's virtual clock when the message left.
+    pub depart: VirtualTime,
+    /// Bytes charged on the wire (payload + protocol headers).
+    pub wire_bytes: usize,
+    /// Per-sender sequence number (diagnostics, drain accounting).
+    pub seq: u64,
+}
+
+impl Envelope {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty (control-only message).
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_shares_payload_storage() {
+        let payload = Bytes::from(vec![7u8; 1024]);
+        let a = Envelope {
+            src: 0,
+            dst: 1,
+            ctx_id: 0,
+            tag: 0,
+            payload: payload.clone(),
+            depart: VirtualTime::ZERO,
+            wire_bytes: 1088,
+            seq: 0,
+        };
+        let b = Envelope { dst: 2, payload: payload.clone(), ..a.clone() };
+        // Bytes clones are pointer-equal views of one allocation.
+        assert_eq!(a.payload.as_ptr(), b.payload.as_ptr());
+        assert_eq!(a.len(), 1024);
+        assert!(!a.is_empty());
+    }
+}

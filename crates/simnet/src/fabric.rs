@@ -1,0 +1,370 @@
+//! The fabric: rank-to-rank FIFO channels plus fail-stop fault injection.
+//!
+//! One unbounded MPMC channel per destination rank carries [`Envelope`]s.
+//! Per (src, dst) pair, delivery order equals send order (crossbeam channels
+//! are FIFO per producer), which is exactly the non-overtaking guarantee MPI
+//! point-to-point semantics require from the transport.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use crate::cluster::ClusterSpec;
+use crate::envelope::Envelope;
+use crate::error::{SimError, SimResult};
+use crate::rank::RankCtx;
+
+/// How long a blocking receive waits between checks of the shutdown and
+/// failure flags. Real time, not virtual time; only affects how quickly a
+/// deadlocked/failed run unwinds.
+const POLL_INTERVAL: Duration = Duration::from_micros(200);
+
+struct Shared {
+    nranks: usize,
+    failed: Vec<AtomicBool>,
+    shutdown: AtomicBool,
+    /// When true, blocked receivers report peer failures as errors
+    /// (fault-tolerant mode); when false they keep waiting, like a
+    /// non-fault-tolerant MPI would.
+    failure_detection: AtomicBool,
+}
+
+/// Handle to the whole fabric: constructs endpoints, injects failures,
+/// forces shutdown.
+#[derive(Clone)]
+pub struct Fabric {
+    shared: Arc<Shared>,
+    senders: Arc<Vec<Sender<Envelope>>>,
+}
+
+impl Fabric {
+    /// Build a fabric for `spec` and hand out one endpoint per rank.
+    pub fn new(spec: &ClusterSpec) -> (Fabric, Vec<Endpoint>) {
+        let nranks = spec.nranks();
+        let mut senders = Vec::with_capacity(nranks);
+        let mut receivers = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            nranks,
+            failed: (0..nranks).map(|_| AtomicBool::new(false)).collect(),
+            shutdown: AtomicBool::new(false),
+            failure_detection: AtomicBool::new(false),
+        });
+        let fabric = Fabric { shared: shared.clone(), senders: Arc::new(senders) };
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| Endpoint {
+                rank,
+                rx,
+                fabric: fabric.clone(),
+                next_seq: std::cell::Cell::new(0),
+            })
+            .collect();
+        (fabric, endpoints)
+    }
+
+    /// Number of ranks on the fabric.
+    pub fn nranks(&self) -> usize {
+        self.shared.nranks
+    }
+
+    /// Mark a rank as failed (fail-stop). Subsequent sends to it error with
+    /// [`SimError::PeerFailed`]; receivers learn of it if failure detection
+    /// is enabled.
+    pub fn fail_rank(&self, rank: usize) {
+        if rank < self.shared.nranks {
+            self.shared.failed[rank].store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether a rank has been marked failed.
+    pub fn is_failed(&self, rank: usize) -> bool {
+        rank < self.shared.nranks && self.shared.failed[rank].load(Ordering::SeqCst)
+    }
+
+    /// Ranks currently marked failed.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        (0..self.shared.nranks).filter(|&r| self.is_failed(r)).collect()
+    }
+
+    /// Enable fault-tolerant semantics: blocked receives return
+    /// [`SimError::PeerFailed`] when any rank has failed, instead of
+    /// waiting forever like a non-fault-tolerant MPI.
+    pub fn enable_failure_detection(&self) {
+        self.shared.failure_detection.store(true, Ordering::SeqCst);
+    }
+
+    /// Tear the fabric down: every blocked receive returns
+    /// [`SimError::Disconnected`]. Used when a rank errors or panics so the
+    /// remaining ranks unwind instead of deadlocking.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the fabric has been shut down.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A rank's attachment point to the fabric.
+pub struct Endpoint {
+    rank: usize,
+    rx: Receiver<Envelope>,
+    fabric: Fabric,
+    next_seq: std::cell::Cell<u64>,
+}
+
+impl Endpoint {
+    /// This endpoint's rank id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The fabric this endpoint belongs to.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Send a raw envelope. The sender's clock first advances by the
+    /// message's **serialization time** (LogGP's per-byte gap: a NIC or
+    /// shared-memory copy engine pushes bytes out one at a time, so
+    /// back-to-back sends serialize on the sender — this is what makes a
+    /// 48-peer posted all-to-all pay for its volume). The message then
+    /// departs at the sender's clock and the *receiver* accounts the wire
+    /// latency on arrival (see [`RankCtx::arrival_time`]). The caller (a
+    /// vendor MPI library) is responsible for charging its own
+    /// per-message CPU overhead before calling this.
+    pub fn send_raw(
+        &self,
+        dst: usize,
+        ctx_id: u64,
+        tag: i32,
+        payload: Bytes,
+        ctx: &RankCtx,
+    ) -> SimResult<()> {
+        let shared = &self.fabric.shared;
+        if dst >= shared.nranks {
+            return Err(SimError::NoSuchRank { rank: dst, nranks: shared.nranks });
+        }
+        if shared.failed[self.rank].load(Ordering::SeqCst) {
+            return Err(SimError::SelfFailed);
+        }
+        if shared.failed[dst].load(Ordering::SeqCst) {
+            return Err(SimError::PeerFailed { rank: dst });
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(SimError::Disconnected);
+        }
+        let seq = self.next_seq.get();
+        self.next_seq.set(seq + 1);
+        let wire_bytes = payload.len() + ctx.spec().header_bytes;
+        let link = ctx.spec().link_between(self.rank, dst);
+        ctx.advance(link.serialize_time(wire_bytes));
+        let env = Envelope {
+            src: self.rank,
+            dst,
+            ctx_id,
+            tag,
+            payload,
+            depart: ctx.now(),
+            wire_bytes,
+            seq,
+        };
+        ctx.count_send(env.len());
+        self.fabric.senders[dst].send(env).map_err(|_| SimError::Disconnected)
+    }
+
+    /// Non-blocking poll for the next raw envelope, in arrival order.
+    /// No virtual-time accounting happens here; the caller's matching engine
+    /// decides when and how to charge time (see [`RankCtx::arrival_time`]).
+    pub fn poll_raw(&self) -> SimResult<Option<Envelope>> {
+        match self.rx.try_recv() {
+            Ok(env) => Ok(Some(env)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(SimError::Disconnected),
+        }
+    }
+
+    /// Blocking pull of the next raw envelope (no time accounting).
+    ///
+    /// Unblocks with an error if the fabric shuts down, or — when failure
+    /// detection is enabled — if any rank has been marked failed.
+    pub fn recv_raw(&self) -> SimResult<Envelope> {
+        loop {
+            match self.rx.recv_timeout(POLL_INTERVAL) {
+                Ok(env) => return Ok(env),
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(SimError::Disconnected)
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    let shared = &self.fabric.shared;
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return Err(SimError::Disconnected);
+                    }
+                    if shared.failed[self.rank].load(Ordering::SeqCst) {
+                        return Err(SimError::SelfFailed);
+                    }
+                    if shared.failure_detection.load(Ordering::SeqCst) {
+                        if let Some(r) =
+                            (0..shared.nranks).find(|&r| shared.failed[r].load(Ordering::SeqCst))
+                        {
+                            return Err(SimError::PeerFailed { rank: r });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocking receive **with** arrival-time accounting: advances the
+    /// rank's clock to `max(now, arrival)`. Convenience for substrate tests
+    /// and simple protocols; vendor libraries use [`Endpoint::recv_raw`]
+    /// plus their own matching.
+    pub fn recv_raw_blocking(&self, ctx: &RankCtx) -> SimResult<Envelope> {
+        let env = self.recv_raw()?;
+        let arrival = ctx.arrival_time(&env);
+        ctx.advance_to(arrival);
+        ctx.count_recv(env.len());
+        Ok(env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::noise::NoiseModel;
+    use crate::rank::RankCtx;
+    use std::sync::Arc as StdArc;
+
+    fn two_rank_setup() -> (Fabric, Vec<Endpoint>, StdArc<ClusterSpec>) {
+        let spec = StdArc::new(ClusterSpec::builder().nodes(1).ranks_per_node(2).build());
+        let (fabric, eps) = Fabric::new(&spec);
+        (fabric, eps, spec)
+    }
+
+    fn ctx_for(rank: usize, spec: &StdArc<ClusterSpec>, ep: Endpoint) -> RankCtx {
+        RankCtx::new(rank, spec.clone(), ep, NoiseModel::disabled().stream_for_rank(rank))
+    }
+
+    #[test]
+    fn send_and_receive_round_trip() {
+        let (_fabric, mut eps, spec) = two_rank_setup();
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let ctx0 = ctx_for(0, &spec, ep0);
+        let ctx1 = ctx_for(1, &spec, ep1);
+        ctx0.endpoint()
+            .send_raw(1, 42, 7, Bytes::from_static(b"hello"), &ctx0)
+            .unwrap();
+        let env = ctx1.endpoint().recv_raw_blocking(&ctx1).unwrap();
+        assert_eq!(env.src, 0);
+        assert_eq!(env.ctx_id, 42);
+        assert_eq!(env.tag, 7);
+        assert_eq!(&env.payload[..], b"hello");
+        // Receiver clock advanced by at least the link alpha.
+        assert!(ctx1.now() >= spec.link_between(0, 1).alpha);
+    }
+
+    #[test]
+    fn fifo_per_pair() {
+        let (_fabric, mut eps, spec) = two_rank_setup();
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let ctx0 = ctx_for(0, &spec, ep0);
+        let ctx1 = ctx_for(1, &spec, ep1);
+        for i in 0..16u8 {
+            ctx0.endpoint().send_raw(1, 0, 0, Bytes::from(vec![i]), &ctx0).unwrap();
+        }
+        for i in 0..16u8 {
+            let env = ctx1.endpoint().recv_raw_blocking(&ctx1).unwrap();
+            assert_eq!(env.payload[0], i);
+            assert_eq!(env.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn send_to_out_of_range_rank_errors() {
+        let (_fabric, mut eps, spec) = two_rank_setup();
+        let _ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let ctx0 = ctx_for(0, &spec, ep0);
+        let err = ctx0
+            .endpoint()
+            .send_raw(9, 0, 0, Bytes::new(), &ctx0)
+            .unwrap_err();
+        assert_eq!(err, SimError::NoSuchRank { rank: 9, nranks: 2 });
+    }
+
+    #[test]
+    fn send_to_failed_rank_errors() {
+        let (fabric, mut eps, spec) = two_rank_setup();
+        let _ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let ctx0 = ctx_for(0, &spec, ep0);
+        fabric.fail_rank(1);
+        assert!(fabric.is_failed(1));
+        assert_eq!(fabric.failed_ranks(), vec![1]);
+        let err = ctx0.endpoint().send_raw(1, 0, 0, Bytes::new(), &ctx0).unwrap_err();
+        assert_eq!(err, SimError::PeerFailed { rank: 1 });
+    }
+
+    #[test]
+    fn blocked_recv_unblocks_on_shutdown() {
+        let (fabric, mut eps, spec) = two_rank_setup();
+        let ep1 = eps.pop().unwrap();
+        let _ep0 = eps.pop().unwrap();
+        let ctx1 = ctx_for(1, &spec, ep1);
+        let handle = std::thread::spawn({
+            let fabric = fabric.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(5));
+                fabric.shutdown();
+            }
+        });
+        let err = ctx1.endpoint().recv_raw().unwrap_err();
+        assert_eq!(err, SimError::Disconnected);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn blocked_recv_sees_peer_failure_when_detection_enabled() {
+        let (fabric, mut eps, spec) = two_rank_setup();
+        let ep1 = eps.pop().unwrap();
+        let _ep0 = eps.pop().unwrap();
+        let ctx1 = ctx_for(1, &spec, ep1);
+        fabric.enable_failure_detection();
+        let handle = std::thread::spawn({
+            let fabric = fabric.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(5));
+                fabric.fail_rank(0);
+            }
+        });
+        let err = ctx1.endpoint().recv_raw().unwrap_err();
+        assert_eq!(err, SimError::PeerFailed { rank: 0 });
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn poll_raw_is_nonblocking() {
+        let (_fabric, mut eps, spec) = two_rank_setup();
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let ctx0 = ctx_for(0, &spec, ep0);
+        let ctx1 = ctx_for(1, &spec, ep1);
+        assert!(ctx1.endpoint().poll_raw().unwrap().is_none());
+        ctx0.endpoint().send_raw(1, 0, 0, Bytes::from_static(b"x"), &ctx0).unwrap();
+        // Channel push is synchronous, so the message is immediately visible.
+        assert!(ctx1.endpoint().poll_raw().unwrap().is_some());
+    }
+}

@@ -1,0 +1,72 @@
+//! # simnet — deterministic virtual-time cluster substrate
+//!
+//! The paper's experiments ran on a real 4-node cluster (48 Intel Xeon cores,
+//! 10 GbE, CentOS 7 / Linux 3.10). This crate replaces that hardware with a
+//! faithful synthetic equivalent:
+//!
+//! * **Ranks are real OS threads** exchanging **real byte buffers** over
+//!   lock-free channels — correctness is exercised, not just timing.
+//! * **Time is virtual.** Every rank carries a logical clock (nanoseconds)
+//!   advanced by a LogGP-style cost model: per-link latency `α`, inverse
+//!   bandwidth `β`, and per-message CPU overheads `o_send`/`o_recv`.
+//!   Latency figures reported by the benchmark harnesses are virtual time, so
+//!   they are deterministic (bit-identical across runs when jitter is off)
+//!   and independent of the host machine.
+//! * **Topology matters.** Ranks are block-mapped onto nodes; intra-node
+//!   messages use a shared-memory link model, inter-node messages use the
+//!   configured interconnect (default: 10 GbE, as in the paper).
+//! * **The kernel matters.** [`KernelVersion`] models the one OS feature the
+//!   paper calls out: user-space access to the FSGSBASE register (Linux
+//!   ≥ 5.9). On older kernels a split-process context switch needs a syscall,
+//!   which is the paper's stated cause of MANA's small-message overhead.
+//!
+//! The crate is MPI-agnostic: it moves [`Envelope`]s between endpoints in
+//! FIFO order per sender/receiver pair and accounts time. Message *matching*
+//! (communicator/tag/source semantics) is implemented independently by each
+//! vendor MPI library built on top (`mpich-sim`, `ompi-sim`), mirroring how
+//! real MPI libraries each bring their own progress engine.
+//!
+//! ## Example
+//!
+//! ```
+//! use simnet::{ClusterSpec, World};
+//!
+//! let spec = ClusterSpec::builder().nodes(2).ranks_per_node(2).build();
+//! let outcome = World::run(&spec, |ctx| {
+//!     // A trivial ring: rank r sends its rank id to (r+1) % n.
+//!     let n = ctx.nranks();
+//!     let next = (ctx.rank() + 1) % n;
+//!     let prev = (ctx.rank() + n - 1) % n;
+//!     ctx.endpoint().send_raw(next, 0, 7, bytes::Bytes::from(vec![ctx.rank() as u8]), &ctx);
+//!     let env = ctx.endpoint().recv_raw_blocking(&ctx).unwrap();
+//!     assert_eq!(env.src, prev);
+//!     Ok(ctx.now())
+//! })
+//! .unwrap();
+//! assert_eq!(outcome.results.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod envelope;
+pub mod error;
+pub mod fabric;
+pub mod link;
+pub mod noise;
+pub mod rank;
+pub mod stats;
+pub mod time;
+pub mod world;
+
+pub use cluster::{ClusterSpec, ClusterSpecBuilder, Interconnect, KernelVersion};
+pub use envelope::Envelope;
+pub use error::{SimError, SimResult};
+pub use fabric::{Endpoint, Fabric};
+pub use link::{LinkClass, LinkModel};
+pub use noise::NoiseModel;
+pub use rank::RankCtx;
+pub use stats::{mean, median, stddev, Summary};
+pub use time::VirtualTime;
+pub use world::{World, WorldOutcome};

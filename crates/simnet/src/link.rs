@@ -1,0 +1,89 @@
+//! Link cost model: the α/β (latency/bandwidth) half of LogGP.
+
+use crate::time::VirtualTime;
+
+/// Which kind of link connects two ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Both ranks on the same node: shared-memory transport.
+    IntraNode,
+    /// Ranks on different nodes: the cluster interconnect.
+    InterNode,
+}
+
+/// An α/β link model: transferring an `m`-byte message costs
+/// `α + m·β` of wire time, where `β = 1 / bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// One-way small-message latency.
+    pub alpha: VirtualTime,
+    /// Bandwidth in bytes per second (β is its inverse).
+    pub beta_inv_bps: f64,
+}
+
+impl LinkModel {
+    /// Construct from latency and bandwidth (bytes/second).
+    pub fn new(alpha: VirtualTime, bandwidth_bps: f64) -> Self {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        LinkModel { alpha, beta_inv_bps: bandwidth_bps }
+    }
+
+    /// Pure serialization time for `m` bytes (the `m·β` term).
+    pub fn serialize_time(&self, bytes: usize) -> VirtualTime {
+        let ns = bytes as f64 / self.beta_inv_bps * 1e9;
+        VirtualTime::from_nanos(ns.round() as u64)
+    }
+
+    /// Full one-way transfer time for `m` bytes: `α + m·β`.
+    pub fn transfer_time(&self, bytes: usize) -> VirtualTime {
+        self.alpha + self.serialize_time(bytes)
+    }
+
+    /// The message size at which the bandwidth term equals the latency term
+    /// (`m* = α·bandwidth`); a useful calibration diagnostic because latency
+    /// dominates below it and bandwidth above it.
+    pub fn crossover_bytes(&self) -> usize {
+        (self.alpha.as_nanos() as f64 / 1e9 * self.beta_inv_bps).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_is_alpha_plus_m_beta() {
+        // 1 GB/s, 10 us alpha.
+        let link = LinkModel::new(VirtualTime::from_micros(10), 1e9);
+        // 1000 bytes at 1 GB/s = 1 us.
+        assert_eq!(link.serialize_time(1000), VirtualTime::from_micros(1));
+        assert_eq!(link.transfer_time(1000), VirtualTime::from_micros(11));
+        // Zero bytes costs exactly alpha.
+        assert_eq!(link.transfer_time(0), VirtualTime::from_micros(10));
+    }
+
+    #[test]
+    fn crossover_scales_with_alpha_and_bandwidth() {
+        let link = LinkModel::new(VirtualTime::from_micros(10), 1e9);
+        assert_eq!(link.crossover_bytes(), 10_000);
+        let faster = LinkModel::new(VirtualTime::from_micros(10), 2e9);
+        assert_eq!(faster.crossover_bytes(), 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkModel::new(VirtualTime::ZERO, 0.0);
+    }
+
+    #[test]
+    fn serialize_time_monotone_in_bytes() {
+        let link = LinkModel::new(VirtualTime::from_micros(1), 1.1e9);
+        let mut last = VirtualTime::ZERO;
+        for m in [0usize, 1, 64, 4096, 1 << 20] {
+            let t = link.serialize_time(m);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

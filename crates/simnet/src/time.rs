@@ -1,0 +1,186 @@
+//! Virtual time: a nanosecond-resolution logical clock value.
+//!
+//! All latencies reported by the benchmark harnesses are differences of
+//! [`VirtualTime`] values, so results are deterministic and host-independent.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point (or span) in virtual time, in nanoseconds.
+///
+/// `VirtualTime` is a transparent wrapper over `u64` with saturating
+/// arithmetic: clocks never wrap, and subtracting a later time from an
+/// earlier one yields zero rather than panicking, which keeps timing code
+/// robust in the presence of per-rank clock skew.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    /// The zero timestamp (cluster boot).
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        VirtualTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        VirtualTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        VirtualTime(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        VirtualTime(s * 1_000_000_000)
+    }
+
+    /// Construct from a floating-point number of microseconds, rounding to
+    /// the nearest nanosecond. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_micros_f64(us: f64) -> Self {
+        VirtualTime((us.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    /// Nanoseconds since boot.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since boot, as a float (the unit of the paper's plots).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds since boot, as a float (the unit of Fig. 5).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating difference: `self - earlier`, or zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two timestamps.
+    #[inline]
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.max(other.0))
+    }
+
+    /// Scale a time span by a dimensionless factor (used by the jitter
+    /// model). Rounds to the nearest nanosecond; never negative.
+    #[inline]
+    pub fn scale(self, factor: f64) -> VirtualTime {
+        VirtualTime((self.0 as f64 * factor.max(0.0)).round() as u64)
+    }
+}
+
+impl Add for VirtualTime {
+    type Output = VirtualTime;
+    #[inline]
+    fn add(self, rhs: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for VirtualTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: VirtualTime) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = VirtualTime;
+    #[inline]
+    fn sub(self, rhs: VirtualTime) -> VirtualTime {
+        self.saturating_since(rhs)
+    }
+}
+
+impl Sum for VirtualTime {
+    fn sum<I: Iterator<Item = VirtualTime>>(iter: I) -> Self {
+        iter.fold(VirtualTime::ZERO, |acc, t| acc + t)
+    }
+}
+
+impl fmt::Debug for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000_000.0)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(VirtualTime::from_secs(1), VirtualTime::from_millis(1000));
+        assert_eq!(VirtualTime::from_millis(1), VirtualTime::from_micros(1000));
+        assert_eq!(VirtualTime::from_micros(1), VirtualTime::from_nanos(1000));
+    }
+
+    #[test]
+    fn saturating_subtraction_never_panics() {
+        let early = VirtualTime::from_micros(1);
+        let late = VirtualTime::from_micros(5);
+        assert_eq!(late - early, VirtualTime::from_micros(4));
+        assert_eq!(early - late, VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn micros_round_trip() {
+        let t = VirtualTime::from_micros_f64(12.345);
+        assert!((t.as_micros_f64() - 12.345).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scale_rounds_and_clamps() {
+        let t = VirtualTime::from_nanos(1000);
+        assert_eq!(t.scale(1.5), VirtualTime::from_nanos(1500));
+        assert_eq!(t.scale(-2.0), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", VirtualTime::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", VirtualTime::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", VirtualTime::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", VirtualTime::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: VirtualTime = (1..=4).map(VirtualTime::from_micros).sum();
+        assert_eq!(total, VirtualTime::from_micros(10));
+    }
+}

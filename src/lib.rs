@@ -1,0 +1,78 @@
+//! # mpi-stool — ABI interoperability for a fault-tolerant MPI
+//!
+//! A from-scratch Rust reproduction of *"The Case for ABI Interoperability
+//! in a Fault Tolerant MPI"* (Xu, Nansamba, Skjellum, Cooperman — IPPS
+//! 2025, arXiv:2503.11138), including every substrate the paper depends on.
+//!
+//! The paper's thesis is a **three-legged stool**: with a standard MPI ABI,
+//! three concerns become independently replaceable —
+//!
+//! 1. the **application binary**, compiled once against the standard ABI
+//!    ([`abi`], the MPI-ABI-working-group-style interface);
+//! 2. the **MPI library**, chosen at launch ([`mpich`] or [`ompi`], two
+//!    deliberately ABI-incompatible implementations, made ABI-compliant by
+//!    the Mukautuva-style shim in [`muk`]);
+//! 3. the **transparent checkpointing package** ([`mana`], on the
+//!    DMTCP-style platform in [`dmtcp`]), which itself talks only to the
+//!    standard ABI.
+//!
+//! The headline capability (paper §5.3, Fig. 6): checkpoint a running MPI
+//! computation under one MPI library and restart it under another.
+//!
+//! ## Crate map
+//!
+//! | module (re-export) | crate | role |
+//! |---|---|---|
+//! | [`stool`] | `stool` | the three-legged-stool session API (core contribution) |
+//! | [`abi`] | `mpi-abi` | the proposed standard MPI ABI: handles, constants, status, function table |
+//! | [`mpich`] | `mpich-sim` | MPICH-family MPI implementation (integer handles, MPICH collectives) |
+//! | [`ompi`] | `ompi-sim` | Open MPI-family implementation (pointer-ish handles, OMPI collectives) |
+//! | [`muk`] | `muk` | Mukautuva-style ABI shim: per-vendor wrap libraries + handle translation |
+//! | [`dmtcp`] | `dmtcp-sim` | DMTCP-style platform: coordinator, image codec, virtualization |
+//! | [`mana`] | `mana-sim` | MANA: split process, virtual ids, drain, cross-vendor restore |
+//! | [`simnet`] | `simnet` | deterministic virtual-time cluster (threads + channels + LogGP model) |
+//! | [`apps`] | `mpi-apps` | the paper's workloads: OSU kernels, CoMD mini-MD, wave_mpi |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpi_stool::stool::{Session, Vendor, Checkpointer, CkptMode};
+//! use mpi_stool::stool::programs::RingPings;
+//! use mpi_stool::simnet::ClusterSpec;
+//!
+//! let cluster = ClusterSpec::builder().nodes(2).ranks_per_node(2).build();
+//! let program = RingPings { rounds: 6, payload: 16 };
+//!
+//! // Launch under Open MPI, checkpoint-and-stop at step 3.
+//! let image = Session::builder()
+//!     .cluster(cluster.clone())
+//!     .vendor(Vendor::OpenMpi)
+//!     .checkpointer(Checkpointer::mana())
+//!     .checkpoint_at_step(3, CkptMode::Stop)
+//!     .build().unwrap()
+//!     .launch(&program).unwrap()
+//!     .into_image().unwrap();
+//!
+//! // Restart the same image under MPICH and run to completion.
+//! let out = Session::builder()
+//!     .cluster(cluster)
+//!     .vendor(Vendor::Mpich)
+//!     .checkpointer(Checkpointer::mana())
+//!     .build().unwrap()
+//!     .restore(&image, &program).unwrap();
+//! assert!(out.is_completed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mpi_abi as abi;
+pub use mpi_apps as apps;
+pub use stool;
+
+pub use dmtcp_sim as dmtcp;
+pub use mana_sim as mana;
+pub use mpich_sim as mpich;
+pub use muk;
+pub use ompi_sim as ompi;
+pub use simnet;

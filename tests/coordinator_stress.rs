@@ -1,0 +1,144 @@
+//! Stress tests for the checkpoint coordinator's gather/rendezvous
+//! protocol: under arbitrary thread interleavings and request timings,
+//! every round must either complete with a *uniform* cut or abort
+//! cleanly — never deadlock, never checkpoint ranks at different steps.
+//!
+//! (The bug class this guards against: a rank observing a request at an
+//! earlier safe point than the requester and parking in the barrier while
+//! still owing messages — see `dmtcp_sim::coordinator`.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mpi_stool::dmtcp::{CkptMode, Coordinator, Poll, RankImage};
+
+/// Drive `n` ranks through `steps` safe points each, with the button
+/// pressed from outside at a staggered moment. Returns the cuts taken.
+fn drive(n: usize, steps: u64, press_after_polls: u64, mode: CkptMode, seed: u64) -> Vec<u64> {
+    let coord = Coordinator::new(n);
+    let cuts = Mutex::new(Vec::new());
+    let polls = AtomicU64::new(0);
+    let pressed = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for rank in 0..n {
+            let coord = coord.clone();
+            let cuts = &cuts;
+            let polls = &polls;
+            let pressed = &pressed;
+            s.spawn(move || {
+                let mut agent = coord.agent(rank);
+                let zeros = vec![0u64; n];
+                let mut step = 0u64;
+                while step < steps {
+                    // Scheduling noise: some ranks burn extra yields, so
+                    // interleavings vary run to run and rank to rank.
+                    for _ in 0..((seed ^ rank as u64 ^ step) % 4) {
+                        std::thread::yield_now();
+                    }
+                    let total = polls.fetch_add(1, Ordering::SeqCst) + 1;
+                    if total == press_after_polls
+                        && pressed
+                            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                    {
+                        coord.request_checkpoint(mode);
+                    }
+                    match agent.poll(step).expect("protocol never errors here") {
+                        Poll::None | Poll::KeepRunning => {
+                            step += 1;
+                        }
+                        Poll::Enter(session) => {
+                            let cut = session.cut();
+                            assert_eq!(cut, step, "entered away from the cut");
+                            let pending =
+                                session.exchange_counters(&zeros, &zeros).expect("exchange");
+                            assert!(pending.iter().all(|&p| p == 0));
+                            session.submit_image(RankImage::new(rank, n, session.epoch()));
+                            let got = session.finish().expect("finish");
+                            assert_eq!(got, mode);
+                            cuts.lock().unwrap().push(cut);
+                            if got == CkptMode::Stop {
+                                return;
+                            }
+                            step += 1;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    cuts.into_inner().unwrap()
+}
+
+#[test]
+fn randomized_button_timing_never_deadlocks_and_cuts_are_uniform() {
+    for n in [1usize, 2, 3, 5, 8] {
+        for seed in 0..6u64 {
+            for &mode in &[CkptMode::Continue, CkptMode::Stop] {
+                let press = 1 + (seed * 7) % 20;
+                let cuts = drive(n, 40, press, mode, seed);
+                // Either the round completed on every rank with one cut,
+                // or it aborted (a rank finished first) and nobody cut.
+                assert!(
+                    cuts.is_empty() || cuts.len() == n,
+                    "n={n} seed={seed} mode={mode:?}: partial round {cuts:?}"
+                );
+                if let Some(&first) = cuts.first() {
+                    assert!(
+                        cuts.iter().all(|&c| c == first),
+                        "n={n} seed={seed}: non-uniform cuts {cuts:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn press_near_program_end_aborts_instead_of_hanging() {
+    // The request lands so late that some ranks may run out of safe
+    // points mid-gather: the round must abort, not deadlock or poison.
+    for seed in 0..10u64 {
+        let cuts = drive(4, 6, 20 + seed, CkptMode::Continue, seed);
+        assert!(
+            cuts.is_empty() || cuts.len() == 4,
+            "seed={seed}: partial round {cuts:?}"
+        );
+    }
+}
+
+#[test]
+fn back_to_back_requests_each_get_a_round_or_merge() {
+    let n = 4;
+    let coord = Coordinator::new(n);
+    std::thread::scope(|s| {
+        for rank in 0..n {
+            let coord = coord.clone();
+            s.spawn(move || {
+                let mut agent = coord.agent(rank);
+                let zeros = vec![0u64; n];
+                let mut step = 0u64;
+                while step < 60 {
+                    // Rank 0 presses the button three times as it runs.
+                    if rank == 0 && (step == 5 || step == 20 || step == 35) {
+                        coord.request_checkpoint(CkptMode::Continue);
+                    }
+                    match agent.poll(step).expect("poll") {
+                        Poll::None | Poll::KeepRunning => step += 1,
+                        Poll::Enter(session) => {
+                            session.exchange_counters(&zeros, &zeros).expect("exchange");
+                            session.submit_image(RankImage::new(rank, n, session.epoch()));
+                            session.finish().expect("finish");
+                            step += 1;
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    // Requests spaced well apart across 60 steps: every press is served
+    // by some round (merging is only possible for presses landing inside
+    // an open round, which 15-step spacing prevents here).
+    assert_eq!(coord.completed_rounds(), 3, "three presses, three rounds");
+}

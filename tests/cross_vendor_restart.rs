@@ -1,0 +1,352 @@
+//! The headline capability (paper §5.3, Fig. 6): checkpoint under one MPI
+//! implementation, restart under another, with no change to the answer.
+
+use mpi_stool::apps::{CoMdMini, OsuKernel, OsuLatency, WaveMpi};
+use mpi_stool::dmtcp::{CkptMode, WorldImage};
+use mpi_stool::simnet::{ClusterSpec, Interconnect, KernelVersion, VirtualTime};
+use mpi_stool::stool::programs::RingPings;
+use mpi_stool::stool::{Checkpointer, MpiProgram, Session, Vendor};
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::builder().nodes(2).ranks_per_node(3).build()
+}
+
+fn reference_memories(program: &dyn MpiProgram, vendor: Vendor) -> Vec<mpi_stool::stool::Memory> {
+    Session::builder()
+        .cluster(cluster())
+        .vendor(vendor)
+        .checkpointer(Checkpointer::mana())
+        .build()
+        .unwrap()
+        .launch(program)
+        .unwrap()
+        .memories()
+        .unwrap()
+        .to_vec()
+}
+
+/// Like the plain helpers but with the shim's canonical rank-ordered
+/// reductions enabled in every session.
+mod det {
+    use super::*;
+
+    pub fn reference(program: &dyn MpiProgram, vendor: Vendor) -> Vec<mpi_stool::stool::Memory> {
+        Session::builder()
+            .cluster(cluster())
+            .vendor(vendor)
+            .checkpointer(Checkpointer::mana())
+            .deterministic_reductions()
+            .build()
+            .unwrap()
+            .launch(program)
+            .unwrap()
+            .memories()
+            .unwrap()
+            .to_vec()
+    }
+
+    pub fn checkpoint_at(program: &dyn MpiProgram, vendor: Vendor, step: u64) -> WorldImage {
+        Session::builder()
+            .cluster(cluster())
+            .vendor(vendor)
+            .checkpointer(Checkpointer::mana())
+            .deterministic_reductions()
+            .checkpoint_at_step(step, CkptMode::Stop)
+            .build()
+            .unwrap()
+            .launch(program)
+            .unwrap()
+            .into_image()
+            .unwrap()
+    }
+
+    pub fn restore_under(
+        program: &dyn MpiProgram,
+        image: &WorldImage,
+        vendor: Vendor,
+    ) -> Vec<mpi_stool::stool::Memory> {
+        Session::builder()
+            .cluster(cluster())
+            .vendor(vendor)
+            .checkpointer(Checkpointer::mana())
+            .deterministic_reductions()
+            .build()
+            .unwrap()
+            .restore(image, program)
+            .unwrap()
+            .memories()
+            .unwrap()
+            .to_vec()
+    }
+}
+
+fn checkpoint_at(program: &dyn MpiProgram, vendor: Vendor, step: u64) -> WorldImage {
+    Session::builder()
+        .cluster(cluster())
+        .vendor(vendor)
+        .checkpointer(Checkpointer::mana())
+        .checkpoint_at_step(step, CkptMode::Stop)
+        .build()
+        .unwrap()
+        .launch(program)
+        .unwrap()
+        .into_image()
+        .unwrap()
+}
+
+fn restore_under(
+    program: &dyn MpiProgram,
+    image: &WorldImage,
+    vendor: Vendor,
+) -> Vec<mpi_stool::stool::Memory> {
+    Session::builder()
+        .cluster(cluster())
+        .vendor(vendor)
+        .checkpointer(Checkpointer::mana())
+        .build()
+        .unwrap()
+        .restore(image, program)
+        .unwrap()
+        .memories()
+        .unwrap()
+        .to_vec()
+}
+
+/// Bitwise memory comparison, with named exceptions compared to within a
+/// few ULPs instead. The exceptions are floating-point *reduction results*:
+/// real MPI implementations (and our vendor simulations, faithfully) use
+/// different association orders in `MPI_Allreduce`, so a value computed
+/// under MPICH may differ in its last bits from the same value computed
+/// under Open MPI. Everything else — all point-to-point-driven state — must
+/// match exactly.
+fn assert_memories_equal_with_ulps(
+    a: &[mpi_stool::stool::Memory],
+    b: &[mpi_stool::stool::Memory],
+    ulp_segments: &[&str],
+    max_ulps: u64,
+) {
+    assert_eq!(a.len(), b.len());
+    for (rank, (ma, mb)) in a.iter().zip(b).enumerate() {
+        let mut names_a: Vec<&str> = ma.names().collect();
+        let mut names_b: Vec<&str> = mb.names().collect();
+        names_a.sort_unstable();
+        names_b.sort_unstable();
+        assert_eq!(names_a, names_b, "rank {rank}: memory layout differs");
+        for name in names_a {
+            let loose = ulp_segments.contains(&name);
+            let (wa, wb) = (ma.f64s(name), mb.f64s(name));
+            match (wa, wb) {
+                (Some(xa), Some(xb)) => {
+                    assert_eq!(xa.len(), xb.len(), "rank {rank} segment {name}");
+                    for (i, (x, y)) in xa.iter().zip(xb).enumerate() {
+                        if loose {
+                            let (bx, by) = (x.to_bits() as i64, y.to_bits() as i64);
+                            assert!(
+                                bx.abs_diff(by) <= max_ulps,
+                                "rank {rank} segment {name}[{i}]: {x} vs {y}                                  differ by more than {max_ulps} ULPs"
+                            );
+                        } else {
+                            assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "rank {rank} segment {name}[{i}]"
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    assert_eq!(ma.bytes(name), mb.bytes(name), "rank {rank} segment {name}");
+                    assert_eq!(ma.u64s(name), mb.u64s(name), "rank {rank} segment {name}");
+                    assert_eq!(ma.i64s(name), mb.i64s(name), "rank {rank} segment {name}");
+                }
+            }
+        }
+    }
+}
+
+fn assert_memories_equal(a: &[mpi_stool::stool::Memory], b: &[mpi_stool::stool::Memory]) {
+    assert_memories_equal_with_ulps(a, b, &[], 0);
+}
+
+#[test]
+fn ring_openmpi_to_mpich() {
+    let program = RingPings { rounds: 10, payload: 8 };
+    let expect = reference_memories(&program, Vendor::OpenMpi);
+    let image = checkpoint_at(&program, Vendor::OpenMpi, 5);
+    let got = restore_under(&program, &image, Vendor::Mpich);
+    assert_memories_equal(&expect, &got);
+}
+
+#[test]
+fn ring_mpich_to_openmpi() {
+    // The paper demonstrates both directions ("and vice versa").
+    let program = RingPings { rounds: 10, payload: 8 };
+    let expect = reference_memories(&program, Vendor::Mpich);
+    let image = checkpoint_at(&program, Vendor::Mpich, 5);
+    let got = restore_under(&program, &image, Vendor::OpenMpi);
+    assert_memories_equal(&expect, &got);
+}
+
+#[test]
+fn wave_cross_vendor_bitwise_identical() {
+    let solver = WaveMpi { npoints: 200, nsteps: 100, gather_final: true, ..WaveMpi::default() };
+    let expect = reference_memories(&solver, Vendor::OpenMpi);
+    let image = checkpoint_at(&solver, Vendor::OpenMpi, 50);
+    let got = restore_under(&solver, &image, Vendor::Mpich);
+    assert_memories_equal(&expect, &got);
+}
+
+#[test]
+fn comd_cross_vendor_bitwise_with_deterministic_reductions() {
+    // With the shim folding reductions in canonical rank order, even the
+    // f64 energy diagnostics become a pure function of the inputs: the
+    // whole memory image is bitwise identical across the vendor switch —
+    // no ULP tolerance needed anywhere.
+    let md = CoMdMini { nsteps: 24, ..CoMdMini::default() };
+    let expect = det::reference(&md, Vendor::Mpich);
+    let image = det::checkpoint_at(&md, Vendor::Mpich, 12);
+    let got = det::restore_under(&md, &image, Vendor::OpenMpi);
+    assert_memories_equal(&expect, &got);
+}
+
+#[test]
+fn deterministic_reductions_match_vendor_answers_on_integers() {
+    // On exactly-representable data the canonical fold must agree with
+    // the vendor algorithms (it only changes association, not values).
+    let program = RingPings { rounds: 6, payload: 4 };
+    let plain = reference_memories(&program, Vendor::OpenMpi);
+    let det = det::reference(&program, Vendor::OpenMpi);
+    assert_memories_equal(&plain, &det);
+}
+
+#[test]
+fn deterministic_reductions_require_the_shim() {
+    let err = Session::builder()
+        .cluster(cluster())
+        .vendor(Vendor::Mpich)
+        .native_abi()
+        .deterministic_reductions()
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("Mukautuva"));
+}
+
+#[test]
+fn comd_cross_vendor_trajectory_identical() {
+    let md = CoMdMini { nsteps: 24, ..CoMdMini::default() };
+    let expect = reference_memories(&md, Vendor::Mpich);
+    let image = checkpoint_at(&md, Vendor::Mpich, 12);
+    let got = restore_under(&md, &image, Vendor::OpenMpi);
+    // Positions and velocities evolve through deterministic point-to-point
+    // halo exchange: bitwise identical across the vendor switch. The
+    // energy *diagnostics* are f64 allreduce results; entries recorded
+    // after the restore were reduced under Open MPI's association order
+    // and may differ in the last bits — exactly as with the real
+    // libraries.
+    assert_memories_equal_with_ulps(&expect, &got, &["comd.energy", "comd.ke", "comd.pe"], 4);
+}
+
+#[test]
+fn osu_checkpoint_in_sleep_window_like_fig6() {
+    // The paper's §5.3 protocol: the modified alltoall sleeps after warmup;
+    // the checkpoint lands in that window (step 1 = first measured size,
+    // requested at the safe point right after the window).
+    let bench = OsuLatency {
+        kernel: OsuKernel::Alltoall,
+        min_size: 1,
+        max_size: 512,
+        warmup: 2,
+        iters: 4,
+        ckpt_window: Some(VirtualTime::from_secs(10)),
+    };
+    let expect = reference_memories(&bench, Vendor::OpenMpi);
+    let image = checkpoint_at(&bench, Vendor::OpenMpi, 1);
+    let got = restore_under(&bench, &image, Vendor::Mpich);
+    // Latencies differ between vendors (that is Fig. 6's point: the curve
+    // after restart follows MPICH); only the *shape* of memory matches.
+    assert_eq!(expect.len(), got.len());
+    let lat = got[0].f64s("osu.lat_us").expect("latencies");
+    assert_eq!(lat.len(), bench.sizes().len());
+    assert!(lat.iter().all(|&l| l > 0.0));
+}
+
+#[test]
+fn restart_on_a_different_cluster() {
+    // Migration across heterogeneous clusters (paper §1): restore onto a
+    // cluster with a different interconnect and newer kernel.
+    let program = RingPings { rounds: 8, payload: 16 };
+    let expect = reference_memories(&program, Vendor::OpenMpi);
+    let image = checkpoint_at(&program, Vendor::OpenMpi, 4);
+
+    let new_cluster = ClusterSpec::builder()
+        .nodes(3)
+        .ranks_per_node(2) // same world size, different layout
+        .interconnect(Interconnect::Infiniband)
+        .kernel(KernelVersion::MODERN)
+        .build();
+    let got = Session::builder()
+        .cluster(new_cluster)
+        .vendor(Vendor::Mpich)
+        .checkpointer(Checkpointer::mana())
+        .build()
+        .unwrap()
+        .restore(&image, &program)
+        .unwrap()
+        .memories()
+        .unwrap()
+        .to_vec();
+    assert_memories_equal(&expect, &got);
+}
+
+#[test]
+fn image_survives_disk_roundtrip() {
+    let program = RingPings { rounds: 6, payload: 8 };
+    let image = checkpoint_at(&program, Vendor::OpenMpi, 3);
+    let dir = std::env::temp_dir().join(format!("stool-image-rt-{}", std::process::id()));
+    image.save_dir(&dir).expect("save");
+    let loaded = WorldImage::load_dir(&dir).expect("load");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(loaded.nranks(), image.nranks());
+    assert_eq!(loaded.vendor_hint, image.vendor_hint);
+    assert_eq!(loaded.total_bytes(), image.total_bytes());
+
+    let expect = reference_memories(&program, Vendor::OpenMpi);
+    let got = restore_under(&program, &loaded, Vendor::Mpich);
+    assert_memories_equal(&expect, &got);
+}
+
+#[test]
+fn repeated_checkpoint_restart_chain() {
+    // Checkpoint, restore, checkpoint again under the other vendor, restore
+    // again under the first: a full zig-zag.
+    let program = RingPings { rounds: 12, payload: 8 };
+    let expect = reference_memories(&program, Vendor::Mpich);
+
+    let image1 = checkpoint_at(&program, Vendor::OpenMpi, 3);
+    // Restore under MPICH but stop again at step 8.
+    let image2 = Session::builder()
+        .cluster(cluster())
+        .vendor(Vendor::Mpich)
+        .checkpointer(Checkpointer::mana())
+        .checkpoint_at_step(8, CkptMode::Stop)
+        .build()
+        .unwrap()
+        .restore(&image1, &program)
+        .unwrap()
+        .into_image()
+        .unwrap();
+    assert_eq!(image2.vendor_hint, "MPICH");
+    let got = restore_under(&program, &image2, Vendor::OpenMpi);
+    assert_memories_equal(&expect, &got);
+}
+
+#[test]
+fn checkpoint_at_every_step_gives_same_answer() {
+    let program = RingPings { rounds: 6, payload: 4 };
+    let expect = reference_memories(&program, Vendor::Mpich);
+    for step in 0..6 {
+        let image = checkpoint_at(&program, Vendor::OpenMpi, step);
+        let got = restore_under(&program, &image, Vendor::Mpich);
+        assert_memories_equal(&expect, &got);
+    }
+}

@@ -1,0 +1,237 @@
+//! The paper's quantitative claims as assertions (§5.1, §5.2).
+//!
+//! * Interposition overhead is largest at 1-byte messages and drops below
+//!   a few percent as messages grow (Figs. 2-4; max observed 10.9 % for
+//!   alltoall, 17.2 % for bcast/allreduce).
+//! * Real applications see far smaller overhead than micro-benchmarks
+//!   (Fig. 5; ~0-5 %).
+//! * The small-message overhead is mostly the FSGSBASE syscall cost of the
+//!   split process on pre-5.9 kernels (§5.1 discussion).
+
+use mpi_stool::apps::{CoMdMini, OsuKernel, OsuLatency, WaveMpi};
+use mpi_stool::simnet::{ClusterSpec, KernelVersion, VirtualTime};
+use mpi_stool::stool::{Checkpointer, MpiProgram, Session, Vendor};
+
+/// The paper's testbed shape (4 nodes x 12 ranks); the interposition cost
+/// model is calibrated against the §5.1 percentages at this scale, so the
+/// bands below only hold here (at 8 ranks the same fixed per-call cost is
+/// a much larger fraction of a much cheaper collective).
+fn cluster_with(kernel: KernelVersion) -> ClusterSpec {
+    ClusterSpec::builder()
+        .nodes(4)
+        .ranks_per_node(12)
+        .kernel(kernel)
+        .build()
+}
+
+fn latencies(
+    bench: &OsuLatency,
+    cluster: &ClusterSpec,
+    vendor: Vendor,
+    full_stack: bool,
+) -> Vec<f64> {
+    let mut b = Session::builder().cluster(cluster.clone()).vendor(vendor);
+    b = if full_stack { b.checkpointer(Checkpointer::mana()) } else { b.native_abi() };
+    let out = b.build().unwrap().launch(bench).unwrap();
+    out.memories().unwrap()[0].f64s("osu.lat_us").unwrap().to_vec()
+}
+
+fn small_bench(kernel: OsuKernel) -> OsuLatency {
+    OsuLatency { kernel, min_size: 1, max_size: 64 * 1024, warmup: 1, iters: 3, ckpt_window: None }
+}
+
+#[test]
+fn overhead_shrinks_with_message_size() {
+    let bench = small_bench(OsuKernel::Alltoall);
+    let cluster = cluster_with(KernelVersion::CENTOS7);
+    for vendor in [Vendor::Mpich, Vendor::OpenMpi] {
+        let native = latencies(&bench, &cluster, vendor, false);
+        let full = latencies(&bench, &cluster, vendor, true);
+        let sizes = bench.sizes();
+        let first_ov = (full[0] - native[0]) / native[0];
+        let last_ov = (full[sizes.len() - 1] - native[sizes.len() - 1])
+            / native[sizes.len() - 1];
+        assert!(
+            first_ov > last_ov,
+            "{vendor:?}: overhead should shrink with size (1B: {:.1}%, 64KiB: {:.1}%)",
+            first_ov * 100.0,
+            last_ov * 100.0
+        );
+        assert!(
+            last_ov.abs() < 0.02,
+            "{vendor:?}: large-message overhead should be <2%, got {:.2}%",
+            last_ov * 100.0
+        );
+    }
+}
+
+#[test]
+fn alltoall_small_message_overhead_within_paper_band() {
+    // Paper: max 10.9 % at 1 byte for alltoall, dropping under 1 % quickly.
+    let bench = small_bench(OsuKernel::Alltoall);
+    let cluster = cluster_with(KernelVersion::CENTOS7);
+    for vendor in [Vendor::Mpich, Vendor::OpenMpi] {
+        let native = latencies(&bench, &cluster, vendor, false);
+        let full = latencies(&bench, &cluster, vendor, true);
+        let ov_1b = (full[0] - native[0]) / native[0] * 100.0;
+        assert!(
+            (0.0..=25.0).contains(&ov_1b),
+            "{vendor:?}: 1-byte alltoall overhead {ov_1b:.1}% outside plausible band"
+        );
+    }
+}
+
+#[test]
+fn bcast_and_allreduce_overhead_more_visible_than_alltoall() {
+    // Paper: bcast/allreduce are "more efficient" (fewer messages), so the
+    // fixed interposition cost is a larger fraction — up to 17.2 %.
+    let cluster = cluster_with(KernelVersion::CENTOS7);
+    let vendor = Vendor::Mpich;
+    let mut max_ov = [0.0f64; 3];
+    for (i, kernel) in [OsuKernel::Alltoall, OsuKernel::Bcast, OsuKernel::Allreduce]
+        .into_iter()
+        .enumerate()
+    {
+        let bench = small_bench(kernel);
+        let native = latencies(&bench, &cluster, vendor, false);
+        let full = latencies(&bench, &cluster, vendor, true);
+        max_ov[i] = native
+            .iter()
+            .zip(&full)
+            .map(|(n, f)| (f - n) / n * 100.0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(max_ov[i] < 30.0, "{kernel:?} overhead {:.1}% implausibly large", max_ov[i]);
+    }
+    assert!(
+        max_ov[1] > max_ov[0] || max_ov[2] > max_ov[0],
+        "bcast ({:.1}%) or allreduce ({:.1}%) should exceed alltoall ({:.1}%)",
+        max_ov[1],
+        max_ov[2],
+        max_ov[0]
+    );
+}
+
+#[test]
+fn fsgsbase_kernel_feature_reduces_overhead() {
+    // §5.1: "A major cause of ... overhead is the lack of a Linux kernel
+    // feature on Discovery: setting the FSGSBASE register directly in
+    // userspace." On a modern kernel the same stack must be cheaper.
+    let bench = small_bench(OsuKernel::Bcast);
+    let old = cluster_with(KernelVersion::CENTOS7);
+    let new = cluster_with(KernelVersion::MODERN);
+    let vendor = Vendor::Mpich;
+
+    let native_old = latencies(&bench, &old, vendor, false);
+    let full_old = latencies(&bench, &old, vendor, true);
+    let native_new = latencies(&bench, &new, vendor, false);
+    let full_new = latencies(&bench, &new, vendor, true);
+
+    let ov_old = (full_old[0] - native_old[0]) / native_old[0];
+    let ov_new = (full_new[0] - native_new[0]) / native_new[0];
+    assert!(
+        ov_new < ov_old,
+        "userspace FSGSBASE should cut small-message overhead (old {:.1}%, new {:.1}%)",
+        ov_old * 100.0,
+        ov_new * 100.0
+    );
+}
+
+fn makespan_secs(program: &dyn MpiProgram, vendor: Vendor, full_stack: bool) -> f64 {
+    let cluster = cluster_with(KernelVersion::CENTOS7);
+    let mut b = Session::builder().cluster(cluster).vendor(vendor);
+    b = if full_stack { b.checkpointer(Checkpointer::mana()) } else { b.native_abi() };
+    let out = b.build().unwrap().launch(program).unwrap();
+    out.makespan().as_micros_f64() / 1e6
+}
+
+#[test]
+fn real_applications_see_small_overhead() {
+    // Fig. 5: CoMD ≈0-5 % overhead, wave_mpi ≈0 %.
+    let comd = CoMdMini { nsteps: 30, ..CoMdMini::default() };
+    // Realistic compute-to-communication ratio: 100 grid points per rank
+    // per step, as in the original wave_mpi defaults.
+    let wave = WaveMpi { npoints: 4800, nsteps: 200, gather_final: false, ..WaveMpi::default() };
+    for vendor in [Vendor::Mpich, Vendor::OpenMpi] {
+        let comd_ov = makespan_secs(&comd, vendor, true) / makespan_secs(&comd, vendor, false) - 1.0;
+        let wave_ov = makespan_secs(&wave, vendor, true) / makespan_secs(&wave, vendor, false) - 1.0;
+        assert!(
+            comd_ov < 0.10,
+            "{vendor:?}: CoMD full-stack overhead {:.1}% exceeds Fig. 5 band",
+            comd_ov * 100.0
+        );
+        assert!(
+            wave_ov < 0.05,
+            "{vendor:?}: wave_mpi full-stack overhead {:.1}% exceeds Fig. 5 band",
+            wave_ov * 100.0
+        );
+        assert!(comd_ov >= 0.0 && wave_ov >= 0.0, "interposition cannot be free");
+    }
+}
+
+#[test]
+fn microbenchmarks_are_the_worst_case() {
+    // §5.1: "micro-benchmarks represent an absolute worst case": their
+    // relative overhead exceeds the real applications'.
+    let vendor = Vendor::Mpich;
+    let cluster = cluster_with(KernelVersion::CENTOS7);
+    let bench = small_bench(OsuKernel::Bcast);
+    let native = latencies(&bench, &cluster, vendor, false);
+    let full = latencies(&bench, &cluster, vendor, true);
+    let micro_ov = (full[0] - native[0]) / native[0];
+
+    let wave = WaveMpi { npoints: 4800, nsteps: 200, gather_final: false, ..WaveMpi::default() };
+    let app_ov = makespan_secs(&wave, vendor, true) / makespan_secs(&wave, vendor, false) - 1.0;
+    assert!(
+        micro_ov > app_ov,
+        "micro overhead {:.2}% should exceed app overhead {:.2}%",
+        micro_ov * 100.0,
+        app_ov * 100.0
+    );
+}
+
+#[test]
+fn checkpoint_cost_scales_with_image_size() {
+    // The coordinated checkpoint charges image-write time at the modelled
+    // bandwidth: a bigger memory must take longer.
+    use mpi_stool::dmtcp::CkptMode;
+    use mpi_stool::stool::programs::SleepyProgram;
+
+    struct Fat {
+        bytes: usize,
+    }
+    impl MpiProgram for Fat {
+        fn name(&self) -> &'static str {
+            "fat"
+        }
+        fn run(&self, app: &mut mpi_stool::stool::AppCtx<'_>) -> mpi_stool::stool::StoolResult<()> {
+            app.mem.bytes_mut("fat.blob", self.bytes);
+            for step in app.resume_step()..3 {
+                if app.checkpoint_point(step)?.is_stop() {
+                    return Ok(());
+                }
+                app.sleep(VirtualTime::from_millis(1));
+            }
+            Ok(())
+        }
+    }
+
+    let run_ckpt = |program: &dyn MpiProgram| {
+        Session::builder()
+            .cluster(cluster_with(KernelVersion::CENTOS7))
+            .vendor(Vendor::Mpich)
+            .checkpointer(Checkpointer::mana())
+            .checkpoint_at_step(1, CkptMode::Continue)
+            .build()
+            .unwrap()
+            .launch(program)
+            .unwrap()
+            .makespan()
+    };
+
+    let thin = run_ckpt(&SleepyProgram { steps: 3, nap: VirtualTime::from_millis(1) });
+    let fat = run_ckpt(&Fat { bytes: 64 * 1024 * 1024 });
+    assert!(
+        fat > thin,
+        "64 MiB of upper-half memory must checkpoint slower than ~0 bytes ({fat:?} vs {thin:?})"
+    );
+}

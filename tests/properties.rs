@@ -1,0 +1,265 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! system's central invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mpi_stool::abi::{Handle, HandleKind, ReduceOp};
+use mpi_stool::dmtcp::{Memory, RankImage, Reader, Writer};
+use mpi_stool::simnet::{ClusterSpec, VirtualTime};
+use mpi_stool::stool::programs::RingPings;
+use mpi_stool::stool::{AppCtx, Checkpointer, CkptMode, MpiProgram, Session, StoolResult, Vendor};
+
+// ---------------------------------------------------------------------------
+// ABI handle encoding
+// ---------------------------------------------------------------------------
+
+fn any_kind() -> impl Strategy<Value = HandleKind> {
+    prop::sample::select(HandleKind::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn handle_dynamic_roundtrip(kind in any_kind(), slot in Handle::FIRST_DYNAMIC_INDEX..0x00ff_ffff) {
+        let h = Handle::dynamic(kind, slot);
+        prop_assert_eq!(h.kind(), kind);
+        prop_assert!(!h.is_predefined());
+        prop_assert!(!h.is_null());
+    }
+
+    #[test]
+    fn handle_predefined_roundtrip(kind in any_kind(), index in 0u32..Handle::FIRST_DYNAMIC_INDEX) {
+        let h = Handle::predefined(kind, index);
+        prop_assert_eq!(h.kind(), kind);
+        prop_assert_eq!(h.index(), index);
+        prop_assert!(h.is_predefined());
+    }
+
+    #[test]
+    fn handle_raw_is_lossless(kind in any_kind(), slot in Handle::FIRST_DYNAMIC_INDEX..0x00ff_ffff) {
+        let h = Handle::dynamic(kind, slot);
+        prop_assert_eq!(Handle::from_raw(h.raw()), h);
+    }
+
+    #[test]
+    fn distinct_kinds_never_collide(
+        a in any_kind(), b in any_kind(), slot in Handle::FIRST_DYNAMIC_INDEX..0x00ff_ffff
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Handle::dynamic(a, slot), Handle::dynamic(b, slot));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint image codec
+// ---------------------------------------------------------------------------
+
+fn any_segment_name() -> impl Strategy<Value = String> {
+    "[a-z]{1,12}(\\.[a-z0-9]{1,8})?"
+}
+
+fn any_memory() -> impl Strategy<Value = Memory> {
+    vec(
+        (
+            any_segment_name(),
+            prop_oneof![
+                vec(any::<f64>().prop_filter("no NaN for PartialEq", |x| !x.is_nan()), 0..24)
+                    .prop_map(SegmentData::F64),
+                vec(any::<i64>(), 0..24).prop_map(SegmentData::I64),
+                vec(any::<u64>(), 0..24).prop_map(SegmentData::U64),
+                vec(any::<u8>(), 0..64).prop_map(SegmentData::Bytes),
+            ],
+        ),
+        0..8,
+    )
+    .prop_map(|entries| {
+        let mut mem = Memory::new();
+        for (name, data) in entries {
+            // Duplicate names may arrive with a different element type;
+            // drop the old segment first (the typed accessors panic on a
+            // type mismatch by design).
+            mem.remove(&name);
+            match data {
+                SegmentData::F64(v) => mem.f64s_mut(&name, 0).extend(v),
+                SegmentData::I64(v) => mem.i64s_mut(&name, 0).extend(v),
+                SegmentData::U64(v) => mem.u64s_mut(&name, 0).extend(v),
+                SegmentData::Bytes(v) => mem.bytes_mut(&name, 0).extend(v),
+            }
+        }
+        mem
+    })
+}
+
+#[derive(Debug, Clone)]
+enum SegmentData {
+    F64(Vec<f64>),
+    I64(Vec<i64>),
+    U64(Vec<u64>),
+    Bytes(Vec<u8>),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memory_codec_roundtrip(mem in any_memory()) {
+        let mut w = Writer::new();
+        mem.encode(&mut w);
+        let buf = w.finish();
+        let mut r = Reader::checked(&buf).expect("checksum");
+        let back = Memory::decode(&mut r).expect("decode");
+        prop_assert_eq!(back, mem);
+    }
+
+    #[test]
+    fn corrupted_image_is_rejected(mem in any_memory(), flip in any::<usize>()) {
+        let mut w = Writer::new();
+        mem.encode(&mut w);
+        let mut buf = w.finish();
+        prop_assume!(!buf.is_empty());
+        let i = flip % buf.len();
+        buf[i] ^= 0x40;
+        // The fnv1a trailer covers every body byte, and a trailer flip
+        // breaks the stored sum itself: every single-bit corruption must be
+        // rejected before any state is reconstructed.
+        prop_assert!(Reader::checked(&buf).is_err(), "bit flip at {} accepted", i);
+    }
+
+    #[test]
+    fn rank_image_roundtrip(
+        rank in 0usize..48,
+        sections in vec((any_segment_name(), vec(any::<u8>(), 0..64)), 0..6),
+    ) {
+        let mut img = RankImage::new(rank, 48, 1);
+        for (name, data) in &sections {
+            img.put_section(name, data.clone());
+        }
+        let encoded = img.encode();
+        let back = RankImage::decode(&encoded).expect("decode");
+        prop_assert_eq!(back.rank, img.rank);
+        prop_assert_eq!(back.nranks, img.nranks);
+        // put_section overwrites: generated duplicate names must compare
+        // against the last write.
+        let mut expect: std::collections::HashMap<&str, &[u8]> = Default::default();
+        for (name, data) in &sections {
+            expect.insert(name.as_str(), data.as_slice());
+        }
+        for (name, data) in expect {
+            prop_assert_eq!(back.section(name), Some(data));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual time
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn virtual_time_add_is_monotone(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let ta = VirtualTime::from_nanos(a);
+        let tb = VirtualTime::from_nanos(b);
+        prop_assert!(ta + tb >= ta);
+        prop_assert!(ta + tb >= tb);
+        prop_assert_eq!(ta + tb, tb + ta);
+    }
+
+    #[test]
+    fn virtual_time_micros_roundtrip(us in 0u64..1 << 30) {
+        let t = VirtualTime::from_micros(us);
+        prop_assert_eq!(t.as_micros_f64() as u64, us);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-system invariants (small worlds, few cases: these launch threads)
+// ---------------------------------------------------------------------------
+
+/// An allreduce over random per-rank contributions must equal the serial sum
+/// on every rank, under both vendors, through the full stack.
+#[derive(Clone)]
+struct AllreduceCheck {
+    contributions: Vec<f64>,
+}
+
+impl MpiProgram for AllreduceCheck {
+    fn name(&self) -> &'static str {
+        "allreduce-check"
+    }
+    fn run(&self, app: &mut AppCtx<'_>) -> StoolResult<()> {
+        let mine = self.contributions[app.rank()];
+        let total = app.pmpi().allreduce_f64(mine, ReduceOp::Sum, Handle::COMM_WORLD)?;
+        app.mem.set_f64("check.total", total);
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn allreduce_matches_serial_sum(
+        contributions in vec(-1.0e6f64..1.0e6, 4),
+        vendor_is_mpich in any::<bool>(),
+    ) {
+        let cluster = ClusterSpec::builder().nodes(2).ranks_per_node(2).build();
+        let vendor = if vendor_is_mpich { Vendor::Mpich } else { Vendor::OpenMpi };
+        let program = AllreduceCheck { contributions: contributions.clone() };
+        let out = Session::builder()
+            .cluster(cluster)
+            .vendor(vendor)
+            .checkpointer(Checkpointer::mana())
+            .build()
+            .unwrap()
+            .launch(&program)
+            .unwrap();
+        let memories = out.memories().unwrap();
+        // Both vendor reduction trees are order-deterministic; against the
+        // serial left fold we allow f64 rounding slack.
+        let serial: f64 = contributions.iter().sum();
+        for m in memories {
+            let got = m.get_f64("check.total").unwrap();
+            prop_assert!((got - serial).abs() <= 1e-9 * serial.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn checkpoint_step_never_changes_the_answer(stop_step in 0u64..8, payload in 1usize..64) {
+        let cluster = ClusterSpec::builder().nodes(2).ranks_per_node(2).build();
+        let program = RingPings { rounds: 8, payload };
+        let reference = Session::builder()
+            .cluster(cluster.clone())
+            .vendor(Vendor::Mpich)
+            .checkpointer(Checkpointer::mana())
+            .build()
+            .unwrap()
+            .launch(&program)
+            .unwrap();
+        let expect = reference.memories().unwrap()[0].get_f64("ring.total").unwrap();
+
+        let image = Session::builder()
+            .cluster(cluster.clone())
+            .vendor(Vendor::OpenMpi)
+            .checkpointer(Checkpointer::mana())
+            .checkpoint_at_step(stop_step, CkptMode::Stop)
+            .build()
+            .unwrap()
+            .launch(&program)
+            .unwrap()
+            .into_image()
+            .unwrap();
+        let got = Session::builder()
+            .cluster(cluster)
+            .vendor(Vendor::Mpich)
+            .checkpointer(Checkpointer::mana())
+            .build()
+            .unwrap()
+            .restore(&image, &program)
+            .unwrap()
+            .memories()
+            .unwrap()[0]
+            .get_f64("ring.total")
+            .unwrap();
+        prop_assert_eq!(got, expect);
+    }
+}
