@@ -59,9 +59,12 @@ mod tests {
     #[test]
     fn tag_ub_leaves_room_for_internal_tags() {
         // Vendor libraries reserve tags above TAG_UB for internal protocol
-        // traffic (collective fragments, drain control).
-        assert!(TAG_UB > 0);
-        assert!(TAG_UB < i32::MAX);
+        // traffic (collective fragments, drain control). Compile-time
+        // facts, asserted in a const block.
+        const {
+            assert!(TAG_UB > 0);
+            assert!(TAG_UB < i32::MAX);
+        }
     }
 
     #[test]

@@ -88,7 +88,9 @@ impl Datatype {
         if h.kind() != HandleKind::Datatype {
             return None;
         }
-        Datatype::ALL.into_iter().find(|d| d.abi_index() == h.index())
+        Datatype::ALL
+            .into_iter()
+            .find(|d| d.abi_index() == h.index())
     }
 
     /// Size in bytes of one element.

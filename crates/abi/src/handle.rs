@@ -215,7 +215,9 @@ mod tests {
     #[test]
     fn expect_kind_accepts_and_rejects() {
         assert!(Handle::COMM_WORLD.expect_kind(HandleKind::Comm).is_ok());
-        assert!(Handle::COMM_WORLD.expect_kind(HandleKind::Datatype).is_err());
+        assert!(Handle::COMM_WORLD
+            .expect_kind(HandleKind::Datatype)
+            .is_err());
         assert!(Handle::COMM_NULL.expect_kind(HandleKind::Comm).is_err());
     }
 

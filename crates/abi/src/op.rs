@@ -68,7 +68,9 @@ impl ReduceOp {
         if h.kind() != HandleKind::Op {
             return None;
         }
-        ReduceOp::ALL.into_iter().find(|o| o.abi_index() == h.index())
+        ReduceOp::ALL
+            .into_iter()
+            .find(|o| o.abi_index() == h.index())
     }
 
     /// Whether this operation is commutative (all predefined ops are; the

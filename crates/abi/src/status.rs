@@ -37,7 +37,12 @@ impl AbiStatus {
 
     /// Construct a status for a completed receive.
     pub fn for_receive(source: i32, tag: i32, count_bytes: usize) -> AbiStatus {
-        AbiStatus { source, tag, error: 0, count_bytes: count_bytes as u64 }
+        AbiStatus {
+            source,
+            tag,
+            error: 0,
+            count_bytes: count_bytes as u64,
+        }
     }
 
     /// Number of whole elements of `datatype` received

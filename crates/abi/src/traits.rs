@@ -146,6 +146,8 @@ pub trait MpiAbi {
     }
 
     /// Combined send+receive (`MPI_Sendrecv`), deadlock-free.
+    /// The argument list mirrors the MPI binding one-to-one.
+    #[allow(clippy::too_many_arguments)]
     fn sendrecv(
         &mut self,
         sendbuf: &[u8],
@@ -174,13 +176,8 @@ pub trait MpiAbi {
     fn barrier(&mut self, comm: Handle) -> AbiResult<()>;
 
     /// `MPI_Bcast`: `buf` is input at `root`, output elsewhere.
-    fn bcast(
-        &mut self,
-        buf: &mut [u8],
-        datatype: Handle,
-        root: i32,
-        comm: Handle,
-    ) -> AbiResult<()>;
+    fn bcast(&mut self, buf: &mut [u8], datatype: Handle, root: i32, comm: Handle)
+        -> AbiResult<()>;
 
     /// `MPI_Reduce`: element-wise reduction into `recvbuf` at `root`.
     /// Non-root ranks may pass an empty `recvbuf`.

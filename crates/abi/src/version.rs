@@ -42,7 +42,10 @@ mod tests {
         let v11 = AbiVersion { major: 1, minor: 1 };
         let v20 = AbiVersion { major: 2, minor: 0 };
         assert!(v11.supports(v10), "newer minor serves older binaries");
-        assert!(!v10.supports(v11), "older minor cannot serve newer binaries");
+        assert!(
+            !v10.supports(v11),
+            "older minor cannot serve newer binaries"
+        );
         assert!(!v20.supports(v10), "major break is incompatible");
         assert!(v10.supports(v10));
     }

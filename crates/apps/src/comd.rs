@@ -117,10 +117,10 @@ impl CoMdMini {
         let mut seeds: u64 = self.seed | 1;
         let mut all_v = Vec::with_capacity(self.natoms() * 3);
         for _ in 0..self.natoms() {
-            for d in 0..3 {
+            for vs in vsum.iter_mut() {
                 let v = rand_pm1(&mut seeds) * (3.0 * self.temperature).sqrt();
                 all_v.push(v);
-                vsum[d] += v;
+                *vs += v;
             }
         }
         let vmean = [
@@ -312,10 +312,22 @@ fn exchange(
     tag: i32,
 ) -> StoolResult<Vec<f64>> {
     let mpi = app.mpi();
-    mpi.send(&f64s_to_bytes(send), mpi_abi::Datatype::Double.handle(), dst, tag, Handle::COMM_WORLD)?;
+    mpi.send(
+        &f64s_to_bytes(send),
+        mpi_abi::Datatype::Double.handle(),
+        dst,
+        tag,
+        Handle::COMM_WORLD,
+    )?;
     let st = mpi.probe(src, tag, Handle::COMM_WORLD)?;
     let mut buf = vec![0u8; st.count_bytes as usize];
-    mpi.recv(&mut buf, mpi_abi::Datatype::Double.handle(), src, tag, Handle::COMM_WORLD)?;
+    mpi.recv(
+        &mut buf,
+        mpi_abi::Datatype::Double.handle(),
+        src,
+        tag,
+        Handle::COMM_WORLD,
+    )?;
     let mut out = vec![0.0; buf.len() / 8];
     bytes_to_f64s(&buf, &mut out);
     Ok(out)
@@ -495,7 +507,9 @@ impl MpiProgram for CoMdMini {
 
             // Forces + second half-kick.
             let (new_force, pe_local, pairs) = self.forces(&all_pos, nlocal);
-            app.compute(VirtualTime::from_micros_f64(pairs as f64 * self.ns_per_pair / 1000.0));
+            app.compute(VirtualTime::from_micros_f64(
+                pairs as f64 * self.ns_per_pair / 1000.0,
+            ));
             for i in 0..nlocal * 3 {
                 vel[i] += 0.5 * self.dt * new_force[i];
             }
@@ -503,10 +517,13 @@ impl MpiProgram for CoMdMini {
             // Periodic energy diagnostics (the paper's workloads print
             // energies; we reduce and record them).
             if step % self.print_rate == 0 || step + 1 == self.nsteps {
-                let ke_local: f64 =
-                    vel.iter().map(|v| 0.5 * v * v).sum();
-                let ke = app.pmpi().allreduce_f64(ke_local, ReduceOp::Sum, Handle::COMM_WORLD)?;
-                let pe = app.pmpi().allreduce_f64(pe_local, ReduceOp::Sum, Handle::COMM_WORLD)?;
+                let ke_local: f64 = vel.iter().map(|v| 0.5 * v * v).sum();
+                let ke = app
+                    .pmpi()
+                    .allreduce_f64(ke_local, ReduceOp::Sum, Handle::COMM_WORLD)?;
+                let pe = app
+                    .pmpi()
+                    .allreduce_f64(pe_local, ReduceOp::Sum, Handle::COMM_WORLD)?;
                 let series = app.mem.f64s_mut("comd.energy", 0);
                 series.push(ke + pe);
                 app.mem.set_f64("comd.ke", ke);
@@ -525,7 +542,10 @@ impl MpiProgram for CoMdMini {
             mem_f.extend_from_slice(&new_force);
             debug_assert_eq!(npos, nlocal * 3);
         }
-        app.mem.set_u64("comd.natoms_local", (app.mem.f64s("comd.pos").unwrap().len() / 3) as u64);
+        app.mem.set_u64(
+            "comd.natoms_local",
+            (app.mem.f64s("comd.pos").unwrap().len() / 3) as u64,
+        );
         Ok(())
     }
 }
@@ -538,14 +558,25 @@ mod tests {
     fn small() -> CoMdMini {
         // nx = 9 keeps L = 10.8 above the slab + 2*cutoff decomposition
         // bound even when the world is only 2 slabs wide.
-        CoMdMini { nx: 9, nsteps: 20, print_rate: 5, ..CoMdMini::default() }
+        CoMdMini {
+            nx: 9,
+            nsteps: 20,
+            print_rate: 5,
+            ..CoMdMini::default()
+        }
     }
 
     #[test]
     fn atom_count_conserved() {
-        let cluster = simnet::ClusterSpec::builder().nodes(2).ranks_per_node(2).build();
-        let session =
-            Session::builder().cluster(cluster).vendor(Vendor::Mpich).build().unwrap();
+        let cluster = simnet::ClusterSpec::builder()
+            .nodes(2)
+            .ranks_per_node(2)
+            .build();
+        let session = Session::builder()
+            .cluster(cluster)
+            .vendor(Vendor::Mpich)
+            .build()
+            .unwrap();
         let md = small();
         let out = session.launch(&md).unwrap();
         let total: u64 = out
@@ -559,18 +590,29 @@ mod tests {
 
     #[test]
     fn energy_approximately_conserved() {
-        let cluster = simnet::ClusterSpec::builder().nodes(1).ranks_per_node(2).build();
-        let session =
-            Session::builder().cluster(cluster).vendor(Vendor::OpenMpi).build().unwrap();
-        let md = CoMdMini { nx: 9, nsteps: 60, print_rate: 10, ..CoMdMini::default() };
+        let cluster = simnet::ClusterSpec::builder()
+            .nodes(1)
+            .ranks_per_node(2)
+            .build();
+        let session = Session::builder()
+            .cluster(cluster)
+            .vendor(Vendor::OpenMpi)
+            .build()
+            .unwrap();
+        let md = CoMdMini {
+            nx: 9,
+            nsteps: 60,
+            print_rate: 10,
+            ..CoMdMini::default()
+        };
         let out = session.launch(&md).unwrap();
-        let series = out.memories().unwrap()[0].f64s("comd.energy").unwrap().to_vec();
+        let series = out.memories().unwrap()[0]
+            .f64s("comd.energy")
+            .unwrap()
+            .to_vec();
         assert!(series.len() >= 2);
         let e0 = series[0];
-        let emax_drift = series
-            .iter()
-            .map(|e| (e - e0).abs())
-            .fold(0.0f64, f64::max);
+        let emax_drift = series.iter().map(|e| (e - e0).abs()).fold(0.0f64, f64::max);
         // Velocity Verlet with dt=0.004 in a near-equilibrium LJ solid:
         // drift well under 2% of |E0|.
         assert!(
@@ -581,7 +623,10 @@ mod tests {
 
     #[test]
     fn physics_identical_across_vendors() {
-        let cluster = simnet::ClusterSpec::builder().nodes(2).ranks_per_node(2).build();
+        let cluster = simnet::ClusterSpec::builder()
+            .nodes(2)
+            .ranks_per_node(2)
+            .build();
         let energy_for = |vendor| {
             let session = Session::builder()
                 .cluster(cluster.clone())
@@ -589,7 +634,10 @@ mod tests {
                 .build()
                 .unwrap();
             let out = session.launch(&small()).unwrap();
-            out.memories().unwrap()[0].f64s("comd.energy").unwrap().to_vec()
+            out.memories().unwrap()[0]
+                .f64s("comd.energy")
+                .unwrap()
+                .to_vec()
         };
         let a = energy_for(Vendor::Mpich);
         let b = energy_for(Vendor::OpenMpi);

@@ -97,7 +97,8 @@ impl OsuLatency {
             OsuKernel::Alltoall => {
                 let send = vec![0x5Au8; size * n];
                 let mut recv = vec![0u8; size * n];
-                app.pmpi().alltoall_bytes(&send, &mut recv, Handle::COMM_WORLD)?;
+                app.pmpi()
+                    .alltoall_bytes(&send, &mut recv, Handle::COMM_WORLD)?;
             }
             OsuKernel::Bcast => {
                 let mut buf = vec![0x5Au8; size];
@@ -175,7 +176,9 @@ impl MpiProgram for OsuLatency {
             }
             let local_avg_us = local_us / iters as f64;
             // OSU reports the average across ranks.
-            let sum = app.pmpi().allreduce_f64(local_avg_us, ReduceOp::Sum, Handle::COMM_WORLD)?;
+            let sum = app
+                .pmpi()
+                .allreduce_f64(local_avg_us, ReduceOp::Sum, Handle::COMM_WORLD)?;
             let avg = sum / app.nranks() as f64;
             app.mem.u64s_mut("osu.sizes", sizes.len())[(step - 1) as usize] = size as u64;
             app.mem.f64s_mut("osu.lat_us", sizes.len())[(step - 1) as usize] = avg;
@@ -211,7 +214,10 @@ mod tests {
 
     #[test]
     fn latencies_are_positive_and_grow_with_size() {
-        let cluster = simnet::ClusterSpec::builder().nodes(2).ranks_per_node(2).build();
+        let cluster = simnet::ClusterSpec::builder()
+            .nodes(2)
+            .ranks_per_node(2)
+            .build();
         for kernel in [OsuKernel::Alltoall, OsuKernel::Bcast, OsuKernel::Allreduce] {
             let bench = OsuLatency { kernel, ..tiny() };
             let session = Session::builder()
@@ -231,7 +237,10 @@ mod tests {
 
     #[test]
     fn all_ranks_record_identical_series() {
-        let cluster = simnet::ClusterSpec::builder().nodes(1).ranks_per_node(3).build();
+        let cluster = simnet::ClusterSpec::builder()
+            .nodes(1)
+            .ranks_per_node(3)
+            .build();
         let bench = tiny();
         let session = Session::builder()
             .cluster(cluster)

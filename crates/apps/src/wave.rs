@@ -37,7 +37,13 @@ pub struct WaveMpi {
 impl Default for WaveMpi {
     fn default() -> Self {
         // dt is chosen for CFL stability: c·dt/dx = 0.9.
-        WaveMpi { npoints: 4000, nsteps: 800, c: 1.0, ns_per_point: 6.0, gather_final: true }
+        WaveMpi {
+            npoints: 4000,
+            nsteps: 800,
+            c: 1.0,
+            ns_per_point: 6.0,
+            gather_final: true,
+        }
     }
 }
 
@@ -75,8 +81,16 @@ impl MpiProgram for WaveMpi {
         let dx = self.dx();
         let dt = self.dt();
         let alpha2 = (self.c * dt / dx) * (self.c * dt / dx);
-        let left = if me == 0 { consts::PROC_NULL } else { (me - 1) as i32 };
-        let right = if me + 1 == n { consts::PROC_NULL } else { (me + 1) as i32 };
+        let left = if me == 0 {
+            consts::PROC_NULL
+        } else {
+            (me - 1) as i32
+        };
+        let right = if me + 1 == n {
+            consts::PROC_NULL
+        } else {
+            (me + 1) as i32
+        };
 
         // Initialize u(x,0) and u(x,dt) from the exact solution on a
         // fresh launch; a restart finds them in memory.
@@ -112,7 +126,15 @@ impl MpiProgram for WaveMpi {
                     21,
                     Handle::COMM_WORLD,
                 )?;
-                p.sendrecv_f64s(&[u[0]], left, 22, &mut from_right, right, 22, Handle::COMM_WORLD)?;
+                p.sendrecv_f64s(
+                    &[u[0]],
+                    left,
+                    22,
+                    &mut from_right,
+                    right,
+                    22,
+                    Handle::COMM_WORLD,
+                )?;
             }
 
             // Leapfrog update; physical boundaries follow the exact
@@ -126,14 +148,20 @@ impl MpiProgram for WaveMpi {
                     u_next[i] = self.exact(gi as f64 * dx, t_next);
                 } else {
                     let um = if i == 0 { from_left[0] } else { u[i - 1] };
-                    let up = if i + 1 == len { from_right[0] } else { u[i + 1] };
+                    let up = if i + 1 == len {
+                        from_right[0]
+                    } else {
+                        u[i + 1]
+                    };
                     u_next[i] = 2.0 * u[i] - u_prev[i] + alpha2 * (um - 2.0 * u[i] + up);
                 }
             }
             app.mem.f64s_mut("wave.u_prev", len).copy_from_slice(&u);
             app.mem.f64s_mut("wave.u", len).copy_from_slice(&u_next);
             // Charge the modelled stencil compute time.
-            app.compute(VirtualTime::from_micros_f64(len as f64 * self.ns_per_point / 1000.0));
+            app.compute(VirtualTime::from_micros_f64(
+                len as f64 * self.ns_per_point / 1000.0,
+            ));
         }
 
         // Diagnostics: L∞ error against the exact solution at final time.
@@ -143,7 +171,9 @@ impl MpiProgram for WaveMpi {
         for (i, &v) in u.iter().enumerate() {
             local_err = local_err.max((v - self.exact((lo + i) as f64 * dx, t_final)).abs());
         }
-        let err = app.pmpi().allreduce_f64(local_err, ReduceOp::Max, Handle::COMM_WORLD)?;
+        let err = app
+            .pmpi()
+            .allreduce_f64(local_err, ReduceOp::Max, Handle::COMM_WORLD)?;
         app.mem.set_f64("wave.err", err);
 
         if self.gather_final {
@@ -153,15 +183,22 @@ impl MpiProgram for WaveMpi {
             let maxlen = base + usize::from(!self.npoints.is_multiple_of(n));
             let mut padded = vec![0.0; maxlen];
             padded[..len].copy_from_slice(&u);
-            let mut gathered = if me == 0 { vec![0.0; maxlen * n] } else { Vec::new() };
-            app.pmpi().gather_f64s(&padded, &mut gathered, 0, Handle::COMM_WORLD)?;
+            let mut gathered = if me == 0 {
+                vec![0.0; maxlen * n]
+            } else {
+                Vec::new()
+            };
+            app.pmpi()
+                .gather_f64s(&padded, &mut gathered, 0, Handle::COMM_WORLD)?;
             if me == 0 {
                 let mut full = Vec::with_capacity(self.npoints);
                 for r in 0..n {
                     let (_, rlen) = self.local_range(r, n);
                     full.extend_from_slice(&gathered[r * maxlen..r * maxlen + rlen]);
                 }
-                app.mem.f64s_mut("wave.final", self.npoints).copy_from_slice(&full);
+                app.mem
+                    .f64s_mut("wave.final", self.npoints)
+                    .copy_from_slice(&full);
             }
         }
         Ok(())
@@ -174,7 +211,11 @@ mod tests {
     use stool::{Checkpointer, Session, Vendor};
 
     fn small() -> WaveMpi {
-        WaveMpi { npoints: 200, nsteps: 60, ..WaveMpi::default() }
+        WaveMpi {
+            npoints: 200,
+            nsteps: 60,
+            ..WaveMpi::default()
+        }
     }
 
     #[test]
@@ -195,9 +236,15 @@ mod tests {
 
     #[test]
     fn converges_to_exact_solution() {
-        let cluster = simnet::ClusterSpec::builder().nodes(2).ranks_per_node(2).build();
-        let session =
-            Session::builder().cluster(cluster).vendor(Vendor::Mpich).build().unwrap();
+        let cluster = simnet::ClusterSpec::builder()
+            .nodes(2)
+            .ranks_per_node(2)
+            .build();
+        let session = Session::builder()
+            .cluster(cluster)
+            .vendor(Vendor::Mpich)
+            .build()
+            .unwrap();
         let out = session.launch(&small()).unwrap();
         let err = out.memories().unwrap()[0].get_f64("wave.err").unwrap();
         // Second-order scheme at CFL 0.9 on a 200-point grid: error well
@@ -207,7 +254,10 @@ mod tests {
 
     #[test]
     fn trajectory_is_bitwise_identical_across_vendors() {
-        let cluster = simnet::ClusterSpec::builder().nodes(2).ranks_per_node(2).build();
+        let cluster = simnet::ClusterSpec::builder()
+            .nodes(2)
+            .ranks_per_node(2)
+            .build();
         let field_for = |vendor| {
             let session = Session::builder()
                 .cluster(cluster.clone())
@@ -215,7 +265,10 @@ mod tests {
                 .build()
                 .unwrap();
             let out = session.launch(&small()).unwrap();
-            out.memories().unwrap()[0].f64s("wave.final").unwrap().to_vec()
+            out.memories().unwrap()[0]
+                .f64s("wave.final")
+                .unwrap()
+                .to_vec()
         };
         let a = field_for(Vendor::Mpich);
         let b = field_for(Vendor::OpenMpi);
@@ -226,8 +279,10 @@ mod tests {
     #[test]
     fn rank_count_does_not_change_physics() {
         let field_for = |nodes: usize, rpn: usize| {
-            let cluster =
-                simnet::ClusterSpec::builder().nodes(nodes).ranks_per_node(rpn).build();
+            let cluster = simnet::ClusterSpec::builder()
+                .nodes(nodes)
+                .ranks_per_node(rpn)
+                .build();
             let session = Session::builder()
                 .cluster(cluster)
                 .vendor(Vendor::OpenMpi)
@@ -235,13 +290,19 @@ mod tests {
                 .build()
                 .unwrap();
             let out = session.launch(&small()).unwrap();
-            out.memories().unwrap()[0].f64s("wave.final").unwrap().to_vec()
+            out.memories().unwrap()[0]
+                .f64s("wave.final")
+                .unwrap()
+                .to_vec()
         };
         let serial = field_for(1, 1);
         let parallel = field_for(2, 3);
         // Same stencil arithmetic regardless of decomposition (floating
         // point is associativity-free here: each point's update uses the
         // same three neighbours in the same expression).
-        assert!(serial.iter().zip(&parallel).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(serial
+            .iter()
+            .zip(&parallel)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 }

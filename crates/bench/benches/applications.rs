@@ -21,8 +21,18 @@ fn run_app(program: &dyn MpiProgram, vendor: Vendor, full: bool) -> f64 {
 fn applications(c: &mut Criterion) {
     let mut group = c.benchmark_group("applications");
     group.sample_size(10);
-    let comd = CoMdMini { nx: 6, nsteps: 8, print_rate: 4, ..CoMdMini::default() };
-    let wave = WaveMpi { npoints: 1_000, nsteps: 150, gather_final: false, ..WaveMpi::default() };
+    let comd = CoMdMini {
+        nx: 6,
+        nsteps: 8,
+        print_rate: 4,
+        ..CoMdMini::default()
+    };
+    let wave = WaveMpi {
+        npoints: 1_000,
+        nsteps: 150,
+        gather_final: false,
+        ..WaveMpi::default()
+    };
 
     for (name, program) in [("comd", &comd as &dyn MpiProgram), ("wave", &wave)] {
         for vendor in [Vendor::Mpich, Vendor::OpenMpi] {

@@ -12,7 +12,12 @@ fn image_codec(c: &mut Criterion) {
     for npoints in [1_000usize, 50_000] {
         // Produce a real image from a wave run of this size.
         let cluster = ClusterSpec::builder().nodes(1).ranks_per_node(2).build();
-        let program = WaveMpi { npoints, nsteps: 4, gather_final: false, ..WaveMpi::default() };
+        let program = WaveMpi {
+            npoints,
+            nsteps: 4,
+            gather_final: false,
+            ..WaveMpi::default()
+        };
         let session = Session::builder()
             .cluster(cluster)
             .vendor(Vendor::Mpich)
@@ -46,7 +51,12 @@ fn ckpt_restart_cycle(c: &mut Criterion) {
     let mut group = c.benchmark_group("ckpt_restart");
     group.sample_size(10);
     let cluster = ClusterSpec::builder().nodes(2).ranks_per_node(2).build();
-    let program = WaveMpi { npoints: 2_000, nsteps: 30, gather_final: false, ..WaveMpi::default() };
+    let program = WaveMpi {
+        npoints: 2_000,
+        nsteps: 30,
+        gather_final: false,
+        ..WaveMpi::default()
+    };
 
     group.bench_function("checkpoint_stop", |b| {
         b.iter(|| {
@@ -57,7 +67,12 @@ fn ckpt_restart_cycle(c: &mut Criterion) {
                 .checkpoint_at_step(15, CkptMode::Stop)
                 .build()
                 .unwrap();
-            session.launch(&program).unwrap().into_image().unwrap().total_bytes()
+            session
+                .launch(&program)
+                .unwrap()
+                .into_image()
+                .unwrap()
+                .total_bytes()
         });
     });
 

@@ -18,25 +18,21 @@ fn bench_collective(
     let spec = ClusterSpec::builder().nodes(2).ranks_per_node(4).build();
     for vendor in [Vendor::Mpich, Vendor::OpenMpi] {
         for size in [64usize, 16 * 1024] {
-            group.bench_with_input(
-                BenchmarkId::new(vendor.name(), size),
-                &size,
-                |b, &size| {
-                    b.iter(|| {
-                        World::run(&spec, |ctx| {
-                            let mut lib = open_vendor(vendor, ctx.clone());
-                            let n = ctx.nranks();
-                            let send = vec![1u8; size * n];
-                            let mut recv = vec![0u8; size * n];
-                            for _ in 0..4 {
-                                op(lib.as_mut(), &send, &mut recv);
-                            }
-                            Ok(())
-                        })
-                        .unwrap()
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(vendor.name(), size), &size, |b, &size| {
+                b.iter(|| {
+                    World::run(&spec, |ctx| {
+                        let mut lib = open_vendor(vendor, ctx.clone());
+                        let n = ctx.nranks();
+                        let send = vec![1u8; size * n];
+                        let mut recv = vec![0u8; size * n];
+                        for _ in 0..4 {
+                            op(lib.as_mut(), &send, &mut recv);
+                        }
+                        Ok(())
+                    })
+                    .unwrap()
+                });
+            });
         }
     }
     group.finish();
@@ -44,12 +40,19 @@ fn bench_collective(
 
 fn collectives(c: &mut Criterion) {
     bench_collective(c, "alltoall", |mpi, send, recv| {
-        mpi.alltoall(send, recv, Datatype::Byte.handle(), Handle::COMM_WORLD).unwrap();
+        mpi.alltoall(send, recv, Datatype::Byte.handle(), Handle::COMM_WORLD)
+            .unwrap();
     });
     bench_collective(c, "bcast", |mpi, send, recv| {
         // Per-rank payload (not scaled by nranks like alltoall).
         let n = send.len().min(recv.len()) / 8;
-        mpi.bcast(&mut recv[..n], Datatype::Byte.handle(), 0, Handle::COMM_WORLD).unwrap();
+        mpi.bcast(
+            &mut recv[..n],
+            Datatype::Byte.handle(),
+            0,
+            Handle::COMM_WORLD,
+        )
+        .unwrap();
     });
     bench_collective(c, "allreduce", |mpi, send, recv| {
         // Whole doubles only.

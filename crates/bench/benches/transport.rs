@@ -1,0 +1,228 @@
+//! Criterion: real (wall-clock) cost of the transport fast paths.
+//!
+//! Records the headline numbers for the event-driven fabric rework:
+//!
+//! * `wakeup_latency` — round-trip time through a *blocked* receiver.
+//!   `event_driven` sleeps on the mailbox condvar; `polling_baseline`
+//!   reimplements the old transport's wait loop (non-blocking poll +
+//!   200 µs sleep) in the bench so the ≥ 2× win stays measured even
+//!   though the polling code is gone from the library.
+//! * `p2p_rate` — messages/call through a drained mailbox:
+//!   one-lock-per-message (`poll_each`) vs the batch drain the progress
+//!   engines use (`batch_drain`), at 64 B (inline payload) and 4 KiB.
+//! * `alltoall_drain` — 48 ranks each send to all peers; every rank then
+//!   resolves its 47 exact-match receives through the indexed matcher
+//!   (O(1) per receive, no unexpected-queue scan).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simnet::matching::{MatchCore, SrcPattern, TagPattern};
+use simnet::{ClusterSpec, Fabric, NoiseModel, RankCtx};
+use std::sync::Arc;
+
+/// The old transport's poll interval, reproduced for the baseline.
+const POLL_INTERVAL: Duration = Duration::from_micros(200);
+
+fn ctxs_for(spec: &Arc<ClusterSpec>) -> Vec<RankCtx> {
+    let (_fabric, eps) = Fabric::new(spec);
+    eps.into_iter()
+        .enumerate()
+        .map(|(r, ep)| {
+            RankCtx::new(
+                r,
+                spec.clone(),
+                ep,
+                NoiseModel::disabled().stream_for_rank(r),
+            )
+        })
+        .collect()
+}
+
+/// Round-trip through an echo thread whose receive blocks. `polling`
+/// selects the baseline wait loop instead of the condvar sleep.
+fn pingpong_roundtrip(c: &mut Criterion, name: &str, polling: bool) {
+    let spec = Arc::new(ClusterSpec::builder().nodes(1).ranks_per_node(2).build());
+    let (fabric, mut eps) = Fabric::new(&spec);
+    let ep1 = eps.pop().unwrap();
+    let ep0 = eps.pop().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let echo_stop = stop.clone();
+        let echo_spec = spec.clone();
+        scope.spawn(move || {
+            let ctx = RankCtx::new(1, echo_spec, ep1, NoiseModel::disabled().stream_for_rank(1));
+            loop {
+                let env = if polling {
+                    // The pre-rework wait: non-blocking poll, then a real
+                    // 200 µs sleep — wakeup latency is O(poll interval).
+                    loop {
+                        match ctx.endpoint().poll_raw() {
+                            Ok(Some(env)) => break Ok(env),
+                            Ok(None) => {
+                                if echo_stop.load(Ordering::Relaxed) {
+                                    break Err(());
+                                }
+                                std::thread::sleep(POLL_INTERVAL);
+                            }
+                            Err(_) => break Err(()),
+                        }
+                    }
+                } else {
+                    ctx.endpoint().recv_raw().map_err(|_| ())
+                };
+                let Ok(env) = env else { break };
+                if ctx
+                    .endpoint()
+                    .send_raw(0, env.ctx_id, env.tag, env.payload, &ctx)
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        });
+
+        let ctx0 = RankCtx::new(
+            0,
+            spec.clone(),
+            ep0,
+            NoiseModel::disabled().stream_for_rank(0),
+        );
+        let mut group = c.benchmark_group("wakeup_latency");
+        group.sample_size(10);
+        group.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    // Let the echo thread finish the previous round and
+                    // actually block (condvar sleep or poll-interval
+                    // sleep) before the timed send.
+                    std::thread::sleep(POLL_INTERVAL / 2);
+                    let t = std::time::Instant::now();
+                    ctx0.endpoint()
+                        .send_raw(1, 0, 0, Bytes::copy_from_slice(&[1u8; 8]), &ctx0)
+                        .unwrap();
+                    ctx0.endpoint().recv_raw().unwrap();
+                    total += t.elapsed();
+                }
+                total
+            });
+        });
+        group.finish();
+
+        stop.store(true, Ordering::Relaxed);
+        fabric.shutdown();
+    });
+}
+
+fn wakeup_latency(c: &mut Criterion) {
+    pingpong_roundtrip(c, "event_driven", false);
+    pingpong_roundtrip(c, "polling_baseline", true);
+}
+
+fn p2p_rate(c: &mut Criterion) {
+    let spec = Arc::new(ClusterSpec::builder().nodes(1).ranks_per_node(2).build());
+    let ctxs = ctxs_for(&spec);
+    let (tx, rx) = (&ctxs[0], &ctxs[1]);
+    let mut group = c.benchmark_group("p2p_rate");
+    group.sample_size(10);
+    const BURST: usize = 1024;
+    for payload_bytes in [64usize, 4096] {
+        let payload = Bytes::from(vec![7u8; payload_bytes]);
+        group.bench_with_input(
+            BenchmarkId::new("poll_each", payload_bytes),
+            &payload,
+            |b, payload| {
+                b.iter(|| {
+                    for _ in 0..BURST {
+                        tx.endpoint()
+                            .send_raw(1, 0, 0, payload.clone(), tx)
+                            .unwrap();
+                    }
+                    let mut n = 0;
+                    while rx.endpoint().poll_raw().unwrap().is_some() {
+                        n += 1;
+                    }
+                    assert_eq!(n, BURST);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch_drain", payload_bytes),
+            &payload,
+            |b, payload| {
+                let mut buf = Vec::with_capacity(BURST);
+                b.iter(|| {
+                    for _ in 0..BURST {
+                        tx.endpoint()
+                            .send_raw(1, 0, 0, payload.clone(), tx)
+                            .unwrap();
+                    }
+                    buf.clear();
+                    let n = rx.endpoint().drain_raw_into(&mut buf).unwrap();
+                    assert_eq!(n, BURST);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn alltoall_drain(c: &mut Criterion) {
+    let nranks = 48usize;
+    let spec = Arc::new(
+        ClusterSpec::builder()
+            .nodes(4)
+            .ranks_per_node(nranks / 4)
+            .build(),
+    );
+    let ctxs = ctxs_for(&spec);
+    let mut group = c.benchmark_group("alltoall_drain");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("indexed_exact", nranks), |b| {
+        let mut cores: Vec<MatchCore> = (0..nranks).map(|_| MatchCore::new()).collect();
+        b.iter(|| {
+            for (src, ctx) in ctxs.iter().enumerate() {
+                for dst in 0..nranks {
+                    if src != dst {
+                        ctx.endpoint()
+                            .send_raw(
+                                dst,
+                                3,
+                                src as i32,
+                                Bytes::copy_from_slice(&[src as u8; 32]),
+                                ctx,
+                            )
+                            .unwrap();
+                    }
+                }
+            }
+            // Every rank resolves all 47 peers by exact (ctx, src, tag):
+            // each receive is a hash probe, never an unexpected-queue scan.
+            for (dst, core) in cores.iter_mut().enumerate() {
+                for src in 0..nranks {
+                    if src != dst {
+                        let m = core
+                            .try_match(
+                                &ctxs[dst],
+                                3,
+                                SrcPattern::Is(src),
+                                TagPattern::Is(src as i32),
+                            )
+                            .unwrap()
+                            .expect("message was sent");
+                        assert_eq!(m.env.src, src);
+                    }
+                }
+                assert_eq!(core.unexpected_len(), 0);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, wakeup_latency, p2p_rate, alltoall_drain);
+criterion_main!(benches);

@@ -47,7 +47,10 @@ fn main() {
         let mpich = run(kernel, &bench, &cluster, Vendor::Mpich);
         let ompi = run(kernel, &bench, &cluster, Vendor::OpenMpi);
         println!("## {kernel:?}");
-        println!("{:>10} {:>14} {:>14} {:>10}", "Size(B)", "MPICH(us)", "OpenMPI(us)", "ratio");
+        println!(
+            "{:>10} {:>14} {:>14} {:>10}",
+            "Size(B)", "MPICH(us)", "OpenMPI(us)", "ratio"
+        );
         for (i, size) in bench.sizes().iter().enumerate() {
             println!(
                 "{:>10} {:>14.2} {:>14.2} {:>10.2}",

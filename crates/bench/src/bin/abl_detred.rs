@@ -68,17 +68,20 @@ impl MpiProgram for ReduceBench {
         }
         let dt = app.now() - t0;
         // Fingerprint of every element's exact bits.
-        let fp = out.iter().fold(0u64, |acc, v| {
-            acc.rotate_left(7) ^ v.to_bits()
-        });
+        let fp = out
+            .iter()
+            .fold(0u64, |acc, v| acc.rotate_left(7) ^ v.to_bits());
         app.mem.set_u64("detred.fingerprint", fp);
-        app.mem.set_f64("detred.us_per_call", dt.as_micros_f64() / self.iters as f64);
+        app.mem
+            .set_f64("detred.us_per_call", dt.as_micros_f64() / self.iters as f64);
         Ok(())
     }
 }
 
 fn run(vendor: Vendor, det: bool, bench: &ReduceBench) -> (u64, f64) {
-    let mut b = Session::builder().cluster(ClusterSpec::discovery()).vendor(vendor);
+    let mut b = Session::builder()
+        .cluster(ClusterSpec::discovery())
+        .vendor(vendor);
     if det {
         b = b.deterministic_reductions();
     }
@@ -107,7 +110,11 @@ fn main() {
                 if det { "canonical" } else { "vendor" },
                 format!("{bits_m:#018x}"),
                 format!("{bits_o:#018x}"),
-                if bits_m == bits_o { "BITWISE" } else { "differs" },
+                if bits_m == bits_o {
+                    "BITWISE"
+                } else {
+                    "differs"
+                },
                 us_m,
                 us_o,
             );

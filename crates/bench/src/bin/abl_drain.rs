@@ -45,7 +45,13 @@ impl MpiProgram for InFlight {
         if app.rank() == 1 {
             let mut buf = vec![0u8; self.msg_bytes];
             for i in 0..self.in_flight {
-                app.mpi().recv(&mut buf, Datatype::Byte.handle(), 0, i as i32, Handle::COMM_WORLD)?;
+                app.mpi().recv(
+                    &mut buf,
+                    Datatype::Byte.handle(),
+                    0,
+                    i as i32,
+                    Handle::COMM_WORLD,
+                )?;
             }
         }
         Ok(())
@@ -55,9 +61,15 @@ impl MpiProgram for InFlight {
 fn main() {
     let cluster = ClusterSpec::builder().nodes(2).ranks_per_node(1).build();
     println!("# Ablation: drain cost vs in-flight messages (2 ranks, 4 KiB messages)");
-    println!("{:>12} {:>16} {:>18}", "in-flight", "image bytes", "ckpt time (ms)");
+    println!(
+        "{:>12} {:>16} {:>18}",
+        "in-flight", "image bytes", "ckpt time (ms)"
+    );
     for in_flight in [0usize, 1, 8, 64, 256] {
-        let program = InFlight { in_flight, msg_bytes: 4096 };
+        let program = InFlight {
+            in_flight,
+            msg_bytes: 4096,
+        };
         let session = Session::builder()
             .cluster(cluster.clone())
             .vendor(Vendor::Mpich)
@@ -68,7 +80,12 @@ fn main() {
         let t_run = session.launch(&program).expect("launch");
         let ckpt_ms = t_run.makespan().as_secs_f64() * 1e3;
         let image = t_run.into_image().expect("image");
-        println!("{:>12} {:>16} {:>18.3}", in_flight, image.total_bytes(), ckpt_ms);
+        println!(
+            "{:>12} {:>16} {:>18.3}",
+            in_flight,
+            image.total_bytes(),
+            ckpt_ms
+        );
 
         // And prove the drained messages arrive after restart.
         let restart = Session::builder()
@@ -77,7 +94,9 @@ fn main() {
             .checkpointer(Checkpointer::mana())
             .build()
             .expect("session");
-        restart.restore(&image, &program).expect("restore completes");
+        restart
+            .restore(&image, &program)
+            .expect("restore completes");
     }
     println!("# image grows by ~msg_bytes per in-flight message; restore re-delivers all");
 }

@@ -47,10 +47,16 @@ fn main() {
     let new = run(KernelVersion::MODERN, &bench, &cluster);
     println!("# Ablation: user-space FSGSBASE (kernel >= 5.9) vs syscall path (CentOS 7)");
     println!("# Full stack (MPICH + Mukautuva + MANA), OSU alltoall");
-    println!("{:>10} {:>16} {:>16} {:>10}", "Size(B)", "3.10 (us)", "5.15 (us)", "saved(%)");
+    println!(
+        "{:>10} {:>16} {:>16} {:>10}",
+        "Size(B)", "3.10 (us)", "5.15 (us)", "saved(%)"
+    );
     for (i, size) in bench.sizes().iter().enumerate() {
         let saved = (old[i] - new[i]) / old[i] * 100.0;
-        println!("{:>10} {:>16.2} {:>16.2} {:>10.2}", size, old[i], new[i], saved);
+        println!(
+            "{:>10} {:>16.2} {:>16.2} {:>10.2}",
+            size, old[i], new[i], saved
+        );
     }
     println!("# paper: \"the overhead due to FSGSBASE is an artifact of the split process\"");
 }

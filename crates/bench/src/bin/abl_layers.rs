@@ -11,7 +11,9 @@ use simnet::ClusterSpec;
 use stool::{Checkpointer, Session, Vendor};
 
 fn run(bench: &OsuLatency, cluster: &ClusterSpec, muk: bool, mana: bool) -> Vec<f64> {
-    let mut b = Session::builder().cluster(cluster.clone()).vendor(Vendor::Mpich);
+    let mut b = Session::builder()
+        .cluster(cluster.clone())
+        .vendor(Vendor::Mpich);
     if !muk {
         b = b.native_abi();
     }
@@ -56,5 +58,7 @@ fn main() {
             size, native[i], muk[i], mana[i], full[i]
         );
     }
-    println!("# expected: muk adds ~0.1us/call; mana dominates (2 syscall switches/call on CentOS 7)");
+    println!(
+        "# expected: muk adds ~0.1us/call; mana dominates (2 syscall switches/call on CentOS 7)"
+    );
 }

@@ -22,9 +22,19 @@ fn main() {
     let repeats = if quick { 2 } else { 5 };
     let sigma = 0.06;
     let fig = if quick {
-        osu_figure(OsuKernel::Bcast, |r| quick_cluster(r, sigma), &bench, repeats)
+        osu_figure(
+            OsuKernel::Bcast,
+            |r| quick_cluster(r, sigma),
+            &bench,
+            repeats,
+        )
     } else {
-        osu_figure(OsuKernel::Bcast, |r| paper_cluster(r, sigma), &bench, repeats)
+        osu_figure(
+            OsuKernel::Bcast,
+            |r| paper_cluster(r, sigma),
+            &bench,
+            repeats,
+        )
     }
     .expect("fig3 run");
     print_osu_figure(&fig);

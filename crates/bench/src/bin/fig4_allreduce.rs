@@ -21,16 +21,29 @@ fn main() {
             ckpt_window: None,
         }
     } else {
-        OsuLatency { min_size: 8, ..OsuLatency::paper_config(OsuKernel::Allreduce) }
+        OsuLatency {
+            min_size: 8,
+            ..OsuLatency::paper_config(OsuKernel::Allreduce)
+        }
     };
     let repeats = if quick { 2 } else { 5 };
     // Higher jitter than Figs. 2-3: the paper remarks on the larger
     // standard deviation in the allreduce results.
     let sigma = 0.10;
     let fig = if quick {
-        osu_figure(OsuKernel::Allreduce, |r| quick_cluster(r, sigma), &bench, repeats)
+        osu_figure(
+            OsuKernel::Allreduce,
+            |r| quick_cluster(r, sigma),
+            &bench,
+            repeats,
+        )
     } else {
-        osu_figure(OsuKernel::Allreduce, |r| paper_cluster(r, sigma), &bench, repeats)
+        osu_figure(
+            OsuKernel::Allreduce,
+            |r| paper_cluster(r, sigma),
+            &bench,
+            repeats,
+        )
     }
     .expect("fig4 run");
     print_osu_figure(&fig);

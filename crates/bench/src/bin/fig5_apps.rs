@@ -10,8 +10,17 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (comd, wave) = if quick {
         (
-            CoMdMini { nx: 6, nsteps: 10, print_rate: 5, ..CoMdMini::default() },
-            WaveMpi { npoints: 400, nsteps: 100, ..WaveMpi::default() },
+            CoMdMini {
+                nx: 6,
+                nsteps: 10,
+                print_rate: 5,
+                ..CoMdMini::default()
+            },
+            WaveMpi {
+                npoints: 400,
+                nsteps: 100,
+                ..WaveMpi::default()
+            },
         )
     } else {
         // Calibrated to the paper's Fig. 5 *ratios*: CoMD's compute/comm
@@ -23,8 +32,18 @@ fn main() {
         // wall-time reasonable; ratios are unaffected (see
         // EXPERIMENTS.md).
         (
-            CoMdMini { nx: 24, nsteps: 480, print_rate: 10, ns_per_pair: 13.7, ..CoMdMini::default() },
-            WaveMpi { npoints: 12_000, nsteps: 6_000, ..WaveMpi::default() },
+            CoMdMini {
+                nx: 24,
+                nsteps: 480,
+                print_rate: 10,
+                ns_per_pair: 13.7,
+                ..CoMdMini::default()
+            },
+            WaveMpi {
+                npoints: 12_000,
+                nsteps: 6_000,
+                ..WaveMpi::default()
+            },
         )
     };
     let repeats = if quick { 2 } else { 5 };

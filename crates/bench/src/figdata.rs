@@ -23,8 +23,16 @@ impl OsuFigure {
     /// counterpart.
     pub fn overhead_pct(&self, full: ConfigKind) -> Vec<f64> {
         let native = full.native_of();
-        let f = self.series.iter().find(|s| s.label == full.label()).expect("series");
-        let n = self.series.iter().find(|s| s.label == native.label()).expect("series");
+        let f = self
+            .series
+            .iter()
+            .find(|s| s.label == full.label())
+            .expect("series");
+        let n = self
+            .series
+            .iter()
+            .find(|s| s.label == native.label())
+            .expect("series");
         f.median_us
             .iter()
             .zip(&n.median_us)
@@ -66,9 +74,17 @@ pub fn osu_figure(
         let stddev_us: Vec<f64> = (0..sizes.len())
             .map(|i| stddev(&per_repeat.iter().map(|r| r[i]).collect::<Vec<_>>()))
             .collect();
-        series.push(Series { label: kind.label().to_string(), median_us, stddev_us });
+        series.push(Series {
+            label: kind.label().to_string(),
+            median_us,
+            stddev_us,
+        });
     }
-    Ok(OsuFigure { kernel, sizes, series })
+    Ok(OsuFigure {
+        kernel,
+        sizes,
+        series,
+    })
 }
 
 /// One bar of Fig. 5: an application under one configuration.
@@ -144,7 +160,10 @@ pub fn fig6_data(
             .expect("full config")
             .session(cluster_for(0))?;
         let out = session.launch(&modified)?;
-        let lat = out.memories()?[0].f64s("osu.lat_us").expect("results").to_vec();
+        let lat = out.memories()?[0]
+            .f64s("osu.lat_us")
+            .expect("results")
+            .to_vec();
         Ok(Series {
             label: format!("Launch with {}", vendor.name()),
             median_us: lat,
@@ -172,14 +191,22 @@ pub fn fig6_data(
         .checkpointer(stool::Checkpointer::mana())
         .build()?;
     let out = restart.restore(&image, &modified)?;
-    let lat = out.memories()?[0].f64s("osu.lat_us").expect("results").to_vec();
+    let lat = out.memories()?[0]
+        .f64s("osu.lat_us")
+        .expect("results")
+        .to_vec();
     let restarted = Series {
         label: "Launch with Open MPI, restart with MPICH".to_string(),
         median_us: lat,
         stddev_us: vec![0.0; sizes.len()],
     };
 
-    Ok(RestartFigure { sizes, launch_ompi, launch_mpich, restarted })
+    Ok(RestartFigure {
+        sizes,
+        launch_ompi,
+        launch_mpich,
+        restarted,
+    })
 }
 
 #[cfg(test)]
@@ -220,7 +247,12 @@ mod tests {
         // After restarting under MPICH, the measured latencies must equal
         // the launch-with-MPICH reference exactly (deterministic clock,
         // identical post-restart execution).
-        for (a, b) in fig.restarted.median_us.iter().zip(&fig.launch_mpich.median_us) {
+        for (a, b) in fig
+            .restarted
+            .median_us
+            .iter()
+            .zip(&fig.launch_mpich.median_us)
+        {
             let rel = (a - b).abs() / b.max(1e-9);
             assert!(rel < 0.05, "restarted {a} vs mpich {b}");
         }

@@ -61,7 +61,10 @@ pub fn print_osu_figure(fig: &OsuFigure) {
 /// Print Fig. 5's bars.
 pub fn print_fig5(bars: &[AppBar]) {
     println!("# Runtime performance of real-world MPI applications (cf. paper Fig. 5)");
-    println!("{:>10} {:>30} {:>12} {:>10}", "App", "Configuration", "Median(s)", "Stddev(s)");
+    println!(
+        "{:>10} {:>30} {:>12} {:>10}",
+        "App", "Configuration", "Median(s)", "Stddev(s)"
+    );
     for b in bars {
         println!(
             "{:>10} {:>30} {:>12.3} {:>10.3}",

@@ -60,7 +60,13 @@ impl<'a> Pmpi<'a> {
 
     /// Blocking typed send.
     pub fn send_f64s(&mut self, data: &[f64], dest: i32, tag: i32, comm: Handle) -> AbiResult<()> {
-        self.mpi.send(&f64s_to_bytes(data), Datatype::Double.handle(), dest, tag, comm)
+        self.mpi.send(
+            &f64s_to_bytes(data),
+            Datatype::Double.handle(),
+            dest,
+            tag,
+            comm,
+        )
     }
 
     /// Blocking typed receive (exact length).
@@ -72,8 +78,13 @@ impl<'a> Pmpi<'a> {
         comm: Handle,
     ) -> AbiResult<AbiStatus> {
         let mut buf = vec![0u8; out.len() * 8];
-        let st = self.mpi.recv(&mut buf, Datatype::Double.handle(), src, tag, comm)?;
-        bytes_to_f64s(&buf[..st.count_bytes as usize], &mut out[..st.count_bytes as usize / 8]);
+        let st = self
+            .mpi
+            .recv(&mut buf, Datatype::Double.handle(), src, tag, comm)?;
+        bytes_to_f64s(
+            &buf[..st.count_bytes as usize],
+            &mut out[..st.count_bytes as usize / 8],
+        );
         Ok(st)
     }
 
@@ -100,18 +111,40 @@ impl<'a> Pmpi<'a> {
             Datatype::Double.handle(),
             comm,
         )?;
-        bytes_to_f64s(&buf[..st.count_bytes as usize], &mut recv[..st.count_bytes as usize / 8]);
+        bytes_to_f64s(
+            &buf[..st.count_bytes as usize],
+            &mut recv[..st.count_bytes as usize / 8],
+        );
         Ok(st)
     }
 
     /// Nonblocking typed send.
-    pub fn isend_f64s(&mut self, data: &[f64], dest: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
-        self.mpi.isend(&f64s_to_bytes(data), Datatype::Double.handle(), dest, tag, comm)
+    pub fn isend_f64s(
+        &mut self,
+        data: &[f64],
+        dest: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<Handle> {
+        self.mpi.isend(
+            &f64s_to_bytes(data),
+            Datatype::Double.handle(),
+            dest,
+            tag,
+            comm,
+        )
     }
 
     /// Nonblocking typed receive of up to `max_elems` doubles.
-    pub fn irecv_f64s(&mut self, max_elems: usize, src: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
-        self.mpi.irecv(max_elems * 8, Datatype::Double.handle(), src, tag, comm)
+    pub fn irecv_f64s(
+        &mut self,
+        max_elems: usize,
+        src: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<Handle> {
+        self.mpi
+            .irecv(max_elems * 8, Datatype::Double.handle(), src, tag, comm)
     }
 
     /// Wait and decode a typed receive payload (empty for sends).
@@ -131,7 +164,8 @@ impl<'a> Pmpi<'a> {
     /// Typed broadcast (in place).
     pub fn bcast_f64s(&mut self, data: &mut [f64], root: i32, comm: Handle) -> AbiResult<()> {
         let mut buf = f64s_to_bytes(data);
-        self.mpi.bcast(&mut buf, Datatype::Double.handle(), root, comm)?;
+        self.mpi
+            .bcast(&mut buf, Datatype::Double.handle(), root, comm)?;
         bytes_to_f64s(&buf, data);
         Ok(())
     }
@@ -207,9 +241,19 @@ impl<'a> Pmpi<'a> {
     }
 
     /// Typed allgather.
-    pub fn allgather_f64s(&mut self, send: &[f64], recv: &mut [f64], comm: Handle) -> AbiResult<()> {
+    pub fn allgather_f64s(
+        &mut self,
+        send: &[f64],
+        recv: &mut [f64],
+        comm: Handle,
+    ) -> AbiResult<()> {
         let mut buf = vec![0u8; recv.len() * 8];
-        self.mpi.allgather(&f64s_to_bytes(send), &mut buf, Datatype::Double.handle(), comm)?;
+        self.mpi.allgather(
+            &f64s_to_bytes(send),
+            &mut buf,
+            Datatype::Double.handle(),
+            comm,
+        )?;
         bytes_to_f64s(&buf, recv);
         Ok(())
     }
@@ -232,7 +276,8 @@ impl<'a> Pmpi<'a> {
         op: ReduceOp,
         comm: Handle,
     ) -> AbiResult<()> {
-        self.mpi.allreduce(send, recv, Datatype::Double.handle(), op.handle(), comm)
+        self.mpi
+            .allreduce(send, recv, Datatype::Double.handle(), op.handle(), comm)
     }
 }
 

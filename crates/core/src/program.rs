@@ -151,7 +151,10 @@ impl AppCtx<'_> {
         }
         // Periodic checkpointing (always Continue).
         if let Some(n) = self.policy.every_steps {
-            if next_step > 0 && next_step.is_multiple_of(n) && self.policy.at_step != Some(next_step) {
+            if next_step > 0
+                && next_step.is_multiple_of(n)
+                && self.policy.at_step != Some(next_step)
+            {
                 if let Some(coord) = &self.coordinator {
                     coord.schedule_checkpoint_at(next_step, CkptMode::Continue);
                 }

@@ -40,12 +40,22 @@ impl MpiProgram for RingPings {
             let payload = vec![acc + me as f64 + step as f64; self.payload.max(1)];
             let mut incoming = vec![0.0; self.payload.max(1)];
             let mut p = app.pmpi();
-            p.sendrecv_f64s(&payload, next, 11, &mut incoming, prev, 11, Handle::COMM_WORLD)?;
+            p.sendrecv_f64s(
+                &payload,
+                next,
+                11,
+                &mut incoming,
+                prev,
+                11,
+                Handle::COMM_WORLD,
+            )?;
             app.mem.f64s_mut("ring.sum", 1)[0] += incoming[0];
             app.compute(VirtualTime::from_micros(5));
         }
         let sum = app.mem.f64s("ring.sum").expect("segment exists")[0];
-        let total = app.pmpi().allreduce_f64(sum, ReduceOp::Sum, Handle::COMM_WORLD)?;
+        let total = app
+            .pmpi()
+            .allreduce_f64(sum, ReduceOp::Sum, Handle::COMM_WORLD)?;
         app.mem.set_f64("ring.total", total);
         Ok(())
     }
@@ -91,7 +101,10 @@ mod tests {
 
     #[test]
     fn ring_completes_on_all_stack_shapes() {
-        let program = RingPings { rounds: 5, payload: 8 };
+        let program = RingPings {
+            rounds: 5,
+            payload: 8,
+        };
         for vendor in [Vendor::Mpich, Vendor::OpenMpi] {
             for ckpt in [Checkpointer::None, Checkpointer::mana()] {
                 let session = Session::builder()
@@ -113,7 +126,10 @@ mod tests {
 
     #[test]
     fn checkpoint_stop_and_cross_vendor_restore() {
-        let program = RingPings { rounds: 9, payload: 4 };
+        let program = RingPings {
+            rounds: 9,
+            payload: 4,
+        };
         // Uninterrupted reference (any vendor: the dataflow is p2p only,
         // plus one deterministic allreduce at the end).
         let reference = Session::builder()
@@ -124,7 +140,9 @@ mod tests {
             .unwrap()
             .launch(&program)
             .unwrap();
-        let expect = reference.memories().unwrap()[0].get_f64("ring.total").unwrap();
+        let expect = reference.memories().unwrap()[0]
+            .get_f64("ring.total")
+            .unwrap();
 
         // Launch under Open MPI, stop at step 4.
         let launch = Session::builder()
@@ -148,12 +166,18 @@ mod tests {
             .unwrap();
         let done = restore.restore(&image, &program).unwrap();
         let got = done.memories().unwrap()[0].get_f64("ring.total").unwrap();
-        assert_eq!(got, expect, "cross-vendor restart must finish the same computation");
+        assert_eq!(
+            got, expect,
+            "cross-vendor restart must finish the same computation"
+        );
     }
 
     #[test]
     fn checkpoint_continue_keeps_running() {
-        let program = SleepyProgram { steps: 6, nap: VirtualTime::from_millis(1) };
+        let program = SleepyProgram {
+            steps: 6,
+            nap: VirtualTime::from_millis(1),
+        };
         let session = Session::builder()
             .cluster(small_cluster())
             .vendor(Vendor::Mpich)
@@ -179,7 +203,10 @@ mod tests {
 
     #[test]
     fn restore_needs_matching_world_size() {
-        let program = SleepyProgram { steps: 4, nap: VirtualTime::from_micros(1) };
+        let program = SleepyProgram {
+            steps: 4,
+            nap: VirtualTime::from_micros(1),
+        };
         let session = Session::builder()
             .cluster(small_cluster())
             .vendor(Vendor::Mpich)

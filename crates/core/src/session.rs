@@ -47,7 +47,11 @@ pub struct CkptPolicy {
 
 impl Default for CkptPolicy {
     fn default() -> Self {
-        CkptPolicy { at_step: None, every_steps: None, mode: CkptMode::Continue }
+        CkptPolicy {
+            at_step: None,
+            every_steps: None,
+            mode: CkptMode::Continue,
+        }
     }
 }
 
@@ -174,7 +178,10 @@ impl SessionBuilder {
     /// Inject a global failure when the application reaches `step`,
     /// attributed to `node`.
     pub fn inject_node_failure(mut self, step: u64, node: usize) -> Self {
-        self.config.fault = Some(FaultPlan { at_step: step, node });
+        self.config.fault = Some(FaultPlan {
+            at_step: step,
+            node,
+        });
         self
     }
 
@@ -190,7 +197,9 @@ impl SessionBuilder {
             ));
         }
         if c.policy.every_steps == Some(0) {
-            return Err(StoolError::Config("checkpoint_every(0) is meaningless".into()));
+            return Err(StoolError::Config(
+                "checkpoint_every(0) is meaningless".into(),
+            ));
         }
         if c.deterministic_reductions && !c.use_muk {
             return Err(StoolError::Config(
@@ -206,7 +215,9 @@ impl SessionBuilder {
                 )));
             }
         }
-        Ok(Session { config: self.config })
+        Ok(Session {
+            config: self.config,
+        })
     }
 }
 
@@ -267,16 +278,19 @@ impl RunOutcome {
             RunOutcome::Checkpointed { clocks, .. } => clocks,
             RunOutcome::Failed { clocks, .. } => clocks,
         };
-        clocks.iter().copied().fold(VirtualTime::ZERO, VirtualTime::max)
+        clocks
+            .iter()
+            .copied()
+            .fold(VirtualTime::ZERO, VirtualTime::max)
     }
 
     /// Per-rank memories of a completed run.
     pub fn memories(&self) -> StoolResult<&[Memory]> {
         match self {
             RunOutcome::Completed { memories, .. } => Ok(memories),
-            RunOutcome::Checkpointed { .. } => {
-                Err(StoolError::App("run was checkpoint-stopped, no final memories".into()))
-            }
+            RunOutcome::Checkpointed { .. } => Err(StoolError::App(
+                "run was checkpoint-stopped, no final memories".into(),
+            )),
             RunOutcome::Failed { failed_step, .. } => Err(StoolError::App(format!(
                 "run failed at step {failed_step}, no final memories"
             ))),
@@ -287,8 +301,14 @@ impl RunOutcome {
     pub fn into_image(self) -> StoolResult<WorldImage> {
         match self {
             RunOutcome::Checkpointed { image, .. } => Ok(image),
-            RunOutcome::Failed { image: Some(image), .. } => Ok(image),
-            RunOutcome::Failed { image: None, failed_step, .. } => Err(StoolError::App(format!(
+            RunOutcome::Failed {
+                image: Some(image), ..
+            } => Ok(image),
+            RunOutcome::Failed {
+                image: None,
+                failed_step,
+                ..
+            } => Err(StoolError::App(format!(
                 "run failed at step {failed_step} before any checkpoint completed"
             ))),
             RunOutcome::Completed { .. } => {
@@ -348,11 +368,7 @@ impl Session {
 
     /// Restore a checkpointed world image and continue the program —
     /// possibly under a different vendor than it was checkpointed with.
-    pub fn restore(
-        &self,
-        image: &WorldImage,
-        program: &dyn MpiProgram,
-    ) -> StoolResult<RunOutcome> {
+    pub fn restore(&self, image: &WorldImage, program: &dyn MpiProgram) -> StoolResult<RunOutcome> {
         let mana_cfg = match self.config.checkpointer {
             Checkpointer::Mana(cfg) => cfg,
             Checkpointer::None => {
@@ -433,7 +449,11 @@ impl Session {
                 .as_ref()
                 .filter(|c| c.completed_epoch() > 0)
                 .and_then(|c| c.take_world_image(self.config.vendor.name()));
-            return Ok(RunOutcome::Failed { image, failed_step: step, clocks: outcome.clocks });
+            return Ok(RunOutcome::Failed {
+                image,
+                failed_step: step,
+                clocks: outcome.clocks,
+            });
         }
 
         let stopped: Vec<bool> = outcome.results.iter().map(|(_, s, _)| *s).collect();
@@ -449,7 +469,10 @@ impl Session {
             let image = coordinator
                 .take_world_image(self.config.vendor.name())
                 .ok_or_else(|| StoolError::Config("stop without a complete image".into()))?;
-            return Ok(RunOutcome::Checkpointed { image, clocks: outcome.clocks });
+            return Ok(RunOutcome::Checkpointed {
+                image,
+                clocks: outcome.clocks,
+            });
         }
 
         Ok(RunOutcome::Completed {
@@ -487,34 +510,50 @@ impl Session {
                 None => self.launch(program)?,
                 Some(image) => {
                     // The retry session: same stack, fault cleared.
-                    let mut retry = Session { config: self.config.clone() };
+                    let mut retry = Session {
+                        config: self.config.clone(),
+                    };
                     retry.config.fault = None;
                     retry.restore(image, program)?
                 }
             };
             match outcome {
-                RunOutcome::Failed { image, failed_step, .. } => {
+                RunOutcome::Failed {
+                    image, failed_step, ..
+                } => {
                     if recoveries.len() >= max_restarts {
                         return Err(StoolError::App(format!(
                             "job failed at step {failed_step} after {} restarts",
                             recoveries.len()
                         )));
                     }
-                    recoveries
-                        .push(Recovery { failed_at: failed_step, from_image: image.is_some() });
+                    recoveries.push(Recovery {
+                        failed_at: failed_step,
+                        from_image: image.is_some(),
+                    });
                     pending_image = image;
                     // After the first failure the fault is spent; a fresh
                     // from-scratch launch must not re-fail, so clear it by
                     // retrying through a fault-free session when no image
                     // exists either.
                     if pending_image.is_none() {
-                        let mut retry = Session { config: self.config.clone() };
+                        let mut retry = Session {
+                            config: self.config.clone(),
+                        };
                         retry.config.fault = None;
                         let outcome = retry.launch(program)?;
-                        return Ok(ResilienceReport { outcome, recoveries });
+                        return Ok(ResilienceReport {
+                            outcome,
+                            recoveries,
+                        });
                     }
                 }
-                done => return Ok(ResilienceReport { outcome: done, recoveries }),
+                done => {
+                    return Ok(ResilienceReport {
+                        outcome: done,
+                        recoveries,
+                    })
+                }
             }
         }
     }

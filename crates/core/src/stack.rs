@@ -38,7 +38,12 @@ pub struct StackSpec {
 impl StackSpec {
     /// The native baseline: vendor only.
     pub fn native(vendor: Vendor) -> StackSpec {
-        StackSpec { vendor, muk: None, mana: None, deterministic_reductions: false }
+        StackSpec {
+            vendor,
+            muk: None,
+            mana: None,
+            deterministic_reductions: false,
+        }
     }
 
     /// Vendor + Mukautuva.
@@ -158,7 +163,10 @@ mod tests {
             "Open MPI + Mukautuva + MANA"
         );
         assert_eq!(StackSpec::mana_only(Vendor::Mpich).label(), "MPICH + MANA");
-        assert_eq!(StackSpec::with_muk(Vendor::Mpich).label(), "MPICH + Mukautuva");
+        assert_eq!(
+            StackSpec::with_muk(Vendor::Mpich).label(),
+            "MPICH + Mukautuva"
+        );
     }
 
     #[test]

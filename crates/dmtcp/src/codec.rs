@@ -40,13 +40,22 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEof { needed, remaining } => {
-                write!(f, "image truncated: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "image truncated: needed {needed} bytes, {remaining} remain"
+                )
             }
             CodecError::ChecksumMismatch { stored, computed } => {
-                write!(f, "image corrupt: checksum {stored:#x} != computed {computed:#x}")
+                write!(
+                    f,
+                    "image corrupt: checksum {stored:#x} != computed {computed:#x}"
+                )
             }
             CodecError::BadMagic { expected, found } => {
-                write!(f, "bad image magic: expected {expected:#x}, found {found:#x}")
+                write!(
+                    f,
+                    "bad image magic: expected {expected:#x}, found {found:#x}"
+                )
             }
             CodecError::BadString => write!(f, "image contains invalid UTF-8 string"),
             CodecError::LengthOutOfBounds(l) => write!(f, "length field {l} out of bounds"),
@@ -156,7 +165,10 @@ impl<'a> Reader<'a> {
     /// Verify the checksum trailer and return a reader over the content.
     pub fn checked(buf: &'a [u8]) -> Result<Reader<'a>, CodecError> {
         if buf.len() < 8 {
-            return Err(CodecError::UnexpectedEof { needed: 8, remaining: buf.len() });
+            return Err(CodecError::UnexpectedEof {
+                needed: 8,
+                remaining: buf.len(),
+            });
         }
         let (content, trailer) = buf.split_at(buf.len() - 8);
         let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
@@ -164,7 +176,10 @@ impl<'a> Reader<'a> {
         if stored != computed {
             return Err(CodecError::ChecksumMismatch { stored, computed });
         }
-        Ok(Reader { buf: content, pos: 0 })
+        Ok(Reader {
+            buf: content,
+            pos: 0,
+        })
     }
 
     /// Reader over raw content (no trailer).
@@ -184,7 +199,10 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.remaining() < n {
-            return Err(CodecError::UnexpectedEof { needed: n, remaining: self.remaining() });
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -308,7 +326,10 @@ mod tests {
         w.u64(0xABCD);
         let buf = w.finish();
         let mut r = Reader::checked(&buf).unwrap();
-        assert!(matches!(r.expect_magic(0xEF01), Err(CodecError::BadMagic { .. })));
+        assert!(matches!(
+            r.expect_magic(0xEF01),
+            Err(CodecError::BadMagic { .. })
+        ));
     }
 
     #[test]

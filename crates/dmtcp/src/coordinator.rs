@@ -93,7 +93,10 @@ impl std::fmt::Display for CkptError {
                  (previous {last}, got {got})"
             ),
             CkptError::Overrun { cut, got } => {
-                write!(f, "rank overran the checkpoint cut (cut {cut}, reached {got})")
+                write!(
+                    f,
+                    "rank overran the checkpoint cut (cut {cut}, reached {got})"
+                )
             }
         }
     }
@@ -117,7 +120,11 @@ struct SyncState {
 impl SyncPoint {
     fn new() -> SyncPoint {
         SyncPoint {
-            state: Mutex::new(SyncState { arrived: 0, generation: 0, poisoned: false }),
+            state: Mutex::new(SyncState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
             cv: Condvar::new(),
         }
     }
@@ -180,6 +187,9 @@ enum Phase {
     },
 }
 
+/// One rank's drain bookkeeping: (sent_to, received_from) per-peer counts.
+type DrainCounters = (Vec<u64>, Vec<u64>);
+
 struct Round {
     phase: Phase,
     /// Per-rank last safe-point step seen in the current round.
@@ -202,7 +212,7 @@ struct Shared {
     round: Mutex<Round>,
     sync: SyncPoint,
     /// Per-rank (sent_to, received_from) matrices for the drain protocol.
-    counters: Mutex<Vec<Option<(Vec<u64>, Vec<u64>)>>>,
+    counters: Mutex<Vec<Option<DrainCounters>>>,
     images: Mutex<Vec<Option<RankImage>>>,
     completed_epoch: AtomicU64,
     completed_rounds: AtomicU64,
@@ -272,7 +282,11 @@ impl Coordinator {
         };
         if round.phase == Phase::Idle && round.finished == 0 {
             let round_no = self.shared.completed_rounds.load(Ordering::SeqCst) + 1;
-            round.phase = Phase::Rendezvous { cut: step, epoch: round_no, mode };
+            round.phase = Phase::Rendezvous {
+                cut: step,
+                epoch: round_no,
+                mode,
+            };
             round.pos.fill(None);
             if std::env::var_os("CKPT_TRACE").is_some() {
                 eprintln!("[coord] scheduled cut={step} mode={mode:?}");
@@ -394,7 +408,10 @@ impl RankAgent {
     fn check_step(&self, round: &Round, next_step: u64) -> Result<(), CkptError> {
         if let Some(last) = round.pos[self.rank] {
             if next_step != last + 1 {
-                return Err(CkptError::StepSkew { last, got: next_step });
+                return Err(CkptError::StepSkew {
+                    last,
+                    got: next_step,
+                });
             }
         }
         Ok(())
@@ -402,11 +419,7 @@ impl RankAgent {
 
     /// In the gather phase with our position recorded: finalize the cut if
     /// we are the last to publish, then decide our own fate.
-    fn gather_or_run(
-        &mut self,
-        round: &mut Round,
-        next_step: u64,
-    ) -> Result<Poll<'_>, CkptError> {
+    fn gather_or_run(&mut self, round: &mut Round, next_step: u64) -> Result<Poll<'_>, CkptError> {
         if round.pos.iter().any(Option::is_none) {
             // Others still unheard from; keep running (nothing is
             // withheld, so they all reach a safe point).
@@ -425,7 +438,10 @@ impl RankAgent {
         let epoch = self.shared.completed_rounds.load(Ordering::SeqCst) + 1;
         let mode = *self.shared.mode.lock().expect("mode lock");
         if std::env::var_os("CKPT_TRACE").is_some() {
-            eprintln!("[coord] rank {} finalized cut={cut} epoch={epoch} mode={mode:?} pos={:?}", self.rank, round.pos);
+            eprintln!(
+                "[coord] rank {} finalized cut={cut} epoch={epoch} mode={mode:?} pos={:?}",
+                self.rank, round.pos
+            );
         }
         round.phase = Phase::Rendezvous { cut, epoch, mode };
         self.at_rendezvous(round, next_step, cut, epoch, mode)
@@ -449,9 +465,17 @@ impl RankAgent {
             }
             round.entered += 1;
             self.in_protocol = true;
-            Ok(Poll::Enter(CkptSession { agent: self, cut, epoch, mode }))
+            Ok(Poll::Enter(CkptSession {
+                agent: self,
+                cut,
+                epoch,
+                mode,
+            }))
         } else {
-            Err(CkptError::Overrun { cut, got: next_step })
+            Err(CkptError::Overrun {
+                cut,
+                got: next_step,
+            })
         }
     }
 
@@ -469,7 +493,10 @@ impl RankAgent {
         match round.phase {
             Phase::Gather => {
                 if std::env::var_os("CKPT_TRACE").is_some() {
-                    eprintln!("[coord] rank {} resign ABORTS gather, pos={:?}", self.rank, round.pos);
+                    eprintln!(
+                        "[coord] rank {} resign ABORTS gather, pos={:?}",
+                        self.rank, round.pos
+                    );
                 }
                 round.phase = Phase::Aborted {
                     epoch: self.shared.requested_epoch.load(Ordering::SeqCst),
@@ -680,9 +707,9 @@ mod tests {
                         rcvd[3] = 2;
                     }
                     let pending = session.exchange_counters(&sent, &rcvd).expect("counters");
-                    for j in 0..n {
+                    for (j, &p) in pending.iter().enumerate() {
                         let expect = if rank == 2 && j == 3 { 1 } else { 0 };
-                        assert_eq!(pending[j], expect, "rank {rank} peer {j}");
+                        assert_eq!(p, expect, "rank {rank} peer {j}");
                     }
                     session.submit_image(RankImage::new(rank, n, session.epoch()));
                     session.finish().expect("finish");
@@ -737,7 +764,11 @@ mod tests {
         // The last rank cannot first-observe the request below step 20, so
         // the agreed cut is at least there (the exact value depends on how
         // far the other ranks ran before the gather closed).
-        assert!(cuts[0] >= 20, "cut must be at least the max start, got {}", cuts[0]);
+        assert!(
+            cuts[0] >= 20,
+            "cut must be at least the max start, got {}",
+            cuts[0]
+        );
     }
 
     #[test]
@@ -904,14 +935,8 @@ mod tests {
                                 std::thread::yield_now();
                             }
                             Poll::Enter(session) => {
-                                session
-                                    .exchange_counters(&zeros, &zeros)
-                                    .expect("counters");
-                                session.submit_image(RankImage::new(
-                                    rank,
-                                    n,
-                                    session.epoch(),
-                                ));
+                                session.exchange_counters(&zeros, &zeros).expect("counters");
+                                session.submit_image(RankImage::new(rank, n, session.epoch()));
                                 session.finish().expect("finish");
                                 break;
                             }
@@ -922,6 +947,10 @@ mod tests {
                 });
             }
         });
-        assert_eq!(coord.completed_rounds(), 1, "one round serves all four requests");
+        assert_eq!(
+            coord.completed_rounds(),
+            1,
+            "one round serves all four requests"
+        );
     }
 }

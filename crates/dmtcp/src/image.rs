@@ -31,7 +31,12 @@ pub struct RankImage {
 impl RankImage {
     /// New empty image for a rank.
     pub fn new(rank: usize, nranks: usize, epoch: u64) -> RankImage {
-        RankImage { rank, nranks, epoch, sections: BTreeMap::new() }
+        RankImage {
+            rank,
+            nranks,
+            epoch,
+            sections: BTreeMap::new(),
+        }
     }
 
     /// Add or replace a section.
@@ -88,7 +93,12 @@ impl RankImage {
             let data = r.bytes()?.to_vec();
             sections.insert(name, data);
         }
-        Ok(RankImage { rank, nranks, epoch, sections })
+        Ok(RankImage {
+            rank,
+            nranks,
+            epoch,
+            sections,
+        })
     }
 }
 
@@ -185,7 +195,10 @@ mod tests {
         assert_eq!(img, back);
         assert_eq!(back.section("memory").unwrap(), &[1, 2, 3, 2]);
         assert_eq!(back.total_bytes(), 20);
-        assert_eq!(back.section_names().collect::<Vec<_>>(), vec!["mana.vids", "memory"]);
+        assert_eq!(
+            back.section_names().collect::<Vec<_>>(),
+            vec!["mana.vids", "memory"]
+        );
     }
 
     #[test]
@@ -200,10 +213,7 @@ mod tests {
     #[test]
     fn world_image_file_round_trip() {
         let dir = std::env::temp_dir().join(format!("stool_img_test_{}", std::process::id()));
-        let world = WorldImage::new(
-            "Open MPI".to_string(),
-            (0..4).map(sample_image).collect(),
-        );
+        let world = WorldImage::new("Open MPI".to_string(), (0..4).map(sample_image).collect());
         world.save_dir(&dir).unwrap();
         let back = WorldImage::load_dir(&dir).unwrap();
         assert_eq!(world, back);
@@ -214,8 +224,7 @@ mod tests {
 
     #[test]
     fn truncated_image_file_detected() {
-        let dir =
-            std::env::temp_dir().join(format!("stool_img_trunc_{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("stool_img_trunc_{}", std::process::id()));
         let world = WorldImage::new("MPICH".to_string(), (0..2).map(sample_image).collect());
         world.save_dir(&dir).unwrap();
         // Truncate one rank's file.

@@ -170,7 +170,8 @@ impl Memory {
 
     /// Store a scalar convenience value.
     pub fn set_u64(&mut self, name: &str, v: u64) {
-        self.segments.insert(name.to_string(), Segment::U64(vec![v]));
+        self.segments
+            .insert(name.to_string(), Segment::U64(vec![v]));
     }
 
     /// Load a scalar convenience value.
@@ -180,7 +181,8 @@ impl Memory {
 
     /// Store a scalar `f64`.
     pub fn set_f64(&mut self, name: &str, v: f64) {
-        self.segments.insert(name.to_string(), Segment::F64(vec![v]));
+        self.segments
+            .insert(name.to_string(), Segment::F64(vec![v]));
     }
 
     /// Load a scalar `f64`.
@@ -322,7 +324,11 @@ mod tests {
             m.encode(&mut w);
             w.finish()
         };
-        assert_eq!(enc(&a), enc(&b), "insertion order must not leak into images");
+        assert_eq!(
+            enc(&a),
+            enc(&b),
+            "insertion order must not leak into images"
+        );
     }
 
     #[test]

@@ -110,9 +110,14 @@ fn drain(mana: &mut ManaMpi, pending: &[u64]) -> AbiResult<()> {
         let mut progressed = false;
         for vcomm in mana.vids.live_comms() {
             let real = mana.vids.real_of(vcomm)?;
-            while let Some(st) = mana.lower.iprobe(consts::ANY_SOURCE, consts::ANY_TAG, real)? {
+            while let Some(st) = mana
+                .lower
+                .iprobe(consts::ANY_SOURCE, consts::ANY_TAG, real)?
+            {
                 let mut buf = vec![0u8; st.count_bytes as usize];
-                let st = mana.lower.recv(&mut buf, Datatype::Byte.handle(), st.source, st.tag, real)?;
+                let st =
+                    mana.lower
+                        .recv(&mut buf, Datatype::Byte.handle(), st.source, st.tag, real)?;
                 let world = mana.lower.comm_translate_rank(real, st.source)?;
                 let world = usize::try_from(world).map_err(|_| AbiError::Rank)?;
                 mana.rcvd_from[world] += 1;
@@ -205,18 +210,28 @@ pub fn restore_rank(
         ));
     }
     if image.rank != ctx.rank() {
-        return Err(format!("image rank {} restored on rank {}", image.rank, ctx.rank()));
+        return Err(format!(
+            "image rank {} restored on rank {}",
+            image.rank,
+            ctx.rank()
+        ));
     }
 
-    let meta = image.section(sections::META).ok_or("missing meta section")?;
+    let meta = image
+        .section(sections::META)
+        .ok_or("missing meta section")?;
     let mut r = Reader::checked(meta).map_err(|e| e.to_string())?;
     let resume_step = r.u64().map_err(|e| e.to_string())?;
 
-    let mem = image.section(sections::MEMORY).ok_or("missing memory section")?;
+    let mem = image
+        .section(sections::MEMORY)
+        .ok_or("missing memory section")?;
     let mut r = Reader::checked(mem).map_err(|e| e.to_string())?;
     let memory = Memory::decode(&mut r).map_err(|e| e.to_string())?;
 
-    let vids_bytes = image.section(sections::VIDS).ok_or("missing vids section")?;
+    let vids_bytes = image
+        .section(sections::VIDS)
+        .ok_or("missing vids section")?;
     let mut r = Reader::checked(vids_bytes).map_err(|e| e.to_string())?;
     let log = VidTable::decode_log(&mut r).map_err(|e| e.to_string())?;
     // Replay the creation log against the new lower half (collective:
@@ -224,11 +239,15 @@ pub fn restore_rank(
     let vids = VidTable::replay(log, ctx.nranks(), lower.as_mut())
         .map_err(|e| format!("vid replay failed: {e}"))?;
 
-    let pool_bytes = image.section(sections::POOL).ok_or("missing pool section")?;
+    let pool_bytes = image
+        .section(sections::POOL)
+        .ok_or("missing pool section")?;
     let mut r = Reader::checked(pool_bytes).map_err(|e| e.to_string())?;
     let pool = DrainPool::decode(&mut r).map_err(|e| e.to_string())?;
 
-    let ctr_bytes = image.section(sections::COUNTERS).ok_or("missing counters section")?;
+    let ctr_bytes = image
+        .section(sections::COUNTERS)
+        .ok_or("missing counters section")?;
     let mut r = Reader::checked(ctr_bytes).map_err(|e| e.to_string())?;
     let n = r.u64().map_err(|e| e.to_string())? as usize;
     if n != ctx.nranks() {
@@ -254,5 +273,9 @@ pub fn restore_rank(
         reqs: std::collections::HashMap::new(),
         outstanding: 0,
     };
-    Ok(Restored { mana, memory, resume_step })
+    Ok(Restored {
+        mana,
+        memory,
+        resume_step,
+    })
 }

@@ -45,7 +45,9 @@ pub fn lookup(name: &str) -> Option<UserOpFn> {
 pub fn name_of(func: UserOpFn) -> Option<String> {
     let guard = registry();
     let map = guard.as_ref()?;
-    map.iter().find(|(_, &f)| std::ptr::fn_addr_eq(f, func)).map(|(n, _)| n.clone())
+    map.iter()
+        .find(|(_, &f)| std::ptr::fn_addr_eq(f, func))
+        .map(|(n, _)| n.clone())
 }
 
 #[cfg(test)]
@@ -68,9 +70,13 @@ mod tests {
     fn register_lookup_round_trip() {
         register("test.sum8", op_a);
         register("test.xor8", op_b);
-        assert_eq!(lookup("test.sum8"), Some(op_a as UserOpFn));
-        assert_eq!(lookup("test.xor8"), Some(op_b as UserOpFn));
-        assert_eq!(lookup("test.nope"), None);
+        assert!(
+            matches!(lookup("test.sum8"), Some(f) if std::ptr::fn_addr_eq(f, op_a as UserOpFn))
+        );
+        assert!(
+            matches!(lookup("test.xor8"), Some(f) if std::ptr::fn_addr_eq(f, op_b as UserOpFn))
+        );
+        assert!(lookup("test.nope").is_none());
         assert_eq!(name_of(op_a).as_deref(), Some("test.sum8"));
         // Idempotent re-registration.
         register("test.sum8", op_a);

@@ -117,7 +117,12 @@ mod tests {
     use super::*;
 
     fn msg(src: i32, tag: i32, byte: u8) -> PooledMsg {
-        PooledMsg { vcomm: Handle::COMM_WORLD, src, tag, payload: vec![byte; 4] }
+        PooledMsg {
+            vcomm: Handle::COMM_WORLD,
+            src,
+            tag,
+            payload: vec![byte; 4],
+        }
     }
 
     #[test]
@@ -129,16 +134,22 @@ mod tests {
         assert_eq!(p.len(), 3);
         assert_eq!(p.total_bytes(), 12);
         // Wildcard source takes arrival order.
-        let first = p.take_match(Handle::COMM_WORLD, consts::ANY_SOURCE, 1).unwrap();
+        let first = p
+            .take_match(Handle::COMM_WORLD, consts::ANY_SOURCE, 1)
+            .unwrap();
         assert_eq!(first.payload[0], 0xA);
         // Specific source skips non-matching entries.
-        let c = p.take_match(Handle::COMM_WORLD, 0, consts::ANY_TAG).unwrap();
+        let c = p
+            .take_match(Handle::COMM_WORLD, 0, consts::ANY_TAG)
+            .unwrap();
         assert_eq!(c.payload[0], 0xC);
         // Peek does not consume.
         assert!(p.peek_match(Handle::COMM_WORLD, 1, 1).is_some());
         assert_eq!(p.len(), 1);
         // Wrong communicator: no match.
-        assert!(p.take_match(Handle::COMM_SELF, consts::ANY_SOURCE, consts::ANY_TAG).is_none());
+        assert!(p
+            .take_match(Handle::COMM_SELF, consts::ANY_SOURCE, consts::ANY_TAG)
+            .is_none());
     }
 
     #[test]

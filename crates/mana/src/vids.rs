@@ -127,7 +127,10 @@ impl VidTable {
         if vid.is_predefined() {
             return Ok(vid);
         }
-        self.to_real.get(&vid).copied().ok_or_else(|| AbiError::for_kind(vid.kind()))
+        self.to_real
+            .get(&vid)
+            .copied()
+            .ok_or_else(|| AbiError::for_kind(vid.kind()))
     }
 
     /// Drop a virtual id's binding (on free).
@@ -305,7 +308,9 @@ impl VidTable {
                 0 => {
                     let vid = Handle::from_raw(r.u64()?);
                     let recipe = match r.u8()? {
-                        0 => Recipe::CommDup { parent: Handle::from_raw(r.u64()?) },
+                        0 => Recipe::CommDup {
+                            parent: Handle::from_raw(r.u64()?),
+                        },
                         1 => Recipe::CommSplit {
                             parent: Handle::from_raw(r.u64()?),
                             color: r.i32()?,
@@ -315,13 +320,20 @@ impl VidTable {
                             count: r.i32()?,
                             base: Handle::from_raw(r.u64()?),
                         },
-                        3 => Recipe::OpUser { name: r.string()?, commute: r.u8()? != 0 },
+                        3 => Recipe::OpUser {
+                            name: r.string()?,
+                            commute: r.u8()? != 0,
+                        },
                         t => return Err(CodecError::LengthOutOfBounds(t as u64)),
                     };
                     LogEntry::Create { vid, recipe }
                 }
-                1 => LogEntry::Commit { vid: Handle::from_raw(r.u64()?) },
-                2 => LogEntry::Free { vid: Handle::from_raw(r.u64()?) },
+                1 => LogEntry::Commit {
+                    vid: Handle::from_raw(r.u64()?),
+                },
+                2 => LogEntry::Free {
+                    vid: Handle::from_raw(r.u64()?),
+                },
                 t => return Err(CodecError::LengthOutOfBounds(t as u64)),
             };
             log.push(entry);
@@ -367,7 +379,10 @@ mod tests {
         t.cache_comm_size(vid, 2);
         assert_eq!(t.real_of(vid).unwrap(), real);
         assert_eq!(t.live_objects(), 1);
-        assert_eq!(t.live_comms(), vec![Handle::COMM_WORLD, Handle::COMM_SELF, vid]);
+        assert_eq!(
+            t.live_comms(),
+            vec![Handle::COMM_WORLD, Handle::COMM_SELF, vid]
+        );
         assert_eq!(t.unbind(vid), Some(real));
         assert!(t.real_of(vid).is_err());
         assert_eq!(t.comm_size_of(vid), None);
@@ -378,21 +393,36 @@ mod tests {
         let mut t = VidTable::new(2);
         let c = t.alloc(HandleKind::Comm);
         let d = t.alloc(HandleKind::Datatype);
-        t.record(LogEntry::Create { vid: c, recipe: Recipe::CommDup { parent: Handle::COMM_WORLD } });
+        t.record(LogEntry::Create {
+            vid: c,
+            recipe: Recipe::CommDup {
+                parent: Handle::COMM_WORLD,
+            },
+        });
         t.record(LogEntry::Create {
             vid: d,
-            recipe: Recipe::TypeContiguous { count: 3, base: mpi_abi::Datatype::Double.handle() },
+            recipe: Recipe::TypeContiguous {
+                count: 3,
+                base: mpi_abi::Datatype::Double.handle(),
+            },
         });
         t.record(LogEntry::Commit { vid: d });
         t.record(LogEntry::Create {
             vid: Handle::COMM_NULL,
-            recipe: Recipe::CommSplit { parent: c, color: -32766, key: 0 },
+            recipe: Recipe::CommSplit {
+                parent: c,
+                color: -32766,
+                key: 0,
+            },
         });
         t.record(LogEntry::Free { vid: d });
         let op_vid = t.alloc(HandleKind::Op);
         t.record(LogEntry::Create {
             vid: op_vid,
-            recipe: Recipe::OpUser { name: "my.op".into(), commute: true },
+            recipe: Recipe::OpUser {
+                name: "my.op".into(),
+                commute: true,
+            },
         });
 
         let mut w = Writer::new();

@@ -103,13 +103,18 @@ impl ManaMpi {
     fn cross(&self) {
         self.ctx.count_context_switch();
         self.ctx.count_context_switch();
-        self.ctx.advance(self.config.crossing_cost(self.ctx.spec().kernel));
+        self.ctx
+            .advance(self.config.crossing_cost(self.ctx.spec().kernel));
     }
 
     /// Charge the collective sequence-bookkeeping extra for a communicator.
     fn coll_extra(&self, vcomm: Handle) {
-        let size = self.vids.comm_size_of(vcomm).unwrap_or_else(|| self.ctx.nranks());
-        self.ctx.advance(self.config.collective_extra(self.ctx.spec().kernel, size));
+        let size = self
+            .vids
+            .comm_size_of(vcomm)
+            .unwrap_or_else(|| self.ctx.nranks());
+        self.ctx
+            .advance(self.config.collective_extra(self.ctx.spec().kernel, size));
     }
 
     // ------------------------------------------------------------------
@@ -150,7 +155,10 @@ impl ManaMpi {
 
 impl MpiAbi for ManaMpi {
     fn library_version(&self) -> String {
-        format!("MANA (split process, virtual ids) over [{}]", self.lower.library_version())
+        format!(
+            "MANA (split process, virtual ids) over [{}]",
+            self.lower.library_version()
+        )
     }
 
     fn finalize(&mut self) -> AbiResult<()> {
@@ -185,14 +193,28 @@ impl MpiAbi for ManaMpi {
         self.lower.comm_translate_rank(real, rank)
     }
 
-    fn send(&mut self, buf: &[u8], datatype: Handle, dest: i32, tag: i32, comm: Handle) -> AbiResult<()> {
+    fn send(
+        &mut self,
+        buf: &[u8],
+        datatype: Handle,
+        dest: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
         self.cross();
         self.count_send(comm, dest)?;
         let (dt, c) = (self.real(datatype)?, self.real(comm)?);
         self.lower.send(buf, dt, dest, tag, c)
     }
 
-    fn recv(&mut self, buf: &mut [u8], datatype: Handle, src: i32, tag: i32, comm: Handle) -> AbiResult<AbiStatus> {
+    fn recv(
+        &mut self,
+        buf: &mut [u8],
+        datatype: Handle,
+        src: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<AbiStatus> {
         self.cross();
         // Drained messages first: they were in flight when the checkpoint
         // was taken and must be delivered before anything newer.
@@ -210,18 +232,39 @@ impl MpiAbi for ManaMpi {
         Ok(status)
     }
 
-    fn isend(&mut self, buf: &[u8], datatype: Handle, dest: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
+    fn isend(
+        &mut self,
+        buf: &[u8],
+        datatype: Handle,
+        dest: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<Handle> {
         self.cross();
         self.count_send(comm, dest)?;
         let (dt, c) = (self.real(datatype)?, self.real(comm)?);
         let real = self.lower.isend(buf, dt, dest, tag, c)?;
         let vreq = self.alloc_vreq();
-        self.reqs.insert(vreq, ReqEntry::Real { real, vcomm: comm, is_recv: false });
+        self.reqs.insert(
+            vreq,
+            ReqEntry::Real {
+                real,
+                vcomm: comm,
+                is_recv: false,
+            },
+        );
         self.outstanding += 1;
         Ok(vreq)
     }
 
-    fn irecv(&mut self, max_bytes: usize, datatype: Handle, src: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
+    fn irecv(
+        &mut self,
+        max_bytes: usize,
+        datatype: Handle,
+        src: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<Handle> {
         self.cross();
         if let Some(m) = self.pool.take_match(comm, src, tag) {
             if m.payload.len() > max_bytes {
@@ -231,7 +274,10 @@ impl MpiAbi for ManaMpi {
             let vreq = self.alloc_vreq();
             self.reqs.insert(
                 vreq,
-                ReqEntry::Pooled { status, payload: Bytes::from(m.payload) },
+                ReqEntry::Pooled {
+                    status,
+                    payload: Bytes::from(m.payload),
+                },
             );
             self.outstanding += 1;
             return Ok(vreq);
@@ -239,7 +285,14 @@ impl MpiAbi for ManaMpi {
         let (dt, c) = (self.real(datatype)?, self.real(comm)?);
         let real = self.lower.irecv(max_bytes, dt, src, tag, c)?;
         let vreq = self.alloc_vreq();
-        self.reqs.insert(vreq, ReqEntry::Real { real, vcomm: comm, is_recv: true });
+        self.reqs.insert(
+            vreq,
+            ReqEntry::Real {
+                real,
+                vcomm: comm,
+                is_recv: true,
+            },
+        );
         self.outstanding += 1;
         Ok(vreq)
     }
@@ -250,7 +303,11 @@ impl MpiAbi for ManaMpi {
         self.outstanding -= 1;
         match entry {
             ReqEntry::Pooled { status, payload } => Ok((status, Some(payload))),
-            ReqEntry::Real { real, vcomm, is_recv } => {
+            ReqEntry::Real {
+                real,
+                vcomm,
+                is_recv,
+            } => {
                 let (status, payload) = self.lower.wait(real)?;
                 if is_recv {
                     self.count_recv_status(vcomm, &status)?;
@@ -268,9 +325,20 @@ impl MpiAbi for ManaMpi {
                 self.outstanding -= 1;
                 Ok(Some((status, Some(payload))))
             }
-            ReqEntry::Real { real, vcomm, is_recv } => match self.lower.test(real)? {
+            ReqEntry::Real {
+                real,
+                vcomm,
+                is_recv,
+            } => match self.lower.test(real)? {
                 None => {
-                    self.reqs.insert(request, ReqEntry::Real { real, vcomm, is_recv });
+                    self.reqs.insert(
+                        request,
+                        ReqEntry::Real {
+                            real,
+                            vcomm,
+                            is_recv,
+                        },
+                    );
                     Ok(None)
                 }
                 Some((status, payload)) => {
@@ -336,7 +404,13 @@ impl MpiAbi for ManaMpi {
         self.lower.barrier(c)
     }
 
-    fn bcast(&mut self, buf: &mut [u8], datatype: Handle, root: i32, comm: Handle) -> AbiResult<()> {
+    fn bcast(
+        &mut self,
+        buf: &mut [u8],
+        datatype: Handle,
+        root: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
         self.cross();
         self.coll_extra(comm);
         let (dt, c) = (self.real(datatype)?, self.real(comm)?);
@@ -449,7 +523,10 @@ impl MpiAbi for ManaMpi {
         self.vids.bind(vid, real);
         let size = self.lower.comm_size(real)? as usize;
         self.vids.cache_comm_size(vid, size);
-        self.vids.record(LogEntry::Create { vid, recipe: Recipe::CommDup { parent: comm } });
+        self.vids.record(LogEntry::Create {
+            vid,
+            recipe: Recipe::CommDup { parent: comm },
+        });
         Ok(vid)
     }
 
@@ -461,7 +538,11 @@ impl MpiAbi for ManaMpi {
         if real == Handle::COMM_NULL {
             self.vids.record(LogEntry::Create {
                 vid: Handle::COMM_NULL,
-                recipe: Recipe::CommSplit { parent: comm, color, key },
+                recipe: Recipe::CommSplit {
+                    parent: comm,
+                    color,
+                    key,
+                },
             });
             return Ok(Handle::COMM_NULL);
         }
@@ -471,7 +552,11 @@ impl MpiAbi for ManaMpi {
         self.vids.cache_comm_size(vid, size);
         self.vids.record(LogEntry::Create {
             vid,
-            recipe: Recipe::CommSplit { parent: comm, color, key },
+            recipe: Recipe::CommSplit {
+                parent: comm,
+                color,
+                key,
+            },
         });
         Ok(vid)
     }
@@ -495,8 +580,13 @@ impl MpiAbi for ManaMpi {
         let real = self.lower.type_contiguous(count, old_real)?;
         let vid = self.vids.alloc(HandleKind::Datatype);
         self.vids.bind(vid, real);
-        self.vids
-            .record(LogEntry::Create { vid, recipe: Recipe::TypeContiguous { count, base: oldtype } });
+        self.vids.record(LogEntry::Create {
+            vid,
+            recipe: Recipe::TypeContiguous {
+                count,
+                base: oldtype,
+            },
+        });
         Ok(vid)
     }
 
@@ -525,7 +615,10 @@ impl MpiAbi for ManaMpi {
         let real = self.lower.op_create(function, commute)?;
         let vid = self.vids.alloc(HandleKind::Op);
         self.vids.bind(vid, real);
-        self.vids.record(LogEntry::Create { vid, recipe: Recipe::OpUser { name, commute } });
+        self.vids.record(LogEntry::Create {
+            vid,
+            recipe: Recipe::OpUser { name, commute },
+        });
         Ok(vid)
     }
 

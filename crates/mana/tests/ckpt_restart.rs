@@ -28,11 +28,23 @@ fn wrapper_forwards_and_counts() {
         let mut mana = stack(Vendor::Mpich, &ctx);
         let me = mana.comm_rank(Handle::COMM_WORLD).map_err(err)?;
         let other = 1 - me;
-        mana.send(&[9u8; 8], Datatype::Byte.handle(), other, 5, Handle::COMM_WORLD)
-            .map_err(err)?;
+        mana.send(
+            &[9u8; 8],
+            Datatype::Byte.handle(),
+            other,
+            5,
+            Handle::COMM_WORLD,
+        )
+        .map_err(err)?;
         let mut buf = [0u8; 8];
         let st = mana
-            .recv(&mut buf, Datatype::Byte.handle(), other, 5, Handle::COMM_WORLD)
+            .recv(
+                &mut buf,
+                Datatype::Byte.handle(),
+                other,
+                5,
+                Handle::COMM_WORLD,
+            )
             .map_err(err)?;
         assert_eq!(st.source, other);
         assert_eq!(buf, [9u8; 8]);
@@ -43,7 +55,10 @@ fn wrapper_forwards_and_counts() {
     // Every wrapper call crosses twice; at least send+recv+comm_rank = 3
     // calls = 6 switches.
     for (switches, _) in out.results {
-        assert!(switches >= 6, "context switches must be counted, got {switches}");
+        assert!(
+            switches >= 6,
+            "context switches must be counted, got {switches}"
+        );
     }
 }
 
@@ -88,7 +103,11 @@ fn mana_overhead_visible_on_old_kernel_only() {
     // 101 wrapper calls cross the split-process boundary: one comm_rank
     // plus the 100 sendrecvs.
     let per_call = 2 * (config.switch_syscall.as_nanos() - config.switch_fsgsbase.as_nanos());
-    assert_eq!(old - new, 101 * per_call, "delta must be exactly the switch-cost difference");
+    assert_eq!(
+        old - new,
+        101 * per_call,
+        "delta must be exactly the switch-cost difference"
+    );
 }
 
 /// A tiny stateful "application" for checkpoint tests: accumulates a ring
@@ -100,9 +119,21 @@ fn ring_step(mana: &mut ManaMpi, mem: &mut Memory, step: u64) -> AbiResult<()> {
     let prev = (me + n - 1) % n;
     let acc = mem.f64s_mut("acc", 1);
     let payload = (acc[0] + me as f64 + step as f64).to_le_bytes();
-    mana.send(&payload, Datatype::Double.handle(), next, 7, Handle::COMM_WORLD)?;
+    mana.send(
+        &payload,
+        Datatype::Double.handle(),
+        next,
+        7,
+        Handle::COMM_WORLD,
+    )?;
     let mut buf = [0u8; 8];
-    mana.recv(&mut buf, Datatype::Double.handle(), prev, 7, Handle::COMM_WORLD)?;
+    mana.recv(
+        &mut buf,
+        Datatype::Double.handle(),
+        prev,
+        7,
+        Handle::COMM_WORLD,
+    )?;
     mem.f64s_mut("acc", 1)[0] += f64::from_le_bytes(buf);
     Ok(())
 }
@@ -153,8 +184,13 @@ fn checkpoint_stop_restart_other_vendor_same_answer() {
         Ok(Some(mem.f64s("acc").unwrap()[0]))
     })
     .unwrap();
-    assert!(outcome.results.iter().all(Option::is_none), "world must stop at checkpoint");
-    let image = coord.take_world_image("Open MPI").expect("checkpoint image collected");
+    assert!(
+        outcome.results.iter().all(Option::is_none),
+        "world must stop at checkpoint"
+    );
+    let image = coord
+        .take_world_image("Open MPI")
+        .expect("checkpoint image collected");
     assert_eq!(image.vendor_hint, "Open MPI");
     assert_eq!(image.nranks(), 3);
 
@@ -178,7 +214,10 @@ fn checkpoint_stop_restart_other_vendor_same_answer() {
         Ok(mem.f64s("acc").unwrap()[0])
     })
     .unwrap();
-    assert_eq!(out.results, expect, "cross-vendor restart must preserve the computation");
+    assert_eq!(
+        out.results, expect,
+        "cross-vendor restart must preserve the computation"
+    );
 }
 
 #[test]
@@ -230,9 +269,13 @@ fn in_flight_messages_survive_checkpoint_via_pool() {
     let images = std::sync::Arc::new(image);
     let out = World::run(&spec, move |ctx| {
         let shim = MukShim::load(Vendor::OpenMpi, ctx.clone());
-        let restored =
-            restore_rank(ctx.clone(), ManaConfig::default(), Box::new(shim), &images.ranks[ctx.rank()])
-                .map_err(err)?;
+        let restored = restore_rank(
+            ctx.clone(),
+            ManaConfig::default(),
+            Box::new(shim),
+            &images.ranks[ctx.rank()],
+        )
+        .map_err(err)?;
         let mut mana = restored.mana;
         if ctx.rank() == 1 {
             // Probe sees the pooled message, then receive it.
@@ -244,7 +287,13 @@ fn in_flight_messages_survive_checkpoint_via_pool() {
             assert_eq!(st.tag, 42);
             let mut buf = [0u8; 8];
             let st = mana
-                .recv(&mut buf, Datatype::Uint64.handle(), 0, 42, Handle::COMM_WORLD)
+                .recv(
+                    &mut buf,
+                    Datatype::Uint64.handle(),
+                    0,
+                    42,
+                    Handle::COMM_WORLD,
+                )
                 .map_err(err)?;
             assert_eq!(st.source, 0);
             return Ok(u64::from_le_bytes(buf));
@@ -268,8 +317,12 @@ fn dynamic_objects_replayed_across_vendors() {
         let mut mem = Memory::new();
         let me = mana.comm_rank(Handle::COMM_WORLD).map_err(err)?;
         let dup = mana.comm_dup(Handle::COMM_WORLD).map_err(err)?;
-        let sub = mana.comm_split(Handle::COMM_WORLD, me % 2, me).map_err(err)?;
-        let vec2 = mana.type_contiguous(2, Datatype::Double.handle()).map_err(err)?;
+        let sub = mana
+            .comm_split(Handle::COMM_WORLD, me % 2, me)
+            .map_err(err)?;
+        let vec2 = mana
+            .type_contiguous(2, Datatype::Double.handle())
+            .map_err(err)?;
         mana.type_commit(vec2).map_err(err)?;
         // Remember the virtual handles in checkpointed memory — they are
         // plain u64s, exactly what "the application keeps references" means.
@@ -299,9 +352,13 @@ fn dynamic_objects_replayed_across_vendors() {
     let images = std::sync::Arc::new(image);
     let out = World::run(&spec, move |ctx| {
         let shim = MukShim::load(Vendor::Mpich, ctx.clone());
-        let restored =
-            restore_rank(ctx.clone(), ManaConfig::default(), Box::new(shim), &images.ranks[ctx.rank()])
-                .map_err(err)?;
+        let restored = restore_rank(
+            ctx.clone(),
+            ManaConfig::default(),
+            Box::new(shim),
+            &images.ranks[ctx.rank()],
+        )
+        .map_err(err)?;
         let mut mana = restored.mana;
         let mem = restored.memory;
         let dup = Handle::from_raw(mem.get_u64("dup").unwrap());
@@ -345,14 +402,23 @@ fn user_op_requires_registration() {
     let out = World::run(&spec, |ctx| {
         let mut mana = stack(Vendor::Mpich, &ctx);
         // Unregistered op fails with Unsupported.
-        assert_eq!(mana.op_create(unregistered, true), Err(mpi_abi::AbiError::Unsupported));
+        assert_eq!(
+            mana.op_create(unregistered, true),
+            Err(mpi_abi::AbiError::Unsupported)
+        );
         // Registered op works end-to-end.
         let op = mana.op_create(my_min, true).map_err(err)?;
         let me = mana.comm_rank(Handle::COMM_WORLD).map_err(err)?;
         let mine = ((me + 2) as f64).to_le_bytes();
         let mut out = vec![0u8; 8];
-        mana.allreduce(&mine, &mut out, Datatype::Double.handle(), op, Handle::COMM_WORLD)
-            .map_err(err)?;
+        mana.allreduce(
+            &mine,
+            &mut out,
+            Datatype::Double.handle(),
+            op,
+            Handle::COMM_WORLD,
+        )
+        .map_err(err)?;
         Ok(f64::from_le_bytes(out[..].try_into().unwrap()))
     })
     .unwrap();

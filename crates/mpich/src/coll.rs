@@ -159,12 +159,7 @@ impl MpichProcess {
         }
     }
 
-    fn bcast_binomial(
-        &mut self,
-        info: &CommInfo,
-        buf: &mut [u8],
-        root: usize,
-    ) -> MpichResult<()> {
+    fn bcast_binomial(&mut self, info: &CommInfo, buf: &mut [u8], root: usize) -> MpichResult<()> {
         let n = info.size();
         let me = info.my_rank as usize;
         let rel = (me + n - root) % n;
@@ -209,8 +204,10 @@ impl MpichProcess {
         let n = info.size();
         let me = info.my_rank as usize;
         let rel = (me + n - root) % n;
-        let lens: Vec<usize> =
-            chunk_lengths(buf.len() / elem, n).into_iter().map(|l| l * elem).collect();
+        let lens: Vec<usize> = chunk_lengths(buf.len() / elem, n)
+            .into_iter()
+            .map(|l| l * elem)
+            .collect();
         let offs: Vec<usize> = lens
             .iter()
             .scan(0usize, |acc, &l| {
@@ -222,7 +219,11 @@ impl MpichProcess {
 
         // Phase 1: binomial scatter of chunks in *relative* index space:
         // relative chunk i lives at rank (root + i) % n.
-        let myspan = if rel == 0 { n } else { lsb(rel).unwrap().min(n - rel) };
+        let myspan = if rel == 0 {
+            n
+        } else {
+            lsb(rel).unwrap().min(n - rel)
+        };
         if rel != 0 {
             let parent = ((rel - lsb(rel).unwrap()) + root) % n;
             let got = self.xrecv(
@@ -270,8 +271,7 @@ impl MpichProcess {
         for s in 0..n - 1 {
             let send_i = (rel + n - s) % n;
             let recv_i = (rel + n - s - 1) % n;
-            let payload =
-                Bytes::copy_from_slice(&buf[offs[send_i]..offs[send_i] + lens[send_i]]);
+            let payload = Bytes::copy_from_slice(&buf[offs[send_i]..offs[send_i] + lens[send_i]]);
             self.xsend(info, true, right as i32, TAG_BCAST + 0x10, payload)?;
             let got = self.xrecv(
                 info,
@@ -363,8 +363,7 @@ impl MpichProcess {
         if info.size() == 1 || sendbuf.is_empty() {
             return Ok(());
         }
-        if sendbuf.len() <= self.tuning().allreduce_recdbl_max
-            || sendbuf.len() / elem < info.size()
+        if sendbuf.len() <= self.tuning().allreduce_recdbl_max || sendbuf.len() / elem < info.size()
         {
             self.allreduce_recdbl(&info, recvbuf, dt, op)
         } else {
@@ -392,7 +391,13 @@ impl MpichProcess {
         if me < 2 * rem {
             if me.is_multiple_of(2) {
                 // Parked: give my data to the odd neighbour.
-                self.xsend(info, true, (me + 1) as i32, tag, Bytes::copy_from_slice(acc))?;
+                self.xsend(
+                    info,
+                    true,
+                    (me + 1) as i32,
+                    tag,
+                    Bytes::copy_from_slice(acc),
+                )?;
                 Ok(None)
             } else {
                 let src = info.world_of((me - 1) as i32)?;
@@ -439,7 +444,13 @@ impl MpichProcess {
         let rem = n - pof2;
         if me < 2 * rem {
             if participating.is_some() {
-                self.xsend(info, true, (me - 1) as i32, tag, Bytes::copy_from_slice(acc))?;
+                self.xsend(
+                    info,
+                    true,
+                    (me - 1) as i32,
+                    tag,
+                    Bytes::copy_from_slice(acc),
+                )?;
             } else {
                 let src = info.world_of((me + 1) as i32)?;
                 let got = self.xrecv(info, true, SrcSel::World(src), TagSel::Is(tag))?;
@@ -522,8 +533,10 @@ impl MpichProcess {
         let newrank = self.fold_extras_pre(info, acc, dt, op, TAG_ALLREDUCE)?;
         if let Some(nr) = newrank {
             let total_elems = acc.len() / elem;
-            let lens: Vec<usize> =
-                chunk_lengths(total_elems, pof2).into_iter().map(|l| l * elem).collect();
+            let lens: Vec<usize> = chunk_lengths(total_elems, pof2)
+                .into_iter()
+                .map(|l| l * elem)
+                .collect();
             let offs: Vec<usize> = lens
                 .iter()
                 .scan(0usize, |a, &l| {
@@ -570,7 +583,13 @@ impl MpichProcess {
                 if got.env.len() != ke - kb {
                     return Err(mpih::MPI_ERR_TRUNCATE);
                 }
-                self.combine_ordered(op, dt, &mut acc[kb..ke], &got.env.payload, partner < me_real)?;
+                self.combine_ordered(
+                    op,
+                    dt,
+                    &mut acc[kb..ke],
+                    &got.env.payload,
+                    partner < me_real,
+                )?;
                 steps.push((parent_lo, parent_hi, partner));
                 lo = keep_lo;
                 hi = keep_hi;
@@ -597,7 +616,11 @@ impl MpichProcess {
                     TagSel::Is(TAG_ALLREDUCE + 4),
                 )?;
                 // The partner's range is [slo..lo) or [hi..shi).
-                let (pb, pe) = if lo == slo { span(hi, shi) } else { span(slo, lo) };
+                let (pb, pe) = if lo == slo {
+                    span(hi, shi)
+                } else {
+                    span(slo, lo)
+                };
                 if got.env.len() != pe - pb {
                     return Err(mpih::MPI_ERR_TRUNCATE);
                 }
@@ -635,7 +658,11 @@ impl MpichProcess {
             return Ok(());
         }
         let rel = (me + n - root) % n;
-        let myspan = if rel == 0 { n } else { lsb(rel).unwrap().min(n - rel) };
+        let myspan = if rel == 0 {
+            n
+        } else {
+            lsb(rel).unwrap().min(n - rel)
+        };
         // tmp holds relative blocks [rel, rel+myspan).
         let mut tmp = vec![0u8; block * myspan];
         tmp[..block].copy_from_slice(sendbuf);
@@ -655,8 +682,7 @@ impl MpichProcess {
                 if got.env.len() != block * child_span {
                     return Err(mpih::MPI_ERR_TRUNCATE);
                 }
-                tmp[block * mask..block * (mask + child_span)]
-                    .copy_from_slice(&got.env.payload);
+                tmp[block * mask..block * (mask + child_span)].copy_from_slice(&got.env.payload);
             }
             mask <<= 1;
         }
@@ -696,7 +722,11 @@ impl MpichProcess {
             return Ok(());
         }
         let rel = (me + n - root) % n;
-        let myspan = if rel == 0 { n } else { lsb(rel).unwrap().min(n - rel) };
+        let myspan = if rel == 0 {
+            n
+        } else {
+            lsb(rel).unwrap().min(n - rel)
+        };
         let mut tmp = vec![0u8; block * myspan];
         if rel == 0 {
             // Pack into relative order.
@@ -788,8 +818,7 @@ impl MpichProcess {
             let src = info.world_of(((me + pof2) % n) as i32)?;
             let payload = Bytes::copy_from_slice(&tmp[..block * cnt]);
             self.xsend(info, true, dst, TAG_ALLGATHER, payload)?;
-            let got =
-                self.xrecv(info, true, SrcSel::World(src), TagSel::Is(TAG_ALLGATHER))?;
+            let got = self.xrecv(info, true, SrcSel::World(src), TagSel::Is(TAG_ALLGATHER))?;
             if got.env.len() != block * cnt {
                 return Err(mpih::MPI_ERR_TRUNCATE);
             }
@@ -820,8 +849,7 @@ impl MpichProcess {
         for s in 0..n - 1 {
             let send_i = (me + n - s) % n;
             let recv_i = (me + n - s - 1) % n;
-            let payload =
-                Bytes::copy_from_slice(&recvbuf[send_i * block..(send_i + 1) * block]);
+            let payload = Bytes::copy_from_slice(&recvbuf[send_i * block..(send_i + 1) * block]);
             self.xsend(info, true, right, TAG_ALLGATHER + 1, payload)?;
             let got = self.xrecv(
                 info,

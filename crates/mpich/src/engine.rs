@@ -1,13 +1,14 @@
-//! The matching engine: MPICH-flavour progress and (context, source, tag)
-//! matching over the raw FIFO transport.
+//! The matching engine: MPICH-flavour progress over the shared indexed
+//! matching core ([`simnet::matching`]).
 //!
-//! Real MPI libraries keep an *unexpected message queue* per process; posted
-//! receives first search it, then block on the network. We do exactly that.
-//! Matching scans in arrival order, which — combined with the fabric's
-//! per-pair FIFO guarantee — yields MPI's non-overtaking semantics.
+//! The matching data structure — per-(context, source, tag) FIFO buckets
+//! with a global arrival sequence for wildcard receives — lives in
+//! `simnet` and is shared with the Open MPI flavour. What stays
+//! MPICH-specific is the **cost model**: the ch3:sock channel charges a
+//! progress-engine wakeup latency on small inter-node messages, modelled
+//! here as an [`ArrivalModel`] hook applied once per message at ingest.
 
-use std::collections::VecDeque;
-
+use simnet::matching::{ArrivalModel, MatchCore, MatchedMsg};
 use simnet::{Envelope, RankCtx, SimError, SimResult, VirtualTime};
 
 /// An envelope that has been pulled off the wire, with its computed arrival
@@ -20,6 +21,15 @@ pub struct Arrived {
     pub arrival: VirtualTime,
 }
 
+impl From<MatchedMsg> for Arrived {
+    fn from(m: MatchedMsg) -> Arrived {
+        Arrived {
+            env: m.env,
+            arrival: m.arrival,
+        }
+    }
+}
+
 /// Source selector for matching (already translated to world ranks).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SrcSel {
@@ -27,6 +37,15 @@ pub enum SrcSel {
     Any,
     /// Match a specific world rank.
     World(usize),
+}
+
+impl SrcSel {
+    fn pattern(self) -> simnet::SrcPattern {
+        match self {
+            SrcSel::Any => simnet::SrcPattern::Any,
+            SrcSel::World(w) => simnet::SrcPattern::Is(w),
+        }
+    }
 }
 
 /// Tag selector for matching.
@@ -38,19 +57,45 @@ pub enum TagSel {
     Is(i32),
 }
 
+impl TagSel {
+    fn pattern(self) -> simnet::TagPattern {
+        match self {
+            TagSel::Any => simnet::TagPattern::Any,
+            TagSel::Is(t) => simnet::TagPattern::Is(t),
+        }
+    }
+}
+
+/// ch3:sock cost model: small inter-node messages pay the sock channel's
+/// progress-engine wakeup latency on top of the wire arrival.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SockArrival {
+    /// Latency added to qualifying messages.
+    pub small_latency: VirtualTime,
+    /// Payloads up to this size qualify.
+    pub small_max: usize,
+}
+
+impl ArrivalModel for SockArrival {
+    fn arrival(&self, ctx: &RankCtx, env: &Envelope) -> VirtualTime {
+        let mut arrival = ctx.arrival_time(env);
+        if env.payload.len() <= self.small_max
+            && ctx.spec().link_class(env.src, ctx.rank()) == simnet::LinkClass::InterNode
+        {
+            arrival += self.small_latency;
+        }
+        arrival
+    }
+}
+
 /// The per-process matching engine.
 #[derive(Default)]
 pub struct MatchEngine {
-    unexpected: VecDeque<Arrived>,
-    /// ch3:sock progress-engine latency added to small inter-node
-    /// messages (see [`crate::tuning::Tuning::sock_small_latency`]).
-    sock_small_latency: VirtualTime,
-    /// Payloads up to this size pay `sock_small_latency`.
-    sock_small_max: usize,
+    core: MatchCore<SockArrival>,
 }
 
 impl MatchEngine {
-    /// Create an empty engine.
+    /// Create an empty engine (no sock latency model).
     pub fn new() -> MatchEngine {
         MatchEngine::default()
     }
@@ -58,53 +103,22 @@ impl MatchEngine {
     /// Configure the sock-channel small-message latency model.
     pub fn with_sock_latency(latency: VirtualTime, max_bytes: usize) -> MatchEngine {
         MatchEngine {
-            unexpected: VecDeque::new(),
-            sock_small_latency: latency,
-            sock_small_max: max_bytes,
+            core: MatchCore::with_model(SockArrival {
+                small_latency: latency,
+                small_max: max_bytes,
+            }),
         }
-    }
-
-    /// Arrival time of an envelope at this rank, including the sock
-    /// channel's wakeup latency for small inter-node messages.
-    fn arrived(&self, ctx: &RankCtx, env: Envelope) -> Arrived {
-        let mut arrival = ctx.arrival_time(&env);
-        if env.payload.len() <= self.sock_small_max
-            && ctx.spec().link_class(env.src, ctx.rank()) == simnet::LinkClass::InterNode
-        {
-            arrival += self.sock_small_latency;
-        }
-        Arrived { env, arrival }
     }
 
     /// Number of queued unexpected messages (diagnostics / drain).
     pub fn unexpected_len(&self) -> usize {
-        self.unexpected.len()
+        self.core.unexpected_len()
     }
 
-    fn matches(a: &Arrived, ctx_id: u64, src: SrcSel, tag: TagSel) -> bool {
-        a.env.ctx_id == ctx_id
-            && match src {
-                SrcSel::Any => true,
-                SrcSel::World(w) => a.env.src == w,
-            }
-            && match tag {
-                TagSel::Any => true,
-                TagSel::Is(t) => a.env.tag == t,
-            }
-    }
-
-    /// Pull everything currently available off the wire into the
-    /// unexpected queue (non-blocking).
+    /// Batch-pull everything currently available off the wire into the
+    /// unexpected index (non-blocking; one mailbox lock per call).
     pub fn pump(&mut self, ctx: &RankCtx) -> SimResult<()> {
-        while let Some(env) = ctx.endpoint().poll_raw()? {
-            let a = self.arrived(ctx, env);
-            self.unexpected.push_back(a);
-        }
-        Ok(())
-    }
-
-    fn find(&self, ctx_id: u64, src: SrcSel, tag: TagSel) -> Option<usize> {
-        self.unexpected.iter().position(|a| Self::matches(a, ctx_id, src, tag))
+        self.core.pump(ctx)
     }
 
     /// Non-blocking match: returns the first matching message in arrival
@@ -116,12 +130,10 @@ impl MatchEngine {
         src: SrcSel,
         tag: TagSel,
     ) -> SimResult<Option<Arrived>> {
-        self.pump(ctx)?;
-        let found = self.find(ctx_id, src, tag).and_then(|i| self.unexpected.remove(i));
-        if let Some(a) = &found {
-            ctx.count_recv(a.env.len());
-        }
-        Ok(found)
+        Ok(self
+            .core
+            .try_match(ctx, ctx_id, src.pattern(), tag.pattern())?
+            .map(Arrived::from))
     }
 
     /// Blocking match: waits for a matching message.
@@ -132,15 +144,10 @@ impl MatchEngine {
         src: SrcSel,
         tag: TagSel,
     ) -> SimResult<Arrived> {
-        loop {
-            if let Some(found) = self.match_nonblocking(ctx, ctx_id, src, tag)? {
-                return Ok(found);
-            }
-            // Nothing queued: block for the next wire message, then retry.
-            let env = ctx.endpoint().recv_raw()?;
-            let a = self.arrived(ctx, env);
-            self.unexpected.push_back(a);
-        }
+        Ok(self
+            .core
+            .match_blocking(ctx, ctx_id, src.pattern(), tag.pattern())?
+            .into())
     }
 
     /// Non-blocking peek (for `MPI_Iprobe`): like match, but leaves the
@@ -152,8 +159,10 @@ impl MatchEngine {
         src: SrcSel,
         tag: TagSel,
     ) -> SimResult<Option<Arrived>> {
-        self.pump(ctx)?;
-        Ok(self.find(ctx_id, src, tag).map(|i| self.unexpected[i].clone()))
+        Ok(self
+            .core
+            .try_peek(ctx, ctx_id, src.pattern(), tag.pattern())?
+            .map(Arrived::from))
     }
 
     /// Blocking peek (for `MPI_Probe`).
@@ -164,14 +173,10 @@ impl MatchEngine {
         src: SrcSel,
         tag: TagSel,
     ) -> SimResult<Arrived> {
-        loop {
-            if let Some(found) = self.peek_nonblocking(ctx, ctx_id, src, tag)? {
-                return Ok(found);
-            }
-            let env = ctx.endpoint().recv_raw()?;
-            let a = self.arrived(ctx, env);
-            self.unexpected.push_back(a);
-        }
+        Ok(self
+            .core
+            .peek_blocking(ctx, ctx_id, src.pattern(), tag.pattern())?
+            .into())
     }
 
     /// Used by fault-tolerant paths: true if the engine would block forever
@@ -194,13 +199,25 @@ mod tests {
         let (_fabric, mut eps) = Fabric::new(&spec);
         let ep1 = eps.pop().unwrap();
         let ep0 = eps.pop().unwrap();
-        let c0 = Rc::new(RankCtx::new(0, spec.clone(), ep0, NoiseModel::disabled().stream_for_rank(0)));
-        let c1 = Rc::new(RankCtx::new(1, spec, ep1, NoiseModel::disabled().stream_for_rank(1)));
+        let c0 = Rc::new(RankCtx::new(
+            0,
+            spec.clone(),
+            ep0,
+            NoiseModel::disabled().stream_for_rank(0),
+        ));
+        let c1 = Rc::new(RankCtx::new(
+            1,
+            spec,
+            ep1,
+            NoiseModel::disabled().stream_for_rank(1),
+        ));
         (c0, c1)
     }
 
     fn send(c: &RankCtx, dst: usize, ctx_id: u64, tag: i32, data: &[u8]) {
-        c.endpoint().send_raw(dst, ctx_id, tag, Bytes::copy_from_slice(data), c).unwrap();
+        c.endpoint()
+            .send_raw(dst, ctx_id, tag, Bytes::copy_from_slice(data), c)
+            .unwrap();
     }
 
     #[test]
@@ -236,9 +253,15 @@ mod tests {
         send(&c0, 1, 3, 42, b"first");
         send(&c0, 1, 3, 43, b"second");
         let mut eng = MatchEngine::new();
-        let a = eng.match_nonblocking(&c1, 3, SrcSel::Any, TagSel::Any).unwrap().unwrap();
+        let a = eng
+            .match_nonblocking(&c1, 3, SrcSel::Any, TagSel::Any)
+            .unwrap()
+            .unwrap();
         assert_eq!(&a.env.payload[..], b"first", "arrival order respected");
-        let b = eng.match_nonblocking(&c1, 3, SrcSel::Any, TagSel::Any).unwrap().unwrap();
+        let b = eng
+            .match_nonblocking(&c1, 3, SrcSel::Any, TagSel::Any)
+            .unwrap()
+            .unwrap();
         assert_eq!(&b.env.payload[..], b"second");
     }
 
@@ -250,8 +273,9 @@ mod tests {
         }
         let mut eng = MatchEngine::new();
         for i in 0..8u8 {
-            let got =
-                eng.match_blocking(&c1, 3, SrcSel::World(0), TagSel::Is(7)).unwrap();
+            let got = eng
+                .match_blocking(&c1, 3, SrcSel::World(0), TagSel::Is(7))
+                .unwrap();
             assert_eq!(got.env.payload[0], i);
         }
     }
@@ -267,7 +291,9 @@ mod tests {
             .unwrap();
         assert_eq!(&p.env.payload[..], b"peeked");
         assert_eq!(eng.unexpected_len(), 1);
-        let m = eng.match_blocking(&c1, 3, SrcSel::World(0), TagSel::Is(7)).unwrap();
+        let m = eng
+            .match_blocking(&c1, 3, SrcSel::World(0), TagSel::Is(7))
+            .unwrap();
         assert_eq!(&m.env.payload[..], b"peeked");
         assert_eq!(eng.unexpected_len(), 0);
     }
@@ -277,9 +303,53 @@ mod tests {
         let (c0, c1) = pair();
         send(&c0, 1, 3, 7, b"x");
         let mut eng = MatchEngine::new();
-        let p = eng.peek_nonblocking(&c1, 3, SrcSel::Any, TagSel::Any).unwrap().unwrap();
-        let m = eng.match_nonblocking(&c1, 3, SrcSel::Any, TagSel::Any).unwrap().unwrap();
-        assert_eq!(p.arrival, m.arrival, "jitter must be drawn exactly once per message");
+        let p = eng
+            .peek_nonblocking(&c1, 3, SrcSel::Any, TagSel::Any)
+            .unwrap()
+            .unwrap();
+        let m = eng
+            .match_nonblocking(&c1, 3, SrcSel::Any, TagSel::Any)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            p.arrival, m.arrival,
+            "jitter must be drawn exactly once per message"
+        );
         assert!(m.arrival >= c1.spec().link_between(0, 1).alpha);
+    }
+
+    #[test]
+    fn sock_latency_applies_to_small_internode_only() {
+        let spec = Arc::new(ClusterSpec::builder().nodes(2).ranks_per_node(1).build());
+        let (_fabric, mut eps) = Fabric::new(&spec);
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let c0 = RankCtx::new(
+            0,
+            spec.clone(),
+            ep0,
+            NoiseModel::disabled().stream_for_rank(0),
+        );
+        let c1 = RankCtx::new(1, spec, ep1, NoiseModel::disabled().stream_for_rank(1));
+        let sock = VirtualTime::from_micros(50);
+        send(&c0, 1, 0, 0, b"small");
+        send(&c0, 1, 0, 1, &[0u8; 4096]);
+        let mut eng = MatchEngine::with_sock_latency(sock, 1024);
+        let small = eng
+            .match_nonblocking(&c1, 0, SrcSel::Any, TagSel::Is(0))
+            .unwrap()
+            .unwrap();
+        let big = eng
+            .match_nonblocking(&c1, 0, SrcSel::Any, TagSel::Is(1))
+            .unwrap()
+            .unwrap();
+        let wire_small = small.env.depart + c1.spec().link_between(0, 1).alpha;
+        assert_eq!(
+            small.arrival,
+            wire_small + sock,
+            "small message pays sock latency"
+        );
+        let wire_big = big.env.depart + c1.spec().link_between(0, 1).alpha;
+        assert_eq!(big.arrival, wire_big, "large message does not");
     }
 }

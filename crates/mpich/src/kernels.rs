@@ -85,13 +85,16 @@ macro_rules! float_ops {
             mpih::MPI_MIN => combine_as!($ty, $acc, $other, |x, y| x.min(y)),
             mpih::MPI_MAX => combine_as!($ty, $acc, $other, |x, y| x.max(y)),
             mpih::MPI_LAND => {
-                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) && (y != 0.0)) as u8 as $ty)
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) && (y != 0.0)) as u8
+                    as $ty)
             }
             mpih::MPI_LOR => {
-                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) || (y != 0.0)) as u8 as $ty)
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) || (y != 0.0)) as u8
+                    as $ty)
             }
             mpih::MPI_LXOR => {
-                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) ^ (y != 0.0)) as u8 as $ty)
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) ^ (y != 0.0)) as u8
+                    as $ty)
             }
             _ => return Err(mpih::MPI_ERR_OP),
         }
@@ -130,35 +133,73 @@ mod tests {
     }
 
     fn to_f64s(b: &[u8]) -> Vec<f64> {
-        b.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+        b.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
     }
 
     #[test]
     fn f64_sum_and_max() {
         let mut acc = f64s(&[1.0, 2.0, 3.0]);
-        combine(mpih::MPI_SUM, ElemKind::Float(8), &mut acc, &f64s(&[10.0, 20.0, 30.0])).unwrap();
+        combine(
+            mpih::MPI_SUM,
+            ElemKind::Float(8),
+            &mut acc,
+            &f64s(&[10.0, 20.0, 30.0]),
+        )
+        .unwrap();
         assert_eq!(to_f64s(&acc), vec![11.0, 22.0, 33.0]);
-        combine(mpih::MPI_MAX, ElemKind::Float(8), &mut acc, &f64s(&[100.0, 0.0, 100.0])).unwrap();
+        combine(
+            mpih::MPI_MAX,
+            ElemKind::Float(8),
+            &mut acc,
+            &f64s(&[100.0, 0.0, 100.0]),
+        )
+        .unwrap();
         assert_eq!(to_f64s(&acc), vec![100.0, 22.0, 100.0]);
     }
 
     #[test]
     fn i32_wrapping_sum_and_bitwise() {
         let mut acc = i32::MAX.to_le_bytes().to_vec();
-        combine(mpih::MPI_SUM, ElemKind::Int(4), &mut acc, &1i32.to_le_bytes()).unwrap();
+        combine(
+            mpih::MPI_SUM,
+            ElemKind::Int(4),
+            &mut acc,
+            &1i32.to_le_bytes(),
+        )
+        .unwrap();
         assert_eq!(i32::from_le_bytes(acc[..].try_into().unwrap()), i32::MIN);
         let mut acc = 0b1100i32.to_le_bytes().to_vec();
-        combine(mpih::MPI_BAND, ElemKind::Int(4), &mut acc, &0b1010i32.to_le_bytes()).unwrap();
+        combine(
+            mpih::MPI_BAND,
+            ElemKind::Int(4),
+            &mut acc,
+            &0b1010i32.to_le_bytes(),
+        )
+        .unwrap();
         assert_eq!(i32::from_le_bytes(acc[..].try_into().unwrap()), 0b1000);
     }
 
     #[test]
     fn logical_ops_normalize_to_zero_one() {
         let mut acc = 5i32.to_le_bytes().to_vec();
-        combine(mpih::MPI_LAND, ElemKind::Int(4), &mut acc, &3i32.to_le_bytes()).unwrap();
+        combine(
+            mpih::MPI_LAND,
+            ElemKind::Int(4),
+            &mut acc,
+            &3i32.to_le_bytes(),
+        )
+        .unwrap();
         assert_eq!(i32::from_le_bytes(acc[..].try_into().unwrap()), 1);
         let mut acc = 0i32.to_le_bytes().to_vec();
-        combine(mpih::MPI_LOR, ElemKind::Int(4), &mut acc, &0i32.to_le_bytes()).unwrap();
+        combine(
+            mpih::MPI_LOR,
+            ElemKind::Int(4),
+            &mut acc,
+            &0i32.to_le_bytes(),
+        )
+        .unwrap();
         assert_eq!(i32::from_le_bytes(acc[..].try_into().unwrap()), 0);
     }
 
@@ -184,9 +225,15 @@ mod tests {
 
     #[test]
     fn builtin_kind_mapping() {
-        assert_eq!(ElemKind::of_builtin(mpih::MPI_DOUBLE), Some(ElemKind::Float(8)));
+        assert_eq!(
+            ElemKind::of_builtin(mpih::MPI_DOUBLE),
+            Some(ElemKind::Float(8))
+        );
         assert_eq!(ElemKind::of_builtin(mpih::MPI_INT), Some(ElemKind::Int(4)));
-        assert_eq!(ElemKind::of_builtin(mpih::MPI_BYTE), Some(ElemKind::Uint(1)));
+        assert_eq!(
+            ElemKind::of_builtin(mpih::MPI_BYTE),
+            Some(ElemKind::Uint(1))
+        );
         assert_eq!(ElemKind::of_builtin(0x1234), None);
     }
 }

@@ -74,8 +74,18 @@ pub const DYN_TYPE_BASE: MpiDatatype = 0x8c00_0000u32 as i32;
 
 /// All predefined (non-null) datatypes.
 pub const PREDEFINED_DATATYPES: [MpiDatatype; 12] = [
-    MPI_BYTE, MPI_CHAR, MPI_INT8_T, MPI_UINT8_T, MPI_INT16_T, MPI_UINT16_T, MPI_INT, MPI_UINT32_T,
-    MPI_INT64_T, MPI_UINT64_T, MPI_FLOAT, MPI_DOUBLE,
+    MPI_BYTE,
+    MPI_CHAR,
+    MPI_INT8_T,
+    MPI_UINT8_T,
+    MPI_INT16_T,
+    MPI_UINT16_T,
+    MPI_INT,
+    MPI_UINT32_T,
+    MPI_INT64_T,
+    MPI_UINT64_T,
+    MPI_FLOAT,
+    MPI_DOUBLE,
 ];
 
 /// Element size encoded in a predefined datatype handle (MPICH packs the
@@ -175,7 +185,8 @@ impl MpiStatus {
 
     /// Total byte count (`MPI_Get_count` precursor).
     pub fn count_bytes(&self) -> u64 {
-        (self.count_lo as u32 as u64) | (((self.count_hi_and_cancelled as u32 as u64) & 0x7FFF_FFFF) << 32)
+        (self.count_lo as u32 as u64)
+            | (((self.count_hi_and_cancelled as u32 as u64) & 0x7FFF_FFFF) << 32)
     }
 
     /// Whether the operation was cancelled.
@@ -247,12 +258,18 @@ mod tests {
     fn predefined_handles_are_distinct() {
         let mut all: Vec<i32> = PREDEFINED_DATATYPES.to_vec();
         all.extend([MPI_COMM_WORLD, MPI_COMM_SELF, MPI_COMM_NULL]);
-        all.extend([MPI_SUM, MPI_PROD, MPI_MIN, MPI_MAX, MPI_LAND, MPI_LOR, MPI_LXOR]);
+        all.extend([
+            MPI_SUM, MPI_PROD, MPI_MIN, MPI_MAX, MPI_LAND, MPI_LOR, MPI_LXOR,
+        ]);
         all.extend([MPI_BAND, MPI_BOR, MPI_BXOR, MPI_OP_NULL, MPI_REQUEST_NULL]);
         let n = all.len();
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len(), n, "native handle values must be pairwise distinct");
+        assert_eq!(
+            all.len(),
+            n,
+            "native handle values must be pairwise distinct"
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl CommInfo {
 
     /// Communicator rank of a world rank, if a member.
     pub fn comm_rank_of_world(&self, world: usize) -> Option<i32> {
-        self.ranks.iter().position(|&w| w == world).map(|p| p as i32)
+        self.ranks
+            .iter()
+            .position(|&w| w == world)
+            .map(|p| p as i32)
     }
 
     /// The point-to-point context id.
@@ -123,8 +126,11 @@ impl Tables {
             ranks: Arc::new((0..world_size).collect()),
             my_rank: my_world_rank as i32,
         };
-        let selfc =
-            CommInfo { ctx_base: 2, ranks: Arc::new(vec![my_world_rank]), my_rank: 0 };
+        let selfc = CommInfo {
+            ctx_base: 2,
+            ranks: Arc::new(vec![my_world_rank]),
+            my_rank: 0,
+        };
         Tables {
             comms: vec![Some(world), Some(selfc)],
             dtypes: Vec::new(),
@@ -145,13 +151,19 @@ impl Tables {
             }
             _ => return Err(mpih::MPI_ERR_COMM),
         };
-        self.comms.get(slot).and_then(|o| o.as_ref()).ok_or(mpih::MPI_ERR_COMM)
+        self.comms
+            .get(slot)
+            .and_then(|o| o.as_ref())
+            .ok_or(mpih::MPI_ERR_COMM)
     }
 
     /// Install a new communicator; returns its native handle.
     pub fn add_comm(&mut self, info: CommInfo) -> MpiComm {
         let slot = self.comms.len();
-        assert!((2..0x00FF_FFFF).contains(&slot), "communicator table exhausted");
+        assert!(
+            (2..0x00FF_FFFF).contains(&slot),
+            "communicator table exhausted"
+        );
         self.comms.push(Some(info));
         mpih::DYN_COMM_BASE | slot as i32
     }
@@ -197,7 +209,10 @@ impl Tables {
     /// Resolve a derived datatype handle.
     pub fn derived(&self, dt: MpiDatatype) -> MpichResult<&DerivedType> {
         let slot = self.derived_slot(dt)?;
-        self.dtypes.get(slot).and_then(|o| o.as_ref()).ok_or(mpih::MPI_ERR_TYPE)
+        self.dtypes
+            .get(slot)
+            .and_then(|o| o.as_ref())
+            .ok_or(mpih::MPI_ERR_TYPE)
     }
 
     fn derived_slot(&self, dt: MpiDatatype) -> MpichResult<usize> {
@@ -253,7 +268,10 @@ impl Tables {
             return Err(mpih::MPI_ERR_OP);
         }
         let slot = ((op as u32) & 0x00FF_FFFF) as usize;
-        self.ops.get(slot).and_then(|o| o.as_ref()).ok_or(mpih::MPI_ERR_OP)
+        self.ops
+            .get(slot)
+            .and_then(|o| o.as_ref())
+            .ok_or(mpih::MPI_ERR_OP)
     }
 
     /// Install a user-defined op; returns its native handle.
@@ -363,7 +381,11 @@ mod tests {
     #[test]
     fn dynamic_comm_lifecycle() {
         let mut t = Tables::new(4, 0);
-        let info = CommInfo { ctx_base: 4, ranks: Arc::new(vec![0, 1]), my_rank: 0 };
+        let info = CommInfo {
+            ctx_base: 4,
+            ranks: Arc::new(vec![0, 1]),
+            my_rank: 0,
+        };
         let h = t.add_comm(info);
         assert_eq!((h as u32) & 0xFF00_0000, mpih::DYN_COMM_BASE as u32);
         assert_eq!(t.comm(h).unwrap().size(), 2);
@@ -376,11 +398,17 @@ mod tests {
     #[test]
     fn slots_are_not_reused_after_free() {
         let mut t = Tables::new(4, 0);
-        let a =
-            t.add_comm(CommInfo { ctx_base: 4, ranks: Arc::new(vec![0]), my_rank: 0 });
+        let a = t.add_comm(CommInfo {
+            ctx_base: 4,
+            ranks: Arc::new(vec![0]),
+            my_rank: 0,
+        });
         t.free_comm(a).unwrap();
-        let b =
-            t.add_comm(CommInfo { ctx_base: 6, ranks: Arc::new(vec![0]), my_rank: 0 });
+        let b = t.add_comm(CommInfo {
+            ctx_base: 6,
+            ranks: Arc::new(vec![0]),
+            my_rank: 0,
+        });
         assert_ne!(a, b, "freed slots must not be recycled (determinism)");
     }
 
@@ -412,7 +440,11 @@ mod tests {
             committed: true,
         });
         assert_eq!(t.elem_kind(h).unwrap(), ElemKind::Float(8));
-        let opaque = t.add_derived(DerivedType { size: 3, elem: None, committed: true });
+        let opaque = t.add_derived(DerivedType {
+            size: 3,
+            elem: None,
+            committed: true,
+        });
         assert_eq!(t.elem_kind(opaque), Err(mpih::MPI_ERR_TYPE));
     }
 
@@ -426,7 +458,10 @@ mod tests {
         let mut t = Tables::new(2, 0);
         assert!(Tables::is_builtin_op(mpih::MPI_SUM));
         assert!(!Tables::is_builtin_op(mpih::MPI_OP_NULL));
-        let h = t.add_user_op(UserOp { func: my_op, commute: true });
+        let h = t.add_user_op(UserOp {
+            func: my_op,
+            commute: true,
+        });
         assert!(t.user_op(h).unwrap().commute);
         assert!(t.user_op(mpih::MPI_SUM).is_err());
         t.free_op(h).unwrap();

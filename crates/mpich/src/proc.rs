@@ -152,7 +152,11 @@ impl MpichProcess {
             let link = self.ctx.spec().link_between(self.ctx.rank(), dst_world);
             self.ctx.advance(link.alpha + link.alpha);
         }
-        let ctx_id = if coll { info.coll_ctx() } else { info.p2p_ctx() };
+        let ctx_id = if coll {
+            info.coll_ctx()
+        } else {
+            info.p2p_ctx()
+        };
         self.ctx
             .endpoint()
             .send_raw(dst_world, ctx_id, tag, payload, &self.ctx)
@@ -168,8 +172,15 @@ impl MpichProcess {
         src: SrcSel,
         tag: TagSel,
     ) -> MpichResult<Arrived> {
-        let ctx_id = if coll { info.coll_ctx() } else { info.p2p_ctx() };
-        let got = self.engine.match_blocking(&self.ctx, ctx_id, src, tag).map_err(sim_err)?;
+        let ctx_id = if coll {
+            info.coll_ctx()
+        } else {
+            info.p2p_ctx()
+        };
+        let got = self
+            .engine
+            .match_blocking(&self.ctx, ctx_id, src, tag)
+            .map_err(sim_err)?;
         self.ctx.advance_to(got.arrival);
         self.ctx.advance(self.tuning.o_recv);
         Ok(got)
@@ -204,7 +215,9 @@ impl MpichProcess {
 
     /// Build the native status for a matched message.
     fn status_of(&self, info: &CommInfo, got: &Arrived) -> MpiStatus {
-        let source = info.comm_rank_of_world(got.env.src).unwrap_or(mpih::MPI_ANY_SOURCE);
+        let source = info
+            .comm_rank_of_world(got.env.src)
+            .unwrap_or(mpih::MPI_ANY_SOURCE);
         MpiStatus::for_receive(source, got.env.tag, got.env.len() as u64)
     }
 
@@ -244,7 +257,11 @@ impl MpichProcess {
         self.check_typed_buf(dt, buf.len())?;
         let tag_sel = Self::tag_sel(tag)?;
         if src == mpih::MPI_PROC_NULL {
-            return Ok(MpiStatus::for_receive(mpih::MPI_PROC_NULL, mpih::MPI_ANY_TAG, 0));
+            return Ok(MpiStatus::for_receive(
+                mpih::MPI_PROC_NULL,
+                mpih::MPI_ANY_TAG,
+                0,
+            ));
         }
         let info = self.info(comm)?;
         let src_sel = self.src_sel(&info, src)?;
@@ -318,11 +335,19 @@ impl MpichProcess {
         match self.tables.take_request(req)? {
             RequestObj::SendDone => Ok((MpiStatus::default(), None)),
             RequestObj::RecvDone { status, payload } => Ok((status, Some(payload))),
-            RequestObj::RecvPending { ctx_id, src_world, tag, max_bytes, ranks } => {
+            RequestObj::RecvPending {
+                ctx_id,
+                src_world,
+                tag,
+                max_bytes,
+                ranks,
+            } => {
                 let src = src_world.map_or(SrcSel::Any, SrcSel::World);
                 let tag_sel = tag.map_or(TagSel::Any, TagSel::Is);
-                let got =
-                    self.engine.match_blocking(&self.ctx, ctx_id, src, tag_sel).map_err(sim_err)?;
+                let got = self
+                    .engine
+                    .match_blocking(&self.ctx, ctx_id, src, tag_sel)
+                    .map_err(sim_err)?;
                 self.ctx.advance_to(got.arrival);
                 self.ctx.advance(self.tuning.o_recv);
                 if got.env.len() > max_bytes {
@@ -347,7 +372,13 @@ impl MpichProcess {
             RequestObj::RecvDone { status, payload } => Ok(Some((status, Some(payload)))),
             pending @ RequestObj::RecvPending { .. } => {
                 let (ctx_id, src, tag_sel, max_bytes, ranks) = match &pending {
-                    RequestObj::RecvPending { ctx_id, src_world, tag, max_bytes, ranks } => (
+                    RequestObj::RecvPending {
+                        ctx_id,
+                        src_world,
+                        tag,
+                        max_bytes,
+                        ranks,
+                    } => (
                         *ctx_id,
                         src_world.map_or(SrcSel::Any, SrcSel::World),
                         tag.map_or(TagSel::Any, TagSel::Is),
@@ -386,10 +417,7 @@ impl MpichProcess {
     }
 
     /// `MPI_Waitall`.
-    pub fn waitall(
-        &mut self,
-        reqs: &[MpiRequest],
-    ) -> MpichResult<Vec<(MpiStatus, Option<Bytes>)>> {
+    pub fn waitall(&mut self, reqs: &[MpiRequest]) -> MpichResult<Vec<(MpiStatus, Option<Bytes>)>> {
         reqs.iter().map(|&r| self.wait(r)).collect()
     }
 
@@ -425,12 +453,7 @@ impl MpichProcess {
     }
 
     /// `MPI_Iprobe`.
-    pub fn iprobe(
-        &mut self,
-        src: i32,
-        tag: i32,
-        comm: MpiComm,
-    ) -> MpichResult<Option<MpiStatus>> {
+    pub fn iprobe(&mut self, src: i32, tag: i32, comm: MpiComm) -> MpichResult<Option<MpiStatus>> {
         self.check_live()?;
         let info = self.info(comm)?;
         let src_sel = self.src_sel(&info, src)?;
@@ -452,7 +475,11 @@ impl MpichProcess {
         let info = self.info(comm)?;
         let base = self.agree_ctx_base(&info)?;
         self.next_ctx_base = base + 2;
-        let dup = CommInfo { ctx_base: base, ranks: info.ranks.clone(), my_rank: info.my_rank };
+        let dup = CommInfo {
+            ctx_base: base,
+            ranks: info.ranks.clone(),
+            my_rank: info.my_rank,
+        };
         Ok(self.tables.add_comm(dup))
     }
 
@@ -512,8 +539,11 @@ impl MpichProcess {
         }
 
         // Distinct colors in sorted order; each gets ctx base + 2*index.
-        let mut colors: Vec<i32> =
-            table.iter().map(|ck| ck[0]).filter(|&c| c != mpih::MPI_UNDEFINED).collect();
+        let mut colors: Vec<i32> = table
+            .iter()
+            .map(|ck| ck[0])
+            .filter(|&c| c != mpih::MPI_UNDEFINED)
+            .collect();
         colors.sort_unstable();
         colors.dedup();
         self.next_ctx_base = base + 2 * colors.len().max(1) as u64;
@@ -521,7 +551,9 @@ impl MpichProcess {
         if color == mpih::MPI_UNDEFINED {
             return Ok(mpih::MPI_COMM_NULL);
         }
-        let color_idx = colors.binary_search(&color).map_err(|_| mpih::MPI_ERR_INTERN)?;
+        let color_idx = colors
+            .binary_search(&color)
+            .map_err(|_| mpih::MPI_ERR_INTERN)?;
         // Members of my color, ordered by (key, parent rank).
         let mut members: Vec<(i32, usize)> = table
             .iter()
@@ -530,10 +562,7 @@ impl MpichProcess {
             .map(|(cr, ck)| (ck[1], cr))
             .collect();
         members.sort_unstable();
-        let world_ranks: Vec<usize> = members
-            .iter()
-            .map(|&(_, cr)| info.ranks[cr])
-            .collect();
+        let world_ranks: Vec<usize> = members.iter().map(|&(_, cr)| info.ranks[cr]).collect();
         let my_new_rank = members
             .iter()
             .position(|&(_, cr)| cr == me)
@@ -576,7 +605,13 @@ impl MpichProcess {
             }
             let payload = Bytes::copy_from_slice(&agreed.to_le_bytes());
             for dst in 1..n {
-                self.xsend(&info.clone(), true, dst as i32, CTX_TAG + 1, payload.clone())?;
+                self.xsend(
+                    &info.clone(),
+                    true,
+                    dst as i32,
+                    CTX_TAG + 1,
+                    payload.clone(),
+                )?;
             }
         } else {
             let payload = Bytes::copy_from_slice(&self.next_ctx_base.to_le_bytes());
@@ -602,7 +637,11 @@ impl MpichProcess {
     }
 
     /// `MPI_Type_contiguous`.
-    pub fn type_contiguous(&mut self, count: i32, oldtype: MpiDatatype) -> MpichResult<MpiDatatype> {
+    pub fn type_contiguous(
+        &mut self,
+        count: i32,
+        oldtype: MpiDatatype,
+    ) -> MpichResult<MpiDatatype> {
         self.check_live()?;
         if count < 0 {
             return Err(mpih::MPI_ERR_COUNT);
@@ -691,12 +730,14 @@ mod tests {
         nranks: usize,
         f: impl Fn(&mut MpichProcess) -> MpichResult<R> + Sync,
     ) -> Vec<R> {
-        let spec = ClusterSpec::builder().nodes(1).ranks_per_node(nranks).build();
+        let spec = ClusterSpec::builder()
+            .nodes(1)
+            .ranks_per_node(nranks)
+            .build();
         World::run(&spec, |ctx| {
             let mut proc = MpichProcess::init(ctx);
-            f(&mut proc).map_err(|code| {
-                simnet::SimError::InvalidConfig(format!("native MPI error {code}"))
-            })
+            f(&mut proc)
+                .map_err(|code| simnet::SimError::InvalidConfig(format!("native MPI error {code}")))
         })
         .unwrap()
         .results
@@ -707,7 +748,10 @@ mod tests {
         let sizes = run_world(4, |p| {
             assert_eq!(p.comm_rank(mpih::MPI_COMM_SELF)?, 0);
             assert_eq!(p.comm_size(mpih::MPI_COMM_SELF)?, 1);
-            Ok((p.comm_size(mpih::MPI_COMM_WORLD)?, p.comm_rank(mpih::MPI_COMM_WORLD)?))
+            Ok((
+                p.comm_size(mpih::MPI_COMM_WORLD)?,
+                p.comm_rank(mpih::MPI_COMM_WORLD)?,
+            ))
         });
         assert_eq!(sizes, vec![(4, 0), (4, 1), (4, 2), (4, 3)]);
     }
@@ -719,7 +763,13 @@ mod tests {
             let me = p.comm_rank(mpih::MPI_COMM_WORLD)?;
             let next = (me + 1) % n;
             let prev = (me + n - 1) % n;
-            p.send(&me.to_le_bytes(), mpih::MPI_INT, next, 7, mpih::MPI_COMM_WORLD)?;
+            p.send(
+                &me.to_le_bytes(),
+                mpih::MPI_INT,
+                next,
+                7,
+                mpih::MPI_COMM_WORLD,
+            )?;
             let mut buf = [0u8; 4];
             let st = p.recv(&mut buf, mpih::MPI_INT, prev, 7, mpih::MPI_COMM_WORLD)?;
             assert_eq!(st.mpi_source, prev);
@@ -741,7 +791,9 @@ mod tests {
             let results = p.waitall(&[r1, r2])?;
             let (st, data) = &results[0];
             assert_eq!(st.mpi_source, other);
-            Ok(f64::from_le_bytes(data.as_ref().unwrap()[..].try_into().unwrap()))
+            Ok(f64::from_le_bytes(
+                data.as_ref().unwrap()[..].try_into().unwrap(),
+            ))
         });
         assert_eq!(out, vec![2.5, 1.5]);
     }
@@ -770,10 +822,21 @@ mod tests {
     #[test]
     fn proc_null_is_a_black_hole() {
         run_world(1, |p| {
-            p.send(&[1, 2, 3, 4], mpih::MPI_INT, mpih::MPI_PROC_NULL, 0, mpih::MPI_COMM_WORLD)?;
+            p.send(
+                &[1, 2, 3, 4],
+                mpih::MPI_INT,
+                mpih::MPI_PROC_NULL,
+                0,
+                mpih::MPI_COMM_WORLD,
+            )?;
             let mut buf = [0u8; 4];
-            let st =
-                p.recv(&mut buf, mpih::MPI_INT, mpih::MPI_PROC_NULL, 0, mpih::MPI_COMM_WORLD)?;
+            let st = p.recv(
+                &mut buf,
+                mpih::MPI_INT,
+                mpih::MPI_PROC_NULL,
+                0,
+                mpih::MPI_COMM_WORLD,
+            )?;
             assert_eq!(st.mpi_source, mpih::MPI_PROC_NULL);
             assert_eq!(st.count_bytes(), 0);
             Ok(())
@@ -820,7 +883,13 @@ mod tests {
                 assert_eq!(seen, vec![1, 2]);
                 Ok(true)
             } else {
-                p.send(&me.to_le_bytes(), mpih::MPI_INT, 0, 10 + me, mpih::MPI_COMM_WORLD)?;
+                p.send(
+                    &me.to_le_bytes(),
+                    mpih::MPI_INT,
+                    0,
+                    10 + me,
+                    mpih::MPI_COMM_WORLD,
+                )?;
                 Ok(false)
             }
         });
@@ -873,7 +942,16 @@ mod tests {
             // Exchange inside the subcommunicator.
             let peer = 1 - sub_rank;
             let mut got = [0u8; 4];
-            p.sendrecv(&me.to_le_bytes(), peer, 0, &mut got, peer, 0, mpih::MPI_INT, sub)?;
+            p.sendrecv(
+                &me.to_le_bytes(),
+                peer,
+                0,
+                &mut got,
+                peer,
+                0,
+                mpih::MPI_INT,
+                sub,
+            )?;
             Ok((sub_rank, sub_size, i32::from_le_bytes(got)))
         });
         // Ranks 0,2 form color 0; ranks 1,3 color 1; keys order by rank.
@@ -902,8 +980,10 @@ mod tests {
             p.type_commit(vec3)?;
             let me = p.comm_rank(mpih::MPI_COMM_WORLD)?;
             if me == 0 {
-                let data: Vec<u8> =
-                    [1.0f64, 2.0, 3.0].iter().flat_map(|x| x.to_le_bytes()).collect();
+                let data: Vec<u8> = [1.0f64, 2.0, 3.0]
+                    .iter()
+                    .flat_map(|x| x.to_le_bytes())
+                    .collect();
                 p.send(&data, vec3, 1, 0, mpih::MPI_COMM_WORLD)?;
             } else {
                 let mut buf = vec![0u8; 24];
@@ -923,7 +1003,13 @@ mod tests {
             p.finalize()?;
             assert!(p.is_finalized());
             let err = p
-                .send(&[0u8; 4], mpih::MPI_INT, mpih::MPI_PROC_NULL, 0, mpih::MPI_COMM_WORLD)
+                .send(
+                    &[0u8; 4],
+                    mpih::MPI_INT,
+                    mpih::MPI_PROC_NULL,
+                    0,
+                    mpih::MPI_COMM_WORLD,
+                )
                 .unwrap_err();
             assert_eq!(err, mpih::MPI_ERR_FINALIZED);
             assert_eq!(p.finalize().unwrap_err(), mpih::MPI_ERR_FINALIZED);
@@ -935,8 +1021,13 @@ mod tests {
     fn bad_arguments_rejected() {
         run_world(1, |p| {
             // Unaligned buffer length for the datatype.
-            let err =
-                p.send(&[0u8; 3], mpih::MPI_INT, mpih::MPI_PROC_NULL, 0, mpih::MPI_COMM_WORLD);
+            let err = p.send(
+                &[0u8; 3],
+                mpih::MPI_INT,
+                mpih::MPI_PROC_NULL,
+                0,
+                mpih::MPI_COMM_WORLD,
+            );
             assert_eq!(err.unwrap_err(), mpih::MPI_ERR_COUNT);
             // Negative tag.
             let err = p.send(&[0u8; 4], mpih::MPI_INT, 0, -5, mpih::MPI_COMM_WORLD);
@@ -959,9 +1050,21 @@ mod tests {
             let me = p.comm_rank(mpih::MPI_COMM_WORLD)?;
             let other = 1 - me;
             let mut buf = [0u8; 4];
-            p.sendrecv(&[1, 2, 3, 4], other, 0, &mut buf, other, 0, mpih::MPI_INT, mpih::MPI_COMM_WORLD)?;
+            p.sendrecv(
+                &[1, 2, 3, 4],
+                other,
+                0,
+                &mut buf,
+                other,
+                0,
+                mpih::MPI_INT,
+                mpih::MPI_COMM_WORLD,
+            )?;
             Ok(p.wtime() - t0)
         });
-        assert!(out.iter().all(|&dt| dt > 0.0), "communication must take virtual time");
+        assert!(
+            out.iter().all(|&dt| dt > 0.0),
+            "communication must take virtual time"
+        );
     }
 }

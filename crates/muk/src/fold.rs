@@ -56,9 +56,12 @@ macro_rules! float_fold {
             ReduceOp::Prod => fold_as!($ty, $acc, $next, |x, y| x * y),
             ReduceOp::Min => fold_as!($ty, $acc, $next, |x, y| x.min(y)),
             ReduceOp::Max => fold_as!($ty, $acc, $next, |x, y| x.max(y)),
-            ReduceOp::Land => fold_as!($ty, $acc, $next, |x, y| ((x != 0.0) && (y != 0.0)) as u8 as $ty),
-            ReduceOp::Lor => fold_as!($ty, $acc, $next, |x, y| ((x != 0.0) || (y != 0.0)) as u8 as $ty),
-            ReduceOp::Lxor => fold_as!($ty, $acc, $next, |x, y| ((x != 0.0) ^ (y != 0.0)) as u8 as $ty),
+            ReduceOp::Land => fold_as!($ty, $acc, $next, |x, y| ((x != 0.0) && (y != 0.0)) as u8
+                as $ty),
+            ReduceOp::Lor => fold_as!($ty, $acc, $next, |x, y| ((x != 0.0) || (y != 0.0)) as u8
+                as $ty),
+            ReduceOp::Lxor => fold_as!($ty, $acc, $next, |x, y| ((x != 0.0) ^ (y != 0.0)) as u8
+                as $ty),
             // Bitwise ops are undefined on floats in MPI.
             ReduceOp::Band | ReduceOp::Bor | ReduceOp::Bxor => return Err(AbiError::Op),
         }
@@ -112,7 +115,10 @@ mod tests {
 
     #[test]
     fn integer_sum_folds_in_rank_order() {
-        let gathered: Vec<u8> = [1i32, 2, 3, 4].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let gathered: Vec<u8> = [1i32, 2, 3, 4]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         let mut out = [0u8; 4];
         fold_ranks(ReduceOp::Sum, Datatype::Int32, &gathered, 4, &mut out).unwrap();
         assert_eq!(i32::from_le_bytes(out), 10);
@@ -135,7 +141,10 @@ mod tests {
     #[test]
     fn all_ops_work_on_unsigned() {
         for op in ReduceOp::ALL {
-            let gathered: Vec<u8> = [0b1100u64, 0b1010].iter().flat_map(|v| v.to_le_bytes()).collect();
+            let gathered: Vec<u8> = [0b1100u64, 0b1010]
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect();
             let mut out = [0u8; 8];
             fold_ranks(op, Datatype::Uint64, &gathered, 2, &mut out).unwrap();
             let v = u64::from_le_bytes(out);

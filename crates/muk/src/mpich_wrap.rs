@@ -11,7 +11,10 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 
-use mpi_abi::{consts, AbiError, AbiResult, AbiStatus, Datatype, Handle, HandleKind, MpiAbi, ReduceOp, UserOpFn};
+use mpi_abi::{
+    consts, AbiError, AbiResult, AbiStatus, Datatype, Handle, HandleKind, MpiAbi, ReduceOp,
+    UserOpFn,
+};
 use mpich_sim::{mpih, MpichProcess};
 use simnet::RankCtx;
 
@@ -161,7 +164,11 @@ impl MpichWrap {
             mpih::MPI_ANY_SOURCE => consts::ANY_SOURCE,
             r => r,
         };
-        let tag = if st.mpi_tag == mpih::MPI_ANY_TAG { consts::ANY_TAG } else { st.mpi_tag };
+        let tag = if st.mpi_tag == mpih::MPI_ANY_TAG {
+            consts::ANY_TAG
+        } else {
+            st.mpi_tag
+        };
         AbiStatus {
             source,
             tag,
@@ -211,27 +218,61 @@ impl MpiAbi for MpichWrap {
         Self::lift(self.native.comm_translate_rank(c, rank))
     }
 
-    fn send(&mut self, buf: &[u8], datatype: Handle, dest: i32, tag: i32, comm: Handle) -> AbiResult<()> {
+    fn send(
+        &mut self,
+        buf: &[u8],
+        datatype: Handle,
+        dest: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
         let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
         Self::lift(self.native.send(buf, dt, Self::dest_in(dest), tag, c))
     }
 
-    fn recv(&mut self, buf: &mut [u8], datatype: Handle, src: i32, tag: i32, comm: Handle) -> AbiResult<AbiStatus> {
+    fn recv(
+        &mut self,
+        buf: &mut [u8],
+        datatype: Handle,
+        src: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<AbiStatus> {
         let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
-        let st = Self::lift(self.native.recv(buf, dt, Self::src_in(src), Self::tag_in(tag), c))?;
+        let st = Self::lift(
+            self.native
+                .recv(buf, dt, Self::src_in(src), Self::tag_in(tag), c),
+        )?;
         Ok(Self::status_out(st))
     }
 
-    fn isend(&mut self, buf: &[u8], datatype: Handle, dest: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
+    fn isend(
+        &mut self,
+        buf: &[u8],
+        datatype: Handle,
+        dest: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<Handle> {
         let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
         let req = Self::lift(self.native.isend(buf, dt, Self::dest_in(dest), tag, c))?;
         Ok(self.reqs.intern(req))
     }
 
-    fn irecv(&mut self, max_bytes: usize, datatype: Handle, src: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
+    fn irecv(
+        &mut self,
+        max_bytes: usize,
+        datatype: Handle,
+        src: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<Handle> {
         let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
         let req =
-            Self::lift(self.native.irecv(max_bytes, dt, Self::src_in(src), Self::tag_in(tag), c))?;
+            Self::lift(
+                self.native
+                    .irecv(max_bytes, dt, Self::src_in(src), Self::tag_in(tag), c),
+            )?;
         Ok(self.reqs.intern(req))
     }
 
@@ -294,7 +335,13 @@ impl MpiAbi for MpichWrap {
         Self::lift(self.native.barrier(c))
     }
 
-    fn bcast(&mut self, buf: &mut [u8], datatype: Handle, root: i32, comm: Handle) -> AbiResult<()> {
+    fn bcast(
+        &mut self,
+        buf: &mut [u8],
+        datatype: Handle,
+        root: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
         let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
         Self::lift(self.native.bcast(buf, dt, root, c))
     }
@@ -308,7 +355,11 @@ impl MpiAbi for MpichWrap {
         root: i32,
         comm: Handle,
     ) -> AbiResult<()> {
-        let (dt, o, c) = (self.dtype_in(datatype)?, self.op_in(op)?, self.comm_in(comm)?);
+        let (dt, o, c) = (
+            self.dtype_in(datatype)?,
+            self.op_in(op)?,
+            self.comm_in(comm)?,
+        );
         Self::lift(self.native.reduce(sendbuf, recvbuf, dt, o, root, c))
     }
 
@@ -320,7 +371,11 @@ impl MpiAbi for MpichWrap {
         op: Handle,
         comm: Handle,
     ) -> AbiResult<()> {
-        let (dt, o, c) = (self.dtype_in(datatype)?, self.op_in(op)?, self.comm_in(comm)?);
+        let (dt, o, c) = (
+            self.dtype_in(datatype)?,
+            self.op_in(op)?,
+            self.comm_in(comm)?,
+        );
         Self::lift(self.native.allreduce(sendbuf, recvbuf, dt, o, c))
     }
 
@@ -378,7 +433,11 @@ impl MpiAbi for MpichWrap {
         op: Handle,
         comm: Handle,
     ) -> AbiResult<()> {
-        let (dt, o, c) = (self.dtype_in(datatype)?, self.op_in(op)?, self.comm_in(comm)?);
+        let (dt, o, c) = (
+            self.dtype_in(datatype)?,
+            self.op_in(op)?,
+            self.comm_in(comm)?,
+        );
         Self::lift(self.native.scan(sendbuf, recvbuf, dt, o, c))
     }
 
@@ -390,7 +449,11 @@ impl MpiAbi for MpichWrap {
 
     fn comm_split(&mut self, comm: Handle, color: i32, key: i32) -> AbiResult<Handle> {
         let c = self.comm_in(comm)?;
-        let color = if color == consts::UNDEFINED { mpih::MPI_UNDEFINED } else { color };
+        let color = if color == consts::UNDEFINED {
+            mpih::MPI_UNDEFINED
+        } else {
+            color
+        };
         let sub = Self::lift(self.native.comm_split(c, color, key))?;
         if sub == mpih::MPI_COMM_NULL {
             Ok(Handle::COMM_NULL)
@@ -466,7 +529,10 @@ mod tests {
     fn error_code_translation() {
         assert_eq!(err_from_native(mpih::MPI_ERR_TRUNCATE), AbiError::Truncate);
         assert_eq!(err_from_native(mpih::MPI_ERR_REQUEST), AbiError::Request);
-        assert_eq!(err_from_native(mpih::MPI_ERR_PROC_FAILED), AbiError::ProcFailed);
+        assert_eq!(
+            err_from_native(mpih::MPI_ERR_PROC_FAILED),
+            AbiError::ProcFailed
+        );
         assert_eq!(err_from_native(9999), AbiError::Other);
     }
 

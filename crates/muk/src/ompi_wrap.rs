@@ -10,7 +10,10 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 
-use mpi_abi::{consts, AbiError, AbiResult, AbiStatus, Datatype, Handle, HandleKind, MpiAbi, ReduceOp, UserOpFn};
+use mpi_abi::{
+    consts, AbiError, AbiResult, AbiStatus, Datatype, Handle, HandleKind, MpiAbi, ReduceOp,
+    UserOpFn,
+};
 use ompi_sim::{ompi_h, OmpiProcess};
 use simnet::RankCtx;
 
@@ -156,7 +159,11 @@ impl OmpiWrap {
             ompi_h::MPI_ANY_SOURCE => consts::ANY_SOURCE,
             r => r,
         };
-        let tag = if st.mpi_tag == ompi_h::MPI_ANY_TAG { consts::ANY_TAG } else { st.mpi_tag };
+        let tag = if st.mpi_tag == ompi_h::MPI_ANY_TAG {
+            consts::ANY_TAG
+        } else {
+            st.mpi_tag
+        };
         AbiStatus {
             source,
             tag,
@@ -206,27 +213,61 @@ impl MpiAbi for OmpiWrap {
         Self::lift(self.native.comm_translate_rank(c, rank))
     }
 
-    fn send(&mut self, buf: &[u8], datatype: Handle, dest: i32, tag: i32, comm: Handle) -> AbiResult<()> {
+    fn send(
+        &mut self,
+        buf: &[u8],
+        datatype: Handle,
+        dest: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
         let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
         Self::lift(self.native.send(buf, dt, Self::dest_in(dest), tag, c))
     }
 
-    fn recv(&mut self, buf: &mut [u8], datatype: Handle, src: i32, tag: i32, comm: Handle) -> AbiResult<AbiStatus> {
+    fn recv(
+        &mut self,
+        buf: &mut [u8],
+        datatype: Handle,
+        src: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<AbiStatus> {
         let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
-        let st = Self::lift(self.native.recv(buf, dt, Self::src_in(src), Self::tag_in(tag), c))?;
+        let st = Self::lift(
+            self.native
+                .recv(buf, dt, Self::src_in(src), Self::tag_in(tag), c),
+        )?;
         Ok(Self::status_out(st))
     }
 
-    fn isend(&mut self, buf: &[u8], datatype: Handle, dest: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
+    fn isend(
+        &mut self,
+        buf: &[u8],
+        datatype: Handle,
+        dest: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<Handle> {
         let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
         let req = Self::lift(self.native.isend(buf, dt, Self::dest_in(dest), tag, c))?;
         Ok(self.reqs.intern(req))
     }
 
-    fn irecv(&mut self, max_bytes: usize, datatype: Handle, src: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
+    fn irecv(
+        &mut self,
+        max_bytes: usize,
+        datatype: Handle,
+        src: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<Handle> {
         let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
         let req =
-            Self::lift(self.native.irecv(max_bytes, dt, Self::src_in(src), Self::tag_in(tag), c))?;
+            Self::lift(
+                self.native
+                    .irecv(max_bytes, dt, Self::src_in(src), Self::tag_in(tag), c),
+            )?;
         Ok(self.reqs.intern(req))
     }
 
@@ -289,7 +330,13 @@ impl MpiAbi for OmpiWrap {
         Self::lift(self.native.barrier(c))
     }
 
-    fn bcast(&mut self, buf: &mut [u8], datatype: Handle, root: i32, comm: Handle) -> AbiResult<()> {
+    fn bcast(
+        &mut self,
+        buf: &mut [u8],
+        datatype: Handle,
+        root: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
         let (dt, c) = (self.dtype_in(datatype)?, self.comm_in(comm)?);
         Self::lift(self.native.bcast(buf, dt, root, c))
     }
@@ -303,7 +350,11 @@ impl MpiAbi for OmpiWrap {
         root: i32,
         comm: Handle,
     ) -> AbiResult<()> {
-        let (dt, o, c) = (self.dtype_in(datatype)?, self.op_in(op)?, self.comm_in(comm)?);
+        let (dt, o, c) = (
+            self.dtype_in(datatype)?,
+            self.op_in(op)?,
+            self.comm_in(comm)?,
+        );
         Self::lift(self.native.reduce(sendbuf, recvbuf, dt, o, root, c))
     }
 
@@ -315,7 +366,11 @@ impl MpiAbi for OmpiWrap {
         op: Handle,
         comm: Handle,
     ) -> AbiResult<()> {
-        let (dt, o, c) = (self.dtype_in(datatype)?, self.op_in(op)?, self.comm_in(comm)?);
+        let (dt, o, c) = (
+            self.dtype_in(datatype)?,
+            self.op_in(op)?,
+            self.comm_in(comm)?,
+        );
         Self::lift(self.native.allreduce(sendbuf, recvbuf, dt, o, c))
     }
 
@@ -373,7 +428,11 @@ impl MpiAbi for OmpiWrap {
         op: Handle,
         comm: Handle,
     ) -> AbiResult<()> {
-        let (dt, o, c) = (self.dtype_in(datatype)?, self.op_in(op)?, self.comm_in(comm)?);
+        let (dt, o, c) = (
+            self.dtype_in(datatype)?,
+            self.op_in(op)?,
+            self.comm_in(comm)?,
+        );
         Self::lift(self.native.scan(sendbuf, recvbuf, dt, o, c))
     }
 
@@ -385,7 +444,11 @@ impl MpiAbi for OmpiWrap {
 
     fn comm_split(&mut self, comm: Handle, color: i32, key: i32) -> AbiResult<Handle> {
         let c = self.comm_in(comm)?;
-        let color = if color == consts::UNDEFINED { ompi_h::MPI_UNDEFINED } else { color };
+        let color = if color == consts::UNDEFINED {
+            ompi_h::MPI_UNDEFINED
+        } else {
+            color
+        };
         let sub = Self::lift(self.native.comm_split(c, color, key))?;
         if sub == ompi_h::MPI_COMM_NULL {
             Ok(Handle::COMM_NULL)
@@ -458,7 +521,10 @@ mod tests {
     #[test]
     fn error_translation() {
         assert_eq!(err_from_native(ompi_h::MPI_ERR_REQUEST), AbiError::Request);
-        assert_eq!(err_from_native(ompi_h::MPI_ERR_PROC_FAILED), AbiError::ProcFailed);
+        assert_eq!(
+            err_from_native(ompi_h::MPI_ERR_PROC_FAILED),
+            AbiError::ProcFailed
+        );
         assert_eq!(err_from_native(-5), AbiError::Other);
     }
 

@@ -57,7 +57,9 @@ pub fn open_wrap(soname: &str, ctx: Rc<RankCtx>) -> Result<Box<dyn MpiAbi>, Stri
     match soname {
         "libmpich-wrap.so" => Ok(Box::new(MpichWrap::open(ctx))),
         "libompi-wrap.so" => Ok(Box::new(OmpiWrap::open(ctx))),
-        other => Err(format!("cannot open shared object file: {other}: No such file")),
+        other => Err(format!(
+            "cannot open shared object file: {other}: No such file"
+        )),
     }
 }
 

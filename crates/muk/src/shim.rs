@@ -35,13 +35,15 @@ impl MukShim {
     }
 
     /// Load with an explicit overhead model (ablations).
-    pub fn load_with_overhead(
-        vendor: Vendor,
-        ctx: Rc<RankCtx>,
-        overhead: MukOverhead,
-    ) -> MukShim {
+    pub fn load_with_overhead(vendor: Vendor, ctx: Rc<RankCtx>, overhead: MukOverhead) -> MukShim {
         let inner = open_wrap(soname_for(vendor), ctx.clone()).expect("known vendor");
-        MukShim { ctx, inner, vendor, overhead, deterministic_reductions: false }
+        MukShim {
+            ctx,
+            inner,
+            vendor,
+            overhead,
+            deterministic_reductions: false,
+        }
     }
 
     /// Wrap an already-open wrap library (used by tests and by ablation
@@ -52,7 +54,13 @@ impl MukShim {
         inner: Box<dyn MpiAbi>,
         overhead: MukOverhead,
     ) -> MukShim {
-        MukShim { ctx, inner, vendor, overhead, deterministic_reductions: false }
+        MukShim {
+            ctx,
+            inner,
+            vendor,
+            overhead,
+            deterministic_reductions: false,
+        }
     }
 
     /// Which vendor this shim instance is bound to.
@@ -100,7 +108,8 @@ impl MukShim {
         let n = self.inner.comm_size(comm)? as usize;
         let me = self.inner.comm_rank(comm)?;
         let mut gathered = vec![0u8; if me == 0 { sendbuf.len() * n } else { 0 }];
-        self.inner.gather(sendbuf, &mut gathered, datatype, 0, comm)?;
+        self.inner
+            .gather(sendbuf, &mut gathered, datatype, 0, comm)?;
         if me == 0 {
             fold::fold_ranks(op, dt, &gathered, n, recvbuf)?;
         }
@@ -111,22 +120,24 @@ impl MukShim {
     /// Charge the translation cost of one call: fixed part plus dynamic
     /// handle lookups plus status conversions.
     fn charge(&self, handles: &[Handle], statuses: usize) {
-        let mut cost = self.overhead.per_call;
-        for h in handles {
-            if !h.is_predefined() {
-                cost += self.overhead.per_dynamic_handle;
-            }
-        }
-        for _ in 0..statuses {
-            cost += self.overhead.per_status;
-        }
-        self.ctx.advance(cost);
+        let dynamic = handles.iter().filter(|h| !h.is_predefined()).count() as u64;
+        let cost = self
+            .overhead
+            .per_call
+            .0
+            .saturating_add(self.overhead.per_dynamic_handle.0.saturating_mul(dynamic))
+            .saturating_add(self.overhead.per_status.0.saturating_mul(statuses as u64));
+        self.ctx.advance(simnet::VirtualTime(cost));
     }
 }
 
 impl MpiAbi for MukShim {
     fn library_version(&self) -> String {
-        format!("Mukautuva 1.0 via {} [{}]", soname_for(self.vendor), self.inner.library_version())
+        format!(
+            "Mukautuva 1.0 via {} [{}]",
+            soname_for(self.vendor),
+            self.inner.library_version()
+        )
     }
 
     fn finalize(&mut self) -> AbiResult<()> {
@@ -157,22 +168,50 @@ impl MpiAbi for MukShim {
         self.inner.comm_translate_rank(comm, rank)
     }
 
-    fn send(&mut self, buf: &[u8], datatype: Handle, dest: i32, tag: i32, comm: Handle) -> AbiResult<()> {
+    fn send(
+        &mut self,
+        buf: &[u8],
+        datatype: Handle,
+        dest: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
         self.charge(&[datatype, comm], 0);
         self.inner.send(buf, datatype, dest, tag, comm)
     }
 
-    fn recv(&mut self, buf: &mut [u8], datatype: Handle, src: i32, tag: i32, comm: Handle) -> AbiResult<AbiStatus> {
+    fn recv(
+        &mut self,
+        buf: &mut [u8],
+        datatype: Handle,
+        src: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<AbiStatus> {
         self.charge(&[datatype, comm], 1);
         self.inner.recv(buf, datatype, src, tag, comm)
     }
 
-    fn isend(&mut self, buf: &[u8], datatype: Handle, dest: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
+    fn isend(
+        &mut self,
+        buf: &[u8],
+        datatype: Handle,
+        dest: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<Handle> {
         self.charge(&[datatype, comm], 0);
         self.inner.isend(buf, datatype, dest, tag, comm)
     }
 
-    fn irecv(&mut self, max_bytes: usize, datatype: Handle, src: i32, tag: i32, comm: Handle) -> AbiResult<Handle> {
+    fn irecv(
+        &mut self,
+        max_bytes: usize,
+        datatype: Handle,
+        src: i32,
+        tag: i32,
+        comm: Handle,
+    ) -> AbiResult<Handle> {
         self.charge(&[datatype, comm], 0);
         self.inner.irecv(max_bytes, datatype, src, tag, comm)
     }
@@ -199,7 +238,9 @@ impl MpiAbi for MukShim {
         comm: Handle,
     ) -> AbiResult<AbiStatus> {
         self.charge(&[datatype, comm], 1);
-        self.inner.sendrecv(sendbuf, dest, sendtag, recvbuf, src, recvtag, datatype, comm)
+        self.inner.sendrecv(
+            sendbuf, dest, sendtag, recvbuf, src, recvtag, datatype, comm,
+        )
     }
 
     fn probe(&mut self, src: i32, tag: i32, comm: Handle) -> AbiResult<AbiStatus> {
@@ -217,7 +258,13 @@ impl MpiAbi for MukShim {
         self.inner.barrier(comm)
     }
 
-    fn bcast(&mut self, buf: &mut [u8], datatype: Handle, root: i32, comm: Handle) -> AbiResult<()> {
+    fn bcast(
+        &mut self,
+        buf: &mut [u8],
+        datatype: Handle,
+        root: i32,
+        comm: Handle,
+    ) -> AbiResult<()> {
         self.charge(&[datatype, comm], 0);
         self.inner.bcast(buf, datatype, root, comm)
     }
@@ -236,13 +283,15 @@ impl MpiAbi for MukShim {
             let n = self.inner.comm_size(comm)? as usize;
             let me = self.inner.comm_rank(comm)?;
             let mut gathered = vec![0u8; if me == root { sendbuf.len() * n } else { 0 }];
-            self.inner.gather(sendbuf, &mut gathered, datatype, root, comm)?;
+            self.inner
+                .gather(sendbuf, &mut gathered, datatype, root, comm)?;
             if me == root {
                 fold::fold_ranks(rop, dt, &gathered, n, recvbuf)?;
             }
             return Ok(());
         }
-        self.inner.reduce(sendbuf, recvbuf, datatype, op, root, comm)
+        self.inner
+            .reduce(sendbuf, recvbuf, datatype, op, root, comm)
     }
 
     fn allreduce(
@@ -327,7 +376,8 @@ impl MpiAbi for MukShim {
             let me = self.inner.comm_rank(comm)?;
             let block = sendbuf.len();
             let mut gathered = vec![0u8; if me == 0 { block * n } else { 0 }];
-            self.inner.gather(sendbuf, &mut gathered, datatype, 0, comm)?;
+            self.inner
+                .gather(sendbuf, &mut gathered, datatype, 0, comm)?;
             let mut prefixes = vec![0u8; if me == 0 { block * n } else { 0 }];
             if me == 0 {
                 let mut acc = gathered[..block].to_vec();
@@ -415,7 +465,13 @@ mod tests {
                 Handle::COMM_WORLD,
             )?;
             let mut buf = [0u8; 8];
-            let st = mpi.recv(&mut buf, Datatype::Double.handle(), prev, 1, Handle::COMM_WORLD)?;
+            let st = mpi.recv(
+                &mut buf,
+                Datatype::Double.handle(),
+                prev,
+                1,
+                Handle::COMM_WORLD,
+            )?;
             assert_eq!(st.source, prev);
             let got = f64::from_le_bytes(buf);
             let mut sum = vec![0u8; 8];
@@ -515,13 +571,29 @@ mod tests {
         for vendor in Vendor::ALL {
             World::run(&spec, |ctx| {
                 let mut shim = MukShim::load(vendor, ctx);
-                shim.send(&[1u8], Datatype::Byte.handle(), consts::PROC_NULL, 0, Handle::COMM_WORLD)
-                    .map_err(err)?;
+                shim.send(
+                    &[1u8],
+                    Datatype::Byte.handle(),
+                    consts::PROC_NULL,
+                    0,
+                    Handle::COMM_WORLD,
+                )
+                .map_err(err)?;
                 let mut b = [0u8; 1];
                 let st = shim
-                    .recv(&mut b, Datatype::Byte.handle(), consts::PROC_NULL, 0, Handle::COMM_WORLD)
+                    .recv(
+                        &mut b,
+                        Datatype::Byte.handle(),
+                        consts::PROC_NULL,
+                        0,
+                        Handle::COMM_WORLD,
+                    )
                     .map_err(err)?;
-                assert_eq!(st.source, consts::PROC_NULL, "{vendor}: PROC_NULL must round-trip");
+                assert_eq!(
+                    st.source,
+                    consts::PROC_NULL,
+                    "{vendor}: PROC_NULL must round-trip"
+                );
                 assert_eq!(st.count_bytes, 0);
                 Ok(())
             })
@@ -546,11 +618,17 @@ mod tests {
                 // Exchange using the derived type over the dup'd comm.
                 let me = shim.comm_rank(dup).map_err(err)?;
                 let other = 1 - me;
-                let data: Vec<u8> =
-                    [me as f64; 3].iter().flat_map(|x| x.to_le_bytes()).collect();
+                let data: Vec<u8> = [me as f64; 3]
+                    .iter()
+                    .flat_map(|x| x.to_le_bytes())
+                    .collect();
                 let mut got = vec![0u8; 24];
-                shim.sendrecv(&data, other, 0, &mut got, other, 0, vec3, dup).map_err(err)?;
-                assert_eq!(f64::from_le_bytes(got[0..8].try_into().unwrap()), other as f64);
+                shim.sendrecv(&data, other, 0, &mut got, other, 0, vec3, dup)
+                    .map_err(err)?;
+                assert_eq!(
+                    f64::from_le_bytes(got[0..8].try_into().unwrap()),
+                    other as f64
+                );
                 shim.type_free(vec3).map_err(err)?;
                 shim.comm_free(dup).map_err(err)?;
                 assert!(shim.comm_size(dup).is_err());

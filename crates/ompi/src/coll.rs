@@ -135,7 +135,13 @@ impl OmpiProcess {
             mask <<= 1;
         }
         if me < rem {
-            self.xsend(&rec, true, (me + pof2) as i32, TAG_BARRIER + 2, Bytes::new())?;
+            self.xsend(
+                &rec,
+                true,
+                (me + pof2) as i32,
+                TAG_BARRIER + 2,
+                Bytes::new(),
+            )?;
         }
         Ok(())
     }
@@ -198,8 +204,16 @@ impl OmpiProcess {
         let rel = (me + n - root) % n;
         let seg = self.tuning().pipeline_segment.max(1);
         let nseg = buf.len().div_ceil(seg);
-        let prev = if rel > 0 { Some(((rel - 1) + root) % n) } else { None };
-        let next = if rel + 1 < n { Some(((rel + 1) + root) % n) } else { None };
+        let prev = if rel > 0 {
+            Some(((rel - 1) + root) % n)
+        } else {
+            None
+        };
+        let next = if rel + 1 < n {
+            Some(((rel + 1) + root) % n)
+        } else {
+            None
+        };
         for k in 0..nseg {
             let lo = k * seg;
             let hi = (lo + seg).min(buf.len());
@@ -267,7 +281,13 @@ impl OmpiProcess {
         let n = rec.size();
         let me = rec.my_rank as usize;
         if me != root {
-            return self.xsend(rec, true, root as i32, TAG_REDUCE, Bytes::copy_from_slice(sendbuf));
+            return self.xsend(
+                rec,
+                true,
+                root as i32,
+                TAG_REDUCE,
+                Bytes::copy_from_slice(sendbuf),
+            );
         }
         // Root combines contributions in strict rank order.
         let mut acc: Option<Vec<u8>> = None;
@@ -313,8 +333,16 @@ impl OmpiProcess {
         let rel = (me + n - root + n - 1) % n; // root gets rel n−1
         let seg = self.tuning().pipeline_segment.max(1);
         let nseg = sendbuf.len().div_ceil(seg);
-        let prev = if rel > 0 { Some((rel - 1 + root + 1) % n) } else { None };
-        let next = if rel + 1 < n { Some((rel + 1 + root + 1) % n) } else { None };
+        let prev = if rel > 0 {
+            Some((rel - 1 + root + 1) % n)
+        } else {
+            None
+        };
+        let next = if rel + 1 < n {
+            Some((rel + 1 + root + 1) % n)
+        } else {
+            None
+        };
         let mut acc = sendbuf.to_vec();
         for k in 0..nseg {
             let lo = k * seg;
@@ -386,7 +414,13 @@ impl OmpiProcess {
         let rem = n - pof2;
         // Fold extras: ranks ≥ pof2 hand their data to (me − pof2).
         let newrank = if me >= pof2 {
-            self.xsend(&rec.clone(), true, (me - pof2) as i32, TAG_ALLREDUCE, Bytes::copy_from_slice(acc))?;
+            self.xsend(
+                &rec.clone(),
+                true,
+                (me - pof2) as i32,
+                TAG_ALLREDUCE,
+                Bytes::copy_from_slice(acc),
+            )?;
             None
         } else {
             if me < rem {
@@ -404,7 +438,13 @@ impl OmpiProcess {
             let mut mask = 1usize;
             while mask < pof2 {
                 let partner = nr ^ mask;
-                self.xsend(rec, true, partner as i32, TAG_ALLREDUCE + 1, Bytes::copy_from_slice(acc))?;
+                self.xsend(
+                    rec,
+                    true,
+                    partner as i32,
+                    TAG_ALLREDUCE + 1,
+                    Bytes::copy_from_slice(acc),
+                )?;
                 let got = self.xrecv(
                     rec,
                     true,
@@ -418,7 +458,13 @@ impl OmpiProcess {
                 mask <<= 1;
             }
             if nr < rem {
-                self.xsend(rec, true, (nr + pof2) as i32, TAG_ALLREDUCE + 2, Bytes::copy_from_slice(acc))?;
+                self.xsend(
+                    rec,
+                    true,
+                    (nr + pof2) as i32,
+                    TAG_ALLREDUCE + 2,
+                    Bytes::copy_from_slice(acc),
+                )?;
             }
         } else {
             let src = rec.world_of((me - pof2) as i32)?;
@@ -441,8 +487,10 @@ impl OmpiProcess {
     ) -> OmpiResult<()> {
         let n = rec.size();
         let me = rec.my_rank as usize;
-        let lens: Vec<usize> =
-            chunk_lengths(acc.len() / elem, n).into_iter().map(|l| l * elem).collect();
+        let lens: Vec<usize> = chunk_lengths(acc.len() / elem, n)
+            .into_iter()
+            .map(|l| l * elem)
+            .collect();
         let offs = offsets(&lens);
         let next = ((me + 1) % n) as i32;
         let prev_world = rec.world_of(((me + n - 1) % n) as i32)?;
@@ -453,8 +501,12 @@ impl OmpiProcess {
             let recv_c = (me + n - s - 1) % n;
             let payload = Bytes::copy_from_slice(&acc[offs[send_c]..offs[send_c] + lens[send_c]]);
             self.xsend(rec, true, next, TAG_ALLREDUCE + 3, payload)?;
-            let got =
-                self.xrecv(rec, true, Want::Src(prev_world), WantTag::Tag(TAG_ALLREDUCE + 3))?;
+            let got = self.xrecv(
+                rec,
+                true,
+                Want::Src(prev_world),
+                WantTag::Tag(TAG_ALLREDUCE + 3),
+            )?;
             if got.env.len() != lens[recv_c] {
                 return Err(ompi_h::MPI_ERR_TRUNCATE);
             }
@@ -471,8 +523,12 @@ impl OmpiProcess {
             let recv_c = (me + n - s) % n;
             let payload = Bytes::copy_from_slice(&acc[offs[send_c]..offs[send_c] + lens[send_c]]);
             self.xsend(rec, true, next, TAG_ALLREDUCE + 4, payload)?;
-            let got =
-                self.xrecv(rec, true, Want::Src(prev_world), WantTag::Tag(TAG_ALLREDUCE + 4))?;
+            let got = self.xrecv(
+                rec,
+                true,
+                Want::Src(prev_world),
+                WantTag::Tag(TAG_ALLREDUCE + 4),
+            )?;
             if got.env.len() != lens[recv_c] {
                 return Err(ompi_h::MPI_ERR_TRUNCATE);
             }
@@ -518,7 +574,13 @@ impl OmpiProcess {
             }
             Ok(())
         } else {
-            self.xsend(&rec, true, root as i32, TAG_GATHER, Bytes::copy_from_slice(sendbuf))
+            self.xsend(
+                &rec,
+                true,
+                root as i32,
+                TAG_GATHER,
+                Bytes::copy_from_slice(sendbuf),
+            )
         }
     }
 
@@ -606,8 +668,7 @@ impl OmpiProcess {
             let partner = me ^ mask;
             let my_lo = me & !(mask - 1);
             let their_lo = partner & !(mask - 1);
-            let payload =
-                Bytes::copy_from_slice(&recvbuf[my_lo * block..(my_lo + mask) * block]);
+            let payload = Bytes::copy_from_slice(&recvbuf[my_lo * block..(my_lo + mask) * block]);
             self.xsend(rec, true, partner as i32, TAG_ALLGATHER, payload)?;
             let got = self.xrecv(
                 rec,
@@ -618,8 +679,7 @@ impl OmpiProcess {
             if got.env.len() != mask * block {
                 return Err(ompi_h::MPI_ERR_TRUNCATE);
             }
-            recvbuf[their_lo * block..(their_lo + mask) * block]
-                .copy_from_slice(&got.env.payload);
+            recvbuf[their_lo * block..(their_lo + mask) * block].copy_from_slice(&got.env.payload);
             mask <<= 1;
         }
         Ok(())
@@ -642,8 +702,12 @@ impl OmpiProcess {
             let recv_i = (me + n - s - 1) % n;
             let payload = Bytes::copy_from_slice(&recvbuf[send_i * block..(send_i + 1) * block]);
             self.xsend(rec, true, next, TAG_ALLGATHER + 1, payload)?;
-            let got =
-                self.xrecv(rec, true, Want::Src(prev_world), WantTag::Tag(TAG_ALLGATHER + 1))?;
+            let got = self.xrecv(
+                rec,
+                true,
+                Want::Src(prev_world),
+                WantTag::Tag(TAG_ALLGATHER + 1),
+            )?;
             if got.env.len() != block {
                 return Err(ompi_h::MPI_ERR_TRUNCATE);
             }
@@ -773,7 +837,13 @@ impl OmpiProcess {
             self.combine_ordered(op, dt, recvbuf, &got.env.payload, true)?;
         }
         if me + 1 < n {
-            self.xsend(&rec, true, (me + 1) as i32, TAG_SCAN, Bytes::copy_from_slice(recvbuf))?;
+            self.xsend(
+                &rec,
+                true,
+                (me + 1) as i32,
+                TAG_SCAN,
+                Bytes::copy_from_slice(recvbuf),
+            )?;
         }
         Ok(())
     }

@@ -1,12 +1,17 @@
-//! Open MPI-flavour progress engine.
+//! Open MPI-flavour progress engine over the shared indexed matching
+//! core ([`simnet::matching`]).
 //!
-//! Structurally different from the MPICH flavour's single unexpected queue:
-//! this engine buckets unexpected messages **per context id** (the way Open
-//! MPI's matching is organized per-communicator), with a global arrival
-//! counter preserving cross-bucket arrival order for diagnostics.
+//! Historically this engine kept its own per-communicator buckets while
+//! the MPICH flavour kept a flat queue; both now share the one indexed
+//! matcher (per-(context, source, tag) FIFO buckets, global arrival
+//! sequence for wildcards), which preserves each flavour's observable
+//! semantics while making fully-specified receives O(1). The OB1-style
+//! cost model is the pluggable [`simnet::matching::ArrivalModel`] hook;
+//! Open MPI charges no extra per-message engine latency here (its tuning
+//! lives in the collective algorithms, see [`crate::tuning`]), so this
+//! engine uses the default wire-arrival model.
 
-use std::collections::{HashMap, VecDeque};
-
+use simnet::matching::{MatchCore, MatchedMsg, WireArrival};
 use simnet::{Envelope, RankCtx, SimResult, VirtualTime};
 
 /// A pulled-off-the-wire message with its arrival time and sequence.
@@ -20,6 +25,16 @@ pub struct Pulled {
     pub order: u64,
 }
 
+impl From<MatchedMsg> for Pulled {
+    fn from(m: MatchedMsg) -> Pulled {
+        Pulled {
+            env: m.env,
+            arrival: m.arrival,
+            order: m.seq,
+        }
+    }
+}
+
 /// Source selector (world ranks).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Want {
@@ -27,6 +42,15 @@ pub enum Want {
     AnySrc,
     /// A specific world rank.
     Src(usize),
+}
+
+impl Want {
+    fn pattern(self) -> simnet::SrcPattern {
+        match self {
+            Want::AnySrc => simnet::SrcPattern::Any,
+            Want::Src(w) => simnet::SrcPattern::Is(w),
+        }
+    }
 }
 
 /// Tag selector.
@@ -38,11 +62,19 @@ pub enum WantTag {
     Tag(i32),
 }
 
+impl WantTag {
+    fn pattern(self) -> simnet::TagPattern {
+        match self {
+            WantTag::AnyTag => simnet::TagPattern::Any,
+            WantTag::Tag(t) => simnet::TagPattern::Is(t),
+        }
+    }
+}
+
 /// The per-process matching engine.
 #[derive(Default)]
 pub struct Progress {
-    buckets: HashMap<u64, VecDeque<Pulled>>,
-    next_order: u64,
+    core: MatchCore<WireArrival>,
 }
 
 impl Progress {
@@ -53,38 +85,13 @@ impl Progress {
 
     /// Total unexpected messages across all contexts.
     pub fn unexpected_total(&self) -> usize {
-        self.buckets.values().map(|b| b.len()).sum()
+        self.core.unexpected_len()
     }
 
-    fn stash(&mut self, ctx: &RankCtx, env: Envelope) {
-        let arrival = ctx.arrival_time(&env);
-        let order = self.next_order;
-        self.next_order += 1;
-        self.buckets
-            .entry(env.ctx_id)
-            .or_default()
-            .push_back(Pulled { env, arrival, order });
-    }
-
-    /// Drain everything currently on the wire into the buckets.
+    /// Batch-drain everything currently on the wire into the index
+    /// (one mailbox lock per call).
     pub fn pump(&mut self, ctx: &RankCtx) -> SimResult<()> {
-        while let Some(env) = ctx.endpoint().poll_raw()? {
-            self.stash(ctx, env);
-        }
-        Ok(())
-    }
-
-    fn position(&self, ctx_id: u64, src: Want, tag: WantTag) -> Option<usize> {
-        let bucket = self.buckets.get(&ctx_id)?;
-        bucket.iter().position(|p| {
-            (match src {
-                Want::AnySrc => true,
-                Want::Src(w) => p.env.src == w,
-            }) && (match tag {
-                WantTag::AnyTag => true,
-                WantTag::Tag(t) => p.env.tag == t,
-            })
-        })
+        self.core.pump(ctx)
     }
 
     /// Non-blocking match.
@@ -95,15 +102,10 @@ impl Progress {
         src: Want,
         tag: WantTag,
     ) -> SimResult<Option<Pulled>> {
-        self.pump(ctx)?;
-        if let Some(i) = self.position(ctx_id, src, tag) {
-            let pulled = self.buckets.get_mut(&ctx_id).and_then(|b| b.remove(i));
-            if let Some(p) = &pulled {
-                ctx.count_recv(p.env.len());
-            }
-            return Ok(pulled);
-        }
-        Ok(None)
+        Ok(self
+            .core
+            .try_match(ctx, ctx_id, src.pattern(), tag.pattern())?
+            .map(Pulled::from))
     }
 
     /// Blocking match.
@@ -114,13 +116,10 @@ impl Progress {
         src: Want,
         tag: WantTag,
     ) -> SimResult<Pulled> {
-        loop {
-            if let Some(p) = self.try_match(ctx, ctx_id, src, tag)? {
-                return Ok(p);
-            }
-            let env = ctx.endpoint().recv_raw()?;
-            self.stash(ctx, env);
-        }
+        Ok(self
+            .core
+            .match_blocking(ctx, ctx_id, src.pattern(), tag.pattern())?
+            .into())
     }
 
     /// Non-blocking peek (message stays queued).
@@ -131,10 +130,10 @@ impl Progress {
         src: Want,
         tag: WantTag,
     ) -> SimResult<Option<Pulled>> {
-        self.pump(ctx)?;
         Ok(self
-            .position(ctx_id, src, tag)
-            .and_then(|i| self.buckets.get(&ctx_id).map(|b| b[i].clone())))
+            .core
+            .try_peek(ctx, ctx_id, src.pattern(), tag.pattern())?
+            .map(Pulled::from))
     }
 
     /// Blocking peek.
@@ -145,13 +144,10 @@ impl Progress {
         src: Want,
         tag: WantTag,
     ) -> SimResult<Pulled> {
-        loop {
-            if let Some(p) = self.try_peek(ctx, ctx_id, src, tag)? {
-                return Ok(p);
-            }
-            let env = ctx.endpoint().recv_raw()?;
-            self.stash(ctx, env);
-        }
+        Ok(self
+            .core
+            .peek_blocking(ctx, ctx_id, src.pattern(), tag.pattern())?
+            .into())
     }
 }
 
@@ -169,13 +165,25 @@ mod tests {
         let ep1 = eps.pop().unwrap();
         let ep0 = eps.pop().unwrap();
         (
-            Rc::new(RankCtx::new(0, spec.clone(), ep0, NoiseModel::disabled().stream_for_rank(0))),
-            Rc::new(RankCtx::new(1, spec, ep1, NoiseModel::disabled().stream_for_rank(1))),
+            Rc::new(RankCtx::new(
+                0,
+                spec.clone(),
+                ep0,
+                NoiseModel::disabled().stream_for_rank(0),
+            )),
+            Rc::new(RankCtx::new(
+                1,
+                spec,
+                ep1,
+                NoiseModel::disabled().stream_for_rank(1),
+            )),
         )
     }
 
     fn send(c: &RankCtx, dst: usize, ctx_id: u64, tag: i32, data: &[u8]) {
-        c.endpoint().send_raw(dst, ctx_id, tag, Bytes::copy_from_slice(data), c).unwrap();
+        c.endpoint()
+            .send_raw(dst, ctx_id, tag, Bytes::copy_from_slice(data), c)
+            .unwrap();
     }
 
     #[test]
@@ -184,10 +192,16 @@ mod tests {
         send(&c0, 1, 10, 0, b"ctx ten");
         send(&c0, 1, 20, 0, b"ctx twenty");
         let mut eng = Progress::new();
-        let got = eng.try_match(&c1, 20, Want::AnySrc, WantTag::AnyTag).unwrap().unwrap();
+        let got = eng
+            .try_match(&c1, 20, Want::AnySrc, WantTag::AnyTag)
+            .unwrap()
+            .unwrap();
         assert_eq!(&got.env.payload[..], b"ctx twenty");
         assert_eq!(eng.unexpected_total(), 1);
-        let got = eng.try_match(&c1, 10, Want::AnySrc, WantTag::AnyTag).unwrap().unwrap();
+        let got = eng
+            .try_match(&c1, 10, Want::AnySrc, WantTag::AnyTag)
+            .unwrap()
+            .unwrap();
         assert_eq!(&got.env.payload[..], b"ctx ten");
     }
 
@@ -199,9 +213,18 @@ mod tests {
         send(&c0, 1, 10, 0, b"c");
         let mut eng = Progress::new();
         eng.pump(&c1).unwrap();
-        let x = eng.try_match(&c1, 10, Want::AnySrc, WantTag::AnyTag).unwrap().unwrap();
-        let y = eng.try_match(&c1, 20, Want::AnySrc, WantTag::AnyTag).unwrap().unwrap();
-        let z = eng.try_match(&c1, 10, Want::AnySrc, WantTag::AnyTag).unwrap().unwrap();
+        let x = eng
+            .try_match(&c1, 10, Want::AnySrc, WantTag::AnyTag)
+            .unwrap()
+            .unwrap();
+        let y = eng
+            .try_match(&c1, 20, Want::AnySrc, WantTag::AnyTag)
+            .unwrap()
+            .unwrap();
+        let z = eng
+            .try_match(&c1, 10, Want::AnySrc, WantTag::AnyTag)
+            .unwrap()
+            .unwrap();
         assert!(x.order < y.order && y.order < z.order);
         assert_eq!(&z.env.payload[..], b"c");
     }
@@ -212,10 +235,18 @@ mod tests {
         send(&c0, 1, 5, 1, b"one");
         send(&c0, 1, 5, 2, b"two");
         let mut eng = Progress::new();
-        assert!(eng.try_match(&c1, 5, Want::Src(0), WantTag::Tag(3)).unwrap().is_none());
-        let two = eng.try_match(&c1, 5, Want::Src(0), WantTag::Tag(2)).unwrap().unwrap();
+        assert!(eng
+            .try_match(&c1, 5, Want::Src(0), WantTag::Tag(3))
+            .unwrap()
+            .is_none());
+        let two = eng
+            .try_match(&c1, 5, Want::Src(0), WantTag::Tag(2))
+            .unwrap()
+            .unwrap();
         assert_eq!(&two.env.payload[..], b"two");
-        let one = eng.match_wait(&c1, 5, Want::Src(0), WantTag::AnyTag).unwrap();
+        let one = eng
+            .match_wait(&c1, 5, Want::Src(0), WantTag::AnyTag)
+            .unwrap();
         assert_eq!(&one.env.payload[..], b"one");
     }
 
@@ -224,9 +255,14 @@ mod tests {
         let (c0, c1) = pair();
         send(&c0, 1, 5, 1, b"stay");
         let mut eng = Progress::new();
-        assert!(eng.try_peek(&c1, 5, Want::AnySrc, WantTag::AnyTag).unwrap().is_some());
+        assert!(eng
+            .try_peek(&c1, 5, Want::AnySrc, WantTag::AnyTag)
+            .unwrap()
+            .is_some());
         assert_eq!(eng.unexpected_total(), 1);
-        let got = eng.peek_wait(&c1, 5, Want::Src(0), WantTag::Tag(1)).unwrap();
+        let got = eng
+            .peek_wait(&c1, 5, Want::Src(0), WantTag::Tag(1))
+            .unwrap();
         assert_eq!(&got.env.payload[..], b"stay");
         assert_eq!(eng.unexpected_total(), 1);
     }

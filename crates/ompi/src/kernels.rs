@@ -88,13 +88,16 @@ macro_rules! float_ops {
             o if o == ompi_h::MPI_MIN => combine_as!($ty, $acc, $other, |x, y| x.min(y)),
             o if o == ompi_h::MPI_MAX => combine_as!($ty, $acc, $other, |x, y| x.max(y)),
             o if o == ompi_h::MPI_LAND => {
-                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) && (y != 0.0)) as u8 as $ty)
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) && (y != 0.0)) as u8
+                    as $ty)
             }
             o if o == ompi_h::MPI_LOR => {
-                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) || (y != 0.0)) as u8 as $ty)
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) || (y != 0.0)) as u8
+                    as $ty)
             }
             o if o == ompi_h::MPI_LXOR => {
-                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) ^ (y != 0.0)) as u8 as $ty)
+                combine_as!($ty, $acc, $other, |x, y| ((x != 0.0) ^ (y != 0.0)) as u8
+                    as $ty)
             }
             _ => return Err(ompi_h::MPI_ERR_OP),
         }
@@ -138,7 +141,13 @@ mod tests {
     #[test]
     fn u64_bitwise() {
         let mut acc = 0b1100u64.to_le_bytes().to_vec();
-        combine(ompi_h::MPI_BXOR, ElemKind::Uint(8), &mut acc, &0b1010u64.to_le_bytes()).unwrap();
+        combine(
+            ompi_h::MPI_BXOR,
+            ElemKind::Uint(8),
+            &mut acc,
+            &0b1010u64.to_le_bytes(),
+        )
+        .unwrap();
         assert_eq!(u64::from_le_bytes(acc[..].try_into().unwrap()), 0b0110);
     }
 
@@ -154,8 +163,14 @@ mod tests {
 
     #[test]
     fn builtin_kinds() {
-        assert_eq!(ElemKind::of_builtin(ompi_h::MPI_DOUBLE), Some(ElemKind::Float(8)));
-        assert_eq!(ElemKind::of_builtin(ompi_h::MPI_INT), Some(ElemKind::Int(4)));
+        assert_eq!(
+            ElemKind::of_builtin(ompi_h::MPI_DOUBLE),
+            Some(ElemKind::Float(8))
+        );
+        assert_eq!(
+            ElemKind::of_builtin(ompi_h::MPI_INT),
+            Some(ElemKind::Int(4))
+        );
         assert_eq!(ElemKind::of_builtin(ompi_h::MPI_DATATYPE_NULL), None);
     }
 }

@@ -46,7 +46,10 @@ impl CommRec {
 
     /// Communicator rank of a world rank, if a member.
     pub fn comm_rank_of_world(&self, world: usize) -> Option<i32> {
-        self.ranks.iter().position(|&w| w == world).map(|p| p as i32)
+        self.ranks
+            .iter()
+            .position(|&w| w == world)
+            .map(|p| p as i32)
     }
 
     /// Point-to-point context id.
@@ -132,7 +135,11 @@ impl Heap {
         );
         comms.insert(
             ompi_h::MPI_COMM_SELF.0,
-            CommRec { ctx_base: 2, ranks: Arc::new(vec![my_world_rank]), my_rank: 0 },
+            CommRec {
+                ctx_base: 2,
+                ranks: Arc::new(vec![my_world_rank]),
+                my_rank: 0,
+            },
         );
         Heap {
             comms,
@@ -166,19 +173,23 @@ impl Heap {
         if c == ompi_h::MPI_COMM_WORLD || c == ompi_h::MPI_COMM_SELF {
             return Err(ompi_h::MPI_ERR_COMM);
         }
-        self.comms.remove(&c.0).map(|_| ()).ok_or(ompi_h::MPI_ERR_COMM)
+        self.comms
+            .remove(&c.0)
+            .map(|_| ())
+            .ok_or(ompi_h::MPI_ERR_COMM)
     }
 
     // ---- datatypes -------------------------------------------------------
 
     /// Size in bytes of one element of `dt`.
     pub fn type_size(&self, dt: MpiDatatype) -> OmpiResult<usize> {
-        if let Some(&(_, size)) =
-            ompi_h::PREDEFINED_DATATYPES.iter().find(|(h, _)| *h == dt)
-        {
+        if let Some(&(_, size)) = ompi_h::PREDEFINED_DATATYPES.iter().find(|(h, _)| *h == dt) {
             return Ok(size);
         }
-        self.types.get(&dt.0).map(|t| t.size).ok_or(ompi_h::MPI_ERR_TYPE)
+        self.types
+            .get(&dt.0)
+            .map(|t| t.size)
+            .ok_or(ompi_h::MPI_ERR_TYPE)
     }
 
     /// Element kind for reductions.
@@ -208,12 +219,18 @@ impl Heap {
 
     /// Commit a derived type.
     pub fn commit_type(&mut self, dt: MpiDatatype) -> OmpiResult<()> {
-        self.types.get_mut(&dt.0).map(|t| t.committed = true).ok_or(ompi_h::MPI_ERR_TYPE)
+        self.types
+            .get_mut(&dt.0)
+            .map(|t| t.committed = true)
+            .ok_or(ompi_h::MPI_ERR_TYPE)
     }
 
     /// Free a derived type.
     pub fn free_type(&mut self, dt: MpiDatatype) -> OmpiResult<()> {
-        self.types.remove(&dt.0).map(|_| ()).ok_or(ompi_h::MPI_ERR_TYPE)
+        self.types
+            .remove(&dt.0)
+            .map(|_| ())
+            .ok_or(ompi_h::MPI_ERR_TYPE)
     }
 
     // ---- ops ---------------------------------------------------------------
@@ -286,11 +303,23 @@ mod tests {
     #[test]
     fn comm_allocation_addresses_advance_by_stride() {
         let mut h = Heap::new(2, 0);
-        let a = h.add_comm(CommRec { ctx_base: 4, ranks: Arc::new(vec![0]), my_rank: 0 });
-        let b = h.add_comm(CommRec { ctx_base: 6, ranks: Arc::new(vec![0]), my_rank: 0 });
+        let a = h.add_comm(CommRec {
+            ctx_base: 4,
+            ranks: Arc::new(vec![0]),
+            my_rank: 0,
+        });
+        let b = h.add_comm(CommRec {
+            ctx_base: 6,
+            ranks: Arc::new(vec![0]),
+            my_rank: 0,
+        });
         assert_eq!(b.0 - a.0, HANDLE_STRIDE);
         h.free_comm(a).unwrap();
-        let c = h.add_comm(CommRec { ctx_base: 8, ranks: Arc::new(vec![0]), my_rank: 0 });
+        let c = h.add_comm(CommRec {
+            ctx_base: 8,
+            ranks: Arc::new(vec![0]),
+            my_rank: 0,
+        });
         assert!(c.0 > b.0, "addresses are never reused");
         assert!(h.free_comm(ompi_h::MPI_COMM_WORLD).is_err());
     }
@@ -300,7 +329,11 @@ mod tests {
         let mut h = Heap::new(2, 0);
         assert_eq!(h.type_size(ompi_h::MPI_DOUBLE).unwrap(), 8);
         assert_eq!(h.type_size(ompi_h::MPI_INT16_T).unwrap(), 2);
-        let t = h.add_type(TypeRec { size: 40, elem: Some(ElemKind::Float(8)), committed: false });
+        let t = h.add_type(TypeRec {
+            size: 40,
+            elem: Some(ElemKind::Float(8)),
+            committed: false,
+        });
         assert_eq!(h.type_size(t).unwrap(), 40);
         h.commit_type(t).unwrap();
         assert!(h.derived(t).unwrap().committed);

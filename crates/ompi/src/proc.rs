@@ -10,9 +10,7 @@ use simnet::{RankCtx, SimError, VirtualTime};
 use crate::engine::{Progress, Pulled, Want, WantTag};
 use crate::kernels;
 use crate::objects::{CommRec, Heap, OmpiUserFn, OpRec, ReqRec, TypeRec};
-use crate::ompi_h::{
-    self, MpiComm, MpiDatatype, MpiOp, MpiRequest, MpiStatus, OmpiResult,
-};
+use crate::ompi_h::{self, MpiComm, MpiDatatype, MpiOp, MpiRequest, MpiStatus, OmpiResult};
 use crate::tuning::Tuning;
 
 /// Map a substrate error to a native error code.
@@ -44,7 +42,14 @@ impl OmpiProcess {
     /// `MPI_Init` with explicit tuning.
     pub fn init_with_tuning(ctx: Rc<RankCtx>, tuning: Tuning) -> OmpiProcess {
         let heap = Heap::new(ctx.nranks(), ctx.rank());
-        OmpiProcess { ctx, tuning, heap, progress: Progress::new(), next_ctx_base: 4, finalized: false }
+        OmpiProcess {
+            ctx,
+            tuning,
+            heap,
+            progress: Progress::new(),
+            next_ctx_base: 4,
+            finalized: false,
+        }
     }
 
     /// Library identification string.
@@ -148,7 +153,10 @@ impl OmpiProcess {
         tag: WantTag,
     ) -> OmpiResult<Pulled> {
         let ctx_id = if coll { rec.coll_ctx() } else { rec.p2p_ctx() };
-        let got = self.progress.match_wait(&self.ctx, ctx_id, src, tag).map_err(sim_err)?;
+        let got = self
+            .progress
+            .match_wait(&self.ctx, ctx_id, src, tag)
+            .map_err(sim_err)?;
         self.ctx.advance_to(got.arrival);
         self.ctx.advance(self.tuning.o_recv);
         Ok(got)
@@ -181,7 +189,9 @@ impl OmpiProcess {
     }
 
     fn status_of(&self, rec: &CommRec, got: &Pulled) -> MpiStatus {
-        let source = rec.comm_rank_of_world(got.env.src).unwrap_or(ompi_h::MPI_ANY_SOURCE);
+        let source = rec
+            .comm_rank_of_world(got.env.src)
+            .unwrap_or(ompi_h::MPI_ANY_SOURCE);
         MpiStatus::for_receive(source, got.env.tag, got.env.len())
     }
 
@@ -221,7 +231,11 @@ impl OmpiProcess {
         self.check_typed_buf(dt, buf.len())?;
         let tag_sel = Self::tag_sel(tag)?;
         if src == ompi_h::MPI_PROC_NULL {
-            return Ok(MpiStatus::for_receive(ompi_h::MPI_PROC_NULL, ompi_h::MPI_ANY_TAG, 0));
+            return Ok(MpiStatus::for_receive(
+                ompi_h::MPI_PROC_NULL,
+                ompi_h::MPI_ANY_TAG,
+                0,
+            ));
         }
         let rec = self.rec(comm)?;
         let src_sel = self.src_sel(&rec, src)?;
@@ -294,11 +308,19 @@ impl OmpiProcess {
         match self.heap.take_request(req)? {
             ReqRec::SendDone => Ok((MpiStatus::default(), None)),
             ReqRec::RecvDone { status, payload } => Ok((status, Some(payload))),
-            ReqRec::RecvPending { ctx_id, src_world, tag, max_bytes, ranks } => {
+            ReqRec::RecvPending {
+                ctx_id,
+                src_world,
+                tag,
+                max_bytes,
+                ranks,
+            } => {
                 let src = src_world.map_or(Want::AnySrc, Want::Src);
                 let tag_sel = tag.map_or(WantTag::AnyTag, WantTag::Tag);
-                let got =
-                    self.progress.match_wait(&self.ctx, ctx_id, src, tag_sel).map_err(sim_err)?;
+                let got = self
+                    .progress
+                    .match_wait(&self.ctx, ctx_id, src, tag_sel)
+                    .map_err(sim_err)?;
                 self.ctx.advance_to(got.arrival);
                 self.ctx.advance(self.tuning.o_recv);
                 if got.env.len() > max_bytes {
@@ -325,7 +347,13 @@ impl OmpiProcess {
             ReqRec::RecvDone { status, payload } => Ok(Some((status, Some(payload)))),
             pending @ ReqRec::RecvPending { .. } => {
                 let (ctx_id, src, tag_sel, max_bytes, ranks) = match &pending {
-                    ReqRec::RecvPending { ctx_id, src_world, tag, max_bytes, ranks } => (
+                    ReqRec::RecvPending {
+                        ctx_id,
+                        src_world,
+                        tag,
+                        max_bytes,
+                        ranks,
+                    } => (
                         *ctx_id,
                         src_world.map_or(Want::AnySrc, Want::Src),
                         tag.map_or(WantTag::AnyTag, WantTag::Tag),
@@ -334,7 +362,11 @@ impl OmpiProcess {
                     ),
                     _ => unreachable!(),
                 };
-                match self.progress.try_match(&self.ctx, ctx_id, src, tag_sel).map_err(sim_err)? {
+                match self
+                    .progress
+                    .try_match(&self.ctx, ctx_id, src, tag_sel)
+                    .map_err(sim_err)?
+                {
                     None => {
                         self.heap.put_back_request(req, pending)?;
                         Ok(None)
@@ -438,8 +470,9 @@ impl OmpiProcess {
             table[0] = [color, key];
             for _ in 1..n {
                 let got = self.xrecv(&rec, true, Want::AnySrc, WantTag::Tag(SPLIT_TAG))?;
-                let cr =
-                    rec.comm_rank_of_world(got.env.src).ok_or(ompi_h::MPI_ERR_INTERN)? as usize;
+                let cr = rec
+                    .comm_rank_of_world(got.env.src)
+                    .ok_or(ompi_h::MPI_ERR_INTERN)? as usize;
                 table[cr] = [
                     i32::from_le_bytes(got.env.payload[0..4].try_into().unwrap()),
                     i32::from_le_bytes(got.env.payload[4..8].try_into().unwrap()),
@@ -473,15 +506,20 @@ impl OmpiProcess {
             }
         }
 
-        let mut colors: Vec<i32> =
-            table.iter().map(|ck| ck[0]).filter(|&c| c != ompi_h::MPI_UNDEFINED).collect();
+        let mut colors: Vec<i32> = table
+            .iter()
+            .map(|ck| ck[0])
+            .filter(|&c| c != ompi_h::MPI_UNDEFINED)
+            .collect();
         colors.sort_unstable();
         colors.dedup();
         self.next_ctx_base = base + 2 * colors.len().max(1) as u64;
         if color == ompi_h::MPI_UNDEFINED {
             return Ok(ompi_h::MPI_COMM_NULL);
         }
-        let color_idx = colors.binary_search(&color).map_err(|_| ompi_h::MPI_ERR_INTERN)?;
+        let color_idx = colors
+            .binary_search(&color)
+            .map_err(|_| ompi_h::MPI_ERR_INTERN)?;
         let mut members: Vec<(i32, usize)> = table
             .iter()
             .enumerate()
@@ -490,8 +528,10 @@ impl OmpiProcess {
             .collect();
         members.sort_unstable();
         let world_ranks: Vec<usize> = members.iter().map(|&(_, cr)| rec.ranks[cr]).collect();
-        let my_new_rank =
-            members.iter().position(|&(_, cr)| cr == me).ok_or(ompi_h::MPI_ERR_INTERN)? as i32;
+        let my_new_rank = members
+            .iter()
+            .position(|&(_, cr)| cr == me)
+            .ok_or(ompi_h::MPI_ERR_INTERN)? as i32;
         Ok(self.heap.add_comm(CommRec {
             ctx_base: base + 2 * color_idx as u64,
             ranks: std::sync::Arc::new(world_ranks),
@@ -530,8 +570,12 @@ impl OmpiProcess {
                 CTX_TAG,
                 Bytes::copy_from_slice(&self.next_ctx_base.to_le_bytes()),
             )?;
-            let got =
-                self.xrecv(rec, true, Want::Src(rec.world_of(0)?), WantTag::Tag(CTX_TAG + 1))?;
+            let got = self.xrecv(
+                rec,
+                true,
+                Want::Src(rec.world_of(0)?),
+                WantTag::Tag(CTX_TAG + 1),
+            )?;
             agreed = u64::from_le_bytes(got.env.payload[..8].try_into().unwrap());
         }
         Ok(agreed)
@@ -555,7 +599,11 @@ impl OmpiProcess {
         let base_size = self.heap.type_size(oldtype)?;
         let elem = kernels::ElemKind::of_builtin(oldtype)
             .or_else(|| self.heap.derived(oldtype).ok().and_then(|t| t.elem));
-        Ok(self.heap.add_type(TypeRec { size: base_size * count as usize, elem, committed: false }))
+        Ok(self.heap.add_type(TypeRec {
+            size: base_size * count as usize,
+            elem,
+            committed: false,
+        }))
     }
 
     /// `MPI_Type_commit`.
@@ -623,7 +671,10 @@ mod tests {
         nranks: usize,
         f: impl Fn(&mut OmpiProcess) -> OmpiResult<R> + Sync,
     ) -> Vec<R> {
-        let spec = ClusterSpec::builder().nodes(1).ranks_per_node(nranks).build();
+        let spec = ClusterSpec::builder()
+            .nodes(1)
+            .ranks_per_node(nranks)
+            .build();
         World::run(&spec, |ctx| {
             let mut p = OmpiProcess::init(ctx);
             f(&mut p)
@@ -640,7 +691,13 @@ mod tests {
             let me = p.comm_rank(ompi_h::MPI_COMM_WORLD)?;
             let next = (me + 1) % n;
             let prev = (me + n - 1) % n;
-            p.send(&me.to_le_bytes(), ompi_h::MPI_INT, next, 3, ompi_h::MPI_COMM_WORLD)?;
+            p.send(
+                &me.to_le_bytes(),
+                ompi_h::MPI_INT,
+                next,
+                3,
+                ompi_h::MPI_COMM_WORLD,
+            )?;
             let mut buf = [0u8; 4];
             let st = p.recv(&mut buf, ompi_h::MPI_INT, prev, 3, ompi_h::MPI_COMM_WORLD)?;
             assert_eq!(st.mpi_source, prev);
@@ -654,10 +711,21 @@ mod tests {
     fn proc_null_uses_ompi_value() {
         run_world(1, |p| {
             // −2 is PROC_NULL here (it is ANY_SOURCE in the MPICH flavour!).
-            p.send(&[0u8; 4], ompi_h::MPI_INT, ompi_h::MPI_PROC_NULL, 0, ompi_h::MPI_COMM_WORLD)?;
+            p.send(
+                &[0u8; 4],
+                ompi_h::MPI_INT,
+                ompi_h::MPI_PROC_NULL,
+                0,
+                ompi_h::MPI_COMM_WORLD,
+            )?;
             let mut b = [0u8; 4];
-            let st =
-                p.recv(&mut b, ompi_h::MPI_INT, ompi_h::MPI_PROC_NULL, 0, ompi_h::MPI_COMM_WORLD)?;
+            let st = p.recv(
+                &mut b,
+                ompi_h::MPI_INT,
+                ompi_h::MPI_PROC_NULL,
+                0,
+                ompi_h::MPI_COMM_WORLD,
+            )?;
             assert_eq!(st.mpi_source, ompi_h::MPI_PROC_NULL);
             Ok(())
         });
@@ -669,7 +737,13 @@ mod tests {
             let me = p.comm_rank(ompi_h::MPI_COMM_WORLD)?;
             let other = 1 - me;
             let r = p.irecv(4, ompi_h::MPI_INT, other, 0, ompi_h::MPI_COMM_WORLD)?;
-            p.send(&me.to_le_bytes(), ompi_h::MPI_INT, other, 0, ompi_h::MPI_COMM_WORLD)?;
+            p.send(
+                &me.to_le_bytes(),
+                ompi_h::MPI_INT,
+                other,
+                0,
+                ompi_h::MPI_COMM_WORLD,
+            )?;
             // Spin on test until completion.
             loop {
                 if let Some((st, data)) = p.test(r)? {
@@ -685,7 +759,11 @@ mod tests {
     fn comm_split_with_ompi_undefined() {
         let out = run_world(4, |p| {
             let me = p.comm_rank(ompi_h::MPI_COMM_WORLD)?;
-            let color = if me == 0 { ompi_h::MPI_UNDEFINED } else { me % 2 };
+            let color = if me == 0 {
+                ompi_h::MPI_UNDEFINED
+            } else {
+                me % 2
+            };
             let sub = p.comm_split(ompi_h::MPI_COMM_WORLD, color, -me)?;
             if sub == ompi_h::MPI_COMM_NULL {
                 return Ok((-1, -1));
@@ -710,7 +788,10 @@ mod tests {
                 Ok(0)
             } else {
                 let mut small = [0u8; 4];
-                Ok(p.recv(&mut small, ompi_h::MPI_BYTE, 0, 0, ompi_h::MPI_COMM_WORLD).unwrap_err())
+                Ok(
+                    p.recv(&mut small, ompi_h::MPI_BYTE, 0, 0, ompi_h::MPI_COMM_WORLD)
+                        .unwrap_err(),
+                )
             }
         });
         assert_eq!(out[1], ompi_h::MPI_ERR_TRUNCATE);

@@ -36,11 +36,18 @@ fn run<R: Send>(
 ) -> Vec<R> {
     let rpn = nranks.div_ceil(2).max(1);
     let nodes = nranks.div_ceil(rpn);
-    let spec = ClusterSpec::builder().nodes(nodes).ranks_per_node(rpn).build();
+    let spec = ClusterSpec::builder()
+        .nodes(nodes)
+        .ranks_per_node(rpn)
+        .build();
     World::run(&spec, |ctx| {
         let mut p = OmpiProcess::init_with_tuning(ctx, tuning);
         let me = p.comm_rank(ompi_h::MPI_COMM_WORLD).unwrap();
-        let color = if (me as usize) < nranks { 0 } else { ompi_h::MPI_UNDEFINED };
+        let color = if (me as usize) < nranks {
+            0
+        } else {
+            ompi_h::MPI_UNDEFINED
+        };
         let sub = p.comm_split(ompi_h::MPI_COMM_WORLD, color, me).unwrap();
         if sub == ompi_h::MPI_COMM_NULL {
             return Ok(None);
@@ -61,7 +68,9 @@ fn f64s(xs: &[f64]) -> Vec<u8> {
 }
 
 fn to_f64s(b: &[u8]) -> Vec<f64> {
-    b.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
 }
 
 const SIZES: &[usize] = &[2, 3, 4, 5, 7, 8, 12];
@@ -91,7 +100,11 @@ fn bcast_bintree_and_pipeline_all_roots() {
                     // pipeline segments, exercising the tail segment.
                     let truth: Vec<f64> =
                         (0..33).map(|i| root as f64 * 1000.0 + i as f64).collect();
-                    let mut buf = if me == root { f64s(&truth) } else { vec![0u8; 264] };
+                    let mut buf = if me == root {
+                        f64s(&truth)
+                    } else {
+                        vec![0u8; 264]
+                    };
                     p.bcast(&mut buf, ompi_h::MPI_DOUBLE, root, c)?;
                     ok &= to_f64s(&buf) == truth;
                 }
@@ -112,8 +125,19 @@ fn reduce_linear_and_pipeline() {
                 let mut ok = true;
                 for root in 0..size as i32 {
                     let mine: Vec<f64> = (0..9).map(|i| me as f64 + i as f64).collect();
-                    let mut out = if me == root { vec![0u8; 72] } else { Vec::new() };
-                    p.reduce(&f64s(&mine), &mut out, ompi_h::MPI_DOUBLE, ompi_h::MPI_SUM, root, c)?;
+                    let mut out = if me == root {
+                        vec![0u8; 72]
+                    } else {
+                        Vec::new()
+                    };
+                    p.reduce(
+                        &f64s(&mine),
+                        &mut out,
+                        ompi_h::MPI_DOUBLE,
+                        ompi_h::MPI_SUM,
+                        root,
+                        c,
+                    )?;
                     if me == root {
                         let expect: Vec<f64> = (0..9)
                             .map(|i| (0..size).map(|r| r as f64 + i as f64).sum())
@@ -138,14 +162,22 @@ fn allreduce_recdbl_and_ring() {
             let out = run(n, tuning, |p, c| {
                 let me = p.comm_rank(c)?;
                 let size = p.comm_size(c)? as usize;
-                let mine: Vec<f64> =
-                    (0..17).map(|i| (me + 1) as f64 * (i + 1) as f64).collect();
+                let mine: Vec<f64> = (0..17).map(|i| (me + 1) as f64 * (i + 1) as f64).collect();
                 let mut out = vec![0u8; 17 * 8];
-                p.allreduce(&f64s(&mine), &mut out, ompi_h::MPI_DOUBLE, ompi_h::MPI_SUM, c)?;
+                p.allreduce(
+                    &f64s(&mine),
+                    &mut out,
+                    ompi_h::MPI_DOUBLE,
+                    ompi_h::MPI_SUM,
+                    c,
+                )?;
                 let expect: Vec<f64> = (0..17)
                     .map(|i| (0..size).map(|r| (r + 1) as f64 * (i + 1) as f64).sum())
                     .collect();
-                Ok(to_f64s(&out).iter().zip(&expect).all(|(a, b)| (a - b).abs() < 1e-9))
+                Ok(to_f64s(&out)
+                    .iter()
+                    .zip(&expect)
+                    .all(|(a, b)| (a - b).abs() < 1e-9))
             });
             assert!(out.iter().all(|&ok| ok), "allreduce n={n}");
         }
@@ -162,11 +194,16 @@ fn gather_scatter_linear() {
             for root in 0..size as i32 {
                 // Gather.
                 let mine = [me as f64, -(me as f64)];
-                let mut g = if me == root { vec![0u8; 16 * size] } else { Vec::new() };
+                let mut g = if me == root {
+                    vec![0u8; 16 * size]
+                } else {
+                    Vec::new()
+                };
                 p.gather(&f64s(&mine), &mut g, ompi_h::MPI_DOUBLE, root, c)?;
                 if me == root {
                     let got = to_f64s(&g);
-                    ok &= (0..size).all(|r| got[2 * r] == r as f64 && got[2 * r + 1] == -(r as f64));
+                    ok &=
+                        (0..size).all(|r| got[2 * r] == r as f64 && got[2 * r + 1] == -(r as f64));
                 }
                 // Scatter.
                 let all: Vec<f64> = (0..2 * size).map(|i| i as f64 * 3.0).collect();
@@ -204,16 +241,17 @@ fn allgather_recdbl_and_ring() {
 fn alltoall_linear_and_pairwise() {
     for tuning in [force_small(), force_large()] {
         for &n in SIZES {
-            let out = run(n, tuning, |p, c| {
-                let me = p.comm_rank(c)? as usize;
-                let size = p.comm_size(c)? as usize;
-                let send: Vec<f64> = (0..size).flat_map(|i| [me as f64, i as f64]).collect();
-                let mut recv = vec![0u8; 16 * size];
-                p.alltoall(&f64s(&send), &mut recv, ompi_h::MPI_DOUBLE, c)?;
-                let got = to_f64s(&recv);
-                Ok((0..size)
-                    .all(|src| got[2 * src] == src as f64 && got[2 * src + 1] == me as f64))
-            });
+            let out =
+                run(n, tuning, |p, c| {
+                    let me = p.comm_rank(c)? as usize;
+                    let size = p.comm_size(c)? as usize;
+                    let send: Vec<f64> = (0..size).flat_map(|i| [me as f64, i as f64]).collect();
+                    let mut recv = vec![0u8; 16 * size];
+                    p.alltoall(&f64s(&send), &mut recv, ompi_h::MPI_DOUBLE, c)?;
+                    let got = to_f64s(&recv);
+                    Ok((0..size)
+                        .all(|src| got[2 * src] == src as f64 && got[2 * src + 1] == me as f64))
+                });
             assert!(out.iter().all(|&ok| ok), "alltoall n={n}");
         }
     }
@@ -226,7 +264,13 @@ fn scan_linear_chain() {
             let me = p.comm_rank(c)?;
             let mine = [(me + 1) as f64];
             let mut out = vec![0u8; 8];
-            p.scan(&f64s(&mine), &mut out, ompi_h::MPI_DOUBLE, ompi_h::MPI_SUM, c)?;
+            p.scan(
+                &f64s(&mine),
+                &mut out,
+                ompi_h::MPI_DOUBLE,
+                ompi_h::MPI_SUM,
+                c,
+            )?;
             let expect: f64 = (1..=me + 1).map(|r| r as f64).sum();
             Ok(to_f64s(&out)[0] == expect)
         });
@@ -246,7 +290,8 @@ fn vendor_timing_differs_from_mpich_flavour() {
         let send = vec![1u8; n * 1024];
         let mut recv = vec![0u8; n * 1024];
         for _ in 0..4 {
-            p.alltoall(&send, &mut recv, ompi_h::MPI_BYTE, ompi_h::MPI_COMM_WORLD).unwrap();
+            p.alltoall(&send, &mut recv, ompi_h::MPI_BYTE, ompi_h::MPI_COMM_WORLD)
+                .unwrap();
         }
         Ok(ctx.now().as_nanos())
     })
@@ -264,7 +309,10 @@ fn vendor_timing_differs_from_mpich_flavour() {
     })
     .unwrap()
     .results;
-    assert_ne!(ompi_time, mpich_time, "vendors must have distinct timing profiles");
+    assert_ne!(
+        ompi_time, mpich_time,
+        "vendors must have distinct timing profiles"
+    );
 }
 
 /// Minimal dev-dependency-free access to the sibling vendor for the timing
@@ -281,6 +329,11 @@ mod mpich_sim_shim {
         send: &[u8],
         recv: &mut [u8],
     ) -> Result<(), i32> {
-        p.alltoall(send, recv, mpich_sim::mpih::MPI_BYTE, mpich_sim::mpih::MPI_COMM_WORLD)
+        p.alltoall(
+            send,
+            recv,
+            mpich_sim::mpih::MPI_BYTE,
+            mpich_sim::mpih::MPI_COMM_WORLD,
+        )
     }
 }

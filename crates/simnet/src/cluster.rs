@@ -22,7 +22,11 @@ pub struct KernelVersion {
 impl KernelVersion {
     /// Construct a kernel version.
     pub const fn new(major: u32, minor: u32, patch: u32) -> Self {
-        KernelVersion { major, minor, patch }
+        KernelVersion {
+            major,
+            minor,
+            patch,
+        }
     }
 
     /// CentOS 7's kernel, as used on the paper's Discovery cluster.
@@ -78,9 +82,10 @@ impl Interconnect {
             Interconnect::TenGbE => LinkModel::new(VirtualTime::from_nanos(28_000), 1.10e9),
             Interconnect::HundredGbE => LinkModel::new(VirtualTime::from_nanos(6_000), 11.0e9),
             Interconnect::Infiniband => LinkModel::new(VirtualTime::from_nanos(1_300), 11.5e9),
-            Interconnect::Custom { latency, bandwidth_bps } => {
-                LinkModel::new(latency, bandwidth_bps)
-            }
+            Interconnect::Custom {
+                latency,
+                bandwidth_bps,
+            } => LinkModel::new(latency, bandwidth_bps),
         }
     }
 

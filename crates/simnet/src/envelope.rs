@@ -62,7 +62,11 @@ mod tests {
             wire_bytes: 1088,
             seq: 0,
         };
-        let b = Envelope { dst: 2, payload: payload.clone(), ..a.clone() };
+        let b = Envelope {
+            dst: 2,
+            payload: payload.clone(),
+            ..a.clone()
+        };
         // Bytes clones are pointer-equal views of one allocation.
         assert_eq!(a.payload.as_ptr(), b.payload.as_ptr());
         assert_eq!(a.len(), 1024);

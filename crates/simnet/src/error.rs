@@ -67,7 +67,10 @@ mod tests {
         let e = SimError::NoSuchRank { rank: 9, nranks: 4 };
         assert!(e.to_string().contains("rank 9"));
         assert!(e.to_string().contains("4 ranks"));
-        let e = SimError::RankPanicked { rank: 2, message: "boom".into() };
+        let e = SimError::RankPanicked {
+            rank: 2,
+            message: "boom".into(),
+        };
         assert!(e.to_string().contains("boom"));
     }
 }

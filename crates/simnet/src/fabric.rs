@@ -1,35 +1,64 @@
-//! The fabric: rank-to-rank FIFO channels plus fail-stop fault injection.
+//! The fabric: rank-to-rank FIFO mailboxes plus fail-stop fault injection.
 //!
-//! One unbounded MPMC channel per destination rank carries [`Envelope`]s.
-//! Per (src, dst) pair, delivery order equals send order (crossbeam channels
-//! are FIFO per producer), which is exactly the non-overtaking guarantee MPI
-//! point-to-point semantics require from the transport.
+//! One `Mutex<VecDeque>` + `Condvar` mailbox per destination rank carries
+//! [`Envelope`]s. Per (src, dst) pair, delivery order equals send order
+//! (each sender pushes under the destination's mailbox lock), which is
+//! exactly the non-overtaking guarantee MPI point-to-point semantics
+//! require from the transport.
+//!
+//! The fabric is **event-driven**: blocked receivers sleep on their
+//! mailbox's condition variable and are woken by the arrival of a message,
+//! by [`Fabric::shutdown`], or by [`Fabric::fail_rank`] — there is no
+//! polling interval, so failure-detection and shutdown latency is one
+//! condvar wakeup, not a timer tick. Writers that flip the shutdown/failed
+//! flags briefly acquire each mailbox lock before notifying, so a receiver
+//! that checked the flags and is about to sleep cannot miss the wakeup.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 
 use crate::cluster::ClusterSpec;
 use crate::envelope::Envelope;
 use crate::error::{SimError, SimResult};
 use crate::rank::RankCtx;
 
-/// How long a blocking receive waits between checks of the shutdown and
-/// failure flags. Real time, not virtual time; only affects how quickly a
-/// deadlocked/failed run unwinds.
-const POLL_INTERVAL: Duration = Duration::from_micros(200);
+/// One rank's inbox: the arrival queue and the condvar blocked receivers
+/// sleep on.
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    /// Wake every receiver blocked on this mailbox. Acquiring (and
+    /// immediately releasing) the queue lock first closes the race with a
+    /// receiver that has checked the control flags and is entering
+    /// `Condvar::wait`: the notifier either runs before the receiver's
+    /// flag check (flags are visible) or after the wait released the lock
+    /// (the notification is delivered).
+    fn wake_all(&self) {
+        drop(self.queue.lock().expect("mailbox lock poisoned"));
+        self.arrived.notify_all();
+    }
+}
 
 struct Shared {
     nranks: usize,
     failed: Vec<AtomicBool>,
+    /// Number of ranks currently marked failed. Blocked receivers check
+    /// this single counter instead of scanning the per-rank flags; the
+    /// O(nranks) scan happens only when a failure actually exists.
+    failed_count: AtomicUsize,
     shutdown: AtomicBool,
     /// When true, blocked receivers report peer failures as errors
     /// (fault-tolerant mode); when false they keep waiting, like a
     /// non-fault-tolerant MPI would.
     failure_detection: AtomicBool,
+    mailboxes: Vec<Mailbox>,
 }
 
 /// Handle to the whole fabric: constructs endpoints, injects failures,
@@ -37,33 +66,24 @@ struct Shared {
 #[derive(Clone)]
 pub struct Fabric {
     shared: Arc<Shared>,
-    senders: Arc<Vec<Sender<Envelope>>>,
 }
 
 impl Fabric {
     /// Build a fabric for `spec` and hand out one endpoint per rank.
     pub fn new(spec: &ClusterSpec) -> (Fabric, Vec<Endpoint>) {
         let nranks = spec.nranks();
-        let mut senders = Vec::with_capacity(nranks);
-        let mut receivers = Vec::with_capacity(nranks);
-        for _ in 0..nranks {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
         let shared = Arc::new(Shared {
             nranks,
             failed: (0..nranks).map(|_| AtomicBool::new(false)).collect(),
+            failed_count: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             failure_detection: AtomicBool::new(false),
+            mailboxes: (0..nranks).map(|_| Mailbox::default()).collect(),
         });
-        let fabric = Fabric { shared: shared.clone(), senders: Arc::new(senders) };
-        let endpoints = receivers
-            .into_iter()
-            .enumerate()
-            .map(|(rank, rx)| Endpoint {
+        let fabric = Fabric { shared };
+        let endpoints = (0..nranks)
+            .map(|rank| Endpoint {
                 rank,
-                rx,
                 fabric: fabric.clone(),
                 next_seq: std::cell::Cell::new(0),
             })
@@ -77,11 +97,17 @@ impl Fabric {
     }
 
     /// Mark a rank as failed (fail-stop). Subsequent sends to it error with
-    /// [`SimError::PeerFailed`]; receivers learn of it if failure detection
-    /// is enabled.
+    /// [`SimError::PeerFailed`]; blocked receivers are woken immediately
+    /// and learn of it if failure detection is enabled.
     pub fn fail_rank(&self, rank: usize) {
-        if rank < self.shared.nranks {
-            self.shared.failed[rank].store(true, Ordering::SeqCst);
+        if rank >= self.shared.nranks {
+            return;
+        }
+        if !self.shared.failed[rank].swap(true, Ordering::SeqCst) {
+            self.shared.failed_count.fetch_add(1, Ordering::SeqCst);
+        }
+        for mb in &self.shared.mailboxes {
+            mb.wake_all();
         }
     }
 
@@ -92,7 +118,12 @@ impl Fabric {
 
     /// Ranks currently marked failed.
     pub fn failed_ranks(&self) -> Vec<usize> {
-        (0..self.shared.nranks).filter(|&r| self.is_failed(r)).collect()
+        if self.shared.failed_count.load(Ordering::SeqCst) == 0 {
+            return Vec::new();
+        }
+        (0..self.shared.nranks)
+            .filter(|&r| self.is_failed(r))
+            .collect()
     }
 
     /// Enable fault-tolerant semantics: blocked receives return
@@ -100,13 +131,19 @@ impl Fabric {
     /// waiting forever like a non-fault-tolerant MPI.
     pub fn enable_failure_detection(&self) {
         self.shared.failure_detection.store(true, Ordering::SeqCst);
+        for mb in &self.shared.mailboxes {
+            mb.wake_all();
+        }
     }
 
     /// Tear the fabric down: every blocked receive returns
-    /// [`SimError::Disconnected`]. Used when a rank errors or panics so the
-    /// remaining ranks unwind instead of deadlocking.
+    /// [`SimError::Disconnected`] immediately. Used when a rank errors or
+    /// panics so the remaining ranks unwind instead of deadlocking.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        for mb in &self.shared.mailboxes {
+            mb.wake_all();
+        }
     }
 
     /// Whether the fabric has been shut down.
@@ -118,7 +155,6 @@ impl Fabric {
 /// A rank's attachment point to the fabric.
 pub struct Endpoint {
     rank: usize,
-    rx: Receiver<Envelope>,
     fabric: Fabric,
     next_seq: std::cell::Cell<u64>,
 }
@@ -132,6 +168,26 @@ impl Endpoint {
     /// The fabric this endpoint belongs to.
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// Why a blocked receiver must stop waiting, if it must. Message
+    /// delivery takes precedence: callers check the queue first.
+    fn unblock_reason(&self) -> Option<SimError> {
+        let shared = &self.fabric.shared;
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Some(SimError::Disconnected);
+        }
+        if shared.failed[self.rank].load(Ordering::SeqCst) {
+            return Some(SimError::SelfFailed);
+        }
+        if shared.failure_detection.load(Ordering::SeqCst)
+            && shared.failed_count.load(Ordering::SeqCst) > 0
+        {
+            if let Some(r) = (0..shared.nranks).find(|&r| shared.failed[r].load(Ordering::SeqCst)) {
+                return Some(SimError::PeerFailed { rank: r });
+            }
+        }
+        None
     }
 
     /// Send a raw envelope. The sender's clock first advances by the
@@ -153,7 +209,10 @@ impl Endpoint {
     ) -> SimResult<()> {
         let shared = &self.fabric.shared;
         if dst >= shared.nranks {
-            return Err(SimError::NoSuchRank { rank: dst, nranks: shared.nranks });
+            return Err(SimError::NoSuchRank {
+                rank: dst,
+                nranks: shared.nranks,
+            });
         }
         if shared.failed[self.rank].load(Ordering::SeqCst) {
             return Err(SimError::SelfFailed);
@@ -180,48 +239,58 @@ impl Endpoint {
             seq,
         };
         ctx.count_send(env.len());
-        self.fabric.senders[dst].send(env).map_err(|_| SimError::Disconnected)
+        let mailbox = &shared.mailboxes[dst];
+        mailbox
+            .queue
+            .lock()
+            .expect("mailbox lock poisoned")
+            .push_back(env);
+        mailbox.arrived.notify_one();
+        Ok(())
     }
 
     /// Non-blocking poll for the next raw envelope, in arrival order.
     /// No virtual-time accounting happens here; the caller's matching engine
     /// decides when and how to charge time (see [`RankCtx::arrival_time`]).
     pub fn poll_raw(&self) -> SimResult<Option<Envelope>> {
-        match self.rx.try_recv() {
-            Ok(env) => Ok(Some(env)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(SimError::Disconnected),
-        }
+        let mailbox = &self.fabric.shared.mailboxes[self.rank];
+        Ok(mailbox
+            .queue
+            .lock()
+            .expect("mailbox lock poisoned")
+            .pop_front())
+    }
+
+    /// Batch-drain every envelope currently queued into `into`, acquiring
+    /// the mailbox lock exactly once. Returns how many were appended.
+    ///
+    /// This is the progress engines' fast path: one lock round-trip per
+    /// progress call instead of one per message.
+    pub fn drain_raw_into(&self, into: &mut Vec<Envelope>) -> SimResult<usize> {
+        let mailbox = &self.fabric.shared.mailboxes[self.rank];
+        let mut queue = mailbox.queue.lock().expect("mailbox lock poisoned");
+        let n = queue.len();
+        into.extend(queue.drain(..));
+        Ok(n)
     }
 
     /// Blocking pull of the next raw envelope (no time accounting).
     ///
-    /// Unblocks with an error if the fabric shuts down, or — when failure
-    /// detection is enabled — if any rank has been marked failed.
+    /// Sleeps on the mailbox condvar — no polling. Unblocks with an error
+    /// if the fabric shuts down, or — when failure detection is enabled —
+    /// if any rank has been marked failed; queued messages are always
+    /// delivered before an unblock error is reported.
     pub fn recv_raw(&self) -> SimResult<Envelope> {
+        let mailbox = &self.fabric.shared.mailboxes[self.rank];
+        let mut queue = mailbox.queue.lock().expect("mailbox lock poisoned");
         loop {
-            match self.rx.recv_timeout(POLL_INTERVAL) {
-                Ok(env) => return Ok(env),
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    return Err(SimError::Disconnected)
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    let shared = &self.fabric.shared;
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        return Err(SimError::Disconnected);
-                    }
-                    if shared.failed[self.rank].load(Ordering::SeqCst) {
-                        return Err(SimError::SelfFailed);
-                    }
-                    if shared.failure_detection.load(Ordering::SeqCst) {
-                        if let Some(r) =
-                            (0..shared.nranks).find(|&r| shared.failed[r].load(Ordering::SeqCst))
-                        {
-                            return Err(SimError::PeerFailed { rank: r });
-                        }
-                    }
-                }
+            if let Some(env) = queue.pop_front() {
+                return Ok(env);
             }
+            if let Some(err) = self.unblock_reason() {
+                return Err(err);
+            }
+            queue = mailbox.arrived.wait(queue).expect("mailbox lock poisoned");
         }
     }
 
@@ -245,6 +314,7 @@ mod tests {
     use crate::noise::NoiseModel;
     use crate::rank::RankCtx;
     use std::sync::Arc as StdArc;
+    use std::time::Duration;
 
     fn two_rank_setup() -> (Fabric, Vec<Endpoint>, StdArc<ClusterSpec>) {
         let spec = StdArc::new(ClusterSpec::builder().nodes(1).ranks_per_node(2).build());
@@ -253,7 +323,12 @@ mod tests {
     }
 
     fn ctx_for(rank: usize, spec: &StdArc<ClusterSpec>, ep: Endpoint) -> RankCtx {
-        RankCtx::new(rank, spec.clone(), ep, NoiseModel::disabled().stream_for_rank(rank))
+        RankCtx::new(
+            rank,
+            spec.clone(),
+            ep,
+            NoiseModel::disabled().stream_for_rank(rank),
+        )
     }
 
     #[test]
@@ -283,7 +358,9 @@ mod tests {
         let ctx0 = ctx_for(0, &spec, ep0);
         let ctx1 = ctx_for(1, &spec, ep1);
         for i in 0..16u8 {
-            ctx0.endpoint().send_raw(1, 0, 0, Bytes::from(vec![i]), &ctx0).unwrap();
+            ctx0.endpoint()
+                .send_raw(1, 0, 0, Bytes::from(vec![i]), &ctx0)
+                .unwrap();
         }
         for i in 0..16u8 {
             let env = ctx1.endpoint().recv_raw_blocking(&ctx1).unwrap();
@@ -314,7 +391,10 @@ mod tests {
         fabric.fail_rank(1);
         assert!(fabric.is_failed(1));
         assert_eq!(fabric.failed_ranks(), vec![1]);
-        let err = ctx0.endpoint().send_raw(1, 0, 0, Bytes::new(), &ctx0).unwrap_err();
+        let err = ctx0
+            .endpoint()
+            .send_raw(1, 0, 0, Bytes::new(), &ctx0)
+            .unwrap_err();
         assert_eq!(err, SimError::PeerFailed { rank: 1 });
     }
 
@@ -356,6 +436,27 @@ mod tests {
     }
 
     #[test]
+    fn queued_messages_delivered_before_shutdown_error() {
+        let (fabric, mut eps, spec) = two_rank_setup();
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let ctx0 = ctx_for(0, &spec, ep0);
+        let ctx1 = ctx_for(1, &spec, ep1);
+        ctx0.endpoint()
+            .send_raw(1, 0, 0, Bytes::from_static(b"last"), &ctx0)
+            .unwrap();
+        fabric.shutdown();
+        // The queued message still comes out; only then does the receiver
+        // observe the shutdown.
+        let env = ctx1.endpoint().recv_raw().unwrap();
+        assert_eq!(&env.payload[..], b"last");
+        assert_eq!(
+            ctx1.endpoint().recv_raw().unwrap_err(),
+            SimError::Disconnected
+        );
+    }
+
+    #[test]
     fn poll_raw_is_nonblocking() {
         let (_fabric, mut eps, spec) = two_rank_setup();
         let ep1 = eps.pop().unwrap();
@@ -363,8 +464,51 @@ mod tests {
         let ctx0 = ctx_for(0, &spec, ep0);
         let ctx1 = ctx_for(1, &spec, ep1);
         assert!(ctx1.endpoint().poll_raw().unwrap().is_none());
-        ctx0.endpoint().send_raw(1, 0, 0, Bytes::from_static(b"x"), &ctx0).unwrap();
-        // Channel push is synchronous, so the message is immediately visible.
+        ctx0.endpoint()
+            .send_raw(1, 0, 0, Bytes::from_static(b"x"), &ctx0)
+            .unwrap();
+        // Mailbox push is synchronous, so the message is immediately visible.
         assert!(ctx1.endpoint().poll_raw().unwrap().is_some());
+    }
+
+    #[test]
+    fn drain_collects_everything_in_order() {
+        let (_fabric, mut eps, spec) = two_rank_setup();
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let ctx0 = ctx_for(0, &spec, ep0);
+        let ctx1 = ctx_for(1, &spec, ep1);
+        for i in 0..10u8 {
+            ctx0.endpoint()
+                .send_raw(1, 0, i as i32, Bytes::from(vec![i]), &ctx0)
+                .unwrap();
+        }
+        let mut buf = Vec::new();
+        let n = ctx1.endpoint().drain_raw_into(&mut buf).unwrap();
+        assert_eq!(n, 10);
+        assert_eq!(buf.len(), 10);
+        for (i, env) in buf.iter().enumerate() {
+            assert_eq!(env.payload[0] as usize, i);
+        }
+        // Queue is now empty.
+        assert_eq!(ctx1.endpoint().drain_raw_into(&mut buf).unwrap(), 0);
+        assert!(ctx1.endpoint().poll_raw().unwrap().is_none());
+    }
+
+    #[test]
+    fn small_payloads_ride_inline() {
+        // The ≤64 B fast path: the payload handed to the receiver is the
+        // inline representation — no heap allocation was retained.
+        let (_fabric, mut eps, spec) = two_rank_setup();
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let ctx0 = ctx_for(0, &spec, ep0);
+        let ctx1 = ctx_for(1, &spec, ep1);
+        ctx0.endpoint()
+            .send_raw(1, 0, 0, Bytes::copy_from_slice(&[9u8; 64]), &ctx0)
+            .unwrap();
+        let env = ctx1.endpoint().recv_raw_blocking(&ctx1).unwrap();
+        assert!(env.payload.is_inline());
+        assert_eq!(env.payload.len(), 64);
     }
 }

@@ -22,9 +22,38 @@
 //!
 //! The crate is MPI-agnostic: it moves [`Envelope`]s between endpoints in
 //! FIFO order per sender/receiver pair and accounts time. Message *matching*
-//! (communicator/tag/source semantics) is implemented independently by each
-//! vendor MPI library built on top (`mpich-sim`, `ompi-sim`), mirroring how
-//! real MPI libraries each bring their own progress engine.
+//! (communicator/tag/source semantics) is driven by the vendor MPI
+//! libraries built on top (`mpich-sim`, `ompi-sim`), which share the
+//! indexed matching core in [`matching`] while keeping their own cost
+//! models, mirroring how real MPI progress engines differ in tuning but
+//! agree on matching semantics.
+//!
+//! ## Transport architecture: event-driven mailboxes + indexed matching
+//!
+//! The transport is designed so the *translation and checkpoint layers*
+//! being measured on top of it — not the harness — dominate observed cost:
+//!
+//! * **Zero-poll fabric** ([`fabric`]). Each rank owns a
+//!   `Mutex<VecDeque<Envelope>>` + `Condvar` mailbox. Senders push under
+//!   the destination's lock and `notify_one`; blocked receivers sleep on
+//!   the condvar. [`Fabric::shutdown`] and [`Fabric::fail_rank`] flip an
+//!   atomic flag, briefly acquire each mailbox lock, and `notify_all`, so
+//!   failure-detection latency is one condvar wakeup — there is no
+//!   polling interval, and deadlocked or failed worlds unwind instantly.
+//!   A single `AtomicUsize` failed-rank counter lets receivers check for
+//!   failures without scanning per-rank flags.
+//! * **Indexed matching** ([`matching`]). Unexpected messages are
+//!   bucketed per exact `(ctx_id, src, tag)` triple (FIFO per bucket) and
+//!   stamped with a global arrival sequence at ingest. Fully-specified
+//!   receives are O(1) hash probes; `ANY_SOURCE`/`ANY_TAG` receives
+//!   compare candidate bucket *fronts* by sequence, preserving
+//!   non-overtaking and cross-sender arrival order without a linear scan
+//!   of the queue.
+//! * **Small-message fast path**. Payloads ≤ 64 B are stored inline in
+//!   the `Bytes` handle itself (see the workspace `bytes` shim): no heap
+//!   allocation at send time, no refcount traffic on clone. Progress
+//!   calls batch-drain every queued envelope under one lock acquisition
+//!   ([`Endpoint::drain_raw_into`]) instead of locking per message.
 //!
 //! ## Example
 //!
@@ -54,6 +83,7 @@ pub mod envelope;
 pub mod error;
 pub mod fabric;
 pub mod link;
+pub mod matching;
 pub mod noise;
 pub mod rank;
 pub mod stats;
@@ -65,6 +95,7 @@ pub use envelope::Envelope;
 pub use error::{SimError, SimResult};
 pub use fabric::{Endpoint, Fabric};
 pub use link::{LinkClass, LinkModel};
+pub use matching::{ArrivalModel, MatchCore, MatchedMsg, SrcPattern, TagPattern, WireArrival};
 pub use noise::NoiseModel;
 pub use rank::RankCtx;
 pub use stats::{mean, median, stddev, Summary};

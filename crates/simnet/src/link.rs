@@ -25,7 +25,10 @@ impl LinkModel {
     /// Construct from latency and bandwidth (bytes/second).
     pub fn new(alpha: VirtualTime, bandwidth_bps: f64) -> Self {
         assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
-        LinkModel { alpha, beta_inv_bps: bandwidth_bps }
+        LinkModel {
+            alpha,
+            beta_inv_bps: bandwidth_bps,
+        }
     }
 
     /// Pure serialization time for `m` bytes (the `m·β` term).

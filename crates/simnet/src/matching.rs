@@ -1,0 +1,500 @@
+//! Indexed (context, source, tag) message matching, shared by the vendor
+//! MPI progress engines.
+//!
+//! Real MPI libraries keep an *unexpected message queue* per process;
+//! posted receives first search it, then block on the network. The naive
+//! implementation — one flat queue scanned linearly per receive — costs
+//! O(queue length) even for fully-specified receives. This module keeps
+//! the unexpected store **indexed**:
+//!
+//! * Messages are bucketed by their exact `(ctx_id, src, tag)` triple,
+//!   each bucket a FIFO in arrival order. A fully-specified receive is a
+//!   hash lookup plus a front pop: **O(1)**, no scan.
+//! * Every message is stamped with a per-process **arrival sequence
+//!   number** at ingest. Wildcard receives (`MPI_ANY_SOURCE` /
+//!   `MPI_ANY_TAG`) compare the *front* of each candidate bucket and take
+//!   the globally smallest sequence: O(#live buckets in the context), not
+//!   O(#queued messages).
+//!
+//! Why this preserves MPI's matching semantics: the fabric delivers
+//! per-(src, dst) FIFO, and ingest stamps sequence numbers in delivery
+//! order, so within a bucket (one sender, one tag, one context) sequence
+//! order *is* send order — exact matches pop in send order
+//! (non-overtaking). Across buckets, a wildcard receive picks the
+//! matching message with the minimal sequence number over all candidate
+//! bucket fronts; any other matching message in those buckets has a
+//! larger sequence, so no later message from the same sender can overtake
+//! an earlier one, and cross-sender selection follows arrival order,
+//! which is how a hardware matching unit breaks wildcard ties.
+//!
+//! Vendor cost models stay pluggable: an [`ArrivalModel`] maps a raw
+//! envelope to its arrival time at this rank (MPICH's ch3:sock adds a
+//! small-message progress-engine latency; Open MPI's OB1 uses the wire
+//! arrival as-is). Jitter is drawn exactly once per message, at ingest.
+//!
+//! Ingest itself is batched: one [`crate::fabric::Endpoint::drain_raw_into`]
+//! per progress call moves every queued envelope under a single lock
+//! acquisition instead of one lock round-trip per message.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+use crate::envelope::Envelope;
+use crate::error::SimResult;
+use crate::rank::RankCtx;
+use crate::time::VirtualTime;
+
+/// Maps a raw envelope to its arrival time at this rank — the hook where
+/// vendor progress-engine cost models plug in.
+pub trait ArrivalModel {
+    /// When `env` becomes visible to the matching engine on this rank.
+    fn arrival(&self, ctx: &RankCtx, env: &Envelope) -> VirtualTime {
+        ctx.arrival_time(env)
+    }
+}
+
+/// The default model: wire arrival time only (departure + link latency
+/// with the receiver's jitter factor), no extra engine cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WireArrival;
+
+impl ArrivalModel for WireArrival {}
+
+/// Source pattern of a posted receive (world ranks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcPattern {
+    /// `MPI_ANY_SOURCE`.
+    Any,
+    /// A specific world rank.
+    Is(usize),
+}
+
+/// Tag pattern of a posted receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagPattern {
+    /// `MPI_ANY_TAG`.
+    Any,
+    /// A specific tag.
+    Is(i32),
+}
+
+/// A message delivered by the matcher: the envelope, its arrival time
+/// (jitter drawn exactly once, at ingest), and its per-process arrival
+/// sequence number.
+#[derive(Debug, Clone)]
+pub struct MatchedMsg {
+    /// The message.
+    pub env: Envelope,
+    /// When it reached this rank, per the engine's [`ArrivalModel`].
+    pub arrival: VirtualTime,
+    /// Global arrival order at this rank (monotonic per process).
+    pub seq: u64,
+}
+
+/// Exact-match bucket key.
+type Key = (u64, usize, i32);
+
+/// The shared indexed matching core. One per rank per vendor engine.
+pub struct MatchCore<M: ArrivalModel = WireArrival> {
+    model: M,
+    /// Per-(ctx, src, tag) FIFO buckets in arrival order.
+    buckets: HashMap<Key, VecDeque<MatchedMsg>>,
+    /// Secondary index for wildcard scans: exactly the keys of live
+    /// (nonempty) buckets, grouped by context id. Kept in lockstep with
+    /// `buckets` on insert and evict.
+    by_ctx: HashMap<u64, Vec<Key>>,
+    /// Next arrival sequence number.
+    next_seq: u64,
+    /// Total queued messages across all buckets.
+    total: usize,
+    /// Reused batch-drain buffer (amortizes the per-pump allocation).
+    scratch: Vec<Envelope>,
+}
+
+impl<M: ArrivalModel + Default> Default for MatchCore<M> {
+    fn default() -> Self {
+        MatchCore::with_model(M::default())
+    }
+}
+
+impl MatchCore<WireArrival> {
+    /// An empty core with the default wire-arrival cost model.
+    pub fn new() -> Self {
+        MatchCore::default()
+    }
+}
+
+impl<M: ArrivalModel> MatchCore<M> {
+    /// An empty core with a vendor-specific arrival cost model.
+    pub fn with_model(model: M) -> Self {
+        MatchCore {
+            model,
+            buckets: HashMap::new(),
+            by_ctx: HashMap::new(),
+            next_seq: 0,
+            total: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The vendor cost model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Number of queued unexpected messages (diagnostics / drain).
+    pub fn unexpected_len(&self) -> usize {
+        self.total
+    }
+
+    /// Stamp, cost, and index one envelope.
+    fn ingest(&mut self, ctx: &RankCtx, env: Envelope) {
+        let arrival = self.model.arrival(ctx, &env);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = (env.ctx_id, env.src, env.tag);
+        match self.buckets.entry(key) {
+            Entry::Occupied(mut o) => o.get_mut().push_back(MatchedMsg { env, arrival, seq }),
+            Entry::Vacant(v) => {
+                // Invariant: a key is in by_ctx iff its bucket exists, so
+                // a vacant bucket means the key is not yet indexed.
+                v.insert(VecDeque::from([MatchedMsg { env, arrival, seq }]));
+                self.by_ctx.entry(key.0).or_default().push(key);
+            }
+        }
+        self.total += 1;
+    }
+
+    /// Batch-drain everything currently on the wire into the index:
+    /// exactly one mailbox lock acquisition per call.
+    pub fn pump(&mut self, ctx: &RankCtx) -> SimResult<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        ctx.endpoint().drain_raw_into(&mut scratch)?;
+        for env in scratch.drain(..) {
+            self.ingest(ctx, env);
+        }
+        self.scratch = scratch;
+        Ok(())
+    }
+
+    /// The bucket key holding the first match for the pattern, if any.
+    /// Exact patterns are a single hash probe; wildcard patterns compare
+    /// candidate bucket fronts by arrival sequence.
+    fn locate(&self, ctx_id: u64, src: SrcPattern, tag: TagPattern) -> Option<Key> {
+        if let (SrcPattern::Is(s), TagPattern::Is(t)) = (src, tag) {
+            let key = (ctx_id, s, t);
+            return self.buckets.contains_key(&key).then_some(key);
+        }
+        // by_ctx tracks exactly the live (nonempty) buckets: pick the
+        // pattern-matching front with the smallest arrival sequence.
+        let keys = self.by_ctx.get(&ctx_id)?;
+        let mut best: Option<(u64, Key)> = None;
+        for &key in keys.iter() {
+            let (_, ksrc, ktag) = key;
+            let src_ok = match src {
+                SrcPattern::Any => true,
+                SrcPattern::Is(s) => ksrc == s,
+            };
+            let tag_ok = match tag {
+                TagPattern::Any => true,
+                TagPattern::Is(t) => ktag == t,
+            };
+            if !src_ok || !tag_ok {
+                continue;
+            }
+            let front_seq = self.buckets[&key]
+                .front()
+                .expect("indexed buckets are nonempty")
+                .seq;
+            if best.is_none_or(|(seq, _)| front_seq < seq) {
+                best = Some((front_seq, key));
+            }
+        }
+        best.map(|(_, key)| key)
+    }
+
+    /// Non-blocking match: pump the wire, then deliver the first matching
+    /// message in arrival order, if one is here. Consumes the message and
+    /// records it in the rank's receive counters.
+    pub fn try_match(
+        &mut self,
+        ctx: &RankCtx,
+        ctx_id: u64,
+        src: SrcPattern,
+        tag: TagPattern,
+    ) -> SimResult<Option<MatchedMsg>> {
+        self.pump(ctx)?;
+        Ok(self.take_located(ctx, ctx_id, src, tag))
+    }
+
+    fn take_located(
+        &mut self,
+        ctx: &RankCtx,
+        ctx_id: u64,
+        src: SrcPattern,
+        tag: TagPattern,
+    ) -> Option<MatchedMsg> {
+        let key = self.locate(ctx_id, src, tag)?;
+        let bucket = self.buckets.get_mut(&key).expect("located bucket exists");
+        let msg = bucket.pop_front().expect("located bucket nonempty");
+        // Evict emptied buckets — and their by_ctx index entries — so no
+        // per-(ctx, src, tag) state accumulates over communicator churn.
+        if bucket.is_empty() {
+            self.buckets.remove(&key);
+            if let Some(keys) = self.by_ctx.get_mut(&key.0) {
+                if let Some(pos) = keys.iter().position(|k| *k == key) {
+                    keys.swap_remove(pos);
+                }
+                if keys.is_empty() {
+                    self.by_ctx.remove(&key.0);
+                }
+            }
+        }
+        self.total -= 1;
+        ctx.count_recv(msg.env.len());
+        Some(msg)
+    }
+
+    /// Blocking match: waits (event-driven, no polling) for a matching
+    /// message.
+    pub fn match_blocking(
+        &mut self,
+        ctx: &RankCtx,
+        ctx_id: u64,
+        src: SrcPattern,
+        tag: TagPattern,
+    ) -> SimResult<MatchedMsg> {
+        loop {
+            if let Some(m) = self.try_match(ctx, ctx_id, src, tag)? {
+                return Ok(m);
+            }
+            // Nothing matched and the wire is drained: sleep until the
+            // next envelope (or a shutdown/failure wakeup), then retry —
+            // the retry's pump batch-drains anything else that arrived.
+            let env = ctx.endpoint().recv_raw()?;
+            self.ingest(ctx, env);
+        }
+    }
+
+    /// Non-blocking peek (for `MPI_Iprobe`): like [`MatchCore::try_match`]
+    /// but leaves the message queued and does not count a receive.
+    pub fn try_peek(
+        &mut self,
+        ctx: &RankCtx,
+        ctx_id: u64,
+        src: SrcPattern,
+        tag: TagPattern,
+    ) -> SimResult<Option<MatchedMsg>> {
+        self.pump(ctx)?;
+        let key = match self.locate(ctx_id, src, tag) {
+            Some(key) => key,
+            None => return Ok(None),
+        };
+        Ok(self.buckets[&key].front().cloned())
+    }
+
+    /// Blocking peek (for `MPI_Probe`).
+    pub fn peek_blocking(
+        &mut self,
+        ctx: &RankCtx,
+        ctx_id: u64,
+        src: SrcPattern,
+        tag: TagPattern,
+    ) -> SimResult<MatchedMsg> {
+        loop {
+            if let Some(m) = self.try_peek(ctx, ctx_id, src, tag)? {
+                return Ok(m);
+            }
+            let env = ctx.endpoint().recv_raw()?;
+            self.ingest(ctx, env);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::fabric::Fabric;
+    use crate::noise::NoiseModel;
+    use bytes::Bytes;
+    use std::sync::Arc;
+
+    fn pair() -> (RankCtx, RankCtx) {
+        let spec = Arc::new(ClusterSpec::builder().nodes(1).ranks_per_node(2).build());
+        let (_fabric, mut eps) = Fabric::new(&spec);
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        (
+            RankCtx::new(
+                0,
+                spec.clone(),
+                ep0,
+                NoiseModel::disabled().stream_for_rank(0),
+            ),
+            RankCtx::new(1, spec, ep1, NoiseModel::disabled().stream_for_rank(1)),
+        )
+    }
+
+    fn send(c: &RankCtx, dst: usize, ctx_id: u64, tag: i32, data: &[u8]) {
+        c.endpoint()
+            .send_raw(dst, ctx_id, tag, Bytes::copy_from_slice(data), c)
+            .unwrap();
+    }
+
+    #[test]
+    fn exact_match_pops_fifo_per_key() {
+        let (c0, c1) = pair();
+        for i in 0..8u8 {
+            send(&c0, 1, 3, 7, &[i]);
+        }
+        let mut core = MatchCore::new();
+        for i in 0..8u8 {
+            let m = core
+                .try_match(&c1, 3, SrcPattern::Is(0), TagPattern::Is(7))
+                .unwrap()
+                .unwrap();
+            assert_eq!(m.env.payload[0], i);
+        }
+        assert_eq!(core.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn wildcard_follows_global_arrival_order() {
+        let (c0, c1) = pair();
+        send(&c0, 1, 3, 42, b"first");
+        send(&c0, 1, 3, 43, b"second");
+        send(&c0, 1, 3, 42, b"third");
+        let mut core = MatchCore::new();
+        let a = core
+            .try_match(&c1, 3, SrcPattern::Any, TagPattern::Any)
+            .unwrap()
+            .unwrap();
+        let b = core
+            .try_match(&c1, 3, SrcPattern::Any, TagPattern::Any)
+            .unwrap()
+            .unwrap();
+        let c = core
+            .try_match(&c1, 3, SrcPattern::Any, TagPattern::Any)
+            .unwrap()
+            .unwrap();
+        assert_eq!(&a.env.payload[..], b"first");
+        assert_eq!(&b.env.payload[..], b"second");
+        assert_eq!(&c.env.payload[..], b"third");
+        assert!(a.seq < b.seq && b.seq < c.seq);
+    }
+
+    #[test]
+    fn contexts_are_isolated() {
+        let (c0, c1) = pair();
+        send(&c0, 1, 10, 0, b"ten");
+        send(&c0, 1, 20, 0, b"twenty");
+        let mut core = MatchCore::new();
+        let got = core
+            .try_match(&c1, 20, SrcPattern::Any, TagPattern::Any)
+            .unwrap()
+            .unwrap();
+        assert_eq!(&got.env.payload[..], b"twenty");
+        assert_eq!(core.unexpected_len(), 1);
+        assert!(core
+            .try_match(&c1, 99, SrcPattern::Any, TagPattern::Any)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn peek_leaves_message_and_keeps_arrival_stable() {
+        let (c0, c1) = pair();
+        send(&c0, 1, 3, 7, b"x");
+        let mut core = MatchCore::new();
+        let p = core
+            .try_peek(&c1, 3, SrcPattern::Any, TagPattern::Any)
+            .unwrap()
+            .unwrap();
+        assert_eq!(core.unexpected_len(), 1);
+        let m = core
+            .try_match(&c1, 3, SrcPattern::Any, TagPattern::Any)
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.arrival, m.arrival, "jitter drawn exactly once, at ingest");
+        assert_eq!(core.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn empty_buckets_are_pruned_and_reusable() {
+        let (c0, c1) = pair();
+        let mut core = MatchCore::new();
+        for round in 0..3 {
+            send(&c0, 1, 5, 1, &[round]);
+            send(&c0, 1, 5, 2, &[round]);
+            let a = core
+                .try_match(&c1, 5, SrcPattern::Any, TagPattern::Is(1))
+                .unwrap()
+                .unwrap();
+            let b = core
+                .try_match(&c1, 5, SrcPattern::Any, TagPattern::Is(2))
+                .unwrap()
+                .unwrap();
+            assert_eq!(a.env.payload[0], round);
+            assert_eq!(b.env.payload[0], round);
+        }
+        // Emptied buckets are evicted and their index entries follow:
+        // no per-key or per-context state accumulates.
+        assert!(core.buckets.is_empty());
+        assert!(core.by_ctx.is_empty());
+    }
+
+    #[test]
+    fn mixed_exact_and_wildcard_respect_non_overtaking() {
+        let (c0, c1) = pair();
+        // Same (src, tag): an exact receive and a wildcard receive must
+        // both observe send order.
+        for i in 0..4u8 {
+            send(&c0, 1, 9, 5, &[i]);
+        }
+        let mut core = MatchCore::new();
+        let a = core
+            .try_match(&c1, 9, SrcPattern::Is(0), TagPattern::Is(5))
+            .unwrap()
+            .unwrap();
+        let b = core
+            .try_match(&c1, 9, SrcPattern::Any, TagPattern::Any)
+            .unwrap()
+            .unwrap();
+        let c = core
+            .try_match(&c1, 9, SrcPattern::Is(0), TagPattern::Any)
+            .unwrap()
+            .unwrap();
+        let d = core
+            .try_match(&c1, 9, SrcPattern::Any, TagPattern::Is(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            [
+                a.env.payload[0],
+                b.env.payload[0],
+                c.env.payload[0],
+                d.env.payload[0]
+            ],
+            [0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn custom_arrival_model_is_applied_once_at_ingest() {
+        struct PlusTen;
+        impl ArrivalModel for PlusTen {
+            fn arrival(&self, ctx: &RankCtx, env: &Envelope) -> VirtualTime {
+                ctx.arrival_time(env) + VirtualTime::from_micros(10)
+            }
+        }
+        let (c0, c1) = pair();
+        send(&c0, 1, 0, 0, b"y");
+        let mut core = MatchCore::with_model(PlusTen);
+        let m = core
+            .try_match(&c1, 0, SrcPattern::Is(0), TagPattern::Is(0))
+            .unwrap()
+            .unwrap();
+        assert!(m.arrival >= VirtualTime::from_micros(10));
+    }
+}

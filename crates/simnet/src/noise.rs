@@ -23,7 +23,10 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// No jitter: fully deterministic timing (the default for tests).
     pub fn disabled() -> NoiseModel {
-        NoiseModel { rel_sigma: 0.0, seed: 0 }
+        NoiseModel {
+            rel_sigma: 0.0,
+            seed: 0,
+        }
     }
 
     /// Jitter with the given relative sigma and seed.
@@ -31,7 +34,10 @@ impl NoiseModel {
     /// `rel_sigma` around 0.05–0.15 reproduces error bars of the magnitude
     /// seen in the paper's Figs. 4 and 5.
     pub fn with_sigma(rel_sigma: f64, seed: u64) -> NoiseModel {
-        assert!((0.0..1.0).contains(&rel_sigma), "rel_sigma must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&rel_sigma),
+            "rel_sigma must be in [0, 1)"
+        );
         NoiseModel { rel_sigma, seed }
     }
 
@@ -42,7 +48,10 @@ impl NoiseModel {
 
     /// Create the per-rank jitter stream.
     pub fn stream_for_rank(&self, rank: usize) -> NoiseStream {
-        NoiseStream::new(self.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15), self.rel_sigma)
+        NoiseStream::new(
+            self.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            self.rel_sigma,
+        )
     }
 }
 
@@ -56,7 +65,10 @@ pub struct NoiseStream {
 impl NoiseStream {
     fn new(seed: u64, rel_sigma: f64) -> NoiseStream {
         // xorshift* must not start at zero.
-        NoiseStream { state: seed | 1, rel_sigma }
+        NoiseStream {
+            state: seed | 1,
+            rel_sigma,
+        }
     }
 
     /// Next raw 64-bit value (xorshift64*).
@@ -105,19 +117,25 @@ mod tests {
     #[test]
     fn streams_are_deterministic_per_seed_and_rank() {
         let model = NoiseModel::with_sigma(0.1, 42);
-        let a: Vec<f64> = (0..32).map({
-            let mut s = model.stream_for_rank(5);
-            move |_| s.factor()
-        }).collect();
-        let b: Vec<f64> = (0..32).map({
-            let mut s = model.stream_for_rank(5);
-            move |_| s.factor()
-        }).collect();
+        let a: Vec<f64> = (0..32)
+            .map({
+                let mut s = model.stream_for_rank(5);
+                move |_| s.factor()
+            })
+            .collect();
+        let b: Vec<f64> = (0..32)
+            .map({
+                let mut s = model.stream_for_rank(5);
+                move |_| s.factor()
+            })
+            .collect();
         assert_eq!(a, b);
-        let c: Vec<f64> = (0..32).map({
-            let mut s = model.stream_for_rank(6);
-            move |_| s.factor()
-        }).collect();
+        let c: Vec<f64> = (0..32)
+            .map({
+                let mut s = model.stream_for_rank(6);
+                move |_| s.factor()
+            })
+            .collect();
         assert_ne!(a, c, "different ranks must get different streams");
     }
 

@@ -174,7 +174,12 @@ mod tests {
     fn make_ctx() -> RankCtx {
         let spec = Arc::new(ClusterSpec::builder().nodes(1).ranks_per_node(1).build());
         let (_fabric, mut eps) = Fabric::new(&spec);
-        RankCtx::new(0, spec, eps.pop().unwrap(), NoiseModel::disabled().stream_for_rank(0))
+        RankCtx::new(
+            0,
+            spec,
+            eps.pop().unwrap(),
+            NoiseModel::disabled().stream_for_rank(0),
+        )
     }
 
     #[test]
@@ -192,11 +197,19 @@ mod tests {
     #[test]
     fn compute_scales_with_cpu_speed() {
         let spec = Arc::new(
-            ClusterSpec::builder().nodes(1).ranks_per_node(1).cpu_speed(2.0).build(),
+            ClusterSpec::builder()
+                .nodes(1)
+                .ranks_per_node(1)
+                .cpu_speed(2.0)
+                .build(),
         );
         let (_fabric, mut eps) = Fabric::new(&spec);
-        let ctx =
-            RankCtx::new(0, spec, eps.pop().unwrap(), NoiseModel::disabled().stream_for_rank(0));
+        let ctx = RankCtx::new(
+            0,
+            spec,
+            eps.pop().unwrap(),
+            NoiseModel::disabled().stream_for_rank(0),
+        );
         ctx.compute(VirtualTime::from_micros(10));
         // Twice as fast a CPU: half the time.
         assert_eq!(ctx.now(), VirtualTime::from_micros(5));

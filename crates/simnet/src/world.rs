@@ -26,7 +26,10 @@ impl<R> WorldOutcome<R> {
     /// The makespan: the maximum final clock over all ranks — what a user
     /// would observe as the job's completion time.
     pub fn makespan(&self) -> VirtualTime {
-        self.clocks.iter().copied().fold(VirtualTime::ZERO, VirtualTime::max)
+        self.clocks
+            .iter()
+            .copied()
+            .fold(VirtualTime::ZERO, VirtualTime::max)
     }
 }
 
@@ -116,8 +119,7 @@ impl World {
             for handle in handles {
                 // The closure itself contains panics, so join only fails if
                 // the containment machinery is broken; propagate in that case.
-                let (rank, res, clock, counters) =
-                    handle.join().expect("rank thread join failed");
+                let (rank, res, clock, counters) = handle.join().expect("rank thread join failed");
                 slots[rank] = Some((res, clock, counters));
             }
         });
@@ -141,7 +143,11 @@ impl World {
         }
         match first_err {
             Some(e) => Err(e),
-            None => Ok(WorldOutcome { results, clocks, counters }),
+            None => Ok(WorldOutcome {
+                results,
+                clocks,
+                counters,
+            }),
         }
     }
 }
@@ -176,13 +182,8 @@ mod tests {
         let outcome = World::run(&spec, |ctx| {
             let n = ctx.nranks();
             let next = (ctx.rank() + 1) % n;
-            ctx.endpoint().send_raw(
-                next,
-                0,
-                1,
-                Bytes::from(vec![ctx.rank() as u8]),
-                &ctx,
-            )?;
+            ctx.endpoint()
+                .send_raw(next, 0, 1, Bytes::from(vec![ctx.rank() as u8]), &ctx)?;
             let env = ctx.endpoint().recv_raw_blocking(&ctx)?;
             Ok(env.payload[0] as usize)
         })
@@ -231,7 +232,10 @@ mod tests {
     fn invalid_spec_rejected_up_front() {
         let mut spec = ClusterSpec::discovery();
         spec.nodes = 0;
-        assert!(matches!(World::run(&spec, |_| Ok(())), Err(SimError::InvalidConfig(_))));
+        assert!(matches!(
+            World::run(&spec, |_| Ok(())),
+            Err(SimError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -242,7 +246,8 @@ mod tests {
                 let n = ctx.nranks();
                 let next = (ctx.rank() + 1) % n;
                 for _ in 0..8 {
-                    ctx.endpoint().send_raw(next, 0, 0, Bytes::from(vec![0u8; 256]), &ctx)?;
+                    ctx.endpoint()
+                        .send_raw(next, 0, 0, Bytes::from(vec![0u8; 256]), &ctx)?;
                     ctx.endpoint().recv_raw_blocking(&ctx)?;
                 }
                 Ok(ctx.now())

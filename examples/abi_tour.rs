@@ -14,7 +14,10 @@ use mpi_stool::stool::{Session, Vendor};
 
 fn main() {
     println!("== 1. The incompatibility: the *same names* have different bits\n");
-    println!("{:<22} {:>18} {:>18}", "symbol", "MPICH flavour", "Open MPI flavour");
+    println!(
+        "{:<22} {:>18} {:>18}",
+        "symbol", "MPICH flavour", "Open MPI flavour"
+    );
     println!(
         "{:<22} {:>18} {:>18}",
         "MPI_COMM_WORLD",
@@ -29,11 +32,15 @@ fn main() {
     );
     println!(
         "{:<22} {:>18} {:>18}",
-        "MPI_ANY_SOURCE", mpih::MPI_ANY_SOURCE, ompi_h::MPI_ANY_SOURCE
+        "MPI_ANY_SOURCE",
+        mpih::MPI_ANY_SOURCE,
+        ompi_h::MPI_ANY_SOURCE
     );
     println!(
         "{:<22} {:>18} {:>18}",
-        "MPI_PROC_NULL", mpih::MPI_PROC_NULL, ompi_h::MPI_PROC_NULL
+        "MPI_PROC_NULL",
+        mpih::MPI_PROC_NULL,
+        ompi_h::MPI_PROC_NULL
     );
     println!("\nMPICH encodes handles as 32-bit integers with kind/size bit fields;");
     println!("Open MPI hands out addresses of library-owned structs. A binary that");
@@ -41,9 +48,19 @@ fn main() {
 
     println!("\n== 2. The standard ABI: one representation, fixed forever\n");
     let w = Handle::COMM_WORLD;
-    println!("ABI MPI_COMM_WORLD    = {:#018x}  (kind={:?}, index={})", w.raw(), w.kind(), w.index());
+    println!(
+        "ABI MPI_COMM_WORLD    = {:#018x}  (kind={:?}, index={})",
+        w.raw(),
+        w.kind(),
+        w.index()
+    );
     let d = Handle::predefined(HandleKind::Datatype, 12);
-    println!("ABI predefined handle = {:#018x}  (kind={:?}, index={})", d.raw(), d.kind(), d.index());
+    println!(
+        "ABI predefined handle = {:#018x}  (kind={:?}, index={})",
+        d.raw(),
+        d.kind(),
+        d.index()
+    );
     println!("ABI MPI_ANY_SOURCE    = {}", consts::ANY_SOURCE);
     println!("ABI MPI_PROC_NULL     = {}", consts::PROC_NULL);
 
@@ -61,7 +78,9 @@ fn main() {
             let rank = app.pmpi().rank(Handle::COMM_WORLD)?;
             if rank == 0 {
                 app.mem.set_u64("probe.size", size as u64);
-                app.mem.bytes_mut("probe.version", 0).extend_from_slice(version.as_bytes());
+                app.mem
+                    .bytes_mut("probe.version", 0)
+                    .extend_from_slice(version.as_bytes());
             }
             Ok(())
         }

@@ -20,7 +20,10 @@ use mpi_stool::stool::{Checkpointer, CkptMode, Session, Vendor};
 fn main() {
     // The job: a Lennard-Jones MD simulation, 4x4x4 unit cells per rank
     // direction, 60 velocity-Verlet steps with halo exchange every step.
-    let job = CoMdMini { nsteps: 60, ..CoMdMini::default() };
+    let job = CoMdMini {
+        nsteps: 60,
+        ..CoMdMini::default()
+    };
 
     // Cluster A: old CentOS-7-era kernel (no userspace FSGSBASE — the
     // paper's Discovery cluster), 10 GbE, Open MPI preferred.

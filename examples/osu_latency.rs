@@ -53,7 +53,10 @@ fn main() {
     let cluster = ClusterSpec::builder().nodes(4).ranks_per_node(4).build();
 
     println!("# {}", kernel.title());
-    println!("# {} ranks on 4 nodes, 10 GbE, CentOS-7-era kernel", cluster.nranks());
+    println!(
+        "# {} ranks on 4 nodes, 10 GbE, CentOS-7-era kernel",
+        cluster.nranks()
+    );
     println!(
         "{:>9}  {:>12} {:>12} {:>9}   {:>12} {:>12} {:>9}",
         "bytes", "mpich", "+muk+mana", "ovhd", "ompi", "+muk+mana", "ovhd"

@@ -17,7 +17,10 @@ fn main() {
     let cluster = ClusterSpec::builder().nodes(2).ranks_per_node(2).build();
 
     // The "application binary": written once against the standard ABI.
-    let program = RingPings { rounds: 8, payload: 64 };
+    let program = RingPings {
+        rounds: 8,
+        payload: 64,
+    };
 
     // Leg 2 of the stool: choose the MPI library freely.
     for vendor in [Vendor::Mpich, Vendor::OpenMpi] {

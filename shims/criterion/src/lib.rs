@@ -1,0 +1,355 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of criterion's API this workspace uses
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`) with a simple
+//! median-of-samples wall-clock measurement and a text report on stdout.
+//! When the binary is invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets) each benchmark runs exactly once as a
+//! smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the compiler from optimizing away a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Run mode parsed from the command line.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (default under `cargo bench`).
+    Measure,
+    /// One iteration per benchmark (under `cargo test`).
+    Smoke,
+}
+
+/// The top-level harness handle passed to benchmark functions.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut mode = Mode::Measure;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => mode = Mode::Smoke,
+                // Flags (with values) that cargo/criterion conventionally
+                // pass; accept and ignore them.
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--measurement-time" | "--warm-up-time" | "--sample-size" | "--output-format" => {
+                    if let Some(next) = args.peek() {
+                        if !next.starts_with('-') && arg != "--bench" {
+                            args.next();
+                        }
+                    }
+                }
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            mode,
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(name.to_string(), sample_size, f);
+        self
+    }
+
+    fn matches_filter(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches_filter(&id) {
+            return;
+        }
+        let samples = match self.mode {
+            Mode::Smoke => 1,
+            Mode::Measure => sample_size,
+        };
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                per_iter.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("benchmark times are finite"));
+        let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0.0);
+        let lo = per_iter.first().copied().unwrap_or(0.0);
+        let hi = per_iter.last().copied().unwrap_or(0.0);
+        println!(
+            "{:<56} time: [{} {} {}]",
+            id,
+            HumanTime(lo),
+            HumanTime(median),
+            HumanTime(hi)
+        );
+    }
+}
+
+struct HumanTime(f64);
+
+impl fmt::Display for HumanTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s < 1e-6 {
+            write!(f, "{:.3} ns", s * 1e9)
+        } else if s < 1e-3 {
+            write!(f, "{:.3} µs", s * 1e6)
+        } else if s < 1.0 {
+            write!(f, "{:.3} ms", s * 1e3)
+        } else {
+            write!(f, "{:.3} s", s)
+        }
+    }
+}
+
+/// A benchmark group: shares a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in ignores target times.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size
+            .unwrap_or(self.criterion.default_sample_size)
+    }
+
+    /// Benchmark a closure under `group_name/id`.
+    pub fn bench_function<S: IntoBenchmarkId, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let samples = self.effective_samples();
+        self.criterion.run_one(full, samples, f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<S: IntoBenchmarkId, I: ?Sized, F>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let samples = self.effective_samples();
+        self.criterion.run_one(full, samples, |b| f(b, input));
+        self
+    }
+
+    /// End the group (report flushing is a no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form, as in criterion.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into the string id used for reporting.
+pub trait IntoBenchmarkId {
+    /// Render to the display id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; times the hot loop.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup call outside the timed region.
+        black_box(routine());
+        let iters = 3u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+
+    /// Caller-timed loop: `routine` receives an iteration count and
+    /// returns the elapsed time for exactly that many iterations. Lets
+    /// benchmarks exclude per-iteration setup (sleeps, resets) from the
+    /// measurement.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let iters = 3u64;
+        self.elapsed += routine(iters);
+        self.iters += iters;
+    }
+
+    /// Time `routine` on values produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let iters = 3u64;
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+}
+
+/// Batch sizing hint (ignored by the stand-in).
+#[derive(Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Declare a benchmark group: `criterion_group!(benches, fn_a, fn_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`: `criterion_main!(benches);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: None,
+            default_sample_size: 3,
+        };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("encode", 128).into_benchmark_id();
+        assert_eq!(id, "encode/128");
+    }
+}

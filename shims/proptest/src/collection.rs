@@ -1,0 +1,75 @@
+//! Collection strategies (`collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification accepted by [`vec`]: a fixed size or a range.
+pub trait IntoSizeRange {
+    /// Lower and exclusive upper bound on the length.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty vec size range");
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+/// `vec(element, size)`: a vector strategy. `size` may be a `usize`
+/// (exact length) or a range of lengths.
+pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S> {
+    let (min, max_exclusive) = size.bounds();
+    VecStrategy {
+        element,
+        min,
+        max_exclusive,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.max_exclusive - self.min) as u64;
+        let len = self.min + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::deterministic("collection");
+        let fixed = vec(0u8..10, 4usize);
+        let ranged = vec(0u8..10, 2..6usize);
+        for _ in 0..100 {
+            assert_eq!(fixed.generate(&mut rng).len(), 4);
+            let v = ranged.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Sampling strategies (`sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly from a fixed set of values.
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// `select(options)`: uniform choice from `options`. Panics if empty.
+pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_options_eventually() {
+        let mut rng = TestRng::deterministic("sample");
+        let s = select(vec!['a', 'b', 'c']);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

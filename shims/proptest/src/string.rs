@@ -1,0 +1,280 @@
+//! Generating strings that match a regex-like pattern literal.
+//!
+//! Supports the subset proptest users actually write in strategies:
+//! literal characters, `\`-escapes, character classes `[a-z0-9_.]`
+//! (including ranges and literal members), groups `(...)`, alternation
+//! `a|b`, and the quantifiers `?`, `*`, `+`, `{n}`, `{m,n}`.
+//! Unbounded quantifiers cap at 8 repetitions.
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Sequence of alternatives: generate one branch uniformly.
+    Alt(Vec<Vec<Node>>),
+    Literal(char),
+    /// Flattened class members.
+    Class(Vec<char>),
+    /// `.`: any printable ASCII.
+    Dot,
+    Repeat(Box<Node>, u32, u32),
+    Group(Vec<Node>),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported pattern {:?}: {what}", self.pattern);
+    }
+
+    /// Parse a full alternation (the top level and group bodies).
+    fn parse_alt(&mut self) -> Node {
+        let mut branches = vec![Vec::new()];
+        loop {
+            match self.chars.peek() {
+                None | Some(')') => break,
+                Some('|') => {
+                    self.chars.next();
+                    branches.push(Vec::new());
+                }
+                Some(_) => {
+                    let atom = self.parse_atom();
+                    let atom = self.parse_quantifier(atom);
+                    branches.last_mut().expect("nonempty").push(atom);
+                }
+            }
+        }
+        if branches.len() == 1 {
+            Node::Group(branches.pop().expect("nonempty"))
+        } else {
+            Node::Alt(branches)
+        }
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alt();
+                match self.chars.next() {
+                    Some(')') => inner,
+                    _ => self.fail("unclosed group"),
+                }
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => match self.chars.next() {
+                Some(
+                    c @ ('.' | '\\' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '?' | '*' | '+'
+                    | '-' | '^' | '$'),
+                ) => Node::Literal(c),
+                Some('d') => Node::Class(('0'..='9').collect()),
+                Some('w') => Node::Class(
+                    ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(['_'])
+                        .collect(),
+                ),
+                Some('s') => Node::Class(vec![' ', '\t']),
+                _ => self.fail("unsupported escape"),
+            },
+            Some('.') => Node::Dot,
+            Some(c @ ('?' | '*' | '+' | '{' | '}' | ']')) => {
+                self.fail(&format!("dangling metacharacter {c:?}"))
+            }
+            Some(c) => Node::Literal(c),
+            None => self.fail("unexpected end"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut members = Vec::new();
+        if self.chars.peek() == Some(&'^') {
+            self.fail("negated classes");
+        }
+        loop {
+            match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => match self.chars.next() {
+                    Some(c) => members.push(c),
+                    None => self.fail("unterminated class escape"),
+                },
+                Some(lo) => {
+                    if self.chars.peek() == Some(&'-') {
+                        self.chars.next();
+                        match self.chars.peek() {
+                            Some(']') | None => {
+                                members.push(lo);
+                                members.push('-');
+                            }
+                            Some(&hi) => {
+                                self.chars.next();
+                                if lo > hi {
+                                    self.fail("inverted class range");
+                                }
+                                members.extend(lo..=hi);
+                            }
+                        }
+                    } else {
+                        members.push(lo);
+                    }
+                }
+                None => self.fail("unterminated class"),
+            }
+        }
+        if members.is_empty() {
+            self.fail("empty class");
+        }
+        Node::Class(members)
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut bounds = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(c) => bounds.push(c),
+                        None => self.fail("unterminated quantifier"),
+                    }
+                }
+                let (lo, hi) = match bounds.split_once(',') {
+                    None => {
+                        let n: u32 = bounds
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| self.fail("bad {n}"));
+                        (n, n)
+                    }
+                    Some((lo, hi)) => {
+                        let lo: u32 = lo.trim().parse().unwrap_or_else(|_| self.fail("bad {m,n}"));
+                        let hi: u32 = if hi.trim().is_empty() {
+                            lo + UNBOUNDED_CAP
+                        } else {
+                            hi.trim().parse().unwrap_or_else(|_| self.fail("bad {m,n}"))
+                        };
+                        (lo, hi)
+                    }
+                };
+                if lo > hi {
+                    self.fail("inverted quantifier bounds");
+                }
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(branches) => {
+            let pick = rng.below(branches.len() as u64) as usize;
+            for n in &branches[pick] {
+                emit(n, rng, out);
+            }
+        }
+        Node::Group(nodes) => {
+            for n in nodes {
+                emit(n, rng, out);
+            }
+        }
+        Node::Literal(c) => out.push(*c),
+        Node::Class(members) => {
+            out.push(members[rng.below(members.len() as u64) as usize]);
+        }
+        Node::Dot => {
+            out.push((b' ' + rng.below(95) as u8) as char);
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let count = lo + rng.below((hi - lo + 1) as u64) as u32;
+            for _ in 0..count {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser {
+        chars: pattern.chars().peekable(),
+        pattern,
+    };
+    let ast = parser.parse_alt();
+    if parser.chars.next().is_some() {
+        parser.fail("trailing input (unbalanced ')'?)");
+    }
+    let mut out = String::new();
+    emit(&ast, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests")
+    }
+
+    #[test]
+    fn segment_name_pattern_shapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,12}(\\.[a-z0-9]{1,8})?", &mut r);
+            let mut parts = s.split('.');
+            let head = parts.next().unwrap();
+            assert!((1..=12).contains(&head.len()), "bad head {s:?}");
+            assert!(head.bytes().all(|b| b.is_ascii_lowercase()));
+            if let Some(tail) = parts.next() {
+                assert!((1..=8).contains(&tail.len()), "bad tail {s:?}");
+                assert!(tail
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+            }
+            assert!(parts.next().is_none());
+        }
+    }
+
+    #[test]
+    fn alternation_and_quantifiers() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("(foo|ba[rz])x{2}", &mut r);
+            assert!(s == "fooxx" || s == "barxx" || s == "bazxx", "got {s:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_and_classes() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching("\\d\\.[_a-c-]", &mut r);
+            let b = s.as_bytes();
+            assert_eq!(b.len(), 3);
+            assert!(b[0].is_ascii_digit());
+            assert_eq!(b[1], b'.');
+            assert!(matches!(b[2], b'_' | b'a'..=b'c' | b'-'));
+        }
+    }
+}

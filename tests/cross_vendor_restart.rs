@@ -146,11 +146,7 @@ fn assert_memories_equal_with_ulps(
                                 "rank {rank} segment {name}[{i}]: {x} vs {y}                                  differ by more than {max_ulps} ULPs"
                             );
                         } else {
-                            assert_eq!(
-                                x.to_bits(),
-                                y.to_bits(),
-                                "rank {rank} segment {name}[{i}]"
-                            );
+                            assert_eq!(x.to_bits(), y.to_bits(), "rank {rank} segment {name}[{i}]");
                         }
                     }
                 }
@@ -170,7 +166,10 @@ fn assert_memories_equal(a: &[mpi_stool::stool::Memory], b: &[mpi_stool::stool::
 
 #[test]
 fn ring_openmpi_to_mpich() {
-    let program = RingPings { rounds: 10, payload: 8 };
+    let program = RingPings {
+        rounds: 10,
+        payload: 8,
+    };
     let expect = reference_memories(&program, Vendor::OpenMpi);
     let image = checkpoint_at(&program, Vendor::OpenMpi, 5);
     let got = restore_under(&program, &image, Vendor::Mpich);
@@ -180,7 +179,10 @@ fn ring_openmpi_to_mpich() {
 #[test]
 fn ring_mpich_to_openmpi() {
     // The paper demonstrates both directions ("and vice versa").
-    let program = RingPings { rounds: 10, payload: 8 };
+    let program = RingPings {
+        rounds: 10,
+        payload: 8,
+    };
     let expect = reference_memories(&program, Vendor::Mpich);
     let image = checkpoint_at(&program, Vendor::Mpich, 5);
     let got = restore_under(&program, &image, Vendor::OpenMpi);
@@ -189,7 +191,12 @@ fn ring_mpich_to_openmpi() {
 
 #[test]
 fn wave_cross_vendor_bitwise_identical() {
-    let solver = WaveMpi { npoints: 200, nsteps: 100, gather_final: true, ..WaveMpi::default() };
+    let solver = WaveMpi {
+        npoints: 200,
+        nsteps: 100,
+        gather_final: true,
+        ..WaveMpi::default()
+    };
     let expect = reference_memories(&solver, Vendor::OpenMpi);
     let image = checkpoint_at(&solver, Vendor::OpenMpi, 50);
     let got = restore_under(&solver, &image, Vendor::Mpich);
@@ -202,7 +209,10 @@ fn comd_cross_vendor_bitwise_with_deterministic_reductions() {
     // f64 energy diagnostics become a pure function of the inputs: the
     // whole memory image is bitwise identical across the vendor switch —
     // no ULP tolerance needed anywhere.
-    let md = CoMdMini { nsteps: 24, ..CoMdMini::default() };
+    let md = CoMdMini {
+        nsteps: 24,
+        ..CoMdMini::default()
+    };
     let expect = det::reference(&md, Vendor::Mpich);
     let image = det::checkpoint_at(&md, Vendor::Mpich, 12);
     let got = det::restore_under(&md, &image, Vendor::OpenMpi);
@@ -213,7 +223,10 @@ fn comd_cross_vendor_bitwise_with_deterministic_reductions() {
 fn deterministic_reductions_match_vendor_answers_on_integers() {
     // On exactly-representable data the canonical fold must agree with
     // the vendor algorithms (it only changes association, not values).
-    let program = RingPings { rounds: 6, payload: 4 };
+    let program = RingPings {
+        rounds: 6,
+        payload: 4,
+    };
     let plain = reference_memories(&program, Vendor::OpenMpi);
     let det = det::reference(&program, Vendor::OpenMpi);
     assert_memories_equal(&plain, &det);
@@ -233,7 +246,10 @@ fn deterministic_reductions_require_the_shim() {
 
 #[test]
 fn comd_cross_vendor_trajectory_identical() {
-    let md = CoMdMini { nsteps: 24, ..CoMdMini::default() };
+    let md = CoMdMini {
+        nsteps: 24,
+        ..CoMdMini::default()
+    };
     let expect = reference_memories(&md, Vendor::Mpich);
     let image = checkpoint_at(&md, Vendor::Mpich, 12);
     let got = restore_under(&md, &image, Vendor::OpenMpi);
@@ -274,7 +290,10 @@ fn osu_checkpoint_in_sleep_window_like_fig6() {
 fn restart_on_a_different_cluster() {
     // Migration across heterogeneous clusters (paper §1): restore onto a
     // cluster with a different interconnect and newer kernel.
-    let program = RingPings { rounds: 8, payload: 16 };
+    let program = RingPings {
+        rounds: 8,
+        payload: 16,
+    };
     let expect = reference_memories(&program, Vendor::OpenMpi);
     let image = checkpoint_at(&program, Vendor::OpenMpi, 4);
 
@@ -300,7 +319,10 @@ fn restart_on_a_different_cluster() {
 
 #[test]
 fn image_survives_disk_roundtrip() {
-    let program = RingPings { rounds: 6, payload: 8 };
+    let program = RingPings {
+        rounds: 6,
+        payload: 8,
+    };
     let image = checkpoint_at(&program, Vendor::OpenMpi, 3);
     let dir = std::env::temp_dir().join(format!("stool-image-rt-{}", std::process::id()));
     image.save_dir(&dir).expect("save");
@@ -319,7 +341,10 @@ fn image_survives_disk_roundtrip() {
 fn repeated_checkpoint_restart_chain() {
     // Checkpoint, restore, checkpoint again under the other vendor, restore
     // again under the first: a full zig-zag.
-    let program = RingPings { rounds: 12, payload: 8 };
+    let program = RingPings {
+        rounds: 12,
+        payload: 8,
+    };
     let expect = reference_memories(&program, Vendor::Mpich);
 
     let image1 = checkpoint_at(&program, Vendor::OpenMpi, 3);
@@ -342,7 +367,10 @@ fn repeated_checkpoint_restart_chain() {
 
 #[test]
 fn checkpoint_at_every_step_gives_same_answer() {
-    let program = RingPings { rounds: 6, payload: 4 };
+    let program = RingPings {
+        rounds: 6,
+        payload: 4,
+    };
     let expect = reference_memories(&program, Vendor::Mpich);
     for step in 0..6 {
         let image = checkpoint_at(&program, Vendor::OpenMpi, step);

@@ -26,7 +26,10 @@ fn all_stacks() -> Vec<(Vendor, bool, Checkpointer)> {
 }
 
 fn run(program: &dyn MpiProgram, vendor: Vendor, muk: bool, ckpt: Checkpointer) -> RunOutcome {
-    let mut b = Session::builder().cluster(cluster()).vendor(vendor).checkpointer(ckpt);
+    let mut b = Session::builder()
+        .cluster(cluster())
+        .vendor(vendor)
+        .checkpointer(ckpt);
     if !muk {
         b = b.native_abi();
     }
@@ -35,7 +38,10 @@ fn run(program: &dyn MpiProgram, vendor: Vendor, muk: bool, ckpt: Checkpointer) 
 
 #[test]
 fn ring_total_is_stack_invariant() {
-    let program = RingPings { rounds: 7, payload: 32 };
+    let program = RingPings {
+        rounds: 7,
+        payload: 32,
+    };
     let mut totals = Vec::new();
     for (vendor, muk, ckpt) in all_stacks() {
         let out = run(&program, vendor, muk, ckpt);
@@ -47,18 +53,29 @@ fn ring_total_is_stack_invariant() {
         totals.push(total);
     }
     // The computed answer is a function of the program, not of the stack.
-    assert!(totals.windows(2).all(|w| w[0] == w[1]), "answer depends on the stack: {totals:?}");
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "answer depends on the stack: {totals:?}"
+    );
 }
 
 #[test]
 fn wave_solution_is_stack_invariant_and_accurate() {
-    let solver = WaveMpi { npoints: 240, nsteps: 120, gather_final: true, ..WaveMpi::default() };
+    let solver = WaveMpi {
+        npoints: 240,
+        nsteps: 120,
+        gather_final: true,
+        ..WaveMpi::default()
+    };
     let mut fields: Vec<Vec<f64>> = Vec::new();
     for (vendor, muk, ckpt) in all_stacks() {
         let out = run(&solver, vendor, muk, ckpt);
         let mem = &out.memories().expect("completed")[0];
         let err = mem.get_f64("wave.err").expect("L2 error");
-        assert!(err < 5e-2, "wave solution inaccurate under {vendor:?} muk={muk}: err={err}");
+        assert!(
+            err < 5e-2,
+            "wave solution inaccurate under {vendor:?} muk={muk}: err={err}"
+        );
         fields.push(mem.f64s("wave.final").expect("gathered").to_vec());
     }
     let first = &fields[0];
@@ -73,7 +90,10 @@ fn wave_solution_is_stack_invariant_and_accurate() {
 
 #[test]
 fn comd_conserves_energy_on_every_stack() {
-    let md = CoMdMini { nsteps: 40, ..CoMdMini::default() };
+    let md = CoMdMini {
+        nsteps: 40,
+        ..CoMdMini::default()
+    };
     for (vendor, muk, ckpt) in all_stacks() {
         let out = run(&md, vendor, muk, ckpt);
         let mem = &out.memories().expect("completed")[0];
@@ -93,12 +113,22 @@ fn comd_conserves_energy_on_every_stack() {
 
 #[test]
 fn comd_atom_count_is_conserved() {
-    let md = CoMdMini { nsteps: 30, ..CoMdMini::default() };
+    let md = CoMdMini {
+        nsteps: 30,
+        ..CoMdMini::default()
+    };
     for vendor in [Vendor::Mpich, Vendor::OpenMpi] {
         let out = run(&md, vendor, true, Checkpointer::mana());
         let memories = out.memories().expect("completed");
-        let total: u64 = memories.iter().map(|m| m.get_u64("comd.natoms_local").unwrap()).sum();
-        assert_eq!(total as usize, md.natoms(), "atoms lost or duplicated in migration");
+        let total: u64 = memories
+            .iter()
+            .map(|m| m.get_u64("comd.natoms_local").unwrap())
+            .sum();
+        assert_eq!(
+            total as usize,
+            md.natoms(),
+            "atoms lost or duplicated in migration"
+        );
     }
 }
 
@@ -117,20 +147,32 @@ fn osu_sweep_records_all_sizes_on_all_stacks() {
         let mem = &out.memories().expect("completed")[0];
         let lat = mem.f64s("osu.lat_us").expect("latencies");
         assert_eq!(lat.len(), bench.sizes().len());
-        assert!(lat.iter().all(|&l| l > 0.0), "non-positive latency under {vendor:?}");
+        assert!(
+            lat.iter().all(|&l| l > 0.0),
+            "non-positive latency under {vendor:?}"
+        );
     }
 }
 
 #[test]
 fn counters_reflect_real_traffic() {
-    let program = RingPings { rounds: 5, payload: 16 };
+    let program = RingPings {
+        rounds: 5,
+        payload: 16,
+    };
     let out = run(&program, Vendor::Mpich, true, Checkpointer::mana());
     match out {
         RunOutcome::Completed { counters, .. } => {
             for c in &counters {
                 assert!(c.msgs_sent > 0, "every rank sends in a ring");
-                assert!(c.bytes_sent >= c.msgs_sent, "payload bytes at least one per message");
-                assert!(c.context_switches > 0, "MANA charges split-process crossings");
+                assert!(
+                    c.bytes_sent >= c.msgs_sent,
+                    "payload bytes at least one per message"
+                );
+                assert!(
+                    c.context_switches > 0,
+                    "MANA charges split-process crossings"
+                );
             }
             let sent: u64 = counters.iter().map(|c| c.msgs_sent).sum();
             let recv: u64 = counters.iter().map(|c| c.msgs_received).sum();
@@ -142,7 +184,10 @@ fn counters_reflect_real_traffic() {
 
 #[test]
 fn native_stack_charges_no_context_switches() {
-    let program = RingPings { rounds: 4, payload: 8 };
+    let program = RingPings {
+        rounds: 4,
+        payload: 8,
+    };
     let out = run(&program, Vendor::OpenMpi, false, Checkpointer::None);
     match out {
         RunOutcome::Completed { counters, .. } => {
@@ -183,6 +228,12 @@ fn session_label_reflects_stack() {
         .build()
         .unwrap();
     let label = s.label();
-    assert!(label.contains("Open MPI"), "label {label:?} should name the vendor");
-    assert!(label.contains("MANA"), "label {label:?} should name the checkpointer");
+    assert!(
+        label.contains("Open MPI"),
+        "label {label:?} should name the vendor"
+    );
+    assert!(
+        label.contains("MANA"),
+        "label {label:?} should name the checkpointer"
+    );
 }

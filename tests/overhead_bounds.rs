@@ -31,13 +31,27 @@ fn latencies(
     full_stack: bool,
 ) -> Vec<f64> {
     let mut b = Session::builder().cluster(cluster.clone()).vendor(vendor);
-    b = if full_stack { b.checkpointer(Checkpointer::mana()) } else { b.native_abi() };
+    b = if full_stack {
+        b.checkpointer(Checkpointer::mana())
+    } else {
+        b.native_abi()
+    };
     let out = b.build().unwrap().launch(bench).unwrap();
-    out.memories().unwrap()[0].f64s("osu.lat_us").unwrap().to_vec()
+    out.memories().unwrap()[0]
+        .f64s("osu.lat_us")
+        .unwrap()
+        .to_vec()
 }
 
 fn small_bench(kernel: OsuKernel) -> OsuLatency {
-    OsuLatency { kernel, min_size: 1, max_size: 64 * 1024, warmup: 1, iters: 3, ckpt_window: None }
+    OsuLatency {
+        kernel,
+        min_size: 1,
+        max_size: 64 * 1024,
+        warmup: 1,
+        iters: 3,
+        ckpt_window: None,
+    }
 }
 
 #[test]
@@ -49,8 +63,7 @@ fn overhead_shrinks_with_message_size() {
         let full = latencies(&bench, &cluster, vendor, true);
         let sizes = bench.sizes();
         let first_ov = (full[0] - native[0]) / native[0];
-        let last_ov = (full[sizes.len() - 1] - native[sizes.len() - 1])
-            / native[sizes.len() - 1];
+        let last_ov = (full[sizes.len() - 1] - native[sizes.len() - 1]) / native[sizes.len() - 1];
         assert!(
             first_ov > last_ov,
             "{vendor:?}: overhead should shrink with size (1B: {:.1}%, 64KiB: {:.1}%)",
@@ -100,7 +113,11 @@ fn bcast_and_allreduce_overhead_more_visible_than_alltoall() {
             .zip(&full)
             .map(|(n, f)| (f - n) / n * 100.0)
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(max_ov[i] < 30.0, "{kernel:?} overhead {:.1}% implausibly large", max_ov[i]);
+        assert!(
+            max_ov[i] < 30.0,
+            "{kernel:?} overhead {:.1}% implausibly large",
+            max_ov[i]
+        );
     }
     assert!(
         max_ov[1] > max_ov[0] || max_ov[2] > max_ov[0],
@@ -139,7 +156,11 @@ fn fsgsbase_kernel_feature_reduces_overhead() {
 fn makespan_secs(program: &dyn MpiProgram, vendor: Vendor, full_stack: bool) -> f64 {
     let cluster = cluster_with(KernelVersion::CENTOS7);
     let mut b = Session::builder().cluster(cluster).vendor(vendor);
-    b = if full_stack { b.checkpointer(Checkpointer::mana()) } else { b.native_abi() };
+    b = if full_stack {
+        b.checkpointer(Checkpointer::mana())
+    } else {
+        b.native_abi()
+    };
     let out = b.build().unwrap().launch(program).unwrap();
     out.makespan().as_micros_f64() / 1e6
 }
@@ -147,13 +168,23 @@ fn makespan_secs(program: &dyn MpiProgram, vendor: Vendor, full_stack: bool) -> 
 #[test]
 fn real_applications_see_small_overhead() {
     // Fig. 5: CoMD ≈0-5 % overhead, wave_mpi ≈0 %.
-    let comd = CoMdMini { nsteps: 30, ..CoMdMini::default() };
+    let comd = CoMdMini {
+        nsteps: 30,
+        ..CoMdMini::default()
+    };
     // Realistic compute-to-communication ratio: 100 grid points per rank
     // per step, as in the original wave_mpi defaults.
-    let wave = WaveMpi { npoints: 4800, nsteps: 200, gather_final: false, ..WaveMpi::default() };
+    let wave = WaveMpi {
+        npoints: 4800,
+        nsteps: 200,
+        gather_final: false,
+        ..WaveMpi::default()
+    };
     for vendor in [Vendor::Mpich, Vendor::OpenMpi] {
-        let comd_ov = makespan_secs(&comd, vendor, true) / makespan_secs(&comd, vendor, false) - 1.0;
-        let wave_ov = makespan_secs(&wave, vendor, true) / makespan_secs(&wave, vendor, false) - 1.0;
+        let comd_ov =
+            makespan_secs(&comd, vendor, true) / makespan_secs(&comd, vendor, false) - 1.0;
+        let wave_ov =
+            makespan_secs(&wave, vendor, true) / makespan_secs(&wave, vendor, false) - 1.0;
         assert!(
             comd_ov < 0.10,
             "{vendor:?}: CoMD full-stack overhead {:.1}% exceeds Fig. 5 band",
@@ -164,7 +195,10 @@ fn real_applications_see_small_overhead() {
             "{vendor:?}: wave_mpi full-stack overhead {:.1}% exceeds Fig. 5 band",
             wave_ov * 100.0
         );
-        assert!(comd_ov >= 0.0 && wave_ov >= 0.0, "interposition cannot be free");
+        assert!(
+            comd_ov >= 0.0 && wave_ov >= 0.0,
+            "interposition cannot be free"
+        );
     }
 }
 
@@ -179,7 +213,12 @@ fn microbenchmarks_are_the_worst_case() {
     let full = latencies(&bench, &cluster, vendor, true);
     let micro_ov = (full[0] - native[0]) / native[0];
 
-    let wave = WaveMpi { npoints: 4800, nsteps: 200, gather_final: false, ..WaveMpi::default() };
+    let wave = WaveMpi {
+        npoints: 4800,
+        nsteps: 200,
+        gather_final: false,
+        ..WaveMpi::default()
+    };
     let app_ov = makespan_secs(&wave, vendor, true) / makespan_secs(&wave, vendor, false) - 1.0;
     assert!(
         micro_ov > app_ov,
@@ -228,8 +267,13 @@ fn checkpoint_cost_scales_with_image_size() {
             .makespan()
     };
 
-    let thin = run_ckpt(&SleepyProgram { steps: 3, nap: VirtualTime::from_millis(1) });
-    let fat = run_ckpt(&Fat { bytes: 64 * 1024 * 1024 });
+    let thin = run_ckpt(&SleepyProgram {
+        steps: 3,
+        nap: VirtualTime::from_millis(1),
+    });
+    let fat = run_ckpt(&Fat {
+        bytes: 64 * 1024 * 1024,
+    });
     assert!(
         fat > thin,
         "64 MiB of upper-half memory must checkpoint slower than ~0 bytes ({fat:?} vs {thin:?})"

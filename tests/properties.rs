@@ -63,8 +63,11 @@ fn any_memory() -> impl Strategy<Value = Memory> {
         (
             any_segment_name(),
             prop_oneof![
-                vec(any::<f64>().prop_filter("no NaN for PartialEq", |x| !x.is_nan()), 0..24)
-                    .prop_map(SegmentData::F64),
+                vec(
+                    any::<f64>().prop_filter("no NaN for PartialEq", |x| !x.is_nan()),
+                    0..24
+                )
+                .prop_map(SegmentData::F64),
                 vec(any::<i64>(), 0..24).prop_map(SegmentData::I64),
                 vec(any::<u64>(), 0..24).prop_map(SegmentData::U64),
                 vec(any::<u8>(), 0..64).prop_map(SegmentData::Bytes),
@@ -188,7 +191,9 @@ impl MpiProgram for AllreduceCheck {
     }
     fn run(&self, app: &mut AppCtx<'_>) -> StoolResult<()> {
         let mine = self.contributions[app.rank()];
-        let total = app.pmpi().allreduce_f64(mine, ReduceOp::Sum, Handle::COMM_WORLD)?;
+        let total = app
+            .pmpi()
+            .allreduce_f64(mine, ReduceOp::Sum, Handle::COMM_WORLD)?;
         app.mem.set_f64("check.total", total);
         Ok(())
     }
@@ -261,5 +266,181 @@ proptest! {
             .get_f64("ring.total")
             .unwrap();
         prop_assert_eq!(got, expect);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Indexed matching: wildcard receives respect global arrival order and
+// per-pair FIFO (the invariants the O(1) bucket index must preserve)
+// ---------------------------------------------------------------------------
+
+mod matching_order {
+    use mpi_stool::simnet::{ClusterSpec, Fabric, NoiseModel, RankCtx};
+    use std::sync::Arc;
+
+    /// A three-rank single-threaded harness: ranks 0 and 1 send to rank 2
+    /// in a caller-chosen interleaving, so arrival order at rank 2 is
+    /// exactly the send order.
+    pub struct Harness {
+        pub senders: Vec<RankCtx>,
+        pub receiver: RankCtx,
+    }
+
+    impl Harness {
+        pub fn new() -> Harness {
+            let spec = Arc::new(ClusterSpec::builder().nodes(1).ranks_per_node(3).build());
+            let (_fabric, eps): (Fabric, _) = Fabric::new(&spec);
+            let mut ctxs: Vec<RankCtx> = eps
+                .into_iter()
+                .enumerate()
+                .map(|(r, ep)| {
+                    RankCtx::new(
+                        r,
+                        spec.clone(),
+                        ep,
+                        NoiseModel::disabled().stream_for_rank(r),
+                    )
+                })
+                .collect();
+            let receiver = ctxs.pop().expect("three ranks");
+            Harness {
+                senders: ctxs,
+                receiver,
+            }
+        }
+    }
+
+    /// Model message: identity of one sent envelope.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Sent {
+        pub src: usize,
+        pub tag: i32,
+        pub arrival_index: usize,
+    }
+
+    /// The oracle: among outstanding messages matching (src?, tag?), the
+    /// matcher must deliver the one with the smallest arrival index.
+    pub fn expected_pick(
+        outstanding: &[Sent],
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> Option<Sent> {
+        outstanding
+            .iter()
+            .filter(|m| src.is_none_or(|s| m.src == s))
+            .filter(|m| tag.is_none_or(|t| m.tag == t))
+            .min_by_key(|m| m.arrival_index)
+            .copied()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drive the indexed matcher with a random send schedule and a random
+    /// sequence of receive patterns (exact, half-wildcard, full-wildcard)
+    /// against a brute-force model. Checks, for every receive:
+    /// * the delivered message is the *earliest-arriving* match (global
+    ///   arrival-seq order for wildcards), and
+    /// * per-(src, tag) pairs are consumed in send order (non-overtaking),
+    ///   which follows from the first property but is asserted separately.
+    #[test]
+    fn wildcard_matching_respects_arrival_order_and_pair_fifo(
+        schedule in vec((0usize..2, 0i32..3), 1..40),
+        pattern_seed in vec((0u8..4, 0usize..2, 0i32..3), 40),
+    ) {
+        use matching_order::{expected_pick, Harness, Sent};
+        use mpi_stool::simnet::matching::{MatchCore, SrcPattern, TagPattern};
+
+        let h = Harness::new();
+        let ctx_id = 11u64;
+        let mut outstanding: Vec<Sent> = Vec::new();
+        for (i, &(src, tag)) in schedule.iter().enumerate() {
+            let payload = bytes::Bytes::copy_from_slice(&(i as u64).to_le_bytes());
+            h.senders[src]
+                .endpoint()
+                .send_raw(2, ctx_id, tag, payload, &h.senders[src])
+                .unwrap();
+            outstanding.push(Sent { src, tag, arrival_index: i });
+        }
+
+        let mut core = MatchCore::new();
+        let mut per_pair_last: std::collections::HashMap<(usize, i32), usize> =
+            std::collections::HashMap::new();
+        let mut patterns = pattern_seed.iter().cycle();
+        while !outstanding.is_empty() {
+            let &(kind, s, t) = patterns.next().expect("cycle never ends");
+            let (src_sel, tag_sel, src_model, tag_model) = match kind {
+                0 => (SrcPattern::Any, TagPattern::Any, None, None),
+                1 => (SrcPattern::Is(s), TagPattern::Any, Some(s), None),
+                2 => (SrcPattern::Any, TagPattern::Is(t), None, Some(t)),
+                _ => (SrcPattern::Is(s), TagPattern::Is(t), Some(s), Some(t)),
+            };
+            let expected = expected_pick(&outstanding, src_model, tag_model);
+            let got = core.try_match(&h.receiver, ctx_id, src_sel, tag_sel).unwrap();
+            match (expected, got) {
+                (None, None) => continue,
+                (Some(want), Some(m)) => {
+                    let idx = u64::from_le_bytes(m.env.payload[..8].try_into().unwrap()) as usize;
+                    prop_assert_eq!(
+                        idx, want.arrival_index,
+                        "pattern {:?}/{:?} must deliver the earliest match",
+                        src_sel, tag_sel
+                    );
+                    prop_assert_eq!(m.env.src, want.src);
+                    prop_assert_eq!(m.env.tag, want.tag);
+                    // Per-pair FIFO: consumption order within one
+                    // (src, tag) pair is send order.
+                    if let Some(&prev) = per_pair_last.get(&(want.src, want.tag)) {
+                        prop_assert!(
+                            prev < want.arrival_index,
+                            "pair ({}, {}) overtaken: {} after {}",
+                            want.src, want.tag, want.arrival_index, prev
+                        );
+                    }
+                    per_pair_last.insert((want.src, want.tag), want.arrival_index);
+                    outstanding.retain(|o| o.arrival_index != want.arrival_index);
+                }
+                (want, got) => prop_assert!(
+                    false,
+                    "model/matcher disagree: model {:?}, matcher {:?}",
+                    want, got.map(|m| (m.env.src, m.env.tag, m.seq))
+                ),
+            }
+        }
+        prop_assert_eq!(core.unexpected_len(), 0);
+    }
+
+    /// Full-wildcard receives alone must observe the exact global arrival
+    /// sequence, whatever the interleaving of senders and tags.
+    #[test]
+    fn any_any_receives_replay_arrival_sequence(
+        schedule in vec((0usize..2, 0i32..4), 1..48),
+    ) {
+        use matching_order::Harness;
+        use mpi_stool::simnet::matching::{MatchCore, SrcPattern, TagPattern};
+
+        let h = Harness::new();
+        for (i, &(src, tag)) in schedule.iter().enumerate() {
+            let payload = bytes::Bytes::copy_from_slice(&(i as u64).to_le_bytes());
+            h.senders[src]
+                .endpoint()
+                .send_raw(2, 5, tag, payload, &h.senders[src])
+                .unwrap();
+        }
+        let mut core = MatchCore::new();
+        let mut last_seq = None;
+        for i in 0..schedule.len() {
+            let m = core
+                .try_match(&h.receiver, 5, SrcPattern::Any, TagPattern::Any)
+                .unwrap()
+                .expect("one message per send");
+            let idx = u64::from_le_bytes(m.env.payload[..8].try_into().unwrap()) as usize;
+            prop_assert_eq!(idx, i, "arrival order violated at receive {}", i);
+            if let Some(prev) = last_seq {
+                prop_assert!(m.seq > prev, "seq must be strictly increasing");
+            }
+            last_seq = Some(m.seq);
+        }
     }
 }

@@ -24,7 +24,10 @@ fn clean_total(program: &RingPings, vendor: Vendor) -> f64 {
 
 #[test]
 fn failure_recovers_from_periodic_checkpoint() {
-    let program = RingPings { rounds: 12, payload: 8 };
+    let program = RingPings {
+        rounds: 12,
+        payload: 8,
+    };
     let expect = clean_total(&program, Vendor::Mpich);
 
     let session = Session::builder()
@@ -42,13 +45,21 @@ fn failure_recovers_from_periodic_checkpoint() {
         report.recoveries[0].from_image,
         "a checkpoint (step 4 or 8) must predate the step-9 failure"
     );
-    let got = report.outcome.memories().unwrap()[0].get_f64("ring.total").unwrap();
-    assert_eq!(got, expect, "recovered run must finish the same computation");
+    let got = report.outcome.memories().unwrap()[0]
+        .get_f64("ring.total")
+        .unwrap();
+    assert_eq!(
+        got, expect,
+        "recovered run must finish the same computation"
+    );
 }
 
 #[test]
 fn failure_before_first_checkpoint_restarts_from_scratch() {
-    let program = RingPings { rounds: 8, payload: 8 };
+    let program = RingPings {
+        rounds: 8,
+        payload: 8,
+    };
     let expect = clean_total(&program, Vendor::OpenMpi);
 
     let session = Session::builder()
@@ -65,13 +76,18 @@ fn failure_before_first_checkpoint_restarts_from_scratch() {
         !report.recoveries[0].from_image,
         "no checkpoint had completed; recovery is a from-scratch restart"
     );
-    let got = report.outcome.memories().unwrap()[0].get_f64("ring.total").unwrap();
+    let got = report.outcome.memories().unwrap()[0]
+        .get_f64("ring.total")
+        .unwrap();
     assert_eq!(got, expect);
 }
 
 #[test]
 fn restart_budget_exhaustion_is_an_error() {
-    let program = RingPings { rounds: 8, payload: 8 };
+    let program = RingPings {
+        rounds: 8,
+        payload: 8,
+    };
     let session = Session::builder()
         .cluster(cluster())
         .vendor(Vendor::Mpich)
@@ -85,7 +101,10 @@ fn restart_budget_exhaustion_is_an_error() {
 
 #[test]
 fn resilience_requires_a_checkpointer() {
-    let program = RingPings { rounds: 4, payload: 8 };
+    let program = RingPings {
+        rounds: 4,
+        payload: 8,
+    };
     let session = Session::builder()
         .cluster(cluster())
         .vendor(Vendor::Mpich)
@@ -99,7 +118,10 @@ fn resilience_requires_a_checkpointer() {
 fn failed_runs_salvage_image_for_manual_cross_vendor_recovery() {
     // The paper's combined story: a job dies on cluster A (MPICH); the
     // operator restarts the salvaged image on cluster B under Open MPI.
-    let program = RingPings { rounds: 10, payload: 8 };
+    let program = RingPings {
+        rounds: 10,
+        payload: 8,
+    };
     let expect = clean_total(&program, Vendor::Mpich);
 
     let outcome = Session::builder()
@@ -124,7 +146,9 @@ fn failed_runs_salvage_image_for_manual_cross_vendor_recovery() {
         .unwrap()
         .restore(&image, &program)
         .unwrap();
-    let got = recovered.memories().unwrap()[0].get_f64("ring.total").unwrap();
+    let got = recovered.memories().unwrap()[0]
+        .get_f64("ring.total")
+        .unwrap();
     assert_eq!(got, expect, "cross-vendor, cross-cluster recovery");
 }
 
@@ -133,7 +157,10 @@ fn fault_on_checkpoint_step_loses_that_checkpoint() {
     // Adversarial ordering: the failure fires on entry to the step where
     // a periodic checkpoint was due — the job must recover from the
     // *previous* image, not the never-taken one.
-    let program = RingPings { rounds: 12, payload: 8 };
+    let program = RingPings {
+        rounds: 12,
+        payload: 8,
+    };
     let expect = clean_total(&program, Vendor::Mpich);
     let session = Session::builder()
         .cluster(cluster())
@@ -146,6 +173,8 @@ fn fault_on_checkpoint_step_loses_that_checkpoint() {
     let report = session.run_resilient(&program, 2).unwrap();
     assert_eq!(report.recoveries.len(), 1);
     assert!(report.recoveries[0].from_image);
-    let got = report.outcome.memories().unwrap()[0].get_f64("ring.total").unwrap();
+    let got = report.outcome.memories().unwrap()[0]
+        .get_f64("ring.total")
+        .unwrap();
     assert_eq!(got, expect);
 }
