@@ -361,6 +361,13 @@ impl MpiProgram for CoMdMini {
             let npos = s.pos.len();
             app.mem.f64s_mut("comd.pos", npos).copy_from_slice(&s.pos);
             app.mem.f64s_mut("comd.vel", npos).copy_from_slice(&s.vel);
+            // The reference lattice the slab was seeded from: fixed for
+            // the life of the run (like real CoMD's lattice/species
+            // tables), so it is the part of the checkpoint image that
+            // never changes between epochs.
+            app.mem
+                .f64s_mut("comd.lattice", npos)
+                .copy_from_slice(&s.pos);
             // Initial forces.
             let (f, _, _) = self.forces(&s.pos, npos / 3);
             app.mem.f64s_mut("comd.force", npos).copy_from_slice(&f);

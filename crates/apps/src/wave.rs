@@ -92,9 +92,15 @@ impl MpiProgram for WaveMpi {
             (me + 1) as i32
         };
 
-        // Initialize u(x,0) and u(x,dt) from the exact solution on a
-        // fresh launch; a restart finds them in memory.
+        // Initialize the mesh coordinates and u(x,0), u(x,dt) from the
+        // exact solution on a fresh launch; a restart finds them in
+        // memory. The mesh is fixed for the life of the run — the part of
+        // the image that never changes between checkpoint epochs.
         if !app.mem.contains("wave.u_prev") {
+            let xs = app.mem.f64s_mut("wave.x", len);
+            for (i, slot) in xs.iter_mut().enumerate() {
+                *slot = (lo + i) as f64 * dx;
+            }
             let u_prev = app.mem.f64s_mut("wave.u_prev", len);
             for (i, slot) in u_prev.iter_mut().enumerate() {
                 *slot = self.exact((lo + i) as f64 * dx, 0.0);

@@ -1,0 +1,210 @@
+//! Criterion: the delta-checkpoint store — full-base vs delta bytes
+//! written, commit/load throughput, and the sync vs async checkpoint
+//! latency the store buys on the wave/CoMD workloads.
+//!
+//! As a side effect (in both `cargo bench` and `--test` smoke mode) this
+//! bench emits `BENCH_ckpt.json` in the working directory so CI records
+//! the perf trajectory: per-workload full vs delta bytes, and the
+//! virtual-time makespan with synchronous image writes vs the async store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmtcp_sim::store::{DeltaStore, StoreConfig};
+use dmtcp_sim::WorldImage;
+use mpi_apps::{CoMdMini, WaveMpi};
+use simnet::ClusterSpec;
+use stool::{Checkpointer, MpiProgram, Session, StoreError, Vendor};
+
+fn bench_cluster() -> ClusterSpec {
+    ClusterSpec::builder().nodes(2).ranks_per_node(3).build()
+}
+
+fn store_cfg() -> StoreConfig {
+    StoreConfig {
+        block_size: 1024,
+        retain_epochs: 32,
+        max_chain: 16,
+        ..StoreConfig::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("stool_bench_store_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct WorkloadRow {
+    name: &'static str,
+    epochs: usize,
+    full_bytes: u64,
+    delta_bytes_avg: u64,
+    image_bytes: u64,
+    sync_makespan_s: f64,
+    async_makespan_s: f64,
+}
+
+/// Run one workload with periodic checkpoints, sync (no store) and async
+/// (delta store), and measure what each epoch wrote.
+fn measure_workload(
+    name: &'static str,
+    program: &dyn MpiProgram,
+    every: u64,
+) -> Result<WorkloadRow, StoreError> {
+    let run = |store_dir: Option<&std::path::Path>| {
+        let mut builder = Session::builder()
+            .cluster(bench_cluster())
+            .vendor(Vendor::Mpich)
+            .checkpointer(Checkpointer::mana())
+            .checkpoint_every(every);
+        if let Some(dir) = store_dir {
+            builder = builder.checkpoint_store_with(dir, store_cfg());
+        }
+        let session = builder.build().expect("session");
+        session.launch(program).expect("launch")
+    };
+
+    let sync_out = run(None);
+    let dir = tmp_dir(name);
+    let async_out = run(Some(&dir));
+
+    let store = DeltaStore::open_with(&dir, store_cfg())?;
+    let stats = store.epoch_stats_on_disk()?;
+    let full: Vec<_> = stats.iter().filter(|s| s.full).collect();
+    let deltas: Vec<_> = stats.iter().filter(|s| !s.full).collect();
+    let delta_bytes_avg = if deltas.is_empty() {
+        0
+    } else {
+        deltas.iter().map(|s| s.bytes_written).sum::<u64>() / deltas.len() as u64
+    };
+    let row = WorkloadRow {
+        name,
+        epochs: stats.len(),
+        full_bytes: full.first().map(|s| s.bytes_written).unwrap_or(0),
+        delta_bytes_avg,
+        image_bytes: stats.last().map(|s| s.image_bytes).unwrap_or(0),
+        sync_makespan_s: sync_out.makespan().as_secs_f64(),
+        async_makespan_s: async_out.makespan().as_secs_f64(),
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(row)
+}
+
+fn emit_json(rows: &[WorkloadRow]) {
+    let mut json = String::from("{\n  \"bench\": \"ckpt_store\",\n  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"epochs\": {}, \"full_base_bytes\": {}, \
+             \"delta_bytes_avg\": {}, \"image_bytes\": {}, \
+             \"sync_makespan_s\": {:.9}, \"async_makespan_s\": {:.9}}}{}\n",
+            r.name,
+            r.epochs,
+            r.full_bytes,
+            r.delta_bytes_avg,
+            r.image_bytes,
+            r.sync_makespan_s,
+            r.async_makespan_s,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    // Land at the workspace root regardless of the bench CWD, so CI picks
+    // one stable path up.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_ckpt.json");
+    std::fs::write(path, json).expect("write BENCH_ckpt.json");
+}
+
+/// Produce a realistic multi-epoch image sequence from a wave run (used by
+/// the commit/load throughput benches).
+fn wave_image(step: u64) -> WorldImage {
+    let program = WaveMpi {
+        npoints: 20_000,
+        nsteps: 40,
+        gather_final: false,
+        ..WaveMpi::default()
+    };
+    Session::builder()
+        .cluster(bench_cluster())
+        .vendor(Vendor::Mpich)
+        .checkpointer(Checkpointer::mana())
+        .checkpoint_at_step(step, dmtcp_sim::CkptMode::Stop)
+        .build()
+        .unwrap()
+        .launch(&program)
+        .unwrap()
+        .into_image()
+        .unwrap()
+}
+
+fn store_benches(c: &mut Criterion) {
+    // The measured rows (also what BENCH_ckpt.json records).
+    let wave = WaveMpi {
+        npoints: 20_000,
+        nsteps: 40,
+        gather_final: false,
+        ..WaveMpi::default()
+    };
+    let comd = CoMdMini {
+        nsteps: 24,
+        ..CoMdMini::default()
+    };
+    let rows = vec![
+        measure_workload("wave_mpi", &wave, 8).expect("wave row"),
+        measure_workload("CoMD", &comd, 6).expect("comd row"),
+    ];
+    for r in &rows {
+        println!(
+            "store/{}: {} epochs, full base {} B, avg delta {} B ({:.2}x less), \
+             image {} B, makespan sync {:.6} s vs async {:.6} s",
+            r.name,
+            r.epochs,
+            r.full_bytes,
+            r.delta_bytes_avg,
+            r.full_bytes as f64 / r.delta_bytes_avg.max(1) as f64,
+            r.image_bytes,
+            r.sync_makespan_s,
+            r.async_makespan_s,
+        );
+    }
+    emit_json(&rows);
+
+    // Wall-clock throughput of the store primitives on real images.
+    let img1 = wave_image(10);
+    let img2 = wave_image(20);
+    let mut group = c.benchmark_group("ckpt_store");
+    group.sample_size(10);
+    group.bench_function("commit_full", |b| {
+        b.iter(|| {
+            let dir = tmp_dir("commit_full");
+            let mut store = DeltaStore::open_with(&dir, store_cfg()).unwrap();
+            let s = store.commit(&img1).unwrap();
+            std::fs::remove_dir_all(&dir).ok();
+            s.bytes_written
+        });
+    });
+    group.bench_function("commit_delta", |b| {
+        b.iter(|| {
+            let dir = tmp_dir("commit_delta");
+            let mut store = DeltaStore::open_with(&dir, store_cfg()).unwrap();
+            store.commit(&img1).unwrap();
+            let s = store.commit(&img2).unwrap();
+            std::fs::remove_dir_all(&dir).ok();
+            s.bytes_written
+        });
+    });
+    {
+        let dir = tmp_dir("load");
+        let mut store = DeltaStore::open_with(&dir, store_cfg()).unwrap();
+        store.commit(&img1).unwrap();
+        store.commit(&img2).unwrap();
+        group.bench_function("load_latest_from_chain", |b| {
+            b.iter(|| store.load_latest().unwrap().total_bytes());
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, store_benches);
+criterion_main!(benches);

@@ -3,13 +3,20 @@
 //! restart under MPICH, and compare the measured latencies against the two
 //! uninterrupted launches.
 //!
-//! Usage: `fig6_restart [--quick]`.
+//! Usage: `fig6_restart [--quick] [--deltas]`.
+//!
+//! With `--deltas` the checkpoint is persisted through the asynchronous
+//! delta-checkpoint store and the restart reconstructs the world from the
+//! on-disk epoch chain instead of an in-memory image.
 
 use mpi_apps::{OsuKernel, OsuLatency};
-use stool_bench::{fig6_data, paper_cluster, print_restart_figure, quick_cluster};
+use stool_bench::{
+    fig6_data, fig6_data_via_store, paper_cluster, print_restart_figure, quick_cluster,
+};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let deltas = std::env::args().any(|a| a == "--deltas");
     let bench = if quick {
         OsuLatency {
             kernel: OsuKernel::Alltoall,
@@ -22,11 +29,20 @@ fn main() {
     } else {
         OsuLatency::paper_config(OsuKernel::Alltoall)
     };
-    let fig = if quick {
-        fig6_data(|r| quick_cluster(r, 0.0), &bench)
+    let cluster = move |r: u64| {
+        if quick {
+            quick_cluster(r, 0.0)
+        } else {
+            paper_cluster(r, 0.0)
+        }
+    };
+    let fig = if deltas {
+        let dir = std::env::temp_dir().join(format!("fig6-delta-chain-{}", std::process::id()));
+        let fig = fig6_data_via_store(cluster, &bench, &dir).expect("fig6 run via store");
+        std::fs::remove_dir_all(&dir).ok();
+        fig
     } else {
-        fig6_data(|r| paper_cluster(r, 0.0), &bench)
-    }
-    .expect("fig6 run");
+        fig6_data(cluster, &bench).expect("fig6 run")
+    };
     print_restart_figure(&fig);
 }

@@ -209,6 +209,76 @@ pub fn fig6_data(
     })
 }
 
+/// The Fig. 6 experiment routed through the asynchronous delta-checkpoint
+/// store: the checkpoint-and-stop epoch lands on disk as an epoch chain
+/// (not an in-memory image), and the restart under MPICH reconstructs the
+/// world from the chain — the paper's scenario with persistence included.
+pub fn fig6_data_via_store(
+    cluster_for: impl Fn(u64) -> ClusterSpec,
+    bench: &OsuLatency,
+    store_dir: &std::path::Path,
+) -> StoolResult<RestartFigure> {
+    let sizes = bench.sizes();
+    let mut modified = bench.clone();
+    modified.ckpt_window = Some(VirtualTime::from_secs(10));
+
+    let run_full = |vendor: Vendor| -> StoolResult<Series> {
+        let session = ConfigKind::ALL
+            .into_iter()
+            .find(|k| k.is_full() && k.vendor() == vendor)
+            .expect("full config")
+            .session(cluster_for(0))?;
+        let out = session.launch(&modified)?;
+        let lat = out.memories()?[0]
+            .f64s("osu.lat_us")
+            .expect("results")
+            .to_vec();
+        Ok(Series {
+            label: format!("Launch with {}", vendor.name()),
+            median_us: lat,
+            stddev_us: vec![0.0; sizes.len()],
+        })
+    };
+
+    let launch_ompi = run_full(Vendor::OpenMpi)?;
+    let launch_mpich = run_full(Vendor::Mpich)?;
+
+    let _ = std::fs::remove_dir_all(store_dir);
+    let launch = Session::builder()
+        .cluster(cluster_for(0))
+        .vendor(Vendor::OpenMpi)
+        .checkpointer(stool::Checkpointer::mana())
+        .checkpoint_at_step(1, CkptMode::Stop)
+        .checkpoint_store(store_dir)
+        .build()?;
+    let out = launch.launch(&modified)?;
+    assert!(matches!(out, stool::RunOutcome::Checkpointed { .. }));
+
+    let restart = Session::builder()
+        .cluster(cluster_for(0))
+        .vendor(Vendor::Mpich)
+        .checkpointer(stool::Checkpointer::mana())
+        .checkpoint_store(store_dir)
+        .build()?;
+    let out = restart.restore_from_store(&modified)?;
+    let lat = out.memories()?[0]
+        .f64s("osu.lat_us")
+        .expect("results")
+        .to_vec();
+    let restarted = Series {
+        label: "Launch with Open MPI, restart with MPICH (from delta chain)".to_string(),
+        median_us: lat,
+        stddev_us: vec![0.0; sizes.len()],
+    };
+
+    Ok(RestartFigure {
+        sizes,
+        launch_ompi,
+        launch_mpich,
+        restarted,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +307,24 @@ mod tests {
             }
         }
         assert!(fig.max_overhead_pct() > 0.0);
+    }
+
+    #[test]
+    fn fig6_via_store_matches_in_memory_fig6() {
+        let bench = tiny_osu(OsuKernel::Alltoall);
+        let dir = std::env::temp_dir().join(format!("stool-fig6-store-{}", std::process::id()));
+        let fig = fig6_data(|r| quick_cluster(r, 0.0), &bench).unwrap();
+        let via = fig6_data_via_store(|r| quick_cluster(r, 0.0), &bench, &dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        // Persisting the checkpoint as a delta chain and restarting from
+        // it must not change the measured latencies at all.
+        for (a, b) in via.restarted.median_us.iter().zip(&fig.restarted.median_us) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "store roundtrip changed a latency"
+            );
+        }
     }
 
     #[test]

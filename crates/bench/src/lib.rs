@@ -28,5 +28,7 @@ pub mod figdata;
 pub mod report;
 
 pub use configs::{paper_cluster, quick_cluster, ConfigKind};
-pub use figdata::{fig5_data, fig6_data, osu_figure, AppBar, OsuFigure, RestartFigure};
+pub use figdata::{
+    fig5_data, fig6_data, fig6_data_via_store, osu_figure, AppBar, OsuFigure, RestartFigure,
+};
 pub use report::{print_fig5, print_osu_figure, print_restart_figure, Series};

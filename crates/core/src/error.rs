@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use dmtcp_sim::image::ImageError;
+use dmtcp_sim::store::StoreError;
 use mpi_abi::AbiError;
 use simnet::SimError;
 
@@ -19,6 +21,11 @@ pub enum StoolError {
     Config(String),
     /// A checkpoint image could not be restored.
     Restore(String),
+    /// A checkpoint image could not be saved or loaded on disk.
+    Image(ImageError),
+    /// The delta-checkpoint store failed (committing, flushing or
+    /// rebuilding an epoch chain).
+    Store(StoreError),
     /// The application reported an error.
     App(String),
 }
@@ -30,6 +37,8 @@ impl fmt::Display for StoolError {
             StoolError::Sim(e) => write!(f, "cluster error: {e}"),
             StoolError::Config(m) => write!(f, "session configuration error: {m}"),
             StoolError::Restore(m) => write!(f, "restore error: {m}"),
+            StoolError::Image(e) => write!(f, "image error: {e}"),
+            StoolError::Store(e) => write!(f, "checkpoint store error: {e}"),
             StoolError::App(m) => write!(f, "application error: {m}"),
         }
     }
@@ -46,6 +55,18 @@ impl From<AbiError> for StoolError {
 impl From<SimError> for StoolError {
     fn from(e: SimError) -> Self {
         StoolError::Sim(e)
+    }
+}
+
+impl From<ImageError> for StoolError {
+    fn from(e: ImageError) -> Self {
+        StoolError::Image(e)
+    }
+}
+
+impl From<StoreError> for StoolError {
+    fn from(e: StoreError) -> Self {
+        StoolError::Store(e)
     }
 }
 

@@ -49,12 +49,13 @@ pub mod session;
 pub mod stack;
 
 pub use dmtcp_sim::memory::Memory;
-pub use dmtcp_sim::{CkptMode, WorldImage};
+pub use dmtcp_sim::{CkptMode, ImageError, WorldImage};
+pub use dmtcp_sim::{DeltaStore, EpochStats, StoreConfig, StoreError};
 pub use error::{StoolError, StoolResult};
 pub use mana_sim::ManaConfig;
 pub use muk::{MukOverhead, Vendor};
 pub use program::{AppCtx, Flow, MpiProgram};
 pub use session::{
     Checkpointer, CkptPolicy, FaultPlan, Recovery, ResilienceReport, RunOutcome, Session,
-    SessionBuilder,
+    SessionBuilder, StorePolicy,
 };

@@ -1,10 +1,12 @@
 //! Sessions: binding the three legs of the stool at run time.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use dmtcp_sim::coordinator::{CkptMode, Coordinator};
 use dmtcp_sim::image::WorldImage;
 use dmtcp_sim::memory::Memory;
+use dmtcp_sim::store::{DeltaStore, StoreConfig, StoreError, StoreWriter};
 use mana_sim::ckpt::restore_rank;
 use mana_sim::ManaConfig;
 use muk::{MukOverhead, Vendor};
@@ -55,6 +57,21 @@ impl Default for CkptPolicy {
     }
 }
 
+/// Where (and how) completed checkpoint epochs are persisted when the
+/// session attaches the asynchronous delta-checkpoint store
+/// ([`dmtcp_sim::store`]). With a store attached, ranks hand their images
+/// to a background writer pool at the rendezvous barrier and pay only the
+/// submit overhead; epochs land on disk as a delta chain that
+/// [`Session::restore_from_store`] (or `DeltaStore::open` directly) can
+/// restart — under any vendor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorePolicy {
+    /// Chain directory.
+    pub dir: PathBuf,
+    /// Store tunables (block size, retention, chain length, writers).
+    pub config: StoreConfig,
+}
+
 /// A deterministic injected failure: the job is killed when the application
 /// reaches the given safe-point step (the paper's motivating scenarios:
 /// node crash, allocation timeout, cluster shutdown).
@@ -88,6 +105,8 @@ pub struct SessionConfig {
     pub checkpointer: Checkpointer,
     /// Session-driven checkpoint policy.
     pub policy: CkptPolicy,
+    /// Asynchronous delta-checkpoint store, if attached.
+    pub store: Option<StorePolicy>,
     /// Injected failure, if any (fault-tolerance experiments).
     pub fault: Option<FaultPlan>,
     /// Canonical rank-ordered reductions through the shim (bitwise
@@ -110,6 +129,7 @@ impl Default for SessionBuilder {
                 muk_overhead: MukOverhead::default(),
                 checkpointer: Checkpointer::None,
                 policy: CkptPolicy::default(),
+                store: None,
                 fault: None,
                 deterministic_reductions: false,
             },
@@ -175,6 +195,23 @@ impl SessionBuilder {
         self
     }
 
+    /// Persist checkpoints through the asynchronous delta store at `dir`
+    /// (default tunables): ranks hand completed epochs to a background
+    /// writer pool at the rendezvous instead of paying the synchronous
+    /// image write, and only content-changed blocks reach the disk.
+    pub fn checkpoint_store(self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_store_with(dir, StoreConfig::default())
+    }
+
+    /// Like [`SessionBuilder::checkpoint_store`], with explicit tunables.
+    pub fn checkpoint_store_with(mut self, dir: impl Into<PathBuf>, config: StoreConfig) -> Self {
+        self.config.store = Some(StorePolicy {
+            dir: dir.into(),
+            config,
+        });
+        self
+    }
+
     /// Inject a global failure when the application reaches `step`,
     /// attributed to `node`.
     pub fn inject_node_failure(mut self, step: u64, node: usize) -> Self {
@@ -199,6 +236,11 @@ impl SessionBuilder {
         if c.policy.every_steps == Some(0) {
             return Err(StoolError::Config(
                 "checkpoint_every(0) is meaningless".into(),
+            ));
+        }
+        if c.store.is_some() && matches!(c.checkpointer, Checkpointer::None) {
+            return Err(StoolError::Config(
+                "a checkpoint store requires a checkpointing package".into(),
             ));
         }
         if c.deterministic_reductions && !c.use_muk {
@@ -343,15 +385,24 @@ impl Session {
         SessionBuilder::default()
     }
 
+    /// The effective MANA configuration: the configured one, with
+    /// asynchronous image writes switched on when a store is attached.
+    fn mana_config(&self) -> Option<ManaConfig> {
+        match self.config.checkpointer {
+            Checkpointer::Mana(mut cfg) => {
+                cfg.async_image_writes = self.config.store.is_some();
+                Some(cfg)
+            }
+            Checkpointer::None => None,
+        }
+    }
+
     /// The stack specification implied by the configuration.
     pub fn stack_spec(&self) -> StackSpec {
         StackSpec {
             vendor: self.config.vendor,
             muk: self.config.use_muk.then_some(self.config.muk_overhead),
-            mana: match self.config.checkpointer {
-                Checkpointer::Mana(cfg) => Some(cfg),
-                Checkpointer::None => None,
-            },
+            mana: self.mana_config(),
             deterministic_reductions: self.config.deterministic_reductions,
         }
     }
@@ -369,14 +420,9 @@ impl Session {
     /// Restore a checkpointed world image and continue the program —
     /// possibly under a different vendor than it was checkpointed with.
     pub fn restore(&self, image: &WorldImage, program: &dyn MpiProgram) -> StoolResult<RunOutcome> {
-        let mana_cfg = match self.config.checkpointer {
-            Checkpointer::Mana(cfg) => cfg,
-            Checkpointer::None => {
-                return Err(StoolError::Config(
-                    "restoring requires the MANA checkpointer in the session".into(),
-                ))
-            }
-        };
+        let mana_cfg = self.mana_config().ok_or_else(|| {
+            StoolError::Config("restoring requires the MANA checkpointer in the session".into())
+        })?;
         if image.nranks() != self.config.cluster.nranks() {
             return Err(StoolError::Restore(format!(
                 "image has {} ranks, cluster has {}",
@@ -385,6 +431,21 @@ impl Session {
             )));
         }
         self.run_inner(program, Some((image, mana_cfg)))
+    }
+
+    /// Restart from the newest epoch of the session's attached delta
+    /// store — under this session's vendor, which may differ from the
+    /// vendor the chain was checkpointed under (the paper's headline
+    /// scenario, now directly from deltas on disk).
+    pub fn restore_from_store(&self, program: &dyn MpiProgram) -> StoolResult<RunOutcome> {
+        let policy = self.config.store.as_ref().ok_or_else(|| {
+            StoolError::Config(
+                "restore_from_store requires checkpoint_store(..) on the session".into(),
+            )
+        })?;
+        let store = DeltaStore::open_with(&policy.dir, policy.config)?;
+        let image = store.load_latest()?;
+        self.restore(&image, program)
     }
 
     fn run_inner(
@@ -397,6 +458,19 @@ impl Session {
         let coordinator = match self.config.checkpointer {
             Checkpointer::Mana(_) => Some(Coordinator::new(cluster.nranks())),
             Checkpointer::None => None,
+        };
+        // With a store attached, the background writer pool takes
+        // ownership of each completed epoch at the rendezvous barrier and
+        // persists it as a delta chain while the ranks run on.
+        let store_writer = match (&self.config.store, &coordinator) {
+            (Some(policy), Some(coord)) => {
+                let writer = Arc::new(
+                    StoreWriter::spawn(&policy.dir, policy.config).map_err(StoolError::Store)?,
+                );
+                coord.attach_sink(writer.clone(), self.config.vendor.name());
+                Some(writer)
+            }
+            _ => None,
         };
         let policy = self.config.policy;
         let image = restore.map(|(img, cfg)| (Arc::new(img.clone()), cfg));
@@ -436,6 +510,32 @@ impl Session {
         })
         .map_err(StoolError::Sim)?;
 
+        // Every submitted epoch must be durable before the outcome is
+        // inspected (restart may read the chain immediately).
+        if let Some(writer) = &store_writer {
+            writer.flush().map_err(StoolError::Store)?;
+        }
+        // Collect the image of the last checkpoint this run completed:
+        // from the staging area, or — when the store consumed the staged
+        // images at the rendezvous — by rebuilding the chain head.
+        let collect_image = |c: &Coordinator| -> StoolResult<Option<WorldImage>> {
+            if c.completed_epoch() == 0 {
+                return Ok(None);
+            }
+            match &self.config.store {
+                Some(policy) => {
+                    let store = DeltaStore::open_with(&policy.dir, policy.config)
+                        .map_err(StoolError::Store)?;
+                    match store.load_latest() {
+                        Ok(img) => Ok(Some(img)),
+                        Err(StoreError::Empty) => Ok(None),
+                        Err(e) => Err(StoolError::Store(e)),
+                    }
+                }
+                None => Ok(c.take_world_image(self.config.vendor.name())),
+            }
+        };
+
         let failed: Vec<Option<u64>> = outcome.results.iter().map(|(_, _, f)| *f).collect();
         if let Some(&Some(step)) = failed.iter().find(|f| f.is_some()) {
             if !failed.iter().all(|&f| f == Some(step)) {
@@ -445,10 +545,10 @@ impl Session {
                 ));
             }
             // Salvage the last completed periodic checkpoint, if any.
-            let image = coordinator
-                .as_ref()
-                .filter(|c| c.completed_epoch() > 0)
-                .and_then(|c| c.take_world_image(self.config.vendor.name()));
+            let image = match &coordinator {
+                Some(c) => collect_image(c)?,
+                None => None,
+            };
             return Ok(RunOutcome::Failed {
                 image,
                 failed_step: step,
@@ -466,8 +566,7 @@ impl Session {
             }
             let coordinator = coordinator
                 .ok_or_else(|| StoolError::Config("stopped without a coordinator".into()))?;
-            let image = coordinator
-                .take_world_image(self.config.vendor.name())
+            let image = collect_image(&coordinator)?
                 .ok_or_else(|| StoolError::Config("stop without a complete image".into()))?;
             return Ok(RunOutcome::Checkpointed {
                 image,

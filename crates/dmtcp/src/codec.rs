@@ -75,6 +75,46 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// FNV-1a, 64-bit, seeded: a second independent-enough hash stream used
+/// together with [`fnv1a`] to form the 128-bit content key of checkpoint
+/// store blocks (see [`crate::store`]).
+pub fn fnv1a_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ seed.rotate_left(29);
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. Used as the
+/// per-block integrity check of the delta-checkpoint store: unlike the
+/// whole-file FNV trailer, a CRC per block localizes corruption to the
+/// exact (epoch, offset) that rotted on disk.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
 /// Maximum length accepted for any single field (guards against decoding
 /// garbage as a multi-gigabyte allocation).
 const MAX_FIELD_LEN: u64 = 1 << 32;
@@ -346,5 +386,24 @@ mod tests {
         // Known FNV-1a test vectors.
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn crc32_vectors() {
+        // Standard CRC-32/IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn seeded_fnv_differs_from_plain() {
+        let data = b"block payload";
+        assert_ne!(fnv1a(data), fnv1a_seeded(1, data));
+        assert_ne!(fnv1a_seeded(1, data), fnv1a_seeded(2, data));
+        assert_eq!(fnv1a_seeded(7, data), fnv1a_seeded(7, data));
     }
 }

@@ -46,7 +46,20 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use crate::image::{RankImage, WorldImage};
+use crate::image::{ImageError, RankImage, WorldImage};
+
+/// A consumer of completed world images, attached to the coordinator with
+/// [`Coordinator::attach_sink`]. The paradigm case is the asynchronous
+/// delta-checkpoint store ([`crate::store::StoreWriter`]): the sink takes
+/// ownership of the staged images inside the final rendezvous barrier so
+/// the ranks resume computing while the I/O proceeds in the background.
+///
+/// `submit` must be fast (hand the image to a queue); it may block briefly
+/// for backpressure but must never wait on the ranks it was called from.
+pub trait ImageSink: Send + Sync {
+    /// Take ownership of one completed epoch's world image.
+    fn submit(&self, image: WorldImage) -> Result<(), ImageError>;
+}
 
 /// What the world should do after the checkpoint is taken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +72,7 @@ pub enum CkptMode {
 }
 
 /// Why a checkpoint round failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CkptError {
     /// A participant died mid-round; the protocol barrier was poisoned so
     /// the survivors unwind instead of hanging.
@@ -81,6 +94,10 @@ pub enum CkptError {
         /// The step the rank presented.
         got: u64,
     },
+    /// The attached [`ImageSink`] (the asynchronous checkpoint store)
+    /// failed to accept a completed epoch; every participant of the round
+    /// observes the same error so the world unwinds consistently.
+    Image(ImageError),
 }
 
 impl std::fmt::Display for CkptError {
@@ -98,11 +115,18 @@ impl std::fmt::Display for CkptError {
                     "rank overran the checkpoint cut (cut {cut}, reached {got})"
                 )
             }
+            CkptError::Image(e) => write!(f, "checkpoint image sink failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for CkptError {}
+
+impl From<ImageError> for CkptError {
+    fn from(e: ImageError) -> CkptError {
+        CkptError::Image(e)
+    }
+}
 
 /// A reusable barrier whose waiters can be released with an error when a
 /// participant dies (std's `Barrier` would hang them forever).
@@ -216,6 +240,12 @@ struct Shared {
     images: Mutex<Vec<Option<RankImage>>>,
     completed_epoch: AtomicU64,
     completed_rounds: AtomicU64,
+    /// Attached image consumer plus the vendor hint to stamp on forwarded
+    /// world images, if any.
+    sink: Mutex<Option<(Arc<dyn ImageSink>, String)>>,
+    /// First sink failure; latched so every participant of the failing
+    /// round (and any later round) unwinds with the same error.
+    sink_error: Mutex<Option<ImageError>>,
 }
 
 /// Coordinator handle (cheap to clone; shared across threads).
@@ -244,8 +274,20 @@ impl Coordinator {
                 images: Mutex::new((0..nranks).map(|_| None).collect()),
                 completed_epoch: AtomicU64::new(0),
                 completed_rounds: AtomicU64::new(0),
+                sink: Mutex::new(None),
+                sink_error: Mutex::new(None),
             }),
         }
+    }
+
+    /// Attach an [`ImageSink`]: every completed round's world image is
+    /// handed to it (stamped with `vendor_hint`) inside the final barrier
+    /// instead of waiting in the staging area for
+    /// [`Coordinator::take_world_image`]. This is how the asynchronous
+    /// delta-checkpoint store takes ownership of images at the rendezvous
+    /// so that ranks resume while the write proceeds.
+    pub fn attach_sink(&self, sink: Arc<dyn ImageSink>, vendor_hint: &str) {
+        *self.shared.sink.lock().expect("sink lock") = Some((sink, vendor_hint.to_string()));
     }
 
     /// World size this coordinator serves.
@@ -605,8 +647,35 @@ impl CkptSession<'_> {
             round.entered = 0;
             shared.completed_epoch.store(self.epoch, Ordering::SeqCst);
             shared.completed_rounds.fetch_add(1, Ordering::SeqCst);
+            drop(round);
+            // Hand the completed epoch to the attached sink (the async
+            // store). Every rank has submitted its image before reaching
+            // the barrier above, so the staging area is complete; the sink
+            // takes ownership and the ranks resume while I/O proceeds.
+            let sink = shared.sink.lock().expect("sink lock").clone();
+            if let Some((sink, vendor_hint)) = sink {
+                let ranks: Vec<RankImage> = {
+                    let mut staged = shared.images.lock().expect("images lock");
+                    if staged.iter().all(Option::is_some) {
+                        staged.iter_mut().map(|s| s.take().expect("some")).collect()
+                    } else {
+                        Vec::new()
+                    }
+                };
+                if !ranks.is_empty() {
+                    if let Err(e) = sink.submit(WorldImage::new(vendor_hint, ranks)) {
+                        *shared.sink_error.lock().expect("sink error lock") = Some(e);
+                    }
+                }
+            }
         }
         shared.sync.wait(shared.nranks)?;
+        if let Some(e) = shared.sink_error.lock().expect("sink error lock").clone() {
+            // Observed by every participant after the final barrier: the
+            // checkpoint was taken but could not be persisted, and the
+            // world unwinds with one consistent error.
+            return Err(CkptError::Image(e));
+        }
         self.agent.seen_epoch = shared.round.lock().expect("round lock").consumed_epoch;
         self.agent.in_protocol = false;
         Ok(self.mode)
@@ -828,6 +897,85 @@ mod tests {
         }
         assert_eq!(coord.completed_epoch(), 2);
         assert_eq!(coord.completed_rounds(), 2);
+    }
+
+    #[test]
+    fn attached_sink_takes_ownership_of_each_epoch() {
+        struct Collect(Mutex<Vec<WorldImage>>);
+        impl ImageSink for Collect {
+            fn submit(&self, image: WorldImage) -> Result<(), crate::image::ImageError> {
+                self.0.lock().unwrap().push(image);
+                Ok(())
+            }
+        }
+        let n = 3;
+        let coord = Coordinator::new(n);
+        let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+        coord.attach_sink(sink.clone(), "MPICH");
+        coord.request_checkpoint(CkptMode::Continue);
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let coord = coord.clone();
+                s.spawn(move || {
+                    let mut agent = coord.agent(rank);
+                    let zeros = vec![0u64; n];
+                    run_to_checkpoint(&mut agent, 0, &zeros, &zeros);
+                });
+            }
+        });
+        let got = sink.0.lock().unwrap();
+        assert_eq!(got.len(), 1, "one round, one forwarded image");
+        assert_eq!(got[0].nranks(), n);
+        assert_eq!(got[0].vendor_hint, "MPICH");
+        drop(got);
+        // The sink consumed the staging area at the rendezvous.
+        assert!(coord.take_world_image("x").is_none());
+    }
+
+    #[test]
+    fn failing_sink_unwinds_every_participant() {
+        struct Fail;
+        impl ImageSink for Fail {
+            fn submit(&self, _: WorldImage) -> Result<(), crate::image::ImageError> {
+                Err(crate::image::ImageError::Store {
+                    epoch: 1,
+                    msg: "disk full".into(),
+                })
+            }
+        }
+        let n = 2;
+        let coord = Coordinator::new(n);
+        coord.attach_sink(Arc::new(Fail), "MPICH");
+        coord.request_checkpoint(CkptMode::Continue);
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let coord = coord.clone();
+                s.spawn(move || {
+                    let mut agent = coord.agent(rank);
+                    let zeros = vec![0u64; n];
+                    let mut step = 0;
+                    let session = loop {
+                        match agent.poll(step).expect("poll") {
+                            Poll::Enter(session) => break session,
+                            _ => {
+                                step += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    };
+                    session.exchange_counters(&zeros, &zeros).expect("counters");
+                    session.submit_image(RankImage::new(rank, n, session.epoch()));
+                    // Every participant — leader or not — observes the
+                    // persistence failure with the same error.
+                    match session.finish() {
+                        Err(CkptError::Image(e)) => {
+                            assert!(e.to_string().contains("disk full"), "{e}")
+                        }
+                        other => panic!("expected Image error, got {other:?}"),
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! `.dmtcp` image.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::io::{Read, Write as IoWrite};
 use std::path::{Path, PathBuf};
 
@@ -14,6 +15,132 @@ use crate::codec::{CodecError, Reader, Writer};
 
 const RANK_MAGIC: u64 = 0x4D50_4953_544F_4F4C; // "MPISTOOL"
 const IMAGE_VERSION: u64 = 1;
+
+/// What went wrong saving or loading a checkpoint image, with enough
+/// context (rank, epoch, path) to name the exact artifact at fault — a
+/// torn restart must say *which* file of *which* rank broke, not just
+/// "parse error".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// A filesystem operation failed. `rank` is `None` for world-level
+    /// files (`world.meta`).
+    Io {
+        /// The operation that failed ("create", "open", "read", ...).
+        op: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The rank whose image was being handled, if any.
+        rank: Option<usize>,
+        /// The OS error, stringified (keeps the error cloneable).
+        msg: String,
+    },
+    /// A rank image failed to decode (truncated, corrupted, bad magic).
+    Decode {
+        /// The rank whose image failed.
+        rank: usize,
+        /// The path read.
+        path: PathBuf,
+        /// The codec-level cause.
+        source: CodecError,
+    },
+    /// The world metadata file failed to decode.
+    Meta {
+        /// The path read.
+        path: PathBuf,
+        /// The codec-level cause.
+        source: CodecError,
+    },
+    /// A rank image's header does not belong where it was found.
+    RankMismatch {
+        /// The rank expected from the file name / slot.
+        expected: usize,
+        /// The rank the image header claims.
+        found: usize,
+        /// The path read.
+        path: PathBuf,
+    },
+    /// The delta-checkpoint store failed while persisting or rebuilding an
+    /// epoch (see [`crate::store`]); carried here so checkpoint-protocol
+    /// callers see one error type.
+    Store {
+        /// The epoch involved (0 when unknown).
+        epoch: u64,
+        /// The store-level cause, stringified.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Io {
+                op,
+                path,
+                rank,
+                msg,
+            } => match rank {
+                Some(r) => write!(f, "{op} {} (rank {r} image): {msg}", path.display()),
+                None => write!(f, "{op} {}: {msg}", path.display()),
+            },
+            ImageError::Decode { rank, path, source } => {
+                write!(f, "rank {rank} image {}: {source}", path.display())
+            }
+            ImageError::Meta { path, source } => {
+                write!(f, "world metadata {}: {source}", path.display())
+            }
+            ImageError::RankMismatch {
+                expected,
+                found,
+                path,
+            } => write!(
+                f,
+                "rank image {} claims rank {found}, expected rank {expected}",
+                path.display()
+            ),
+            ImageError::Store { epoch, msg } => {
+                write!(f, "checkpoint store (epoch {epoch}): {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::Decode { source, .. } | ImageError::Meta { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl ImageError {
+    fn io(op: &'static str, path: &Path, rank: Option<usize>, e: std::io::Error) -> ImageError {
+        ImageError::Io {
+            op,
+            path: path.to_path_buf(),
+            rank,
+            msg: e.to_string(),
+        }
+    }
+}
+
+/// Write `data` to `path` crash-safely: write to a sibling temp file, then
+/// atomically rename over the destination. An interrupted writer can leave
+/// a stray `*.tmp`, never a torn destination file.
+pub(crate) fn write_atomic(
+    path: &Path,
+    data: &[u8],
+    rank: Option<usize>,
+) -> Result<(), ImageError> {
+    let tmp = path.with_extension("tmp");
+    let mut f = std::fs::File::create(&tmp).map_err(|e| ImageError::io("create", &tmp, rank, e))?;
+    f.write_all(data)
+        .map_err(|e| ImageError::io("write", &tmp, rank, e))?;
+    f.sync_all()
+        .map_err(|e| ImageError::io("sync", &tmp, rank, e))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| ImageError::io("rename", path, rank, e))
+}
 
 /// A single rank's checkpoint image.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -52,6 +179,14 @@ impl RankImage {
     /// Section names in deterministic order.
     pub fn section_names(&self) -> impl Iterator<Item = &str> {
         self.sections.keys().map(String::as_str)
+    }
+
+    /// All sections as `(name, data)` pairs in deterministic order (the
+    /// delta store chunks each section independently).
+    pub fn sections(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.sections
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 
     /// Total payload size (what would hit the parallel filesystem).
@@ -134,41 +269,60 @@ impl WorldImage {
     }
 
     /// Save all rank images under a directory (like `ckpt_*.dmtcp` files).
-    pub fn save_dir(&self, dir: &Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
+    ///
+    /// Crash-safe: every file is written to a temp path and atomically
+    /// renamed into place, so an interrupted save can leave stray `*.tmp`
+    /// files but never a torn image that [`WorldImage::load_dir`]
+    /// half-parses.
+    pub fn save_dir(&self, dir: &Path) -> Result<(), ImageError> {
+        std::fs::create_dir_all(dir).map_err(|e| ImageError::io("create dir", dir, None, e))?;
         let mut meta = Writer::new();
         meta.u64(RANK_MAGIC);
         meta.string(&self.vendor_hint);
         meta.u64(self.ranks.len() as u64);
-        std::fs::File::create(dir.join("world.meta"))?.write_all(&meta.finish())?;
+        write_atomic(&dir.join("world.meta"), &meta.finish(), None)?;
         for img in &self.ranks {
             let path = Self::rank_path(dir, img.rank);
-            std::fs::File::create(path)?.write_all(&img.encode())?;
+            write_atomic(&path, &img.encode(), Some(img.rank))?;
         }
         Ok(())
     }
 
     /// Load a world image from a directory.
-    pub fn load_dir(dir: &Path) -> Result<WorldImage, String> {
-        let mut meta_buf = Vec::new();
-        std::fs::File::open(dir.join("world.meta"))
-            .map_err(|e| format!("open world.meta: {e}"))?
-            .read_to_end(&mut meta_buf)
-            .map_err(|e| format!("read world.meta: {e}"))?;
-        let mut r = Reader::checked(&meta_buf).map_err(|e| e.to_string())?;
-        r.expect_magic(RANK_MAGIC).map_err(|e| e.to_string())?;
-        let vendor_hint = r.string().map_err(|e| e.to_string())?;
-        let nranks = r.u64().map_err(|e| e.to_string())? as usize;
+    pub fn load_dir(dir: &Path) -> Result<WorldImage, ImageError> {
+        let meta_path = dir.join("world.meta");
+        let read_file = |path: &Path, rank: Option<usize>| -> Result<Vec<u8>, ImageError> {
+            let mut buf = Vec::new();
+            std::fs::File::open(path)
+                .map_err(|e| ImageError::io("open", path, rank, e))?
+                .read_to_end(&mut buf)
+                .map_err(|e| ImageError::io("read", path, rank, e))?;
+            Ok(buf)
+        };
+        let meta_buf = read_file(&meta_path, None)?;
+        let meta_err = |source: CodecError| ImageError::Meta {
+            path: meta_path.clone(),
+            source,
+        };
+        let mut r = Reader::checked(&meta_buf).map_err(meta_err)?;
+        r.expect_magic(RANK_MAGIC).map_err(meta_err)?;
+        let vendor_hint = r.string().map_err(meta_err)?;
+        let nranks = r.u64().map_err(meta_err)? as usize;
         let mut ranks = Vec::with_capacity(nranks);
         for rank in 0..nranks {
-            let mut buf = Vec::new();
-            std::fs::File::open(Self::rank_path(dir, rank))
-                .map_err(|e| format!("open rank {rank} image: {e}"))?
-                .read_to_end(&mut buf)
-                .map_err(|e| format!("read rank {rank} image: {e}"))?;
-            let img = RankImage::decode(&buf).map_err(|e| format!("rank {rank}: {e}"))?;
+            let path = Self::rank_path(dir, rank);
+            let buf = read_file(&path, Some(rank))?;
+            let img = RankImage::decode(&buf).map_err(|source| ImageError::Decode {
+                rank,
+                path: path.clone(),
+                source,
+            })?;
             if img.rank != rank {
-                return Err(format!("rank image {rank} claims rank {}", img.rank));
+                return Err(ImageError::RankMismatch {
+                    expected: rank,
+                    found: img.rank,
+                    path,
+                });
             }
             ranks.push(img);
         }
@@ -232,7 +386,36 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() / 2]).unwrap();
         let err = WorldImage::load_dir(&dir).unwrap_err();
-        assert!(err.contains("rank 1"), "{err}");
+        assert!(matches!(err, ImageError::Decode { rank: 1, .. }), "{err}");
+        assert!(err.to_string().contains("rank 1"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_temp_file_does_not_confuse_load() {
+        // A crashed save may leave `*.tmp` files; the committed image must
+        // still load, and the stray must not shadow a real rank file.
+        let dir = std::env::temp_dir().join(format!("stool_img_tmp_{}", std::process::id()));
+        let world = WorldImage::new("MPICH".to_string(), (0..2).map(sample_image).collect());
+        world.save_dir(&dir).unwrap();
+        std::fs::write(
+            WorldImage::rank_path(&dir, 0).with_extension("tmp"),
+            b"torn",
+        )
+        .unwrap();
+        let back = WorldImage::load_dir(&dir).unwrap();
+        assert_eq!(world, back);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_rank_file_names_the_rank() {
+        let dir = std::env::temp_dir().join(format!("stool_img_miss_{}", std::process::id()));
+        let world = WorldImage::new("MPICH".to_string(), (0..2).map(sample_image).collect());
+        world.save_dir(&dir).unwrap();
+        std::fs::remove_file(WorldImage::rank_path(&dir, 1)).unwrap();
+        let err = WorldImage::load_dir(&dir).unwrap_err();
+        assert!(matches!(err, ImageError::Io { rank: Some(1), .. }), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

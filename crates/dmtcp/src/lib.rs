@@ -19,7 +19,22 @@
 //!   into a world image ([`image::WorldImage`]), with file save/load;
 //! * [`coordinator`] — the checkpoint coordinator: epoch-based requests,
 //!   phase barriers, counter exchange used by the MANA drain protocol, and
-//!   image collection.
+//!   image collection;
+//! * [`store`] — the asynchronous delta-checkpoint store: epoch chains of
+//!   content-hashed blocks with per-block CRC32, atomic commits and
+//!   retention GC.
+//!
+//! In the DMTCP analogy, the [`store`] plays the role of the checkpoint
+//! *image sink* behind the coordinator: where stock DMTCP has every
+//! process write its whole `ckpt_*.dmtcp` file synchronously at the
+//! checkpoint barrier (and forked-checkpointing/incremental-page plugins
+//! exist precisely because that write dominates checkpoint cost), here the
+//! coordinator's final barrier hands the complete epoch to a background
+//! writer pool and the ranks resume immediately. Only content-new blocks
+//! reach the disk, so steady-state epochs cost proportional to *change*,
+//! not to image size — and because the chain stores vendor-neutral
+//! [`image::RankImage`]s, a chain written under one MPI library restarts
+//! under another exactly like a plain image does.
 //!
 //! The MPI-specific parts (split process, virtual ids, drain) live in
 //! `mana-sim`, which plugs into this platform exactly as MANA plugs into
@@ -32,8 +47,10 @@ pub mod codec;
 pub mod coordinator;
 pub mod image;
 pub mod memory;
+pub mod store;
 
 pub use codec::{CodecError, Reader, Writer};
-pub use coordinator::{CkptError, CkptMode, CkptSession, Coordinator, Poll, RankAgent};
-pub use image::{RankImage, WorldImage};
+pub use coordinator::{CkptError, CkptMode, CkptSession, Coordinator, ImageSink, Poll, RankAgent};
+pub use image::{ImageError, RankImage, WorldImage};
 pub use memory::Memory;
+pub use store::{DeltaStore, EpochStats, StoreConfig, StoreError, StoreWriter};

@@ -195,28 +195,7 @@ impl Memory {
         w.u64(self.segments.len() as u64);
         for (name, seg) in &self.segments {
             w.string(name);
-            w.u8(seg.tag());
-            match seg {
-                Segment::F64(v) => {
-                    w.u64(v.len() as u64);
-                    for &x in v {
-                        w.f64(x);
-                    }
-                }
-                Segment::I64(v) => {
-                    w.u64(v.len() as u64);
-                    for &x in v {
-                        w.i64(x);
-                    }
-                }
-                Segment::U64(v) => {
-                    w.u64(v.len() as u64);
-                    for &x in v {
-                        w.u64(x);
-                    }
-                }
-                Segment::Bytes(v) => w.bytes(v),
-            }
+            Self::encode_seg(seg, w);
         }
     }
 
@@ -229,38 +208,88 @@ impl Memory {
         let mut segments = BTreeMap::new();
         for _ in 0..count {
             let name = r.string()?;
-            let tag = r.u8()?;
-            let seg = match tag {
-                0 => {
-                    let len = r.u64()? as usize;
-                    let mut v = Vec::with_capacity(len.min(1 << 20));
-                    for _ in 0..len {
-                        v.push(r.f64()?);
-                    }
-                    Segment::F64(v)
-                }
-                1 => {
-                    let len = r.u64()? as usize;
-                    let mut v = Vec::with_capacity(len.min(1 << 20));
-                    for _ in 0..len {
-                        v.push(r.i64()?);
-                    }
-                    Segment::I64(v)
-                }
-                2 => {
-                    let len = r.u64()? as usize;
-                    let mut v = Vec::with_capacity(len.min(1 << 20));
-                    for _ in 0..len {
-                        v.push(r.u64()?);
-                    }
-                    Segment::U64(v)
-                }
-                3 => Segment::Bytes(r.bytes()?.to_vec()),
-                t => return Err(CodecError::LengthOutOfBounds(t as u64)),
-            };
+            let seg = Self::decode_seg(r)?;
             segments.insert(name, seg);
         }
         Ok(Memory { segments })
+    }
+
+    /// Serialize one segment (tag + payload, no name) on its own — the
+    /// per-segment checkpoint image sections. Returns `None` for a name
+    /// this memory does not hold.
+    pub fn encode_segment(&self, name: &str) -> Option<Vec<u8>> {
+        let seg = self.segments.get(name)?;
+        let mut w = Writer::new();
+        Self::encode_seg(seg, &mut w);
+        Some(w.into_raw())
+    }
+
+    /// Insert one segment from its [`Memory::encode_segment`] bytes.
+    pub fn insert_segment(&mut self, name: &str, buf: &[u8]) -> Result<(), CodecError> {
+        let mut r = Reader::raw(buf);
+        let seg = Self::decode_seg(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(CodecError::LengthOutOfBounds(r.remaining() as u64));
+        }
+        self.segments.insert(name.to_string(), seg);
+        Ok(())
+    }
+
+    fn encode_seg(seg: &Segment, w: &mut Writer) {
+        w.u8(seg.tag());
+        match seg {
+            Segment::F64(v) => {
+                w.u64(v.len() as u64);
+                for &x in v {
+                    w.f64(x);
+                }
+            }
+            Segment::I64(v) => {
+                w.u64(v.len() as u64);
+                for &x in v {
+                    w.i64(x);
+                }
+            }
+            Segment::U64(v) => {
+                w.u64(v.len() as u64);
+                for &x in v {
+                    w.u64(x);
+                }
+            }
+            Segment::Bytes(v) => w.bytes(v),
+        }
+    }
+
+    fn decode_seg(r: &mut Reader<'_>) -> Result<Segment, CodecError> {
+        let tag = r.u8()?;
+        Ok(match tag {
+            0 => {
+                let len = r.u64()? as usize;
+                let mut v = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    v.push(r.f64()?);
+                }
+                Segment::F64(v)
+            }
+            1 => {
+                let len = r.u64()? as usize;
+                let mut v = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    v.push(r.i64()?);
+                }
+                Segment::I64(v)
+            }
+            2 => {
+                let len = r.u64()? as usize;
+                let mut v = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    v.push(r.u64()?);
+                }
+                Segment::U64(v)
+            }
+            3 => Segment::Bytes(r.bytes()?.to_vec()),
+            t => return Err(CodecError::LengthOutOfBounds(t as u64)),
+        })
     }
 }
 

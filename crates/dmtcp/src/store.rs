@@ -1,0 +1,1413 @@
+//! The asynchronous delta-checkpoint store: epoch chains of content-hashed
+//! blocks.
+//!
+//! `WorldImage::save_dir` writes every rank's full image on the rank's
+//! critical path, so checkpoint latency scales with total image size even
+//! when almost nothing changed since the previous epoch. This module is the
+//! layer between the coordinator and the filesystem that removes both
+//! costs:
+//!
+//! * **Asynchrony** — a [`StoreWriter`] is attached to the coordinator as
+//!   an [`crate::coordinator::ImageSink`]. At the final rendezvous barrier
+//!   the round leader hands the complete set of [`RankImage`]s to the
+//!   writer's bounded queue (the double buffer) and every rank resumes
+//!   computing; a background thread performs the chunking, hashing and I/O.
+//! * **Deltas** — each section of each rank image is chunked into blocks
+//!   with *content-defined* boundaries (Gear rolling hash, FastCDC-style
+//!   min/max bounds), identified by a 128-bit content hash. An epoch
+//!   writes only the blocks that are not already present in the current
+//!   chain; unchanged blocks are *references* to the epoch that first
+//!   wrote them. Content-defined boundaries make dedup robust to
+//!   insertions: when a rank's arrays grow or shrink between epochs (atom
+//!   migration, appended diagnostics), only the blocks near the edit
+//!   change, not every block downstream of the shift.
+//!
+//! # On-disk chain format
+//!
+//! ```text
+//! store_dir/
+//!   epoch_000001/            # a FULL epoch (chain base)
+//!     blocks.bin             #   concatenated new blocks, referenced by offset
+//!     manifest.bin           #   checksummed manifest (see below)
+//!   epoch_000002/            # a DELTA epoch
+//!     blocks.bin             #   only the blocks that changed
+//!     manifest.bin
+//!   epoch_000003.tmp/        # an interrupted commit (ignored, cleaned up)
+//! ```
+//!
+//! The manifest lists, for every rank and section, the ordered block
+//! references `(content key, source epoch, offset, length, CRC32)` that
+//! reconstruct the section. A manifest is self-contained: restart loads
+//! exactly one manifest and then walks the chain only to fetch block bytes
+//! from the `blocks.bin` files it references. Every block is CRC32-checked
+//! on read, so corruption is reported as the exact `(epoch, offset)` that
+//! rotted — never silently loaded. Commits are crash-safe: an epoch is
+//! assembled in an `epoch_NNNNNN.tmp` directory and atomically renamed
+//! into place, so a torn write can never be half-parsed.
+//!
+//! # Retention and GC
+//!
+//! After [`StoreConfig::max_chain`] consecutive deltas the next epoch is
+//! written as a fresh **full base**, bounding how long any restart chain
+//! can grow. After each commit, epochs beyond the newest
+//! [`StoreConfig::retain_epochs`] restorable epochs are deleted — except
+//! those still referenced by a retained manifest (a delta keeps its base
+//! alive), so every retained epoch stays restorable.
+//!
+//! # Cross-vendor restart
+//!
+//! The chain stores vendor-neutral [`RankImage`]s, so the paper's headline
+//! scenario holds end to end: checkpoint epochs under the MPICH engine,
+//! kill the world, reopen the chain and restart the reconstructed
+//! [`WorldImage`] under the Open MPI engine through the Mukautuva shim.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use std::io::{Read, Write as IoWrite};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::codec::{crc32, fnv1a, fnv1a_seeded, CodecError, Reader, Writer};
+use crate::coordinator::ImageSink;
+use crate::image::{ImageError, RankImage, WorldImage};
+
+const MANIFEST_MAGIC: u64 = 0x434B_5054_4348_4E31; // "CKPTCHN1"
+const MANIFEST_VERSION: u64 = 1;
+
+/// Tunables of the delta store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Target mean block size for content-defined chunking (bytes);
+    /// actual blocks stay within `[block_size/4, 4*block_size]`. Smaller
+    /// blocks find more unchanged data; larger blocks mean less manifest
+    /// overhead.
+    pub block_size: usize,
+    /// Keep this many of the newest restorable epochs; older epochs are
+    /// garbage-collected unless a retained manifest still references them.
+    pub retain_epochs: usize,
+    /// Maximum consecutive delta epochs before a fresh full base is
+    /// written (bounds restart chain length).
+    pub max_chain: usize,
+    /// Threads used to chunk and hash rank images in parallel during a
+    /// commit.
+    pub writer_threads: usize,
+    /// Submit queue depth of the background writer (the double buffer):
+    /// ranks block on submit only when this many epochs are already
+    /// waiting.
+    pub queue_depth: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            block_size: 4096,
+            retain_epochs: 4,
+            max_chain: 8,
+            writer_threads: 2,
+            queue_depth: 2,
+        }
+    }
+}
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// The operation ("create", "read", "rename", ...).
+        op: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The OS error, stringified (keeps the error cloneable).
+        msg: String,
+    },
+    /// An epoch manifest failed to decode (truncated or corrupted).
+    Manifest {
+        /// The epoch whose manifest broke.
+        epoch: u64,
+        /// The codec-level cause.
+        source: CodecError,
+    },
+    /// A block's CRC32 did not match its manifest entry.
+    BlockCorrupt {
+        /// The epoch being loaded.
+        epoch: u64,
+        /// The epoch whose `blocks.bin` holds the rotten block.
+        src_epoch: u64,
+        /// Byte offset of the block within that file.
+        offset: u64,
+        /// The rank whose section was being reconstructed.
+        rank: usize,
+        /// The section name.
+        section: String,
+    },
+    /// A referenced epoch directory does not exist (GC'd or never written).
+    MissingEpoch {
+        /// The epoch that is gone.
+        epoch: u64,
+    },
+    /// A submitted world image is malformed (mixed epochs, sparse ranks).
+    InconsistentImage(String),
+    /// The store holds no epochs.
+    Empty,
+    /// The background writer was shut down.
+    Closed,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, msg } => write!(f, "{op} {}: {msg}", path.display()),
+            StoreError::Manifest { epoch, source } => {
+                write!(f, "epoch {epoch} manifest: {source}")
+            }
+            StoreError::BlockCorrupt {
+                epoch,
+                src_epoch,
+                offset,
+                rank,
+                section,
+            } => write!(
+                f,
+                "epoch {epoch}, rank {rank}, section {section}: block at \
+                 epoch {src_epoch} offset {offset} failed its CRC32 check"
+            ),
+            StoreError::MissingEpoch { epoch } => {
+                write!(f, "referenced epoch {epoch} is missing from the chain")
+            }
+            StoreError::InconsistentImage(m) => write!(f, "inconsistent world image: {m}"),
+            StoreError::Empty => write!(f, "checkpoint store holds no epochs"),
+            StoreError::Closed => write!(f, "checkpoint store writer is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Manifest { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl StoreError {
+    fn io(op: &'static str, path: &Path, e: std::io::Error) -> StoreError {
+        StoreError::Io {
+            op,
+            path: path.to_path_buf(),
+            msg: e.to_string(),
+        }
+    }
+
+    /// Fold into the image-layer error type (threaded through
+    /// `CkptError::Image` by the coordinator).
+    pub fn into_image_error(self, epoch: u64) -> ImageError {
+        ImageError::Store {
+            epoch,
+            msg: self.to_string(),
+        }
+    }
+}
+
+/// 128-bit content identity of a block: two differently-seeded FNV-1a
+/// streams. A key collision would dedup distinct content (the manifest
+/// would reference the older block, whose bytes pass their own CRC), so
+/// the collision risk is *accepted*, not detected — acceptable because
+/// the streams disagree on any single-byte difference and the joint
+/// collision odds at simulation scales are negligible.
+type BlockKey = (u64, u64);
+
+/// Where a block's bytes live on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockLoc {
+    /// The epoch whose `blocks.bin` holds the bytes.
+    epoch: u64,
+    /// Byte offset within that file.
+    offset: u64,
+    /// Block length in bytes.
+    len: u32,
+    /// CRC32 of the block bytes.
+    crc: u32,
+}
+
+/// One chunked block of a section, before dedup placement.
+struct ChunkRec {
+    key: BlockKey,
+    crc: u32,
+    start: usize,
+    len: usize,
+}
+
+/// A section's ordered block references inside a manifest.
+type SectionRefs = (String, Vec<(BlockKey, BlockLoc)>);
+
+/// One rank's chunked sections, as produced by the writer pool.
+type RankChunks = Vec<(String, Vec<ChunkRec>)>;
+
+/// In-memory form of one epoch's manifest.
+struct Manifest {
+    epoch: u64,
+    full: bool,
+    vendor_hint: String,
+    /// Per rank: the `RankImage` header plus its sections' block refs.
+    ranks: Vec<(usize, usize, u64, Vec<SectionRefs>)>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(MANIFEST_MAGIC);
+        w.u64(MANIFEST_VERSION);
+        w.u64(self.epoch);
+        w.u8(self.full as u8);
+        w.string(&self.vendor_hint);
+        w.u64(self.ranks.len() as u64);
+        for (rank, nranks, epoch, sections) in &self.ranks {
+            w.u64(*rank as u64);
+            w.u64(*nranks as u64);
+            w.u64(*epoch);
+            w.u64(sections.len() as u64);
+            for (name, blocks) in sections {
+                w.string(name);
+                w.u64(blocks.len() as u64);
+                for (key, loc) in blocks {
+                    w.u64(key.0);
+                    w.u64(key.1);
+                    w.u64(loc.epoch);
+                    w.u64(loc.offset);
+                    w.u32(loc.len);
+                    w.u32(loc.crc);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    fn decode(buf: &[u8]) -> Result<Manifest, CodecError> {
+        let mut r = Reader::checked(buf)?;
+        r.expect_magic(MANIFEST_MAGIC)?;
+        r.expect_magic(MANIFEST_VERSION)?;
+        let epoch = r.u64()?;
+        let full = r.u8()? != 0;
+        let vendor_hint = r.string()?;
+        let nranks = r.u64()?;
+        if nranks > 1 << 20 {
+            return Err(CodecError::LengthOutOfBounds(nranks));
+        }
+        let mut ranks = Vec::with_capacity(nranks as usize);
+        for _ in 0..nranks {
+            let rank = r.u64()? as usize;
+            let world = r.u64()? as usize;
+            let rank_epoch = r.u64()?;
+            let nsections = r.u64()?;
+            if nsections > 4096 {
+                return Err(CodecError::LengthOutOfBounds(nsections));
+            }
+            let mut sections = Vec::with_capacity(nsections as usize);
+            for _ in 0..nsections {
+                let name = r.string()?;
+                let nblocks = r.u64()?;
+                if nblocks > 1 << 32 {
+                    return Err(CodecError::LengthOutOfBounds(nblocks));
+                }
+                let mut blocks = Vec::with_capacity(nblocks as usize);
+                for _ in 0..nblocks {
+                    let key = (r.u64()?, r.u64()?);
+                    let loc = BlockLoc {
+                        epoch: r.u64()?,
+                        offset: r.u64()?,
+                        len: r.u32()?,
+                        crc: r.u32()?,
+                    };
+                    blocks.push((key, loc));
+                }
+                sections.push((name, blocks));
+            }
+            ranks.push((rank, world, rank_epoch, sections));
+        }
+        Ok(Manifest {
+            epoch,
+            full,
+            vendor_hint,
+            ranks,
+        })
+    }
+}
+
+/// What one committed epoch cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochStats {
+    /// The chain sequence number assigned to the commit.
+    pub epoch: u64,
+    /// Whether it was written as a full base (vs a delta).
+    pub full: bool,
+    /// Logical image payload (what a full-image write would cost).
+    pub image_bytes: u64,
+    /// Bytes actually written to disk (new blocks + manifest).
+    pub bytes_written: u64,
+    /// Blocks referenced by the epoch in total.
+    pub blocks_total: u64,
+    /// Blocks newly written by the epoch.
+    pub blocks_new: u64,
+}
+
+/// The synchronous store core: chunking, dedup, chain layout, GC, restore.
+/// Wrap it in a [`StoreWriter`] to take it off the ranks' critical path.
+pub struct DeltaStore {
+    dir: PathBuf,
+    config: StoreConfig,
+    /// Committed epochs, ascending.
+    epochs: Vec<u64>,
+    /// Consecutive delta epochs since the last full base.
+    chain_len: usize,
+    /// Content index of the chain head: every block the latest epoch
+    /// references, so the next commit can dedup against the live image.
+    index: HashMap<BlockKey, BlockLoc>,
+    /// Stats of the commits performed by this handle.
+    stats: Vec<EpochStats>,
+}
+
+impl DeltaStore {
+    /// Open (or initialize) a store directory with default tunables.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<DeltaStore, StoreError> {
+        DeltaStore::open_with(dir, StoreConfig::default())
+    }
+
+    /// Open (or initialize) a store directory. Leftover `*.tmp` epoch
+    /// directories from interrupted commits are removed; committed epochs
+    /// are discovered and the chain head's content index is rebuilt so
+    /// subsequent commits continue the delta chain.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        config: StoreConfig,
+    ) -> Result<DeltaStore, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io("create dir", &dir, e))?;
+        let mut epochs = Vec::new();
+        let entries = std::fs::read_dir(&dir).map_err(|e| StoreError::io("read dir", &dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io("read dir", &dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix("epoch_") {
+                if let Some(stem) = rest.strip_suffix(".tmp") {
+                    // An interrupted commit: never renamed, safe to drop.
+                    if stem.chars().all(|c| c.is_ascii_digit()) {
+                        std::fs::remove_dir_all(entry.path())
+                            .map_err(|e| StoreError::io("remove tmp", &entry.path(), e))?;
+                    }
+                } else if rest.chars().all(|c| c.is_ascii_digit()) {
+                    if let Ok(e) = rest.parse::<u64>() {
+                        epochs.push(e);
+                    }
+                }
+            }
+        }
+        epochs.sort_unstable();
+        let mut store = DeltaStore {
+            dir,
+            config: StoreConfig {
+                block_size: config.block_size.max(1),
+                retain_epochs: config.retain_epochs.max(1),
+                writer_threads: config.writer_threads.max(1),
+                queue_depth: config.queue_depth.max(1),
+                ..config
+            },
+            epochs,
+            chain_len: 0,
+            index: HashMap::new(),
+            stats: Vec::new(),
+        };
+        if let Some(&latest) = store.epochs.last() {
+            let manifest = store.read_manifest(latest)?;
+            for (_, _, _, sections) in &manifest.ranks {
+                for (_, blocks) in sections {
+                    for &(key, loc) in blocks {
+                        store.index.insert(key, loc);
+                    }
+                }
+            }
+            // Chain length = epochs since the newest full base.
+            store.chain_len = 0;
+            for &e in store.epochs.iter().rev() {
+                let m = if e == latest {
+                    manifest.full
+                } else {
+                    store.read_manifest(e)?.full
+                };
+                if m {
+                    break;
+                }
+                store.chain_len += 1;
+            }
+        }
+        Ok(store)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The tunables in force.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Committed epochs, ascending (restorable ones after GC).
+    pub fn epochs(&self) -> &[u64] {
+        &self.epochs
+    }
+
+    /// The newest committed epoch.
+    pub fn latest(&self) -> Option<u64> {
+        self.epochs.last().copied()
+    }
+
+    /// Stats of the commits performed through this handle, in order.
+    pub fn stats(&self) -> &[EpochStats] {
+        &self.stats
+    }
+
+    fn epoch_dir(&self, epoch: u64) -> PathBuf {
+        self.dir.join(format!("epoch_{epoch:06}"))
+    }
+
+    fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
+        let mut buf = Vec::new();
+        std::fs::File::open(path)
+            .map_err(|e| StoreError::io("open", path, e))?
+            .read_to_end(&mut buf)
+            .map_err(|e| StoreError::io("read", path, e))?;
+        Ok(buf)
+    }
+
+    fn read_manifest(&self, epoch: u64) -> Result<Manifest, StoreError> {
+        let dir = self.epoch_dir(epoch);
+        if !dir.is_dir() {
+            return Err(StoreError::MissingEpoch { epoch });
+        }
+        let buf = Self::read_file(&dir.join("manifest.bin"))?;
+        Manifest::decode(&buf).map_err(|source| StoreError::Manifest { epoch, source })
+    }
+
+    /// The Gear table for content-defined chunking: one pseudorandom u64
+    /// per byte value (splitmix64 of the byte).
+    fn gear_table() -> &'static [u64; 256] {
+        static TABLE: std::sync::OnceLock<[u64; 256]> = std::sync::OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut t = [0u64; 256];
+            for (i, e) in t.iter_mut().enumerate() {
+                let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *e = z ^ (z >> 31);
+            }
+            t
+        })
+    }
+
+    /// Cut one section into content-defined chunks (Gear rolling hash,
+    /// FastCDC-style bounds): boundaries follow the *content*, so an
+    /// insertion or deletion early in a section shifts block boundaries
+    /// only locally and the unchanged tail still dedups — exactly the
+    /// shape of a rank whose arrays grow or shrink between epochs (e.g.
+    /// atom migration). `avg` is the target mean chunk size; actual chunks
+    /// stay within [avg/4, 4*avg].
+    fn cut_points(data: &[u8], avg: usize) -> Vec<(usize, usize)> {
+        let gear = Self::gear_table();
+        let mask = (avg.next_power_of_two() as u64).wrapping_sub(1);
+        let min = (avg / 4).max(1);
+        let max = avg * 4;
+        let mut cuts = Vec::with_capacity(data.len() / avg + 1);
+        let mut start = 0;
+        while start < data.len() {
+            let mut h: u64 = 0;
+            let hard_end = (start + max).min(data.len());
+            let mut end = hard_end;
+            let scan_from = (start + min).min(data.len());
+            // Warm the rolling hash over the minimum region, then look
+            // for a content-defined boundary.
+            for (i, &b) in data[start..hard_end].iter().enumerate() {
+                h = (h << 1).wrapping_add(gear[b as usize]);
+                if start + i + 1 >= scan_from && h & mask == 0 {
+                    end = start + i + 1;
+                    break;
+                }
+            }
+            cuts.push((start, end - start));
+            start = end;
+        }
+        cuts
+    }
+
+    /// Chunk one rank image's sections into hashed, CRC'd block records.
+    fn chunk_rank(img: &RankImage, block_size: usize) -> RankChunks {
+        img.sections()
+            .map(|(name, data)| {
+                let recs = Self::cut_points(data, block_size)
+                    .into_iter()
+                    .map(|(start, len)| {
+                        let chunk = &data[start..start + len];
+                        ChunkRec {
+                            key: (fnv1a(chunk), fnv1a_seeded(0x5EED, chunk)),
+                            crc: crc32(chunk),
+                            start,
+                            len,
+                        }
+                    })
+                    .collect();
+                (name.to_string(), recs)
+            })
+            .collect()
+    }
+
+    /// Commit one epoch: write a full base or a delta against the chain
+    /// head, atomically (temp directory + rename), then garbage-collect.
+    ///
+    /// The chain assigns its own monotonic sequence number (the manifest
+    /// epoch and directory name); the coordinator-assigned epochs inside
+    /// the [`RankImage`]s are preserved verbatim. The two diverge exactly
+    /// when one chain spans several runs — coordinator epochs restart at 1
+    /// after every restore, the chain keeps counting.
+    pub fn commit(&mut self, image: &WorldImage) -> Result<EpochStats, StoreError> {
+        // Validate the image: dense ranks, one consistent image epoch.
+        if image.ranks.is_empty() {
+            return Err(StoreError::InconsistentImage("no ranks".into()));
+        }
+        let img_epoch = image.ranks[0].epoch;
+        for (i, r) in image.ranks.iter().enumerate() {
+            if r.rank != i {
+                return Err(StoreError::InconsistentImage(format!(
+                    "slot {i} holds rank {}",
+                    r.rank
+                )));
+            }
+            if r.epoch != img_epoch {
+                return Err(StoreError::InconsistentImage(format!(
+                    "rank {i} is epoch {}, rank 0 is epoch {img_epoch}",
+                    r.epoch
+                )));
+            }
+            if r.nranks != image.ranks.len() {
+                return Err(StoreError::InconsistentImage(format!(
+                    "rank {i} claims a {}-rank world, image has {}",
+                    r.nranks,
+                    image.ranks.len()
+                )));
+            }
+        }
+        let epoch = self.epochs.last().map_or(1, |&l| l + 1);
+
+        let full = self.epochs.is_empty() || self.chain_len >= self.config.max_chain;
+        if full {
+            // A base references nothing older: dedup only within itself.
+            self.index.clear();
+        }
+
+        // Chunk + hash every rank, fanned out over the writer pool (the
+        // CPU-heavy part; dedup placement below stays deterministic).
+        let block_size = self.config.block_size;
+        let threads = self.config.writer_threads.min(image.ranks.len()).max(1);
+        let chunked: Vec<RankChunks> = if threads <= 1 {
+            image
+                .ranks
+                .iter()
+                .map(|r| Self::chunk_rank(r, block_size))
+                .collect()
+        } else {
+            let per = image.ranks.len().div_ceil(threads);
+            let mut parts: Vec<Vec<RankChunks>> = std::thread::scope(|s| {
+                let handles: Vec<_> = image
+                    .ranks
+                    .chunks(per)
+                    .map(|slice| {
+                        s.spawn(move || {
+                            slice
+                                .iter()
+                                .map(|r| Self::chunk_rank(r, block_size))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chunker thread"))
+                    .collect()
+            });
+            let mut all = Vec::with_capacity(image.ranks.len());
+            for part in parts.drain(..) {
+                all.extend(part);
+            }
+            all
+        };
+
+        // Deterministic dedup placement: walk ranks/sections/blocks in
+        // order, appending unseen content to this epoch's blocks file.
+        let mut blocks_buf: Vec<u8> = Vec::new();
+        let mut blocks_total = 0u64;
+        let mut blocks_new = 0u64;
+        let mut ranks_manifest = Vec::with_capacity(image.ranks.len());
+        for (img, sections) in image.ranks.iter().zip(chunked) {
+            let mut section_refs: Vec<SectionRefs> = Vec::with_capacity(sections.len());
+            for (name, recs) in sections {
+                let data = img.section(&name).expect("section exists");
+                let mut refs = Vec::with_capacity(recs.len());
+                for rec in recs {
+                    blocks_total += 1;
+                    let loc = match self.index.get(&rec.key) {
+                        Some(&loc) => loc,
+                        None => {
+                            let loc = BlockLoc {
+                                epoch,
+                                offset: blocks_buf.len() as u64,
+                                len: rec.len as u32,
+                                crc: rec.crc,
+                            };
+                            blocks_buf.extend_from_slice(&data[rec.start..rec.start + rec.len]);
+                            self.index.insert(rec.key, loc);
+                            blocks_new += 1;
+                            loc
+                        }
+                    };
+                    refs.push((rec.key, loc));
+                }
+                section_refs.push((name, refs));
+            }
+            ranks_manifest.push((img.rank, img.nranks, img.epoch, section_refs));
+        }
+
+        let manifest = Manifest {
+            epoch,
+            full,
+            vendor_hint: image.vendor_hint.clone(),
+            ranks: ranks_manifest,
+        };
+        let manifest_buf = manifest.encode();
+
+        // Crash-safe commit: assemble in a temp dir, rename into place.
+        let tmp = self.dir.join(format!("epoch_{epoch:06}.tmp"));
+        if tmp.exists() {
+            std::fs::remove_dir_all(&tmp).map_err(|e| StoreError::io("remove tmp", &tmp, e))?;
+        }
+        std::fs::create_dir_all(&tmp).map_err(|e| StoreError::io("create tmp", &tmp, e))?;
+        let write = |name: &str, data: &[u8]| -> Result<(), StoreError> {
+            let path = tmp.join(name);
+            let mut f =
+                std::fs::File::create(&path).map_err(|e| StoreError::io("create", &path, e))?;
+            f.write_all(data)
+                .map_err(|e| StoreError::io("write", &path, e))?;
+            f.sync_all().map_err(|e| StoreError::io("sync", &path, e))
+        };
+        write("blocks.bin", &blocks_buf)?;
+        write("manifest.bin", &manifest_buf)?;
+        let final_dir = self.epoch_dir(epoch);
+        std::fs::rename(&tmp, &final_dir).map_err(|e| StoreError::io("rename", &final_dir, e))?;
+
+        self.epochs.push(epoch);
+        self.chain_len = if full { 0 } else { self.chain_len + 1 };
+        self.gc();
+
+        let stats = EpochStats {
+            epoch,
+            full,
+            image_bytes: image.total_bytes() as u64,
+            bytes_written: (blocks_buf.len() + manifest_buf.len()) as u64,
+            blocks_total,
+            blocks_new,
+        };
+        self.stats.push(stats);
+        Ok(stats)
+    }
+
+    /// Retention: keep the newest `retain_epochs` epochs plus everything
+    /// their manifests still reference (a delta keeps its base alive),
+    /// delete the rest.
+    ///
+    /// Housekeeping failures are non-fatal: the epoch just committed is
+    /// already durable, so a stale directory that cannot be read or
+    /// removed right now stays listed and is retried on the next commit —
+    /// GC must never tear down a run whose checkpoints are all intact.
+    fn gc(&mut self) {
+        if self.epochs.len() <= self.config.retain_epochs {
+            return;
+        }
+        let kept: Vec<u64> = self.epochs[self.epochs.len() - self.config.retain_epochs..].to_vec();
+        let mut live: BTreeSet<u64> = kept.iter().copied().collect();
+        for &e in &kept {
+            match self.read_manifest(e) {
+                Ok(manifest) => {
+                    for (_, _, _, sections) in &manifest.ranks {
+                        for (_, blocks) in sections {
+                            for (_, loc) in blocks {
+                                live.insert(loc.epoch);
+                            }
+                        }
+                    }
+                }
+                // Can't prove what this manifest references: skip GC
+                // entirely rather than risk deleting a live base.
+                Err(_) => return,
+            }
+        }
+        let dir = self.dir.clone();
+        self.epochs.retain(|e| {
+            if live.contains(e) {
+                return true;
+            }
+            match std::fs::remove_dir_all(dir.join(format!("epoch_{e:06}"))) {
+                Ok(()) => false,
+                Err(err) if err.kind() == std::io::ErrorKind::NotFound => false,
+                // Deletion failed: keep it listed so the view matches the
+                // disk and the next commit retries.
+                Err(_) => true,
+            }
+        });
+        // Prune the dedup index of blocks whose epochs are gone; without
+        // this, a later commit could reference a deleted epoch and
+        // produce a manifest that cannot be restored.
+        let alive: BTreeSet<u64> = self.epochs.iter().copied().collect();
+        self.index.retain(|_, loc| alive.contains(&loc.epoch));
+    }
+
+    /// Reconstruct the newest epoch's world image.
+    pub fn load_latest(&self) -> Result<WorldImage, StoreError> {
+        let epoch = self.latest().ok_or(StoreError::Empty)?;
+        self.load_epoch(epoch)
+    }
+
+    /// Reconstruct one epoch's world image by walking the chain: read its
+    /// manifest, fetch every referenced block (CRC32-verified) from the
+    /// epochs that wrote it, and reassemble the rank sections.
+    pub fn load_epoch(&self, epoch: u64) -> Result<WorldImage, StoreError> {
+        let manifest = self.read_manifest(epoch)?;
+        let mut files: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut ranks = Vec::with_capacity(manifest.ranks.len());
+        for (slot, (rank, nranks, rank_epoch, sections)) in manifest.ranks.iter().enumerate() {
+            if *rank != slot {
+                return Err(StoreError::InconsistentImage(format!(
+                    "manifest slot {slot} holds rank {rank}"
+                )));
+            }
+            let mut img = RankImage::new(*rank, *nranks, *rank_epoch);
+            for (name, blocks) in sections {
+                let total: usize = blocks.iter().map(|(_, l)| l.len as usize).sum();
+                let mut data = Vec::with_capacity(total);
+                for (_, loc) in blocks {
+                    let file = match files.entry(loc.epoch) {
+                        std::collections::hash_map::Entry::Occupied(e) => &*e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            let dir = self.epoch_dir(loc.epoch);
+                            if !dir.is_dir() {
+                                return Err(StoreError::MissingEpoch { epoch: loc.epoch });
+                            }
+                            &*v.insert(Self::read_file(&dir.join("blocks.bin"))?)
+                        }
+                    };
+                    let start = loc.offset as usize;
+                    let end = start + loc.len as usize;
+                    let corrupt = || StoreError::BlockCorrupt {
+                        epoch,
+                        src_epoch: loc.epoch,
+                        offset: loc.offset,
+                        rank: *rank,
+                        section: name.clone(),
+                    };
+                    let slice = file.get(start..end).ok_or_else(corrupt)?;
+                    if crc32(slice) != loc.crc {
+                        return Err(corrupt());
+                    }
+                    data.extend_from_slice(slice);
+                }
+                img.put_section(name, data);
+            }
+            ranks.push(img);
+        }
+        Ok(WorldImage::new(manifest.vendor_hint, ranks))
+    }
+
+    /// Recompute per-epoch stats from the on-disk manifests (usable after
+    /// a reopen, when [`DeltaStore::stats`] is empty). `bytes_written`
+    /// counts the epoch's own files; `image_bytes` is the logical payload
+    /// its manifest reconstructs.
+    pub fn epoch_stats_on_disk(&self) -> Result<Vec<EpochStats>, StoreError> {
+        let mut out = Vec::with_capacity(self.epochs.len());
+        for &epoch in &self.epochs {
+            let manifest = self.read_manifest(epoch)?;
+            let dir = self.epoch_dir(epoch);
+            let mut stats = EpochStats {
+                epoch,
+                full: manifest.full,
+                image_bytes: 0,
+                bytes_written: 0,
+                blocks_total: 0,
+                blocks_new: 0,
+            };
+            // A section may reference the same own-epoch block many times
+            // (intra-epoch dedup); "new" counts distinct written blocks.
+            let mut own = BTreeSet::new();
+            for (_, _, _, sections) in &manifest.ranks {
+                for (_, blocks) in sections {
+                    for (_, loc) in blocks {
+                        stats.blocks_total += 1;
+                        stats.image_bytes += loc.len as u64;
+                        if loc.epoch == epoch {
+                            own.insert(loc.offset);
+                        }
+                    }
+                }
+            }
+            stats.blocks_new = own.len() as u64;
+            for name in ["blocks.bin", "manifest.bin"] {
+                let path = dir.join(name);
+                let meta =
+                    std::fs::metadata(&path).map_err(|e| StoreError::io("stat", &path, e))?;
+                stats.bytes_written += meta.len();
+            }
+            out.push(stats);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The background writer
+// ---------------------------------------------------------------------------
+
+struct WriterState {
+    queue: VecDeque<WorldImage>,
+    in_flight: bool,
+    closed: bool,
+    error: Option<StoreError>,
+    stats: Vec<EpochStats>,
+}
+
+struct WriterShared {
+    state: Mutex<WriterState>,
+    cv: Condvar,
+    queue_depth: usize,
+}
+
+/// The asynchronous face of the store: a background thread owns a
+/// [`DeltaStore`] and drains a bounded submit queue. Attach it to the
+/// coordinator ([`crate::coordinator::Coordinator::attach_sink`]) and the
+/// round leader hands each completed epoch over inside the rendezvous —
+/// the ranks resume while chunking, hashing and I/O proceed here.
+///
+/// Backpressure is the double buffer: a submit blocks only when
+/// [`StoreConfig::queue_depth`] epochs are already waiting, which bounds
+/// memory at `queue_depth + 1` in-flight world images.
+pub struct StoreWriter {
+    shared: Arc<WriterShared>,
+    worker: Mutex<Option<std::thread::JoinHandle<DeltaStore>>>,
+}
+
+impl StoreWriter {
+    /// Open the store at `dir` and spawn the background writer.
+    pub fn spawn(dir: impl Into<PathBuf>, config: StoreConfig) -> Result<StoreWriter, StoreError> {
+        let mut store = DeltaStore::open_with(dir, config)?;
+        let shared = Arc::new(WriterShared {
+            state: Mutex::new(WriterState {
+                queue: VecDeque::new(),
+                in_flight: false,
+                closed: false,
+                error: None,
+                stats: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            queue_depth: store.config.queue_depth,
+        });
+        let worker_shared = shared.clone();
+        let worker = std::thread::Builder::new()
+            .name("ckpt-store-writer".into())
+            .spawn(move || {
+                loop {
+                    let image = {
+                        let mut st = worker_shared.state.lock().expect("writer lock");
+                        loop {
+                            if let Some(img) = st.queue.pop_front() {
+                                st.in_flight = true;
+                                break img;
+                            }
+                            if st.closed {
+                                return store;
+                            }
+                            st = worker_shared.cv.wait(st).expect("writer wait");
+                        }
+                    };
+                    // A slot just freed: wake blocked submitters early.
+                    worker_shared.cv.notify_all();
+                    let result = store.commit(&image);
+                    let mut st = worker_shared.state.lock().expect("writer lock");
+                    st.in_flight = false;
+                    match result {
+                        Ok(s) => st.stats.push(s),
+                        Err(e) => {
+                            st.error.get_or_insert(e);
+                        }
+                    }
+                    worker_shared.cv.notify_all();
+                }
+            })
+            .expect("spawn store writer");
+        Ok(StoreWriter {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        })
+    }
+
+    /// Hand one epoch's world image to the background writer. Blocks only
+    /// while the bounded queue is full (backpressure); a sticky writer
+    /// error is returned to the caller and every later submitter.
+    pub fn submit(&self, image: WorldImage) -> Result<(), StoreError> {
+        let mut st = self.shared.state.lock().expect("writer lock");
+        loop {
+            if let Some(e) = &st.error {
+                return Err(e.clone());
+            }
+            if st.closed {
+                return Err(StoreError::Closed);
+            }
+            if st.queue.len() < self.shared.queue_depth {
+                st.queue.push_back(image);
+                self.shared.cv.notify_all();
+                return Ok(());
+            }
+            st = self.shared.cv.wait(st).expect("writer wait");
+        }
+    }
+
+    /// Wait until every submitted epoch is durably committed (or the
+    /// writer failed). Returns the sticky error, if any.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let mut st = self.shared.state.lock().expect("writer lock");
+        while (!st.queue.is_empty() || st.in_flight) && st.error.is_none() {
+            st = self.shared.cv.wait(st).expect("writer wait");
+        }
+        match &st.error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Stats of the epochs committed so far, in commit order.
+    pub fn stats(&self) -> Vec<EpochStats> {
+        self.shared.state.lock().expect("writer lock").stats.clone()
+    }
+
+    /// Close the queue, drain it, join the worker and hand back the
+    /// underlying [`DeltaStore`] (e.g. to restart from the chain).
+    pub fn finish(self) -> Result<(DeltaStore, Vec<EpochStats>), StoreError> {
+        self.flush()?;
+        let store = self.shutdown().ok_or(StoreError::Closed)?;
+        let stats = store.stats.clone();
+        Ok((store, stats))
+    }
+
+    /// Mark closed and join the worker; idempotent.
+    fn shutdown(&self) -> Option<DeltaStore> {
+        {
+            let mut st = self.shared.state.lock().expect("writer lock");
+            st.closed = true;
+            self.shared.cv.notify_all();
+        }
+        let handle = self.worker.lock().expect("worker lock").take()?;
+        Some(handle.join().expect("store writer thread"))
+    }
+}
+
+impl Drop for StoreWriter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl ImageSink for StoreWriter {
+    fn submit(&self, image: WorldImage) -> Result<(), ImageError> {
+        let epoch = image.ranks.first().map(|r| r.epoch).unwrap_or(0);
+        StoreWriter::submit(self, image).map_err(|e| e.into_image_error(epoch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "stool_store_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Deterministic pseudorandom bytes (xorshift64*): realistic content
+    /// that does not collapse under intra-epoch dedup the way constant
+    /// runs would.
+    fn fill_bytes(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+            })
+            .collect()
+    }
+
+    fn image(epoch: u64, nranks: usize, fill: u8, static_len: usize) -> WorldImage {
+        let ranks = (0..nranks)
+            .map(|r| {
+                let mut img = RankImage::new(r, nranks, epoch);
+                // "static" depends only on the rank: unchanged across
+                // epochs. "hot" depends on `fill`: changes when it does.
+                img.put_section("static", fill_bytes(r as u64 + 1, static_len));
+                img.put_section("hot", fill_bytes((fill as u64) << 8 | r as u64, 600));
+                img
+            })
+            .collect();
+        WorldImage::new("MPICH".to_string(), ranks)
+    }
+
+    fn small_cfg() -> StoreConfig {
+        StoreConfig {
+            block_size: 128,
+            retain_epochs: 3,
+            max_chain: 4,
+            writer_threads: 2,
+            queue_depth: 2,
+        }
+    }
+
+    #[test]
+    fn full_then_delta_roundtrip() {
+        let dir = tmp_dir("rt");
+        let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        let img1 = image(1, 3, 0x11, 3000);
+        let img2 = image(2, 3, 0x22, 3000);
+        let s1 = store.commit(&img1).unwrap();
+        let s2 = store.commit(&img2).unwrap();
+        assert!(s1.full && !s2.full);
+        // The static sections dedup: the delta writes far fewer bytes.
+        assert!(
+            s2.bytes_written < s1.bytes_written / 2,
+            "delta {} vs full {}",
+            s2.bytes_written,
+            s1.bytes_written
+        );
+        assert!(s2.blocks_new < s2.blocks_total);
+        assert_eq!(store.load_epoch(1).unwrap(), img1);
+        assert_eq!(store.load_epoch(2).unwrap(), img2);
+        assert_eq!(store.load_latest().unwrap(), img2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn identical_epoch_writes_almost_nothing() {
+        let dir = tmp_dir("ident");
+        let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        let img1 = image(1, 2, 0x33, 4000);
+        let mut img2 = image(2, 2, 0x33, 4000);
+        img2.vendor_hint = "Open MPI".to_string();
+        let s1 = store.commit(&img1).unwrap();
+        let s2 = store.commit(&img2).unwrap();
+        assert_eq!(s2.blocks_new, 0, "no content changed");
+        assert!(
+            s2.bytes_written < s1.bytes_written / 3,
+            "manifest-only delta {} vs full {}",
+            s2.bytes_written,
+            s1.bytes_written
+        );
+        let back = store.load_epoch(2).unwrap();
+        assert_eq!(back, img2);
+        assert_eq!(back.vendor_hint, "Open MPI");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chain_rolls_over_to_full_base() {
+        let dir = tmp_dir("roll");
+        let cfg = StoreConfig {
+            max_chain: 2,
+            retain_epochs: 10,
+            ..small_cfg()
+        };
+        let mut store = DeltaStore::open_with(&dir, cfg).unwrap();
+        let mut fulls = Vec::new();
+        for e in 1..=6 {
+            let s = store.commit(&image(e, 2, e as u8, 500)).unwrap();
+            fulls.push(s.full);
+        }
+        // Base, two deltas, base, two deltas.
+        assert_eq!(fulls, vec![true, false, false, true, false, false]);
+        for e in 1..=6 {
+            assert_eq!(store.load_epoch(e).unwrap(), image(e, 2, e as u8, 500));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_retains_restorable_epochs_and_their_bases() {
+        let dir = tmp_dir("gc");
+        let cfg = StoreConfig {
+            retain_epochs: 2,
+            max_chain: 8,
+            ..small_cfg()
+        };
+        let mut store = DeltaStore::open_with(&dir, cfg).unwrap();
+        for e in 1..=5 {
+            store.commit(&image(e, 2, e as u8, 500)).unwrap();
+        }
+        // Epoch 1 is the base of the whole chain: it must survive GC even
+        // though only {4, 5} are in the retention window.
+        let kept = store.epochs().to_vec();
+        assert!(kept.contains(&1), "base retained: {kept:?}");
+        assert!(kept.contains(&4) && kept.contains(&5));
+        assert!(
+            !kept.contains(&2) || !kept.contains(&3),
+            "middle GC'd: {kept:?}"
+        );
+        // Everything still advertised is restorable.
+        for &e in store.epochs() {
+            store.load_epoch(e).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recurring_content_after_gc_is_rewritten_not_dangled() {
+        // Regression: content A -> B -> A with aggressive retention. After
+        // GC deletes epoch 1, the dedup index must not hand epoch 3 a
+        // reference into the deleted epoch — the recurring content has to
+        // be rewritten so the committed epoch stays restorable.
+        let dir = tmp_dir("regc");
+        let cfg = StoreConfig {
+            retain_epochs: 1,
+            max_chain: 8,
+            ..small_cfg()
+        };
+        let mut store = DeltaStore::open_with(&dir, cfg).unwrap();
+        let a1 = image(1, 2, 0xA0, 900);
+        let b = image(2, 2, 0xB1, 900);
+        let mut a2 = image(3, 2, 0xA0, 900);
+        // Fully distinct content in the middle epoch: change "static" too.
+        let b = {
+            let mut img = b;
+            for r in img.ranks.iter_mut() {
+                let flipped: Vec<u8> = r.section("static").unwrap().iter().map(|x| !x).collect();
+                r.put_section("static", flipped);
+            }
+            img
+        };
+        a2.ranks.iter_mut().for_each(|r| r.epoch = 3);
+        store.commit(&a1).unwrap();
+        store.commit(&b).unwrap();
+        assert_eq!(store.epochs(), &[2], "epoch 1 GC'd");
+        let s3 = store.commit(&a2).unwrap();
+        assert!(s3.blocks_new > 0, "recurring content must be rewritten");
+        assert_eq!(store.load_epoch(3).unwrap(), a2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_block_detected_by_crc() {
+        let dir = tmp_dir("crc");
+        let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        store.commit(&image(1, 2, 0x44, 800)).unwrap();
+        let blocks = dir.join("epoch_000001").join("blocks.bin");
+        let mut buf = std::fs::read(&blocks).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x01;
+        std::fs::write(&blocks, &buf).unwrap();
+        match store.load_epoch(1) {
+            Err(StoreError::BlockCorrupt {
+                epoch: 1,
+                src_epoch: 1,
+                ..
+            }) => {}
+            other => panic!("expected BlockCorrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_detected_by_checksum() {
+        let dir = tmp_dir("man");
+        let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        store.commit(&image(1, 2, 0x55, 300)).unwrap();
+        let path = dir.join("epoch_000001").join("manifest.bin");
+        let mut buf = std::fs::read(&path).unwrap();
+        buf[10] ^= 0xFF;
+        std::fs::write(&path, &buf).unwrap();
+        assert!(matches!(
+            store.load_epoch(1),
+            Err(StoreError::Manifest { epoch: 1, .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_continues_the_delta_chain() {
+        let dir = tmp_dir("reopen");
+        {
+            let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+            store.commit(&image(1, 2, 0x66, 1500)).unwrap();
+            store.commit(&image(2, 2, 0x67, 1500)).unwrap();
+        }
+        let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        assert_eq!(store.epochs(), &[1, 2]);
+        let s3 = store.commit(&image(3, 2, 0x68, 1500)).unwrap();
+        assert!(!s3.full, "reopened chain continues as deltas");
+        assert!(s3.blocks_new < s3.blocks_total, "dedup vs reopened index");
+        assert_eq!(store.load_epoch(3).unwrap(), image(3, 2, 0x68, 1500));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_commit_is_cleaned_on_open() {
+        let dir = tmp_dir("torn");
+        {
+            let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+            store.commit(&image(1, 2, 0x70, 400)).unwrap();
+        }
+        // Simulate a crash mid-commit: a temp epoch dir that never renamed.
+        let torn = dir.join("epoch_000002.tmp");
+        std::fs::create_dir_all(&torn).unwrap();
+        std::fs::write(torn.join("blocks.bin"), b"half").unwrap();
+        let store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        assert_eq!(store.epochs(), &[1], "torn epoch invisible");
+        assert!(!torn.exists(), "torn tmp dir removed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inconsistent_images_rejected_and_chain_owns_its_sequence() {
+        let dir = tmp_dir("mono");
+        let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        // Coordinator epochs restart across runs; the chain sequence keeps
+        // counting regardless of what the images claim.
+        let s1 = store.commit(&image(5, 2, 0x71, 100)).unwrap();
+        let s2 = store.commit(&image(1, 2, 0x72, 100)).unwrap();
+        assert_eq!((s1.epoch, s2.epoch), (1, 2));
+        assert_eq!(store.load_epoch(2).unwrap().ranks[0].epoch, 1);
+        let mut bad = image(6, 2, 0x73, 100);
+        bad.ranks[1].epoch = 7;
+        assert!(matches!(
+            store.commit(&bad),
+            Err(StoreError::InconsistentImage(_))
+        ));
+        let mut sparse = image(6, 2, 0x74, 100);
+        sparse.ranks.swap(0, 1);
+        assert!(matches!(
+            store.commit(&sparse),
+            Err(StoreError::InconsistentImage(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_pool_commits_in_background_and_flushes() {
+        let dir = tmp_dir("writer");
+        let writer = StoreWriter::spawn(&dir, small_cfg()).unwrap();
+        for e in 1..=3 {
+            writer.submit(image(e, 3, e as u8, 1200)).unwrap();
+        }
+        writer.flush().unwrap();
+        let stats = writer.stats();
+        assert_eq!(stats.len(), 3);
+        assert!(stats[0].full && !stats[1].full && !stats[2].full);
+        let (store, _) = writer.finish().unwrap();
+        assert_eq!(store.load_latest().unwrap(), image(3, 3, 3, 1200));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_error_is_sticky_for_submitters() {
+        let dir = tmp_dir("sticky");
+        let writer = StoreWriter::spawn(&dir, small_cfg()).unwrap();
+        writer.submit(image(1, 2, 0x11, 100)).unwrap();
+        writer.flush().unwrap();
+        // A malformed image fails in the background...
+        let mut bad = image(2, 2, 0x12, 100);
+        bad.ranks[1].epoch = 9;
+        writer.submit(bad).unwrap();
+        writer.flush().unwrap_err();
+        // ...and every later submit sees the same error.
+        let err = writer.submit(image(3, 2, 0x13, 100)).unwrap_err();
+        assert!(matches!(err, StoreError::InconsistentImage(_)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cut_points_cover_and_respect_bounds() {
+        for len in [0usize, 1, 31, 128, 5000] {
+            let data = fill_bytes(len as u64 + 7, len);
+            let cuts = DeltaStore::cut_points(&data, 64);
+            let total: usize = cuts.iter().map(|(_, l)| l).sum();
+            assert_eq!(total, len, "cuts must tile the section");
+            let mut pos = 0;
+            for &(start, l) in &cuts {
+                assert_eq!(start, pos, "cuts must be contiguous");
+                assert!((1..=64 * 4).contains(&l), "bounds violated: {l}");
+                pos += l;
+            }
+        }
+    }
+
+    #[test]
+    fn content_defined_chunking_survives_insertions() {
+        // Insert bytes near the front of a section: with content-defined
+        // boundaries the unchanged tail still dedups, which fixed-offset
+        // blocks could never do.
+        let tail = fill_bytes(42, 8000);
+        let mut v1 = fill_bytes(7, 512);
+        v1.extend_from_slice(&tail);
+        let mut v2 = fill_bytes(9, 700); // different, longer prefix
+        v2.extend_from_slice(&tail);
+        let make = |epoch: u64, data: &[u8]| {
+            let mut img = RankImage::new(0, 1, epoch);
+            img.put_section("grown", data.to_vec());
+            WorldImage::new("MPICH".to_string(), vec![img])
+        };
+        let dir = tmp_dir("cdc");
+        let cfg = StoreConfig {
+            block_size: 256,
+            ..small_cfg()
+        };
+        let mut store = DeltaStore::open_with(&dir, cfg).unwrap();
+        let s1 = store.commit(&make(1, &v1)).unwrap();
+        let s2 = store.commit(&make(2, &v2)).unwrap();
+        assert!(
+            s2.bytes_written * 3 < s1.bytes_written,
+            "shifted tail must dedup: delta {} vs full {}",
+            s2.bytes_written,
+            s1.bytes_written
+        );
+        assert_eq!(store.load_epoch(2).unwrap(), make(2, &v2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_stats_on_disk_match_live_stats() {
+        let dir = tmp_dir("stats");
+        let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        for e in 1..=3 {
+            store.commit(&image(e, 2, e as u8, 900)).unwrap();
+        }
+        let disk = store.epoch_stats_on_disk().unwrap();
+        assert_eq!(disk.len(), store.stats().len());
+        for (d, l) in disk.iter().zip(store.stats()) {
+            assert_eq!(d.epoch, l.epoch);
+            assert_eq!(d.full, l.full);
+            assert_eq!(d.blocks_total, l.blocks_total);
+            assert_eq!(d.blocks_new, l.blocks_new);
+            assert_eq!(d.image_bytes, l.image_bytes);
+            assert_eq!(d.bytes_written, l.bytes_written);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

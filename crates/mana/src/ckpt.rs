@@ -35,8 +35,18 @@ use crate::wrappers::ManaMpi;
 pub mod sections {
     /// Resume metadata (step counter).
     pub const META: &str = "meta";
-    /// Upper-half memory.
+    /// Upper-half memory, as one whole blob (legacy images only; new
+    /// images carry one section per segment, see
+    /// [`MEMORY_INDEX`]/[`MEMORY_PREFIX`]).
     pub const MEMORY: &str = "memory";
+    /// The ordered list of upper-half memory segment names.
+    pub const MEMORY_INDEX: &str = "memory.index";
+    /// Prefix of per-segment memory sections (`memory/<segment>`). One
+    /// image section per segment keeps the delta store's chunk boundaries
+    /// aligned with the natural structure of the application state: an
+    /// unchanged segment dedups wholesale no matter how its neighbours
+    /// grew or shrank.
+    pub const MEMORY_PREFIX: &str = "memory/";
     /// Virtual-id replay log.
     pub const VIDS: &str = "mana.vids";
     /// Drained in-flight messages.
@@ -92,8 +102,12 @@ pub fn maybe_checkpoint(
 
     let image = build_image(mana, memory, resume_step, rank, epoch);
     let image_bytes = image.total_bytes();
-    // Charge the modelled image write to the parallel filesystem.
-    mana.ctx.advance(mana.config.image_write_time(image_bytes));
+    // Charge what the checkpoint costs this rank: the synchronous image
+    // write to the parallel filesystem, or — when the session attached an
+    // asynchronous delta store — only the hand-off to the background
+    // writer (the store takes ownership at the rendezvous barrier).
+    mana.ctx
+        .advance(mana.config.ckpt_critical_path_time(image_bytes));
     session.submit_image(image);
     match session.finish().map_err(|_| AbiError::Ckpt)? {
         CkptMode::Continue => Ok(CkptAction::Taken { image_bytes }),
@@ -157,9 +171,19 @@ fn build_image(
     w.u64(resume_step);
     image.put_section(sections::META, w.finish());
 
-    let mut w = Writer::new();
-    memory.encode(&mut w);
-    image.put_section(sections::MEMORY, w.finish());
+    // Upper-half memory: one image section per segment plus an index, so
+    // the delta store sees segment boundaries as section boundaries.
+    let mut idx = Writer::new();
+    let names: Vec<&str> = memory.names().collect();
+    idx.u64(names.len() as u64);
+    for name in &names {
+        idx.string(name);
+    }
+    image.put_section(sections::MEMORY_INDEX, idx.into_raw());
+    for name in names {
+        let data = memory.encode_segment(name).expect("name from names()");
+        image.put_section(&format!("{}{name}", sections::MEMORY_PREFIX), data);
+    }
 
     let mut w = Writer::new();
     mana.vids.encode_log(&mut w);
@@ -223,11 +247,31 @@ pub fn restore_rank(
     let mut r = Reader::checked(meta).map_err(|e| e.to_string())?;
     let resume_step = r.u64().map_err(|e| e.to_string())?;
 
-    let mem = image
-        .section(sections::MEMORY)
-        .ok_or("missing memory section")?;
-    let mut r = Reader::checked(mem).map_err(|e| e.to_string())?;
-    let memory = Memory::decode(&mut r).map_err(|e| e.to_string())?;
+    let memory = if let Some(idx) = image.section(sections::MEMORY_INDEX) {
+        let mut r = Reader::raw(idx);
+        let count = r.u64().map_err(|e| e.to_string())?;
+        if count > 1 << 24 {
+            return Err(format!("memory index claims {count} segments"));
+        }
+        let mut memory = Memory::new();
+        for _ in 0..count {
+            let name = r.string().map_err(|e| e.to_string())?;
+            let data = image
+                .section(&format!("{}{name}", sections::MEMORY_PREFIX))
+                .ok_or_else(|| format!("missing memory segment {name}"))?;
+            memory
+                .insert_segment(&name, data)
+                .map_err(|e| format!("memory segment {name}: {e}"))?;
+        }
+        memory
+    } else {
+        // Legacy images: the whole memory as one checksummed blob.
+        let mem = image
+            .section(sections::MEMORY)
+            .ok_or("missing memory section")?;
+        let mut r = Reader::checked(mem).map_err(|e| e.to_string())?;
+        Memory::decode(&mut r).map_err(|e| e.to_string())?
+    };
 
     let vids_bytes = image
         .section(sections::VIDS)

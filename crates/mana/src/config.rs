@@ -28,6 +28,16 @@ pub struct ManaConfig {
     pub ckpt_write_bw: f64,
     /// Per-message cost of draining an in-flight message into the pool.
     pub drain_msg_overhead: VirtualTime,
+    /// When `true`, image writes are asynchronous: the rank hands its
+    /// image to the background store at the rendezvous and resumes, paying
+    /// only [`ManaConfig::ckpt_submit_overhead`] instead of the full
+    /// [`ManaConfig::image_write_time`]. Set by the session when a
+    /// delta-checkpoint store is attached.
+    pub async_image_writes: bool,
+    /// Cost of handing an image to the background writer (queue insert +
+    /// ownership transfer), charged per checkpoint when
+    /// [`ManaConfig::async_image_writes`] is on.
+    pub ckpt_submit_overhead: VirtualTime,
 }
 
 impl Default for ManaConfig {
@@ -39,6 +49,8 @@ impl Default for ManaConfig {
             coll_round_overhead: VirtualTime::from_nanos(150),
             ckpt_write_bw: 1.0e9,
             drain_msg_overhead: VirtualTime::from_nanos(400),
+            async_image_writes: false,
+            ckpt_submit_overhead: VirtualTime::from_micros(5),
         }
     }
 }
@@ -72,6 +84,17 @@ impl ManaConfig {
     /// Modelled time to write `bytes` of checkpoint image.
     pub fn image_write_time(&self, bytes: usize) -> VirtualTime {
         VirtualTime::from_nanos((bytes as f64 / self.ckpt_write_bw * 1e9) as u64)
+    }
+
+    /// What the checkpoint costs on the rank's critical path: the full
+    /// synchronous image write, or just the hand-off to the background
+    /// store when asynchronous writes are enabled.
+    pub fn ckpt_critical_path_time(&self, bytes: usize) -> VirtualTime {
+        if self.async_image_writes {
+            self.ckpt_submit_overhead
+        } else {
+            self.image_write_time(bytes)
+        }
     }
 }
 
@@ -114,5 +137,22 @@ mod tests {
         assert_eq!(t2.as_nanos(), 2 * t1.as_nanos());
         // 1 MB at 1 GB/s = 1 ms.
         assert_eq!(t1, VirtualTime::from_millis(1));
+    }
+
+    #[test]
+    fn async_writes_decouple_cost_from_image_size() {
+        let mut c = ManaConfig::default();
+        assert_eq!(
+            c.ckpt_critical_path_time(1_000_000),
+            c.image_write_time(1_000_000)
+        );
+        c.async_image_writes = true;
+        assert_eq!(c.ckpt_critical_path_time(1_000_000), c.ckpt_submit_overhead);
+        assert_eq!(
+            c.ckpt_critical_path_time(1),
+            c.ckpt_critical_path_time(1_000_000_000),
+            "submit cost must not scale with image size"
+        );
+        assert!(c.ckpt_submit_overhead < c.image_write_time(1_000_000));
     }
 }

@@ -28,7 +28,7 @@
 //! | [`mpich`] | `mpich-sim` | MPICH-family MPI implementation (integer handles, MPICH collectives) |
 //! | [`ompi`] | `ompi-sim` | Open MPI-family implementation (pointer-ish handles, OMPI collectives) |
 //! | [`muk`] | `muk` | Mukautuva-style ABI shim: per-vendor wrap libraries + handle translation |
-//! | [`dmtcp`] | `dmtcp-sim` | DMTCP-style platform: coordinator, image codec, virtualization |
+//! | [`dmtcp`] | `dmtcp-sim` | DMTCP-style platform: coordinator, image codec, async delta-checkpoint store |
 //! | [`mana`] | `mana-sim` | MANA: split process, virtual ids, drain, cross-vendor restore |
 //! | [`simnet`] | `simnet` | deterministic virtual-time cluster (threads + channels + LogGP model) |
 //! | [`apps`] | `mpi-apps` | the paper's workloads: OSU kernels, CoMD mini-MD, wave_mpi |

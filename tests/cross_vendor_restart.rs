@@ -2,7 +2,7 @@
 //! implementation, restart under another, with no change to the answer.
 
 use mpi_stool::apps::{CoMdMini, OsuKernel, OsuLatency, WaveMpi};
-use mpi_stool::dmtcp::{CkptMode, WorldImage};
+use mpi_stool::dmtcp::{CkptMode, DeltaStore, StoreConfig, WorldImage};
 use mpi_stool::simnet::{ClusterSpec, Interconnect, KernelVersion, VirtualTime};
 use mpi_stool::stool::programs::RingPings;
 use mpi_stool::stool::{Checkpointer, MpiProgram, Session, Vendor};
@@ -335,6 +335,123 @@ fn image_survives_disk_roundtrip() {
     let expect = reference_memories(&program, Vendor::OpenMpi);
     let got = restore_under(&program, &loaded, Vendor::Mpich);
     assert_memories_equal(&expect, &got);
+}
+
+#[test]
+fn wave_delta_chain_mpich_kill_restart_openmpi() {
+    // The tentpole scenario: periodic delta checkpoints into the epoch
+    // chain under MPICH, the world killed by an injected failure, restart
+    // reconstructed from the chain under Open MPI (through the shim) with
+    // bit-identical application state.
+    let solver = WaveMpi {
+        npoints: 1200,
+        nsteps: 100,
+        gather_final: true,
+        ..WaveMpi::default()
+    };
+    let expect = reference_memories(&solver, Vendor::Mpich);
+
+    let dir = std::env::temp_dir().join(format!("stool-delta-chain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_cfg = StoreConfig {
+        block_size: 256,
+        ..StoreConfig::default()
+    };
+    let out = Session::builder()
+        .cluster(cluster())
+        .vendor(Vendor::Mpich)
+        .checkpointer(Checkpointer::mana())
+        .checkpoint_every(20)
+        .checkpoint_store_with(&dir, store_cfg)
+        .inject_node_failure(75, 1)
+        .build()
+        .unwrap()
+        .launch(&solver)
+        .unwrap();
+    assert!(out.is_failed(), "the injected failure must kill the world");
+
+    // Epochs at steps 20/40/60 landed on disk as a chain: one full base,
+    // then deltas that write less than the logical image.
+    let store = DeltaStore::open_with(&dir, store_cfg).unwrap();
+    assert!(
+        store.epochs().len() >= 3,
+        "expected >= 3 epochs, got {:?}",
+        store.epochs()
+    );
+    let stats = store.epoch_stats_on_disk().unwrap();
+    assert!(stats[0].full, "the chain starts with a full base");
+    for s in &stats[1..] {
+        assert!(!s.full, "later epochs are deltas: {s:?}");
+        assert!(
+            s.bytes_written < stats[0].bytes_written,
+            "delta epoch must write fewer bytes than the full base: {s:?} vs {:?}",
+            stats[0]
+        );
+        assert!(
+            s.blocks_new < s.blocks_total,
+            "unchanged blocks dedup: {s:?}"
+        );
+    }
+
+    let image = store.load_latest().unwrap();
+    assert_eq!(image.vendor_hint, "MPICH");
+
+    // Restart the reconstructed image under the other vendor.
+    let got = Session::builder()
+        .cluster(cluster())
+        .vendor(Vendor::OpenMpi)
+        .checkpointer(Checkpointer::mana())
+        .build()
+        .unwrap()
+        .restore(&image, &solver)
+        .unwrap()
+        .memories()
+        .unwrap()
+        .to_vec();
+    assert_memories_equal(&expect, &got);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restore_from_store_under_other_vendor() {
+    // The one-call path: a store-backed session restarts its own chain
+    // directly, under a different vendor than wrote it.
+    let program = RingPings {
+        rounds: 12,
+        payload: 16,
+    };
+    let expect = reference_memories(&program, Vendor::OpenMpi);
+    let dir = std::env::temp_dir().join(format!("stool-store-restore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = Session::builder()
+        .cluster(cluster())
+        .vendor(Vendor::OpenMpi)
+        .checkpointer(Checkpointer::mana())
+        .checkpoint_at_step(5, CkptMode::Stop)
+        .checkpoint_store(&dir)
+        .build()
+        .unwrap()
+        .launch(&program)
+        .unwrap();
+    // The stop-outcome image is reconstructed from the chain head.
+    let image = out.into_image().unwrap();
+    assert_eq!(image.vendor_hint, "Open MPI");
+
+    let got = Session::builder()
+        .cluster(cluster())
+        .vendor(Vendor::Mpich)
+        .checkpointer(Checkpointer::mana())
+        .checkpoint_store(&dir)
+        .build()
+        .unwrap()
+        .restore_from_store(&program)
+        .unwrap()
+        .memories()
+        .unwrap()
+        .to_vec();
+    assert_memories_equal(&expect, &got);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
