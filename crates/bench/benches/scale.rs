@@ -1,0 +1,321 @@
+//! Criterion: ≥ 512-rank worlds — striped mailboxes, tree-barrier
+//! rendezvous, and the vendor stacks at 64…1024 ranks.
+//!
+//! As a side effect (in both `cargo bench` and `--test` smoke mode) this
+//! bench emits `BENCH_scale.json` at the workspace root so CI records the
+//! scale trajectory and `benchgate` can compare it against the committed
+//! baselines:
+//!
+//! * `rendezvous_wallclock` — wall-clock of one full checkpoint
+//!   rendezvous round (gather → counters → image → finish) over the
+//!   **flat** and **tree** coordinator barriers, per world size. This is
+//!   the tentpole curve: flat grows linearly with the world (one lock,
+//!   N-thread thundering herd), the radix-32 tree stays near-logarithmic.
+//! * `p2p_drain` / `allreduce` / `ckpt_rendezvous` — deterministic
+//!   **virtual-time** makespans through the full Session stack under both
+//!   vendors (these gate hard in benchgate; wall-clock only warns).
+//!
+//! `BENCH_SCALE_MAX` caps the largest world (default 1024) so constrained
+//! environments can trim the sweep; benchgate then compares only the rows
+//! present on both sides but requires ≥ 512 ranks in the fresh emit.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmtcp_sim::{BarrierTopology, CkptMode, Coordinator, Poll, RankImage};
+use mpi_abi::{Handle, ReduceOp};
+use simnet::{ClusterSpec, Fabric, Interconnect};
+use stool::{AppCtx, Checkpointer, MpiProgram, Session, StoolResult, Vendor};
+
+/// World sizes for the sweep; ranks per node stays at 64 (16 nodes at the
+/// top end), mirroring a fat modern CPU partition.
+const SIZES: &[usize] = &[64, 128, 256, 512, 1024];
+const RANKS_PER_NODE: usize = 64;
+
+fn sizes() -> Vec<usize> {
+    let max = std::env::var("BENCH_SCALE_MAX")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1024);
+    SIZES.iter().copied().filter(|&n| n <= max).collect()
+}
+
+fn cluster(nranks: usize) -> ClusterSpec {
+    ClusterSpec::builder()
+        .nodes(nranks.div_ceil(RANKS_PER_NODE))
+        .ranks_per_node(RANKS_PER_NODE.min(nranks))
+        .interconnect(Interconnect::HundredGbE)
+        .build()
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator rendezvous: flat vs tree barrier, wall clock
+// ---------------------------------------------------------------------------
+
+/// Average wall-clock milliseconds of one checkpoint rendezvous round
+/// (counter-exchange barrier → image staging → double finish barrier)
+/// over `n` agent threads.
+///
+/// The cut is pinned with `schedule_checkpoint_at` (the policy-driven
+/// path), so each rank polls exactly once per round and the measured
+/// region is the *rendezvous* — barrier cascades and sharded staging —
+/// not the gather's safe-point polling.
+fn rendezvous_round_ms(n: usize, topology: BarrierTopology) -> f64 {
+    /// One untimed warmup round (absorbs thread start-up and first-touch
+    /// costs) followed by the timed rounds.
+    const WARMUP: u64 = 1;
+    const TIMED: u64 = 6;
+    let coord = Coordinator::with_topology(n, topology);
+    let warm = std::sync::Barrier::new(n + 1);
+    let done = std::sync::Barrier::new(n + 1);
+    let ms = std::thread::scope(|s| {
+        for rank in 0..n {
+            let coord = coord.clone();
+            let warm = &warm;
+            let done = &done;
+            std::thread::Builder::new()
+                .stack_size(256 * 1024)
+                .spawn_scoped(s, move || {
+                    let mut agent = coord.agent(rank);
+                    let zeros = vec![0u64; n];
+                    for round in 0..WARMUP + TIMED {
+                        if round == WARMUP {
+                            warm.wait();
+                        }
+                        // Every rank announces the same pinned cut; the
+                        // first caller opens the round, the rest merge.
+                        coord.schedule_checkpoint_at(round, CkptMode::Continue);
+                        match agent.poll(round).expect("poll") {
+                            Poll::Enter(session) => {
+                                session
+                                    .exchange_counters(&zeros, &zeros)
+                                    .expect("exchange_counters");
+                                session.submit_image(RankImage::new(rank, n, session.epoch()));
+                                session.finish().expect("finish");
+                            }
+                            _ => unreachable!("pinned cut must enter at its own step"),
+                        }
+                    }
+                    done.wait();
+                })
+                .expect("spawn agent thread");
+        }
+        warm.wait();
+        let start = Instant::now();
+        done.wait();
+        start.elapsed().as_secs_f64() * 1e3 / TIMED as f64
+    });
+    assert_eq!(coord.completed_rounds(), WARMUP + TIMED);
+    // Keep wall-clock rows strictly positive for the gate's schema.
+    ms.max(1e-6)
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time programs through the full Session stack
+// ---------------------------------------------------------------------------
+
+/// Neighbor p2p drain: each rank pushes `rounds` messages at its right
+/// neighbor, then drains the matching inbound traffic — the striped
+/// mailbox + indexed-matcher path under load.
+struct RingDrain {
+    rounds: usize,
+    count: usize,
+}
+
+impl MpiProgram for RingDrain {
+    fn name(&self) -> &'static str {
+        "scale-ring-drain"
+    }
+
+    fn run(&self, app: &mut AppCtx<'_>) -> StoolResult<()> {
+        let me = app.rank() as i32;
+        let n = app.nranks() as i32;
+        let next = (me + 1) % n;
+        let prev = (me + n - 1) % n;
+        let payload = vec![me as f64; self.count];
+        let mut incoming = vec![0.0; self.count];
+        let mut p = app.pmpi();
+        for round in 0..self.rounds {
+            p.send_f64s(&payload, next, round as i32, Handle::COMM_WORLD)?;
+        }
+        for round in 0..self.rounds {
+            p.recv_f64s(&mut incoming, prev, round as i32, Handle::COMM_WORLD)?;
+        }
+        Ok(())
+    }
+}
+
+/// A couple of allreduces: the collective tree at scale.
+struct AllreduceSweep {
+    repeats: usize,
+}
+
+impl MpiProgram for AllreduceSweep {
+    fn name(&self) -> &'static str {
+        "scale-allreduce"
+    }
+
+    fn run(&self, app: &mut AppCtx<'_>) -> StoolResult<()> {
+        let mine = app.rank() as f64;
+        let n = app.nranks() as f64;
+        let expect = n * (n - 1.0) / 2.0;
+        for _ in 0..self.repeats {
+            let total = app
+                .pmpi()
+                .allreduce_f64(mine, ReduceOp::Sum, Handle::COMM_WORLD)?;
+            assert!((total - expect).abs() <= 1e-6 * expect.max(1.0));
+        }
+        Ok(())
+    }
+}
+
+/// A short stepped loop with one policy-driven checkpoint in the middle:
+/// the full-stack rendezvous (MANA drain + image encode + coordinator
+/// barrier) in virtual time.
+struct CkptOnce {
+    steps: u64,
+}
+
+impl MpiProgram for CkptOnce {
+    fn name(&self) -> &'static str {
+        "scale-ckpt-once"
+    }
+
+    fn run(&self, app: &mut AppCtx<'_>) -> StoolResult<()> {
+        app.mem.f64s_mut("state", 4);
+        for step in app.resume_step()..self.steps {
+            if app.checkpoint_point(step)?.is_stop() {
+                return Ok(());
+            }
+            app.mem.f64s_mut("state", 4)[0] += step as f64;
+        }
+        Ok(())
+    }
+}
+
+fn virt_makespan(nranks: usize, vendor: Vendor, program: &dyn MpiProgram, ckpt: bool) -> f64 {
+    let mut builder = Session::builder().cluster(cluster(nranks)).vendor(vendor);
+    if ckpt {
+        builder = builder
+            .checkpointer(Checkpointer::mana())
+            .checkpoint_at_step(2, CkptMode::Continue);
+    }
+    let session = builder.build().expect("session");
+    let out = session.launch(program).expect("launch");
+    out.makespan().as_secs_f64()
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission
+// ---------------------------------------------------------------------------
+
+struct Measurements {
+    rendezvous: Vec<(usize, f64, f64)>,
+    p2p: Vec<(usize, &'static str, f64)>,
+    allreduce: Vec<(usize, &'static str, f64)>,
+    ckpt: Vec<(usize, &'static str, f64)>,
+}
+
+fn vendor_rows(json: &mut String, key: &str, rows: &[(usize, &'static str, f64)]) {
+    json.push_str(&format!("  \"{key}\": [\n"));
+    for (i, (ranks, vendor, s)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"ranks\": {ranks}, \"vendor\": \"{vendor}\", \"virt_makespan_s\": {s:.9}}}{}\n",
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]");
+}
+
+fn emit_json(m: &Measurements, stripes: usize) {
+    let mut json = String::from("{\n  \"bench\": \"scale\",\n");
+    json.push_str(&format!("  \"stripes\": {stripes},\n"));
+    json.push_str("  \"rendezvous_wallclock\": [\n");
+    for (i, (ranks, flat, tree)) in m.rendezvous.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"ranks\": {ranks}, \"flat_ms\": {flat:.6}, \"tree_ms\": {tree:.6}}}{}\n",
+            if i + 1 == m.rendezvous.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    vendor_rows(&mut json, "p2p_drain", &m.p2p);
+    json.push_str(",\n");
+    vendor_rows(&mut json, "allreduce", &m.allreduce);
+    json.push_str(",\n");
+    vendor_rows(&mut json, "ckpt_rendezvous", &m.ckpt);
+    json.push_str("\n}\n");
+    // Land at the workspace root regardless of the bench CWD, so CI picks
+    // one stable path up.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_scale.json");
+    std::fs::write(path, json).expect("write BENCH_scale.json");
+}
+
+fn measure_all() -> Measurements {
+    let sizes = sizes();
+    let mut m = Measurements {
+        rendezvous: Vec::new(),
+        p2p: Vec::new(),
+        allreduce: Vec::new(),
+        ckpt: Vec::new(),
+    };
+    let p2p = RingDrain {
+        rounds: 4,
+        count: 16,
+    };
+    let allreduce = AllreduceSweep { repeats: 2 };
+    let ckpt = CkptOnce { steps: 4 };
+    for &n in &sizes {
+        let flat = rendezvous_round_ms(n, BarrierTopology::Flat);
+        let tree = rendezvous_round_ms(
+            n,
+            BarrierTopology::Tree {
+                radix: BarrierTopology::DEFAULT_RADIX,
+            },
+        );
+        println!("scale/rendezvous {n} ranks: flat {flat:.3} ms, tree {tree:.3} ms");
+        m.rendezvous.push((n, flat, tree));
+        for vendor in [Vendor::Mpich, Vendor::OpenMpi] {
+            let label = vendor.name();
+            let p = virt_makespan(n, vendor, &p2p, false);
+            let a = virt_makespan(n, vendor, &allreduce, false);
+            let c = virt_makespan(n, vendor, &ckpt, true);
+            println!(
+                "scale/{label} {n} ranks: p2p {p:.6} s, allreduce {a:.6} s, ckpt {c:.6} s (virtual)"
+            );
+            m.p2p.push((n, label, p));
+            m.allreduce.push((n, label, a));
+            m.ckpt.push((n, label, c));
+        }
+    }
+    m
+}
+
+fn scale_benches(c: &mut Criterion) {
+    let m = measure_all();
+    let (fabric, _eps) = Fabric::new(&cluster(64));
+    emit_json(&m, fabric.stripes());
+
+    // Wall-clock criterion samples of the tree rendezvous at a mid size
+    // (the sweep above already recorded the full curves).
+    let mut group = c.benchmark_group("scale_rendezvous");
+    group.sample_size(10);
+    group.bench_function("tree_256", |b| {
+        b.iter(|| {
+            rendezvous_round_ms(
+                256,
+                BarrierTopology::Tree {
+                    radix: BarrierTopology::DEFAULT_RADIX,
+                },
+            )
+        });
+    });
+    group.bench_function("flat_256", |b| {
+        b.iter(|| rendezvous_round_ms(256, BarrierTopology::Flat));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scale_benches);
+criterion_main!(benches);

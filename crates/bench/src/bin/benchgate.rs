@@ -1,0 +1,140 @@
+//! benchgate — the CI perf-regression gate.
+//!
+//! Strictly validates freshly emitted `BENCH_ckpt.json` / `BENCH_scale.json`
+//! (a malformed emit fails CI instead of uploading a broken artifact) and
+//! compares them against the committed baselines under `benches/baselines/`.
+//!
+//! ```text
+//! cargo run -p stool-bench --bin benchgate              # gate against baselines
+//! cargo run -p stool-bench --bin benchgate -- --write-baselines   # refresh them
+//! ```
+//!
+//! Exit codes: 0 = pass, 1 = regression beyond tolerance, 2 = missing or
+//! malformed input. See `docs/ci.md` for the workflow.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use stool_bench::gate::{
+    compare_ckpt, compare_scale, parse_ckpt_report, parse_scale_report, GateOutcome, TOLERANCE,
+};
+
+struct Args {
+    ckpt: PathBuf,
+    scale: PathBuf,
+    baselines: PathBuf,
+    write_baselines: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: benchgate [--ckpt PATH] [--scale PATH] [--baselines DIR] [--write-baselines]\n\
+         defaults: --ckpt BENCH_ckpt.json --scale BENCH_scale.json --baselines benches/baselines"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ckpt: PathBuf::from("BENCH_ckpt.json"),
+        scale: PathBuf::from("BENCH_scale.json"),
+        baselines: PathBuf::from("benches/baselines"),
+        write_baselines: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--ckpt" => args.ckpt = it.next().unwrap_or_else(|| usage()).into(),
+            "--scale" => args.scale = it.next().unwrap_or_else(|| usage()).into(),
+            "--baselines" => args.baselines = it.next().unwrap_or_else(|| usage()).into(),
+            "--write-baselines" => args.write_baselines = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+fn run() -> Result<GateOutcome, String> {
+    let args = parse_args();
+
+    // Strict validation first: a fresh emit that does not parse is a CI
+    // failure regardless of baselines (the former silent-artifact bug).
+    let ckpt_text = read(&args.ckpt)?;
+    let fresh_ckpt = parse_ckpt_report(&ckpt_text)
+        .map_err(|e| format!("{} is malformed: {e}", args.ckpt.display()))?;
+    let scale_text = read(&args.scale)?;
+    let fresh_scale = parse_scale_report(&scale_text)
+        .map_err(|e| format!("{} is malformed: {e}", args.scale.display()))?;
+    println!(
+        "benchgate: validated {} ({} workloads) and {} ({} rendezvous sizes)",
+        args.ckpt.display(),
+        fresh_ckpt.workloads.len(),
+        args.scale.display(),
+        fresh_scale.rendezvous_wallclock.len()
+    );
+
+    if args.write_baselines {
+        std::fs::create_dir_all(&args.baselines)
+            .map_err(|e| format!("cannot create {}: {e}", args.baselines.display()))?;
+        let ckpt_to = args.baselines.join("BENCH_ckpt.json");
+        let scale_to = args.baselines.join("BENCH_scale.json");
+        std::fs::write(&ckpt_to, &ckpt_text)
+            .map_err(|e| format!("cannot write {}: {e}", ckpt_to.display()))?;
+        std::fs::write(&scale_to, &scale_text)
+            .map_err(|e| format!("cannot write {}: {e}", scale_to.display()))?;
+        println!(
+            "benchgate: baselines refreshed under {}",
+            args.baselines.display()
+        );
+        return Ok(GateOutcome::default());
+    }
+
+    let base_ckpt_path = args.baselines.join("BENCH_ckpt.json");
+    let base_ckpt = parse_ckpt_report(&read(&base_ckpt_path)?)
+        .map_err(|e| format!("{} is malformed: {e}", base_ckpt_path.display()))?;
+    let base_scale_path = args.baselines.join("BENCH_scale.json");
+    let base_scale = parse_scale_report(&read(&base_scale_path)?)
+        .map_err(|e| format!("{} is malformed: {e}", base_scale_path.display()))?;
+
+    let mut out = GateOutcome::default();
+    compare_ckpt(&mut out, &base_ckpt, &fresh_ckpt);
+    compare_scale(&mut out, &base_scale, &fresh_scale);
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Err(msg) => {
+            eprintln!("benchgate: FAIL (invalid input): {msg}");
+            ExitCode::from(2)
+        }
+        Ok(out) => {
+            for w in &out.warnings {
+                println!("benchgate: warn: {w}");
+            }
+            if out.ok() {
+                println!(
+                    "benchgate: PASS — {} metrics within {:.0}% of baselines",
+                    out.passed,
+                    TOLERANCE * 100.0
+                );
+                ExitCode::SUCCESS
+            } else {
+                for r in &out.regressions {
+                    eprintln!("benchgate: REGRESSION: {r}");
+                }
+                eprintln!(
+                    "benchgate: FAIL — {} regression(s); if intentional, refresh with \
+                     `cargo run -p stool-bench --bin benchgate -- --write-baselines` \
+                     and commit benches/baselines/",
+                    out.regressions.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,913 @@
+//! The CI perf-regression gate: strict parsing and baseline comparison of
+//! the `BENCH_ckpt.json` / `BENCH_scale.json` artifacts.
+//!
+//! The bench harnesses emit these files on every CI run; this module is
+//! what turns them from write-only artifacts into a recorded perf
+//! trajectory. [`parse_json`] is a strict, dependency-free JSON reader
+//! (the workspace has no registry access, hence no serde); the schema
+//! checks reject *any* malformed emit — a bench that writes a broken file
+//! fails CI instead of uploading garbage — and [`compare`] fails the job
+//! when a deterministic metric regresses beyond the tolerance against the
+//! committed baselines under `benches/baselines/`.
+//!
+//! Gating policy: **virtual-time** metrics (makespans, delta-bytes
+//! ratios) are deterministic, so they gate hard at ±15%. **Wall-clock**
+//! metrics (the flat-vs-tree rendezvous latency curves) depend on the CI
+//! machine and only warn.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Fractional regression tolerance for deterministic metrics (15%).
+pub const TOLERANCE: f64 = 0.15;
+
+/// How much slower than the flat barrier the tree barrier may measure at
+/// the largest world before the gate fails. The two are timed
+/// back-to-back on the same machine, so this same-run ratio check is
+/// robust where absolute wall-clock gating would flake.
+pub const TREE_HEADROOM: f64 = 0.25;
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as f64; the benches emit nothing larger).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is not significant.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as an object, or a schema error naming `what`.
+    pub fn obj(&self, what: &str) -> Result<&BTreeMap<String, Json>, GateError> {
+        match self {
+            Json::Obj(m) => Ok(m),
+            other => Err(GateError::schema(format!(
+                "{what}: expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as an array, or a schema error naming `what`.
+    pub fn arr(&self, what: &str) -> Result<&[Json], GateError> {
+        match self {
+            Json::Arr(v) => Ok(v),
+            other => Err(GateError::schema(format!(
+                "{what}: expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as a finite number, or a schema error naming `what`.
+    pub fn num(&self, what: &str) -> Result<f64, GateError> {
+        match self {
+            Json::Num(x) if x.is_finite() => Ok(*x),
+            Json::Num(_) => Err(GateError::schema(format!("{what}: non-finite number"))),
+            other => Err(GateError::schema(format!(
+                "{what}: expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as a string, or a schema error naming `what`.
+    pub fn str(&self, what: &str) -> Result<&str, GateError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(GateError::schema(format!(
+                "{what}: expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Why the gate failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateError {
+    /// The input was not valid JSON.
+    Parse {
+        /// Byte offset of the failure.
+        at: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The input parsed but violated the bench schema.
+    Schema(String),
+}
+
+impl GateError {
+    fn schema(msg: impl Into<String>) -> GateError {
+        GateError::Schema(msg.into())
+    }
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::Parse { at, msg } => write!(f, "invalid JSON at byte {at}: {msg}"),
+            GateError::Schema(msg) => write!(f, "schema violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse_json(text: &str) -> Result<Json, GateError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> GateError {
+        GateError::Parse {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), GateError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, GateError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(self.err(format!("unexpected byte '{}'", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, GateError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{lit}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, GateError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            if map.insert(key.clone(), val).is_some() {
+                return Err(self.err(format!("duplicate key \"{key}\"")));
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, GateError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, GateError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("surrogate \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ if b < 0x20 => return Err(self.err("raw control byte in string")),
+                _ => {
+                    // Re-assemble UTF-8 from the raw bytes.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    let s =
+                        std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8 bytes"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, GateError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format!("bad number '{text}'")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bench report schemas
+// ---------------------------------------------------------------------------
+
+/// One workload row of `BENCH_ckpt.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptRow {
+    /// Workload name ("wave_mpi", "CoMD").
+    pub name: String,
+    /// Committed epochs.
+    pub epochs: f64,
+    /// Bytes of the first full base epoch.
+    pub full_base_bytes: f64,
+    /// Average delta-epoch bytes.
+    pub delta_bytes_avg: f64,
+    /// Logical image bytes of the last epoch.
+    pub image_bytes: f64,
+    /// Virtual makespan with synchronous image writes.
+    pub sync_makespan_s: f64,
+    /// Virtual makespan with the async delta store attached.
+    pub async_makespan_s: f64,
+}
+
+impl CkptRow {
+    /// Full-base over average-delta bytes: how much the delta chain saves.
+    pub fn delta_ratio(&self) -> f64 {
+        self.full_base_bytes / self.delta_bytes_avg.max(1.0)
+    }
+}
+
+/// One `(ranks, vendor)` virtual-time row of `BENCH_scale.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleRow {
+    /// World size.
+    pub ranks: f64,
+    /// Vendor label ("MPICH", "Open MPI").
+    pub vendor: String,
+    /// Deterministic virtual makespan in seconds.
+    pub virt_makespan_s: f64,
+}
+
+/// One wall-clock rendezvous row of `BENCH_scale.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RendezvousRow {
+    /// World size.
+    pub ranks: f64,
+    /// Wall-clock milliseconds for a full round over the flat barrier.
+    pub flat_ms: f64,
+    /// Wall-clock milliseconds for a full round over the tree barrier.
+    pub tree_ms: f64,
+}
+
+/// Parsed, schema-checked `BENCH_ckpt.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptReport {
+    /// Per-workload rows.
+    pub workloads: Vec<CkptRow>,
+}
+
+/// Parsed, schema-checked `BENCH_scale.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleReport {
+    /// Mailbox stripes the fabric ran with.
+    pub stripes: f64,
+    /// Flat-vs-tree coordinator rendezvous wall-clock curves.
+    pub rendezvous_wallclock: Vec<RendezvousRow>,
+    /// Neighbor p2p drain virtual makespans.
+    pub p2p_drain: Vec<ScaleRow>,
+    /// Allreduce virtual makespans.
+    pub allreduce: Vec<ScaleRow>,
+    /// Full-stack checkpoint rendezvous virtual makespans.
+    pub ckpt_rendezvous: Vec<ScaleRow>,
+}
+
+fn field<'j>(
+    obj: &'j BTreeMap<String, Json>,
+    what: &str,
+    key: &str,
+) -> Result<&'j Json, GateError> {
+    obj.get(key)
+        .ok_or_else(|| GateError::schema(format!("{what}: missing key \"{key}\"")))
+}
+
+fn no_extra_keys(
+    obj: &BTreeMap<String, Json>,
+    what: &str,
+    allowed: &[&str],
+) -> Result<(), GateError> {
+    for key in obj.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(GateError::schema(format!(
+                "{what}: unknown key \"{key}\" (strict schema)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn positive(x: f64, what: &str) -> Result<f64, GateError> {
+    if x > 0.0 {
+        Ok(x)
+    } else {
+        Err(GateError::schema(format!("{what}: must be positive ({x})")))
+    }
+}
+
+fn non_negative(x: f64, what: &str) -> Result<f64, GateError> {
+    if x >= 0.0 {
+        Ok(x)
+    } else {
+        Err(GateError::schema(format!("{what}: negative ({x})")))
+    }
+}
+
+/// Strictly parse `BENCH_ckpt.json`.
+pub fn parse_ckpt_report(text: &str) -> Result<CkptReport, GateError> {
+    let doc = parse_json(text)?;
+    let top = doc.obj("top level")?;
+    no_extra_keys(top, "top level", &["bench", "workloads"])?;
+    let bench = field(top, "top level", "bench")?.str("bench")?;
+    if bench != "ckpt_store" {
+        return Err(GateError::schema(format!(
+            "bench: expected \"ckpt_store\", got \"{bench}\""
+        )));
+    }
+    let rows = field(top, "top level", "workloads")?.arr("workloads")?;
+    if rows.is_empty() {
+        return Err(GateError::schema("workloads: empty"));
+    }
+    let mut workloads = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let what = format!("workloads[{i}]");
+        let obj = row.obj(&what)?;
+        no_extra_keys(
+            obj,
+            &what,
+            &[
+                "name",
+                "epochs",
+                "full_base_bytes",
+                "delta_bytes_avg",
+                "image_bytes",
+                "sync_makespan_s",
+                "async_makespan_s",
+            ],
+        )?;
+        let name = field(obj, &what, "name")?.str("name")?.to_string();
+        if name.is_empty() {
+            return Err(GateError::schema(format!("{what}: empty name")));
+        }
+        workloads.push(CkptRow {
+            name,
+            epochs: positive(field(obj, &what, "epochs")?.num("epochs")?, "epochs")?,
+            full_base_bytes: positive(
+                field(obj, &what, "full_base_bytes")?.num("full_base_bytes")?,
+                "full_base_bytes",
+            )?,
+            delta_bytes_avg: non_negative(
+                field(obj, &what, "delta_bytes_avg")?.num("delta_bytes_avg")?,
+                "delta_bytes_avg",
+            )?,
+            image_bytes: positive(
+                field(obj, &what, "image_bytes")?.num("image_bytes")?,
+                "image_bytes",
+            )?,
+            sync_makespan_s: positive(
+                field(obj, &what, "sync_makespan_s")?.num("sync_makespan_s")?,
+                "sync_makespan_s",
+            )?,
+            async_makespan_s: positive(
+                field(obj, &what, "async_makespan_s")?.num("async_makespan_s")?,
+                "async_makespan_s",
+            )?,
+        });
+    }
+    Ok(CkptReport { workloads })
+}
+
+fn parse_scale_rows(doc: &Json, what: &str) -> Result<Vec<ScaleRow>, GateError> {
+    let rows = doc.arr(what)?;
+    if rows.is_empty() {
+        return Err(GateError::schema(format!("{what}: empty")));
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let rw = format!("{what}[{i}]");
+        let obj = row.obj(&rw)?;
+        no_extra_keys(obj, &rw, &["ranks", "vendor", "virt_makespan_s"])?;
+        out.push(ScaleRow {
+            ranks: positive(field(obj, &rw, "ranks")?.num("ranks")?, "ranks")?,
+            vendor: field(obj, &rw, "vendor")?.str("vendor")?.to_string(),
+            virt_makespan_s: positive(
+                field(obj, &rw, "virt_makespan_s")?.num("virt_makespan_s")?,
+                "virt_makespan_s",
+            )?,
+        });
+    }
+    Ok(out)
+}
+
+/// Strictly parse `BENCH_scale.json`.
+pub fn parse_scale_report(text: &str) -> Result<ScaleReport, GateError> {
+    let doc = parse_json(text)?;
+    let top = doc.obj("top level")?;
+    no_extra_keys(
+        top,
+        "top level",
+        &[
+            "bench",
+            "stripes",
+            "rendezvous_wallclock",
+            "p2p_drain",
+            "allreduce",
+            "ckpt_rendezvous",
+        ],
+    )?;
+    let bench = field(top, "top level", "bench")?.str("bench")?;
+    if bench != "scale" {
+        return Err(GateError::schema(format!(
+            "bench: expected \"scale\", got \"{bench}\""
+        )));
+    }
+    let rows = field(top, "top level", "rendezvous_wallclock")?.arr("rendezvous_wallclock")?;
+    if rows.is_empty() {
+        return Err(GateError::schema("rendezvous_wallclock: empty"));
+    }
+    let mut rendezvous = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let what = format!("rendezvous_wallclock[{i}]");
+        let obj = row.obj(&what)?;
+        no_extra_keys(obj, &what, &["ranks", "flat_ms", "tree_ms"])?;
+        rendezvous.push(RendezvousRow {
+            ranks: positive(field(obj, &what, "ranks")?.num("ranks")?, "ranks")?,
+            flat_ms: positive(field(obj, &what, "flat_ms")?.num("flat_ms")?, "flat_ms")?,
+            tree_ms: positive(field(obj, &what, "tree_ms")?.num("tree_ms")?, "tree_ms")?,
+        });
+    }
+    Ok(ScaleReport {
+        stripes: positive(
+            field(top, "top level", "stripes")?.num("stripes")?,
+            "stripes",
+        )?,
+        rendezvous_wallclock: rendezvous,
+        p2p_drain: parse_scale_rows(field(top, "top level", "p2p_drain")?, "p2p_drain")?,
+        allreduce: parse_scale_rows(field(top, "top level", "allreduce")?, "allreduce")?,
+        ckpt_rendezvous: parse_scale_rows(
+            field(top, "top level", "ckpt_rendezvous")?,
+            "ckpt_rendezvous",
+        )?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Baseline comparison
+// ---------------------------------------------------------------------------
+
+/// What the comparison concluded.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// Hard failures: deterministic metrics beyond tolerance.
+    pub regressions: Vec<String>,
+    /// Soft findings: wall-clock drift, rows present in only one side.
+    pub warnings: Vec<String>,
+    /// Metrics that passed (for the log).
+    pub passed: usize,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// `fresh` must not exceed `base` by more than [`TOLERANCE`]
+/// (lower-is-better metrics).
+fn check_upper(out: &mut GateOutcome, what: &str, base: f64, fresh: f64) {
+    if fresh > base * (1.0 + TOLERANCE) {
+        out.regressions.push(format!(
+            "{what}: {fresh:.6} vs baseline {base:.6} (+{:.1}% > {:.0}% tolerance)",
+            (fresh / base - 1.0) * 100.0,
+            TOLERANCE * 100.0
+        ));
+    } else {
+        out.passed += 1;
+    }
+}
+
+/// `fresh` must not fall below `base` by more than [`TOLERANCE`]
+/// (higher-is-better metrics, e.g. the delta-bytes ratio).
+fn check_lower(out: &mut GateOutcome, what: &str, base: f64, fresh: f64) {
+    if fresh < base * (1.0 - TOLERANCE) {
+        out.regressions.push(format!(
+            "{what}: {fresh:.6} vs baseline {base:.6} (-{:.1}% > {:.0}% tolerance)",
+            (1.0 - fresh / base) * 100.0,
+            TOLERANCE * 100.0
+        ));
+    } else {
+        out.passed += 1;
+    }
+}
+
+/// Compare a fresh checkpoint-store report against the committed baseline.
+pub fn compare_ckpt(out: &mut GateOutcome, base: &CkptReport, fresh: &CkptReport) {
+    for b in &base.workloads {
+        let Some(f) = fresh.workloads.iter().find(|w| w.name == b.name) else {
+            out.regressions
+                .push(format!("ckpt workload \"{}\" disappeared", b.name));
+            continue;
+        };
+        check_lower(
+            out,
+            &format!("ckpt/{}/delta_ratio", b.name),
+            b.delta_ratio(),
+            f.delta_ratio(),
+        );
+        check_upper(
+            out,
+            &format!("ckpt/{}/sync_makespan_s", b.name),
+            b.sync_makespan_s,
+            f.sync_makespan_s,
+        );
+        check_upper(
+            out,
+            &format!("ckpt/{}/async_makespan_s", b.name),
+            b.async_makespan_s,
+            f.async_makespan_s,
+        );
+    }
+    for f in &fresh.workloads {
+        if !base.workloads.iter().any(|w| w.name == f.name) {
+            out.warnings.push(format!(
+                "ckpt workload \"{}\" has no baseline yet (run with --write-baselines)",
+                f.name
+            ));
+        }
+    }
+}
+
+fn compare_scale_rows(out: &mut GateOutcome, metric: &str, base: &[ScaleRow], fresh: &[ScaleRow]) {
+    for b in base {
+        let Some(f) = fresh
+            .iter()
+            .find(|r| r.ranks == b.ranks && r.vendor == b.vendor)
+        else {
+            out.warnings.push(format!(
+                "scale/{metric}: no fresh row for ranks={} vendor={} (size set shrank?)",
+                b.ranks, b.vendor
+            ));
+            continue;
+        };
+        check_upper(
+            out,
+            &format!("scale/{metric}/{}r/{}", b.ranks, b.vendor),
+            b.virt_makespan_s,
+            f.virt_makespan_s,
+        );
+    }
+}
+
+/// Compare a fresh scale report against the committed baseline.
+pub fn compare_scale(out: &mut GateOutcome, base: &ScaleReport, fresh: &ScaleReport) {
+    compare_scale_rows(out, "p2p_drain", &base.p2p_drain, &fresh.p2p_drain);
+    compare_scale_rows(out, "allreduce", &base.allreduce, &fresh.allreduce);
+    compare_scale_rows(
+        out,
+        "ckpt_rendezvous",
+        &base.ckpt_rendezvous,
+        &fresh.ckpt_rendezvous,
+    );
+    // Wall-clock curves: machine-dependent, so *drift* vs baseline only
+    // warns — but two same-machine shape properties gate hard: the curves
+    // must cover ≥ 512 ranks, and the tree barrier must not lose to the
+    // flat barrier at the largest world (with generous noise headroom:
+    // flat and tree are measured back-to-back on the same machine, so the
+    // ratio is far more stable than either absolute number).
+    let max_row = fresh
+        .rendezvous_wallclock
+        .iter()
+        .max_by(|a, b| a.ranks.total_cmp(&b.ranks))
+        .expect("schema guarantees non-empty");
+    if max_row.ranks < 512.0 {
+        out.regressions.push(format!(
+            "scale/rendezvous_wallclock: largest world is {} ranks, need >= 512",
+            max_row.ranks
+        ));
+    } else {
+        out.passed += 1;
+    }
+    if max_row.tree_ms > max_row.flat_ms * (1.0 + TREE_HEADROOM) {
+        out.regressions.push(format!(
+            "scale/rendezvous_wallclock/{}r: tree barrier ({:.3} ms) lost to the flat \
+             barrier ({:.3} ms) by more than {:.0}% — the tree topology has regressed",
+            max_row.ranks,
+            max_row.tree_ms,
+            max_row.flat_ms,
+            TREE_HEADROOM * 100.0
+        ));
+    } else {
+        out.passed += 1;
+    }
+    for b in &base.rendezvous_wallclock {
+        if let Some(f) = fresh
+            .rendezvous_wallclock
+            .iter()
+            .find(|r| r.ranks == b.ranks)
+        {
+            if f.tree_ms > b.tree_ms * (1.0 + TOLERANCE) {
+                out.warnings.push(format!(
+                    "scale/rendezvous_wallclock/{}r: tree {:.3} ms vs baseline {:.3} ms \
+                     (wall-clock; not gated)",
+                    b.ranks, f.tree_ms, b.tree_ms
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        let doc = parse_json(r#"{"a": [1, -2.5, 3e2], "b": {"c": true, "d": null}, "e": "x\n"}"#)
+            .unwrap();
+        let top = doc.obj("t").unwrap();
+        let a = top["a"].arr("a").unwrap();
+        assert_eq!(a[0].num("0").unwrap(), 1.0);
+        assert_eq!(a[1].num("1").unwrap(), -2.5);
+        assert_eq!(a[2].num("2").unwrap(), 300.0);
+        assert_eq!(top["b"].obj("b").unwrap()["c"], Json::Bool(true));
+        assert_eq!(top["e"].str("e").unwrap(), "x\n");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\": }",
+            "{\"a\": 1} trailing",
+            "{\"a\": 1, \"a\": 2}",
+            "{\"a\": nul}",
+            "{\"a\": 1e}",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn utf8_strings_roundtrip() {
+        let doc = parse_json("{\"k\": \"héllo → ∞\"}").unwrap();
+        assert_eq!(doc.obj("t").unwrap()["k"].str("k").unwrap(), "héllo → ∞");
+    }
+
+    fn ckpt_json(delta: u64, sync_s: f64, async_s: f64) -> String {
+        format!(
+            "{{\"bench\": \"ckpt_store\", \"workloads\": [\
+             {{\"name\": \"wave_mpi\", \"epochs\": 4, \"full_base_bytes\": 1000, \
+             \"delta_bytes_avg\": {delta}, \"image_bytes\": 1200, \
+             \"sync_makespan_s\": {sync_s}, \"async_makespan_s\": {async_s}}}]}}"
+        )
+    }
+
+    #[test]
+    fn ckpt_schema_accepts_wellformed() {
+        let r = parse_ckpt_report(&ckpt_json(500, 2.0, 1.5)).unwrap();
+        assert_eq!(r.workloads.len(), 1);
+        assert_eq!(r.workloads[0].delta_ratio(), 2.0);
+    }
+
+    #[test]
+    fn ckpt_schema_rejects_missing_and_unknown_keys() {
+        let missing = "{\"bench\": \"ckpt_store\", \"workloads\": [{\"name\": \"w\"}]}";
+        assert!(parse_ckpt_report(missing).is_err());
+        let unknown = ckpt_json(500, 2.0, 1.5).replace("\"epochs\"", "\"epochz\"");
+        assert!(parse_ckpt_report(&unknown).is_err());
+        let wrong_bench = ckpt_json(500, 2.0, 1.5).replace("ckpt_store", "other");
+        assert!(parse_ckpt_report(&wrong_bench).is_err());
+    }
+
+    #[test]
+    fn ckpt_schema_rejects_nonsense_numbers() {
+        assert!(parse_ckpt_report(&ckpt_json(500, -2.0, 1.5)).is_err());
+        let zero_base =
+            ckpt_json(500, 2.0, 1.5).replace("\"full_base_bytes\": 1000", "\"full_base_bytes\": 0");
+        assert!(parse_ckpt_report(&zero_base).is_err());
+    }
+
+    #[test]
+    fn regression_gate_trips_beyond_tolerance() {
+        let base = parse_ckpt_report(&ckpt_json(500, 2.0, 1.5)).unwrap();
+        // Within tolerance: passes.
+        let ok = parse_ckpt_report(&ckpt_json(550, 2.2, 1.6)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_ckpt(&mut out, &base, &ok);
+        assert!(out.ok(), "{:?}", out.regressions);
+        // Delta bytes ballooned (ratio collapsed): fails.
+        let worse = parse_ckpt_report(&ckpt_json(900, 2.0, 1.5)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_ckpt(&mut out, &base, &worse);
+        assert!(!out.ok());
+        assert!(out.regressions[0].contains("delta_ratio"));
+        // Makespan regressed 30%: fails.
+        let slower = parse_ckpt_report(&ckpt_json(500, 2.6, 1.5)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_ckpt(&mut out, &base, &slower);
+        assert!(!out.ok());
+        assert!(out.regressions[0].contains("sync_makespan_s"));
+    }
+
+    fn scale_json(virt: f64, max_ranks: u64) -> String {
+        format!(
+            "{{\"bench\": \"scale\", \"stripes\": 8, \
+             \"rendezvous_wallclock\": [\
+             {{\"ranks\": 64, \"flat_ms\": 1.0, \"tree_ms\": 1.1}}, \
+             {{\"ranks\": {max_ranks}, \"flat_ms\": 40.0, \"tree_ms\": 12.0}}], \
+             \"p2p_drain\": [{{\"ranks\": 64, \"vendor\": \"MPICH\", \"virt_makespan_s\": {virt}}}], \
+             \"allreduce\": [{{\"ranks\": 64, \"vendor\": \"MPICH\", \"virt_makespan_s\": {virt}}}], \
+             \"ckpt_rendezvous\": [{{\"ranks\": 64, \"vendor\": \"MPICH\", \"virt_makespan_s\": {virt}}}]}}"
+        )
+    }
+
+    #[test]
+    fn scale_schema_and_gate() {
+        let base = parse_scale_report(&scale_json(1.0, 1024)).unwrap();
+        assert_eq!(base.rendezvous_wallclock.len(), 2);
+        let fresh = parse_scale_report(&scale_json(1.05, 1024)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_scale(&mut out, &base, &fresh);
+        assert!(out.ok(), "{:?}", out.regressions);
+        // 30% virtual-time regression trips the gate.
+        let slow = parse_scale_report(&scale_json(1.3, 1024)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_scale(&mut out, &base, &slow);
+        assert!(!out.ok());
+        // A fresh report whose largest world shrank below 512 fails hard.
+        let small = parse_scale_report(&scale_json(1.0, 256)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_scale(&mut out, &base, &small);
+        assert!(!out.ok());
+        assert!(out.regressions.iter().any(|r| r.contains(">= 512")));
+    }
+
+    #[test]
+    fn tree_losing_to_flat_at_max_ranks_fails_the_gate() {
+        let base = parse_scale_report(&scale_json(1.0, 1024)).unwrap();
+        // Same-run shape check: tree 60 ms vs flat 40 ms at 1024 ranks is
+        // beyond the headroom — the topology regressed, whatever the
+        // machine.
+        let inverted = scale_json(1.0, 1024).replace("\"tree_ms\": 12.0", "\"tree_ms\": 60.0");
+        let fresh = parse_scale_report(&inverted).unwrap();
+        let mut out = GateOutcome::default();
+        compare_scale(&mut out, &base, &fresh);
+        assert!(!out.ok());
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.contains("lost to the flat barrier")));
+        // Tree merely within the headroom (44 ms vs flat 40 ms) passes.
+        let close = scale_json(1.0, 1024).replace("\"tree_ms\": 12.0", "\"tree_ms\": 44.0");
+        let fresh = parse_scale_report(&close).unwrap();
+        let mut out = GateOutcome::default();
+        compare_scale(&mut out, &base, &fresh);
+        assert!(out.ok(), "{:?}", out.regressions);
+    }
+}

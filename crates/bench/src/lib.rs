@@ -19,12 +19,17 @@
 //! Criterion benches (`cargo bench`) measure the *real* (wall-clock) cost
 //! of the building blocks: collectives on the simulator, handle
 //! translation, checkpoint image encode/decode, and the applications.
+//! The `store` and `scale` benches additionally emit `BENCH_ckpt.json` /
+//! `BENCH_scale.json`, which the `benchgate` binary ([`gate`]) validates
+//! strictly and compares against the committed baselines under
+//! `benches/baselines/` — the CI perf-regression gate (see `docs/ci.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod configs;
 pub mod figdata;
+pub mod gate;
 pub mod report;
 
 pub use configs::{paper_cluster, quick_cluster, ConfigKind};

@@ -49,7 +49,7 @@ pub mod session;
 pub mod stack;
 
 pub use dmtcp_sim::memory::Memory;
-pub use dmtcp_sim::{CkptMode, ImageError, WorldImage};
+pub use dmtcp_sim::{BarrierTopology, CkptMode, ImageError, WorldImage};
 pub use dmtcp_sim::{DeltaStore, EpochStats, StoreConfig, StoreError};
 pub use error::{StoolError, StoolResult};
 pub use mana_sim::ManaConfig;

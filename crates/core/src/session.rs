@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use dmtcp_sim::coordinator::{CkptMode, Coordinator};
+use dmtcp_sim::coordinator::{BarrierTopology, CkptMode, Coordinator};
 use dmtcp_sim::image::WorldImage;
 use dmtcp_sim::memory::Memory;
 use dmtcp_sim::store::{DeltaStore, StoreConfig, StoreError, StoreWriter};
@@ -11,7 +11,7 @@ use mana_sim::ckpt::restore_rank;
 use mana_sim::ManaConfig;
 use muk::{MukOverhead, Vendor};
 use simnet::rank::RankCounters;
-use simnet::{ClusterSpec, VirtualTime, World};
+use simnet::{ClusterSpec, RunPlan, VirtualTime, World};
 
 use crate::error::{to_sim, StoolError, StoolResult};
 use crate::program::{AppCtx, MpiProgram};
@@ -112,6 +112,12 @@ pub struct SessionConfig {
     /// Canonical rank-ordered reductions through the shim (bitwise
     /// reproducible across vendors; requires `use_muk`).
     pub deterministic_reductions: bool,
+    /// Per-rank thread stack size override; `None` lets the world pick by
+    /// size (bounded stacks for ≥ 128-rank worlds, OS default below).
+    pub rank_stack_bytes: Option<usize>,
+    /// Checkpoint-coordinator barrier topology override; `None` lets the
+    /// coordinator pick by world size (flat ≤ 64 ranks, tree beyond).
+    pub barrier_topology: Option<BarrierTopology>,
 }
 
 /// Builder for [`Session`].
@@ -132,6 +138,8 @@ impl Default for SessionBuilder {
                 store: None,
                 fault: None,
                 deterministic_reductions: false,
+                rank_stack_bytes: None,
+                barrier_topology: None,
             },
         }
     }
@@ -209,6 +217,23 @@ impl SessionBuilder {
             dir: dir.into(),
             config,
         });
+        self
+    }
+
+    /// Override the per-rank thread stack size. Without this the world
+    /// auto-bounds stacks once it reaches 128 ranks (see
+    /// [`simnet::RunPlan::auto`]) so 512–1024-rank worlds spin up without
+    /// a per-rank address-space explosion.
+    pub fn rank_stack_bytes(mut self, bytes: usize) -> Self {
+        self.config.rank_stack_bytes = Some(bytes);
+        self
+    }
+
+    /// Override the checkpoint coordinator's rendezvous barrier topology
+    /// (default: auto by world size — flat up to 64 ranks, radix-32 tree
+    /// beyond).
+    pub fn barrier_topology(mut self, topology: BarrierTopology) -> Self {
+        self.config.barrier_topology = Some(topology);
         self
     }
 
@@ -456,7 +481,13 @@ impl Session {
         let spec = self.stack_spec();
         let cluster = &self.config.cluster;
         let coordinator = match self.config.checkpointer {
-            Checkpointer::Mana(_) => Some(Coordinator::new(cluster.nranks())),
+            Checkpointer::Mana(_) => {
+                let topology = self
+                    .config
+                    .barrier_topology
+                    .unwrap_or_else(|| BarrierTopology::auto(cluster.nranks()));
+                Some(Coordinator::with_topology(cluster.nranks(), topology))
+            }
             Checkpointer::None => None,
         };
         // With a store attached, the background writer pool takes
@@ -475,7 +506,11 @@ impl Session {
         let policy = self.config.policy;
         let image = restore.map(|(img, cfg)| (Arc::new(img.clone()), cfg));
 
-        let outcome = World::run(cluster, |ctx| {
+        let plan = match self.config.rank_stack_bytes {
+            Some(bytes) => RunPlan::with_stack_bytes(bytes),
+            None => RunPlan::auto(cluster.nranks()),
+        };
+        let outcome = World::run_with(cluster, plan, |ctx| {
             let (mut stack, mut mem, resume) = match &image {
                 None => (Stack::build(&spec, &ctx), Memory::new(), None),
                 Some((img, mana_cfg)) => {

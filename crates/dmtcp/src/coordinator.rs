@@ -33,6 +33,19 @@
 //! MPI library itself), image submission, and a final barrier that latches
 //! the consumed request epoch and the continue/stop decision.
 //!
+//! # Scaling to ≥ 512-rank worlds
+//!
+//! The coordinator is sharded in two ways so a 1024-rank rendezvous does
+//! not serialize on single locks:
+//!
+//! * the rendezvous barrier is a **tree** ([`BarrierTopology`]) beyond 64
+//!   ranks: ranks synchronize in groups of `radix`, group leaders meet at
+//!   a root cell, and the release cascades back down, bounding every
+//!   condvar herd by the radix instead of the world size;
+//! * counter and image **staging is striped** over up to 64 independent
+//!   locks (`ShardedSlots`), so per-rank submissions before a barrier
+//!   contend on `n/64` peers rather than all of them.
+//!
 //! The safe-point contract this imposes on applications: consecutive safe
 //! points on a rank must carry step numbers that increase by exactly one
 //! (the unit-step structure every iterative MPI workload has), and all
@@ -128,23 +141,62 @@ impl From<ImageError> for CkptError {
     }
 }
 
-/// A reusable barrier whose waiters can be released with an error when a
-/// participant dies (std's `Barrier` would hang them forever).
-struct SyncPoint {
-    state: Mutex<SyncState>,
+/// How the rendezvous barrier synchronizes its participants.
+///
+/// The flat barrier is one counter + condvar: every arrival contends on
+/// one lock and the release `notify_all`s every participant at once — a
+/// thundering herd that grows linearly with world size. The tree barrier
+/// synchronizes ranks in groups of `radix`; the last arriver of each
+/// group carries the group's arrival to a root cell, and the release
+/// cascades root → group leaders → group members, so each condvar wakes
+/// at most `radix − 1` (or `⌈n/radix⌉ − 1`) sleepers and finish() latency
+/// grows with the tree depth, not the world size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierTopology {
+    /// One shared counter and condvar; every release wakes all N waiters.
+    Flat,
+    /// Two-level tree with groups of `radix` ranks (clamped to ≥ 2).
+    Tree {
+        /// Group size; also bounds every wakeup herd.
+        radix: usize,
+    },
+}
+
+impl BarrierTopology {
+    /// Default group size for auto-selected tree barriers.
+    pub const DEFAULT_RADIX: usize = 32;
+
+    /// The topology [`Coordinator::new`] picks for a world of `nranks`:
+    /// flat up to 64 ranks (where one lock is cheapest), a radix-32 tree
+    /// beyond that.
+    pub fn auto(nranks: usize) -> BarrierTopology {
+        if nranks <= 64 {
+            BarrierTopology::Flat
+        } else {
+            BarrierTopology::Tree {
+                radix: Self::DEFAULT_RADIX,
+            }
+        }
+    }
+}
+
+/// One poisonable arrive/release cell (a counter, a generation, and the
+/// condvar its waiters sleep on). Building block for both barrier shapes.
+struct WaitCell {
+    state: Mutex<CellState>,
     cv: Condvar,
 }
 
-struct SyncState {
+struct CellState {
     arrived: usize,
     generation: u64,
     poisoned: bool,
 }
 
-impl SyncPoint {
-    fn new() -> SyncPoint {
-        SyncPoint {
-            state: Mutex::new(SyncState {
+impl WaitCell {
+    fn new() -> WaitCell {
+        WaitCell {
+            state: Mutex::new(CellState {
                 arrived: 0,
                 generation: 0,
                 poisoned: false,
@@ -153,28 +205,114 @@ impl SyncPoint {
         }
     }
 
-    /// Wait for `n` participants. Returns `true` on exactly one caller per
-    /// generation (the leader).
-    fn wait(&self, n: usize) -> Result<bool, CkptError> {
-        let mut st = self.state.lock().expect("syncpoint lock");
+    /// Arrive at the cell. The `n`-th arriver returns `Ok(true)` *without
+    /// blocking and without releasing the others* — it must eventually
+    /// call [`WaitCell::release`]; everyone else blocks until the release
+    /// (returning `Ok(false)`) or a poison (`Err`).
+    fn arrive_or_wait(&self, n: usize) -> Result<bool, CkptError> {
+        let mut st = self.state.lock().expect("waitcell lock");
         if st.poisoned {
             return Err(CkptError::Poisoned);
         }
         st.arrived += 1;
         if st.arrived == n {
-            st.arrived = 0;
-            st.generation += 1;
-            self.cv.notify_all();
-            Ok(true)
+            return Ok(true);
+        }
+        let gen = st.generation;
+        while st.generation == gen && !st.poisoned {
+            st = self.cv.wait(st).expect("waitcell wait");
+        }
+        if st.poisoned {
+            Err(CkptError::Poisoned)
         } else {
-            let gen = st.generation;
-            while st.generation == gen && !st.poisoned {
-                st = self.cv.wait(st).expect("syncpoint wait");
+            Ok(false)
+        }
+    }
+
+    /// Release the current generation: reset the arrival count, bump the
+    /// generation, and wake every waiter. Called by the `Ok(true)` arriver.
+    fn release(&self) {
+        let mut st = self.state.lock().expect("waitcell lock");
+        st.arrived = 0;
+        st.generation += 1;
+        self.cv.notify_all();
+    }
+
+    fn poison(&self) {
+        let mut st = self.state.lock().expect("waitcell lock");
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A reusable, poisonable rendezvous barrier over all ranks (std's
+/// `Barrier` would hang waiters forever when a participant dies), in
+/// either flat or tree shape.
+struct SyncPoint {
+    nranks: usize,
+    shape: SyncShape,
+}
+
+enum SyncShape {
+    Flat(WaitCell),
+    Tree {
+        radix: usize,
+        /// One cell per group of `radix` consecutive ranks.
+        groups: Vec<WaitCell>,
+        /// The cell the group leaders synchronize on.
+        root: WaitCell,
+    },
+}
+
+impl SyncPoint {
+    fn new(nranks: usize, topology: BarrierTopology) -> SyncPoint {
+        let shape = match topology {
+            BarrierTopology::Flat => SyncShape::Flat(WaitCell::new()),
+            BarrierTopology::Tree { radix } => {
+                let radix = radix.max(2);
+                let ngroups = nranks.max(1).div_ceil(radix);
+                SyncShape::Tree {
+                    radix,
+                    groups: (0..ngroups).map(|_| WaitCell::new()).collect(),
+                    root: WaitCell::new(),
+                }
             }
-            if st.poisoned {
-                Err(CkptError::Poisoned)
-            } else {
-                Ok(false)
+        };
+        SyncPoint { nranks, shape }
+    }
+
+    /// Wait for every rank. Returns `true` on exactly one caller per
+    /// generation (the leader).
+    fn wait(&self, rank: usize) -> Result<bool, CkptError> {
+        match &self.shape {
+            SyncShape::Flat(cell) => {
+                let leader = cell.arrive_or_wait(self.nranks)?;
+                if leader {
+                    cell.release();
+                }
+                Ok(leader)
+            }
+            SyncShape::Tree {
+                radix,
+                groups,
+                root,
+            } => {
+                let g = rank / radix;
+                let gsize = (self.nranks - g * radix).min(*radix);
+                if !groups[g].arrive_or_wait(gsize)? {
+                    // Released by our group leader after the root completed.
+                    return Ok(false);
+                }
+                // Group leader: carry this group's arrival to the root.
+                // If the root poisons while we are there, our group members
+                // are released by SyncPoint::poison, which poisons every
+                // cell.
+                let leader = root.arrive_or_wait(groups.len())?;
+                if leader {
+                    root.release();
+                }
+                groups[g].release();
+                Ok(leader)
             }
         }
     }
@@ -182,9 +320,87 @@ impl SyncPoint {
     /// Permanently poison the barrier, releasing all waiters with
     /// [`CkptError::Poisoned`].
     fn poison(&self) {
-        let mut st = self.state.lock().expect("syncpoint lock");
-        st.poisoned = true;
-        self.cv.notify_all();
+        match &self.shape {
+            SyncShape::Flat(cell) => cell.poison(),
+            SyncShape::Tree { groups, root, .. } => {
+                root.poison();
+                for cell in groups {
+                    cell.poison();
+                }
+            }
+        }
+    }
+}
+
+/// Per-rank staging slots sharded over independent locks, so a 1024-rank
+/// world submitting counters or images at the rendezvous does not
+/// serialize on a single mutex. Rank `r` lives in shard `r % nshards` at
+/// slot `r / nshards`.
+struct ShardedSlots<T> {
+    nranks: usize,
+    shards: Vec<Mutex<Vec<Option<T>>>>,
+}
+
+impl<T> ShardedSlots<T> {
+    /// At most 64 shards; never more than one slot-vector per rank.
+    fn new(nranks: usize) -> ShardedSlots<T> {
+        let nshards = nranks.clamp(1, 64);
+        let shards = (0..nshards)
+            .map(|s| {
+                let slots = nranks / nshards + usize::from(s < nranks % nshards);
+                Mutex::new((0..slots).map(|_| None).collect())
+            })
+            .collect();
+        ShardedSlots { nranks, shards }
+    }
+
+    fn put(&self, rank: usize, value: T) {
+        let shard = rank % self.shards.len();
+        self.shards[shard].lock().expect("shard lock")[rank / self.shards.len()] = Some(value);
+    }
+
+    /// Visit every occupied slot in an unspecified order, one shard lock
+    /// at a time. Returns how many slots were occupied.
+    fn for_each(&self, mut f: impl FnMut(usize, &T)) -> usize {
+        let mut seen = 0;
+        for (s, shard) in self.shards.iter().enumerate() {
+            let slots = shard.lock().expect("shard lock");
+            for (i, slot) in slots.iter().enumerate() {
+                if let Some(v) = slot {
+                    f(s + i * self.shards.len(), v);
+                    seen += 1;
+                }
+            }
+        }
+        seen
+    }
+
+    /// Take every slot if all are occupied (returned in rank order);
+    /// leaves the slots untouched otherwise.
+    fn take_all_if_complete(&self) -> Option<Vec<T>> {
+        let mut guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock"))
+            .collect();
+        if guards.iter().any(|g| g.iter().any(Option::is_none)) {
+            return None;
+        }
+        Some(
+            (0..self.nranks)
+                .map(|r| {
+                    guards[r % self.shards.len()][r / self.shards.len()]
+                        .take()
+                        .expect("checked complete")
+                })
+                .collect(),
+        )
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("shard lock").fill_with(|| None);
+        }
     }
 }
 
@@ -236,8 +452,8 @@ struct Shared {
     round: Mutex<Round>,
     sync: SyncPoint,
     /// Per-rank (sent_to, received_from) matrices for the drain protocol.
-    counters: Mutex<Vec<Option<DrainCounters>>>,
-    images: Mutex<Vec<Option<RankImage>>>,
+    counters: ShardedSlots<DrainCounters>,
+    images: ShardedSlots<RankImage>,
     completed_epoch: AtomicU64,
     completed_rounds: AtomicU64,
     /// Attached image consumer plus the vendor hint to stamp on forwarded
@@ -255,8 +471,17 @@ pub struct Coordinator {
 }
 
 impl Coordinator {
-    /// Create a coordinator for a world of `nranks`.
+    /// Create a coordinator for a world of `nranks`, with the rendezvous
+    /// barrier topology auto-selected by world size
+    /// ([`BarrierTopology::auto`]: flat up to 64 ranks, a radix-32 tree
+    /// beyond).
     pub fn new(nranks: usize) -> Coordinator {
+        Coordinator::with_topology(nranks, BarrierTopology::auto(nranks))
+    }
+
+    /// Create a coordinator with an explicit barrier topology (the scale
+    /// bench uses this to record the flat-vs-tree finish() latency curves).
+    pub fn with_topology(nranks: usize, topology: BarrierTopology) -> Coordinator {
         Coordinator {
             shared: Arc::new(Shared {
                 nranks,
@@ -269,9 +494,9 @@ impl Coordinator {
                     entered: 0,
                     consumed_epoch: 0,
                 }),
-                sync: SyncPoint::new(),
-                counters: Mutex::new((0..nranks).map(|_| None).collect()),
-                images: Mutex::new((0..nranks).map(|_| None).collect()),
+                sync: SyncPoint::new(nranks, topology),
+                counters: ShardedSlots::new(nranks),
+                images: ShardedSlots::new(nranks),
                 completed_epoch: AtomicU64::new(0),
                 completed_rounds: AtomicU64::new(0),
                 sink: Mutex::new(None),
@@ -350,11 +575,7 @@ impl Coordinator {
     /// Collect the world image of the last completed checkpoint, if every
     /// rank submitted one. Clears the staging area.
     pub fn take_world_image(&self, vendor_hint: &str) -> Option<WorldImage> {
-        let mut staged = self.shared.images.lock().expect("images lock");
-        if staged.iter().any(Option::is_none) {
-            return None;
-        }
-        let ranks: Vec<RankImage> = staged.iter_mut().map(|s| s.take().expect("some")).collect();
+        let ranks = self.shared.images.take_all_if_complete()?;
         Some(WorldImage::new(vendor_hint.to_string(), ranks))
     }
 
@@ -602,27 +823,22 @@ impl CkptSession<'_> {
         received_from: &[u64],
     ) -> Result<Vec<u64>, CkptError> {
         let shared = &self.agent.shared;
-        {
-            let mut table = shared.counters.lock().expect("counters lock");
-            table[self.agent.rank] = Some((sent_to.to_vec(), received_from.to_vec()));
-        }
-        shared.sync.wait(shared.nranks)?;
-        let table = shared.counters.lock().expect("counters lock");
-        Ok((0..shared.nranks)
-            .map(|j| {
-                let sent_j_to_me = table[j]
-                    .as_ref()
-                    .map(|(sent, _)| sent[self.agent.rank])
-                    .expect("all ranks published");
-                sent_j_to_me.saturating_sub(received_from[j])
-            })
-            .collect())
+        shared
+            .counters
+            .put(self.agent.rank, (sent_to.to_vec(), received_from.to_vec()));
+        shared.sync.wait(self.agent.rank)?;
+        let mut pending = vec![0u64; shared.nranks];
+        let me = self.agent.rank;
+        let published = shared.counters.for_each(|j, (sent, _)| {
+            pending[j] = sent[me].saturating_sub(received_from[j]);
+        });
+        debug_assert_eq!(published, shared.nranks, "all ranks published");
+        Ok(pending)
     }
 
     /// Submit this rank's serialized image.
     pub fn submit_image(&self, image: RankImage) {
-        let mut staged = self.agent.shared.images.lock().expect("images lock");
-        staged[self.agent.rank] = Some(image);
+        self.agent.shared.images.put(self.agent.rank, image);
     }
 
     /// Final barrier: the checkpoint is globally complete. Latches the
@@ -630,12 +846,12 @@ impl CkptSession<'_> {
     /// (continue or stop) agreed when the cut was finalized.
     pub fn finish(self) -> Result<CkptMode, CkptError> {
         let shared = self.agent.shared.clone();
-        let leader = shared.sync.wait(shared.nranks)?;
+        let leader = shared.sync.wait(self.agent.rank)?;
         if leader {
             // Only now is every participant done reading the exchanged
             // counter matrices; clearing any earlier races peers still
             // computing their drain deficits.
-            shared.counters.lock().expect("counters lock").fill(None);
+            shared.counters.clear();
             // All participants are parked between the two barriers, and
             // every participant's own requests happened before it entered:
             // reading the request counter here absorbs every request this
@@ -654,22 +870,14 @@ impl CkptSession<'_> {
             // takes ownership and the ranks resume while I/O proceeds.
             let sink = shared.sink.lock().expect("sink lock").clone();
             if let Some((sink, vendor_hint)) = sink {
-                let ranks: Vec<RankImage> = {
-                    let mut staged = shared.images.lock().expect("images lock");
-                    if staged.iter().all(Option::is_some) {
-                        staged.iter_mut().map(|s| s.take().expect("some")).collect()
-                    } else {
-                        Vec::new()
-                    }
-                };
-                if !ranks.is_empty() {
+                if let Some(ranks) = shared.images.take_all_if_complete() {
                     if let Err(e) = sink.submit(WorldImage::new(vendor_hint, ranks)) {
                         *shared.sink_error.lock().expect("sink error lock") = Some(e);
                     }
                 }
             }
         }
-        shared.sync.wait(shared.nranks)?;
+        shared.sync.wait(self.agent.rank)?;
         if let Some(e) = shared.sink_error.lock().expect("sink error lock").clone() {
             // Observed by every participant after the final barrier: the
             // checkpoint was taken but could not be persisted, and the
@@ -746,6 +954,137 @@ mod tests {
         assert_eq!(world.nranks(), n);
         // Taking again yields nothing: staging was drained.
         assert!(coord.take_world_image("test").is_none());
+    }
+
+    #[test]
+    fn tree_barrier_full_protocol_uniform_cut() {
+        // Odd world size with a tiny radix: groups of 3 with a ragged
+        // tail, so leader election, cascade release, and the last short
+        // group are all exercised over several back-to-back rounds (the
+        // barrier cells must be reusable generation after generation).
+        let n = 10;
+        let coord = Coordinator::with_topology(n, BarrierTopology::Tree { radix: 3 });
+        let cuts = std::sync::Mutex::new(vec![Vec::new(); n]);
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let coord = coord.clone();
+                let cuts = &cuts;
+                s.spawn(move || {
+                    let mut agent = coord.agent(rank);
+                    let zeros = vec![0u64; n];
+                    let mut step = 0u64;
+                    while step < 120 {
+                        // Rank 0 presses the button three times, spaced so
+                        // each press lands outside any open round.
+                        if rank == 0 && (step == 5 || step == 45 || step == 85) {
+                            coord.request_checkpoint(CkptMode::Continue);
+                        }
+                        match agent.poll(step).expect("poll") {
+                            Poll::None | Poll::KeepRunning => {
+                                step += 1;
+                                std::thread::yield_now();
+                            }
+                            Poll::Enter(session) => {
+                                let cut = session.cut();
+                                assert_eq!(cut, step, "entered away from the cut");
+                                session.exchange_counters(&zeros, &zeros).expect("exchange");
+                                session.submit_image(RankImage::new(rank, n, session.epoch()));
+                                session.finish().expect("finish");
+                                cuts.lock().unwrap()[rank].push(cut);
+                                step += 1;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let cuts = cuts.into_inner().unwrap();
+        for per_rank in &cuts {
+            assert_eq!(per_rank.len(), 3, "three rounds everywhere: {cuts:?}");
+            assert_eq!(per_rank, &cuts[0], "uniform cuts: {cuts:?}");
+        }
+        assert_eq!(coord.completed_rounds(), 3);
+        let world = coord.take_world_image("tree").expect("staged");
+        assert_eq!(world.nranks(), n);
+    }
+
+    #[test]
+    fn tree_barrier_death_mid_rendezvous_poisons_all_groups() {
+        // A resignation inside the rendezvous must release waiters in
+        // *every* tree group, not only the victim's.
+        let n = 6;
+        let coord = Coordinator::with_topology(n, BarrierTopology::Tree { radix: 2 });
+        coord.request_checkpoint(CkptMode::Continue);
+        let committed = std::sync::Barrier::new(n);
+        std::thread::scope(|s| {
+            for rank in 0..n - 1 {
+                let coord = coord.clone();
+                let committed = &committed;
+                s.spawn(move || {
+                    let mut agent = coord.agent(rank);
+                    let mut step = 0;
+                    let session = loop {
+                        match agent.poll(step).expect("poll") {
+                            Poll::Enter(session) => break session,
+                            _ => {
+                                step += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    };
+                    committed.wait();
+                    let zeros = vec![0u64; n];
+                    let err = session.exchange_counters(&zeros, &zeros).unwrap_err();
+                    assert_eq!(err, CkptError::Poisoned, "rank {rank}");
+                });
+            }
+            let coord = coord.clone();
+            let committed = &committed;
+            s.spawn(move || {
+                let mut agent = coord.agent(n - 1);
+                // Publish a gather position so the cut can be agreed, then
+                // die once every survivor is parked in the barrier.
+                agent.poll(0).expect("poll");
+                committed.wait();
+                agent.resign();
+            });
+        });
+    }
+
+    #[test]
+    fn topology_auto_switches_at_64_ranks() {
+        assert_eq!(BarrierTopology::auto(48), BarrierTopology::Flat);
+        assert_eq!(BarrierTopology::auto(64), BarrierTopology::Flat);
+        assert_eq!(
+            BarrierTopology::auto(65),
+            BarrierTopology::Tree {
+                radix: BarrierTopology::DEFAULT_RADIX
+            }
+        );
+    }
+
+    #[test]
+    fn sharded_slots_roundtrip_and_clear() {
+        let slots: ShardedSlots<u64> = ShardedSlots::new(130);
+        for r in 0..130 {
+            slots.put(r, r as u64 * 3);
+        }
+        let mut seen = [false; 130];
+        let n = slots.for_each(|rank, v| {
+            assert_eq!(*v, rank as u64 * 3);
+            seen[rank] = true;
+        });
+        assert_eq!(n, 130);
+        assert!(seen.iter().all(|&s| s));
+        let all = slots.take_all_if_complete().expect("complete");
+        assert_eq!(all.len(), 130);
+        assert!(all.iter().enumerate().all(|(r, &v)| v == r as u64 * 3));
+        // Drained: a second take reports incomplete.
+        assert!(slots.take_all_if_complete().is_none());
+        slots.put(7, 1);
+        assert!(slots.take_all_if_complete().is_none());
+        slots.clear();
+        assert_eq!(slots.for_each(|_, _| {}), 0);
     }
 
     #[test]

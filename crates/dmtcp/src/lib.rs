@@ -50,7 +50,9 @@ pub mod memory;
 pub mod store;
 
 pub use codec::{CodecError, Reader, Writer};
-pub use coordinator::{CkptError, CkptMode, CkptSession, Coordinator, ImageSink, Poll, RankAgent};
+pub use coordinator::{
+    BarrierTopology, CkptError, CkptMode, CkptSession, Coordinator, ImageSink, Poll, RankAgent,
+};
 pub use image::{ImageError, RankImage, WorldImage};
 pub use memory::Memory;
 pub use store::{DeltaStore, EpochStats, StoreConfig, StoreError, StoreWriter};

@@ -1,21 +1,31 @@
 //! The fabric: rank-to-rank FIFO mailboxes plus fail-stop fault injection.
 //!
-//! One `Mutex<VecDeque>` + `Condvar` mailbox per destination rank carries
-//! [`Envelope`]s. Per (src, dst) pair, delivery order equals send order
-//! (each sender pushes under the destination's mailbox lock), which is
-//! exactly the non-overtaking guarantee MPI point-to-point semantics
-//! require from the transport.
+//! Each destination rank owns a **striped mailbox**: the arrival queue is
+//! split into `nstripes` lock stripes keyed by *source* rank
+//! (`src % nstripes`), so concurrent senders to the same destination only
+//! contend when they share a stripe — and senders in different stripes
+//! never touch the same lock. Per (src, dst) pair, delivery order equals
+//! send order (one source always lands in one stripe, whose queue is
+//! FIFO), which is exactly the non-overtaking guarantee MPI point-to-point
+//! semantics require from the transport. Cross-sender arrival order is
+//! defined by a per-destination atomic **arrival stamp** taken at push
+//! time; receivers merge the stripes in stamp order, so a single-threaded
+//! send schedule is observed exactly in send order, as before striping.
 //!
 //! The fabric is **event-driven**: blocked receivers sleep on their
 //! mailbox's condition variable and are woken by the arrival of a message,
 //! by [`Fabric::shutdown`], or by [`Fabric::fail_rank`] — there is no
 //! polling interval, so failure-detection and shutdown latency is one
-//! condvar wakeup, not a timer tick. Writers that flip the shutdown/failed
-//! flags briefly acquire each mailbox lock before notifying, so a receiver
-//! that checked the flags and is about to sleep cannot miss the wakeup.
+//! condvar wakeup, not a timer tick. The condvar's guard mutex (the
+//! *gate*) protects nothing but the sleep itself: senders take and release
+//! it before notifying (and writers that flip the shutdown/failed flags do
+//! the same), so a receiver that checked the queues and flags under the
+//! gate and is about to sleep cannot miss the wakeup. Senders skip the
+//! gate entirely while no receiver is registered as waiting, which keeps
+//! the 512-rank incast fast path at one stripe lock per send.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use bytes::Bytes;
@@ -25,23 +35,137 @@ use crate::envelope::Envelope;
 use crate::error::{SimError, SimResult};
 use crate::rank::RankCtx;
 
-/// One rank's inbox: the arrival queue and the condvar blocked receivers
-/// sleep on.
+/// Default number of lock stripes per destination mailbox. Eight stripes
+/// keep the per-mailbox footprint trivial while making an all-to-one
+/// incast from hundreds of senders contend on eight locks instead of one.
+pub const DEFAULT_STRIPES: usize = 8;
+
+/// A queued envelope tagged with its destination-wide arrival stamp.
+type Stamped = (u64, Envelope);
+
+/// A held stripe lock during the take-next front scan.
+type StripeGuard<'a> = std::sync::MutexGuard<'a, VecDeque<Stamped>>;
+
+/// One lock stripe of a mailbox: envelopes from sources mapping to this
+/// stripe, each tagged with its destination-wide arrival stamp.
 #[derive(Default)]
+struct Stripe {
+    queue: Mutex<VecDeque<Stamped>>,
+}
+
+/// One rank's inbox: striped arrival queues, the merge stamp, and the
+/// condvar blocked receivers sleep on.
 struct Mailbox {
-    queue: Mutex<VecDeque<Envelope>>,
+    /// Next arrival stamp for this destination; the stripe merge key.
+    arrivals: AtomicU64,
+    /// Envelopes currently queued across all stripes.
+    queued: AtomicUsize,
+    /// Receivers currently registered on the condvar. Senders skip the
+    /// gate lock + notify when this is zero.
+    waiters: AtomicUsize,
+    stripes: Vec<Stripe>,
+    /// Guard mutex for the sleep; guards no data.
+    gate: Mutex<()>,
     arrived: Condvar,
 }
 
 impl Mailbox {
-    /// Wake every receiver blocked on this mailbox. Acquiring (and
-    /// immediately releasing) the queue lock first closes the race with a
-    /// receiver that has checked the control flags and is entering
-    /// `Condvar::wait`: the notifier either runs before the receiver's
-    /// flag check (flags are visible) or after the wait released the lock
-    /// (the notification is delivered).
+    fn new(nstripes: usize) -> Mailbox {
+        Mailbox {
+            arrivals: AtomicU64::new(0),
+            queued: AtomicUsize::new(0),
+            waiters: AtomicUsize::new(0),
+            stripes: (0..nstripes.max(1)).map(|_| Stripe::default()).collect(),
+            gate: Mutex::new(()),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// Enqueue one envelope from `src` and wake a sleeping receiver if one
+    /// is registered. Only the stripe lock is taken on the fast path.
+    fn push(&self, src: usize, env: Envelope) {
+        let stamp = self.arrivals.fetch_add(1, Ordering::SeqCst);
+        let stripe = &self.stripes[src % self.stripes.len()];
+        {
+            let mut queue = stripe.queue.lock().expect("stripe lock poisoned");
+            queue.push_back((stamp, env));
+            // Incremented while the stripe lock is held: a receiver that
+            // pops or drains this envelope first had to acquire the same
+            // lock, so its matching decrement can never run before this
+            // increment (`queued` counts down but never underflows).
+            self.queued.fetch_add(1, Ordering::SeqCst);
+        }
+        // The receiver registers in `waiters` *before* its final emptiness
+        // check (both SeqCst): if we read zero here, the receiver's check
+        // is ordered after our `queued` increment and it will not sleep.
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            self.wake_one();
+        }
+    }
+
+    /// Pop the queued envelope with the smallest arrival stamp, if any.
+    /// Only the owning endpoint pops, so a peeked front cannot be stolen.
+    fn take_next(&self) -> Option<Envelope> {
+        // Empty-mailbox fast path: one atomic load instead of a scan over
+        // every stripe lock (this is what recv_raw's wakeup retries and
+        // poll-shaped progress loops hit most of the time).
+        if self.queued.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        // Scan stripe fronts keeping the current winner's guard, so the
+        // winning stripe is not re-locked to pop. At most two stripe locks
+        // are held at once and only by the single receiver — senders take
+        // exactly one — so no lock cycle can form.
+        let mut best: Option<(u64, StripeGuard<'_>)> = None;
+        for stripe in &self.stripes {
+            let guard = stripe.queue.lock().expect("stripe lock poisoned");
+            let stamp = match guard.front() {
+                Some((stamp, _)) => *stamp,
+                None => continue,
+            };
+            if best.as_ref().is_none_or(|(s, _)| stamp < *s) {
+                best = Some((stamp, guard));
+            }
+        }
+        let (_, mut queue) = best?;
+        let (_, env) = queue
+            .pop_front()
+            .expect("front cannot vanish under the single receiver");
+        self.queued.fetch_sub(1, Ordering::SeqCst);
+        Some(env)
+    }
+
+    /// Drain every stripe into `into`, merged in arrival-stamp order.
+    fn drain_into(&self, into: &mut Vec<Envelope>) -> usize {
+        let mut batch: Vec<(u64, Envelope)> =
+            Vec::with_capacity(self.queued.load(Ordering::SeqCst));
+        for stripe in &self.stripes {
+            let mut queue = stripe.queue.lock().expect("stripe lock poisoned");
+            // Decremented under the stripe lock, like the push increment,
+            // so the counter cannot transiently underflow.
+            self.queued.fetch_sub(queue.len(), Ordering::SeqCst);
+            batch.extend(queue.drain(..));
+        }
+        batch.sort_unstable_by_key(|(stamp, _)| *stamp);
+        let n = batch.len();
+        into.extend(batch.into_iter().map(|(_, env)| env));
+        n
+    }
+
+    /// Wake one sleeping receiver. Acquiring (and immediately releasing)
+    /// the gate first closes the race with a receiver that has checked the
+    /// queues and flags and is entering `Condvar::wait`: the notifier
+    /// either runs before the receiver's check (the new state is visible)
+    /// or after the wait released the gate (the notification is
+    /// delivered).
+    fn wake_one(&self) {
+        drop(self.gate.lock().expect("mailbox gate poisoned"));
+        self.arrived.notify_one();
+    }
+
+    /// Wake every receiver blocked on this mailbox (shutdown / fail-stop).
     fn wake_all(&self) {
-        drop(self.queue.lock().expect("mailbox lock poisoned"));
+        drop(self.gate.lock().expect("mailbox gate poisoned"));
         self.arrived.notify_all();
     }
 }
@@ -69,16 +193,25 @@ pub struct Fabric {
 }
 
 impl Fabric {
-    /// Build a fabric for `spec` and hand out one endpoint per rank.
+    /// Build a fabric for `spec` with the default stripe count and hand
+    /// out one endpoint per rank.
     pub fn new(spec: &ClusterSpec) -> (Fabric, Vec<Endpoint>) {
+        Fabric::with_stripes(spec, DEFAULT_STRIPES)
+    }
+
+    /// Like [`Fabric::new`] with an explicit number of mailbox lock
+    /// stripes per destination (clamped to at least one). One stripe
+    /// reproduces the pre-striping single-lock mailbox exactly.
+    pub fn with_stripes(spec: &ClusterSpec, nstripes: usize) -> (Fabric, Vec<Endpoint>) {
         let nranks = spec.nranks();
+        let nstripes = nstripes.clamp(1, nranks.max(1));
         let shared = Arc::new(Shared {
             nranks,
             failed: (0..nranks).map(|_| AtomicBool::new(false)).collect(),
             failed_count: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             failure_detection: AtomicBool::new(false),
-            mailboxes: (0..nranks).map(|_| Mailbox::default()).collect(),
+            mailboxes: (0..nranks).map(|_| Mailbox::new(nstripes)).collect(),
         });
         let fabric = Fabric { shared };
         let endpoints = (0..nranks)
@@ -94,6 +227,14 @@ impl Fabric {
     /// Number of ranks on the fabric.
     pub fn nranks(&self) -> usize {
         self.shared.nranks
+    }
+
+    /// Number of lock stripes per destination mailbox.
+    pub fn stripes(&self) -> usize {
+        self.shared
+            .mailboxes
+            .first()
+            .map_or(1, |mb| mb.stripes.len())
     }
 
     /// Mark a rank as failed (fail-stop). Subsequent sends to it error with
@@ -239,13 +380,7 @@ impl Endpoint {
             seq,
         };
         ctx.count_send(env.len());
-        let mailbox = &shared.mailboxes[dst];
-        mailbox
-            .queue
-            .lock()
-            .expect("mailbox lock poisoned")
-            .push_back(env);
-        mailbox.arrived.notify_one();
+        shared.mailboxes[dst].push(self.rank, env);
         Ok(())
     }
 
@@ -253,25 +388,17 @@ impl Endpoint {
     /// No virtual-time accounting happens here; the caller's matching engine
     /// decides when and how to charge time (see [`RankCtx::arrival_time`]).
     pub fn poll_raw(&self) -> SimResult<Option<Envelope>> {
-        let mailbox = &self.fabric.shared.mailboxes[self.rank];
-        Ok(mailbox
-            .queue
-            .lock()
-            .expect("mailbox lock poisoned")
-            .pop_front())
+        Ok(self.fabric.shared.mailboxes[self.rank].take_next())
     }
 
     /// Batch-drain every envelope currently queued into `into`, acquiring
-    /// the mailbox lock exactly once. Returns how many were appended.
+    /// each stripe lock exactly once and merging the stripes in arrival
+    /// order. Returns how many were appended.
     ///
     /// This is the progress engines' fast path: one lock round-trip per
-    /// progress call instead of one per message.
+    /// stripe per progress call instead of one per message.
     pub fn drain_raw_into(&self, into: &mut Vec<Envelope>) -> SimResult<usize> {
-        let mailbox = &self.fabric.shared.mailboxes[self.rank];
-        let mut queue = mailbox.queue.lock().expect("mailbox lock poisoned");
-        let n = queue.len();
-        into.extend(queue.drain(..));
-        Ok(n)
+        Ok(self.fabric.shared.mailboxes[self.rank].drain_into(into))
     }
 
     /// Blocking pull of the next raw envelope (no time accounting).
@@ -282,15 +409,35 @@ impl Endpoint {
     /// delivered before an unblock error is reported.
     pub fn recv_raw(&self) -> SimResult<Envelope> {
         let mailbox = &self.fabric.shared.mailboxes[self.rank];
-        let mut queue = mailbox.queue.lock().expect("mailbox lock poisoned");
         loop {
-            if let Some(env) = queue.pop_front() {
+            if let Some(env) = mailbox.take_next() {
+                return Ok(env);
+            }
+            // Nothing queued: register on the condvar, then re-check both
+            // the queues and the unblock flags *after* registering, so a
+            // concurrent push or flag flip cannot be missed (senders read
+            // `waiters` after bumping `queued`; flag writers notify
+            // unconditionally through the gate).
+            let gate = mailbox.gate.lock().expect("mailbox gate poisoned");
+            mailbox.waiters.fetch_add(1, Ordering::SeqCst);
+            let wake_now =
+                mailbox.queued.load(Ordering::SeqCst) > 0 || self.unblock_reason().is_some();
+            if !wake_now {
+                drop(
+                    mailbox
+                        .arrived
+                        .wait(gate)
+                        .expect("mailbox gate poisoned in wait"),
+                );
+            }
+            mailbox.waiters.fetch_sub(1, Ordering::SeqCst);
+            if let Some(env) = mailbox.take_next() {
                 return Ok(env);
             }
             if let Some(err) = self.unblock_reason() {
                 return Err(err);
             }
-            queue = mailbox.arrived.wait(queue).expect("mailbox lock poisoned");
+            // Spurious wakeup or a racing pop: go around again.
         }
     }
 
@@ -367,6 +514,104 @@ mod tests {
             assert_eq!(env.payload[0], i);
             assert_eq!(env.seq, i as u64);
         }
+    }
+
+    #[test]
+    fn cross_stripe_sends_merge_in_send_order() {
+        // Senders 0..4 land on different stripes of rank 5's mailbox; a
+        // single-threaded interleaved schedule must still be observed in
+        // exact global send order (the arrival-stamp merge).
+        let spec = StdArc::new(ClusterSpec::builder().nodes(1).ranks_per_node(6).build());
+        let (fabric, eps) = Fabric::with_stripes(&spec, 4);
+        assert_eq!(fabric.stripes(), 4);
+        let mut ctxs: Vec<RankCtx> = eps
+            .into_iter()
+            .enumerate()
+            .map(|(r, ep)| ctx_for(r, &spec, ep))
+            .collect();
+        let receiver = ctxs.pop().unwrap();
+        let schedule: Vec<usize> = vec![0, 3, 1, 4, 2, 0, 4, 1, 3, 2, 2, 0];
+        for (i, &src) in schedule.iter().enumerate() {
+            ctxs[src]
+                .endpoint()
+                .send_raw(5, 0, 0, Bytes::from(vec![i as u8]), &ctxs[src])
+                .unwrap();
+        }
+        // poll_raw path: stamp-merged one at a time.
+        for i in 0..6u8 {
+            let env = receiver.endpoint().poll_raw().unwrap().unwrap();
+            assert_eq!(env.payload[0], i, "poll order broke at {i}");
+            assert_eq!(env.src, schedule[i as usize]);
+        }
+        // drain path: the rest arrives merged in one batch.
+        let mut rest = Vec::new();
+        assert_eq!(receiver.endpoint().drain_raw_into(&mut rest).unwrap(), 6);
+        for (k, env) in rest.iter().enumerate() {
+            assert_eq!(env.payload[0] as usize, 6 + k, "drain order broke");
+        }
+    }
+
+    #[test]
+    fn single_stripe_fabric_still_works() {
+        let spec = StdArc::new(ClusterSpec::builder().nodes(1).ranks_per_node(2).build());
+        let (fabric, mut eps) = Fabric::with_stripes(&spec, 1);
+        assert_eq!(fabric.stripes(), 1);
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let ctx0 = ctx_for(0, &spec, ep0);
+        let ctx1 = ctx_for(1, &spec, ep1);
+        for i in 0..4u8 {
+            ctx0.endpoint()
+                .send_raw(1, 0, 0, Bytes::from(vec![i]), &ctx0)
+                .unwrap();
+        }
+        for i in 0..4u8 {
+            assert_eq!(ctx1.endpoint().recv_raw().unwrap().payload[0], i);
+        }
+    }
+
+    #[test]
+    fn concurrent_incast_preserves_per_pair_fifo() {
+        // Many sender threads hammer one destination across stripes; the
+        // receiver must see every message, each source in send order.
+        let nsenders = 8usize;
+        let per_sender = 100u64;
+        let spec = StdArc::new(
+            ClusterSpec::builder()
+                .nodes(1)
+                .ranks_per_node(nsenders + 1)
+                .build(),
+        );
+        let (_fabric, eps) = Fabric::with_stripes(&spec, 4);
+        let mut ctxs: Vec<RankCtx> = eps
+            .into_iter()
+            .enumerate()
+            .map(|(r, ep)| ctx_for(r, &spec, ep))
+            .collect();
+        let receiver = ctxs.pop().unwrap();
+        std::thread::scope(|s| {
+            for ctx in ctxs {
+                s.spawn(move || {
+                    for i in 0..per_sender {
+                        ctx.endpoint()
+                            .send_raw(nsenders, 0, 0, Bytes::from(i.to_le_bytes().to_vec()), &ctx)
+                            .unwrap();
+                    }
+                });
+            }
+            let mut last: Vec<Option<u64>> = vec![None; nsenders];
+            for _ in 0..(nsenders as u64 * per_sender) {
+                let env = receiver.endpoint().recv_raw().unwrap();
+                let i = u64::from_le_bytes(env.payload[..8].try_into().unwrap());
+                if let Some(prev) = last[env.src] {
+                    assert!(i > prev, "src {} overtook: {} after {}", env.src, i, prev);
+                }
+                last[env.src] = Some(i);
+            }
+            for (src, seen) in last.iter().enumerate() {
+                assert_eq!(*seen, Some(per_sender - 1), "src {src} incomplete");
+            }
+        });
     }
 
     #[test]

@@ -33,11 +33,14 @@
 //! The transport is designed so the *translation and checkpoint layers*
 //! being measured on top of it — not the harness — dominate observed cost:
 //!
-//! * **Zero-poll fabric** ([`fabric`]). Each rank owns a
-//!   `Mutex<VecDeque<Envelope>>` + `Condvar` mailbox. Senders push under
-//!   the destination's lock and `notify_one`; blocked receivers sleep on
-//!   the condvar. [`Fabric::shutdown`] and [`Fabric::fail_rank`] flip an
-//!   atomic flag, briefly acquire each mailbox lock, and `notify_all`, so
+//! * **Zero-poll striped fabric** ([`fabric`]). Each rank owns a
+//!   mailbox split into lock **stripes** keyed by source rank, so
+//!   concurrent senders to one destination contend per stripe, not on one
+//!   lock; a per-destination arrival stamp merges the stripes back into
+//!   global arrival order. Senders push under their stripe's lock and
+//!   wake a registered receiver; blocked receivers sleep on the mailbox
+//!   condvar. [`Fabric::shutdown`] and [`Fabric::fail_rank`] flip an
+//!   atomic flag, briefly acquire each mailbox gate, and `notify_all`, so
 //!   failure-detection latency is one condvar wakeup — there is no
 //!   polling interval, and deadlocked or failed worlds unwind instantly.
 //!   A single `AtomicUsize` failed-rank counter lets receivers check for
@@ -100,4 +103,4 @@ pub use noise::NoiseModel;
 pub use rank::RankCtx;
 pub use stats::{mean, median, stddev, Summary};
 pub use time::VirtualTime;
-pub use world::{World, WorldOutcome};
+pub use world::{RunPlan, World, WorldOutcome};

@@ -1,5 +1,16 @@
 //! Launching a world: one thread per rank, panic containment, result
-//! collection.
+//! collection — with a threading plan that keeps ≥ 512-rank worlds cheap.
+//!
+//! Rank bodies block on each other (condvar receives, collective
+//! exchanges), so a communicating world needs every rank live at once:
+//! the engine cannot multiplex blocked ranks onto fewer OS threads. What
+//! it *can* bound is the per-thread cost — [`RunPlan::auto`] shrinks rank
+//! stacks from the OS default (8 MiB) to 1 MiB once a world reaches 128
+//! ranks, which keeps a 1024-rank world at ~1 GiB of address space
+//! instead of ~8 GiB. For rank bodies that are **independent** (no
+//! cross-rank blocking — image generation, per-rank setup fan-out),
+//! [`World::run_pooled`] runs them through a bounded worker pool instead
+//! of one thread per rank.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
@@ -10,6 +21,47 @@ use crate::error::{SimError, SimResult};
 use crate::fabric::Fabric;
 use crate::rank::{RankCounters, RankCtx};
 use crate::time::VirtualTime;
+
+/// World size at which [`RunPlan::auto`] starts bounding rank stacks.
+pub const LARGE_WORLD_RANKS: usize = 128;
+
+/// Per-rank stack size used for large worlds (1 MiB — far above what the
+/// vendor-library/shim/checkpointer stack depth needs, far below the OS
+/// default that would cost 8 GiB of address space at 1024 ranks).
+pub const LARGE_WORLD_STACK_BYTES: usize = 1 << 20;
+
+/// How rank threads are created for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunPlan {
+    /// Per-rank thread stack size in bytes; `None` uses the OS default.
+    pub stack_bytes: Option<usize>,
+}
+
+impl RunPlan {
+    /// The plan [`World::run`] picks for a world of `nranks`: default
+    /// stacks for small worlds, [`LARGE_WORLD_STACK_BYTES`] at or beyond
+    /// [`LARGE_WORLD_RANKS`] ranks.
+    pub fn auto(nranks: usize) -> RunPlan {
+        RunPlan {
+            stack_bytes: (nranks >= LARGE_WORLD_RANKS).then_some(LARGE_WORLD_STACK_BYTES),
+        }
+    }
+
+    /// An explicit per-rank stack size.
+    pub fn with_stack_bytes(stack_bytes: usize) -> RunPlan {
+        RunPlan {
+            stack_bytes: Some(stack_bytes),
+        }
+    }
+
+    fn builder(&self, rank: usize) -> std::thread::Builder {
+        let b = std::thread::Builder::new().name(format!("rank-{rank}"));
+        match self.stack_bytes {
+            Some(bytes) => b.stack_size(bytes),
+            None => b,
+        }
+    }
+}
 
 /// Result of running a world to completion.
 #[derive(Debug)]
@@ -37,7 +89,9 @@ impl<R> WorldOutcome<R> {
 pub struct World;
 
 impl World {
-    /// Run `f` once per rank on its own OS thread and collect the results.
+    /// Run `f` once per rank on its own OS thread and collect the results,
+    /// with the threading plan auto-selected by world size
+    /// ([`RunPlan::auto`]).
     ///
     /// The closure receives an `Rc<RankCtx>` so that deep software stacks
     /// (vendor library → ABI shim → checkpoint wrappers → application) can
@@ -53,10 +107,19 @@ impl World {
         R: Send,
         F: Fn(Rc<RankCtx>) -> SimResult<R> + Sync,
     {
+        Self::run_with(spec, RunPlan::auto(spec.nranks()), f)
+    }
+
+    /// Like [`World::run`] with an explicit threading plan.
+    pub fn run_with<R, F>(spec: &ClusterSpec, plan: RunPlan, f: F) -> SimResult<WorldOutcome<R>>
+    where
+        R: Send,
+        F: Fn(Rc<RankCtx>) -> SimResult<R> + Sync,
+    {
         spec.validate().map_err(SimError::InvalidConfig)?;
         let spec = Arc::new(spec.clone());
         let (fabric, endpoints) = Fabric::new(&spec);
-        Self::run_on(spec, fabric, endpoints, f)
+        Self::run_on_with(spec, fabric, endpoints, plan, f)
     }
 
     /// Like [`World::run`], but over a caller-provided fabric — used by the
@@ -66,6 +129,23 @@ impl World {
         spec: Arc<ClusterSpec>,
         fabric: Fabric,
         endpoints: Vec<crate::fabric::Endpoint>,
+        f: F,
+    ) -> SimResult<WorldOutcome<R>>
+    where
+        R: Send,
+        F: Fn(Rc<RankCtx>) -> SimResult<R> + Sync,
+    {
+        let plan = RunPlan::auto(spec.nranks());
+        Self::run_on_with(spec, fabric, endpoints, plan, f)
+    }
+
+    /// The general entry point: caller-provided fabric *and* threading
+    /// plan.
+    pub fn run_on_with<R, F>(
+        spec: Arc<ClusterSpec>,
+        fabric: Fabric,
+        endpoints: Vec<crate::fabric::Endpoint>,
+        plan: RunPlan,
         f: F,
     ) -> SimResult<WorldOutcome<R>>
     where
@@ -84,37 +164,11 @@ impl World {
             for (rank, ep) in endpoints.into_iter().enumerate() {
                 let spec = spec.clone();
                 let fabric = fabric.clone();
-                handles.push(scope.spawn(move || {
-                    let ctx = Rc::new(RankCtx::new(
-                        rank,
-                        spec.clone(),
-                        ep,
-                        spec.noise.stream_for_rank(rank),
-                    ));
-                    let outcome = catch_unwind(AssertUnwindSafe(|| f(ctx.clone())));
-                    let (res, clock, counters) = match outcome {
-                        Ok(res) => {
-                            if res.is_err() {
-                                fabric.shutdown();
-                            }
-                            (res, ctx.now(), ctx.counters())
-                        }
-                        Err(payload) => {
-                            fabric.shutdown();
-                            let message = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "<non-string panic payload>".into());
-                            (
-                                Err(SimError::RankPanicked { rank, message }),
-                                ctx.now(),
-                                ctx.counters(),
-                            )
-                        }
-                    };
-                    (rank, res, clock, counters)
-                }));
+                let handle = plan
+                    .builder(rank)
+                    .spawn_scoped(scope, move || Self::rank_body(rank, spec, fabric, ep, f))
+                    .expect("spawn rank thread");
+                handles.push(handle);
             }
             for handle in handles {
                 // The closure itself contains panics, so join only fails if
@@ -124,9 +178,117 @@ impl World {
             }
         });
 
-        let mut results = Vec::with_capacity(nranks);
-        let mut clocks = Vec::with_capacity(nranks);
-        let mut counters = Vec::with_capacity(nranks);
+        Self::collect(slots)
+    }
+
+    /// Run **independent** rank bodies through a bounded worker pool: at
+    /// most `max_threads` rank threads are live at any moment, executing
+    /// ranks in waves.
+    ///
+    /// This is the "where the engine allows it" escape from one thread per
+    /// rank: a rank in a later wave does not exist until the earlier waves
+    /// finish, so `f` must never *block on* another rank (sends are fine —
+    /// the fabric's mailboxes buffer them; receives may only consume
+    /// messages already sent by the same wave-or-earlier ranks). Use
+    /// [`World::run`] for communicating programs.
+    pub fn run_pooled<R, F>(
+        spec: &ClusterSpec,
+        max_threads: usize,
+        f: F,
+    ) -> SimResult<WorldOutcome<R>>
+    where
+        R: Send,
+        F: Fn(Rc<RankCtx>) -> SimResult<R> + Sync,
+    {
+        spec.validate().map_err(SimError::InvalidConfig)?;
+        let spec = Arc::new(spec.clone());
+        let (fabric, endpoints) = Fabric::new(&spec);
+        let nranks = spec.nranks();
+        let wave = max_threads.max(1);
+        let plan = RunPlan::auto(wave.min(nranks));
+        let f = &f;
+
+        let mut slots: Vec<Option<(SimResult<R>, VirtualTime, RankCounters)>> =
+            (0..nranks).map(|_| None).collect();
+
+        let mut endpoints = endpoints.into_iter().enumerate();
+        loop {
+            let batch: Vec<_> = endpoints.by_ref().take(wave).collect();
+            if batch.is_empty() {
+                break;
+            }
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(batch.len());
+                for (rank, ep) in batch {
+                    let spec = spec.clone();
+                    let fabric = fabric.clone();
+                    let handle = plan
+                        .builder(rank)
+                        .spawn_scoped(scope, move || Self::rank_body(rank, spec, fabric, ep, f))
+                        .expect("spawn rank thread");
+                    handles.push(handle);
+                }
+                for handle in handles {
+                    let (rank, res, clock, counters) =
+                        handle.join().expect("rank thread join failed");
+                    slots[rank] = Some((res, clock, counters));
+                }
+            });
+        }
+
+        Self::collect(slots)
+    }
+
+    /// One rank's execution: context construction, panic containment,
+    /// fabric shutdown on error.
+    fn rank_body<R, F>(
+        rank: usize,
+        spec: Arc<ClusterSpec>,
+        fabric: Fabric,
+        ep: crate::fabric::Endpoint,
+        f: &F,
+    ) -> (usize, SimResult<R>, VirtualTime, RankCounters)
+    where
+        R: Send,
+        F: Fn(Rc<RankCtx>) -> SimResult<R> + Sync,
+    {
+        let ctx = Rc::new(RankCtx::new(
+            rank,
+            spec.clone(),
+            ep,
+            spec.noise.stream_for_rank(rank),
+        ));
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(ctx.clone())));
+        match outcome {
+            Ok(res) => {
+                if res.is_err() {
+                    fabric.shutdown();
+                }
+                (rank, res, ctx.now(), ctx.counters())
+            }
+            Err(payload) => {
+                fabric.shutdown();
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".into());
+                (
+                    rank,
+                    Err(SimError::RankPanicked { rank, message }),
+                    ctx.now(),
+                    ctx.counters(),
+                )
+            }
+        }
+    }
+
+    fn collect<R>(
+        slots: Vec<Option<(SimResult<R>, VirtualTime, RankCounters)>>,
+    ) -> SimResult<WorldOutcome<R>> {
+        let mut results = Vec::with_capacity(slots.len());
+        let mut clocks = Vec::with_capacity(slots.len());
+        let mut counters = Vec::with_capacity(slots.len());
         let mut first_err = None;
         for slot in slots {
             let (res, clock, ctrs) = slot.expect("all ranks recorded");
@@ -256,5 +418,79 @@ mod tests {
             .results
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn auto_plan_bounds_stacks_for_large_worlds() {
+        assert_eq!(RunPlan::auto(48).stack_bytes, None);
+        assert_eq!(
+            RunPlan::auto(LARGE_WORLD_RANKS).stack_bytes,
+            Some(LARGE_WORLD_STACK_BYTES)
+        );
+        assert_eq!(
+            RunPlan::auto(1024).stack_bytes,
+            Some(LARGE_WORLD_STACK_BYTES)
+        );
+    }
+
+    #[test]
+    fn bounded_stack_world_runs_fine() {
+        let spec = ClusterSpec::builder().nodes(1).ranks_per_node(4).build();
+        let outcome = World::run_with(&spec, RunPlan::with_stack_bytes(256 * 1024), |ctx| {
+            let n = ctx.nranks();
+            let next = (ctx.rank() + 1) % n;
+            ctx.endpoint()
+                .send_raw(next, 0, 0, Bytes::from(vec![7u8]), &ctx)?;
+            let env = ctx.endpoint().recv_raw_blocking(&ctx)?;
+            Ok(env.payload[0])
+        })
+        .unwrap();
+        assert_eq!(outcome.results, vec![7; 4]);
+    }
+
+    #[test]
+    fn pooled_run_bounds_live_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let spec = ClusterSpec::builder().nodes(1).ranks_per_node(12).build();
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let outcome = World::run_pooled(&spec, 3, |ctx| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            live.fetch_sub(1, Ordering::SeqCst);
+            Ok(ctx.rank())
+        })
+        .unwrap();
+        assert_eq!(outcome.results, (0..12).collect::<Vec<_>>());
+        assert!(
+            peak.load(Ordering::SeqCst) <= 3,
+            "peak {} exceeded the pool bound",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn pooled_run_sends_cross_waves() {
+        // Wave 1 ranks send to wave 2 ranks; the mailboxes buffer across
+        // waves, so the later ranks receive what earlier ranks queued.
+        let spec = ClusterSpec::builder().nodes(1).ranks_per_node(8).build();
+        let outcome = World::run_pooled(&spec, 4, |ctx| {
+            if ctx.rank() < 4 {
+                ctx.endpoint().send_raw(
+                    ctx.rank() + 4,
+                    0,
+                    0,
+                    Bytes::from(vec![ctx.rank() as u8]),
+                    &ctx,
+                )?;
+                Ok(0u8)
+            } else {
+                let env = ctx.endpoint().recv_raw_blocking(&ctx)?;
+                Ok(env.payload[0])
+            }
+        })
+        .unwrap();
+        assert_eq!(outcome.results[4..], [0, 1, 2, 3]);
     }
 }

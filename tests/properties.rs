@@ -547,6 +547,91 @@ proptest! {
         prop_assert_eq!(core.unexpected_len(), 0);
     }
 
+    /// The same invariants on a **striped** fabric with more senders than
+    /// stripes: sources land on *different* lock stripes of the
+    /// receiver's mailbox (and some share one), and the arrival-stamp
+    /// merge must still deliver exactly like the single-lock mailbox —
+    /// per-(src, tag) pairs in send order (non-overtaking) and wildcards
+    /// in global arrival order.
+    #[test]
+    fn striped_mailboxes_preserve_fifo_and_wildcard_order(
+        schedule in vec((0usize..6, 0i32..3), 1..60),
+        pattern_seed in vec((0u8..4, 0usize..6, 0i32..3), 48),
+        stripes in prop::sample::select(vec![1usize, 2, 3, 4]),
+    ) {
+        use matching_order::{expected_pick, Sent};
+        use mpi_stool::simnet::matching::{MatchCore, SrcPattern, TagPattern};
+        use mpi_stool::simnet::{Fabric, NoiseModel, RankCtx};
+        use std::sync::Arc;
+
+        // Six senders over 1–4 stripes: src % stripes collides for some
+        // pairs and separates others.
+        let spec = Arc::new(ClusterSpec::builder().nodes(1).ranks_per_node(7).build());
+        let (fabric, eps) = Fabric::with_stripes(&spec, stripes);
+        prop_assert_eq!(fabric.stripes(), stripes);
+        let mut ctxs: Vec<RankCtx> = eps
+            .into_iter()
+            .enumerate()
+            .map(|(r, ep)| {
+                RankCtx::new(r, spec.clone(), ep, NoiseModel::disabled().stream_for_rank(r))
+            })
+            .collect();
+        let receiver = ctxs.pop().expect("seven ranks");
+
+        let ctx_id = 3u64;
+        let mut outstanding: Vec<Sent> = Vec::new();
+        for (i, &(src, tag)) in schedule.iter().enumerate() {
+            let payload = bytes::Bytes::copy_from_slice(&(i as u64).to_le_bytes());
+            ctxs[src]
+                .endpoint()
+                .send_raw(6, ctx_id, tag, payload, &ctxs[src])
+                .unwrap();
+            outstanding.push(Sent { src, tag, arrival_index: i });
+        }
+
+        let mut core = MatchCore::new();
+        let mut per_pair_last: std::collections::HashMap<(usize, i32), usize> =
+            std::collections::HashMap::new();
+        let mut patterns = pattern_seed.iter().cycle();
+        while !outstanding.is_empty() {
+            let &(kind, s, t) = patterns.next().expect("cycle never ends");
+            let (src_sel, tag_sel, src_model, tag_model) = match kind {
+                0 => (SrcPattern::Any, TagPattern::Any, None, None),
+                1 => (SrcPattern::Is(s), TagPattern::Any, Some(s), None),
+                2 => (SrcPattern::Any, TagPattern::Is(t), None, Some(t)),
+                _ => (SrcPattern::Is(s), TagPattern::Is(t), Some(s), Some(t)),
+            };
+            let expected = expected_pick(&outstanding, src_model, tag_model);
+            let got = core.try_match(&receiver, ctx_id, src_sel, tag_sel).unwrap();
+            match (expected, got) {
+                (None, None) => continue,
+                (Some(want), Some(m)) => {
+                    let idx = u64::from_le_bytes(m.env.payload[..8].try_into().unwrap()) as usize;
+                    prop_assert_eq!(
+                        idx, want.arrival_index,
+                        "stripes={}: pattern {:?}/{:?} must deliver the earliest match",
+                        stripes, src_sel, tag_sel
+                    );
+                    if let Some(&prev) = per_pair_last.get(&(want.src, want.tag)) {
+                        prop_assert!(
+                            prev < want.arrival_index,
+                            "stripes={}: pair ({}, {}) overtaken",
+                            stripes, want.src, want.tag
+                        );
+                    }
+                    per_pair_last.insert((want.src, want.tag), want.arrival_index);
+                    outstanding.retain(|o| o.arrival_index != want.arrival_index);
+                }
+                (want, got) => prop_assert!(
+                    false,
+                    "stripes={}: model/matcher disagree: model {:?}, matcher {:?}",
+                    stripes, want, got.map(|m| (m.env.src, m.env.tag, m.seq))
+                ),
+            }
+        }
+        prop_assert_eq!(core.unexpected_len(), 0);
+    }
+
     /// Full-wildcard receives alone must observe the exact global arrival
     /// sequence, whatever the interleaving of senders and tags.
     #[test]
