@@ -596,6 +596,39 @@ mod tests {
     }
 
     #[test]
+    fn static_lattice_stays_clean_across_steps() {
+        // `comd.lattice` mirrors real CoMD's reference lattice/species
+        // tables: written once at init, never again — the generation
+        // hint the delta store uses to skip re-hashing it every epoch.
+        // The dynamic state (positions, velocities, forces) must keep
+        // moving its stamps.
+        let cluster = simnet::ClusterSpec::builder()
+            .nodes(1)
+            .ranks_per_node(2)
+            .build();
+        let session = Session::builder()
+            .cluster(cluster)
+            .vendor(Vendor::Mpich)
+            .build()
+            .unwrap();
+        let out = session.launch(&small()).unwrap();
+        for mem in out.memories().unwrap() {
+            let lattice_gen = mem.generation("comd.lattice").unwrap();
+            for dynamic in ["comd.pos", "comd.vel", "comd.force"] {
+                let g = mem.generation(dynamic).unwrap();
+                assert!(
+                    lattice_gen < g,
+                    "{dynamic} ({g}) must outpace the static lattice ({lattice_gen})"
+                );
+            }
+            assert!(
+                lattice_gen <= 5,
+                "comd.lattice was mutably touched mid-run: {lattice_gen}"
+            );
+        }
+    }
+
+    #[test]
     fn energy_approximately_conserved() {
         let cluster = simnet::ClusterSpec::builder()
             .nodes(1)

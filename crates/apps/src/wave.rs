@@ -241,6 +241,36 @@ mod tests {
     }
 
     #[test]
+    fn static_mesh_stays_clean_across_steps() {
+        // The delta store's dirty-segment tracking only pays off if the
+        // application does not spuriously take mutable borrows of its
+        // static state: `wave.x` is written once at initialization and
+        // must keep that generation for the whole run, while the
+        // leapfrog fields move every step.
+        let cluster = simnet::ClusterSpec::builder()
+            .nodes(1)
+            .ranks_per_node(2)
+            .build();
+        let session = Session::builder()
+            .cluster(cluster)
+            .vendor(Vendor::Mpich)
+            .checkpointer(Checkpointer::mana())
+            .build()
+            .unwrap();
+        let out = session.launch(&small()).unwrap();
+        for mem in out.memories().unwrap() {
+            let x_gen = mem.generation("wave.x").unwrap();
+            let u_gen = mem.generation("wave.u").unwrap();
+            assert!(
+                x_gen < u_gen,
+                "the mesh must never be re-stamped after init: x {x_gen} vs u {u_gen}"
+            );
+            // Written exactly once, among the first few segments created.
+            assert!(x_gen <= 4, "wave.x was mutably touched mid-run: {x_gen}");
+        }
+    }
+
+    #[test]
     fn converges_to_exact_solution() {
         let cluster = simnet::ClusterSpec::builder()
             .nodes(2)

@@ -1,23 +1,29 @@
 //! Criterion: the delta-checkpoint store — full-base vs delta bytes
-//! written, commit/load throughput, and the sync vs async checkpoint
-//! latency the store buys on the wave/CoMD workloads.
+//! written, the bytes-hashed savings of dirty-segment tracking, the
+//! on-disk savings of per-block compression, commit/load throughput, and
+//! the sync vs async checkpoint latency the store buys on the wave/CoMD
+//! workloads.
 //!
 //! As a side effect (in both `cargo bench` and `--test` smoke mode) this
 //! bench emits `BENCH_ckpt.json` in the working directory so CI records
-//! the perf trajectory: per-workload full vs delta bytes, and the
-//! virtual-time makespan with synchronous image writes vs the async store.
+//! the perf trajectory: per-workload full vs delta bytes, bytes hashed
+//! per delta epoch with and without dirty tracking, on-disk delta bytes
+//! with and without compression, the wall-clock commit makespan, and the
+//! virtual-time makespan with synchronous image writes vs the async
+//! store.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dmtcp_sim::store::{DeltaStore, StoreConfig};
+use dmtcp_sim::store::{Compression, DeltaStore, StoreConfig};
 use dmtcp_sim::WorldImage;
 use mpi_apps::{CoMdMini, WaveMpi};
 use simnet::ClusterSpec;
-use stool::{Checkpointer, MpiProgram, Session, StoreError, Vendor};
+use stool::{Checkpointer, ManaConfig, MpiProgram, Session, StoreError, Vendor};
 
 fn bench_cluster() -> ClusterSpec {
     ClusterSpec::builder().nodes(2).ranks_per_node(3).build()
 }
 
+/// The store with this PR's cost reducers on (the defaults).
 fn store_cfg() -> StoreConfig {
     StoreConfig {
         block_size: 1024,
@@ -25,6 +31,25 @@ fn store_cfg() -> StoreConfig {
         max_chain: 16,
         ..StoreConfig::default()
     }
+}
+
+/// The PR 2 path: every byte hashed every epoch, raw blocks on disk.
+fn legacy_cfg() -> StoreConfig {
+    StoreConfig {
+        compression: Compression::None,
+        dirty_tracking: false,
+        ..store_cfg()
+    }
+}
+
+/// MANA with a realistic static upper half: program text + rodata that
+/// every rank image carries but no epoch ever changes (64 KiB models a
+/// small binary; real MANA images are dominated by this part).
+fn bench_mana() -> Checkpointer {
+    Checkpointer::Mana(ManaConfig {
+        static_image_bytes: 64 << 10,
+        ..ManaConfig::default()
+    })
 }
 
 fn tmp_dir(tag: &str) -> std::path::PathBuf {
@@ -38,26 +63,41 @@ struct WorkloadRow {
     epochs: usize,
     full_bytes: u64,
     delta_bytes_avg: u64,
+    delta_raw_bytes_avg: u64,
+    hashed_dirty_avg: u64,
+    hashed_full_avg: u64,
     image_bytes: u64,
+    commit_wall_ms: f64,
     sync_makespan_s: f64,
     async_makespan_s: f64,
 }
 
-/// Run one workload with periodic checkpoints, sync (no store) and async
-/// (delta store), and measure what each epoch wrote.
+/// Average a per-delta-epoch metric.
+fn delta_avg(stats: &[dmtcp_sim::EpochStats], f: impl Fn(&dmtcp_sim::EpochStats) -> u64) -> u64 {
+    let deltas: Vec<u64> = stats.iter().filter(|s| !s.full).map(&f).collect();
+    if deltas.is_empty() {
+        0
+    } else {
+        deltas.iter().sum::<u64>() / deltas.len() as u64
+    }
+}
+
+/// Run one workload with periodic checkpoints three ways — sync (no
+/// store), the current store (dirty tracking + compression), and the
+/// PR 2 full-hash/raw-block store — and measure what each epoch cost.
 fn measure_workload(
     name: &'static str,
     program: &dyn MpiProgram,
     every: u64,
 ) -> Result<WorkloadRow, StoreError> {
-    let run = |store_dir: Option<&std::path::Path>| {
+    let run = |store: Option<(&std::path::Path, StoreConfig)>| {
         let mut builder = Session::builder()
             .cluster(bench_cluster())
             .vendor(Vendor::Mpich)
-            .checkpointer(Checkpointer::mana())
+            .checkpointer(bench_mana())
             .checkpoint_every(every);
-        if let Some(dir) = store_dir {
-            builder = builder.checkpoint_store_with(dir, store_cfg());
+        if let Some((dir, cfg)) = store {
+            builder = builder.checkpoint_store_with(dir, cfg);
         }
         let session = builder.build().expect("session");
         session.launch(program).expect("launch")
@@ -65,27 +105,51 @@ fn measure_workload(
 
     let sync_out = run(None);
     let dir = tmp_dir(name);
-    let async_out = run(Some(&dir));
+    let async_out = run(Some((&dir, store_cfg())));
+    let dir_legacy = tmp_dir(&format!("{name}_legacy"));
+    run(Some((&dir_legacy, legacy_cfg())));
 
     let store = DeltaStore::open_with(&dir, store_cfg())?;
     let stats = store.epoch_stats_on_disk()?;
-    let full: Vec<_> = stats.iter().filter(|s| s.full).collect();
-    let deltas: Vec<_> = stats.iter().filter(|s| !s.full).collect();
-    let delta_bytes_avg = if deltas.is_empty() {
-        0
-    } else {
-        deltas.iter().map(|s| s.bytes_written).sum::<u64>() / deltas.len() as u64
-    };
+    let legacy = DeltaStore::open_with(&dir_legacy, legacy_cfg())?;
+    let legacy_stats = legacy.epoch_stats_on_disk()?;
+
+    // Wall-clock commit makespan: replay the chain's epochs through a
+    // fresh store (chunk + hash + compress + write, the background
+    // writer's whole pipeline).
+    let epochs: Vec<WorldImage> = store
+        .epochs()
+        .iter()
+        .map(|&e| store.load_epoch(e))
+        .collect::<Result<_, _>>()?;
+    let replay_dir = tmp_dir(&format!("{name}_replay"));
+    let mut replay = DeltaStore::open_with(&replay_dir, store_cfg())?;
+    let t0 = std::time::Instant::now();
+    for img in &epochs {
+        replay.commit(img)?;
+    }
+    let commit_wall_ms = t0.elapsed().as_secs_f64() * 1e3 / epochs.len().max(1) as f64;
+
     let row = WorkloadRow {
         name,
         epochs: stats.len(),
-        full_bytes: full.first().map(|s| s.bytes_written).unwrap_or(0),
-        delta_bytes_avg,
+        full_bytes: stats
+            .iter()
+            .find(|s| s.full)
+            .map(|s| s.bytes_written)
+            .unwrap_or(0),
+        delta_bytes_avg: delta_avg(&stats, |s| s.bytes_written),
+        delta_raw_bytes_avg: delta_avg(&legacy_stats, |s| s.bytes_written),
+        hashed_dirty_avg: delta_avg(&stats, |s| s.bytes_hashed),
+        hashed_full_avg: delta_avg(&legacy_stats, |s| s.bytes_hashed),
         image_bytes: stats.last().map(|s| s.image_bytes).unwrap_or(0),
+        commit_wall_ms,
         sync_makespan_s: sync_out.makespan().as_secs_f64(),
         async_makespan_s: async_out.makespan().as_secs_f64(),
     };
     std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir_legacy).ok();
+    std::fs::remove_dir_all(&replay_dir).ok();
     Ok(row)
 }
 
@@ -94,13 +158,19 @@ fn emit_json(rows: &[WorkloadRow]) {
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"epochs\": {}, \"full_base_bytes\": {}, \
-             \"delta_bytes_avg\": {}, \"image_bytes\": {}, \
+             \"delta_bytes_avg\": {}, \"delta_raw_bytes_avg\": {}, \
+             \"hashed_dirty_avg\": {}, \"hashed_full_avg\": {}, \
+             \"image_bytes\": {}, \"commit_wall_ms\": {:.6}, \
              \"sync_makespan_s\": {:.9}, \"async_makespan_s\": {:.9}}}{}\n",
             r.name,
             r.epochs,
             r.full_bytes,
             r.delta_bytes_avg,
+            r.delta_raw_bytes_avg,
+            r.hashed_dirty_avg,
+            r.hashed_full_avg,
             r.image_bytes,
+            r.commit_wall_ms,
             r.sync_makespan_s,
             r.async_makespan_s,
             if i + 1 == rows.len() { "" } else { "," }
@@ -127,7 +197,7 @@ fn wave_image(step: u64) -> WorldImage {
     Session::builder()
         .cluster(bench_cluster())
         .vendor(Vendor::Mpich)
-        .checkpointer(Checkpointer::mana())
+        .checkpointer(bench_mana())
         .checkpoint_at_step(step, dmtcp_sim::CkptMode::Stop)
         .build()
         .unwrap()
@@ -155,14 +225,21 @@ fn store_benches(c: &mut Criterion) {
     ];
     for r in &rows {
         println!(
-            "store/{}: {} epochs, full base {} B, avg delta {} B ({:.2}x less), \
-             image {} B, makespan sync {:.6} s vs async {:.6} s",
+            "store/{}: {} epochs, full base {} B, avg delta {} B (raw {} B, \
+             {:.2}x compression), hashed/delta {} B dirty vs {} B full \
+             ({:.2}x less hashing), image {} B, commit {:.3} ms, \
+             makespan sync {:.6} s vs async {:.6} s",
             r.name,
             r.epochs,
             r.full_bytes,
             r.delta_bytes_avg,
-            r.full_bytes as f64 / r.delta_bytes_avg.max(1) as f64,
+            r.delta_raw_bytes_avg,
+            r.delta_raw_bytes_avg as f64 / r.delta_bytes_avg.max(1) as f64,
+            r.hashed_dirty_avg,
+            r.hashed_full_avg,
+            r.hashed_full_avg as f64 / r.hashed_dirty_avg.max(1) as f64,
             r.image_bytes,
+            r.commit_wall_ms,
             r.sync_makespan_s,
             r.async_makespan_s,
         );

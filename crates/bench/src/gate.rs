@@ -355,10 +355,23 @@ pub struct CkptRow {
     pub epochs: f64,
     /// Bytes of the first full base epoch.
     pub full_base_bytes: f64,
-    /// Average delta-epoch bytes.
+    /// Average delta-epoch bytes on disk (compression on — the default
+    /// store configuration).
     pub delta_bytes_avg: f64,
+    /// Average delta-epoch bytes on disk with compression off (the PR 2
+    /// raw-block path, measured from a parallel run).
+    pub delta_raw_bytes_avg: f64,
+    /// Average bytes chunked + hashed per delta epoch with dirty-segment
+    /// tracking on (clean hinted sections skipped).
+    pub hashed_dirty_avg: f64,
+    /// Average bytes chunked + hashed per delta epoch on the full-hash
+    /// path (dirty tracking off).
+    pub hashed_full_avg: f64,
     /// Logical image bytes of the last epoch.
     pub image_bytes: f64,
+    /// Wall-clock milliseconds per commit when replaying the chain
+    /// (machine-dependent: warns, never gates).
+    pub commit_wall_ms: f64,
     /// Virtual makespan with synchronous image writes.
     pub sync_makespan_s: f64,
     /// Virtual makespan with the async delta store attached.
@@ -369,6 +382,18 @@ impl CkptRow {
     /// Full-base over average-delta bytes: how much the delta chain saves.
     pub fn delta_ratio(&self) -> f64 {
         self.full_base_bytes / self.delta_bytes_avg.max(1.0)
+    }
+
+    /// Full-hash over dirty-tracked bytes hashed per delta epoch: how
+    /// much hashing the clean-segment hints skip (deterministic).
+    pub fn hash_skip_ratio(&self) -> f64 {
+        self.hashed_full_avg / self.hashed_dirty_avg.max(1.0)
+    }
+
+    /// Raw over compressed on-disk delta bytes: what per-block
+    /// compression saves (deterministic).
+    pub fn compression_ratio(&self) -> f64 {
+        self.delta_raw_bytes_avg / self.delta_bytes_avg.max(1.0)
     }
 }
 
@@ -483,7 +508,11 @@ pub fn parse_ckpt_report(text: &str) -> Result<CkptReport, GateError> {
                 "epochs",
                 "full_base_bytes",
                 "delta_bytes_avg",
+                "delta_raw_bytes_avg",
+                "hashed_dirty_avg",
+                "hashed_full_avg",
                 "image_bytes",
+                "commit_wall_ms",
                 "sync_makespan_s",
                 "async_makespan_s",
             ],
@@ -503,9 +532,25 @@ pub fn parse_ckpt_report(text: &str) -> Result<CkptReport, GateError> {
                 field(obj, &what, "delta_bytes_avg")?.num("delta_bytes_avg")?,
                 "delta_bytes_avg",
             )?,
+            delta_raw_bytes_avg: non_negative(
+                field(obj, &what, "delta_raw_bytes_avg")?.num("delta_raw_bytes_avg")?,
+                "delta_raw_bytes_avg",
+            )?,
+            hashed_dirty_avg: non_negative(
+                field(obj, &what, "hashed_dirty_avg")?.num("hashed_dirty_avg")?,
+                "hashed_dirty_avg",
+            )?,
+            hashed_full_avg: non_negative(
+                field(obj, &what, "hashed_full_avg")?.num("hashed_full_avg")?,
+                "hashed_full_avg",
+            )?,
             image_bytes: positive(
                 field(obj, &what, "image_bytes")?.num("image_bytes")?,
                 "image_bytes",
+            )?,
+            commit_wall_ms: positive(
+                field(obj, &what, "commit_wall_ms")?.num("commit_wall_ms")?,
+                "commit_wall_ms",
             )?,
             sync_makespan_s: positive(
                 field(obj, &what, "sync_makespan_s")?.num("sync_makespan_s")?,
@@ -658,6 +703,21 @@ pub fn compare_ckpt(out: &mut GateOutcome, base: &CkptReport, fresh: &CkptReport
             b.delta_ratio(),
             f.delta_ratio(),
         );
+        // The two cost-reducer ratios are deterministic (content-defined
+        // chunking, content-keyed dedup, deterministic codecs on
+        // deterministic virtual-time workloads): they gate hard.
+        check_lower(
+            out,
+            &format!("ckpt/{}/hash_skip_ratio", b.name),
+            b.hash_skip_ratio(),
+            f.hash_skip_ratio(),
+        );
+        check_lower(
+            out,
+            &format!("ckpt/{}/compression_ratio", b.name),
+            b.compression_ratio(),
+            f.compression_ratio(),
+        );
         check_upper(
             out,
             &format!("ckpt/{}/sync_makespan_s", b.name),
@@ -670,6 +730,13 @@ pub fn compare_ckpt(out: &mut GateOutcome, base: &CkptReport, fresh: &CkptReport
             b.async_makespan_s,
             f.async_makespan_s,
         );
+        // Commit wall-clock is machine-dependent: drift only warns.
+        if f.commit_wall_ms > b.commit_wall_ms * (1.0 + TOLERANCE) {
+            out.warnings.push(format!(
+                "ckpt/{}/commit_wall_ms: {:.3} ms vs baseline {:.3} ms (wall-clock; not gated)",
+                b.name, f.commit_wall_ms, b.commit_wall_ms
+            ));
+        }
     }
     for f in &fresh.workloads {
         if !base.workloads.iter().any(|w| w.name == f.name) {
@@ -799,13 +866,19 @@ mod tests {
         assert_eq!(doc.obj("t").unwrap()["k"].str("k").unwrap(), "héllo → ∞");
     }
 
-    fn ckpt_json(delta: u64, sync_s: f64, async_s: f64) -> String {
+    fn ckpt_json_ext(delta: u64, hashed_dirty: u64, sync_s: f64, async_s: f64) -> String {
         format!(
             "{{\"bench\": \"ckpt_store\", \"workloads\": [\
              {{\"name\": \"wave_mpi\", \"epochs\": 4, \"full_base_bytes\": 1000, \
-             \"delta_bytes_avg\": {delta}, \"image_bytes\": 1200, \
+             \"delta_bytes_avg\": {delta}, \"delta_raw_bytes_avg\": 800, \
+             \"hashed_dirty_avg\": {hashed_dirty}, \"hashed_full_avg\": 1200, \
+             \"image_bytes\": 1200, \"commit_wall_ms\": 2.5, \
              \"sync_makespan_s\": {sync_s}, \"async_makespan_s\": {async_s}}}]}}"
         )
+    }
+
+    fn ckpt_json(delta: u64, sync_s: f64, async_s: f64) -> String {
+        ckpt_json_ext(delta, 400, sync_s, async_s)
     }
 
     #[test]
@@ -813,6 +886,8 @@ mod tests {
         let r = parse_ckpt_report(&ckpt_json(500, 2.0, 1.5)).unwrap();
         assert_eq!(r.workloads.len(), 1);
         assert_eq!(r.workloads[0].delta_ratio(), 2.0);
+        assert_eq!(r.workloads[0].hash_skip_ratio(), 3.0);
+        assert_eq!(r.workloads[0].compression_ratio(), 1.6);
     }
 
     #[test]
@@ -853,6 +928,34 @@ mod tests {
         compare_ckpt(&mut out, &base, &slower);
         assert!(!out.ok());
         assert!(out.regressions[0].contains("sync_makespan_s"));
+        // Dirty tracking collapsed (hashed bytes tripled): fails.
+        let rehash = parse_ckpt_report(&ckpt_json_ext(500, 1200, 2.0, 1.5)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_ckpt(&mut out, &base, &rehash);
+        assert!(!out.ok());
+        assert!(out.regressions[0].contains("hash_skip_ratio"));
+        // Compression collapsed (delta bytes back at raw size): the
+        // delta and compression ratios both trip.
+        let fat = parse_ckpt_report(&ckpt_json_ext(800, 400, 2.0, 1.5)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_ckpt(&mut out, &base, &fat);
+        assert!(!out.ok());
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.contains("compression_ratio")));
+    }
+
+    #[test]
+    fn commit_wall_clock_drift_warns_but_never_gates() {
+        let base = parse_ckpt_report(&ckpt_json(500, 2.0, 1.5)).unwrap();
+        let slow_machine =
+            ckpt_json(500, 2.0, 1.5).replace("\"commit_wall_ms\": 2.5", "\"commit_wall_ms\": 50.0");
+        let fresh = parse_ckpt_report(&slow_machine).unwrap();
+        let mut out = GateOutcome::default();
+        compare_ckpt(&mut out, &base, &fresh);
+        assert!(out.ok(), "{:?}", out.regressions);
+        assert!(out.warnings.iter().any(|w| w.contains("commit_wall_ms")));
     }
 
     fn scale_json(virt: f64, max_ranks: u64) -> String {

@@ -50,7 +50,7 @@ pub mod stack;
 
 pub use dmtcp_sim::memory::Memory;
 pub use dmtcp_sim::{BarrierTopology, CkptMode, ImageError, WorldImage};
-pub use dmtcp_sim::{DeltaStore, EpochStats, StoreConfig, StoreError};
+pub use dmtcp_sim::{Compression, DeltaStore, EpochStats, ManifestFormat, StoreConfig, StoreError};
 pub use error::{StoolError, StoolResult};
 pub use mana_sim::ManaConfig;
 pub use muk::{MukOverhead, Vendor};

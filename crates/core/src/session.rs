@@ -68,7 +68,11 @@ impl Default for CkptPolicy {
 pub struct StorePolicy {
     /// Chain directory.
     pub dir: PathBuf,
-    /// Store tunables (block size, retention, chain length, writers).
+    /// Store tunables: block size, retention, chain length, writer
+    /// threads, per-block [`dmtcp_sim::Compression`], dirty-segment
+    /// tracking, and the manifest format
+    /// ([`dmtcp_sim::ManifestFormat`]) — all wired through
+    /// [`SessionBuilder::checkpoint_store_with`].
     pub config: StoreConfig,
 }
 
@@ -211,7 +215,12 @@ impl SessionBuilder {
         self.checkpoint_store_with(dir, StoreConfig::default())
     }
 
-    /// Like [`SessionBuilder::checkpoint_store`], with explicit tunables.
+    /// Like [`SessionBuilder::checkpoint_store`], with explicit tunables
+    /// — including per-block compression (`config.compression`),
+    /// dirty-segment tracking (`config.dirty_tracking`, skips hashing
+    /// segments the application provably did not touch since the last
+    /// epoch) and the on-disk manifest format (`config.format`;
+    /// [`dmtcp_sim::ManifestFormat::V1`] writes legacy chains).
     pub fn checkpoint_store_with(mut self, dir: impl Into<PathBuf>, config: StoreConfig) -> Self {
         self.config.store = Some(StorePolicy {
             dir: dir.into(),

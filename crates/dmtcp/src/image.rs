@@ -143,7 +143,7 @@ pub(crate) fn write_atomic(
 }
 
 /// A single rank's checkpoint image.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RankImage {
     /// Rank id within the world at checkpoint time.
     pub rank: usize,
@@ -153,7 +153,28 @@ pub struct RankImage {
     pub epoch: u64,
     /// Named sections.
     sections: BTreeMap<String, Vec<u8>>,
+    /// Transient clean-segment hints: per section, the producer's
+    /// generation stamp (see [`crate::memory::Memory::generation`]). The
+    /// delta store skips chunking and hashing a section whose hint has
+    /// not moved since the previous committed epoch. Hints are run-local
+    /// advice — never serialized, never part of image equality — so a
+    /// reloaded image simply carries none and is fully re-hashed.
+    hints: BTreeMap<String, u64>,
 }
+
+/// Equality is over the durable payload (header + sections); the
+/// transient dirty-tracking hints never participate, so an image
+/// reconstructed from disk compares equal to the one checkpointed.
+impl PartialEq for RankImage {
+    fn eq(&self, other: &RankImage) -> bool {
+        self.rank == other.rank
+            && self.nranks == other.nranks
+            && self.epoch == other.epoch
+            && self.sections == other.sections
+    }
+}
+
+impl Eq for RankImage {}
 
 impl RankImage {
     /// New empty image for a rank.
@@ -163,12 +184,29 @@ impl RankImage {
             nranks,
             epoch,
             sections: BTreeMap::new(),
+            hints: BTreeMap::new(),
         }
     }
 
     /// Add or replace a section.
     pub fn put_section(&mut self, name: &str, data: Vec<u8>) {
+        self.hints.remove(name);
         self.sections.insert(name.to_string(), data);
+    }
+
+    /// Add or replace a section together with its producer generation
+    /// stamp (the clean-segment hint the delta store uses to skip
+    /// hashing unchanged sections). The stamp must move whenever the
+    /// data may have changed; a conservative producer that cannot tell
+    /// should use [`RankImage::put_section`] instead.
+    pub fn put_section_hinted(&mut self, name: &str, data: Vec<u8>, generation: u64) {
+        self.sections.insert(name.to_string(), data);
+        self.hints.insert(name.to_string(), generation);
+    }
+
+    /// The clean-segment hint of a section, if its producer supplied one.
+    pub fn section_hint(&self, name: &str) -> Option<u64> {
+        self.hints.get(name).copied()
     }
 
     /// Fetch a section.
@@ -233,6 +271,7 @@ impl RankImage {
             nranks,
             epoch,
             sections,
+            hints: BTreeMap::new(),
         })
     }
 }

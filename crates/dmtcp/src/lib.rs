@@ -55,4 +55,6 @@ pub use coordinator::{
 };
 pub use image::{ImageError, RankImage, WorldImage};
 pub use memory::Memory;
-pub use store::{DeltaStore, EpochStats, StoreConfig, StoreError, StoreWriter};
+pub use store::{
+    Compression, DeltaStore, EpochStats, ManifestFormat, StoreConfig, StoreError, StoreWriter,
+};

@@ -47,9 +47,36 @@ impl Segment {
 
 /// Named, typed application memory. Iteration order is deterministic
 /// (BTreeMap), so serialized images are byte-stable.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Every segment carries a **generation**: a counter drawn from a
+/// per-memory monotonic clock, re-stamped each time the segment is
+/// handed out mutably (or replaced). The checkpoint path forwards the
+/// generation as a *clean-segment hint* to the delta store: a segment
+/// whose generation has not moved since the previous epoch provably was
+/// not written through this API, so the store can skip chunking and
+/// hashing it entirely (see `dmtcp::store`). The tracking is
+/// conservative — taking a `*_mut` borrow counts as a write even if the
+/// caller never stores through it — so a stale hint can only cause
+/// extra hashing, never a stale checkpoint. Generations are run-local:
+/// they are not serialized, and restored memories start a fresh clock.
+#[derive(Debug, Clone, Default)]
 pub struct Memory {
     segments: BTreeMap<String, Segment>,
+    /// Generation stamp per segment. Stamps are never reused within one
+    /// `Memory` (a removed and re-created segment gets a fresh stamp),
+    /// so "same name, same generation" implies "same unmutated data".
+    gens: BTreeMap<String, u64>,
+    /// The next generation stamp to hand out.
+    next_gen: u64,
+}
+
+/// Equality is over the segment *contents* only: generations are
+/// run-local bookkeeping, and a restored memory must compare equal to
+/// the one that was checkpointed.
+impl PartialEq for Memory {
+    fn eq(&self, other: &Memory) -> bool {
+        self.segments == other.segments
+    }
 }
 
 impl Memory {
@@ -78,8 +105,24 @@ impl Memory {
         self.segments.keys().map(String::as_str)
     }
 
+    /// Stamp `name` with a fresh generation (any mutable hand-out or
+    /// replacement counts as a write).
+    fn touch(&mut self, name: &str) {
+        self.next_gen += 1;
+        self.gens.insert(name.to_string(), self.next_gen);
+    }
+
+    /// The segment's current generation, or `None` if it does not exist.
+    /// Two equal generations for the same name guarantee the segment was
+    /// not mutably accessed in between (the clean-segment hint the
+    /// checkpoint path forwards to the delta store).
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        self.gens.get(name).copied()
+    }
+
     /// Remove a segment.
     pub fn remove(&mut self, name: &str) -> Option<Segment> {
+        self.gens.remove(name);
         self.segments.remove(name)
     }
 
@@ -90,6 +133,7 @@ impl Memory {
 
     /// Get or create an `f64` segment of the given initial length.
     pub fn f64s_mut(&mut self, name: &str, default_len: usize) -> &mut Vec<f64> {
+        self.touch(name);
         let seg = self
             .segments
             .entry(name.to_string())
@@ -110,6 +154,7 @@ impl Memory {
 
     /// Get or create an `i64` segment.
     pub fn i64s_mut(&mut self, name: &str, default_len: usize) -> &mut Vec<i64> {
+        self.touch(name);
         let seg = self
             .segments
             .entry(name.to_string())
@@ -130,6 +175,7 @@ impl Memory {
 
     /// Get or create a `u64` segment.
     pub fn u64s_mut(&mut self, name: &str, default_len: usize) -> &mut Vec<u64> {
+        self.touch(name);
         let seg = self
             .segments
             .entry(name.to_string())
@@ -150,6 +196,7 @@ impl Memory {
 
     /// Get or create a byte segment.
     pub fn bytes_mut(&mut self, name: &str, default_len: usize) -> &mut Vec<u8> {
+        self.touch(name);
         let seg = self
             .segments
             .entry(name.to_string())
@@ -170,6 +217,7 @@ impl Memory {
 
     /// Store a scalar convenience value.
     pub fn set_u64(&mut self, name: &str, v: u64) {
+        self.touch(name);
         self.segments
             .insert(name.to_string(), Segment::U64(vec![v]));
     }
@@ -181,6 +229,7 @@ impl Memory {
 
     /// Store a scalar `f64`.
     pub fn set_f64(&mut self, name: &str, v: f64) {
+        self.touch(name);
         self.segments
             .insert(name.to_string(), Segment::F64(vec![v]));
     }
@@ -205,13 +254,14 @@ impl Memory {
         if count > 1 << 24 {
             return Err(CodecError::LengthOutOfBounds(count));
         }
-        let mut segments = BTreeMap::new();
+        let mut memory = Memory::new();
         for _ in 0..count {
             let name = r.string()?;
             let seg = Self::decode_seg(r)?;
-            segments.insert(name, seg);
+            memory.touch(&name);
+            memory.segments.insert(name, seg);
         }
-        Ok(Memory { segments })
+        Ok(memory)
     }
 
     /// Serialize one segment (tag + payload, no name) on its own — the
@@ -231,6 +281,7 @@ impl Memory {
         if !r.is_exhausted() {
             return Err(CodecError::LengthOutOfBounds(r.remaining() as u64));
         }
+        self.touch(name);
         self.segments.insert(name.to_string(), seg);
         Ok(())
     }
@@ -358,6 +409,40 @@ mod tests {
             enc(&b),
             "insertion order must not leak into images"
         );
+    }
+
+    #[test]
+    fn generations_move_only_on_mutation_and_never_repeat() {
+        let mut m = Memory::new();
+        m.f64s_mut("hot", 4);
+        m.f64s_mut("cold", 4);
+        let hot1 = m.generation("hot").unwrap();
+        let cold1 = m.generation("cold").unwrap();
+        assert_ne!(hot1, cold1);
+        // Reads never move the clock.
+        let _ = m.f64s("hot");
+        let _ = m.get_f64("cold");
+        assert_eq!(m.generation("hot"), Some(hot1));
+        assert_eq!(m.generation("cold"), Some(cold1));
+        // A mutable hand-out re-stamps, even without a store through it.
+        m.f64s_mut("hot", 4);
+        let hot2 = m.generation("hot").unwrap();
+        assert!(hot2 > hot1);
+        assert_eq!(m.generation("cold"), Some(cold1), "untouched stays put");
+        // Remove + re-create must not resurrect an old stamp: "same name,
+        // same generation" has to imply "same unmutated data".
+        m.remove("cold");
+        assert_eq!(m.generation("cold"), None);
+        m.f64s_mut("cold", 4);
+        assert!(m.generation("cold").unwrap() > cold1);
+        // Generations are bookkeeping, not content: equality ignores them.
+        let mut a = Memory::new();
+        a.set_u64("x", 7);
+        let mut b = Memory::new();
+        b.set_u64("x", 7);
+        b.u64s_mut("x", 1);
+        assert_eq!(a, b);
+        assert_ne!(a.generation("x"), b.generation("x"));
     }
 
     #[test]

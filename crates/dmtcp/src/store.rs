@@ -36,14 +36,40 @@
 //! ```
 //!
 //! The manifest lists, for every rank and section, the ordered block
-//! references `(content key, source epoch, offset, length, CRC32)` that
-//! reconstruct the section. A manifest is self-contained: restart loads
-//! exactly one manifest and then walks the chain only to fetch block bytes
-//! from the `blocks.bin` files it references. Every block is CRC32-checked
-//! on read, so corruption is reported as the exact `(epoch, offset)` that
-//! rotted — never silently loaded. Commits are crash-safe: an epoch is
-//! assembled in an `epoch_NNNNNN.tmp` directory and atomically renamed
-//! into place, so a torn write can never be half-parsed.
+//! references `(content key, source epoch, offset, stored length, raw
+//! length, CRC32, codec)` that reconstruct the section. A manifest is
+//! self-contained: restart loads exactly one manifest and then walks the
+//! chain only to fetch block bytes from the `blocks.bin` files it
+//! references. Every block is CRC32-checked on read, so corruption is
+//! reported as the exact `(epoch, offset)` that rotted — never silently
+//! loaded. Commits are crash-safe: an epoch is assembled in an
+//! `epoch_NNNNNN.tmp` directory and atomically renamed into place, so a
+//! torn write can never be half-parsed. An epoch whose manifest *did*
+//! rot on disk is quarantined at open (renamed to `epoch_NNNNNN.bad`)
+//! and the store falls back to the newest readable epoch, so one broken
+//! head never makes the whole chain unrestorable.
+//!
+//! # Block compression and dirty-segment tracking
+//!
+//! Manifest **v2** adds two cost reducers, both per-block/per-section and
+//! both off the ranks' critical path:
+//!
+//! * **Compression** ([`Compression::Lz4`], the default): each newly
+//!   written block is stored under the codec that wins for its bytes —
+//!   raw, LZ4, or byte-shuffled LZ4 (the classic 8-stride shuffle filter,
+//!   which groups the slowly-varying high bytes of `f64` lattice data
+//!   into long runs LZ4 can fold). The codec byte travels in the block
+//!   reference; v1 chains (raw-only) still decode.
+//! * **Dirty-segment tracking** ([`StoreConfig::dirty_tracking`]): image
+//!   sections may carry a producer generation stamp
+//!   ([`crate::image::RankImage::put_section_hinted`], fed by
+//!   [`crate::memory::Memory::generation`]). A section whose stamp has
+//!   not moved since the previous commit of this handle is re-referenced
+//!   wholesale — no chunking, no hashing, not a single byte read — which
+//!   turns the per-epoch hash cost from O(image) into O(changed state).
+//!   The hint is advice, not trust-the-caller: it is only honored for
+//!   the section (same rank, same name, same length) cached from the
+//!   immediately preceding commit, never across reopen or a full base.
 //!
 //! # Retention and GC
 //!
@@ -61,7 +87,8 @@
 //! kill the world, reopen the chain and restart the reconstructed
 //! [`WorldImage`] under the Open MPI engine through the Mukautuva shim.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::io::{Read, Write as IoWrite};
 use std::path::{Path, PathBuf};
@@ -72,7 +99,48 @@ use crate::coordinator::ImageSink;
 use crate::image::{ImageError, RankImage, WorldImage};
 
 const MANIFEST_MAGIC: u64 = 0x434B_5054_4348_4E31; // "CKPTCHN1"
-const MANIFEST_VERSION: u64 = 1;
+/// The legacy (PR 2) manifest version: raw blocks, 40-byte references.
+const MANIFEST_V1: u64 = 1;
+/// Current manifest version: per-block codec byte + raw length, and a
+/// `bytes_hashed` header field recording what the commit actually hashed.
+const MANIFEST_V2: u64 = 2;
+/// Bytes of one block reference on disk, per manifest version.
+const BLOCK_REC_V1: usize = 40;
+const BLOCK_REC_V2: usize = 45;
+/// Minimum bytes a rank header (rank, world, epoch, nsections) consumes.
+const RANK_REC_MIN: usize = 32;
+/// Minimum bytes a section (name length prefix + nblocks) consumes.
+const SECTION_REC_MIN: usize = 16;
+/// Blocks shorter than this are never worth a compression attempt.
+const MIN_COMPRESS_LEN: usize = 64;
+
+/// Per-block compression applied to newly written blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Store raw block bytes (the v1 behavior).
+    None,
+    /// Per block, keep the smallest of: raw, LZ4, byte-shuffled LZ4
+    /// (the shuffle transposes the block's 8-aligned prefix — the `f64`
+    /// shape — and passes the tail through; both candidates are tried
+    /// for every block ≥ 64 bytes, on the background writer's thread).
+    /// The choice is recorded in the block reference, so mixed chains
+    /// decode.
+    #[default]
+    Lz4,
+}
+
+/// Which manifest format commits write. Decoding always accepts both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ManifestFormat {
+    /// The legacy PR 2 format: raw blocks only, no codec byte. A
+    /// compatibility knob (it forces [`Compression::None`] and disables
+    /// dirty tracking) kept so tests and mixed-version deployments can
+    /// produce chains for older readers.
+    V1,
+    /// The current format: compressed blocks, hashed-bytes accounting.
+    #[default]
+    V2,
+}
 
 /// Tunables of the delta store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +163,15 @@ pub struct StoreConfig {
     /// ranks block on submit only when this many epochs are already
     /// waiting.
     pub queue_depth: usize,
+    /// Per-block compression of newly written blocks.
+    pub compression: Compression,
+    /// Honor clean-segment generation hints: a hinted section whose
+    /// stamp did not move since the previous commit is re-referenced
+    /// without being chunked or hashed.
+    pub dirty_tracking: bool,
+    /// Manifest format written by commits ([`ManifestFormat::V1`] is a
+    /// compatibility knob; both formats always decode).
+    pub format: ManifestFormat,
 }
 
 impl Default for StoreConfig {
@@ -105,6 +182,9 @@ impl Default for StoreConfig {
             max_chain: 8,
             writer_threads: 2,
             queue_depth: 2,
+            compression: Compression::default(),
+            dirty_tracking: true,
+            format: ManifestFormat::default(),
         }
     }
 }
@@ -218,6 +298,36 @@ impl StoreError {
 /// collision odds at simulation scales are negligible.
 type BlockKey = (u64, u64);
 
+/// How a block's bytes are stored on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockCodec {
+    /// Raw bytes (always the case in v1 chains).
+    Raw,
+    /// LZ4 block compression.
+    Lz4,
+    /// 8-stride byte shuffle, then LZ4 (the `f64` filter).
+    ShuffleLz4,
+}
+
+impl BlockCodec {
+    fn to_u8(self) -> u8 {
+        match self {
+            BlockCodec::Raw => 0,
+            BlockCodec::Lz4 => 1,
+            BlockCodec::ShuffleLz4 => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<BlockCodec, CodecError> {
+        match b {
+            0 => Ok(BlockCodec::Raw),
+            1 => Ok(BlockCodec::Lz4),
+            2 => Ok(BlockCodec::ShuffleLz4),
+            other => Err(CodecError::LengthOutOfBounds(other as u64)),
+        }
+    }
+}
+
 /// Where a block's bytes live on disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BlockLoc {
@@ -225,15 +335,22 @@ struct BlockLoc {
     epoch: u64,
     /// Byte offset within that file.
     offset: u64,
-    /// Block length in bytes.
+    /// Stored (possibly compressed) length in bytes.
     len: u32,
-    /// CRC32 of the block bytes.
+    /// Uncompressed length in bytes (`== len` for raw blocks).
+    raw_len: u32,
+    /// CRC32 of the *stored* bytes — corruption is detected before any
+    /// decompression is attempted.
     crc: u32,
+    /// How the stored bytes encode the raw bytes.
+    codec: BlockCodec,
 }
 
 /// One chunked block of a section, before dedup placement.
 struct ChunkRec {
     key: BlockKey,
+    /// CRC32 of the raw chunk (valid as the stored CRC only when the
+    /// block lands uncompressed).
     crc: u32,
     start: usize,
     len: usize,
@@ -242,26 +359,38 @@ struct ChunkRec {
 /// A section's ordered block references inside a manifest.
 type SectionRefs = (String, Vec<(BlockKey, BlockLoc)>);
 
-/// One rank's chunked sections, as produced by the writer pool.
-type RankChunks = Vec<(String, Vec<ChunkRec>)>;
+/// One rank's chunked sections, as produced by the writer pool. A `None`
+/// chunk list marks a section skipped by dirty tracking (re-referenced
+/// from the previous commit instead of re-chunked).
+type RankChunks = Vec<(String, Option<Vec<ChunkRec>>)>;
 
 /// In-memory form of one epoch's manifest.
 struct Manifest {
     epoch: u64,
     full: bool,
     vendor_hint: String,
+    /// Bytes of section payload this commit actually chunked and hashed
+    /// (v1 manifests, which predate dirty tracking, report the full
+    /// payload here).
+    bytes_hashed: u64,
     /// Per rank: the `RankImage` header plus its sections' block refs.
     ranks: Vec<(usize, usize, u64, Vec<SectionRefs>)>,
 }
 
 impl Manifest {
-    fn encode(&self) -> Vec<u8> {
+    fn encode(&self, format: ManifestFormat) -> Vec<u8> {
         let mut w = Writer::new();
         w.u64(MANIFEST_MAGIC);
-        w.u64(MANIFEST_VERSION);
+        w.u64(match format {
+            ManifestFormat::V1 => MANIFEST_V1,
+            ManifestFormat::V2 => MANIFEST_V2,
+        });
         w.u64(self.epoch);
         w.u8(self.full as u8);
         w.string(&self.vendor_hint);
+        if format == ManifestFormat::V2 {
+            w.u64(self.bytes_hashed);
+        }
         w.u64(self.ranks.len() as u64);
         for (rank, nranks, epoch, sections) in &self.ranks {
             w.u64(*rank as u64);
@@ -277,50 +406,98 @@ impl Manifest {
                     w.u64(loc.epoch);
                     w.u64(loc.offset);
                     w.u32(loc.len);
+                    if format == ManifestFormat::V2 {
+                        w.u32(loc.raw_len);
+                    } else {
+                        debug_assert_eq!(
+                            loc.codec,
+                            BlockCodec::Raw,
+                            "v1 manifests cannot reference compressed blocks"
+                        );
+                    }
                     w.u32(loc.crc);
+                    if format == ManifestFormat::V2 {
+                        w.u8(loc.codec.to_u8());
+                    }
                 }
             }
         }
         w.finish()
     }
 
+    /// Decode either manifest version. Every count field is clamped
+    /// against the bytes actually remaining in the buffer (each record
+    /// has a known minimum size), so a corrupted or hostile count can
+    /// never drive a multi-gigabyte `Vec::with_capacity` — it returns
+    /// [`CodecError::LengthOutOfBounds`] instead of aborting the process.
     fn decode(buf: &[u8]) -> Result<Manifest, CodecError> {
         let mut r = Reader::checked(buf)?;
         r.expect_magic(MANIFEST_MAGIC)?;
-        r.expect_magic(MANIFEST_VERSION)?;
+        let version = r.u64()?;
+        if version != MANIFEST_V1 && version != MANIFEST_V2 {
+            return Err(CodecError::BadMagic {
+                expected: MANIFEST_V2,
+                found: version,
+            });
+        }
         let epoch = r.u64()?;
         let full = r.u8()? != 0;
         let vendor_hint = r.string()?;
+        let mut bytes_hashed = if version == MANIFEST_V2 { r.u64()? } else { 0 };
+        let block_rec = if version == MANIFEST_V2 {
+            BLOCK_REC_V2
+        } else {
+            BLOCK_REC_V1
+        };
+        let clamp = |count: u64, rec_min: usize, remaining: usize| -> Result<usize, CodecError> {
+            if (count as u128) * (rec_min as u128) > remaining as u128 {
+                return Err(CodecError::LengthOutOfBounds(count));
+            }
+            Ok(count as usize)
+        };
         let nranks = r.u64()?;
-        if nranks > 1 << 20 {
-            return Err(CodecError::LengthOutOfBounds(nranks));
-        }
-        let mut ranks = Vec::with_capacity(nranks as usize);
+        let nranks = clamp(nranks, RANK_REC_MIN, r.remaining())?;
+        let mut ranks = Vec::with_capacity(nranks);
         for _ in 0..nranks {
             let rank = r.u64()? as usize;
             let world = r.u64()? as usize;
             let rank_epoch = r.u64()?;
             let nsections = r.u64()?;
-            if nsections > 4096 {
-                return Err(CodecError::LengthOutOfBounds(nsections));
-            }
-            let mut sections = Vec::with_capacity(nsections as usize);
+            let nsections = clamp(nsections, SECTION_REC_MIN, r.remaining())?;
+            let mut sections = Vec::with_capacity(nsections);
             for _ in 0..nsections {
                 let name = r.string()?;
                 let nblocks = r.u64()?;
-                if nblocks > 1 << 32 {
-                    return Err(CodecError::LengthOutOfBounds(nblocks));
-                }
-                let mut blocks = Vec::with_capacity(nblocks as usize);
+                let nblocks = clamp(nblocks, block_rec, r.remaining())?;
+                let mut blocks = Vec::with_capacity(nblocks);
                 for _ in 0..nblocks {
                     let key = (r.u64()?, r.u64()?);
-                    let loc = BlockLoc {
-                        epoch: r.u64()?,
-                        offset: r.u64()?,
-                        len: r.u32()?,
-                        crc: r.u32()?,
+                    let src_epoch = r.u64()?;
+                    let offset = r.u64()?;
+                    let len = r.u32()?;
+                    let (raw_len, crc, codec) = if version == MANIFEST_V2 {
+                        let raw_len = r.u32()?;
+                        let crc = r.u32()?;
+                        let codec = BlockCodec::from_u8(r.u8()?)?;
+                        (raw_len, crc, codec)
+                    } else {
+                        (len, r.u32()?, BlockCodec::Raw)
                     };
-                    blocks.push((key, loc));
+                    blocks.push((
+                        key,
+                        BlockLoc {
+                            epoch: src_epoch,
+                            offset,
+                            len,
+                            raw_len,
+                            crc,
+                            codec,
+                        },
+                    ));
+                    if version == MANIFEST_V1 {
+                        // v1 commits always hashed every referenced byte.
+                        bytes_hashed += raw_len as u64;
+                    }
                 }
                 sections.push((name, blocks));
             }
@@ -330,8 +507,76 @@ impl Manifest {
             epoch,
             full,
             vendor_hint,
+            bytes_hashed,
             ranks,
         })
+    }
+}
+
+/// 8-stride byte shuffle (the classic HDF5/Blosc filter): lane `k` of
+/// every 8-byte word is grouped contiguously, so the slowly-varying high
+/// bytes of `f64` data become long near-constant runs LZ4 can fold.
+/// Content-defined chunk boundaries are rarely 8-aligned, so the filter
+/// transposes the 8-aligned prefix and passes the `< 8`-byte tail
+/// through raw — both directions derive the split from the length alone.
+fn shuffle8(data: &[u8]) -> Vec<u8> {
+    let words = data.len() / 8;
+    let cut = words * 8;
+    let mut out = vec![0u8; data.len()];
+    for (i, &b) in data[..cut].iter().enumerate() {
+        out[(i % 8) * words + i / 8] = b;
+    }
+    out[cut..].copy_from_slice(&data[cut..]);
+    out
+}
+
+/// Inverse of [`shuffle8`].
+fn unshuffle8(data: &[u8]) -> Vec<u8> {
+    let words = data.len() / 8;
+    let cut = words * 8;
+    let mut out = vec![0u8; data.len()];
+    for (i, o) in out[..cut].iter_mut().enumerate() {
+        *o = data[(i % 8) * words + i / 8];
+    }
+    out[cut..].copy_from_slice(&data[cut..]);
+    out
+}
+
+/// Pick the smallest stored form of a raw block under the configured
+/// compression. Returns the codec and, for compressed codecs, the stored
+/// bytes (`None` means "store raw"). Deterministic per content.
+fn encode_block(raw: &[u8], compression: Compression) -> (BlockCodec, Option<Vec<u8>>) {
+    if compression == Compression::None || raw.len() < MIN_COMPRESS_LEN {
+        return (BlockCodec::Raw, None);
+    }
+    let mut best = (BlockCodec::Raw, None);
+    let mut best_len = raw.len();
+    let lz = lz4_flex::compress(raw);
+    if lz.len() < best_len {
+        best_len = lz.len();
+        best = (BlockCodec::Lz4, Some(lz));
+    }
+    let sh = lz4_flex::compress(&shuffle8(raw));
+    if sh.len() < best_len {
+        best = (BlockCodec::ShuffleLz4, Some(sh));
+    }
+    best
+}
+
+/// Decode one stored block back to its raw bytes. The stored slice has
+/// already passed its CRC, so any failure here means the manifest and
+/// the block bytes disagree — reported as corruption by the caller.
+fn decode_block<'a>(stored: &'a [u8], loc: &BlockLoc) -> Option<Cow<'a, [u8]>> {
+    match loc.codec {
+        BlockCodec::Raw => (loc.raw_len == loc.len).then_some(Cow::Borrowed(stored)),
+        BlockCodec::Lz4 => {
+            let raw = lz4_flex::decompress(stored, loc.raw_len as usize).ok()?;
+            (raw.len() == loc.raw_len as usize).then_some(Cow::Owned(raw))
+        }
+        BlockCodec::ShuffleLz4 => {
+            let shuffled = lz4_flex::decompress(stored, loc.raw_len as usize).ok()?;
+            (shuffled.len() == loc.raw_len as usize).then(|| Cow::Owned(unshuffle8(&shuffled)))
+        }
     }
 }
 
@@ -344,12 +589,29 @@ pub struct EpochStats {
     pub full: bool,
     /// Logical image payload (what a full-image write would cost).
     pub image_bytes: u64,
-    /// Bytes actually written to disk (new blocks + manifest).
+    /// Bytes actually written to disk (new blocks, post-compression, +
+    /// manifest).
     pub bytes_written: u64,
+    /// Bytes of section payload the commit chunked and hashed. With
+    /// dirty tracking, clean hinted sections are re-referenced without
+    /// being read, so this falls below `image_bytes`.
+    pub bytes_hashed: u64,
+    /// Uncompressed size of the newly written blocks — what the epoch
+    /// would have put on disk (excluding the manifest) without
+    /// compression.
+    pub new_block_raw_bytes: u64,
     /// Blocks referenced by the epoch in total.
     pub blocks_total: u64,
     /// Blocks newly written by the epoch.
     pub blocks_new: u64,
+}
+
+/// The refs one hinted section resolved to at the previous commit of
+/// this handle, keyed by the producer's generation stamp.
+struct SectionCache {
+    generation: u64,
+    raw_len: usize,
+    refs: Vec<(BlockKey, BlockLoc)>,
 }
 
 /// The synchronous store core: chunking, dedup, chain layout, GC, restore.
@@ -364,6 +626,14 @@ pub struct DeltaStore {
     /// Content index of the chain head: every block the latest epoch
     /// references, so the next commit can dedup against the live image.
     index: HashMap<BlockKey, BlockLoc>,
+    /// Dirty tracking: per `(rank, section)`, the hinted generation and
+    /// block refs of the previous commit. A section whose hint matches
+    /// is re-referenced without chunking or hashing. Run-local — never
+    /// persisted, cleared by full bases and pruned with GC.
+    section_cache: HashMap<(usize, String), SectionCache>,
+    /// Epochs whose manifests were unreadable at open and were renamed
+    /// aside to `epoch_NNNNNN.bad` so restart could fall back.
+    quarantined: Vec<u64>,
     /// Stats of the commits performed by this handle.
     stats: Vec<EpochStats>,
 }
@@ -378,6 +648,16 @@ impl DeltaStore {
     /// directories from interrupted commits are removed; committed epochs
     /// are discovered and the chain head's content index is rebuilt so
     /// subsequent commits continue the delta chain.
+    ///
+    /// A chain head whose manifest is structurally broken (fails to
+    /// decode, or the `manifest.bin` file is missing — e.g. half-written
+    /// by a pre-atomic-commit writer) is **quarantined**: the epoch
+    /// directory is renamed to `epoch_NNNNNN.bad` (preserved for
+    /// forensics, invisible to the chain) and the open falls back to the
+    /// newest *readable* epoch — restart proceeds from older state
+    /// instead of failing outright. Quarantined epochs are listed by
+    /// [`DeltaStore::quarantined`]. Transient I/O failures (permissions,
+    /// fd exhaustion) are returned as errors, never quarantined.
     pub fn open_with(
         dir: impl Into<PathBuf>,
         config: StoreConfig,
@@ -402,9 +682,21 @@ impl DeltaStore {
                         epochs.push(e);
                     }
                 }
+                // `epoch_NNNNNN.bad` (quarantined earlier) is ignored.
             }
         }
         epochs.sort_unstable();
+        // The v1 format predates both compression and hashed-bytes
+        // accounting; writing it forces the matching legacy behavior.
+        let config = if config.format == ManifestFormat::V1 {
+            StoreConfig {
+                compression: Compression::None,
+                dirty_tracking: false,
+                ..config
+            }
+        } else {
+            config
+        };
         let mut store = DeltaStore {
             dir,
             config: StoreConfig {
@@ -417,10 +709,49 @@ impl DeltaStore {
             epochs,
             chain_len: 0,
             index: HashMap::new(),
+            section_cache: HashMap::new(),
+            quarantined: Vec::new(),
             stats: Vec::new(),
         };
-        if let Some(&latest) = store.epochs.last() {
-            let manifest = store.read_manifest(latest)?;
+        // Head repair: quarantine unreadable heads until a manifest
+        // decodes (or the chain is empty), then rebuild the content
+        // index from the surviving head. Quarantine is reserved for
+        // *structural* damage — a manifest that fails to decode, or an
+        // epoch directory missing its manifest file (a pre-atomic-commit
+        // torn write). A transient I/O failure (permissions, fd
+        // exhaustion, a flaky network mount) propagates as an error
+        // instead: renaming a healthy newest epoch aside over a hiccup
+        // would silently discard committed state.
+        while let Some(&latest) = store.epochs.last() {
+            let manifest = match store.read_manifest(latest) {
+                Ok(m) => m,
+                Err(StoreError::Manifest { .. }) => {
+                    store.quarantine(latest)?;
+                    continue;
+                }
+                Err(StoreError::MissingEpoch { .. }) => {
+                    // The directory vanished under us: drop it from the
+                    // view, nothing on disk to rename.
+                    store.epochs.retain(|&e| e != latest);
+                    continue;
+                }
+                Err(err) => {
+                    if store
+                        .epoch_dir(latest)
+                        .join("manifest.bin")
+                        .try_exists()
+                        .map_err(|e| {
+                            StoreError::io("stat", &store.epoch_dir(latest).join("manifest.bin"), e)
+                        })?
+                    {
+                        // The file is there but unreadable right now:
+                        // surface the I/O error, do not destroy state.
+                        return Err(err);
+                    }
+                    store.quarantine(latest)?;
+                    continue;
+                }
+            };
             for (_, _, _, sections) in &manifest.ranks {
                 for (_, blocks) in sections {
                     for &(key, loc) in blocks {
@@ -428,21 +759,61 @@ impl DeltaStore {
                     }
                 }
             }
-            // Chain length = epochs since the newest full base.
+            if store.config.format == ManifestFormat::V1 {
+                // A v1 writer over a v2 chain head: compressed blocks in
+                // the dedup index would let a delta reference a codec a
+                // v1 manifest cannot express (its decoder would hand the
+                // LZ4 bitstream back as section content). Dedup only
+                // against blocks v1 can reference.
+                store.index.retain(|_, loc| loc.codec == BlockCodec::Raw);
+            }
+            // Chain length = epochs since the newest full base. An
+            // unreadable *older* manifest leaves the head restorable
+            // (manifests are self-contained) but the chain length
+            // unknowable: pin it to `max_chain` so the next commit
+            // starts a fresh full base instead of extending a chain of
+            // unknown depth.
             store.chain_len = 0;
             for &e in store.epochs.iter().rev() {
-                let m = if e == latest {
+                let full = if e == latest {
                     manifest.full
                 } else {
-                    store.read_manifest(e)?.full
+                    match store.read_manifest(e) {
+                        Ok(m) => m.full,
+                        Err(_) => {
+                            store.chain_len = store.config.max_chain;
+                            break;
+                        }
+                    }
                 };
-                if m {
+                if full {
                     break;
                 }
                 store.chain_len += 1;
             }
+            break;
         }
         Ok(store)
+    }
+
+    /// Rename an epoch whose manifest cannot be read to
+    /// `epoch_NNNNNN.bad` and drop it from the chain view.
+    fn quarantine(&mut self, epoch: u64) -> Result<(), StoreError> {
+        let from = self.epoch_dir(epoch);
+        let to = self.dir.join(format!("epoch_{epoch:06}.bad"));
+        // A stale `.bad` from an earlier quarantine of the same epoch
+        // number must not block the rename.
+        if to.exists() {
+            std::fs::remove_dir_all(&to).map_err(|e| StoreError::io("remove bad", &to, e))?;
+        }
+        match std::fs::rename(&from, &to) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StoreError::io("quarantine", &from, e)),
+        }
+        self.epochs.retain(|&e| e != epoch);
+        self.quarantined.push(epoch);
+        Ok(())
     }
 
     /// The store directory.
@@ -463,6 +834,13 @@ impl DeltaStore {
     /// The newest committed epoch.
     pub fn latest(&self) -> Option<u64> {
         self.epochs.last().copied()
+    }
+
+    /// Epochs whose manifests were unreadable at open and were renamed
+    /// aside (`epoch_NNNNNN.bad`) so the chain could fall back to older
+    /// state.
+    pub fn quarantined(&self) -> &[u64] {
+        &self.quarantined
     }
 
     /// Stats of the commits performed through this handle, in order.
@@ -543,9 +921,14 @@ impl DeltaStore {
     }
 
     /// Chunk one rank image's sections into hashed, CRC'd block records.
-    fn chunk_rank(img: &RankImage, block_size: usize) -> RankChunks {
+    /// Sections named in `skip` (clean per their generation hints) are
+    /// passed through unchunked — not a byte of them is read here.
+    fn chunk_rank(img: &RankImage, block_size: usize, skip: &HashSet<String>) -> RankChunks {
         img.sections()
             .map(|(name, data)| {
+                if skip.contains(name) {
+                    return (name.to_string(), None);
+                }
                 let recs = Self::cut_points(data, block_size)
                     .into_iter()
                     .map(|(start, len)| {
@@ -558,7 +941,7 @@ impl DeltaStore {
                         }
                     })
                     .collect();
-                (name.to_string(), recs)
+                (name.to_string(), Some(recs))
             })
             .collect()
     }
@@ -602,19 +985,46 @@ impl DeltaStore {
 
         let full = self.epochs.is_empty() || self.chain_len >= self.config.max_chain;
         if full {
-            // A base references nothing older: dedup only within itself.
+            // A base references nothing older: dedup only within itself,
+            // and no previous-commit section refs may be reused.
             self.index.clear();
+            self.section_cache.clear();
         }
 
-        // Chunk + hash every rank, fanned out over the writer pool (the
-        // CPU-heavy part; dedup placement below stays deterministic).
+        // Dirty tracking: a hinted section whose generation stamp (and
+        // length) matches what this handle cached at the previous commit
+        // is provably unchanged — plan to re-reference it wholesale.
+        let skips: Vec<HashSet<String>> = image
+            .ranks
+            .iter()
+            .map(|img| {
+                let mut skip = HashSet::new();
+                if self.config.dirty_tracking {
+                    for (name, data) in img.sections() {
+                        let hint = img.section_hint(name);
+                        let cache = self.section_cache.get(&(img.rank, name.to_string()));
+                        if let (Some(generation), Some(cache)) = (hint, cache) {
+                            if cache.generation == generation && cache.raw_len == data.len() {
+                                skip.insert(name.to_string());
+                            }
+                        }
+                    }
+                }
+                skip
+            })
+            .collect();
+
+        // Chunk + hash every dirty section, fanned out over the writer
+        // pool (the CPU-heavy part; dedup placement below stays
+        // deterministic).
         let block_size = self.config.block_size;
         let threads = self.config.writer_threads.min(image.ranks.len()).max(1);
         let chunked: Vec<RankChunks> = if threads <= 1 {
             image
                 .ranks
                 .iter()
-                .map(|r| Self::chunk_rank(r, block_size))
+                .zip(&skips)
+                .map(|(r, skip)| Self::chunk_rank(r, block_size, skip))
                 .collect()
         } else {
             let per = image.ranks.len().div_ceil(threads);
@@ -622,11 +1032,13 @@ impl DeltaStore {
                 let handles: Vec<_> = image
                     .ranks
                     .chunks(per)
-                    .map(|slice| {
+                    .zip(skips.chunks(per))
+                    .map(|(slice, skip_slice)| {
                         s.spawn(move || {
                             slice
                                 .iter()
-                                .map(|r| Self::chunk_rank(r, block_size))
+                                .zip(skip_slice)
+                                .map(|(r, skip)| Self::chunk_rank(r, block_size, skip))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -644,34 +1056,74 @@ impl DeltaStore {
         };
 
         // Deterministic dedup placement: walk ranks/sections/blocks in
-        // order, appending unseen content to this epoch's blocks file.
+        // order, appending unseen content (under its winning codec) to
+        // this epoch's blocks file; skipped sections re-reference their
+        // previous refs untouched.
         let mut blocks_buf: Vec<u8> = Vec::new();
         let mut blocks_total = 0u64;
         let mut blocks_new = 0u64;
+        let mut bytes_hashed = 0u64;
+        let mut new_block_raw_bytes = 0u64;
+        let mut new_cache: HashMap<(usize, String), SectionCache> = HashMap::new();
         let mut ranks_manifest = Vec::with_capacity(image.ranks.len());
         for (img, sections) in image.ranks.iter().zip(chunked) {
             let mut section_refs: Vec<SectionRefs> = Vec::with_capacity(sections.len());
             for (name, recs) in sections {
                 let data = img.section(&name).expect("section exists");
-                let mut refs = Vec::with_capacity(recs.len());
-                for rec in recs {
-                    blocks_total += 1;
-                    let loc = match self.index.get(&rec.key) {
-                        Some(&loc) => loc,
-                        None => {
-                            let loc = BlockLoc {
-                                epoch,
-                                offset: blocks_buf.len() as u64,
-                                len: rec.len as u32,
-                                crc: rec.crc,
+                let refs = match recs {
+                    None => {
+                        // Clean per its hint: reuse the previous refs.
+                        let cache = self
+                            .section_cache
+                            .get(&(img.rank, name.clone()))
+                            .expect("skip plan implies a cache entry");
+                        blocks_total += cache.refs.len() as u64;
+                        cache.refs.clone()
+                    }
+                    Some(recs) => {
+                        bytes_hashed += data.len() as u64;
+                        let mut refs = Vec::with_capacity(recs.len());
+                        for rec in recs {
+                            blocks_total += 1;
+                            let loc = match self.index.get(&rec.key) {
+                                Some(&loc) => loc,
+                                None => {
+                                    let raw = &data[rec.start..rec.start + rec.len];
+                                    let (codec, stored) =
+                                        encode_block(raw, self.config.compression);
+                                    let (stored_bytes, crc): (&[u8], u32) = match &stored {
+                                        Some(c) => (c, crc32(c)),
+                                        None => (raw, rec.crc),
+                                    };
+                                    let loc = BlockLoc {
+                                        epoch,
+                                        offset: blocks_buf.len() as u64,
+                                        len: stored_bytes.len() as u32,
+                                        raw_len: rec.len as u32,
+                                        crc,
+                                        codec,
+                                    };
+                                    blocks_buf.extend_from_slice(stored_bytes);
+                                    self.index.insert(rec.key, loc);
+                                    blocks_new += 1;
+                                    new_block_raw_bytes += rec.len as u64;
+                                    loc
+                                }
                             };
-                            blocks_buf.extend_from_slice(&data[rec.start..rec.start + rec.len]);
-                            self.index.insert(rec.key, loc);
-                            blocks_new += 1;
-                            loc
+                            refs.push((rec.key, loc));
                         }
-                    };
-                    refs.push((rec.key, loc));
+                        refs
+                    }
+                };
+                if let Some(generation) = img.section_hint(&name) {
+                    new_cache.insert(
+                        (img.rank, name.clone()),
+                        SectionCache {
+                            generation,
+                            raw_len: data.len(),
+                            refs: refs.clone(),
+                        },
+                    );
                 }
                 section_refs.push((name, refs));
             }
@@ -682,9 +1134,10 @@ impl DeltaStore {
             epoch,
             full,
             vendor_hint: image.vendor_hint.clone(),
+            bytes_hashed,
             ranks: ranks_manifest,
         };
-        let manifest_buf = manifest.encode();
+        let manifest_buf = manifest.encode(self.config.format);
 
         // Crash-safe commit: assemble in a temp dir, rename into place.
         let tmp = self.dir.join(format!("epoch_{epoch:06}.tmp"));
@@ -707,6 +1160,7 @@ impl DeltaStore {
 
         self.epochs.push(epoch);
         self.chain_len = if full { 0 } else { self.chain_len + 1 };
+        self.section_cache = new_cache;
         self.gc();
 
         let stats = EpochStats {
@@ -714,6 +1168,8 @@ impl DeltaStore {
             full,
             image_bytes: image.total_bytes() as u64,
             bytes_written: (blocks_buf.len() + manifest_buf.len()) as u64,
+            bytes_hashed,
+            new_block_raw_bytes,
             blocks_total,
             blocks_new,
         };
@@ -766,9 +1222,12 @@ impl DeltaStore {
         });
         // Prune the dedup index of blocks whose epochs are gone; without
         // this, a later commit could reference a deleted epoch and
-        // produce a manifest that cannot be restored.
+        // produce a manifest that cannot be restored. The section cache
+        // holds the same kind of refs and gets the same treatment.
         let alive: BTreeSet<u64> = self.epochs.iter().copied().collect();
         self.index.retain(|_, loc| alive.contains(&loc.epoch));
+        self.section_cache
+            .retain(|_, c| c.refs.iter().all(|(_, loc)| alive.contains(&loc.epoch)));
     }
 
     /// Reconstruct the newest epoch's world image.
@@ -792,7 +1251,7 @@ impl DeltaStore {
             }
             let mut img = RankImage::new(*rank, *nranks, *rank_epoch);
             for (name, blocks) in sections {
-                let total: usize = blocks.iter().map(|(_, l)| l.len as usize).sum();
+                let total: usize = blocks.iter().map(|(_, l)| l.raw_len as usize).sum();
                 let mut data = Vec::with_capacity(total);
                 for (_, loc) in blocks {
                     let file = match files.entry(loc.epoch) {
@@ -815,10 +1274,15 @@ impl DeltaStore {
                         section: name.clone(),
                     };
                     let slice = file.get(start..end).ok_or_else(corrupt)?;
+                    // CRC the stored bytes first, then decode them: a
+                    // decode failure after a CRC pass means the manifest
+                    // itself disagrees with the block — still corruption,
+                    // localized to the same (epoch, offset).
                     if crc32(slice) != loc.crc {
                         return Err(corrupt());
                     }
-                    data.extend_from_slice(slice);
+                    let raw = decode_block(slice, loc).ok_or_else(corrupt)?;
+                    data.extend_from_slice(&raw);
                 }
                 img.put_section(name, data);
             }
@@ -841,24 +1305,27 @@ impl DeltaStore {
                 full: manifest.full,
                 image_bytes: 0,
                 bytes_written: 0,
+                bytes_hashed: manifest.bytes_hashed,
+                new_block_raw_bytes: 0,
                 blocks_total: 0,
                 blocks_new: 0,
             };
             // A section may reference the same own-epoch block many times
             // (intra-epoch dedup); "new" counts distinct written blocks.
-            let mut own = BTreeSet::new();
+            let mut own: BTreeMap<u64, u64> = BTreeMap::new();
             for (_, _, _, sections) in &manifest.ranks {
                 for (_, blocks) in sections {
                     for (_, loc) in blocks {
                         stats.blocks_total += 1;
-                        stats.image_bytes += loc.len as u64;
+                        stats.image_bytes += loc.raw_len as u64;
                         if loc.epoch == epoch {
-                            own.insert(loc.offset);
+                            own.insert(loc.offset, loc.raw_len as u64);
                         }
                     }
                 }
             }
             stats.blocks_new = own.len() as u64;
+            stats.new_block_raw_bytes = own.values().sum();
             for name in ["blocks.bin", "manifest.bin"] {
                 let path = dir.join(name);
                 let meta =
@@ -1080,6 +1547,7 @@ mod tests {
             max_chain: 4,
             writer_threads: 2,
             queue_depth: 2,
+            ..StoreConfig::default()
         }
     }
 
@@ -1391,12 +1859,474 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// Like [`image`], with generation hints attached to the memory-like
+    /// sections: "static" is stamped per rank and never moves, "hot" is
+    /// stamped from `fill` so it moves whenever the content does.
+    fn hinted_image(epoch: u64, nranks: usize, fill: u8, static_len: usize) -> WorldImage {
+        let ranks = (0..nranks)
+            .map(|r| {
+                let mut img = RankImage::new(r, nranks, epoch);
+                img.put_section_hinted("static", fill_bytes(r as u64 + 1, static_len), 1);
+                img.put_section_hinted(
+                    "hot",
+                    fill_bytes((fill as u64) << 8 | r as u64, 600),
+                    100 + fill as u64,
+                );
+                img
+            })
+            .collect();
+        WorldImage::new("MPICH".to_string(), ranks)
+    }
+
+    /// Low-entropy but non-constant content: compresses well under LZ4
+    /// without collapsing into one deduped block the way constant runs
+    /// would.
+    fn compressible_image(epoch: u64, nranks: usize, fill: u8, len: usize) -> WorldImage {
+        let ranks = (0..nranks)
+            .map(|r| {
+                let mut img = RankImage::new(r, nranks, epoch);
+                // f64-shaped: slowly varying words whose high lanes are
+                // near-constant (what the shuffle filter exists for).
+                let words = len / 8;
+                let mut data = Vec::with_capacity(words * 8);
+                for i in 0..words {
+                    let v = 0x3FF0_0000_0000_0000u64
+                        | ((r as u64) << 32)
+                        | ((i as u64).wrapping_mul(fill as u64 + 3) & 0xFFFF);
+                    data.extend_from_slice(&v.to_le_bytes());
+                }
+                img.put_section("lattice", data);
+                img
+            })
+            .collect();
+        WorldImage::new("MPICH".to_string(), ranks)
+    }
+
+    #[test]
+    fn compression_shrinks_disk_bytes_and_roundtrips() {
+        let dir = tmp_dir("comp");
+        let cfg = StoreConfig {
+            block_size: 512,
+            ..small_cfg()
+        };
+        let mut store = DeltaStore::open_with(&dir, cfg).unwrap();
+        let img = compressible_image(1, 2, 0x11, 16_384);
+        let s = store.commit(&img).unwrap();
+        assert!(
+            s.bytes_written < s.new_block_raw_bytes,
+            "compressed epoch ({} B) must undercut its raw payload ({} B)",
+            s.bytes_written,
+            s.new_block_raw_bytes
+        );
+        assert_eq!(store.load_epoch(1).unwrap(), img, "bit-identical reload");
+
+        // The same content stored uncompressed is strictly larger on disk.
+        let dir_raw = tmp_dir("comp_raw");
+        let raw_cfg = StoreConfig {
+            compression: Compression::None,
+            ..cfg
+        };
+        let mut raw_store = DeltaStore::open_with(&dir_raw, raw_cfg).unwrap();
+        let s_raw = raw_store.commit(&img).unwrap();
+        assert!(s.bytes_written < s_raw.bytes_written);
+        assert_eq!(s.new_block_raw_bytes, s_raw.new_block_raw_bytes);
+        assert_eq!(raw_store.load_epoch(1).unwrap(), img);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir_raw).unwrap();
+    }
+
+    #[test]
+    fn incompressible_blocks_stay_raw() {
+        // Pseudorandom content defeats LZ4; the store must fall back to
+        // raw blocks rather than grow the chain.
+        let dir = tmp_dir("incomp");
+        let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        let img = image(1, 2, 0x42, 4000);
+        let s = store.commit(&img).unwrap();
+        let blocks_len = std::fs::metadata(dir.join("epoch_000001").join("blocks.bin"))
+            .unwrap()
+            .len();
+        assert_eq!(
+            blocks_len, s.new_block_raw_bytes,
+            "raw fallback stores exactly the raw bytes"
+        );
+        assert_eq!(store.load_epoch(1).unwrap(), img);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dirty_tracking_skips_hashing_clean_sections() {
+        let dir = tmp_dir("dirty");
+        let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        let img1 = hinted_image(1, 3, 0x11, 4000);
+        let s1 = store.commit(&img1).unwrap();
+        // The full base hashes everything, hints or not.
+        assert_eq!(s1.bytes_hashed, img1.total_bytes() as u64);
+
+        // Same static stamp, moved hot stamp: only "hot" is hashed.
+        let img2 = hinted_image(2, 3, 0x22, 4000);
+        let s2 = store.commit(&img2).unwrap();
+        let hot_bytes: u64 = img2
+            .ranks
+            .iter()
+            .map(|r| r.section("hot").unwrap().len() as u64)
+            .sum();
+        assert_eq!(
+            s2.bytes_hashed, hot_bytes,
+            "clean static sections must not be hashed"
+        );
+        assert!(s2.bytes_hashed * 2 < img2.total_bytes() as u64);
+        // Skipping must not change what lands on disk or reloads.
+        assert_eq!(store.load_epoch(2).unwrap(), img2);
+
+        // The same epochs with dirty tracking off hash every byte but
+        // write the identical delta (dedup finds the same unchanged
+        // blocks the hints prove unchanged).
+        let dir_full = tmp_dir("dirty_off");
+        let cfg_full = StoreConfig {
+            dirty_tracking: false,
+            ..small_cfg()
+        };
+        let mut full_store = DeltaStore::open_with(&dir_full, cfg_full).unwrap();
+        let f1 = full_store.commit(&img1).unwrap();
+        let f2 = full_store.commit(&img2).unwrap();
+        assert_eq!(f2.bytes_hashed, img2.total_bytes() as u64);
+        assert_eq!(f1.bytes_written, s1.bytes_written);
+        assert_eq!(f2.bytes_written, s2.bytes_written);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir_full).unwrap();
+    }
+
+    #[test]
+    fn stale_or_missing_hints_are_rehashed_not_trusted() {
+        let dir = tmp_dir("hints");
+        let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        store.commit(&hinted_image(1, 2, 0x11, 2000)).unwrap();
+
+        // A moved stamp on unchanged content re-hashes it (and dedup
+        // still finds it unchanged). The "hot" sections keep both their
+        // stamps and their content, so they are legitimately skipped.
+        let mut img2 = hinted_image(2, 2, 0x11, 2000);
+        for r in img2.ranks.iter_mut() {
+            let data = r.section("static").unwrap().to_vec();
+            r.put_section_hinted("static", data, 999);
+        }
+        let static_bytes = |img: &WorldImage| -> u64 {
+            img.ranks
+                .iter()
+                .map(|r| r.section("static").unwrap().len() as u64)
+                .sum()
+        };
+        let s2 = store.commit(&img2).unwrap();
+        assert_eq!(
+            s2.bytes_hashed,
+            static_bytes(&img2),
+            "moved stamp re-hashes, clean hot sections skip"
+        );
+        assert_eq!(s2.blocks_new, 0, "content unchanged, dedup still wins");
+
+        // A matching stamp with a different *length* is not trusted.
+        let mut img3 = hinted_image(3, 2, 0x11, 2000);
+        for r in img3.ranks.iter_mut() {
+            let mut data = r.section("static").unwrap().to_vec();
+            data.extend_from_slice(b"grown");
+            r.put_section_hinted("static", data, 999);
+        }
+        let s3 = store.commit(&img3).unwrap();
+        assert_eq!(s3.bytes_hashed, static_bytes(&img3));
+        assert_eq!(store.load_epoch(3).unwrap(), img3);
+
+        // Unhinted sections (a reloaded image carries no hints) always
+        // hash fully.
+        let reloaded = store.load_epoch(3).unwrap();
+        let s4 = store.commit(&reloaded).unwrap();
+        assert_eq!(s4.bytes_hashed, reloaded.total_bytes() as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dirty_tracking_never_reuses_across_a_full_base() {
+        let dir = tmp_dir("dirty_base");
+        let cfg = StoreConfig {
+            max_chain: 1,
+            retain_epochs: 10,
+            ..small_cfg()
+        };
+        let mut store = DeltaStore::open_with(&dir, cfg).unwrap();
+        store.commit(&hinted_image(1, 2, 0x11, 1500)).unwrap(); // base
+        store.commit(&hinted_image(2, 2, 0x22, 1500)).unwrap(); // delta
+        let s3 = store.commit(&hinted_image(3, 2, 0x33, 1500)).unwrap(); // base again
+        assert!(s3.full);
+        assert_eq!(
+            s3.bytes_hashed,
+            hinted_image(3, 2, 0x33, 1500).total_bytes() as u64,
+            "a full base re-hashes everything: it may reference nothing older"
+        );
+        for e in 1..=3 {
+            assert_eq!(
+                store.load_epoch(e).unwrap(),
+                hinted_image(e, 2, (e as u8) * 0x11, 1500)
+            );
+        }
+        // A full base is self-contained: it references nothing older, so
+        // it must still load after every earlier epoch is gone.
+        for e in 1..=2 {
+            std::fs::remove_dir_all(dir.join(format!("epoch_{e:06}"))).unwrap();
+        }
+        assert_eq!(store.load_epoch(3).unwrap(), hinted_image(3, 2, 0x33, 1500));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_chain_writes_and_new_reader_decodes_it() {
+        let dir = tmp_dir("v1");
+        let v1_cfg = StoreConfig {
+            format: ManifestFormat::V1,
+            ..small_cfg()
+        };
+        {
+            let mut store = DeltaStore::open_with(&dir, v1_cfg).unwrap();
+            // The compat knob forces legacy behavior.
+            assert_eq!(store.config().compression, Compression::None);
+            assert!(!store.config().dirty_tracking);
+            store.commit(&hinted_image(1, 2, 0x11, 2000)).unwrap();
+            let s2 = store.commit(&hinted_image(2, 2, 0x22, 2000)).unwrap();
+            assert_eq!(
+                s2.bytes_hashed,
+                hinted_image(2, 2, 0x22, 2000).total_bytes() as u64
+            );
+        }
+        // A current-config store opens the v1 chain, reads it, and
+        // extends it with v2 epochs in one mixed chain.
+        let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        assert_eq!(store.epochs(), &[1, 2]);
+        assert_eq!(store.load_epoch(1).unwrap(), hinted_image(1, 2, 0x11, 2000));
+        assert_eq!(store.load_epoch(2).unwrap(), hinted_image(2, 2, 0x22, 2000));
+        let disk = store.epoch_stats_on_disk().unwrap();
+        assert_eq!(
+            disk[1].bytes_hashed, disk[1].image_bytes,
+            "v1 manifests report the full-hash cost"
+        );
+        let s3 = store.commit(&hinted_image(3, 2, 0x33, 2000)).unwrap();
+        assert!(!s3.full, "the mixed chain continues as deltas");
+        assert_eq!(store.load_epoch(3).unwrap(), hinted_image(3, 2, 0x33, 2000));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_head_is_quarantined_and_chain_falls_back() {
+        let dir = tmp_dir("quar");
+        let cfg = StoreConfig {
+            retain_epochs: 10,
+            ..small_cfg()
+        };
+        {
+            let mut store = DeltaStore::open_with(&dir, cfg).unwrap();
+            for e in 1..=3 {
+                store.commit(&image(e, 2, e as u8, 1000)).unwrap();
+            }
+        }
+        // Rot the head's manifest.
+        let head_manifest = dir.join("epoch_000003").join("manifest.bin");
+        let mut buf = std::fs::read(&head_manifest).unwrap();
+        buf[20] ^= 0xFF;
+        std::fs::write(&head_manifest, &buf).unwrap();
+
+        let mut store = DeltaStore::open_with(&dir, cfg).unwrap();
+        assert_eq!(store.quarantined(), &[3]);
+        assert_eq!(store.epochs(), &[1, 2], "chain fell back to epoch 2");
+        assert!(dir.join("epoch_000003.bad").is_dir(), "head kept aside");
+        assert!(!dir.join("epoch_000003").exists());
+        assert_eq!(store.load_latest().unwrap(), image(2, 2, 2, 1000));
+        // The chain continues — and reuses the quarantined head's number.
+        let s = store.commit(&image(3, 2, 9, 1000)).unwrap();
+        assert_eq!(s.epoch, 3);
+        assert_eq!(store.load_latest().unwrap(), image(3, 2, 9, 1000));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_writer_over_v2_head_never_references_compressed_blocks() {
+        // Regression: opening a compressed (v2) chain with the V1 compat
+        // format rebuilds the dedup index from the v2 head. Without
+        // filtering, a v1 delta could reference an Lz4 block — a codec a
+        // v1 manifest cannot express, which a reader would hand back as
+        // raw section content (silent corruption). The v1 commit must
+        // rewrite such content instead.
+        let dir = tmp_dir("v1_over_v2");
+        let img1 = compressible_image(1, 2, 0x11, 8192);
+        let img2 = compressible_image(2, 2, 0x11, 8192);
+        {
+            let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+            let s1 = store.commit(&img1).unwrap();
+            assert!(
+                s1.bytes_written < s1.new_block_raw_bytes,
+                "precondition: the v2 head holds compressed blocks"
+            );
+        }
+        let v1_cfg = StoreConfig {
+            format: ManifestFormat::V1,
+            ..small_cfg()
+        };
+        let mut store = DeltaStore::open_with(&dir, v1_cfg).unwrap();
+        let s2 = store.commit(&img2).unwrap();
+        assert!(
+            s2.blocks_new > 0,
+            "identical content must be rewritten raw, not deduped into Lz4 refs"
+        );
+        assert_eq!(store.load_epoch(2).unwrap(), img2, "bit-identical reload");
+        // And the mixed chain still reads under the current config.
+        let store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        assert_eq!(store.load_epoch(1).unwrap(), img1);
+        assert_eq!(store.load_epoch(2).unwrap(), img2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_file_quarantines_but_io_failure_propagates() {
+        let dir = tmp_dir("quar_io");
+        {
+            let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+            store.commit(&image(1, 2, 1, 500)).unwrap();
+            store.commit(&image(2, 2, 2, 500)).unwrap();
+        }
+        // manifest.bin present but unreadable (it is a directory →
+        // EISDIR): a transient-I/O-shaped failure must propagate, not
+        // rename the newest committed epoch aside.
+        let head_manifest = dir.join("epoch_000002").join("manifest.bin");
+        std::fs::remove_file(&head_manifest).unwrap();
+        std::fs::create_dir(&head_manifest).unwrap();
+        match DeltaStore::open_with(&dir, small_cfg()) {
+            Err(StoreError::Io { .. }) => {}
+            other => panic!("expected an I/O error, got {:?}", other.map(|_| "store")),
+        }
+        assert!(
+            dir.join("epoch_000002").is_dir(),
+            "healthy-looking epoch must not be quarantined on I/O failure"
+        );
+
+        // manifest.bin *gone* from an existing epoch dir is structural
+        // (a torn pre-atomic write): quarantine and fall back.
+        std::fs::remove_dir(&head_manifest).unwrap();
+        let store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        assert_eq!(store.quarantined(), &[2]);
+        assert_eq!(store.load_latest().unwrap(), image(1, 2, 1, 500));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fully_rotted_store_quarantines_every_epoch_and_reports_empty() {
+        let dir = tmp_dir("quar_all");
+        {
+            let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+            store.commit(&image(1, 2, 1, 500)).unwrap();
+            store.commit(&image(2, 2, 2, 500)).unwrap();
+        }
+        for e in 1..=2 {
+            std::fs::write(
+                dir.join(format!("epoch_{e:06}")).join("manifest.bin"),
+                b"garbage",
+            )
+            .unwrap();
+        }
+        let store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        assert_eq!(store.quarantined(), &[2, 1], "newest first");
+        assert!(store.epochs().is_empty());
+        assert!(matches!(store.load_latest(), Err(StoreError::Empty)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn huge_counts_with_valid_checksum_reject_without_allocating() {
+        // The FNV trailer is not collision-proof: a systematically
+        // corrupted (or hostile) manifest can carry a valid checksum and
+        // absurd counts. Every count must be clamped against the bytes
+        // that actually remain — the old `1 << 32` bound let a ~160 GiB
+        // Vec::with_capacity abort the process.
+        let huge_at = |field: usize| {
+            let mut w = Writer::new();
+            w.u64(MANIFEST_MAGIC);
+            w.u64(MANIFEST_V2);
+            w.u64(1); // epoch
+            w.u8(1); // full
+            w.string("MPICH");
+            w.u64(0); // bytes_hashed
+            let counts = [1u64, 1, 1]; // nranks, nsections, nblocks
+            w.u64(if field == 0 { u64::MAX / 64 } else { counts[0] });
+            w.u64(0); // rank
+            w.u64(1); // world
+            w.u64(1); // rank epoch
+            w.u64(if field == 1 { 1 << 40 } else { counts[1] });
+            w.string("memory");
+            w.u64(if field == 2 { 1 << 31 } else { counts[2] });
+            w.finish()
+        };
+        for field in 0..3 {
+            match Manifest::decode(&huge_at(field)) {
+                Err(CodecError::LengthOutOfBounds(_)) => {}
+                Err(other) => panic!("field {field}: expected LengthOutOfBounds, got {other:?}"),
+                Ok(_) => panic!("field {field}: hostile manifest decoded"),
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_truncated_at_every_offset_errors_never_panics() {
+        let dir = tmp_dir("trunc");
+        let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
+        store.commit(&hinted_image(1, 2, 0x11, 600)).unwrap();
+        let buf = std::fs::read(dir.join("epoch_000001").join("manifest.bin")).unwrap();
+        Manifest::decode(&buf).expect("intact manifest decodes");
+        for cut in 0..buf.len() {
+            assert!(
+                Manifest::decode(&buf[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_commit_cleanup_continues_chain_with_correct_length() {
+        // A crash mid-commit leaves `epoch_NNNNNN.tmp`; reopening must
+        // clean it, keep the committed chain, and continue the delta
+        // chain with the right length (the next commit is a delta, and
+        // the base rollover still happens at the configured depth).
+        let dir = tmp_dir("torn_chain");
+        let cfg = StoreConfig {
+            max_chain: 3,
+            retain_epochs: 10,
+            ..small_cfg()
+        };
+        {
+            let mut store = DeltaStore::open_with(&dir, cfg).unwrap();
+            store.commit(&image(1, 2, 1, 800)).unwrap(); // base, chain_len 0
+            store.commit(&image(2, 2, 2, 800)).unwrap(); // delta, chain_len 1
+        }
+        let torn = dir.join("epoch_000003.tmp");
+        std::fs::create_dir_all(&torn).unwrap();
+        std::fs::write(torn.join("blocks.bin"), b"half a block").unwrap();
+
+        let mut store = DeltaStore::open_with(&dir, cfg).unwrap();
+        assert!(!torn.exists(), "torn tmp dir removed");
+        assert_eq!(store.epochs(), &[1, 2]);
+        let s3 = store.commit(&image(3, 2, 3, 800)).unwrap(); // chain_len 2
+        let s4 = store.commit(&image(4, 2, 4, 800)).unwrap(); // chain_len 3
+        let s5 = store.commit(&image(5, 2, 5, 800)).unwrap(); // rollover
+        assert!(!s3.full && !s4.full, "reopened chain continues as deltas");
+        assert!(s5.full, "base rollover at max_chain across the reopen");
+        for e in 1..=5 {
+            assert_eq!(store.load_epoch(e).unwrap(), image(e, 2, e as u8, 800));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn epoch_stats_on_disk_match_live_stats() {
         let dir = tmp_dir("stats");
         let mut store = DeltaStore::open_with(&dir, small_cfg()).unwrap();
         for e in 1..=3 {
-            store.commit(&image(e, 2, e as u8, 900)).unwrap();
+            store.commit(&hinted_image(e, 2, e as u8, 900)).unwrap();
         }
         let disk = store.epoch_stats_on_disk().unwrap();
         assert_eq!(disk.len(), store.stats().len());
@@ -1407,7 +2337,108 @@ mod tests {
             assert_eq!(d.blocks_new, l.blocks_new);
             assert_eq!(d.image_bytes, l.image_bytes);
             assert_eq!(d.bytes_written, l.bytes_written);
+            assert_eq!(
+                d.bytes_hashed, l.bytes_hashed,
+                "manifest records the hash cost"
+            );
+            assert_eq!(d.new_block_raw_bytes, l.new_block_raw_bytes);
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // -----------------------------------------------------------------
+    // Corruption fuzz: decode must *return* errors, never panic or
+    // allocate absurdly, on any mangled input.
+    // -----------------------------------------------------------------
+
+    /// A representative in-memory manifest (both formats), encoded
+    /// without touching disk.
+    fn sample_manifest_buf(format: ManifestFormat) -> Vec<u8> {
+        let block = |e: u64, off: u64, codec: BlockCodec| {
+            (
+                (0x1111 + off, 0x2222 + off),
+                BlockLoc {
+                    epoch: e,
+                    offset: off,
+                    len: 96,
+                    raw_len: if codec == BlockCodec::Raw { 96 } else { 128 },
+                    crc: 0xDEAD_BEEF,
+                    codec,
+                },
+            )
+        };
+        let codec = |i: u64| match (format, i % 3) {
+            (ManifestFormat::V1, _) => BlockCodec::Raw,
+            (_, 0) => BlockCodec::Raw,
+            (_, 1) => BlockCodec::Lz4,
+            _ => BlockCodec::ShuffleLz4,
+        };
+        let manifest = Manifest {
+            epoch: 9,
+            full: false,
+            vendor_hint: "Open MPI".to_string(),
+            bytes_hashed: 4096,
+            ranks: (0..3usize)
+                .map(|r| {
+                    (
+                        r,
+                        3,
+                        9u64,
+                        vec![
+                            (
+                                "memory/u".to_string(),
+                                (0..4).map(|i| block(9 - i % 2, i * 96, codec(i))).collect(),
+                            ),
+                            (
+                                "meta".to_string(),
+                                vec![block(9, 1000 + r as u64, BlockCodec::Raw)],
+                            ),
+                        ],
+                    )
+                })
+                .collect(),
+        };
+        manifest.encode(format)
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn flipped_manifest_bytes_always_error(
+            pos in 0usize..10_000,
+            xor in 1u8..=255,
+            v1 in proptest::prelude::any::<bool>(),
+        ) {
+            let format = if v1 { ManifestFormat::V1 } else { ManifestFormat::V2 };
+            let mut buf = sample_manifest_buf(format);
+            let pos = pos % buf.len();
+            buf[pos] ^= xor;
+            // Any single-byte flip breaks the FNV trailer (or the
+            // trailer itself): decode must report it, never panic.
+            proptest::prop_assert!(Manifest::decode(&buf).is_err());
+        }
+
+        #[test]
+        fn truncated_or_padded_manifests_never_panic(
+            cut in 0usize..10_000,
+            tail in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..64),
+            v1 in proptest::prelude::any::<bool>(),
+        ) {
+            let format = if v1 { ManifestFormat::V1 } else { ManifestFormat::V2 };
+            let mut buf = sample_manifest_buf(format);
+            buf.truncate(cut % (buf.len() + 1));
+            buf.extend_from_slice(&tail);
+            // Outcome may be Ok only for the untouched buffer; all that
+            // is *required* is no panic and no absurd allocation.
+            let _ = Manifest::decode(&buf);
+        }
+
+        #[test]
+        fn random_garbage_manifests_never_panic(
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..512),
+        ) {
+            // An accidental FNV-trailer match on random bytes is a
+            // ~2^-64 event: random garbage must always be rejected.
+            proptest::prop_assert!(Manifest::decode(&data).is_err());
+        }
     }
 }

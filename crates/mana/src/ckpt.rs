@@ -35,6 +35,12 @@ use crate::wrappers::ManaMpi;
 pub mod sections {
     /// Resume metadata (step counter).
     pub const META: &str = "meta";
+    /// The modelled static upper half (program text/rodata), present
+    /// when [`crate::ManaConfig::static_image_bytes`] is nonzero. Its
+    /// content is a pure function of `(rank, size)`, so it is carried
+    /// with a constant clean-segment hint and the delta store never
+    /// re-hashes it after the chain base.
+    pub const TEXT: &str = "text";
     /// Upper-half memory, as one whole blob (legacy images only; new
     /// images carry one section per segment, see
     /// [`MEMORY_INDEX`]/[`MEMORY_PREFIX`]).
@@ -171,8 +177,23 @@ fn build_image(
     w.u64(resume_step);
     image.put_section(sections::META, w.finish());
 
+    // The modelled static upper half: deterministic per (rank, size),
+    // hinted clean with a constant stamp so the delta store skips both
+    // hashing and rewriting it on every epoch after the base — exactly
+    // what real program text costs a checkpoint after the first image.
+    if mana.config.static_image_bytes > 0 {
+        image.put_section_hinted(
+            sections::TEXT,
+            static_text(rank, mana.config.static_image_bytes),
+            0,
+        );
+    }
+
     // Upper-half memory: one image section per segment plus an index, so
     // the delta store sees segment boundaries as section boundaries.
+    // Each segment travels with its generation stamp — the clean-segment
+    // hint that lets the store skip chunking and hashing segments the
+    // application has not touched since the previous epoch.
     let mut idx = Writer::new();
     let names: Vec<&str> = memory.names().collect();
     idx.u64(names.len() as u64);
@@ -182,7 +203,12 @@ fn build_image(
     image.put_section(sections::MEMORY_INDEX, idx.into_raw());
     for name in names {
         let data = memory.encode_segment(name).expect("name from names()");
-        image.put_section(&format!("{}{name}", sections::MEMORY_PREFIX), data);
+        let generation = memory.generation(name).expect("name from names()");
+        image.put_section_hinted(
+            &format!("{}{name}", sections::MEMORY_PREFIX),
+            data,
+            generation,
+        );
     }
 
     let mut w = Writer::new();
@@ -204,6 +230,20 @@ fn build_image(
     image.put_section(sections::COUNTERS, w.finish());
 
     image
+}
+
+/// The modelled static upper half of one rank: pointer-table-shaped
+/// 64-bit words (realistically compressible under the store's shuffled
+/// LZ filter, unlike random noise; realistically *unique* per offset,
+/// unlike constant fill that would collapse under dedup).
+fn static_text(rank: usize, bytes: usize) -> Vec<u8> {
+    let words = bytes / 8;
+    let base = 0x5555_0000_0000u64 + ((rank as u64) << 32);
+    let mut v = Vec::with_capacity(words * 8);
+    for i in 0..words as u64 {
+        v.extend_from_slice(&(base + i * 64 + (i % 7) * 13).to_le_bytes());
+    }
+    v
 }
 
 /// The restored state of one rank.

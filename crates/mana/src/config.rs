@@ -38,6 +38,15 @@ pub struct ManaConfig {
     /// ownership transfer), charged per checkpoint when
     /// [`ManaConfig::async_image_writes`] is on.
     pub ckpt_submit_overhead: VirtualTime,
+    /// Modelled size of the **static upper half** each rank image
+    /// carries: program text, read-only data, allocator slack — the part
+    /// of a real MANA image that never changes between epochs and, on
+    /// big binaries, dominates image size. When nonzero, the checkpoint
+    /// path adds a deterministic `text` section of this many bytes,
+    /// marked clean via a constant generation hint, so the delta store's
+    /// dirty-segment tracking can skip hashing it entirely. `0` (the
+    /// default) omits the section and keeps images app-state-only.
+    pub static_image_bytes: usize,
 }
 
 impl Default for ManaConfig {
@@ -51,6 +60,7 @@ impl Default for ManaConfig {
             drain_msg_overhead: VirtualTime::from_nanos(400),
             async_image_writes: false,
             ckpt_submit_overhead: VirtualTime::from_micros(5),
+            static_image_bytes: 0,
         }
     }
 }

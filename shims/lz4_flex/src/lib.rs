@@ -1,0 +1,288 @@
+//! Offline stand-in for the `lz4_flex` crate.
+//!
+//! Implements the LZ4 *block* format (the real crate's `block` module
+//! surface this workspace uses): a greedy hash-table matcher on the
+//! compression side, LSIC-extended literal/match lengths, 16-bit offsets,
+//! and an overlap-aware copy on the decompression side. Every read on the
+//! decode path is bounds-checked and the output is capped at the caller's
+//! expected size, so malformed or hostile input returns
+//! [`DecompressError`] — it can never panic or balloon memory.
+//!
+//! Format rules honored (LZ4 block spec): a match is at least 4 bytes, a
+//! match never starts within the last 12 bytes of the input, the last 5
+//! bytes are always literals, and the final sequence is literals-only.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Shortest representable match.
+const MIN_MATCH: usize = 4;
+/// A match must not start within this many bytes of the input end.
+const MFLIMIT: usize = 12;
+/// The last bytes of the input are always emitted as literals.
+const LAST_LITERALS: usize = 5;
+/// log2 of the matcher hash-table size.
+const HASH_BITS: u32 = 13;
+
+/// Why decompression failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The compressed stream ended inside a token, length, offset or run.
+    Truncated,
+    /// A match offset was zero or reached before the output start.
+    BadOffset,
+    /// The output exceeded the size the caller declared.
+    OutputTooLarge {
+        /// The declared expected size.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "compressed block truncated"),
+            DecompressError::BadOffset => write!(f, "match offset outside decoded output"),
+            DecompressError::OutputTooLarge { expected } => {
+                write!(f, "decoded output exceeds expected {expected} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+fn hash(seq: u32) -> usize {
+    (seq.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Append an LSIC-extended length (already reduced by the 15 carried in
+/// the token nibble).
+fn push_lsic(out: &mut Vec<u8>, mut v: usize) {
+    while v >= 255 {
+        out.push(255);
+        v -= 255;
+    }
+    out.push(v as u8);
+}
+
+fn emit(out: &mut Vec<u8>, literals: &[u8], m: Option<(u16, usize)>) {
+    let lit_nibble = literals.len().min(15);
+    let match_nibble = m.map_or(0, |(_, len)| (len - MIN_MATCH).min(15));
+    out.push(((lit_nibble as u8) << 4) | match_nibble as u8);
+    if literals.len() >= 15 {
+        push_lsic(out, literals.len() - 15);
+    }
+    out.extend_from_slice(literals);
+    if let Some((offset, len)) = m {
+        out.extend_from_slice(&offset.to_le_bytes());
+        if len - MIN_MATCH >= 15 {
+            push_lsic(out, len - MIN_MATCH - 15);
+        }
+    }
+}
+
+/// Compress `input` as one LZ4 block. Deterministic; an incompressible
+/// input grows by at most `input.len()/255 + 16` bytes of framing.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let n = input.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    if n < MFLIMIT + 1 {
+        emit(&mut out, input, None);
+        return out;
+    }
+    // Positions are stored +1 so 0 means "empty slot".
+    let mut table = vec![0usize; 1 << HASH_BITS];
+    let match_limit = n - MFLIMIT;
+    let extend_limit = n - LAST_LITERALS;
+    let mut anchor = 0usize;
+    let mut i = 0usize;
+    while i < match_limit {
+        let seq = u32::from_le_bytes(input[i..i + 4].try_into().expect("4 bytes"));
+        let slot = hash(seq);
+        let cand = table[slot];
+        table[slot] = i + 1;
+        if cand != 0 {
+            let c = cand - 1;
+            if i - c <= u16::MAX as usize && input[c..c + 4] == input[i..i + 4] {
+                let mut len = MIN_MATCH;
+                while i + len < extend_limit && input[c + len] == input[i + len] {
+                    len += 1;
+                }
+                emit(&mut out, &input[anchor..i], Some(((i - c) as u16, len)));
+                i += len;
+                anchor = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    emit(&mut out, &input[anchor..], None);
+    out
+}
+
+/// Decompress one LZ4 block. `expected` is the uncompressed size the
+/// caller recorded at compression time; output beyond it is an error
+/// (the bound is what keeps hostile input from ballooning memory).
+pub fn decompress(input: &[u8], expected: usize) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(expected);
+    let mut i = 0usize;
+    let read_lsic = |i: &mut usize, base: usize| -> Result<usize, DecompressError> {
+        let mut len = base;
+        if base == 15 {
+            loop {
+                let b = *input.get(*i).ok_or(DecompressError::Truncated)?;
+                *i += 1;
+                len += b as usize;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        Ok(len)
+    };
+    loop {
+        let token = *input.get(i).ok_or(DecompressError::Truncated)?;
+        i += 1;
+        let lit_len = read_lsic(&mut i, (token >> 4) as usize)?;
+        let lits = input
+            .get(i..i + lit_len)
+            .ok_or(DecompressError::Truncated)?;
+        i += lit_len;
+        if out.len() + lit_len > expected {
+            return Err(DecompressError::OutputTooLarge { expected });
+        }
+        out.extend_from_slice(lits);
+        if i == input.len() {
+            // The final sequence is literals-only.
+            return Ok(out);
+        }
+        let off = input.get(i..i + 2).ok_or(DecompressError::Truncated)?;
+        let offset = u16::from_le_bytes(off.try_into().expect("2 bytes")) as usize;
+        i += 2;
+        if offset == 0 || offset > out.len() {
+            return Err(DecompressError::BadOffset);
+        }
+        let match_len = read_lsic(&mut i, (token & 0x0F) as usize)? + MIN_MATCH;
+        if out.len() + match_len > expected {
+            return Err(DecompressError::OutputTooLarge { expected });
+        }
+        // Byte-by-byte copy: offsets shorter than the match length
+        // legitimately overlap (run-length encoding of periodic data).
+        let start = out.len() - offset;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+}
+
+/// Compress with the uncompressed size prepended as a little-endian u32
+/// (the real crate's convenience framing).
+pub fn compress_prepend_size(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 20);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+    out.extend_from_slice(&compress(input));
+    out
+}
+
+/// Decompress a [`compress_prepend_size`] buffer.
+pub fn decompress_size_prepended(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let size = input.get(..4).ok_or(DecompressError::Truncated)?;
+    let expected = u32::from_le_bytes(size.try_into().expect("4 bytes")) as usize;
+    let out = decompress(&input[4..], expected)?;
+    if out.len() != expected {
+        return Err(DecompressError::Truncated);
+    }
+    Ok(out)
+}
+
+/// The real crate exposes the block API under `block` too.
+pub mod block {
+    pub use super::{
+        compress, compress_prepend_size, decompress, decompress_size_prepended, DecompressError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c, data.len()).expect("decompress");
+        assert_eq!(d, data, "roundtrip failed for len {}", data.len());
+        let framed = compress_prepend_size(data);
+        assert_eq!(decompress_size_prepended(&framed).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrips_edge_sizes() {
+        for len in [0usize, 1, 4, 11, 12, 13, 64, 255, 256, 4096] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 7) as u8).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn roundtrips_incompressible() {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 56) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn compresses_runs_and_periodic_data() {
+        let runs = vec![0xABu8; 10_000];
+        assert!(compress(&runs).len() < 100);
+        roundtrip(&runs);
+        let periodic: Vec<u8> = (0..8192).map(|i| (i % 16) as u8).collect();
+        assert!(compress(&periodic).len() < periodic.len() / 4);
+        roundtrip(&periodic);
+    }
+
+    #[test]
+    fn long_literal_and_match_lsic_paths() {
+        // > 255+15 literals then a long run exercises both LSIC loops.
+        let mut data: Vec<u8> = (0..300).map(|i| (i * 17 % 251) as u8).collect();
+        data.extend(std::iter::repeat_n(0x5A, 600));
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn hostile_input_errors_never_panics() {
+        // Truncations of a valid stream.
+        let data: Vec<u8> = (0..512).map(|i| (i % 9) as u8).collect();
+        let c = compress(&data);
+        for cut in 0..c.len() {
+            let _ = decompress(&c[..cut], data.len());
+        }
+        // Bad offset (reaches before output start).
+        let bad = [0x01u8, 0x41, 0xFF, 0xFF];
+        assert!(decompress(&bad, 64).is_err());
+        // Output larger than declared.
+        assert!(matches!(
+            decompress(&c, data.len() - 1),
+            Err(DecompressError::OutputTooLarge { .. })
+        ));
+        // Zero offset.
+        let zero = [0x11u8, 0x41, 0x00, 0x00, 0x00];
+        assert!(matches!(
+            decompress(&zero, 64),
+            Err(DecompressError::BadOffset)
+        ));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(decompress(&compress(&[]), 0).unwrap(), Vec::<u8>::new());
+    }
+}

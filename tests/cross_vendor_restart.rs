@@ -2,7 +2,7 @@
 //! implementation, restart under another, with no change to the answer.
 
 use mpi_stool::apps::{CoMdMini, OsuKernel, OsuLatency, WaveMpi};
-use mpi_stool::dmtcp::{CkptMode, DeltaStore, StoreConfig, WorldImage};
+use mpi_stool::dmtcp::{CkptMode, DeltaStore, ManifestFormat, StoreConfig, WorldImage};
 use mpi_stool::simnet::{ClusterSpec, Interconnect, KernelVersion, VirtualTime};
 use mpi_stool::stool::programs::RingPings;
 use mpi_stool::stool::{Checkpointer, MpiProgram, Session, Vendor};
@@ -397,6 +397,144 @@ fn wave_delta_chain_mpich_kill_restart_openmpi() {
     assert_eq!(image.vendor_hint, "MPICH");
 
     // Restart the reconstructed image under the other vendor.
+    let got = Session::builder()
+        .cluster(cluster())
+        .vendor(Vendor::OpenMpi)
+        .checkpointer(Checkpointer::mana())
+        .build()
+        .unwrap()
+        .restore(&image, &solver)
+        .unwrap()
+        .memories()
+        .unwrap()
+        .to_vec();
+    assert_memories_equal(&expect, &got);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wave_restarts_bit_identically_from_a_v1_chain() {
+    // Backward compatibility: a chain written in the legacy (PR 2)
+    // manifest format — raw blocks, no codec byte — must restore under
+    // the other vendor exactly like a current chain does.
+    let solver = WaveMpi {
+        npoints: 600,
+        nsteps: 80,
+        gather_final: true,
+        ..WaveMpi::default()
+    };
+    let expect = reference_memories(&solver, Vendor::Mpich);
+
+    let dir = std::env::temp_dir().join(format!("stool-v1-chain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let v1_cfg = StoreConfig {
+        block_size: 256,
+        format: ManifestFormat::V1,
+        ..StoreConfig::default()
+    };
+    let out = Session::builder()
+        .cluster(cluster())
+        .vendor(Vendor::Mpich)
+        .checkpointer(Checkpointer::mana())
+        .checkpoint_every(20)
+        .checkpoint_store_with(&dir, v1_cfg)
+        .inject_node_failure(65, 0)
+        .build()
+        .unwrap()
+        .launch(&solver)
+        .unwrap();
+    assert!(out.is_failed());
+
+    // A *current* store config opens the legacy chain transparently.
+    let store = DeltaStore::open_with(&dir, StoreConfig::default()).unwrap();
+    assert!(store.epochs().len() >= 3, "epochs: {:?}", store.epochs());
+    let stats = store.epoch_stats_on_disk().unwrap();
+    for s in &stats {
+        assert_eq!(
+            s.bytes_hashed, s.image_bytes,
+            "v1 chains predate dirty tracking: full-hash accounting"
+        );
+        // v1 blocks are stored raw: the blocks file is exactly the raw
+        // payload of the epoch's new blocks.
+        let blocks = dir.join(format!("epoch_{:06}", s.epoch)).join("blocks.bin");
+        assert_eq!(
+            std::fs::metadata(&blocks).unwrap().len(),
+            s.new_block_raw_bytes,
+            "epoch {}",
+            s.epoch
+        );
+    }
+    let image = store.load_latest().unwrap();
+    let got = Session::builder()
+        .cluster(cluster())
+        .vendor(Vendor::OpenMpi)
+        .checkpointer(Checkpointer::mana())
+        .build()
+        .unwrap()
+        .restore(&image, &solver)
+        .unwrap()
+        .memories()
+        .unwrap()
+        .to_vec();
+    assert_memories_equal(&expect, &got);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wave_restarts_from_quarantined_head_chain() {
+    // A rotted chain-head manifest must not strand the job: open
+    // quarantines the broken head (renamed *.bad) and restart proceeds
+    // from the newest readable epoch — older state, same final answer.
+    let solver = WaveMpi {
+        npoints: 600,
+        nsteps: 80,
+        gather_final: true,
+        ..WaveMpi::default()
+    };
+    let expect = reference_memories(&solver, Vendor::Mpich);
+
+    let dir = std::env::temp_dir().join(format!("stool-quarantine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_cfg = StoreConfig {
+        block_size: 256,
+        retain_epochs: 8,
+        ..StoreConfig::default()
+    };
+    let out = Session::builder()
+        .cluster(cluster())
+        .vendor(Vendor::Mpich)
+        .checkpointer(Checkpointer::mana())
+        .checkpoint_every(20)
+        .checkpoint_store_with(&dir, store_cfg)
+        .inject_node_failure(65, 1)
+        .build()
+        .unwrap()
+        .launch(&solver)
+        .unwrap();
+    assert!(out.is_failed());
+
+    // Rot the head epoch's manifest on disk.
+    let head = {
+        let store = DeltaStore::open_with(&dir, store_cfg).unwrap();
+        assert!(store.epochs().len() >= 2, "epochs: {:?}", store.epochs());
+        *store.epochs().last().unwrap()
+    };
+    let manifest = dir.join(format!("epoch_{head:06}")).join("manifest.bin");
+    let mut buf = std::fs::read(&manifest).unwrap();
+    let mid = buf.len() / 2;
+    buf[mid] ^= 0xFF;
+    std::fs::write(&manifest, &buf).unwrap();
+
+    let store = DeltaStore::open_with(&dir, store_cfg).unwrap();
+    assert_eq!(store.quarantined(), &[head], "broken head set aside");
+    assert_eq!(store.latest(), Some(head - 1), "fell back one epoch");
+    assert!(
+        dir.join(format!("epoch_{head:06}.bad")).is_dir(),
+        "quarantined head preserved for forensics"
+    );
+
+    let image = store.load_latest().unwrap();
+    assert_eq!(image.vendor_hint, "MPICH");
     let got = Session::builder()
         .cluster(cluster())
         .vendor(Vendor::OpenMpi)
