@@ -14,6 +14,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dmtcp_sim::store::{Compression, DeltaStore, StoreConfig};
+use dmtcp_sim::tier::{FsTier, ObjectTier};
 use dmtcp_sim::WorldImage;
 use mpi_apps::{CoMdMini, WaveMpi};
 use simnet::ClusterSpec;
@@ -67,6 +68,11 @@ struct WorkloadRow {
     hashed_dirty_avg: u64,
     hashed_full_avg: u64,
     image_bytes: u64,
+    /// Average bytes shipped to the remote tier per sealed epoch
+    /// (blocks + manifest + seal; only content-new blocks ship, so
+    /// `image_bytes / tier_shipped_bytes_avg` is the dedup-at-tier
+    /// ratio the gate tracks).
+    tier_shipped_bytes_avg: u64,
     commit_wall_ms: f64,
     sync_makespan_s: f64,
     async_makespan_s: f64,
@@ -90,14 +96,17 @@ fn measure_workload(
     program: &dyn MpiProgram,
     every: u64,
 ) -> Result<WorkloadRow, StoreError> {
-    let run = |store: Option<(&std::path::Path, StoreConfig)>| {
+    let run = |store: Option<(&std::path::Path, StoreConfig, Option<&std::path::Path>)>| {
         let mut builder = Session::builder()
             .cluster(bench_cluster())
             .vendor(Vendor::Mpich)
             .checkpointer(bench_mana())
             .checkpoint_every(every);
-        if let Some((dir, cfg)) = store {
+        if let Some((dir, cfg, tier)) = store {
             builder = builder.checkpoint_store_with(dir, cfg);
+            if let Some(tier_dir) = tier {
+                builder = builder.checkpoint_tier(tier_dir);
+            }
         }
         let session = builder.build().expect("session");
         session.launch(program).expect("launch")
@@ -105,9 +114,24 @@ fn measure_workload(
 
     let sync_out = run(None);
     let dir = tmp_dir(name);
-    let async_out = run(Some((&dir, store_cfg())));
+    // The modern run ships every sealed epoch to a remote second tier.
+    let tier_dir = tmp_dir(&format!("{name}_tier"));
+    let async_out = run(Some((&dir, store_cfg(), Some(&tier_dir))));
     let dir_legacy = tmp_dir(&format!("{name}_legacy"));
-    run(Some((&dir_legacy, legacy_cfg())));
+    run(Some((&dir_legacy, legacy_cfg(), None)));
+
+    // Dedup at the tier: each sealed epoch uploaded only its new blocks
+    // plus manifest and seal. Sum what actually landed remotely.
+    let tier = FsTier::open(&tier_dir)?;
+    let mut tier_bytes = 0u64;
+    let mut sealed_epochs = 0u64;
+    for key in tier.list("")? {
+        tier_bytes += tier.get(&key)?.len() as u64;
+        if key.ends_with("/seal") {
+            sealed_epochs += 1;
+        }
+    }
+    let tier_shipped_bytes_avg = tier_bytes / sealed_epochs.max(1);
 
     let store = DeltaStore::open_with(&dir, store_cfg())?;
     let stats = store.epoch_stats_on_disk()?;
@@ -143,6 +167,7 @@ fn measure_workload(
         hashed_dirty_avg: delta_avg(&stats, |s| s.bytes_hashed),
         hashed_full_avg: delta_avg(&legacy_stats, |s| s.bytes_hashed),
         image_bytes: stats.last().map(|s| s.image_bytes).unwrap_or(0),
+        tier_shipped_bytes_avg,
         commit_wall_ms,
         sync_makespan_s: sync_out.makespan().as_secs_f64(),
         async_makespan_s: async_out.makespan().as_secs_f64(),
@@ -150,6 +175,7 @@ fn measure_workload(
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_dir_all(&dir_legacy).ok();
     std::fs::remove_dir_all(&replay_dir).ok();
+    std::fs::remove_dir_all(&tier_dir).ok();
     Ok(row)
 }
 
@@ -160,7 +186,8 @@ fn emit_json(rows: &[WorkloadRow]) {
             "    {{\"name\": \"{}\", \"epochs\": {}, \"full_base_bytes\": {}, \
              \"delta_bytes_avg\": {}, \"delta_raw_bytes_avg\": {}, \
              \"hashed_dirty_avg\": {}, \"hashed_full_avg\": {}, \
-             \"image_bytes\": {}, \"commit_wall_ms\": {:.6}, \
+             \"image_bytes\": {}, \"tier_shipped_bytes_avg\": {}, \
+             \"commit_wall_ms\": {:.6}, \
              \"sync_makespan_s\": {:.9}, \"async_makespan_s\": {:.9}}}{}\n",
             r.name,
             r.epochs,
@@ -170,6 +197,7 @@ fn emit_json(rows: &[WorkloadRow]) {
             r.hashed_dirty_avg,
             r.hashed_full_avg,
             r.image_bytes,
+            r.tier_shipped_bytes_avg,
             r.commit_wall_ms,
             r.sync_makespan_s,
             r.async_makespan_s,
@@ -223,12 +251,14 @@ fn store_benches(c: &mut Criterion) {
         measure_workload("wave_mpi", &wave, 8).expect("wave row"),
         measure_workload("CoMD", &comd, 6).expect("comd row"),
     ];
+    let ship_model = ManaConfig::default();
     for r in &rows {
         println!(
             "store/{}: {} epochs, full base {} B, avg delta {} B (raw {} B, \
              {:.2}x compression), hashed/delta {} B dirty vs {} B full \
-             ({:.2}x less hashing), image {} B, commit {:.3} ms, \
-             makespan sync {:.6} s vs async {:.6} s",
+             ({:.2}x less hashing), image {} B, tier ship {} B/epoch \
+             ({:.2}x dedup at tier, modelled {:.3} ms undurable), \
+             commit {:.3} ms, makespan sync {:.6} s vs async {:.6} s",
             r.name,
             r.epochs,
             r.full_bytes,
@@ -239,6 +269,12 @@ fn store_benches(c: &mut Criterion) {
             r.hashed_full_avg,
             r.hashed_full_avg as f64 / r.hashed_dirty_avg.max(1) as f64,
             r.image_bytes,
+            r.tier_shipped_bytes_avg,
+            r.image_bytes as f64 / r.tier_shipped_bytes_avg.max(1) as f64,
+            ship_model
+                .tier_ship_time(r.tier_shipped_bytes_avg as usize)
+                .as_micros_f64()
+                / 1e3,
             r.commit_wall_ms,
             r.sync_makespan_s,
             r.async_makespan_s,

@@ -369,6 +369,9 @@ pub struct CkptRow {
     pub hashed_full_avg: f64,
     /// Logical image bytes of the last epoch.
     pub image_bytes: f64,
+    /// Average bytes shipped to the remote second tier per sealed epoch
+    /// (new blocks + manifest + seal — the dedup-at-tier cost).
+    pub tier_shipped_bytes_avg: f64,
     /// Wall-clock milliseconds per commit when replaying the chain
     /// (machine-dependent: warns, never gates).
     pub commit_wall_ms: f64,
@@ -394,6 +397,13 @@ impl CkptRow {
     /// compression saves (deterministic).
     pub fn compression_ratio(&self) -> f64 {
         self.delta_raw_bytes_avg / self.delta_bytes_avg.max(1.0)
+    }
+
+    /// Logical image bytes over average bytes shipped per sealed epoch:
+    /// how much content-keyed dedup saves at the remote tier
+    /// (deterministic — only new blocks ship).
+    pub fn tier_dedup_ratio(&self) -> f64 {
+        self.image_bytes / self.tier_shipped_bytes_avg.max(1.0)
     }
 }
 
@@ -512,6 +522,7 @@ pub fn parse_ckpt_report(text: &str) -> Result<CkptReport, GateError> {
                 "hashed_dirty_avg",
                 "hashed_full_avg",
                 "image_bytes",
+                "tier_shipped_bytes_avg",
                 "commit_wall_ms",
                 "sync_makespan_s",
                 "async_makespan_s",
@@ -547,6 +558,10 @@ pub fn parse_ckpt_report(text: &str) -> Result<CkptReport, GateError> {
             image_bytes: positive(
                 field(obj, &what, "image_bytes")?.num("image_bytes")?,
                 "image_bytes",
+            )?,
+            tier_shipped_bytes_avg: positive(
+                field(obj, &what, "tier_shipped_bytes_avg")?.num("tier_shipped_bytes_avg")?,
+                "tier_shipped_bytes_avg",
             )?,
             commit_wall_ms: positive(
                 field(obj, &what, "commit_wall_ms")?.num("commit_wall_ms")?,
@@ -718,6 +733,15 @@ pub fn compare_ckpt(out: &mut GateOutcome, base: &CkptReport, fresh: &CkptReport
             b.compression_ratio(),
             f.compression_ratio(),
         );
+        // Dedup at the remote tier: shipped bytes per sealed epoch are a
+        // pure function of the (virtual-time-deterministic) chain, so a
+        // collapse means the shipper started re-uploading old content.
+        check_lower(
+            out,
+            &format!("ckpt/{}/tier_dedup_ratio", b.name),
+            b.tier_dedup_ratio(),
+            f.tier_dedup_ratio(),
+        );
         check_upper(
             out,
             &format!("ckpt/{}/sync_makespan_s", b.name),
@@ -866,15 +890,26 @@ mod tests {
         assert_eq!(doc.obj("t").unwrap()["k"].str("k").unwrap(), "héllo → ∞");
     }
 
-    fn ckpt_json_ext(delta: u64, hashed_dirty: u64, sync_s: f64, async_s: f64) -> String {
+    fn ckpt_json_full(
+        delta: u64,
+        hashed_dirty: u64,
+        tier_shipped: u64,
+        sync_s: f64,
+        async_s: f64,
+    ) -> String {
         format!(
             "{{\"bench\": \"ckpt_store\", \"workloads\": [\
              {{\"name\": \"wave_mpi\", \"epochs\": 4, \"full_base_bytes\": 1000, \
              \"delta_bytes_avg\": {delta}, \"delta_raw_bytes_avg\": 800, \
              \"hashed_dirty_avg\": {hashed_dirty}, \"hashed_full_avg\": 1200, \
-             \"image_bytes\": 1200, \"commit_wall_ms\": 2.5, \
+             \"image_bytes\": 1200, \"tier_shipped_bytes_avg\": {tier_shipped}, \
+             \"commit_wall_ms\": 2.5, \
              \"sync_makespan_s\": {sync_s}, \"async_makespan_s\": {async_s}}}]}}"
         )
+    }
+
+    fn ckpt_json_ext(delta: u64, hashed_dirty: u64, sync_s: f64, async_s: f64) -> String {
+        ckpt_json_full(delta, hashed_dirty, 600, sync_s, async_s)
     }
 
     fn ckpt_json(delta: u64, sync_s: f64, async_s: f64) -> String {
@@ -888,6 +923,7 @@ mod tests {
         assert_eq!(r.workloads[0].delta_ratio(), 2.0);
         assert_eq!(r.workloads[0].hash_skip_ratio(), 3.0);
         assert_eq!(r.workloads[0].compression_ratio(), 1.6);
+        assert_eq!(r.workloads[0].tier_dedup_ratio(), 2.0);
     }
 
     #[test]
@@ -944,6 +980,15 @@ mod tests {
             .regressions
             .iter()
             .any(|r| r.contains("compression_ratio")));
+        // Tier dedup collapsed (shipped bytes doubled): fails.
+        let reship = parse_ckpt_report(&ckpt_json_full(500, 400, 1200, 2.0, 1.5)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_ckpt(&mut out, &base, &reship);
+        assert!(!out.ok());
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.contains("tier_dedup_ratio")));
     }
 
     #[test]

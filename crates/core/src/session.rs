@@ -7,6 +7,7 @@ use dmtcp_sim::coordinator::{BarrierTopology, CkptMode, Coordinator};
 use dmtcp_sim::image::WorldImage;
 use dmtcp_sim::memory::Memory;
 use dmtcp_sim::store::{DeltaStore, StoreConfig, StoreError, StoreWriter};
+use dmtcp_sim::tier::{FsTier, ObjectTier, TierConfig};
 use mana_sim::ckpt::restore_rank;
 use mana_sim::ManaConfig;
 use muk::{MukOverhead, Vendor};
@@ -74,6 +75,41 @@ pub struct StorePolicy {
     /// ([`dmtcp_sim::ManifestFormat`]) — all wired through
     /// [`SessionBuilder::checkpoint_store_with`].
     pub config: StoreConfig,
+    /// Remote second tier, if attached
+    /// ([`SessionBuilder::checkpoint_tier`]): sealed epochs are shipped
+    /// to it in the background, retention GC waits for upload
+    /// durability, and a restore with missing/corrupt local epochs
+    /// hydrates from it transparently.
+    pub tier: Option<TierPolicy>,
+}
+
+impl StorePolicy {
+    /// Open the policy's store: plain when no tier is configured, with
+    /// the filesystem-backed tier attached (shipping reconciled,
+    /// missing local epochs hydrated) when one is.
+    pub fn open_store(&self) -> Result<DeltaStore, StoreError> {
+        match &self.tier {
+            None => DeltaStore::open_with(&self.dir, self.config),
+            Some(t) => {
+                let tier: Arc<dyn ObjectTier> =
+                    Arc::new(FsTier::open(&t.dir).map_err(StoreError::Tier)?);
+                DeltaStore::open_with_tier(&self.dir, self.config, tier, t.config)
+            }
+        }
+    }
+}
+
+/// Where (and how) the delta store's remote second tier lives. The
+/// in-tree tier is filesystem-backed ([`dmtcp_sim::FsTier`]: atomic
+/// renames modelling object storage); the directory typically sits on a
+/// different filesystem than the chain itself — that separation is the
+/// point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierPolicy {
+    /// Tier root directory.
+    pub dir: PathBuf,
+    /// Shipper tunables: upload attempts and retry backoff.
+    pub config: TierConfig,
 }
 
 /// A deterministic injected failure: the job is killed when the application
@@ -127,11 +163,14 @@ pub struct SessionConfig {
 /// Builder for [`Session`].
 pub struct SessionBuilder {
     config: SessionConfig,
+    /// Tier requested before (or without) a store: resolved in `build`.
+    pending_tier: Option<TierPolicy>,
 }
 
 impl Default for SessionBuilder {
     fn default() -> Self {
         SessionBuilder {
+            pending_tier: None,
             config: SessionConfig {
                 cluster: ClusterSpec::discovery(),
                 vendor: Vendor::Mpich,
@@ -225,6 +264,29 @@ impl SessionBuilder {
         self.config.store = Some(StorePolicy {
             dir: dir.into(),
             config,
+            tier: None,
+        });
+        self
+    }
+
+    /// Attach a remote second tier (default tunables) to the checkpoint
+    /// store: every sealed epoch is shipped to object storage (modelled
+    /// by a filesystem-backed tier at `dir`) in the background, local
+    /// retention GC waits for upload durability, and
+    /// [`Session::restore_from_store`] transparently hydrates missing or
+    /// corrupt local epochs from the tier — a restart works from the
+    /// remote tier alone, under either vendor. Requires
+    /// [`SessionBuilder::checkpoint_store`].
+    pub fn checkpoint_tier(self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_tier_with(dir, TierConfig::default())
+    }
+
+    /// Like [`SessionBuilder::checkpoint_tier`], with explicit shipper
+    /// tunables (upload attempts, retry backoff).
+    pub fn checkpoint_tier_with(mut self, dir: impl Into<PathBuf>, config: TierConfig) -> Self {
+        self.pending_tier = Some(TierPolicy {
+            dir: dir.into(),
+            config,
         });
         self
     }
@@ -257,7 +319,17 @@ impl SessionBuilder {
     }
 
     /// Validate and build.
-    pub fn build(self) -> StoolResult<Session> {
+    pub fn build(mut self) -> StoolResult<Session> {
+        if let Some(tier) = self.pending_tier.take() {
+            match &mut self.config.store {
+                Some(store) => store.tier = Some(tier),
+                None => {
+                    return Err(StoolError::Config(
+                        "checkpoint_tier(..) requires checkpoint_store(..) on the session".into(),
+                    ))
+                }
+            }
+        }
         let c = &self.config;
         c.cluster.validate().map_err(StoolError::Config)?;
         if (c.policy.at_step.is_some() || c.policy.every_steps.is_some())
@@ -477,7 +549,7 @@ impl Session {
                 "restore_from_store requires checkpoint_store(..) on the session".into(),
             )
         })?;
-        let store = DeltaStore::open_with(&policy.dir, policy.config)?;
+        let store = policy.open_store()?;
         let image = store.load_latest()?;
         self.restore(&image, program)
     }
@@ -504,9 +576,17 @@ impl Session {
         // persists it as a delta chain while the ranks run on.
         let store_writer = match (&self.config.store, &coordinator) {
             (Some(policy), Some(coord)) => {
-                let writer = Arc::new(
-                    StoreWriter::spawn(&policy.dir, policy.config).map_err(StoolError::Store)?,
-                );
+                let writer = match &policy.tier {
+                    None => StoreWriter::spawn(&policy.dir, policy.config),
+                    Some(t) => {
+                        let tier: Arc<dyn ObjectTier> = Arc::new(
+                            FsTier::open(&t.dir)
+                                .map_err(|e| StoolError::Store(StoreError::Tier(e)))?,
+                        );
+                        StoreWriter::spawn_with_tier(&policy.dir, policy.config, tier, t.config)
+                    }
+                };
+                let writer = Arc::new(writer.map_err(StoolError::Store)?);
                 coord.attach_sink(writer.clone(), self.config.vendor.name());
                 Some(writer)
             }
@@ -568,8 +648,7 @@ impl Session {
             }
             match &self.config.store {
                 Some(policy) => {
-                    let store = DeltaStore::open_with(&policy.dir, policy.config)
-                        .map_err(StoolError::Store)?;
+                    let store = policy.open_store().map_err(StoolError::Store)?;
                     match store.load_latest() {
                         Ok(img) => Ok(Some(img)),
                         Err(StoreError::Empty) => Ok(None),

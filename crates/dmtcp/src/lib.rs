@@ -48,6 +48,7 @@ pub mod coordinator;
 pub mod image;
 pub mod memory;
 pub mod store;
+pub mod tier;
 
 pub use codec::{CodecError, Reader, Writer};
 pub use coordinator::{
@@ -56,5 +57,9 @@ pub use coordinator::{
 pub use image::{ImageError, RankImage, WorldImage};
 pub use memory::Memory;
 pub use store::{
-    Compression, DeltaStore, EpochStats, ManifestFormat, StoreConfig, StoreError, StoreWriter,
+    Compression, DeltaStore, EpochStats, ManifestFormat, ScrubReport, StoreConfig, StoreError,
+    StoreWriter,
+};
+pub use tier::{
+    FlakyTier, FsTier, ObjectTier, PutFault, Scrubber, TierConfig, TierError, TierStats,
 };

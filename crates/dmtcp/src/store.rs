@@ -97,6 +97,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use crate::codec::{crc32, fnv1a, fnv1a_seeded, CodecError, Reader, Writer};
 use crate::coordinator::ImageSink;
 use crate::image::{ImageError, RankImage, WorldImage};
+use crate::tier::{
+    fetch_sealed_epoch, sealed_epochs, ObjectTier, TierConfig, TierError, TierRuntime, TierStats,
+};
 
 const MANIFEST_MAGIC: u64 = 0x434B_5054_4348_4E31; // "CKPTCHN1"
 /// The legacy (PR 2) manifest version: raw blocks, 40-byte references.
@@ -232,6 +235,11 @@ pub enum StoreError {
     Empty,
     /// The background writer was shut down.
     Closed,
+    /// A remote-tier operation failed (upload, listing, or a fetched
+    /// object that failed its seal verification).
+    Tier(TierError),
+    /// A tier operation was requested but no tier is attached.
+    NoTier,
 }
 
 impl fmt::Display for StoreError {
@@ -258,6 +266,8 @@ impl fmt::Display for StoreError {
             StoreError::InconsistentImage(m) => write!(f, "inconsistent world image: {m}"),
             StoreError::Empty => write!(f, "checkpoint store holds no epochs"),
             StoreError::Closed => write!(f, "checkpoint store writer is shut down"),
+            StoreError::Tier(e) => write!(f, "remote tier: {e}"),
+            StoreError::NoTier => write!(f, "no remote tier attached to the store"),
         }
     }
 }
@@ -266,8 +276,15 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Manifest { source, .. } => Some(source),
+            StoreError::Tier(source) => Some(source),
             _ => None,
         }
+    }
+}
+
+impl From<TierError> for StoreError {
+    fn from(e: TierError) -> StoreError {
+        StoreError::Tier(e)
     }
 }
 
@@ -606,6 +623,33 @@ pub struct EpochStats {
     pub blocks_new: u64,
 }
 
+/// What one scrub pass did (see [`DeltaStore::scrub`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Quarantined epochs re-fetched from the tier, verified, and
+    /// reinstated in the local chain.
+    pub healed: Vec<u64>,
+    /// Stale `.bad` directories removed because a healthy live epoch of
+    /// the same number already exists (a later commit reused the number,
+    /// or an earlier heal already ran).
+    pub cleaned: Vec<u64>,
+    /// Quarantined epochs the tier could not supply (no seal, or the
+    /// tier copy failed verification): their `.bad` directories are left
+    /// in place for forensics.
+    pub missing: Vec<u64>,
+    /// Live epochs whose manifests were verified readable.
+    pub verified: usize,
+}
+
+impl ScrubReport {
+    /// Whether the pass changed nothing on disk (the idempotence
+    /// property: scrubbing a healthy chain, or scrubbing twice, is a
+    /// no-op).
+    pub fn is_noop(&self) -> bool {
+        self.healed.is_empty() && self.cleaned.is_empty()
+    }
+}
+
 /// The refs one hinted section resolved to at the previous commit of
 /// this handle, keyed by the producer's generation stamp.
 struct SectionCache {
@@ -636,6 +680,9 @@ pub struct DeltaStore {
     quarantined: Vec<u64>,
     /// Stats of the commits performed by this handle.
     stats: Vec<EpochStats>,
+    /// The remote second tier, when attached: handle, config, and the
+    /// background shipper thread uploading sealed epochs.
+    tier: Option<TierRuntime>,
 }
 
 impl DeltaStore {
@@ -712,16 +759,46 @@ impl DeltaStore {
             section_cache: HashMap::new(),
             quarantined: Vec::new(),
             stats: Vec::new(),
+            tier: None,
         };
-        // Head repair: quarantine unreadable heads until a manifest
-        // decodes (or the chain is empty), then rebuild the content
-        // index from the surviving head. Quarantine is reserved for
-        // *structural* damage — a manifest that fails to decode, or an
-        // epoch directory missing its manifest file (a pre-atomic-commit
-        // torn write). A transient I/O failure (permissions, fd
-        // exhaustion, a flaky network mount) propagates as an error
-        // instead: renaming a healthy newest epoch aside over a hiccup
-        // would silently discard committed state.
+        store.rebuild_head_state()?;
+        Ok(store)
+    }
+
+    /// Like [`DeltaStore::open_with`], with a remote second tier attached
+    /// (see [`DeltaStore::attach_tier`]): local epochs missing from the
+    /// tier are queued for upload, and a chain whose newest epochs are
+    /// missing or corrupt locally is transparently hydrated from the
+    /// tier — including the extreme case of an empty (deleted) local
+    /// store directory and a remote-only chain.
+    pub fn open_with_tier(
+        dir: impl Into<PathBuf>,
+        config: StoreConfig,
+        tier: Arc<dyn ObjectTier>,
+        tier_config: TierConfig,
+    ) -> Result<DeltaStore, StoreError> {
+        let mut store = DeltaStore::open_with(dir, config)?;
+        store.attach_tier(tier, tier_config)?;
+        Ok(store)
+    }
+
+    /// Head repair + content-index rebuild: quarantine unreadable heads
+    /// until a manifest decodes (or the chain is empty), then rebuild
+    /// the dedup index and chain length from the surviving head.
+    /// Quarantine is reserved for *structural* damage — a manifest that
+    /// fails to decode, or an epoch directory missing its manifest file
+    /// (a pre-atomic-commit torn write). A transient I/O failure
+    /// (permissions, fd exhaustion, a flaky network mount) propagates as
+    /// an error instead: renaming a healthy newest epoch aside over a
+    /// hiccup would silently discard committed state.
+    ///
+    /// Also run after tier hydration and scrubbing, both of which can
+    /// change which epoch is the chain head.
+    fn rebuild_head_state(&mut self) -> Result<(), StoreError> {
+        self.index.clear();
+        self.section_cache.clear();
+        self.chain_len = 0;
+        let store = self;
         while let Some(&latest) = store.epochs.last() {
             let manifest = match store.read_manifest(latest) {
                 Ok(m) => m,
@@ -793,7 +870,7 @@ impl DeltaStore {
             }
             break;
         }
-        Ok(store)
+        Ok(())
     }
 
     /// Rename an epoch whose manifest cannot be read to
@@ -846,6 +923,340 @@ impl DeltaStore {
     /// Stats of the commits performed through this handle, in order.
     pub fn stats(&self) -> &[EpochStats] {
         &self.stats
+    }
+
+    // -----------------------------------------------------------------
+    // The remote second tier
+    // -----------------------------------------------------------------
+
+    /// Attach a remote tier and spawn its background shipper.
+    ///
+    /// Reconciles both directions in one tier sweep: local epochs whose
+    /// content the tier does not durably hold are queued for upload, and
+    /// epochs the restore target needs but the local chain is missing
+    /// (a behind or deleted local store) hydrate down (see
+    /// [`DeltaStore::hydrate_from_tier`]). A seal only counts as durable
+    /// for a *locally present* epoch when its recorded manifest CRC
+    /// matches the local manifest: after a quarantine the chain reuses
+    /// epoch numbers, and a stale seal left by the quarantined
+    /// predecessor must neither let GC delete the only copy of the
+    /// current content nor let a remote-only restore resurrect the stale
+    /// state — mismatched epochs are re-shipped (the upload overwrites
+    /// the tier objects, seal last).
+    ///
+    /// From here on every commit is queued for upload after its local
+    /// rename, and retention GC refuses to delete any local epoch whose
+    /// upload is not yet durable.
+    ///
+    /// Returns the epochs hydrated from the tier, ascending.
+    pub fn attach_tier(
+        &mut self,
+        tier: Arc<dyn ObjectTier>,
+        config: TierConfig,
+    ) -> Result<Vec<u64>, StoreError> {
+        let seals = crate::tier::sealed_seals(&*tier)?;
+        let mut durable: BTreeSet<u64> = BTreeSet::new();
+        for (&epoch, seal) in &seals {
+            let manifest_path = self.epoch_dir(epoch).join("manifest.bin");
+            if manifest_path.is_file() {
+                let local = Self::read_file(&manifest_path)?;
+                if local.len() as u64 == seal.manifest_len && crc32(&local) == seal.manifest_crc {
+                    durable.insert(epoch);
+                }
+                // Mismatch: the tier holds a different epoch under this
+                // number (quarantine + reuse). Not durable — re-shipped
+                // below.
+            } else {
+                // No local copy: the tier copy is the (only) truth.
+                durable.insert(epoch);
+            }
+        }
+        let sealed: BTreeSet<u64> = seals.keys().copied().collect();
+        let runtime = TierRuntime::spawn(tier.clone(), config, self.dir.clone(), durable.clone());
+        self.tier = Some(runtime);
+        let hydrated = self.hydrate_with(&*tier, &sealed)?;
+        let runtime = self.tier.as_ref().expect("tier just attached");
+        for &e in &self.epochs {
+            if !durable.contains(&e) {
+                runtime.enqueue(e);
+            }
+        }
+        Ok(hydrated)
+    }
+
+    /// Whether a remote tier is attached.
+    pub fn has_tier(&self) -> bool {
+        self.tier.is_some()
+    }
+
+    /// Wait until every queued epoch upload is durable in the tier.
+    /// Returns the shipper's sticky error, if any; trivially succeeds
+    /// with no tier attached.
+    pub fn tier_flush(&self) -> Result<(), StoreError> {
+        match &self.tier {
+            Some(t) => t.flush().map_err(StoreError::Tier),
+            None => Ok(()),
+        }
+    }
+
+    /// Epochs whose upload is durable (their seal is in the tier).
+    pub fn tier_durable(&self) -> Vec<u64> {
+        self.tier
+            .as_ref()
+            .map(|t| t.durable().into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Shipping statistics, if a tier is attached.
+    pub fn tier_stats(&self) -> Option<TierStats> {
+        self.tier.as_ref().map(|t| t.stats())
+    }
+
+    /// The shipper's sticky error, if it has failed.
+    pub fn tier_error(&self) -> Option<TierError> {
+        self.tier.as_ref().and_then(|t| t.error())
+    }
+
+    /// Install one verified epoch's bytes as a local epoch directory,
+    /// atomically (tmp dir + rename), replacing any existing directory
+    /// of that number.
+    fn install_epoch(&self, epoch: u64, blocks: &[u8], manifest: &[u8]) -> Result<(), StoreError> {
+        let tmp = self.dir.join(format!("epoch_{epoch:06}.tmp"));
+        if tmp.exists() {
+            std::fs::remove_dir_all(&tmp).map_err(|e| StoreError::io("remove tmp", &tmp, e))?;
+        }
+        std::fs::create_dir_all(&tmp).map_err(|e| StoreError::io("create tmp", &tmp, e))?;
+        for (name, data) in [("blocks.bin", blocks), ("manifest.bin", manifest)] {
+            let path = tmp.join(name);
+            let mut f =
+                std::fs::File::create(&path).map_err(|e| StoreError::io("create", &path, e))?;
+            f.write_all(data)
+                .map_err(|e| StoreError::io("write", &path, e))?;
+            f.sync_all().map_err(|e| StoreError::io("sync", &path, e))?;
+        }
+        let final_dir = self.epoch_dir(epoch);
+        if final_dir.exists() {
+            std::fs::remove_dir_all(&final_dir)
+                .map_err(|e| StoreError::io("remove stale epoch", &final_dir, e))?;
+        }
+        std::fs::rename(&tmp, &final_dir).map_err(|e| StoreError::io("rename", &final_dir, e))
+    }
+
+    /// After an epoch is reinstated locally, drop its stale `.bad` twin
+    /// (if any) and its quarantine listing, and splice it into the
+    /// chain view.
+    fn adopt_epoch(&mut self, epoch: u64) -> Result<(), StoreError> {
+        let bad = self.dir.join(format!("epoch_{epoch:06}.bad"));
+        if bad.exists() {
+            std::fs::remove_dir_all(&bad).map_err(|e| StoreError::io("remove bad", &bad, e))?;
+        }
+        self.quarantined.retain(|&q| q != epoch);
+        if !self.epochs.contains(&epoch) {
+            self.epochs.push(epoch);
+            self.epochs.sort_unstable();
+        }
+        Ok(())
+    }
+
+    /// Hydrate the chain from the attached tier: determine the restore
+    /// target (the newer of the local and tier chain heads), and
+    /// download every epoch that target's manifest references but the
+    /// local chain is missing — verified against its seal — then rebuild
+    /// the head state. Covers both directions of damage: a local chain
+    /// that is behind or entirely gone (remote-only restore pulls the
+    /// tier head plus its bases), and a current local head whose *base*
+    /// epochs were lost (partial disk damage pulls just the bases back).
+    /// Epochs already present locally are left untouched.
+    ///
+    /// Returns the epochs installed, ascending.
+    pub fn hydrate_from_tier(&mut self) -> Result<Vec<u64>, StoreError> {
+        let runtime = self.tier.as_ref().ok_or(StoreError::NoTier)?;
+        let tier = runtime.tier.clone();
+        let sealed = sealed_epochs(&*tier)?;
+        self.hydrate_with(&*tier, &sealed)
+    }
+
+    /// [`DeltaStore::hydrate_from_tier`] against an explicit tier handle
+    /// and a pre-listed seal set (so attach does one sweep, not two).
+    fn hydrate_with(
+        &mut self,
+        tier: &dyn ObjectTier,
+        sealed: &BTreeSet<u64>,
+    ) -> Result<Vec<u64>, StoreError> {
+        let tier_head = sealed.last().copied();
+        let local_head = self.latest();
+        // The restore target: the newer of the two heads.
+        let Some(target) = local_head.max(tier_head) else {
+            return Ok(Vec::new());
+        };
+        // Pulling a *new* head down is all-or-nothing (installing a head
+        // whose bases the tier cannot supply would advertise a chain
+        // that cannot restore); repairing bases under a current local
+        // head is best-effort (skipping leaves the chain no worse).
+        let pulling_new_head = local_head.is_none_or(|l| target > l);
+        let mut fetched_target: Option<(Vec<u8>, Vec<u8>)> = None;
+        let manifest_buf = if self.epoch_dir(target).is_dir() {
+            Self::read_file(&self.epoch_dir(target).join("manifest.bin"))?
+        } else {
+            let pair = fetch_sealed_epoch(tier, target)?;
+            let buf = pair.1.clone();
+            fetched_target = Some(pair);
+            buf
+        };
+        let manifest = Manifest::decode(&manifest_buf).map_err(|source| StoreError::Manifest {
+            epoch: target,
+            source,
+        })?;
+        // The target plus every epoch whose blocks it references:
+        // exactly the set a restore of the target will read.
+        let mut needed: BTreeSet<u64> = [target].into();
+        for (_, _, _, sections) in &manifest.ranks {
+            for (_, blocks) in sections {
+                for (_, loc) in blocks {
+                    needed.insert(loc.epoch);
+                }
+            }
+        }
+        let mut installed = Vec::new();
+        for &epoch in &needed {
+            if self.epoch_dir(epoch).is_dir() {
+                continue;
+            }
+            if !sealed.contains(&epoch) {
+                if pulling_new_head {
+                    return Err(StoreError::MissingEpoch { epoch });
+                }
+                // The tier cannot supply it and the local chain did not
+                // get worse: leave the gap for load-time reporting.
+                continue;
+            }
+            let (blocks, manifest) = match fetched_target.take() {
+                Some(pair) if epoch == target => pair,
+                other => {
+                    fetched_target = other;
+                    fetch_sealed_epoch(tier, epoch)?
+                }
+            };
+            self.install_epoch(epoch, &blocks, &manifest)?;
+            self.adopt_epoch(epoch)?;
+            installed.push(epoch);
+        }
+        if !installed.is_empty() {
+            self.rebuild_head_state()?;
+        }
+        Ok(installed)
+    }
+
+    /// Scrub the quarantine: heal `.bad` epochs from the attached tier.
+    ///
+    /// For every `epoch_NNNNNN.bad` directory on disk (and every epoch
+    /// this handle quarantined at open):
+    ///
+    /// * if a healthy live epoch of the same number exists (a later
+    ///   commit reused the number), the stale `.bad` directory is
+    ///   removed (`cleaned`);
+    /// * otherwise the epoch is fetched from the tier, verified against
+    ///   its seal CRCs and its manifest decode, installed atomically,
+    ///   and the `.bad` directory dropped (`healed`);
+    /// * if the tier has no verifiable copy, the `.bad` directory is
+    ///   left in place for forensics (`missing`).
+    ///
+    /// Every remaining live epoch's manifest is then verified readable
+    /// (`verified`); a live epoch that fails is healed from the tier the
+    /// same way. Scrubbing is idempotent: a healthy chain is a verified
+    /// no-op, and a second pass after a heal finds nothing to do.
+    pub fn scrub(&mut self) -> Result<ScrubReport, StoreError> {
+        let tier = self.tier.as_ref().ok_or(StoreError::NoTier)?.tier.clone();
+        self.scrub_with(&*tier)
+    }
+
+    /// The scrub pass against an explicit tier handle (what
+    /// [`crate::tier::Scrubber`] calls; [`DeltaStore::scrub`] uses the
+    /// attached tier).
+    pub(crate) fn scrub_with(&mut self, tier: &dyn ObjectTier) -> Result<ScrubReport, StoreError> {
+        let mut report = ScrubReport::default();
+        // Candidates: every .bad directory on disk (durable evidence of
+        // past quarantines) plus this handle's own quarantine list.
+        let mut candidates: BTreeSet<u64> = self.quarantined.iter().copied().collect();
+        let entries =
+            std::fs::read_dir(&self.dir).map_err(|e| StoreError::io("read dir", &self.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io("read dir", &self.dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name
+                .strip_prefix("epoch_")
+                .and_then(|r| r.strip_suffix(".bad"))
+            {
+                if stem.chars().all(|c| c.is_ascii_digit()) {
+                    if let Ok(e) = stem.parse::<u64>() {
+                        candidates.insert(e);
+                    }
+                }
+            }
+        }
+        // One tier sweep serves the whole pass (quarantine healing and
+        // live-chain repair both consult it).
+        let sealed = sealed_epochs(tier)?;
+        for &epoch in &candidates {
+            let live_ok = self.epoch_dir(epoch).is_dir() && self.read_manifest(epoch).is_ok();
+            if live_ok {
+                self.adopt_epoch(epoch)?;
+                report.cleaned.push(epoch);
+                continue;
+            }
+            if !sealed.contains(&epoch) {
+                report.missing.push(epoch);
+                continue;
+            }
+            match fetch_sealed_epoch(tier, epoch) {
+                Ok((blocks, manifest_buf)) => {
+                    // Verify the manifest decodes before trusting the
+                    // tier copy over the quarantined one.
+                    if Manifest::decode(&manifest_buf).is_err() {
+                        report.missing.push(epoch);
+                        continue;
+                    }
+                    self.install_epoch(epoch, &blocks, &manifest_buf)?;
+                    self.adopt_epoch(epoch)?;
+                    report.healed.push(epoch);
+                }
+                Err(TierError::NotFound { .. } | TierError::Corrupt { .. }) => {
+                    report.missing.push(epoch);
+                }
+                Err(e) => return Err(StoreError::Tier(e)),
+            }
+        }
+        // Verify the live chain; heal in place anything that rotted
+        // since open (an older epoch's manifest, say).
+        for epoch in self.epochs.clone() {
+            match self.read_manifest(epoch) {
+                Ok(_) => report.verified += 1,
+                Err(StoreError::Manifest { .. } | StoreError::MissingEpoch { .. }) => {
+                    if !sealed.contains(&epoch) {
+                        report.missing.push(epoch);
+                        continue;
+                    }
+                    match fetch_sealed_epoch(tier, epoch) {
+                        Ok((blocks, manifest_buf)) if Manifest::decode(&manifest_buf).is_ok() => {
+                            self.install_epoch(epoch, &blocks, &manifest_buf)?;
+                            report.healed.push(epoch);
+                        }
+                        Ok(_) | Err(TierError::NotFound { .. } | TierError::Corrupt { .. }) => {
+                            report.missing.push(epoch);
+                        }
+                        Err(e) => return Err(StoreError::Tier(e)),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if !report.healed.is_empty() {
+            report.healed.sort_unstable();
+            report.healed.dedup();
+            self.rebuild_head_state()?;
+        }
+        Ok(report)
     }
 
     fn epoch_dir(&self, epoch: u64) -> PathBuf {
@@ -1161,6 +1572,12 @@ impl DeltaStore {
         self.epochs.push(epoch);
         self.chain_len = if full { 0 } else { self.chain_len + 1 };
         self.section_cache = new_cache;
+        // Queue the sealed epoch for upload before GC runs: the epoch is
+        // undurable until its seal lands, so the guard below keeps it
+        // (and everything it references) on local disk meanwhile.
+        if let Some(tier) = &self.tier {
+            tier.enqueue(epoch);
+        }
         self.gc();
 
         let stats = EpochStats {
@@ -1191,7 +1608,24 @@ impl DeltaStore {
         }
         let kept: Vec<u64> = self.epochs[self.epochs.len() - self.config.retain_epochs..].to_vec();
         let mut live: BTreeSet<u64> = kept.iter().copied().collect();
-        for &e in &kept {
+        // Upload-durability guard: with a tier attached, an epoch whose
+        // upload is not yet sealed remotely is the *only* copy of its
+        // state — retention must not race a slow (or failed) shipper
+        // into deleting it. Undurable epochs count as live; they become
+        // collectable on the first GC after their seal lands.
+        if let Some(tier) = &self.tier {
+            let durable = tier.durable();
+            for &e in &self.epochs {
+                if !durable.contains(&e) {
+                    live.insert(e);
+                }
+            }
+        }
+        // Every retained epoch (retention window *and* undurable-guard
+        // survivors) keeps the epochs its manifest references alive — a
+        // delta keeps its base restorable locally.
+        let roots: Vec<u64> = live.iter().copied().collect();
+        for e in roots {
             match self.read_manifest(e) {
                 Ok(manifest) => {
                     for (_, _, _, sections) in &manifest.ranks {
@@ -1373,7 +1807,25 @@ pub struct StoreWriter {
 impl StoreWriter {
     /// Open the store at `dir` and spawn the background writer.
     pub fn spawn(dir: impl Into<PathBuf>, config: StoreConfig) -> Result<StoreWriter, StoreError> {
-        let mut store = DeltaStore::open_with(dir, config)?;
+        let store = DeltaStore::open_with(dir, config)?;
+        Ok(StoreWriter::spawn_store(store))
+    }
+
+    /// Like [`StoreWriter::spawn`], with a remote second tier attached:
+    /// the underlying store queues every committed epoch for upload and
+    /// hydrates a behind (or empty) local chain from the tier at open.
+    pub fn spawn_with_tier(
+        dir: impl Into<PathBuf>,
+        config: StoreConfig,
+        tier: Arc<dyn ObjectTier>,
+        tier_config: TierConfig,
+    ) -> Result<StoreWriter, StoreError> {
+        let store = DeltaStore::open_with_tier(dir, config, tier, tier_config)?;
+        Ok(StoreWriter::spawn_store(store))
+    }
+
+    /// Spawn the background committer thread around an opened store.
+    fn spawn_store(mut store: DeltaStore) -> StoreWriter {
         let shared = Arc::new(WriterShared {
             state: Mutex::new(WriterState {
                 queue: VecDeque::new(),
@@ -1418,10 +1870,10 @@ impl StoreWriter {
                 }
             })
             .expect("spawn store writer");
-        Ok(StoreWriter {
+        StoreWriter {
             shared,
             worker: Mutex::new(Some(worker)),
-        })
+        }
     }
 
     /// Hand one epoch's world image to the background writer. Blocks only

@@ -1,0 +1,967 @@
+//! The remote second tier of the delta-checkpoint store: sealed-epoch
+//! shipping to object storage.
+//!
+//! A node-local delta chain survives process failures, but the disk it
+//! lives on is itself a single point of failure — and the quarantine path
+//! (`epoch_NNNNNN.bad`) loses state *permanently* when the only copy of a
+//! manifest rots. This module adds redundancy one layer out:
+//!
+//! * [`ObjectTier`] — a minimal put/get/list/delete interface over opaque
+//!   sealed objects, deliberately shaped like an object store (S3-style:
+//!   whole-object writes, no partial updates, keys not paths).
+//! * [`FsTier`] — the in-tree implementation, modelling object storage on
+//!   a filesystem: every `put` lands in a staging file named by a content
+//!   hash and is atomically renamed into place, so a torn local write can
+//!   never be observed as a committed object.
+//! * [`FlakyTier`] — a fault-injecting wrapper for tests: scripted upload
+//!   errors, torn writes (the object lands corrupted while the put
+//!   reports success), and held uploads (a put blocks until the test
+//!   releases it — the "slow tier" that tries to race retention GC).
+//! * `TierRuntime` (crate-internal) — the background shipper thread,
+//!   mirroring `StoreWriter`'s queue/sticky-error design: each locally
+//!   committed epoch is queued, its `blocks.bin` and `manifest.bin` are
+//!   uploaded with read-back CRC verification and exponential-backoff
+//!   retries, and a small checksummed **seal** object is written last.
+//!   An epoch is *durable in the tier* only once its seal is up; the
+//!   store's retention GC never deletes a local epoch that is not.
+//! * [`Scrubber`] — the healing pass over `.bad` quarantine directories:
+//!   re-fetch the epoch from the tier, verify seal CRCs and manifest
+//!   decode, and atomically reinstate the epoch in the local chain.
+//!
+//! The tier stores exactly the vendor-neutral on-disk epoch format, so a
+//! chain hydrated from the tier restores under either MPI engine
+//! bit-identically — the paper's cross-vendor claim extended across the
+//! storage boundary.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::codec::{crc32, fnv1a, CodecError, Reader, Writer};
+use crate::store::{DeltaStore, ScrubReport, StoreError};
+
+/// Magic prefix of a seal object ("TIERSEAL", one byte short).
+const SEAL_MAGIC: u64 = 0x5449_4552_5345_414C;
+/// Seal format version.
+const SEAL_V1: u64 = 1;
+
+/// Why a tier operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TierError {
+    /// An I/O-level failure talking to the tier.
+    Io {
+        /// The operation ("put", "get", "list", "delete").
+        op: &'static str,
+        /// The object key involved.
+        key: String,
+        /// The underlying error, stringified (keeps the error cloneable).
+        msg: String,
+    },
+    /// The requested object does not exist.
+    NotFound {
+        /// The missing key.
+        key: String,
+    },
+    /// An object exists but its content failed verification (length or
+    /// CRC mismatch against its seal, or an undecodable seal/manifest).
+    Corrupt {
+        /// The offending key.
+        key: String,
+        /// What disagreed.
+        detail: String,
+    },
+    /// A key is not a valid tier key (absolute, empty, or escaping).
+    BadKey {
+        /// The rejected key.
+        key: String,
+    },
+}
+
+impl fmt::Display for TierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierError::Io { op, key, msg } => write!(f, "tier {op} {key}: {msg}"),
+            TierError::NotFound { key } => write!(f, "tier object {key} not found"),
+            TierError::Corrupt { key, detail } => write!(f, "tier object {key} corrupt: {detail}"),
+            TierError::BadKey { key } => write!(f, "invalid tier key {key:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TierError {}
+
+/// A second storage tier holding opaque sealed objects.
+///
+/// The interface is deliberately the lowest common denominator of object
+/// stores: whole-object put/get, flat keys with `/` as a naming (not
+/// filesystem) convention, idempotent delete, prefix listing. Everything
+/// the store ships through it is self-verifying (seal CRCs + the
+/// manifest's own checksum trailer), so a tier implementation does not
+/// need read-after-write consistency stronger than "a completed put is
+/// eventually observable".
+pub trait ObjectTier: Send + Sync {
+    /// Store `data` under `key`, replacing any existing object.
+    fn put(&self, key: &str, data: &[u8]) -> Result<(), TierError>;
+    /// Fetch the object at `key`.
+    fn get(&self, key: &str) -> Result<Vec<u8>, TierError>;
+    /// List every key starting with `prefix` (pass `""` for all keys).
+    fn list(&self, prefix: &str) -> Result<Vec<String>, TierError>;
+    /// Delete the object at `key`; deleting a missing object succeeds.
+    fn delete(&self, key: &str) -> Result<(), TierError>;
+}
+
+/// Tunables of the tier shipper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierConfig {
+    /// Attempts per object upload before the shipper error goes sticky
+    /// (each attempt is a put followed by a read-back CRC verification).
+    pub max_attempts: u32,
+    /// Base backoff between attempts; doubles per retry.
+    pub backoff: Duration,
+}
+
+impl Default for TierConfig {
+    fn default() -> TierConfig {
+        TierConfig {
+            max_attempts: 4,
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// What the shipper has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Epochs whose seal is durably in the tier.
+    pub epochs_shipped: u64,
+    /// Bytes uploaded for those epochs (blocks + manifest + seal — only
+    /// the epoch's *new* blocks ship, so this is the dedup-at-tier
+    /// number).
+    pub bytes_shipped: u64,
+    /// Upload attempts beyond the first, across all objects.
+    pub put_retries: u64,
+    /// Epochs abandoned after `max_attempts` (the sticky error).
+    pub ship_failures: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Object keys and the seal record
+// ---------------------------------------------------------------------------
+
+/// Tier keys of one epoch's objects: `(blocks, manifest, seal)`.
+pub(crate) fn epoch_keys(epoch: u64) -> (String, String, String) {
+    (
+        format!("epoch_{epoch:06}/blocks.bin"),
+        format!("epoch_{epoch:06}/manifest.bin"),
+        format!("epoch_{epoch:06}/seal"),
+    )
+}
+
+/// The seal record: written to the tier *after* an epoch's blocks and
+/// manifest, it is the durable commit point of a shipped epoch and
+/// carries the lengths and CRCs that hydration verifies downloads
+/// against. An epoch without a (decodable) seal is treated as never
+/// shipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Seal {
+    pub epoch: u64,
+    pub blocks_len: u64,
+    pub blocks_crc: u32,
+    pub manifest_len: u64,
+    pub manifest_crc: u32,
+}
+
+impl Seal {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(SEAL_MAGIC);
+        w.u64(SEAL_V1);
+        w.u64(self.epoch);
+        w.u64(self.blocks_len);
+        w.u32(self.blocks_crc);
+        w.u64(self.manifest_len);
+        w.u32(self.manifest_crc);
+        w.finish()
+    }
+
+    pub(crate) fn decode(buf: &[u8]) -> Result<Seal, CodecError> {
+        let mut r = Reader::checked(buf)?;
+        r.expect_magic(SEAL_MAGIC)?;
+        let version = r.u64()?;
+        if version != SEAL_V1 {
+            return Err(CodecError::BadMagic {
+                expected: SEAL_V1,
+                found: version,
+            });
+        }
+        Ok(Seal {
+            epoch: r.u64()?,
+            blocks_len: r.u64()?,
+            blocks_crc: r.u32()?,
+            manifest_len: r.u64()?,
+            manifest_crc: r.u32()?,
+        })
+    }
+}
+
+/// Decode every seal in the tier, keyed by epoch. An undecodable seal
+/// counts as "not shipped" (the shipper will re-upload), never as an
+/// error: the seal is the commit record, and a torn commit record means
+/// the commit did not happen. Seals whose recorded epoch disagrees with
+/// their key are skipped the same way.
+pub(crate) fn sealed_seals(tier: &dyn ObjectTier) -> Result<BTreeMap<u64, Seal>, TierError> {
+    let mut sealed = BTreeMap::new();
+    for key in tier.list("epoch_")? {
+        let Some(rest) = key.strip_prefix("epoch_") else {
+            continue;
+        };
+        let Some(digits) = rest.strip_suffix("/seal") else {
+            continue;
+        };
+        if !digits.chars().all(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        let Ok(epoch) = digits.parse::<u64>() else {
+            continue;
+        };
+        match tier.get(&key) {
+            Ok(buf) => {
+                if let Ok(seal) = Seal::decode(&buf) {
+                    if seal.epoch == epoch {
+                        sealed.insert(epoch, seal);
+                    }
+                }
+            }
+            Err(TierError::NotFound { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(sealed)
+}
+
+/// The epochs with a decodable seal in the tier.
+pub(crate) fn sealed_epochs(tier: &dyn ObjectTier) -> Result<BTreeSet<u64>, TierError> {
+    Ok(sealed_seals(tier)?.into_keys().collect())
+}
+
+/// Fetch one sealed epoch, fully verified: the seal decodes, and both
+/// objects match the lengths and CRCs it records. Returns
+/// `(blocks, manifest)` bytes ready to install locally.
+pub(crate) fn fetch_sealed_epoch(
+    tier: &dyn ObjectTier,
+    epoch: u64,
+) -> Result<(Vec<u8>, Vec<u8>), TierError> {
+    let (blocks_key, manifest_key, seal_key) = epoch_keys(epoch);
+    let seal_buf = tier.get(&seal_key)?;
+    let seal = Seal::decode(&seal_buf).map_err(|e| TierError::Corrupt {
+        key: seal_key.clone(),
+        detail: format!("seal does not decode: {e}"),
+    })?;
+    if seal.epoch != epoch {
+        return Err(TierError::Corrupt {
+            key: seal_key,
+            detail: format!("seal names epoch {}, key names {epoch}", seal.epoch),
+        });
+    }
+    let verified = |key: String, want_len: u64, want_crc: u32| -> Result<Vec<u8>, TierError> {
+        let buf = tier.get(&key)?;
+        if buf.len() as u64 != want_len || crc32(&buf) != want_crc {
+            return Err(TierError::Corrupt {
+                key,
+                detail: format!(
+                    "got {} bytes (crc {:08x}), seal says {} bytes (crc {:08x})",
+                    buf.len(),
+                    crc32(&buf),
+                    want_len,
+                    want_crc
+                ),
+            });
+        }
+        Ok(buf)
+    };
+    let blocks = verified(blocks_key, seal.blocks_len, seal.blocks_crc)?;
+    let manifest = verified(manifest_key, seal.manifest_len, seal.manifest_crc)?;
+    Ok((blocks, manifest))
+}
+
+// ---------------------------------------------------------------------------
+// FsTier
+// ---------------------------------------------------------------------------
+
+/// A filesystem directory standing in for an object store.
+///
+/// Writes are atomic the way object stores are: the bytes land in a
+/// staging file under `.inflight/` named by a content hash (content
+/// addressing keeps concurrent writers of identical objects from
+/// clobbering each other's staging), then a single `rename` publishes
+/// the object. Readers can therefore never observe a half-written
+/// object — exactly the property the store's seal protocol assumes.
+pub struct FsTier {
+    root: PathBuf,
+    stage_seq: AtomicU64,
+}
+
+impl FsTier {
+    /// Open (or initialize) a tier rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<FsTier, TierError> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join(".inflight")).map_err(|e| TierError::Io {
+            op: "create",
+            key: root.display().to_string(),
+            msg: e.to_string(),
+        })?;
+        Ok(FsTier {
+            root,
+            stage_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The tier's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn io(op: &'static str, key: &str, e: std::io::Error) -> TierError {
+        TierError::Io {
+            op,
+            key: key.to_string(),
+            msg: e.to_string(),
+        }
+    }
+
+    /// Map an object key to a path under the root, rejecting keys that
+    /// would escape it or collide with the staging area.
+    fn key_path(&self, key: &str) -> Result<PathBuf, TierError> {
+        let bad = || TierError::BadKey {
+            key: key.to_string(),
+        };
+        if key.is_empty() || key.starts_with('/') || key.ends_with('/') || key.contains('\\') {
+            return Err(bad());
+        }
+        for part in key.split('/') {
+            if part.is_empty() || part == "." || part == ".." || part == ".inflight" {
+                return Err(bad());
+            }
+        }
+        Ok(self.root.join(key))
+    }
+
+    fn walk(&self, dir: &Path, rel: &str, out: &mut Vec<String>) -> Result<(), TierError> {
+        let entries = std::fs::read_dir(dir).map_err(|e| Self::io("list", rel, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| Self::io("list", rel, e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if rel.is_empty() && name == ".inflight" {
+                continue;
+            }
+            let child_rel = if rel.is_empty() {
+                name
+            } else {
+                format!("{rel}/{name}")
+            };
+            let path = entry.path();
+            if path.is_dir() {
+                self.walk(&path, &child_rel, out)?;
+            } else {
+                out.push(child_rel);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ObjectTier for FsTier {
+    fn put(&self, key: &str, data: &[u8]) -> Result<(), TierError> {
+        use std::io::Write as _;
+        let path = self.key_path(key)?;
+        // Content-addressed staging name: identical content stages to the
+        // same file, distinct content never collides (a per-handle
+        // sequence number breaks ties between concurrent distinct puts).
+        let stage = self.root.join(".inflight").join(format!(
+            "{:016x}_{}_{}",
+            fnv1a(data),
+            std::process::id(),
+            self.stage_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let mut f = std::fs::File::create(&stage).map_err(|e| Self::io("put", key, e))?;
+            f.write_all(data).map_err(|e| Self::io("put", key, e))?;
+            f.sync_all().map_err(|e| Self::io("put", key, e))?;
+        }
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| Self::io("put", key, e))?;
+        }
+        std::fs::rename(&stage, &path).map_err(|e| Self::io("put", key, e))
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, TierError> {
+        let path = self.key_path(key)?;
+        match std::fs::read(&path) {
+            Ok(buf) => Ok(buf),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(TierError::NotFound {
+                key: key.to_string(),
+            }),
+            Err(e) => Err(Self::io("get", key, e)),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, TierError> {
+        let mut out = Vec::new();
+        self.walk(&self.root.clone(), "", &mut out)?;
+        out.retain(|k| k.starts_with(prefix));
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn delete(&self, key: &str) -> Result<(), TierError> {
+        let path = self.key_path(key)?;
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(Self::io("delete", key, e)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FlakyTier
+// ---------------------------------------------------------------------------
+
+/// A scripted fault applied to one `put` call, in script order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutFault {
+    /// The upload fails outright (an I/O error).
+    Fail,
+    /// The upload *reports success* but the stored object is torn: its
+    /// last byte is dropped (or a lone garbage byte is stored for empty
+    /// objects). Only read-back verification can catch this.
+    Torn,
+    /// The upload blocks until [`FlakyTier::release`] — the slow tier.
+    Hold,
+}
+
+/// A fault-injecting [`ObjectTier`] wrapper for tests.
+///
+/// Faults come from two sources, both applied to `put` calls only (the
+/// read path is exercised by corrupting objects, not the transport):
+/// a FIFO *script* of [`PutFault`]s consumed one per put, and a
+/// *hold-all* switch that blocks every put until [`FlakyTier::release`].
+/// Gets, lists and deletes pass straight through to the inner tier.
+pub struct FlakyTier {
+    inner: Arc<dyn ObjectTier>,
+    state: Mutex<FlakyState>,
+    cv: Condvar,
+}
+
+struct FlakyState {
+    script: VecDeque<PutFault>,
+    hold_all: bool,
+    released: bool,
+    puts: u64,
+    injected: u64,
+}
+
+impl FlakyTier {
+    /// Wrap `inner` with an empty fault script.
+    pub fn new(inner: Arc<dyn ObjectTier>) -> FlakyTier {
+        FlakyTier {
+            inner,
+            state: Mutex::new(FlakyState {
+                script: VecDeque::new(),
+                hold_all: false,
+                released: false,
+                puts: 0,
+                injected: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Append faults to the script; each subsequent `put` consumes one.
+    pub fn script_puts(&self, faults: impl IntoIterator<Item = PutFault>) {
+        self.state.lock().expect("flaky lock").script.extend(faults);
+    }
+
+    /// Make every `put` (script aside) block until [`FlakyTier::release`].
+    pub fn hold_all(&self) {
+        self.state.lock().expect("flaky lock").hold_all = true;
+    }
+
+    /// Release every held `put`, current and future.
+    pub fn release(&self) {
+        let mut st = self.state.lock().expect("flaky lock");
+        st.released = true;
+        st.hold_all = false;
+        self.cv.notify_all();
+    }
+
+    /// Total `put` calls observed.
+    pub fn puts(&self) -> u64 {
+        self.state.lock().expect("flaky lock").puts
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.state.lock().expect("flaky lock").injected
+    }
+}
+
+impl ObjectTier for FlakyTier {
+    fn put(&self, key: &str, data: &[u8]) -> Result<(), TierError> {
+        let fault = {
+            let mut st = self.state.lock().expect("flaky lock");
+            st.puts += 1;
+            let fault = st.script.pop_front().or({
+                if st.hold_all && !st.released {
+                    Some(PutFault::Hold)
+                } else {
+                    None
+                }
+            });
+            if fault.is_some() {
+                st.injected += 1;
+            }
+            fault
+        };
+        match fault {
+            None => self.inner.put(key, data),
+            Some(PutFault::Fail) => Err(TierError::Io {
+                op: "put",
+                key: key.to_string(),
+                msg: "injected upload failure".to_string(),
+            }),
+            Some(PutFault::Torn) => {
+                let torn: &[u8] = if data.is_empty() {
+                    &[0xFF]
+                } else {
+                    &data[..data.len() - 1]
+                };
+                self.inner.put(key, torn)
+            }
+            Some(PutFault::Hold) => {
+                let mut st = self.state.lock().expect("flaky lock");
+                while !st.released {
+                    st = self.cv.wait(st).expect("flaky wait");
+                }
+                drop(st);
+                self.inner.put(key, data)
+            }
+        }
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, TierError> {
+        self.inner.get(key)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, TierError> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, key: &str) -> Result<(), TierError> {
+        self.inner.delete(key)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The background shipper
+// ---------------------------------------------------------------------------
+
+struct ShipState {
+    queue: VecDeque<u64>,
+    in_flight: bool,
+    closed: bool,
+    error: Option<TierError>,
+    durable: BTreeSet<u64>,
+    stats: TierStats,
+}
+
+struct ShipShared {
+    state: Mutex<ShipState>,
+    cv: Condvar,
+}
+
+/// The live tier attachment of a [`DeltaStore`]: the tier handle, its
+/// config, and the background shipper thread that uploads sealed epochs.
+/// Mirrors `StoreWriter`: bounded-latency hand-off (the queue holds only
+/// epoch numbers; bytes are read on the shipper's thread), sticky first
+/// error, drain-and-join on drop.
+pub(crate) struct TierRuntime {
+    pub(crate) tier: Arc<dyn ObjectTier>,
+    shared: Arc<ShipShared>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl TierRuntime {
+    /// Spawn the shipper for the store at `dir`. `durable` preloads the
+    /// epochs already sealed in the tier (from a reconcile listing).
+    pub(crate) fn spawn(
+        tier: Arc<dyn ObjectTier>,
+        config: TierConfig,
+        dir: PathBuf,
+        durable: BTreeSet<u64>,
+    ) -> TierRuntime {
+        let shared = Arc::new(ShipShared {
+            state: Mutex::new(ShipState {
+                queue: VecDeque::new(),
+                in_flight: false,
+                closed: false,
+                error: None,
+                durable,
+                stats: TierStats::default(),
+            }),
+            cv: Condvar::new(),
+        });
+        let worker_shared = shared.clone();
+        let worker_tier = tier.clone();
+        let worker = std::thread::Builder::new()
+            .name("ckpt-tier-shipper".into())
+            .spawn(move || loop {
+                let epoch = {
+                    let mut st = worker_shared.state.lock().expect("shipper lock");
+                    loop {
+                        if st.error.is_some() {
+                            // Sticky: stop shipping. Everything still
+                            // queued stays undurable, which the GC guard
+                            // translates into local retention.
+                            return;
+                        }
+                        if let Some(e) = st.queue.pop_front() {
+                            st.in_flight = true;
+                            break e;
+                        }
+                        if st.closed {
+                            return;
+                        }
+                        st = worker_shared.cv.wait(st).expect("shipper wait");
+                    }
+                };
+                let mut retries = 0u64;
+                let result = ship_epoch(&*worker_tier, config, &dir, epoch, &mut retries);
+                let mut st = worker_shared.state.lock().expect("shipper lock");
+                st.in_flight = false;
+                st.stats.put_retries += retries;
+                match result {
+                    Ok(bytes) => {
+                        st.durable.insert(epoch);
+                        st.stats.epochs_shipped += 1;
+                        st.stats.bytes_shipped += bytes;
+                    }
+                    Err(e) => {
+                        st.stats.ship_failures += 1;
+                        st.error.get_or_insert(e);
+                    }
+                }
+                worker_shared.cv.notify_all();
+            })
+            .expect("spawn tier shipper");
+        TierRuntime {
+            tier,
+            shared,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Queue one committed epoch for upload. Never blocks and never
+    /// fails: after a sticky error the enqueue is dropped (the epoch
+    /// stays undurable and locally retained).
+    pub(crate) fn enqueue(&self, epoch: u64) {
+        let mut st = self.shared.state.lock().expect("shipper lock");
+        if st.closed || st.error.is_some() {
+            return;
+        }
+        st.queue.push_back(epoch);
+        self.shared.cv.notify_all();
+    }
+
+    /// Wait until every queued epoch is durable (or the shipper failed).
+    pub(crate) fn flush(&self) -> Result<(), TierError> {
+        let mut st = self.shared.state.lock().expect("shipper lock");
+        while (!st.queue.is_empty() || st.in_flight) && st.error.is_none() {
+            st = self.shared.cv.wait(st).expect("shipper wait");
+        }
+        match &st.error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Epochs whose seal is durably in the tier.
+    pub(crate) fn durable(&self) -> BTreeSet<u64> {
+        self.shared
+            .state
+            .lock()
+            .expect("shipper lock")
+            .durable
+            .clone()
+    }
+
+    /// Shipping statistics so far.
+    pub(crate) fn stats(&self) -> TierStats {
+        self.shared.state.lock().expect("shipper lock").stats
+    }
+
+    /// The sticky shipper error, if any.
+    pub(crate) fn error(&self) -> Option<TierError> {
+        self.shared
+            .state
+            .lock()
+            .expect("shipper lock")
+            .error
+            .clone()
+    }
+}
+
+impl Drop for TierRuntime {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("shipper lock");
+            st.closed = true;
+            self.shared.cv.notify_all();
+        }
+        if let Some(handle) = self.worker.lock().expect("worker lock").take() {
+            handle.join().expect("tier shipper thread");
+        }
+    }
+}
+
+/// Upload one object with read-back verification and exponential
+/// backoff. A put that "succeeds" but stores bytes whose CRC disagrees
+/// (a torn object) counts as a failed attempt and is re-uploaded.
+fn put_verified(
+    tier: &dyn ObjectTier,
+    config: TierConfig,
+    key: &str,
+    data: &[u8],
+    retries: &mut u64,
+) -> Result<(), TierError> {
+    let want = crc32(data);
+    let mut last = TierError::Io {
+        op: "put",
+        key: key.to_string(),
+        msg: "no attempts made".to_string(),
+    };
+    for attempt in 0..config.max_attempts.max(1) {
+        if attempt > 0 {
+            *retries += 1;
+            std::thread::sleep(config.backoff * (1 << (attempt - 1).min(10)));
+        }
+        if let Err(e) = tier.put(key, data) {
+            last = e;
+            continue;
+        }
+        match tier.get(key) {
+            Ok(back) if back.len() == data.len() && crc32(&back) == want => return Ok(()),
+            Ok(back) => {
+                last = TierError::Corrupt {
+                    key: key.to_string(),
+                    detail: format!(
+                        "read-back verification failed: stored {} bytes, sent {}",
+                        back.len(),
+                        data.len()
+                    ),
+                };
+            }
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+/// Ship one locally committed epoch: blocks, then manifest, then the
+/// seal (the durable commit point). Returns the bytes uploaded.
+fn ship_epoch(
+    tier: &dyn ObjectTier,
+    config: TierConfig,
+    dir: &Path,
+    epoch: u64,
+    retries: &mut u64,
+) -> Result<u64, TierError> {
+    let edir = dir.join(format!("epoch_{epoch:06}"));
+    let read_local = |name: &str| -> Result<Vec<u8>, TierError> {
+        std::fs::read(edir.join(name)).map_err(|e| TierError::Io {
+            op: "read local epoch",
+            key: format!("epoch_{epoch:06}/{name}"),
+            msg: e.to_string(),
+        })
+    };
+    let blocks = read_local("blocks.bin")?;
+    let manifest = read_local("manifest.bin")?;
+    let seal = Seal {
+        epoch,
+        blocks_len: blocks.len() as u64,
+        blocks_crc: crc32(&blocks),
+        manifest_len: manifest.len() as u64,
+        manifest_crc: crc32(&manifest),
+    }
+    .encode();
+    let (blocks_key, manifest_key, seal_key) = epoch_keys(epoch);
+    put_verified(tier, config, &blocks_key, &blocks, retries)?;
+    put_verified(tier, config, &manifest_key, &manifest, retries)?;
+    put_verified(tier, config, &seal_key, &seal, retries)?;
+    Ok((blocks.len() + manifest.len() + seal.len()) as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Scrubber
+// ---------------------------------------------------------------------------
+
+/// The quarantine-healing pass: re-fetch `.bad` epochs from a tier,
+/// verify them (seal CRCs + manifest decode), and reinstate them in the
+/// local chain. A thin handle over [`DeltaStore::scrub`] for stores that
+/// did not attach the tier at open (e.g. forensic repair of a chain that
+/// was opened read-only without tier credentials).
+///
+/// Scrubbing is idempotent: a healthy chain (no `.bad` directories) is a
+/// verified no-op, and a second scrub after a heal finds nothing to do.
+pub struct Scrubber {
+    tier: Arc<dyn ObjectTier>,
+}
+
+impl Scrubber {
+    /// A scrubber reading from `tier`.
+    pub fn new(tier: Arc<dyn ObjectTier>) -> Scrubber {
+        Scrubber { tier }
+    }
+
+    /// Heal `store`'s quarantined epochs from the tier. See
+    /// [`DeltaStore::scrub`] for the exact semantics and the report.
+    pub fn scrub(&self, store: &mut DeltaStore) -> Result<ScrubReport, StoreError> {
+        store.scrub_with(&*self.tier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "stool_tier_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fs_tier_put_get_list_delete_roundtrip() {
+        let root = tmp_dir("rt");
+        let tier = FsTier::open(&root).unwrap();
+        tier.put("epoch_000001/blocks.bin", b"blocks").unwrap();
+        tier.put("epoch_000001/seal", b"seal").unwrap();
+        tier.put("epoch_000002/seal", b"seal2").unwrap();
+        assert_eq!(tier.get("epoch_000001/blocks.bin").unwrap(), b"blocks");
+        assert_eq!(
+            tier.list("").unwrap(),
+            vec![
+                "epoch_000001/blocks.bin",
+                "epoch_000001/seal",
+                "epoch_000002/seal"
+            ]
+        );
+        assert_eq!(
+            tier.list("epoch_000002").unwrap(),
+            vec!["epoch_000002/seal"]
+        );
+        tier.delete("epoch_000001/seal").unwrap();
+        tier.delete("epoch_000001/seal").unwrap(); // idempotent
+        assert!(matches!(
+            tier.get("epoch_000001/seal"),
+            Err(TierError::NotFound { .. })
+        ));
+        // Overwrite replaces.
+        tier.put("epoch_000002/seal", b"replaced").unwrap();
+        assert_eq!(tier.get("epoch_000002/seal").unwrap(), b"replaced");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn fs_tier_rejects_escaping_keys() {
+        let root = tmp_dir("keys");
+        let tier = FsTier::open(&root).unwrap();
+        for bad in ["", "/abs", "a/../b", "..", "a//b", "tail/", ".inflight/x"] {
+            assert!(
+                matches!(tier.put(bad, b"x"), Err(TierError::BadKey { .. })),
+                "accepted {bad:?}"
+            );
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn seal_roundtrips_and_rejects_corruption() {
+        let seal = Seal {
+            epoch: 7,
+            blocks_len: 1234,
+            blocks_crc: 0xDEAD_BEEF,
+            manifest_len: 99,
+            manifest_crc: 0x0BAD_F00D,
+        };
+        let buf = seal.encode();
+        assert_eq!(Seal::decode(&buf).unwrap(), seal);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x10;
+            assert!(Seal::decode(&bad).is_err(), "flip at {i} accepted");
+        }
+        assert!(Seal::decode(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn flaky_tier_scripts_faults_in_order() {
+        let root = tmp_dir("flaky");
+        let tier = FlakyTier::new(Arc::new(FsTier::open(&root).unwrap()));
+        tier.script_puts([PutFault::Fail, PutFault::Torn]);
+        assert!(matches!(tier.put("k", b"data"), Err(TierError::Io { .. })));
+        tier.put("k", b"data").unwrap(); // torn: reports success...
+        assert_eq!(tier.get("k").unwrap(), b"dat"); // ...but stored torn
+        tier.put("k", b"data").unwrap(); // script exhausted: clean
+        assert_eq!(tier.get("k").unwrap(), b"data");
+        assert_eq!(tier.puts(), 3);
+        assert_eq!(tier.injected(), 2);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn flaky_tier_hold_blocks_until_release() {
+        let root = tmp_dir("hold");
+        let tier = Arc::new(FlakyTier::new(Arc::new(FsTier::open(&root).unwrap())));
+        tier.hold_all();
+        let t2 = tier.clone();
+        let handle = std::thread::spawn(move || t2.put("held", b"v"));
+        // The put must not complete while held.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(matches!(tier.get("held"), Err(TierError::NotFound { .. })));
+        tier.release();
+        handle.join().unwrap().unwrap();
+        assert_eq!(tier.get("held").unwrap(), b"v");
+        // After release, future puts pass straight through.
+        tier.put("after", b"w").unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn put_verified_retries_torn_and_failed_uploads() {
+        let root = tmp_dir("verify");
+        let tier = FlakyTier::new(Arc::new(FsTier::open(&root).unwrap()));
+        tier.script_puts([PutFault::Fail, PutFault::Torn]);
+        let cfg = TierConfig {
+            max_attempts: 4,
+            backoff: Duration::from_millis(1),
+        };
+        let mut retries = 0;
+        put_verified(&tier, cfg, "obj", b"payload bytes", &mut retries).unwrap();
+        assert_eq!(retries, 2, "one retry per injected fault");
+        assert_eq!(tier.get("obj").unwrap(), b"payload bytes");
+        // Exhausting the budget surfaces the last error.
+        tier.script_puts(std::iter::repeat_n(PutFault::Fail, 8));
+        let mut retries = 0;
+        assert!(put_verified(&tier, cfg, "obj2", b"x", &mut retries).is_err());
+        assert_eq!(retries, cfg.max_attempts as u64 - 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -551,6 +551,84 @@ fn wave_restarts_from_quarantined_head_chain() {
 }
 
 #[test]
+fn wave_remote_tier_only_restart_under_other_vendor() {
+    // The PR 5 headline: periodic delta checkpoints under MPICH ship to
+    // the remote second tier; the node dies AND takes its local store
+    // directory with it; restart under Open MPI hydrates the chain from
+    // the tier alone and the application state is bit-identical.
+    let solver = WaveMpi {
+        npoints: 900,
+        nsteps: 100,
+        gather_final: true,
+        ..WaveMpi::default()
+    };
+    let expect = reference_memories(&solver, Vendor::Mpich);
+
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("stool-tier-chain-{pid}"));
+    let tier_dir = std::env::temp_dir().join(format!("stool-tier-remote-{pid}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&tier_dir);
+    let store_cfg = StoreConfig {
+        block_size: 256,
+        ..StoreConfig::default()
+    };
+    let out = Session::builder()
+        .cluster(cluster())
+        .vendor(Vendor::Mpich)
+        .checkpointer(Checkpointer::mana())
+        .checkpoint_every(20)
+        .checkpoint_store_with(&dir, store_cfg)
+        .checkpoint_tier(&tier_dir)
+        .inject_node_failure(75, 1)
+        .build()
+        .unwrap()
+        .launch(&solver)
+        .unwrap();
+    assert!(out.is_failed(), "the injected failure must kill the world");
+
+    // The chain shipped: every local epoch is sealed in the tier.
+    {
+        let store = DeltaStore::open_with_tier(
+            &dir,
+            store_cfg,
+            std::sync::Arc::new(mpi_stool::dmtcp::FsTier::open(&tier_dir).unwrap()),
+            mpi_stool::dmtcp::TierConfig::default(),
+        )
+        .unwrap();
+        store.tier_flush().unwrap();
+        let durable = store.tier_durable();
+        assert!(
+            store.epochs().iter().all(|e| durable.contains(e)),
+            "epochs {:?} vs durable {durable:?}",
+            store.epochs()
+        );
+        assert!(durable.len() >= 3, "expected >= 3 shipped epochs");
+    }
+
+    // The storage boundary: the node-local chain is gone entirely.
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Restore under the other vendor, from the remote tier alone.
+    let got = Session::builder()
+        .cluster(cluster())
+        .vendor(Vendor::OpenMpi)
+        .checkpointer(Checkpointer::mana())
+        .checkpoint_store_with(&dir, store_cfg)
+        .checkpoint_tier(&tier_dir)
+        .build()
+        .unwrap()
+        .restore_from_store(&solver)
+        .unwrap()
+        .memories()
+        .unwrap()
+        .to_vec();
+    assert_memories_equal(&expect, &got);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&tier_dir).ok();
+}
+
+#[test]
 fn restore_from_store_under_other_vendor() {
     // The one-call path: a store-backed session restarts its own chain
     // directly, under a different vendor than wrote it.

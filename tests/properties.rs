@@ -290,6 +290,138 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Remote second tier: sealed-epoch round-trips and scrub idempotence
+// ---------------------------------------------------------------------------
+
+use mpi_stool::dmtcp::{FsTier, ObjectTier, Scrubber, TierConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn prop_tier_cfg() -> TierConfig {
+    TierConfig {
+        max_attempts: 3,
+        backoff: Duration::from_millis(1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary chains ship → local store deleted → hydrate from the
+    /// tier alone → the chain head restores bit-identically under the
+    /// tier-attached open.
+    #[test]
+    fn sealed_epochs_roundtrip_through_the_tier(
+        case in any::<u64>(),
+        base in vec((any_segment_name(), vec(any::<u8>(), 0..300)), 1..4),
+        epochs in vec(vec((any_segment_name(), vec(any::<u8>(), 0..300)), 0..3), 1..4),
+        block in prop::sample::select(vec![32usize, 128]),
+        max_chain in 1usize..4,
+    ) {
+        let dir = store_tmp_dir("tier_chain", case);
+        let tier_dir = store_tmp_dir("tier_chain_tier", case.wrapping_add(1));
+        let cfg = StoreConfig {
+            block_size: block,
+            retain_epochs: 64,
+            max_chain,
+            ..StoreConfig::default()
+        };
+        let tier: Arc<dyn ObjectTier> = Arc::new(FsTier::open(&tier_dir).expect("tier"));
+        let mut sections: std::collections::BTreeMap<String, Vec<u8>> =
+            base.iter().cloned().collect();
+        let mut last: Option<WorldImage> = None;
+        {
+            let mut store =
+                DeltaStore::open_with_tier(&dir, cfg, tier.clone(), prop_tier_cfg())
+                    .expect("open");
+            for (i, mutations) in epochs.iter().enumerate() {
+                for (name, data) in mutations {
+                    sections.insert(name.clone(), data.clone());
+                }
+                let image = world_from_sections(i as u64 + 1, 3, &sections);
+                store.commit(&image).expect("commit");
+                last = Some(image);
+            }
+            store.tier_flush().expect("every epoch ships cleanly");
+            prop_assert_eq!(store.tier_durable().len(), epochs.len());
+        }
+        // The node's disk dies: the entire local chain is gone. A
+        // tier-attached open hydrates the head (and the epochs it
+        // references) back and restores bit-identically.
+        std::fs::remove_dir_all(&dir).expect("delete local store");
+        let store = DeltaStore::open_with_tier(&dir, cfg, tier, prop_tier_cfg()).expect("reopen");
+        let got = store.load_latest().expect("hydrated restore");
+        prop_assert_eq!(&got, last.as_ref().expect("at least one epoch"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&tier_dir).ok();
+    }
+
+    /// Scrub idempotence: scrubbing a healthy chain is a no-op, healing
+    /// a quarantined head succeeds exactly once, and a second scrub
+    /// after the heal is again a no-op.
+    #[test]
+    fn scrub_is_idempotent_and_heals_exactly_once(
+        case in any::<u64>(),
+        base in vec((any_segment_name(), vec(any::<u8>(), 1..200)), 1..4),
+        change in vec((any_segment_name(), vec(any::<u8>(), 1..200)), 1..3),
+        flip in any::<usize>(),
+    ) {
+        let dir = store_tmp_dir("tier_scrub", case);
+        let tier_dir = store_tmp_dir("tier_scrub_tier", case.wrapping_add(1));
+        let cfg = StoreConfig {
+            block_size: 64,
+            retain_epochs: 64,
+            ..StoreConfig::default()
+        };
+        let tier: Arc<dyn ObjectTier> = Arc::new(FsTier::open(&tier_dir).expect("tier"));
+        let mut sections: std::collections::BTreeMap<String, Vec<u8>> =
+            base.iter().cloned().collect();
+        let img1 = world_from_sections(1, 2, &sections);
+        let img2 = {
+            for (name, data) in &change {
+                sections.insert(name.clone(), data.clone());
+            }
+            world_from_sections(2, 2, &sections)
+        };
+        {
+            let mut store =
+                DeltaStore::open_with_tier(&dir, cfg, tier.clone(), prop_tier_cfg())
+                    .expect("open");
+            store.commit(&img1).expect("commit 1");
+            store.commit(&img2).expect("commit 2");
+            store.tier_flush().expect("ship");
+
+            // Scrubbing a healthy chain is a verified no-op.
+            let report = store.scrub().expect("healthy scrub");
+            prop_assert!(report.is_noop(), "healthy chain scrub did {report:?}");
+            prop_assert_eq!(report.verified, 2);
+        }
+
+        // Rot the head manifest so a tier-less open quarantines it.
+        let manifest = dir.join("epoch_000002").join("manifest.bin");
+        let mut buf = std::fs::read(&manifest).expect("read manifest");
+        let at = flip % buf.len();
+        buf[at] ^= 0xFF;
+        std::fs::write(&manifest, &buf).expect("write manifest");
+        let mut store = DeltaStore::open_with(&dir, cfg).expect("reopen");
+        prop_assert_eq!(store.quarantined(), &[2]);
+
+        let scrubber = Scrubber::new(tier);
+        let healed = scrubber.scrub(&mut store).expect("heal");
+        prop_assert_eq!(&healed.healed, &vec![2], "exactly one heal: {healed:?}");
+        prop_assert!(store.quarantined().is_empty());
+        prop_assert_eq!(&store.load_epoch(2).expect("healed head"), &img2);
+        prop_assert_eq!(&store.load_epoch(1).expect("base intact"), &img1);
+
+        let again = scrubber.scrub(&mut store).expect("second scrub");
+        prop_assert!(again.is_noop(), "second scrub did {again:?}");
+        prop_assert_eq!(again.verified, 2);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&tier_dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Virtual time
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,450 @@
+//! Fault-injection battery for the delta store's remote second tier:
+//! scripted upload errors, torn objects, and slow tiers racing retention
+//! GC — in every scenario the chain must stay restorable, locally or
+//! from the tier.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mpi_stool::dmtcp::{
+    DeltaStore, FlakyTier, FsTier, ObjectTier, PutFault, RankImage, Scrubber, StoreConfig,
+    StoreError, StoreWriter, TierConfig, TierError, WorldImage,
+};
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "stool_tier_faults_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic pseudorandom bytes (xorshift64*): realistic content
+/// that neither dedups away nor compresses to nothing.
+fn fill_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+        })
+        .collect()
+}
+
+/// A world image whose "static" section is stable per rank and whose
+/// "hot" section follows `fill`.
+fn image(epoch: u64, nranks: usize, fill: u8, static_len: usize) -> WorldImage {
+    let ranks = (0..nranks)
+        .map(|r| {
+            let mut img = RankImage::new(r, nranks, epoch);
+            img.put_section("static", fill_bytes(r as u64 + 1, static_len));
+            img.put_section("hot", fill_bytes((fill as u64) << 8 | r as u64, 700));
+            img
+        })
+        .collect();
+    WorldImage::new("MPICH".to_string(), ranks)
+}
+
+fn small_cfg() -> StoreConfig {
+    StoreConfig {
+        block_size: 128,
+        retain_epochs: 4,
+        max_chain: 4,
+        ..StoreConfig::default()
+    }
+}
+
+/// Fast-retry shipper config for fault tests.
+fn tier_cfg() -> TierConfig {
+    TierConfig {
+        max_attempts: 4,
+        backoff: Duration::from_millis(1),
+    }
+}
+
+#[test]
+fn upload_errors_mid_epoch_are_retried_with_backoff() {
+    let store_dir = tmp_dir("retry_store");
+    let tier_dir = tmp_dir("retry_tier");
+    let flaky = Arc::new(FlakyTier::new(Arc::new(FsTier::open(&tier_dir).unwrap())));
+    // Two failures strike in the middle of the epoch's object sequence
+    // (blocks, manifest, seal): the shipper must retry past both.
+    flaky.script_puts([PutFault::Fail, PutFault::Fail]);
+
+    let mut store =
+        DeltaStore::open_with_tier(&store_dir, small_cfg(), flaky.clone(), tier_cfg()).unwrap();
+    store.commit(&image(1, 2, 0x11, 2000)).unwrap();
+    store.tier_flush().expect("retries must absorb both faults");
+    assert_eq!(store.tier_durable(), vec![1]);
+    let stats = store.tier_stats().unwrap();
+    assert_eq!(stats.epochs_shipped, 1);
+    assert!(stats.put_retries >= 2, "stats: {stats:?}");
+    assert!(stats.bytes_shipped > 0);
+    // Restore still succeeds — locally and from the tier alone.
+    assert_eq!(store.load_latest().unwrap(), image(1, 2, 0x11, 2000));
+    drop(store);
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    let hydrated = DeltaStore::open_with_tier(&store_dir, small_cfg(), flaky, tier_cfg()).unwrap();
+    assert_eq!(hydrated.load_latest().unwrap(), image(1, 2, 0x11, 2000));
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
+
+#[test]
+fn persistent_upload_failure_goes_sticky_but_never_loses_local_state() {
+    let store_dir = tmp_dir("sticky_store");
+    let tier_dir = tmp_dir("sticky_tier");
+    let flaky = Arc::new(FlakyTier::new(Arc::new(FsTier::open(&tier_dir).unwrap())));
+    // More consecutive failures than the attempt budget: the shipper
+    // error goes sticky after max_attempts.
+    flaky.script_puts(std::iter::repeat_n(PutFault::Fail, 32));
+
+    let cfg = StoreConfig {
+        retain_epochs: 1,
+        max_chain: 0, // every epoch a full base: GC would normally keep 1
+        ..small_cfg()
+    };
+    let mut store = DeltaStore::open_with_tier(&store_dir, cfg, flaky, tier_cfg()).unwrap();
+    for e in 1..=5 {
+        store.commit(&image(e, 2, e as u8, 1500)).unwrap();
+    }
+    match store.tier_flush() {
+        Err(StoreError::Tier(TierError::Io { .. })) => {}
+        other => panic!("expected the sticky injected failure, got {other:?}"),
+    }
+    let stats = store.tier_stats().unwrap();
+    assert_eq!(stats.epochs_shipped, 0);
+    assert_eq!(stats.ship_failures, 1, "first epoch failed, then sticky");
+    // Nothing is durable remotely, so the GC guard retained every epoch
+    // a plain store would have collected.
+    assert!(store.tier_durable().is_empty());
+    assert_eq!(store.epochs(), &[1, 2, 3, 4, 5]);
+    // Every epoch still restores from the local chain.
+    for e in 1..=5 {
+        assert_eq!(store.load_epoch(e).unwrap(), image(e, 2, e as u8, 1500));
+    }
+    drop(store);
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
+
+#[test]
+fn torn_object_is_rejected_by_crc_and_reuploaded() {
+    let store_dir = tmp_dir("torn_store");
+    let tier_dir = tmp_dir("torn_tier");
+    let flaky = Arc::new(FlakyTier::new(Arc::new(FsTier::open(&tier_dir).unwrap())));
+    // Every object of the first epoch lands torn once: the put reports
+    // success but the stored bytes are short. Only read-back CRC
+    // verification can catch this; each object must be re-uploaded.
+    flaky.script_puts([PutFault::Torn, PutFault::Torn, PutFault::Torn]);
+
+    let mut store =
+        DeltaStore::open_with_tier(&store_dir, small_cfg(), flaky.clone(), tier_cfg()).unwrap();
+    store.commit(&image(1, 2, 0x33, 2500)).unwrap();
+    store
+        .tier_flush()
+        .expect("torn uploads must be re-uploaded");
+    let stats = store.tier_stats().unwrap();
+    assert!(
+        stats.put_retries >= 3,
+        "one re-upload per torn object: {stats:?}"
+    );
+    assert_eq!(store.tier_durable(), vec![1]);
+    drop(store);
+
+    // The tier copy is bit-perfect: delete the whole local store and
+    // hydrate from the tier alone.
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    let store = DeltaStore::open_with_tier(&store_dir, small_cfg(), flaky, tier_cfg()).unwrap();
+    assert_eq!(store.epochs(), &[1]);
+    assert_eq!(store.load_latest().unwrap(), image(1, 2, 0x33, 2500));
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
+
+#[test]
+fn slow_tier_cannot_race_gc_into_deleting_an_unshipped_epoch() {
+    // The durability-guard regression test: retention is aggressive
+    // (keep 1, all-full-base epochs) but the tier is stalled, so GC must
+    // retain every unshipped epoch; once the tier drains, the next
+    // commit collects them.
+    let store_dir = tmp_dir("gcrace_store");
+    let tier_dir = tmp_dir("gcrace_tier");
+    let flaky = Arc::new(FlakyTier::new(Arc::new(FsTier::open(&tier_dir).unwrap())));
+    flaky.hold_all();
+
+    let cfg = StoreConfig {
+        retain_epochs: 1,
+        max_chain: 0, // every epoch a self-contained full base
+        ..small_cfg()
+    };
+    let mut store = DeltaStore::open_with_tier(&store_dir, cfg, flaky.clone(), tier_cfg()).unwrap();
+    for e in 1..=5 {
+        let s = store.commit(&image(e, 2, e as u8, 1200)).unwrap();
+        assert!(s.full);
+    }
+    // The shipper is wedged inside the held upload: nothing durable,
+    // nothing deletable — retain_epochs=1 notwithstanding.
+    assert!(store.tier_durable().is_empty());
+    assert_eq!(store.epochs(), &[1, 2, 3, 4, 5]);
+    for e in 1..=5 {
+        assert_eq!(store.load_epoch(e).unwrap(), image(e, 2, e as u8, 1200));
+    }
+
+    // Release the tier; once every epoch is durable the next commit's GC
+    // applies the configured retention again.
+    flaky.release();
+    store.tier_flush().unwrap();
+    assert_eq!(store.tier_durable(), vec![1, 2, 3, 4, 5]);
+    store.commit(&image(6, 2, 6, 1200)).unwrap();
+    store.tier_flush().unwrap();
+    assert!(
+        store.epochs().len() <= 2,
+        "durable epochs must be collectable again: {:?}",
+        store.epochs()
+    );
+    assert_eq!(store.load_latest().unwrap(), image(6, 2, 6, 1200));
+    drop(store);
+
+    // And the collected epochs live on in the tier: a remote-only
+    // restore of the newest epoch works.
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    let store = DeltaStore::open_with_tier(&store_dir, cfg, flaky, tier_cfg()).unwrap();
+    assert_eq!(store.load_latest().unwrap(), image(6, 2, 6, 1200));
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
+
+#[test]
+fn scrubber_heals_a_quarantined_chain_head_from_the_tier() {
+    let store_dir = tmp_dir("scrub_store");
+    let tier_dir = tmp_dir("scrub_tier");
+    let tier: Arc<dyn ObjectTier> = Arc::new(FsTier::open(&tier_dir).unwrap());
+    {
+        let mut store =
+            DeltaStore::open_with_tier(&store_dir, small_cfg(), tier.clone(), tier_cfg()).unwrap();
+        for e in 1..=3 {
+            store.commit(&image(e, 2, e as u8, 1800)).unwrap();
+        }
+        store.tier_flush().unwrap();
+    }
+    // Rot the chain head's manifest on disk; a plain (tier-less) open
+    // quarantines it exactly as PR 4 shipped.
+    let head_manifest = store_dir.join("epoch_000003").join("manifest.bin");
+    let mut buf = std::fs::read(&head_manifest).unwrap();
+    let mid = buf.len() / 2;
+    buf[mid] ^= 0xFF;
+    std::fs::write(&head_manifest, &buf).unwrap();
+
+    let mut store = DeltaStore::open_with(&store_dir, small_cfg()).unwrap();
+    assert_eq!(store.quarantined(), &[3]);
+    assert_eq!(store.epochs(), &[1, 2], "fell back to the readable epoch");
+    assert!(store_dir.join("epoch_000003.bad").is_dir());
+
+    // The scrubber re-fetches the epoch from the healthy tier, verifies
+    // it, and heals the chain in place.
+    let report = Scrubber::new(tier.clone()).scrub(&mut store).unwrap();
+    assert_eq!(report.healed, vec![3]);
+    assert!(report.missing.is_empty());
+    assert!(store.quarantined().is_empty(), "quarantine list cleared");
+    assert_eq!(store.epochs(), &[1, 2, 3]);
+    assert!(!store_dir.join("epoch_000003.bad").exists(), ".bad dropped");
+    assert_eq!(store.load_latest().unwrap(), image(3, 2, 3, 1800));
+
+    // Idempotence: a second scrub (and a scrub of a healthy chain) is a
+    // verified no-op.
+    let again = Scrubber::new(tier).scrub(&mut store).unwrap();
+    assert!(
+        again.is_noop(),
+        "second scrub must change nothing: {again:?}"
+    );
+    assert_eq!(again.verified, 3);
+
+    // The healed chain keeps working: the next commit extends it.
+    let s4 = store.commit(&image(4, 2, 4, 1800)).unwrap();
+    assert!(!s4.full, "healed head serves as the delta base");
+    assert_eq!(store.load_latest().unwrap(), image(4, 2, 4, 1800));
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
+
+#[test]
+fn scrub_without_a_tier_copy_leaves_the_quarantine_for_forensics() {
+    let store_dir = tmp_dir("noheal_store");
+    let tier_dir = tmp_dir("noheal_tier");
+    {
+        let mut store = DeltaStore::open_with(&store_dir, small_cfg()).unwrap();
+        for e in 1..=2 {
+            store.commit(&image(e, 2, e as u8, 900)).unwrap();
+        }
+    }
+    let head_manifest = store_dir.join("epoch_000002").join("manifest.bin");
+    std::fs::write(&head_manifest, b"garbage").unwrap();
+    let mut store = DeltaStore::open_with(&store_dir, small_cfg()).unwrap();
+    assert_eq!(store.quarantined(), &[2]);
+
+    // An empty tier has nothing to heal from: the .bad directory stays.
+    let tier: Arc<dyn ObjectTier> = Arc::new(FsTier::open(&tier_dir).unwrap());
+    let report = Scrubber::new(tier).scrub(&mut store).unwrap();
+    assert_eq!(report.missing, vec![2]);
+    assert!(report.healed.is_empty());
+    assert!(
+        store_dir.join("epoch_000002.bad").is_dir(),
+        "kept for forensics"
+    );
+    assert_eq!(store.quarantined(), &[2]);
+    // The fallback chain still restores.
+    assert_eq!(store.load_latest().unwrap(), image(1, 2, 1, 900));
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
+
+#[test]
+fn stale_bad_dir_with_a_healthy_live_epoch_is_cleaned() {
+    // After a quarantine the chain reuses the epoch number (PR 4
+    // behavior), leaving a stale .bad twin behind. Scrub removes it
+    // without touching the healthy live epoch.
+    let store_dir = tmp_dir("clean_store");
+    let tier_dir = tmp_dir("clean_tier");
+    let tier: Arc<dyn ObjectTier> = Arc::new(FsTier::open(&tier_dir).unwrap());
+    {
+        let mut store = DeltaStore::open_with(&store_dir, small_cfg()).unwrap();
+        store.commit(&image(1, 2, 1, 600)).unwrap();
+        store.commit(&image(2, 2, 2, 600)).unwrap();
+    }
+    let head_manifest = store_dir.join("epoch_000002").join("manifest.bin");
+    std::fs::write(&head_manifest, b"garbage").unwrap();
+    {
+        // Quarantine, then recommit epoch 2 with fresh content.
+        let mut store = DeltaStore::open_with(&store_dir, small_cfg()).unwrap();
+        assert_eq!(store.quarantined(), &[2]);
+        let s = store.commit(&image(2, 2, 9, 600)).unwrap();
+        assert_eq!(s.epoch, 2);
+    }
+    assert!(store_dir.join("epoch_000002.bad").is_dir());
+
+    let mut store = DeltaStore::open_with(&store_dir, small_cfg()).unwrap();
+    let report = Scrubber::new(tier).scrub(&mut store).unwrap();
+    assert_eq!(report.cleaned, vec![2]);
+    assert!(report.healed.is_empty() && report.missing.is_empty());
+    assert!(!store_dir.join("epoch_000002.bad").exists());
+    assert_eq!(store.load_latest().unwrap(), image(2, 2, 9, 600));
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
+
+#[test]
+fn missing_base_under_a_current_head_is_hydrated_back() {
+    // Partial disk damage: the chain head survives but its *base* epoch
+    // directory is lost. The tier-attached open must notice the head's
+    // manifest references a missing epoch and pull exactly that epoch
+    // back — the local head being current is no excuse to skip repair.
+    let store_dir = tmp_dir("basegap_store");
+    let tier_dir = tmp_dir("basegap_tier");
+    let tier: Arc<dyn ObjectTier> = Arc::new(FsTier::open(&tier_dir).unwrap());
+    {
+        let mut store =
+            DeltaStore::open_with_tier(&store_dir, small_cfg(), tier.clone(), tier_cfg()).unwrap();
+        store.commit(&image(1, 2, 1, 2000)).unwrap(); // full base
+        store.commit(&image(2, 2, 2, 2000)).unwrap(); // delta on 1
+        store.commit(&image(3, 2, 3, 2000)).unwrap(); // delta on 1
+        store.tier_flush().unwrap();
+    }
+    // The base vanishes; the head (epoch 3) is intact and current.
+    std::fs::remove_dir_all(store_dir.join("epoch_000001")).unwrap();
+    {
+        // Without the tier the chain is broken at restore time.
+        let broken = DeltaStore::open_with(&store_dir, small_cfg()).unwrap();
+        assert!(matches!(
+            broken.load_latest(),
+            Err(StoreError::MissingEpoch { epoch: 1 })
+        ));
+    }
+    let store = DeltaStore::open_with_tier(&store_dir, small_cfg(), tier, tier_cfg()).unwrap();
+    assert!(
+        store_dir.join("epoch_000001").is_dir(),
+        "base hydrated back"
+    );
+    assert_eq!(store.load_latest().unwrap(), image(3, 2, 3, 2000));
+    assert_eq!(store.load_epoch(1).unwrap(), image(1, 2, 1, 2000));
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
+
+#[test]
+fn stale_seal_from_a_quarantined_predecessor_is_reshipped_not_trusted() {
+    // Quarantine + epoch-number reuse: the tier still holds the
+    // quarantined predecessor's content under the reused number. The
+    // reconcile must notice the seal's manifest CRC disagrees with the
+    // local epoch, treat it as NOT durable (GC must not delete the only
+    // copy of the current content), and re-ship — so a remote-only
+    // restore returns the *current* state, never the stale one.
+    let store_dir = tmp_dir("staleseal_store");
+    let tier_dir = tmp_dir("staleseal_tier");
+    let tier: Arc<dyn ObjectTier> = Arc::new(FsTier::open(&tier_dir).unwrap());
+    {
+        let mut store =
+            DeltaStore::open_with_tier(&store_dir, small_cfg(), tier.clone(), tier_cfg()).unwrap();
+        store.commit(&image(1, 2, 1, 1200)).unwrap();
+        store.commit(&image(2, 2, 0xAA, 1200)).unwrap(); // content A ships
+        store.tier_flush().unwrap();
+    }
+    // Epoch 2's local manifest rots; a tier-less open quarantines it and
+    // the next commit reuses number 2 with content B.
+    let manifest = store_dir.join("epoch_000002").join("manifest.bin");
+    std::fs::write(&manifest, b"garbage").unwrap();
+    {
+        let mut store = DeltaStore::open_with(&store_dir, small_cfg()).unwrap();
+        assert_eq!(store.quarantined(), &[2]);
+        let s = store.commit(&image(2, 2, 0xBB, 1200)).unwrap(); // content B
+        assert_eq!(s.epoch, 2);
+    }
+    // Reattach the tier: the stale seal must not count as durable.
+    {
+        let store =
+            DeltaStore::open_with_tier(&store_dir, small_cfg(), tier.clone(), tier_cfg()).unwrap();
+        store.tier_flush().unwrap();
+        assert_eq!(store.tier_durable(), vec![1, 2]);
+        let stats = store.tier_stats().unwrap();
+        assert!(
+            stats.epochs_shipped >= 1,
+            "the mismatched epoch must be re-shipped: {stats:?}"
+        );
+    }
+    // Remote-only restore now returns content B, bit-identically.
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    let store = DeltaStore::open_with_tier(&store_dir, small_cfg(), tier, tier_cfg()).unwrap();
+    assert_eq!(store.load_latest().unwrap(), image(2, 2, 0xBB, 1200));
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
+
+#[test]
+fn background_writer_ships_through_the_tier_end_to_end() {
+    // The full async pipeline: StoreWriter commits in the background,
+    // the shipper uploads behind it, and a remote-only reopen restores.
+    let store_dir = tmp_dir("writer_store");
+    let tier_dir = tmp_dir("writer_tier");
+    let tier: Arc<dyn ObjectTier> = Arc::new(FsTier::open(&tier_dir).unwrap());
+    let writer =
+        StoreWriter::spawn_with_tier(&store_dir, small_cfg(), tier.clone(), tier_cfg()).unwrap();
+    for e in 1..=3 {
+        writer.submit(image(e, 3, e as u8, 1400)).unwrap();
+    }
+    writer.flush().unwrap();
+    let (store, stats) = writer.finish().unwrap();
+    assert_eq!(stats.len(), 3);
+    store.tier_flush().unwrap();
+    assert_eq!(store.tier_durable(), vec![1, 2, 3]);
+    drop(store);
+
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    let store = DeltaStore::open_with_tier(&store_dir, small_cfg(), tier, tier_cfg()).unwrap();
+    assert_eq!(store.load_latest().unwrap(), image(3, 3, 3, 1400));
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
