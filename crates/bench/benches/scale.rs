@@ -22,9 +22,14 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dmtcp_sim::{BarrierTopology, CkptMode, Coordinator, Poll, RankImage};
+use dmtcp_sim::replica::Clock;
+use dmtcp_sim::{
+    BarrierPhase, BarrierTopology, CkptMode, Coordinator, Poll, RankImage, ReplicaConfig,
+    ReplicaFault, ReplicaGroup, TestClock,
+};
 use mpi_abi::{Handle, ReduceOp};
 use simnet::{ClusterSpec, Fabric, Interconnect};
+use std::sync::Arc;
 use stool::{AppCtx, Checkpointer, MpiProgram, Session, StoolResult, Vendor};
 
 /// World sizes for the sweep; ranks per node stays at 64 (16 nodes at the
@@ -206,6 +211,67 @@ fn virt_makespan(nranks: usize, vendor: Vendor, program: &dyn MpiProgram, ckpt: 
 }
 
 // ---------------------------------------------------------------------------
+// Coordinator failover battery (deterministic)
+// ---------------------------------------------------------------------------
+
+/// Run the replicated-coordinator failover battery and return the total
+/// leader takeovers recovered across it: one scenario per barrier phase
+/// (arrive, pre-seal, post-seal, release), each a fresh 3-rank world with
+/// a fresh 3-replica group whose leader is killed at that phase of the
+/// middle round. Every scenario must complete all three rounds with
+/// exactly one election-timeout takeover, so the metric is exactly 4 —
+/// fully deterministic, gated as such.
+fn failover_recovery_rounds() -> u64 {
+    const PHASES: [BarrierPhase; 4] = [
+        BarrierPhase::Arrive,
+        BarrierPhase::PreSeal,
+        BarrierPhase::PostSeal,
+        BarrierPhase::Release,
+    ];
+    let n = 3;
+    let mut recoveries = 0;
+    for phase in PHASES {
+        let coord = Coordinator::new(n);
+        let clock: Arc<dyn Clock> = Arc::new(TestClock::new());
+        let group = Arc::new(ReplicaGroup::in_memory(ReplicaConfig::default(), clock));
+        group.script_faults([ReplicaFault::KillLeaderAt(phase)]);
+        coord.attach_replicas(group.clone());
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let coord = coord.clone();
+                s.spawn(move || {
+                    let mut agent = coord.agent(rank);
+                    let zeros = vec![0u64; n];
+                    let mut step = 0u64;
+                    while step < 40 {
+                        if rank == 0 && [5, 15, 25].contains(&step) {
+                            coord.request_checkpoint(CkptMode::Continue);
+                        }
+                        match agent.poll(step).expect("poll") {
+                            Poll::None | Poll::KeepRunning => step += 1,
+                            Poll::Enter(session) => {
+                                session
+                                    .exchange_counters(&zeros, &zeros)
+                                    .expect("exchange_counters");
+                                session.submit_image(RankImage::new(rank, n, session.epoch()));
+                                session.finish().expect("failover must not poison finish");
+                                step += 1;
+                            }
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        assert_eq!(coord.completed_rounds(), 3, "{phase:?}");
+        let stats = group.stats();
+        assert_eq!(stats.commits, 3, "{phase:?}");
+        recoveries += stats.recoveries;
+    }
+    recoveries
+}
+
+// ---------------------------------------------------------------------------
 // JSON emission
 // ---------------------------------------------------------------------------
 
@@ -214,6 +280,7 @@ struct Measurements {
     p2p: Vec<(usize, &'static str, f64)>,
     allreduce: Vec<(usize, &'static str, f64)>,
     ckpt: Vec<(usize, &'static str, f64)>,
+    failover_recovery_rounds: u64,
 }
 
 fn vendor_rows(json: &mut String, key: &str, rows: &[(usize, &'static str, f64)]) {
@@ -230,6 +297,10 @@ fn vendor_rows(json: &mut String, key: &str, rows: &[(usize, &'static str, f64)]
 fn emit_json(m: &Measurements, stripes: usize) {
     let mut json = String::from("{\n  \"bench\": \"scale\",\n");
     json.push_str(&format!("  \"stripes\": {stripes},\n"));
+    json.push_str(&format!(
+        "  \"failover_recovery_rounds\": {},\n",
+        m.failover_recovery_rounds
+    ));
     json.push_str("  \"rendezvous_wallclock\": [\n");
     for (i, (ranks, flat, tree)) in m.rendezvous.iter().enumerate() {
         json.push_str(&format!(
@@ -259,7 +330,13 @@ fn measure_all() -> Measurements {
         p2p: Vec::new(),
         allreduce: Vec::new(),
         ckpt: Vec::new(),
+        failover_recovery_rounds: 0,
     };
+    m.failover_recovery_rounds = failover_recovery_rounds();
+    println!(
+        "scale/failover battery: {} takeovers recovered",
+        m.failover_recovery_rounds
+    );
     let p2p = RingDrain {
         rounds: 4,
         count: 16,

@@ -449,6 +449,9 @@ pub struct ScaleReport {
     pub allreduce: Vec<ScaleRow>,
     /// Full-stack checkpoint rendezvous virtual makespans.
     pub ckpt_rendezvous: Vec<ScaleRow>,
+    /// Leader takeovers recovered by the coordinator failover battery
+    /// (one scripted kill per barrier phase — fully deterministic).
+    pub failover_recovery_rounds: f64,
 }
 
 fn field<'j>(
@@ -612,6 +615,7 @@ pub fn parse_scale_report(text: &str) -> Result<ScaleReport, GateError> {
         &[
             "bench",
             "stripes",
+            "failover_recovery_rounds",
             "rendezvous_wallclock",
             "p2p_drain",
             "allreduce",
@@ -650,6 +654,10 @@ pub fn parse_scale_report(text: &str) -> Result<ScaleReport, GateError> {
         ckpt_rendezvous: parse_scale_rows(
             field(top, "top level", "ckpt_rendezvous")?,
             "ckpt_rendezvous",
+        )?,
+        failover_recovery_rounds: non_negative(
+            field(top, "top level", "failover_recovery_rounds")?.num("failover_recovery_rounds")?,
+            "failover_recovery_rounds",
         )?,
     })
 }
@@ -795,6 +803,17 @@ fn compare_scale_rows(out: &mut GateOutcome, metric: &str, base: &[ScaleRow], fr
 
 /// Compare a fresh scale report against the committed baseline.
 pub fn compare_scale(out: &mut GateOutcome, base: &ScaleReport, fresh: &ScaleReport) {
+    // The failover battery is deterministic (scripted faults, injected
+    // clock): the takeover count must match the baseline exactly. Fewer
+    // means a phase stopped recovering; more means spurious elections.
+    if fresh.failover_recovery_rounds != base.failover_recovery_rounds {
+        out.regressions.push(format!(
+            "scale/failover_recovery_rounds: {} vs baseline {} (deterministic; must match)",
+            fresh.failover_recovery_rounds, base.failover_recovery_rounds
+        ));
+    } else {
+        out.passed += 1;
+    }
     compare_scale_rows(out, "p2p_drain", &base.p2p_drain, &fresh.p2p_drain);
     compare_scale_rows(out, "allreduce", &base.allreduce, &fresh.allreduce);
     compare_scale_rows(
@@ -1005,7 +1024,7 @@ mod tests {
 
     fn scale_json(virt: f64, max_ranks: u64) -> String {
         format!(
-            "{{\"bench\": \"scale\", \"stripes\": 8, \
+            "{{\"bench\": \"scale\", \"stripes\": 8, \"failover_recovery_rounds\": 4, \
              \"rendezvous_wallclock\": [\
              {{\"ranks\": 64, \"flat_ms\": 1.0, \"tree_ms\": 1.1}}, \
              {{\"ranks\": {max_ranks}, \"flat_ms\": 40.0, \"tree_ms\": 12.0}}], \
@@ -1034,6 +1053,29 @@ mod tests {
         compare_scale(&mut out, &base, &small);
         assert!(!out.ok());
         assert!(out.regressions.iter().any(|r| r.contains(">= 512")));
+    }
+
+    #[test]
+    fn failover_battery_count_gates_exactly() {
+        let base = parse_scale_report(&scale_json(1.0, 1024)).unwrap();
+        // Any drift in the deterministic takeover count trips the gate.
+        for wrong in ["3", "5", "0"] {
+            let drifted = scale_json(1.0, 1024).replace(
+                "\"failover_recovery_rounds\": 4",
+                &format!("\"failover_recovery_rounds\": {wrong}"),
+            );
+            let fresh = parse_scale_report(&drifted).unwrap();
+            let mut out = GateOutcome::default();
+            compare_scale(&mut out, &base, &fresh);
+            assert!(!out.ok(), "count {wrong} must fail the gate");
+            assert!(out
+                .regressions
+                .iter()
+                .any(|r| r.contains("failover_recovery_rounds")));
+        }
+        // A report missing the metric fails the schema outright.
+        let missing = scale_json(1.0, 1024).replace("\"failover_recovery_rounds\": 4, ", "");
+        assert!(parse_scale_report(&missing).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use dmtcp_sim::image::ImageError;
+use dmtcp_sim::replica::ReplicaError;
 use dmtcp_sim::store::StoreError;
 use mpi_abi::AbiError;
 use simnet::SimError;
@@ -26,6 +27,9 @@ pub enum StoolError {
     /// The delta-checkpoint store failed (committing, flushing or
     /// rebuilding an epoch chain).
     Store(StoreError),
+    /// The replicated coordinator could not quorum-commit an epoch
+    /// record (the checkpoint aborted atomically).
+    Replica(ReplicaError),
     /// The application reported an error.
     App(String),
 }
@@ -39,6 +43,7 @@ impl fmt::Display for StoolError {
             StoolError::Restore(m) => write!(f, "restore error: {m}"),
             StoolError::Image(e) => write!(f, "image error: {e}"),
             StoolError::Store(e) => write!(f, "checkpoint store error: {e}"),
+            StoolError::Replica(e) => write!(f, "coordinator replication error: {e}"),
             StoolError::App(m) => write!(f, "application error: {m}"),
         }
     }
@@ -67,6 +72,12 @@ impl From<ImageError> for StoolError {
 impl From<StoreError> for StoolError {
     fn from(e: StoreError) -> Self {
         StoolError::Store(e)
+    }
+}
+
+impl From<ReplicaError> for StoolError {
+    fn from(e: ReplicaError) -> Self {
+        StoolError::Replica(e)
     }
 }
 

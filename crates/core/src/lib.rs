@@ -49,17 +49,21 @@ pub mod session;
 pub mod stack;
 
 pub use dmtcp_sim::memory::Memory;
+pub use dmtcp_sim::{
+    BarrierPhase, ReplicaConfig, ReplicaError, ReplicaFault, ReplicaGroup, ReplicaRecord,
+    ReplicaStats,
+};
 pub use dmtcp_sim::{BarrierTopology, CkptMode, ImageError, WorldImage};
 pub use dmtcp_sim::{Compression, DeltaStore, EpochStats, ManifestFormat, StoreConfig, StoreError};
 pub use dmtcp_sim::{
-    FlakyTier, FsTier, ObjectTier, PutFault, ScrubReport, Scrubber, TierConfig, TierError,
-    TierStats,
+    FlakyTier, FsTier, GetFault, MemTier, ObjectTier, PutFault, ScrubReport, Scrubber, TierConfig,
+    TierError, TierStats,
 };
 pub use error::{StoolError, StoolResult};
 pub use mana_sim::ManaConfig;
 pub use muk::{MukOverhead, Vendor};
 pub use program::{AppCtx, Flow, MpiProgram};
 pub use session::{
-    Checkpointer, CkptPolicy, FaultPlan, Recovery, ResilienceReport, RunOutcome, Session,
-    SessionBuilder, StorePolicy, TierPolicy,
+    Checkpointer, CkptPolicy, FaultPlan, Recovery, ReplicaPolicy, ResilienceReport, RunOutcome,
+    Session, SessionBuilder, StorePolicy, TierPolicy,
 };

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use dmtcp_sim::coordinator::{BarrierTopology, CkptMode, Coordinator};
 use dmtcp_sim::image::WorldImage;
 use dmtcp_sim::memory::Memory;
+use dmtcp_sim::replica::{Clock, ReplicaConfig, ReplicaFault, ReplicaGroup, SystemClock};
 use dmtcp_sim::store::{DeltaStore, StoreConfig, StoreError, StoreWriter};
 use dmtcp_sim::tier::{FsTier, ObjectTier, TierConfig};
 use mana_sim::ckpt::restore_rank;
@@ -112,6 +113,44 @@ pub struct TierPolicy {
     pub config: TierConfig,
 }
 
+/// Replicated-coordinator configuration: a quorum group of 3+ coordinator
+/// replicas whose `ObjectTier`-backed logs must accept every epoch record
+/// before the coordinator releases the rendezvous barrier. With this
+/// attached, the coordinator/store-writer process stops being a single
+/// point of failure: a leader replica killed at any barrier phase is
+/// replaced within the election timeout and the round either commits on
+/// quorum or aborts atomically (see `dmtcp_sim::replica`).
+#[derive(Debug, Clone)]
+pub struct ReplicaPolicy {
+    /// Root directory; each replica's log lives in `replica_NN/` below it.
+    pub dir: PathBuf,
+    /// Group size (must be ≥ 3; quorum is a majority).
+    pub replicas: usize,
+    /// Election timeout: how long a dead leader goes unnoticed before a
+    /// follower takes over.
+    pub election_timeout: std::time::Duration,
+    /// Retry/backoff tunables for the replica log puts and gets.
+    pub log: TierConfig,
+    /// Scripted replica faults for failover tests (consumed in order as
+    /// the leader passes barrier phases).
+    pub faults: Vec<ReplicaFault>,
+}
+
+impl ReplicaPolicy {
+    /// Default policy rooted at `dir`: 3 replicas, the
+    /// [`ReplicaConfig`] default election timeout, no scripted faults.
+    pub fn new(dir: impl Into<PathBuf>) -> ReplicaPolicy {
+        let defaults = ReplicaConfig::default();
+        ReplicaPolicy {
+            dir: dir.into(),
+            replicas: defaults.replicas,
+            election_timeout: defaults.election_timeout,
+            log: defaults.log,
+            faults: Vec::new(),
+        }
+    }
+}
+
 /// A deterministic injected failure: the job is killed when the application
 /// reaches the given safe-point step (the paper's motivating scenarios:
 /// node crash, allocation timeout, cluster shutdown).
@@ -147,6 +186,9 @@ pub struct SessionConfig {
     pub policy: CkptPolicy,
     /// Asynchronous delta-checkpoint store, if attached.
     pub store: Option<StorePolicy>,
+    /// Replicated coordinator, if attached: epoch records are
+    /// quorum-committed to the replica logs before any round completes.
+    pub replicas: Option<ReplicaPolicy>,
     /// Injected failure, if any (fault-tolerance experiments).
     pub fault: Option<FaultPlan>,
     /// Canonical rank-ordered reductions through the shim (bitwise
@@ -179,6 +221,7 @@ impl Default for SessionBuilder {
                 checkpointer: Checkpointer::None,
                 policy: CkptPolicy::default(),
                 store: None,
+                replicas: None,
                 fault: None,
                 deterministic_reductions: false,
                 rank_stack_bytes: None,
@@ -291,6 +334,25 @@ impl SessionBuilder {
         self
     }
 
+    /// Replicate the checkpoint coordinator (default policy: 3 replicas,
+    /// logs under `dir/replica_NN/`): every epoch record is
+    /// quorum-committed to the replica logs before the coordinator
+    /// releases the rendezvous barrier, so a killed coordinator leader no
+    /// longer poisons the world — a follower takes over within the
+    /// election timeout and the round commits on quorum or aborts
+    /// atomically. Requires the MANA checkpointer.
+    pub fn replicated_coordinator(self, dir: impl Into<PathBuf>) -> Self {
+        self.replicated_coordinator_with(ReplicaPolicy::new(dir))
+    }
+
+    /// Like [`SessionBuilder::replicated_coordinator`], with an explicit
+    /// [`ReplicaPolicy`] (group size, election timeout, log retry
+    /// tunables, scripted faults for failover tests).
+    pub fn replicated_coordinator_with(mut self, policy: ReplicaPolicy) -> Self {
+        self.config.replicas = Some(policy);
+        self
+    }
+
     /// Override the per-rank thread stack size. Without this the world
     /// auto-bounds stacks once it reaches 128 ranks (see
     /// [`simnet::RunPlan::auto`]) so 512–1024-rank worlds spin up without
@@ -348,6 +410,20 @@ impl SessionBuilder {
             return Err(StoolError::Config(
                 "a checkpoint store requires a checkpointing package".into(),
             ));
+        }
+        if let Some(replicas) = &c.replicas {
+            if matches!(c.checkpointer, Checkpointer::None) {
+                return Err(StoolError::Config(
+                    "a replicated coordinator requires a checkpointing package".into(),
+                ));
+            }
+            if replicas.replicas < 3 {
+                return Err(StoolError::Config(format!(
+                    "a replica group needs at least 3 replicas to survive one failure \
+                     (got {})",
+                    replicas.replicas
+                )));
+            }
         }
         if c.deterministic_reductions && !c.use_muk {
             return Err(StoolError::Config(
@@ -571,6 +647,28 @@ impl Session {
             }
             Checkpointer::None => None,
         };
+        // With a replicated coordinator, every epoch record must reach a
+        // quorum of the replicas' durable logs before any round becomes
+        // observable; the scripted faults drive the failover battery.
+        if let (Some(policy), Some(coord)) = (&self.config.replicas, &coordinator) {
+            let config = ReplicaConfig {
+                replicas: policy.replicas,
+                election_timeout: policy.election_timeout,
+                log: policy.log,
+            };
+            let logs: Vec<Arc<dyn ObjectTier>> = (0..policy.replicas)
+                .map(|i| {
+                    let dir = policy.dir.join(format!("replica_{i:02}"));
+                    FsTier::open(&dir)
+                        .map(|t| Arc::new(t) as Arc<dyn ObjectTier>)
+                        .map_err(|e| StoolError::Replica(e.into()))
+                })
+                .collect::<StoolResult<_>>()?;
+            let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+            let group = ReplicaGroup::new(config, clock, logs).map_err(StoolError::Replica)?;
+            group.script_faults(policy.faults.clone());
+            coord.attach_replicas(Arc::new(group));
+        }
         // With a store attached, the background writer pool takes
         // ownership of each completed epoch at the rendezvous barrier and
         // persists it as a delta chain while the ranks run on.

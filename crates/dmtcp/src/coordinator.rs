@@ -60,6 +60,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::image::{ImageError, RankImage, WorldImage};
+use crate::replica::{BarrierPhase, ReplicaError, ReplicaGroup, ReplicaRecord};
 
 /// A consumer of completed world images, attached to the coordinator with
 /// [`Coordinator::attach_sink`]. The paradigm case is the asynchronous
@@ -111,6 +112,11 @@ pub enum CkptError {
     /// failed to accept a completed epoch; every participant of the round
     /// observes the same error so the world unwinds consistently.
     Image(ImageError),
+    /// The attached replica group could not commit the epoch record to a
+    /// quorum: the round aborted atomically (the staged epoch was
+    /// discarded, nothing became durable anywhere) and every participant
+    /// observes the same error.
+    Replica(ReplicaError),
 }
 
 impl std::fmt::Display for CkptError {
@@ -129,6 +135,7 @@ impl std::fmt::Display for CkptError {
                 )
             }
             CkptError::Image(e) => write!(f, "checkpoint image sink failed: {e}"),
+            CkptError::Replica(e) => write!(f, "replica quorum commit failed: {e}"),
         }
     }
 }
@@ -138,6 +145,12 @@ impl std::error::Error for CkptError {}
 impl From<ImageError> for CkptError {
     fn from(e: ImageError) -> CkptError {
         CkptError::Image(e)
+    }
+}
+
+impl From<ReplicaError> for CkptError {
+    fn from(e: ReplicaError) -> CkptError {
+        CkptError::Replica(e)
     }
 }
 
@@ -462,6 +475,13 @@ struct Shared {
     /// First sink failure; latched so every participant of the failing
     /// round (and any later round) unwinds with the same error.
     sink_error: Mutex<Option<ImageError>>,
+    /// Attached coordinator replica group, if any. When present, every
+    /// completed round's epoch record must reach a quorum of replica logs
+    /// before the leader bumps `completed_epoch` or releases the barrier.
+    replicas: Mutex<Option<Arc<ReplicaGroup>>>,
+    /// First quorum-commit failure; latched like `sink_error` so every
+    /// participant of the aborted round unwinds with the same error.
+    replica_error: Mutex<Option<ReplicaError>>,
 }
 
 /// Coordinator handle (cheap to clone; shared across threads).
@@ -501,6 +521,8 @@ impl Coordinator {
                 completed_rounds: AtomicU64::new(0),
                 sink: Mutex::new(None),
                 sink_error: Mutex::new(None),
+                replicas: Mutex::new(None),
+                replica_error: Mutex::new(None),
             }),
         }
     }
@@ -513,6 +535,21 @@ impl Coordinator {
     /// so that ranks resume while the write proceeds.
     pub fn attach_sink(&self, sink: Arc<dyn ImageSink>, vendor_hint: &str) {
         *self.shared.sink.lock().expect("sink lock") = Some((sink, vendor_hint.to_string()));
+    }
+
+    /// Attach a [`ReplicaGroup`]: from now on every round's epoch record
+    /// is quorum-committed to the replica logs *before* the round's epoch
+    /// becomes observable or its image reaches the sink. If the quorum is
+    /// unreachable the round aborts atomically — the staged images are
+    /// discarded and every participant unwinds with
+    /// [`CkptError::Replica`].
+    pub fn attach_replicas(&self, group: Arc<ReplicaGroup>) {
+        *self.shared.replicas.lock().expect("replicas lock") = Some(group);
+    }
+
+    /// The attached replica group, if any.
+    pub fn replicas(&self) -> Option<Arc<ReplicaGroup>> {
+        self.shared.replicas.lock().expect("replicas lock").clone()
     }
 
     /// World size this coordinator serves.
@@ -753,6 +790,7 @@ impl RankAgent {
         self.resigned = true;
         let mut round = self.shared.round.lock().expect("round lock");
         round.finished += 1;
+        let mut mid_round_death = false;
         match round.phase {
             Phase::Gather => {
                 if std::env::var_os("CKPT_TRACE").is_some() {
@@ -764,6 +802,7 @@ impl RankAgent {
                 round.phase = Phase::Aborted {
                     epoch: self.shared.requested_epoch.load(Ordering::SeqCst),
                 };
+                mid_round_death = true;
             }
             Phase::Rendezvous { .. } => {
                 if round.entered > 0 {
@@ -778,8 +817,24 @@ impl RankAgent {
                         epoch: self.shared.requested_epoch.load(Ordering::SeqCst),
                     };
                 }
+                mid_round_death = true;
             }
             Phase::Idle | Phase::Aborted { .. } => {}
+        }
+        drop(round);
+        if mid_round_death {
+            // A rank dying mid-round is a membership change the replicated
+            // log should remember. Best-effort: the round is already
+            // aborted/poisoned either way, and a failed membership commit
+            // must not mask the primary failure the world is unwinding
+            // from.
+            let replicas = self.shared.replicas.lock().expect("replicas lock").clone();
+            if let Some(group) = replicas {
+                let _ = group.commit(ReplicaRecord::Membership {
+                    rank: self.rank as u64,
+                    alive: false,
+                });
+            }
         }
     }
 }
@@ -852,6 +907,42 @@ impl CkptSession<'_> {
             // counter matrices; clearing any earlier races peers still
             // computing their drain deficits.
             shared.counters.clear();
+            // Every participant of the previous round observed its verdict
+            // before this round's rendezvous could form, so an aborted
+            // round's latched error is stale by now: a fresh round starts
+            // with a clean one. (`sink_error`, by contrast, is terminal.)
+            *shared.replica_error.lock().expect("replica error lock") = None;
+            // Quorum-commit the epoch record before anything about this
+            // round becomes observable. The scripted fault hooks model a
+            // coordinator leader dying at each barrier phase; the commit
+            // itself rides out leader death via election and retry, and
+            // only an unreachable quorum aborts the round.
+            let replicas = shared.replicas.lock().expect("replicas lock").clone();
+            let mut commit_ok = true;
+            if let Some(group) = &replicas {
+                group.notify_phase(BarrierPhase::Arrive);
+                let vendor = shared
+                    .sink
+                    .lock()
+                    .expect("sink lock")
+                    .as_ref()
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default();
+                let record = ReplicaRecord::EpochSeal {
+                    epoch: self.epoch,
+                    cut: self.cut,
+                    stop: self.mode == CkptMode::Stop,
+                    vendor,
+                };
+                group.notify_phase(BarrierPhase::PreSeal);
+                match group.commit(record) {
+                    Ok(_) => group.notify_phase(BarrierPhase::PostSeal),
+                    Err(e) => {
+                        *shared.replica_error.lock().expect("replica error lock") = Some(e);
+                        commit_ok = false;
+                    }
+                }
+            }
             // All participants are parked between the two barriers, and
             // every participant's own requests happened before it entered:
             // reading the request counter here absorbs every request this
@@ -861,23 +952,51 @@ impl CkptSession<'_> {
             round.phase = Phase::Idle;
             round.pos.fill(None);
             round.entered = 0;
-            shared.completed_epoch.store(self.epoch, Ordering::SeqCst);
-            shared.completed_rounds.fetch_add(1, Ordering::SeqCst);
+            if commit_ok {
+                shared.completed_epoch.store(self.epoch, Ordering::SeqCst);
+                shared.completed_rounds.fetch_add(1, Ordering::SeqCst);
+            }
             drop(round);
-            // Hand the completed epoch to the attached sink (the async
-            // store). Every rank has submitted its image before reaching
-            // the barrier above, so the staging area is complete; the sink
-            // takes ownership and the ranks resume while I/O proceeds.
-            let sink = shared.sink.lock().expect("sink lock").clone();
-            if let Some((sink, vendor_hint)) = sink {
-                if let Some(ranks) = shared.images.take_all_if_complete() {
-                    if let Err(e) = sink.submit(WorldImage::new(vendor_hint, ranks)) {
-                        *shared.sink_error.lock().expect("sink error lock") = Some(e);
+            if commit_ok {
+                // Hand the completed epoch to the attached sink (the async
+                // store). Every rank has submitted its image before reaching
+                // the barrier above, so the staging area is complete; the sink
+                // takes ownership and the ranks resume while I/O proceeds.
+                let sink = shared.sink.lock().expect("sink lock").clone();
+                if let Some((sink, vendor_hint)) = sink {
+                    if let Some(ranks) = shared.images.take_all_if_complete() {
+                        if let Err(e) = sink.submit(WorldImage::new(vendor_hint, ranks)) {
+                            *shared.sink_error.lock().expect("sink error lock") = Some(e);
+                        }
                     }
                 }
+            } else {
+                // Atomic abort: the quorum never accepted this epoch, so
+                // nothing of it may survive — drop the staged images and
+                // leave completed_epoch untouched. Restart replays only
+                // quorum-committed state.
+                shared.images.clear();
+            }
+            if let Some(group) = &replicas {
+                group.notify_phase(BarrierPhase::Release);
             }
         }
         shared.sync.wait(self.agent.rank)?;
+        if let Some(e) = shared
+            .replica_error
+            .lock()
+            .expect("replica error lock")
+            .clone()
+        {
+            // The round aborted atomically: no epoch bump, no sink submit,
+            // no staged images. Every participant unwinds with one error —
+            // but the round itself is over and its request consumed, so
+            // the agent must not re-enter it on the next poll. (A later
+            // round can commit once the quorum is restored.)
+            self.agent.seen_epoch = shared.round.lock().expect("round lock").consumed_epoch;
+            self.agent.in_protocol = false;
+            return Err(CkptError::Replica(e));
+        }
         if let Some(e) = shared.sink_error.lock().expect("sink error lock").clone() {
             // Observed by every participant after the final barrier: the
             // checkpoint was taken but could not be persisted, and the
@@ -897,7 +1016,7 @@ mod tests {
     /// Drive one rank's side of the protocol: poll at increasing steps
     /// from `start` until a session opens, run it, and return
     /// (cut, mode, steps_polled).
-    fn run_to_checkpoint(
+    pub(super) fn run_to_checkpoint(
         agent: &mut RankAgent,
         start: u64,
         sent: &[u64],
@@ -1439,5 +1558,76 @@ mod tests {
             1,
             "one round serves all four requests"
         );
+    }
+}
+
+#[cfg(test)]
+/// The replica-group attachment, in isolation from the session layer:
+/// `finish()` quorum-commits an epoch record per round and the barrier
+/// protocol is unchanged by the extra leader work.
+mod replica_tests {
+    use super::*;
+    use crate::replica::{ReplicaConfig, ReplicaGroup, TestClock};
+
+    #[test]
+    fn finish_with_replicas_attached_completes() {
+        let n = 3;
+        let coord = Coordinator::new(n);
+        let group = Arc::new(ReplicaGroup::in_memory(
+            ReplicaConfig::default(),
+            Arc::new(TestClock::new()),
+        ));
+        coord.attach_replicas(group.clone());
+        coord.request_checkpoint(CkptMode::Continue);
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let coord = coord.clone();
+                s.spawn(move || {
+                    let mut agent = coord.agent(rank);
+                    let zeros = vec![0u64; n];
+                    super::tests::run_to_checkpoint(&mut agent, 0, &zeros, &zeros);
+                });
+            }
+        });
+        assert_eq!(coord.completed_rounds(), 1);
+        assert_eq!(group.stats().commits, 1);
+    }
+
+    #[test]
+    fn three_pressed_rounds_with_replicas_complete() {
+        let n = 3;
+        let coord = Coordinator::new(n);
+        let group = Arc::new(ReplicaGroup::in_memory(
+            ReplicaConfig::default(),
+            Arc::new(TestClock::new()),
+        ));
+        coord.attach_replicas(group.clone());
+        std::thread::scope(|s| {
+            for rank in 0..n {
+                let coord = coord.clone();
+                s.spawn(move || {
+                    let mut agent = coord.agent(rank);
+                    let zeros = vec![0u64; n];
+                    let mut step = 0u64;
+                    while step < 40 {
+                        if rank == 0 && (step == 5 || step == 15 || step == 25) {
+                            coord.request_checkpoint(CkptMode::Continue);
+                        }
+                        match agent.poll(step).expect("poll") {
+                            Poll::None | Poll::KeepRunning => step += 1,
+                            Poll::Enter(session) => {
+                                session.exchange_counters(&zeros, &zeros).expect("exchange");
+                                session.submit_image(RankImage::new(rank, n, session.epoch()));
+                                session.finish().expect("finish");
+                                step += 1;
+                            }
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        assert_eq!(coord.completed_rounds(), 3);
+        assert_eq!(group.stats().commits, 3);
     }
 }

@@ -22,7 +22,12 @@
 //!   image collection;
 //! * [`store`] — the asynchronous delta-checkpoint store: epoch chains of
 //!   content-hashed blocks with per-block CRC32, atomic commits and
-//!   retention GC.
+//!   retention GC;
+//! * [`replica`] — coordinator replication: a [`replica::ReplicaGroup`]
+//!   quorum-commits every epoch record (single-decree Paxos per log slot)
+//!   to `ObjectTier`-backed logs before the coordinator releases the final
+//!   barrier, with timeout-driven leader failover so a dead coordinator
+//!   leader poisons nothing.
 //!
 //! In the DMTCP analogy, the [`store`] plays the role of the checkpoint
 //! *image sink* behind the coordinator: where stock DMTCP has every
@@ -47,6 +52,7 @@ pub mod codec;
 pub mod coordinator;
 pub mod image;
 pub mod memory;
+pub mod replica;
 pub mod store;
 pub mod tier;
 
@@ -56,10 +62,15 @@ pub use coordinator::{
 };
 pub use image::{ImageError, RankImage, WorldImage};
 pub use memory::Memory;
+pub use replica::{
+    BarrierPhase, Clock, LivenessTimer, ReplicaConfig, ReplicaError, ReplicaFault, ReplicaGroup,
+    ReplicaRecord, ReplicaStats, SystemClock, TestClock,
+};
 pub use store::{
     Compression, DeltaStore, EpochStats, ManifestFormat, ScrubReport, StoreConfig, StoreError,
     StoreWriter,
 };
 pub use tier::{
-    FlakyTier, FsTier, ObjectTier, PutFault, Scrubber, TierConfig, TierError, TierStats,
+    FlakyTier, FsTier, GetFault, MemTier, ObjectTier, PutFault, Scrubber, TierConfig, TierError,
+    TierStats,
 };

@@ -954,7 +954,7 @@ impl DeltaStore {
         tier: Arc<dyn ObjectTier>,
         config: TierConfig,
     ) -> Result<Vec<u64>, StoreError> {
-        let seals = crate::tier::sealed_seals(&*tier)?;
+        let seals = crate::tier::sealed_seals(&*tier, config)?;
         let mut durable: BTreeSet<u64> = BTreeSet::new();
         for (&epoch, seal) in &seals {
             let manifest_path = self.epoch_dir(epoch).join("manifest.bin");
@@ -974,7 +974,7 @@ impl DeltaStore {
         let sealed: BTreeSet<u64> = seals.keys().copied().collect();
         let runtime = TierRuntime::spawn(tier.clone(), config, self.dir.clone(), durable.clone());
         self.tier = Some(runtime);
-        let hydrated = self.hydrate_with(&*tier, &sealed)?;
+        let hydrated = self.hydrate_with(&*tier, config, &sealed)?;
         let runtime = self.tier.as_ref().expect("tier just attached");
         for &e in &self.epochs {
             if !durable.contains(&e) {
@@ -1072,8 +1072,9 @@ impl DeltaStore {
     pub fn hydrate_from_tier(&mut self) -> Result<Vec<u64>, StoreError> {
         let runtime = self.tier.as_ref().ok_or(StoreError::NoTier)?;
         let tier = runtime.tier.clone();
-        let sealed = sealed_epochs(&*tier)?;
-        self.hydrate_with(&*tier, &sealed)
+        let config = runtime.config;
+        let sealed = sealed_epochs(&*tier, config)?;
+        self.hydrate_with(&*tier, config, &sealed)
     }
 
     /// [`DeltaStore::hydrate_from_tier`] against an explicit tier handle
@@ -1081,6 +1082,7 @@ impl DeltaStore {
     fn hydrate_with(
         &mut self,
         tier: &dyn ObjectTier,
+        config: TierConfig,
         sealed: &BTreeSet<u64>,
     ) -> Result<Vec<u64>, StoreError> {
         let tier_head = sealed.last().copied();
@@ -1098,7 +1100,7 @@ impl DeltaStore {
         let manifest_buf = if self.epoch_dir(target).is_dir() {
             Self::read_file(&self.epoch_dir(target).join("manifest.bin"))?
         } else {
-            let pair = fetch_sealed_epoch(tier, target)?;
+            let pair = fetch_sealed_epoch(tier, config, target)?;
             let buf = pair.1.clone();
             fetched_target = Some(pair);
             buf
@@ -1134,7 +1136,7 @@ impl DeltaStore {
                 Some(pair) if epoch == target => pair,
                 other => {
                     fetched_target = other;
-                    fetch_sealed_epoch(tier, epoch)?
+                    fetch_sealed_epoch(tier, config, epoch)?
                 }
             };
             self.install_epoch(epoch, &blocks, &manifest)?;
@@ -1166,14 +1168,20 @@ impl DeltaStore {
     /// same way. Scrubbing is idempotent: a healthy chain is a verified
     /// no-op, and a second pass after a heal finds nothing to do.
     pub fn scrub(&mut self) -> Result<ScrubReport, StoreError> {
-        let tier = self.tier.as_ref().ok_or(StoreError::NoTier)?.tier.clone();
-        self.scrub_with(&*tier)
+        let runtime = self.tier.as_ref().ok_or(StoreError::NoTier)?;
+        let tier = runtime.tier.clone();
+        let config = runtime.config;
+        self.scrub_with(&*tier, config)
     }
 
     /// The scrub pass against an explicit tier handle (what
     /// [`crate::tier::Scrubber`] calls; [`DeltaStore::scrub`] uses the
     /// attached tier).
-    pub(crate) fn scrub_with(&mut self, tier: &dyn ObjectTier) -> Result<ScrubReport, StoreError> {
+    pub(crate) fn scrub_with(
+        &mut self,
+        tier: &dyn ObjectTier,
+        config: TierConfig,
+    ) -> Result<ScrubReport, StoreError> {
         let mut report = ScrubReport::default();
         // Candidates: every .bad directory on disk (durable evidence of
         // past quarantines) plus this handle's own quarantine list.
@@ -1197,7 +1205,7 @@ impl DeltaStore {
         }
         // One tier sweep serves the whole pass (quarantine healing and
         // live-chain repair both consult it).
-        let sealed = sealed_epochs(tier)?;
+        let sealed = sealed_epochs(tier, config)?;
         for &epoch in &candidates {
             let live_ok = self.epoch_dir(epoch).is_dir() && self.read_manifest(epoch).is_ok();
             if live_ok {
@@ -1209,7 +1217,7 @@ impl DeltaStore {
                 report.missing.push(epoch);
                 continue;
             }
-            match fetch_sealed_epoch(tier, epoch) {
+            match fetch_sealed_epoch(tier, config, epoch) {
                 Ok((blocks, manifest_buf)) => {
                     // Verify the manifest decodes before trusting the
                     // tier copy over the quarantined one.
@@ -1237,7 +1245,7 @@ impl DeltaStore {
                         report.missing.push(epoch);
                         continue;
                     }
-                    match fetch_sealed_epoch(tier, epoch) {
+                    match fetch_sealed_epoch(tier, config, epoch) {
                         Ok((blocks, manifest_buf)) if Manifest::decode(&manifest_buf).is_ok() => {
                             self.install_epoch(epoch, &blocks, &manifest_buf)?;
                             report.healed.push(epoch);

@@ -78,6 +78,14 @@ pub enum TierError {
         /// The rejected key.
         key: String,
     },
+    /// Retrying the operation exceeded the configured wall-clock
+    /// deadline ([`TierConfig::deadline`]) before it could succeed.
+    Timeout {
+        /// The operation ("put", "get").
+        op: &'static str,
+        /// The object key involved.
+        key: String,
+    },
 }
 
 impl fmt::Display for TierError {
@@ -87,6 +95,9 @@ impl fmt::Display for TierError {
             TierError::NotFound { key } => write!(f, "tier object {key} not found"),
             TierError::Corrupt { key, detail } => write!(f, "tier object {key} corrupt: {detail}"),
             TierError::BadKey { key } => write!(f, "invalid tier key {key:?}"),
+            TierError::Timeout { op, key } => {
+                write!(f, "tier {op} {key}: retry deadline exceeded")
+            }
         }
     }
 }
@@ -121,6 +132,16 @@ pub struct TierConfig {
     pub max_attempts: u32,
     /// Base backoff between attempts; doubles per retry.
     pub backoff: Duration,
+    /// Jitter applied to every backoff step, in permille of the step
+    /// (`250` = each sleep is the step ± up to 25%). Derived
+    /// deterministically from the key and attempt number, so retries are
+    /// de-synchronized across objects without making tests flaky.
+    pub jitter_permille: u32,
+    /// Cap on the total retry wall-clock per object: once the next sleep
+    /// would cross the deadline, the retry loop surfaces
+    /// [`TierError::Timeout`] instead of waiting on. `None` = retries are
+    /// bounded only by `max_attempts`.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for TierConfig {
@@ -128,6 +149,8 @@ impl Default for TierConfig {
         TierConfig {
             max_attempts: 4,
             backoff: Duration::from_millis(10),
+            jitter_permille: 250,
+            deadline: None,
         }
     }
 }
@@ -212,7 +235,10 @@ impl Seal {
 /// error: the seal is the commit record, and a torn commit record means
 /// the commit did not happen. Seals whose recorded epoch disagrees with
 /// their key are skipped the same way.
-pub(crate) fn sealed_seals(tier: &dyn ObjectTier) -> Result<BTreeMap<u64, Seal>, TierError> {
+pub(crate) fn sealed_seals(
+    tier: &dyn ObjectTier,
+    config: TierConfig,
+) -> Result<BTreeMap<u64, Seal>, TierError> {
     let mut sealed = BTreeMap::new();
     for key in tier.list("epoch_")? {
         let Some(rest) = key.strip_prefix("epoch_") else {
@@ -227,7 +253,7 @@ pub(crate) fn sealed_seals(tier: &dyn ObjectTier) -> Result<BTreeMap<u64, Seal>,
         let Ok(epoch) = digits.parse::<u64>() else {
             continue;
         };
-        match tier.get(&key) {
+        match get_retried(tier, config, &key) {
             Ok(buf) => {
                 if let Ok(seal) = Seal::decode(&buf) {
                     if seal.epoch == epoch {
@@ -243,19 +269,25 @@ pub(crate) fn sealed_seals(tier: &dyn ObjectTier) -> Result<BTreeMap<u64, Seal>,
 }
 
 /// The epochs with a decodable seal in the tier.
-pub(crate) fn sealed_epochs(tier: &dyn ObjectTier) -> Result<BTreeSet<u64>, TierError> {
-    Ok(sealed_seals(tier)?.into_keys().collect())
+pub(crate) fn sealed_epochs(
+    tier: &dyn ObjectTier,
+    config: TierConfig,
+) -> Result<BTreeSet<u64>, TierError> {
+    Ok(sealed_seals(tier, config)?.into_keys().collect())
 }
 
 /// Fetch one sealed epoch, fully verified: the seal decodes, and both
 /// objects match the lengths and CRCs it records. Returns
-/// `(blocks, manifest)` bytes ready to install locally.
+/// `(blocks, manifest)` bytes ready to install locally. Downloads go
+/// through the retrying get path, so transient tier faults heal and a
+/// configured deadline bounds the wait.
 pub(crate) fn fetch_sealed_epoch(
     tier: &dyn ObjectTier,
+    config: TierConfig,
     epoch: u64,
 ) -> Result<(Vec<u8>, Vec<u8>), TierError> {
     let (blocks_key, manifest_key, seal_key) = epoch_keys(epoch);
-    let seal_buf = tier.get(&seal_key)?;
+    let seal_buf = get_retried(tier, config, &seal_key)?;
     let seal = Seal::decode(&seal_buf).map_err(|e| TierError::Corrupt {
         key: seal_key.clone(),
         detail: format!("seal does not decode: {e}"),
@@ -267,7 +299,7 @@ pub(crate) fn fetch_sealed_epoch(
         });
     }
     let verified = |key: String, want_len: u64, want_crc: u32| -> Result<Vec<u8>, TierError> {
-        let buf = tier.get(&key)?;
+        let buf = get_retried(tier, config, &key)?;
         if buf.len() as u64 != want_len || crc32(&buf) != want_crc {
             return Err(TierError::Corrupt {
                 key,
@@ -443,13 +475,28 @@ pub enum PutFault {
     Hold,
 }
 
+/// A scripted fault applied to one `get` call, in script order.
+/// Mirrors [`PutFault`] so download/hydration/log-replay retry paths are
+/// fault-injectable, not just uploads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GetFault {
+    /// The download fails outright (an I/O error).
+    Fail,
+    /// The download *reports success* but returns torn bytes: the last
+    /// byte is dropped (or a lone garbage byte for empty objects). Only
+    /// checksum verification downstream can catch this.
+    Torn,
+    /// The download blocks until [`FlakyTier::release`] — the slow tier.
+    Hold,
+}
+
 /// A fault-injecting [`ObjectTier`] wrapper for tests.
 ///
-/// Faults come from two sources, both applied to `put` calls only (the
-/// read path is exercised by corrupting objects, not the transport):
-/// a FIFO *script* of [`PutFault`]s consumed one per put, and a
-/// *hold-all* switch that blocks every put until [`FlakyTier::release`].
-/// Gets, lists and deletes pass straight through to the inner tier.
+/// Faults come from three sources: a FIFO *script* of [`PutFault`]s
+/// consumed one per put, a FIFO script of [`GetFault`]s consumed one per
+/// get, and a *hold-all* switch that blocks every put until
+/// [`FlakyTier::release`]. Lists and deletes pass straight through to
+/// the inner tier.
 pub struct FlakyTier {
     inner: Arc<dyn ObjectTier>,
     state: Mutex<FlakyState>,
@@ -458,9 +505,11 @@ pub struct FlakyTier {
 
 struct FlakyState {
     script: VecDeque<PutFault>,
+    get_script: VecDeque<GetFault>,
     hold_all: bool,
     released: bool,
     puts: u64,
+    gets: u64,
     injected: u64,
 }
 
@@ -471,9 +520,11 @@ impl FlakyTier {
             inner,
             state: Mutex::new(FlakyState {
                 script: VecDeque::new(),
+                get_script: VecDeque::new(),
                 hold_all: false,
                 released: false,
                 puts: 0,
+                gets: 0,
                 injected: 0,
             }),
             cv: Condvar::new(),
@@ -483,6 +534,16 @@ impl FlakyTier {
     /// Append faults to the script; each subsequent `put` consumes one.
     pub fn script_puts(&self, faults: impl IntoIterator<Item = PutFault>) {
         self.state.lock().expect("flaky lock").script.extend(faults);
+    }
+
+    /// Append faults to the get script; each subsequent `get` consumes
+    /// one.
+    pub fn script_gets(&self, faults: impl IntoIterator<Item = GetFault>) {
+        self.state
+            .lock()
+            .expect("flaky lock")
+            .get_script
+            .extend(faults);
     }
 
     /// Make every `put` (script aside) block until [`FlakyTier::release`].
@@ -501,6 +562,11 @@ impl FlakyTier {
     /// Total `put` calls observed.
     pub fn puts(&self) -> u64 {
         self.state.lock().expect("flaky lock").puts
+    }
+
+    /// Total `get` calls observed.
+    pub fn gets(&self) -> u64 {
+        self.state.lock().expect("flaky lock").gets
     }
 
     /// Faults injected so far.
@@ -553,7 +619,40 @@ impl ObjectTier for FlakyTier {
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>, TierError> {
-        self.inner.get(key)
+        let fault = {
+            let mut st = self.state.lock().expect("flaky lock");
+            st.gets += 1;
+            let fault = st.get_script.pop_front();
+            if fault.is_some() {
+                st.injected += 1;
+            }
+            fault
+        };
+        match fault {
+            None => self.inner.get(key),
+            Some(GetFault::Fail) => Err(TierError::Io {
+                op: "get",
+                key: key.to_string(),
+                msg: "injected download failure".to_string(),
+            }),
+            Some(GetFault::Torn) => {
+                let mut data = self.inner.get(key)?;
+                if data.is_empty() {
+                    data.push(0xFF);
+                } else {
+                    data.pop();
+                }
+                Ok(data)
+            }
+            Some(GetFault::Hold) => {
+                let mut st = self.state.lock().expect("flaky lock");
+                while !st.released {
+                    st = self.cv.wait(st).expect("flaky wait");
+                }
+                drop(st);
+                self.inner.get(key)
+            }
+        }
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>, TierError> {
@@ -562,6 +661,79 @@ impl ObjectTier for FlakyTier {
 
     fn delete(&self, key: &str) -> Result<(), TierError> {
         self.inner.delete(key)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemTier
+// ---------------------------------------------------------------------------
+
+/// An in-memory [`ObjectTier`]: a mutex-guarded map standing in for
+/// object storage in tests and benches (the replica logs use it where a
+/// filesystem directory would add noise without coverage).
+#[derive(Default)]
+pub struct MemTier {
+    objects: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemTier {
+    /// An empty tier.
+    pub fn new() -> MemTier {
+        MemTier::default()
+    }
+}
+
+fn check_key(key: &str) -> Result<(), TierError> {
+    let bad = key.is_empty()
+        || key.starts_with('/')
+        || key
+            .split('/')
+            .any(|c| c.is_empty() || c == "." || c == "..");
+    if bad {
+        return Err(TierError::BadKey {
+            key: key.to_string(),
+        });
+    }
+    Ok(())
+}
+
+impl ObjectTier for MemTier {
+    fn put(&self, key: &str, data: &[u8]) -> Result<(), TierError> {
+        check_key(key)?;
+        self.objects
+            .lock()
+            .expect("mem tier lock")
+            .insert(key.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, TierError> {
+        check_key(key)?;
+        self.objects
+            .lock()
+            .expect("mem tier lock")
+            .get(key)
+            .cloned()
+            .ok_or_else(|| TierError::NotFound {
+                key: key.to_string(),
+            })
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, TierError> {
+        Ok(self
+            .objects
+            .lock()
+            .expect("mem tier lock")
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect())
+    }
+
+    fn delete(&self, key: &str) -> Result<(), TierError> {
+        check_key(key)?;
+        self.objects.lock().expect("mem tier lock").remove(key);
+        Ok(())
     }
 }
 
@@ -590,6 +762,7 @@ struct ShipShared {
 /// error, drain-and-join on drop.
 pub(crate) struct TierRuntime {
     pub(crate) tier: Arc<dyn ObjectTier>,
+    pub(crate) config: TierConfig,
     shared: Arc<ShipShared>,
     worker: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
@@ -659,6 +832,7 @@ impl TierRuntime {
             .expect("spawn tier shipper");
         TierRuntime {
             tier,
+            config,
             shared,
             worker: Mutex::new(Some(worker)),
         }
@@ -727,16 +901,64 @@ impl Drop for TierRuntime {
     }
 }
 
-/// Upload one object with read-back verification and exponential
-/// backoff. A put that "succeeds" but stores bytes whose CRC disagrees
-/// (a torn object) counts as a failed attempt and is re-uploaded.
-fn put_verified(
+/// The sleep before retry `attempt` (1-based): exponential backoff with
+/// deterministic jitter. The jitter offset is hashed from the key and
+/// attempt number, so concurrent retries on different objects
+/// de-synchronize while every test run sleeps identically.
+fn backoff_step(config: TierConfig, key: &str, attempt: u32) -> Duration {
+    let step = config.backoff * (1 << (attempt - 1).min(10));
+    let jitter = config.jitter_permille.min(1000) as u128;
+    if jitter == 0 || step.is_zero() {
+        return step;
+    }
+    let span = step.as_nanos() * jitter / 1000;
+    if span == 0 {
+        return step;
+    }
+    let h = crate::codec::fnv1a_seeded(attempt as u64, key.as_bytes()) as u128;
+    let offset = h % (2 * span + 1); // 0 ..= 2*span
+    let nanos = step.as_nanos() + offset - span; // step ± span
+    Duration::from_nanos(nanos.min(u64::MAX as u128) as u64)
+}
+
+/// Sleep before retry `attempt`, honoring the deadline: if the sleep
+/// would cross [`TierConfig::deadline`] (measured from `start`), surface
+/// [`TierError::Timeout`] instead of waiting on.
+fn backoff_or_timeout(
+    config: TierConfig,
+    start: std::time::Instant,
+    op: &'static str,
+    key: &str,
+    attempt: u32,
+    retries: &mut u64,
+) -> Result<(), TierError> {
+    let sleep = backoff_step(config, key, attempt);
+    if let Some(deadline) = config.deadline {
+        if start.elapsed() + sleep > deadline {
+            return Err(TierError::Timeout {
+                op,
+                key: key.to_string(),
+            });
+        }
+    }
+    *retries += 1;
+    std::thread::sleep(sleep);
+    Ok(())
+}
+
+/// Upload one object with read-back verification and jittered
+/// exponential backoff. A put that "succeeds" but stores bytes whose CRC
+/// disagrees (a torn object) counts as a failed attempt and is
+/// re-uploaded. A configured deadline bounds the total retry wall-clock
+/// ([`TierError::Timeout`]).
+pub(crate) fn put_verified(
     tier: &dyn ObjectTier,
     config: TierConfig,
     key: &str,
     data: &[u8],
     retries: &mut u64,
 ) -> Result<(), TierError> {
+    let start = std::time::Instant::now();
     let want = crc32(data);
     let mut last = TierError::Io {
         op: "put",
@@ -745,8 +967,7 @@ fn put_verified(
     };
     for attempt in 0..config.max_attempts.max(1) {
         if attempt > 0 {
-            *retries += 1;
-            std::thread::sleep(config.backoff * (1 << (attempt - 1).min(10)));
+            backoff_or_timeout(config, start, "put", key, attempt, retries)?;
         }
         if let Err(e) = tier.put(key, data) {
             last = e;
@@ -763,6 +984,38 @@ fn put_verified(
                         data.len()
                     ),
                 };
+            }
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+/// Download one object with the same jittered-backoff retry policy as
+/// [`put_verified`]: transient I/O failures retry, a missing object does
+/// not (absence is an answer, not a fault), and a configured deadline
+/// bounds the total wait. Hydration and the replica-log replay read
+/// through this, so [`GetFault`] scripts exercise their retry paths.
+pub(crate) fn get_retried(
+    tier: &dyn ObjectTier,
+    config: TierConfig,
+    key: &str,
+) -> Result<Vec<u8>, TierError> {
+    let start = std::time::Instant::now();
+    let mut retries = 0u64;
+    let mut last = TierError::Io {
+        op: "get",
+        key: key.to_string(),
+        msg: "no attempts made".to_string(),
+    };
+    for attempt in 0..config.max_attempts.max(1) {
+        if attempt > 0 {
+            backoff_or_timeout(config, start, "get", key, attempt, &mut retries)?;
+        }
+        match tier.get(key) {
+            Ok(buf) => return Ok(buf),
+            Err(e @ TierError::NotFound { .. }) | Err(e @ TierError::BadKey { .. }) => {
+                return Err(e)
             }
             Err(e) => last = e,
         }
@@ -818,18 +1071,25 @@ fn ship_epoch(
 /// verified no-op, and a second scrub after a heal finds nothing to do.
 pub struct Scrubber {
     tier: Arc<dyn ObjectTier>,
+    config: TierConfig,
 }
 
 impl Scrubber {
-    /// A scrubber reading from `tier`.
+    /// A scrubber reading from `tier` with the default retry policy.
     pub fn new(tier: Arc<dyn ObjectTier>) -> Scrubber {
-        Scrubber { tier }
+        Scrubber::with_config(tier, TierConfig::default())
+    }
+
+    /// A scrubber with an explicit retry/backoff/deadline policy for its
+    /// downloads.
+    pub fn with_config(tier: Arc<dyn ObjectTier>, config: TierConfig) -> Scrubber {
+        Scrubber { tier, config }
     }
 
     /// Heal `store`'s quarantined epochs from the tier. See
     /// [`DeltaStore::scrub`] for the exact semantics and the report.
     pub fn scrub(&self, store: &mut DeltaStore) -> Result<ScrubReport, StoreError> {
-        store.scrub_with(&*self.tier)
+        store.scrub_with(&*self.tier, self.config)
     }
 }
 
@@ -952,6 +1212,7 @@ mod tests {
         let cfg = TierConfig {
             max_attempts: 4,
             backoff: Duration::from_millis(1),
+            ..TierConfig::default()
         };
         let mut retries = 0;
         put_verified(&tier, cfg, "obj", b"payload bytes", &mut retries).unwrap();
@@ -963,5 +1224,86 @@ mod tests {
         assert!(put_verified(&tier, cfg, "obj2", b"x", &mut retries).is_err());
         assert_eq!(retries, cfg.max_attempts as u64 - 1);
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn flaky_tier_scripts_get_faults_in_order() {
+        let tier = FlakyTier::new(Arc::new(MemTier::new()));
+        tier.put("k", b"data").unwrap();
+        tier.script_gets([GetFault::Fail, GetFault::Torn]);
+        assert!(matches!(tier.get("k"), Err(TierError::Io { .. })));
+        assert_eq!(tier.get("k").unwrap(), b"dat"); // torn: last byte gone
+        assert_eq!(tier.get("k").unwrap(), b"data"); // script exhausted
+        assert_eq!(tier.gets(), 3);
+        assert_eq!(tier.injected(), 2);
+    }
+
+    #[test]
+    fn get_retried_rides_out_scripted_failures() {
+        let tier = FlakyTier::new(Arc::new(MemTier::new()));
+        tier.put("k", b"payload").unwrap();
+        tier.script_gets([GetFault::Fail, GetFault::Fail]);
+        let cfg = TierConfig {
+            max_attempts: 4,
+            backoff: Duration::from_millis(1),
+            ..TierConfig::default()
+        };
+        assert_eq!(get_retried(&tier, cfg, "k").unwrap(), b"payload");
+        // Absence is an answer, not a fault: no retry budget is spent.
+        assert!(matches!(
+            get_retried(&tier, cfg, "missing"),
+            Err(TierError::NotFound { .. })
+        ));
+        assert_eq!(tier.gets(), 4, "three for `k`, one for `missing`");
+    }
+
+    #[test]
+    fn get_retried_surfaces_timeout_at_the_deadline() {
+        let tier = FlakyTier::new(Arc::new(MemTier::new()));
+        tier.put("k", b"payload").unwrap();
+        tier.script_gets(std::iter::repeat_n(GetFault::Fail, 16));
+        let cfg = TierConfig {
+            max_attempts: 16,
+            backoff: Duration::from_millis(50),
+            deadline: Some(Duration::from_millis(5)),
+            ..TierConfig::default()
+        };
+        // The first backoff sleep alone would cross the deadline: the
+        // retry loop surfaces Timeout instead of waiting it out.
+        assert!(matches!(
+            get_retried(&tier, cfg, "k"),
+            Err(TierError::Timeout { op: "get", .. })
+        ));
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let cfg = TierConfig {
+            backoff: Duration::from_millis(100),
+            jitter_permille: 250,
+            ..TierConfig::default()
+        };
+        for attempt in 1..=4u32 {
+            let step = cfg.backoff * (1 << (attempt - 1));
+            let lo = step - step.mul_f64(0.25);
+            let hi = step + step.mul_f64(0.25);
+            let a = backoff_step(cfg, "epoch_000001/blocks.bin", attempt);
+            let b = backoff_step(cfg, "epoch_000001/blocks.bin", attempt);
+            assert_eq!(a, b, "same key+attempt sleeps identically");
+            assert!(
+                a >= lo && a <= hi,
+                "attempt {attempt}: {a:?} not in [{lo:?}, {hi:?}]"
+            );
+        }
+        // Different keys de-synchronize; zero jitter is exact.
+        assert_ne!(
+            backoff_step(cfg, "epoch_000001/blocks.bin", 1),
+            backoff_step(cfg, "epoch_000002/blocks.bin", 1),
+        );
+        let plain = TierConfig {
+            jitter_permille: 0,
+            ..cfg
+        };
+        assert_eq!(backoff_step(plain, "k", 3), plain.backoff * 4);
     }
 }

@@ -301,6 +301,7 @@ fn prop_tier_cfg() -> TierConfig {
     TierConfig {
         max_attempts: 3,
         backoff: Duration::from_millis(1),
+        ..TierConfig::default()
     }
 }
 
@@ -794,6 +795,113 @@ proptest! {
                 prop_assert!(m.seq > prev, "seq must be strictly increasing");
             }
             last_seq = Some(m.seq);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replicated coordinator
+// ---------------------------------------------------------------------------
+
+mod replica_props {
+    use super::*;
+    use mpi_stool::dmtcp::replica::Clock;
+    use mpi_stool::dmtcp::{ReplicaConfig, ReplicaGroup, ReplicaRecord, TestClock};
+
+    pub fn any_record() -> impl Strategy<Value = ReplicaRecord> {
+        prop_oneof![
+            (any::<u64>(), any::<u64>(), any::<bool>(), ".{0,24}").prop_map(
+                |(epoch, cut, stop, vendor)| ReplicaRecord::EpochSeal {
+                    epoch,
+                    cut,
+                    stop,
+                    vendor,
+                }
+            ),
+            (any::<u64>(), any::<bool>())
+                .prop_map(|(rank, alive)| ReplicaRecord::Membership { rank, alive }),
+            (any::<u64>(), ".{0,24}")
+                .prop_map(|(epoch, reason)| ReplicaRecord::Abort { epoch, reason }),
+        ]
+    }
+
+    pub fn group(replicas: usize) -> ReplicaGroup {
+        let clock: Arc<dyn Clock> = Arc::new(TestClock::new());
+        ReplicaGroup::in_memory(
+            ReplicaConfig {
+                replicas,
+                log: prop_tier_cfg(),
+                ..ReplicaConfig::default()
+            },
+            clock,
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every epoch record survives its log-entry encoding bit-exactly.
+    #[test]
+    fn replica_records_roundtrip(record in replica_props::any_record()) {
+        use mpi_stool::dmtcp::ReplicaRecord;
+        let buf = record.encode();
+        prop_assert_eq!(ReplicaRecord::decode(&buf).expect("decode"), record);
+    }
+
+    /// The record encoding is checksummed: any single-byte corruption or
+    /// truncation is rejected, never mis-decoded.
+    #[test]
+    fn replica_records_reject_corruption(
+        record in replica_props::any_record(),
+        flip in any::<usize>(),
+        bit in 0u8..8,
+        cut in any::<usize>(),
+    ) {
+        use mpi_stool::dmtcp::ReplicaRecord;
+        let buf = record.encode();
+        let mut bad = buf.clone();
+        let at = flip % bad.len();
+        bad[at] ^= 1 << bit;
+        prop_assert!(
+            ReplicaRecord::decode(&bad).is_err(),
+            "flip at byte {} bit {} accepted", at, bit
+        );
+        prop_assert!(ReplicaRecord::decode(&buf[..cut % buf.len()]).is_err());
+    }
+
+    /// Any kill/revive schedule that keeps a quorum alive never blocks a
+    /// commit, and the quorum log replays every committed record once, in
+    /// slot order.
+    #[test]
+    fn minority_kill_schedules_never_lose_commits(
+        replicas in prop::sample::select(vec![3usize, 5]),
+        schedule in vec((any::<u8>(), any::<bool>()), 1..12),
+        records in vec(replica_props::any_record(), 1..6),
+    ) {
+        let group = replica_props::group(replicas);
+        let quorum = group.quorum();
+        let mut expect = Vec::new();
+        for (next, (pick, kill)) in schedule.into_iter().enumerate() {
+            let id = pick as usize % replicas;
+            if kill {
+                // Only kill while it leaves a quorum standing.
+                if group.live() > quorum {
+                    group.kill(id);
+                }
+            } else {
+                group.revive(id);
+            }
+            let record = records[next % records.len()].clone();
+            let slot = group.commit(record.clone()).expect("quorum alive");
+            prop_assert_eq!(slot, expect.len() as u64);
+            expect.push(record);
+        }
+        let committed = group.committed().expect("replay");
+        prop_assert_eq!(committed.len(), expect.len());
+        for (i, (slot, record)) in committed.iter().enumerate() {
+            prop_assert_eq!(*slot, i as u64);
+            prop_assert_eq!(record, &expect[i]);
         }
     }
 }

@@ -1,0 +1,427 @@
+//! The coordinator failover battery (ISSUE 6 acceptance): with a
+//! 3-replica group attached, killing the leader replica at any scripted
+//! barrier phase — arrive, pre-seal, post-seal, release — never poisons
+//! surviving ranks. A new leader takes over within the election timeout,
+//! the checkpoint either commits on quorum or aborts atomically, and a
+//! restart from the delta store after a failover is bit-identical under
+//! both vendors.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mpi_stool::apps::WaveMpi;
+use mpi_stool::dmtcp::replica::Clock;
+use mpi_stool::dmtcp::{
+    BarrierPhase, CkptError, CkptMode, Coordinator, FsTier, ObjectTier, Poll, RankImage,
+    ReplicaConfig, ReplicaError, ReplicaFault, ReplicaGroup, ReplicaRecord, TestClock, TierConfig,
+};
+use mpi_stool::stool::{Checkpointer, ReplicaPolicy, Session, Vendor};
+
+const PHASES: [BarrierPhase; 4] = [
+    BarrierPhase::Arrive,
+    BarrierPhase::PreSeal,
+    BarrierPhase::PostSeal,
+    BarrierPhase::Release,
+];
+
+/// Drive `n` long-lived rank agents through `steps` safe points with rank
+/// 0 pressing the checkpoint button at each step in `presses`. Returns
+/// every `finish()` result, round by round per rank.
+fn drive_rounds(
+    coord: &Coordinator,
+    n: usize,
+    steps: u64,
+    presses: &[u64],
+) -> Vec<Result<CkptMode, CkptError>> {
+    let results = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for rank in 0..n {
+            let coord = coord.clone();
+            let results = &results;
+            s.spawn(move || {
+                let mut agent = coord.agent(rank);
+                let zeros = vec![0u64; n];
+                let mut step = 0u64;
+                while step < steps {
+                    if rank == 0 && presses.contains(&step) {
+                        coord.request_checkpoint(CkptMode::Continue);
+                    }
+                    match agent.poll(step).expect("poll") {
+                        Poll::None | Poll::KeepRunning => step += 1,
+                        Poll::Enter(session) => {
+                            session.exchange_counters(&zeros, &zeros).expect("exchange");
+                            session.submit_image(RankImage::new(rank, n, session.epoch()));
+                            // Finish *before* taking the results lock: the
+                            // final barrier parks this thread until every
+                            // rank arrives.
+                            let outcome = session.finish();
+                            results.lock().unwrap().push(outcome);
+                            step += 1;
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    results.into_inner().unwrap()
+}
+
+fn group3(clock: Arc<dyn Clock>) -> ReplicaGroup {
+    ReplicaGroup::in_memory(
+        ReplicaConfig {
+            log: TierConfig {
+                backoff: Duration::from_millis(1),
+                ..TierConfig::default()
+            },
+            ..ReplicaConfig::default()
+        },
+        clock,
+    )
+}
+
+/// Tentpole acceptance, coordinator level: one scenario per barrier
+/// phase. A priming round elects the leader, the scripted fault kills it
+/// at the named phase of the next round, and a trailing round proves the
+/// group recovered. Every rank's every `finish()` succeeds — nothing is
+/// poisoned — and each scenario records exactly one takeover.
+#[test]
+fn leader_killed_at_every_phase_never_poisons_survivors() {
+    for phase in PHASES {
+        let n = 3;
+        let coord = Coordinator::new(n);
+        let clock = Arc::new(TestClock::new());
+        let group = Arc::new(group3(clock.clone()));
+        group.script_faults([ReplicaFault::KillLeaderAt(phase)]);
+        coord.attach_replicas(group.clone());
+
+        let results = drive_rounds(&coord, n, 40, &[5, 15, 25]);
+        assert_eq!(results.len(), 3 * n, "{phase:?}: three full rounds");
+        for r in &results {
+            assert!(r.is_ok(), "{phase:?}: a finish() was poisoned: {r:?}");
+        }
+        assert_eq!(coord.completed_rounds(), 3, "{phase:?}");
+
+        let stats = group.stats();
+        assert_eq!(stats.commits, 3, "{phase:?}: every round reached quorum");
+        assert_eq!(
+            stats.recoveries, 1,
+            "{phase:?}: exactly one leader takeover"
+        );
+        // Takeover happened *within* the election timeout: the injected
+        // clock only advances while waiting out the liveness timer.
+        assert!(
+            clock.now() >= group.timer().timeout(),
+            "{phase:?}: takeover waited out the election timeout"
+        );
+
+        // The quorum log replays all three epochs, in order.
+        let committed = group.committed().unwrap();
+        assert_eq!(committed.len(), 3, "{phase:?}");
+        for (i, (slot, record)) in committed.iter().enumerate() {
+            assert_eq!(*slot, i as u64, "{phase:?}: dense slots");
+            assert!(
+                matches!(record, ReplicaRecord::EpochSeal { epoch, .. } if *epoch == i as u64 + 1),
+                "{phase:?}: slot {slot} holds {record:?}"
+            );
+        }
+    }
+}
+
+/// Losing the quorum (two of three replicas) aborts the round atomically:
+/// every participant unwinds with the same `CkptError::Replica`, no epoch
+/// is observable, and the staged images are discarded.
+#[test]
+fn quorum_loss_aborts_the_round_atomically() {
+    let n = 2;
+    let coord = Coordinator::new(n);
+    let group = Arc::new(group3(Arc::new(TestClock::new())));
+    group.kill(1);
+    group.kill(2);
+    coord.attach_replicas(group.clone());
+
+    let results = drive_rounds(&coord, n, 20, &[5]);
+    assert_eq!(results.len(), n);
+    for r in &results {
+        match r {
+            Err(CkptError::Replica(ReplicaError::NoQuorum { need, .. })) => {
+                assert_eq!(*need, 2)
+            }
+            other => panic!("expected NoQuorum on every rank, got {other:?}"),
+        }
+    }
+    // Atomic abort: nothing became observable anywhere.
+    assert_eq!(coord.completed_epoch(), 0);
+    assert_eq!(coord.completed_rounds(), 0);
+    assert!(
+        coord.take_world_image("ANY").is_none(),
+        "staged images must be discarded on abort"
+    );
+    assert!(group.committed().unwrap().is_empty());
+}
+
+/// After an aborted round the group is not wedged: reviving a replica
+/// restores the quorum and the next round (same long-lived agents)
+/// commits normally.
+#[test]
+fn revived_quorum_commits_after_an_abort() {
+    let n = 2;
+    let coord = Coordinator::new(n);
+    let group = Arc::new(group3(Arc::new(TestClock::new())));
+    group.kill(1);
+    group.kill(2);
+    coord.attach_replicas(group.clone());
+
+    let results = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for rank in 0..n {
+            let coord = coord.clone();
+            let group = group.clone();
+            let results = &results;
+            s.spawn(move || {
+                let mut agent = coord.agent(rank);
+                let zeros = vec![0u64; n];
+                let mut step = 0u64;
+                while step < 30 {
+                    if rank == 0 && step == 5 {
+                        coord.request_checkpoint(CkptMode::Continue);
+                    }
+                    if rank == 0 && step == 15 {
+                        // Round 1 aborted on quorum loss; restore it.
+                        group.revive(1);
+                        coord.request_checkpoint(CkptMode::Continue);
+                    }
+                    match agent.poll(step).expect("poll") {
+                        Poll::None | Poll::KeepRunning => step += 1,
+                        Poll::Enter(session) => {
+                            session.exchange_counters(&zeros, &zeros).expect("exchange");
+                            session.submit_image(RankImage::new(rank, n, session.epoch()));
+                            let outcome = session.finish();
+                            results.lock().unwrap().push(outcome);
+                            step += 1;
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    let results = results.into_inner().unwrap();
+    assert_eq!(
+        results.len(),
+        2 * n,
+        "an aborted round, then a committed one"
+    );
+    let failed = results.iter().filter(|r| r.is_err()).count();
+    let committed = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(failed, n, "round 1 aborts on every rank");
+    assert_eq!(committed, n, "round 2 commits on every rank");
+    assert_eq!(coord.completed_rounds(), 1);
+    assert_eq!(group.committed().unwrap().len(), 1);
+}
+
+/// A rank dying mid-round lands a fail-stop membership record in the
+/// quorum log (on top of poisoning the barrier for the survivors, as
+/// before).
+#[test]
+fn rank_failstop_logs_a_membership_record() {
+    let n = 3;
+    let coord = Coordinator::new(n);
+    let group = Arc::new(group3(Arc::new(TestClock::new())));
+    coord.attach_replicas(group.clone());
+
+    let poisoned = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for rank in 0..n {
+            let coord = coord.clone();
+            let poisoned = &poisoned;
+            s.spawn(move || {
+                let mut agent = coord.agent(rank);
+                let zeros = vec![0u64; n];
+                let mut step = 0u64;
+                while step < 30 {
+                    if rank == 0 && step == 5 {
+                        coord.request_checkpoint(CkptMode::Continue);
+                    }
+                    match agent.poll(step).expect("poll") {
+                        Poll::None | Poll::KeepRunning => step += 1,
+                        Poll::Enter(session) => {
+                            if session.exchange_counters(&zeros, &zeros).is_err() {
+                                poisoned.fetch_add(1, Ordering::SeqCst);
+                                return;
+                            }
+                            // Rank 2 fail-stops inside the round: past the
+                            // exchange (so its peers are committed to the
+                            // barrier), before the final barrier. Dropping
+                            // the agent resigns it.
+                            if rank == 2 {
+                                return;
+                            }
+                            session.submit_image(RankImage::new(rank, n, session.epoch()));
+                            if session.finish().is_err() {
+                                poisoned.fetch_add(1, Ordering::SeqCst);
+                                return;
+                            }
+                            step += 1;
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        poisoned.load(Ordering::SeqCst),
+        2,
+        "the survivors observe the poisoned round"
+    );
+    let committed = group.committed().unwrap();
+    assert!(
+        committed.iter().any(|(_, r)| matches!(
+            r,
+            ReplicaRecord::Membership {
+                rank: 2,
+                alive: false
+            }
+        )),
+        "rank 2's fail-stop must reach the quorum log: {committed:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Session-level battery: transparent failover under a real program, then a
+// bit-identical cross-vendor restart from the quorum-backed chain.
+// ---------------------------------------------------------------------------
+
+fn cluster() -> mpi_stool::simnet::ClusterSpec {
+    mpi_stool::simnet::ClusterSpec::builder()
+        .nodes(2)
+        .ranks_per_node(2)
+        .build()
+}
+
+fn solver() -> WaveMpi {
+    WaveMpi {
+        npoints: 400,
+        nsteps: 70,
+        gather_final: true,
+        ..WaveMpi::default()
+    }
+}
+
+fn reference_memories(vendor: Vendor) -> Vec<mpi_stool::stool::Memory> {
+    Session::builder()
+        .cluster(cluster())
+        .vendor(vendor)
+        .checkpointer(Checkpointer::mana())
+        .build()
+        .unwrap()
+        .launch(&solver())
+        .unwrap()
+        .memories()
+        .unwrap()
+        .to_vec()
+}
+
+fn assert_memories_equal(a: &[mpi_stool::stool::Memory], b: &[mpi_stool::stool::Memory]) {
+    assert_eq!(a.len(), b.len());
+    for (rank, (ma, mb)) in a.iter().zip(b).enumerate() {
+        let mut names_a: Vec<&str> = ma.names().collect();
+        let mut names_b: Vec<&str> = mb.names().collect();
+        names_a.sort_unstable();
+        names_b.sort_unstable();
+        assert_eq!(names_a, names_b, "rank {rank}: memory layout differs");
+        for name in names_a {
+            assert_eq!(ma.bytes(name), mb.bytes(name), "rank {rank} segment {name}");
+        }
+    }
+}
+
+/// The acceptance scenario end to end, once per barrier phase: a session
+/// checkpoints periodically through the delta store with a replicated
+/// coordinator; the scripted fault kills the leader replica mid-battery;
+/// the job then dies to an injected node failure — and the restart from
+/// the quorum-backed chain is bit-identical under both vendors.
+#[test]
+fn session_failover_restart_is_bit_identical_across_vendors() {
+    let expect = reference_memories(Vendor::Mpich);
+    for (i, phase) in PHASES.iter().enumerate() {
+        let pid = std::process::id();
+        let dir = std::env::temp_dir().join(format!("stool-failover-chain-{pid}-{i}"));
+        let rdir = std::env::temp_dir().join(format!("stool-failover-replicas-{pid}-{i}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&rdir);
+
+        let mut policy = ReplicaPolicy::new(&rdir);
+        policy.election_timeout = Duration::from_millis(2);
+        policy.log.backoff = Duration::from_millis(1);
+        policy.faults = vec![ReplicaFault::KillLeaderAt(*phase)];
+
+        // Epoch 1 at step 20 primes the group (elects the leader); epoch
+        // 2 at step 40 consumes the scripted kill and fails over; the
+        // node failure at 55 then kills the job with two quorum-committed
+        // epochs on disk.
+        let out = Session::builder()
+            .cluster(cluster())
+            .vendor(Vendor::Mpich)
+            .checkpointer(Checkpointer::mana())
+            .checkpoint_every(20)
+            .checkpoint_store(&dir)
+            .replicated_coordinator_with(policy)
+            .inject_node_failure(55, 0)
+            .build()
+            .unwrap()
+            .launch(&solver())
+            .unwrap();
+        assert!(
+            out.is_failed(),
+            "{phase:?}: the injected failure kills the world"
+        );
+
+        // The quorum log survives the job: reopening the replica logs
+        // replays both sealed epochs (the failover lost nothing).
+        let logs: Vec<Arc<dyn ObjectTier>> = (0..3)
+            .map(|r| {
+                Arc::new(FsTier::open(rdir.join(format!("replica_{r:02}"))).unwrap())
+                    as Arc<dyn ObjectTier>
+            })
+            .collect();
+        let group =
+            ReplicaGroup::new(ReplicaConfig::default(), Arc::new(TestClock::new()), logs).unwrap();
+        let committed = group.committed().unwrap();
+        let seals: Vec<u64> = committed
+            .iter()
+            .filter_map(|(_, r)| match r {
+                ReplicaRecord::EpochSeal { epoch, vendor, .. } => {
+                    assert_eq!(vendor, "MPICH", "{phase:?}");
+                    Some(*epoch)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seals, vec![1, 2], "{phase:?}: both epochs quorum-committed");
+
+        // Restart from the chain under both vendors: bit-identical.
+        for vendor in [Vendor::Mpich, Vendor::OpenMpi] {
+            let got = Session::builder()
+                .cluster(cluster())
+                .vendor(vendor)
+                .checkpointer(Checkpointer::mana())
+                .checkpoint_store(&dir)
+                .build()
+                .unwrap()
+                .restore_from_store(&solver())
+                .unwrap()
+                .memories()
+                .unwrap()
+                .to_vec();
+            assert_memories_equal(&expect, &got);
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&rdir).ok();
+    }
+}

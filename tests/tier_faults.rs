@@ -7,8 +7,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mpi_stool::dmtcp::{
-    DeltaStore, FlakyTier, FsTier, ObjectTier, PutFault, RankImage, Scrubber, StoreConfig,
-    StoreError, StoreWriter, TierConfig, TierError, WorldImage,
+    DeltaStore, FlakyTier, FsTier, GetFault, ObjectTier, PutFault, RankImage, Scrubber,
+    StoreConfig, StoreError, StoreWriter, TierConfig, TierError, WorldImage,
 };
 
 fn tmp_dir(tag: &str) -> std::path::PathBuf {
@@ -63,6 +63,7 @@ fn tier_cfg() -> TierConfig {
     TierConfig {
         max_attempts: 4,
         backoff: Duration::from_millis(1),
+        ..TierConfig::default()
     }
 }
 
@@ -446,5 +447,126 @@ fn background_writer_ships_through_the_tier_end_to_end() {
     let store = DeltaStore::open_with_tier(&store_dir, small_cfg(), tier, tier_cfg()).unwrap();
     assert_eq!(store.load_latest().unwrap(), image(3, 3, 3, 1400));
     std::fs::remove_dir_all(&store_dir).unwrap();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
+
+#[test]
+fn download_errors_during_hydration_are_retried() {
+    let store_dir = tmp_dir("get_retry_store");
+    let tier_dir = tmp_dir("get_retry_tier");
+    let flaky = Arc::new(FlakyTier::new(Arc::new(FsTier::open(&tier_dir).unwrap())));
+    let mut store =
+        DeltaStore::open_with_tier(&store_dir, small_cfg(), flaky.clone(), tier_cfg()).unwrap();
+    store.commit(&image(1, 2, 0x21, 1500)).unwrap();
+    store.tier_flush().unwrap();
+    drop(store);
+
+    // Remote-only reopen with two transient download failures in the
+    // middle of the hydration object sequence: the retrying get path
+    // must absorb both.
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    flaky.script_gets([GetFault::Fail, GetFault::Fail]);
+    let hydrated =
+        DeltaStore::open_with_tier(&store_dir, small_cfg(), flaky.clone(), tier_cfg()).unwrap();
+    assert_eq!(hydrated.load_latest().unwrap(), image(1, 2, 0x21, 1500));
+    assert!(
+        flaky.injected() >= 2,
+        "both scripted faults fired: {}",
+        flaky.injected()
+    );
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
+
+#[test]
+fn torn_seal_download_hides_the_epoch_never_installs_garbage() {
+    let store_dir = tmp_dir("get_torn_store");
+    let tier_dir = tmp_dir("get_torn_tier");
+    let flaky = Arc::new(FlakyTier::new(Arc::new(FsTier::open(&tier_dir).unwrap())));
+    let mut store =
+        DeltaStore::open_with_tier(&store_dir, small_cfg(), flaky.clone(), tier_cfg()).unwrap();
+    store.commit(&image(1, 2, 0x31, 1500)).unwrap();
+    store.tier_flush().unwrap();
+    drop(store);
+
+    // A torn seal download "succeeds" with bad bytes; only its checksum
+    // can catch it. The seal sweep must treat the epoch as unsealed —
+    // invisible — rather than install anything from it.
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    flaky.script_gets([GetFault::Torn]);
+    let hydrated =
+        DeltaStore::open_with_tier(&store_dir, small_cfg(), flaky.clone(), tier_cfg()).unwrap();
+    assert!(
+        matches!(hydrated.load_latest(), Err(StoreError::Empty)),
+        "a torn seal must hide the epoch, not install garbage"
+    );
+    drop(hydrated);
+    // The fault script is drained; a clean reopen hydrates fully.
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    let hydrated = DeltaStore::open_with_tier(&store_dir, small_cfg(), flaky, tier_cfg()).unwrap();
+    assert_eq!(hydrated.load_latest().unwrap(), image(1, 2, 0x31, 1500));
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
+
+#[test]
+fn rotted_tier_object_surfaces_corrupt_not_garbage() {
+    let store_dir = tmp_dir("rot_store");
+    let tier_dir = tmp_dir("rot_tier");
+    let fs: Arc<FsTier> = Arc::new(FsTier::open(&tier_dir).unwrap());
+    let mut store =
+        DeltaStore::open_with_tier(&store_dir, small_cfg(), fs.clone(), tier_cfg()).unwrap();
+    store.commit(&image(1, 2, 0x51, 1500)).unwrap();
+    store.tier_flush().unwrap();
+    drop(store);
+
+    // The tier-side blocks object rots (truncated in place): the seal
+    // still decodes, so hydration fetches the epoch — and must refuse
+    // the payload on the seal's length/CRC verification.
+    let mut blocks = fs.get("epoch_000001/blocks.bin").unwrap();
+    blocks.pop();
+    fs.put("epoch_000001/blocks.bin", &blocks).unwrap();
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    let err = DeltaStore::open_with_tier(&store_dir, small_cfg(), fs, tier_cfg())
+        .map(|_| ())
+        .expect_err("a rotted object must not hydrate");
+    assert!(
+        matches!(err, StoreError::Tier(TierError::Corrupt { .. })),
+        "expected Corrupt, got {err:?}"
+    );
+    std::fs::remove_dir_all(&store_dir).ok();
+    std::fs::remove_dir_all(&tier_dir).unwrap();
+}
+
+#[test]
+fn unreachable_tier_surfaces_timeout_at_the_retry_deadline() {
+    let store_dir = tmp_dir("get_deadline_store");
+    let tier_dir = tmp_dir("get_deadline_tier");
+    let flaky = Arc::new(FlakyTier::new(Arc::new(FsTier::open(&tier_dir).unwrap())));
+    let mut store =
+        DeltaStore::open_with_tier(&store_dir, small_cfg(), flaky.clone(), tier_cfg()).unwrap();
+    store.commit(&image(1, 2, 0x41, 1500)).unwrap();
+    store.tier_flush().unwrap();
+    drop(store);
+
+    // Every download fails and the backoff schedule would exceed the
+    // configured deadline: the hydration bounds its wall-clock with
+    // Timeout instead of sleeping out the whole retry budget.
+    std::fs::remove_dir_all(&store_dir).unwrap();
+    flaky.script_gets(std::iter::repeat_n(GetFault::Fail, 64));
+    let cfg = TierConfig {
+        max_attempts: 16,
+        backoff: Duration::from_millis(50),
+        deadline: Some(Duration::from_millis(5)),
+        ..TierConfig::default()
+    };
+    let err = DeltaStore::open_with_tier(&store_dir, small_cfg(), flaky, cfg)
+        .map(|_| ())
+        .expect_err("an unreachable tier must not hydrate");
+    assert!(
+        matches!(err, StoreError::Tier(TierError::Timeout { op: "get", .. })),
+        "expected a bounded Timeout, got {err:?}"
+    );
+    std::fs::remove_dir_all(&store_dir).ok();
     std::fs::remove_dir_all(&tier_dir).unwrap();
 }
