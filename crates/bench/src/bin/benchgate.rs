@@ -1,8 +1,9 @@
 //! benchgate — the CI perf-regression gate.
 //!
 //! Strictly validates freshly emitted `BENCH_ckpt.json` / `BENCH_scale.json`
-//! (a malformed emit fails CI instead of uploading a broken artifact) and
-//! compares them against the committed baselines under `benches/baselines/`.
+//! / `BENCH_telemetry.json` (a malformed emit fails CI instead of uploading a
+//! broken artifact) and compares them against the committed baselines under
+//! `benches/baselines/`.
 //!
 //! ```text
 //! cargo run -p stool-bench --bin benchgate              # gate against baselines
@@ -16,20 +17,24 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use stool_bench::gate::{
-    compare_ckpt, compare_scale, parse_ckpt_report, parse_scale_report, GateOutcome, TOLERANCE,
+    compare_ckpt, compare_scale, compare_telemetry, parse_ckpt_report, parse_scale_report,
+    parse_telemetry_report, GateOutcome, TOLERANCE,
 };
 
 struct Args {
     ckpt: PathBuf,
     scale: PathBuf,
+    telemetry: PathBuf,
     baselines: PathBuf,
     write_baselines: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: benchgate [--ckpt PATH] [--scale PATH] [--baselines DIR] [--write-baselines]\n\
-         defaults: --ckpt BENCH_ckpt.json --scale BENCH_scale.json --baselines benches/baselines"
+        "usage: benchgate [--ckpt PATH] [--scale PATH] [--telemetry PATH] [--baselines DIR] \
+         [--write-baselines]\n\
+         defaults: --ckpt BENCH_ckpt.json --scale BENCH_scale.json \
+         --telemetry BENCH_telemetry.json --baselines benches/baselines"
     );
     std::process::exit(2);
 }
@@ -38,6 +43,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         ckpt: PathBuf::from("BENCH_ckpt.json"),
         scale: PathBuf::from("BENCH_scale.json"),
+        telemetry: PathBuf::from("BENCH_telemetry.json"),
         baselines: PathBuf::from("benches/baselines"),
         write_baselines: false,
     };
@@ -46,6 +52,7 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--ckpt" => args.ckpt = it.next().unwrap_or_else(|| usage()).into(),
             "--scale" => args.scale = it.next().unwrap_or_else(|| usage()).into(),
+            "--telemetry" => args.telemetry = it.next().unwrap_or_else(|| usage()).into(),
             "--baselines" => args.baselines = it.next().unwrap_or_else(|| usage()).into(),
             "--write-baselines" => args.write_baselines = true,
             _ => usage(),
@@ -69,12 +76,18 @@ fn run() -> Result<GateOutcome, String> {
     let scale_text = read(&args.scale)?;
     let fresh_scale = parse_scale_report(&scale_text)
         .map_err(|e| format!("{} is malformed: {e}", args.scale.display()))?;
+    let telemetry_text = read(&args.telemetry)?;
+    let fresh_telemetry = parse_telemetry_report(&telemetry_text)
+        .map_err(|e| format!("{} is malformed: {e}", args.telemetry.display()))?;
     println!(
-        "benchgate: validated {} ({} workloads) and {} ({} rendezvous sizes)",
+        "benchgate: validated {} ({} workloads), {} ({} rendezvous sizes) and {} \
+         ({:.1} events/round)",
         args.ckpt.display(),
         fresh_ckpt.workloads.len(),
         args.scale.display(),
-        fresh_scale.rendezvous_wallclock.len()
+        fresh_scale.rendezvous_wallclock.len(),
+        args.telemetry.display(),
+        fresh_telemetry.events_per_round
     );
 
     if args.write_baselines {
@@ -82,10 +95,13 @@ fn run() -> Result<GateOutcome, String> {
             .map_err(|e| format!("cannot create {}: {e}", args.baselines.display()))?;
         let ckpt_to = args.baselines.join("BENCH_ckpt.json");
         let scale_to = args.baselines.join("BENCH_scale.json");
+        let telemetry_to = args.baselines.join("BENCH_telemetry.json");
         std::fs::write(&ckpt_to, &ckpt_text)
             .map_err(|e| format!("cannot write {}: {e}", ckpt_to.display()))?;
         std::fs::write(&scale_to, &scale_text)
             .map_err(|e| format!("cannot write {}: {e}", scale_to.display()))?;
+        std::fs::write(&telemetry_to, &telemetry_text)
+            .map_err(|e| format!("cannot write {}: {e}", telemetry_to.display()))?;
         println!(
             "benchgate: baselines refreshed under {}",
             args.baselines.display()
@@ -99,10 +115,14 @@ fn run() -> Result<GateOutcome, String> {
     let base_scale_path = args.baselines.join("BENCH_scale.json");
     let base_scale = parse_scale_report(&read(&base_scale_path)?)
         .map_err(|e| format!("{} is malformed: {e}", base_scale_path.display()))?;
+    let base_telemetry_path = args.baselines.join("BENCH_telemetry.json");
+    let base_telemetry = parse_telemetry_report(&read(&base_telemetry_path)?)
+        .map_err(|e| format!("{} is malformed: {e}", base_telemetry_path.display()))?;
 
     let mut out = GateOutcome::default();
     compare_ckpt(&mut out, &base_ckpt, &fresh_ckpt);
     compare_scale(&mut out, &base_scale, &fresh_scale);
+    compare_telemetry(&mut out, &base_telemetry, &fresh_telemetry);
     Ok(out)
 }
 

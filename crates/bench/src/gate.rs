@@ -436,6 +436,26 @@ pub struct CkptReport {
     pub workloads: Vec<CkptRow>,
 }
 
+/// Parsed, schema-checked `BENCH_telemetry.json` — the flight recorder's
+/// own overhead bench.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    /// Control-plane events emitted per committed epoch on the fixed
+    /// workload. Deterministic under virtual time: gates hard in *both*
+    /// directions (a drop means instrumentation was lost, a rise means
+    /// the control plane got chatty).
+    pub events_per_round: f64,
+    /// Committed epochs of the fixed workload (deterministic; must match
+    /// the baseline exactly).
+    pub rounds: f64,
+    /// Wall-clock nanoseconds per hot-ring `emit` under four concurrent
+    /// writers (machine-dependent: warns, never gates).
+    pub emit_wall_ns: f64,
+    /// Wall-clock emits per second across the four writers
+    /// (machine-dependent: informational only).
+    pub events_per_sec_wall: f64,
+}
+
 /// Parsed, schema-checked `BENCH_scale.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScaleReport {
@@ -581,6 +601,44 @@ pub fn parse_ckpt_report(text: &str) -> Result<CkptReport, GateError> {
         });
     }
     Ok(CkptReport { workloads })
+}
+
+/// Strictly parse `BENCH_telemetry.json`.
+pub fn parse_telemetry_report(text: &str) -> Result<TelemetryReport, GateError> {
+    let doc = parse_json(text)?;
+    let top = doc.obj("top level")?;
+    no_extra_keys(
+        top,
+        "top level",
+        &[
+            "bench",
+            "events_per_round",
+            "rounds",
+            "emit_wall_ns",
+            "events_per_sec_wall",
+        ],
+    )?;
+    let bench = field(top, "top level", "bench")?.str("bench")?;
+    if bench != "telemetry" {
+        return Err(GateError::schema(format!(
+            "bench: expected \"telemetry\", got \"{bench}\""
+        )));
+    }
+    Ok(TelemetryReport {
+        events_per_round: positive(
+            field(top, "top level", "events_per_round")?.num("events_per_round")?,
+            "events_per_round",
+        )?,
+        rounds: positive(field(top, "top level", "rounds")?.num("rounds")?, "rounds")?,
+        emit_wall_ns: positive(
+            field(top, "top level", "emit_wall_ns")?.num("emit_wall_ns")?,
+            "emit_wall_ns",
+        )?,
+        events_per_sec_wall: positive(
+            field(top, "top level", "events_per_sec_wall")?.num("events_per_sec_wall")?,
+            "events_per_sec_wall",
+        )?,
+    })
 }
 
 fn parse_scale_rows(doc: &Json, what: &str) -> Result<Vec<ScaleRow>, GateError> {
@@ -777,6 +835,44 @@ pub fn compare_ckpt(out: &mut GateOutcome, base: &CkptReport, fresh: &CkptReport
                 f.name
             ));
         }
+    }
+}
+
+/// Compare a fresh telemetry-overhead report against the committed
+/// baseline.
+pub fn compare_telemetry(out: &mut GateOutcome, base: &TelemetryReport, fresh: &TelemetryReport) {
+    // The fixed workload commits a deterministic number of epochs: any
+    // drift means the schedule itself changed, which invalidates the
+    // per-round comparison.
+    if fresh.rounds != base.rounds {
+        out.regressions.push(format!(
+            "telemetry/rounds: {} vs baseline {} (deterministic; must match)",
+            fresh.rounds, base.rounds
+        ));
+    } else {
+        out.passed += 1;
+    }
+    // Events per round gate hard both ways: fewer means instrumentation
+    // silently fell off a code path, more means the hot control plane
+    // grew chatty.
+    check_upper(
+        out,
+        "telemetry/events_per_round",
+        base.events_per_round,
+        fresh.events_per_round,
+    );
+    check_lower(
+        out,
+        "telemetry/events_per_round",
+        base.events_per_round,
+        fresh.events_per_round,
+    );
+    // Per-emit wall cost is machine-dependent: drift only warns.
+    if fresh.emit_wall_ns > base.emit_wall_ns * (1.0 + TOLERANCE) {
+        out.warnings.push(format!(
+            "telemetry/emit_wall_ns: {:.1} ns vs baseline {:.1} ns (wall-clock; not gated)",
+            fresh.emit_wall_ns, base.emit_wall_ns
+        ));
     }
 }
 
@@ -1076,6 +1172,62 @@ mod tests {
         // A report missing the metric fails the schema outright.
         let missing = scale_json(1.0, 1024).replace("\"failover_recovery_rounds\": 4, ", "");
         assert!(parse_scale_report(&missing).is_err());
+    }
+
+    fn telemetry_json(events_per_round: f64, rounds: u64, emit_ns: f64) -> String {
+        format!(
+            "{{\"bench\": \"telemetry\", \"events_per_round\": {events_per_round}, \
+             \"rounds\": {rounds}, \"emit_wall_ns\": {emit_ns}, \
+             \"events_per_sec_wall\": 50000000.0}}"
+        )
+    }
+
+    #[test]
+    fn telemetry_schema_accepts_wellformed_and_rejects_malformed() {
+        let r = parse_telemetry_report(&telemetry_json(20.0, 8, 25.0)).unwrap();
+        assert_eq!(r.events_per_round, 20.0);
+        assert_eq!(r.rounds, 8.0);
+        let wrong_bench = telemetry_json(20.0, 8, 25.0).replace("telemetry", "other");
+        assert!(parse_telemetry_report(&wrong_bench).is_err());
+        let missing = telemetry_json(20.0, 8, 25.0).replace("\"rounds\": 8, ", "");
+        assert!(parse_telemetry_report(&missing).is_err());
+        let unknown = telemetry_json(20.0, 8, 25.0).replace("\"rounds\"", "\"roundz\"");
+        assert!(parse_telemetry_report(&unknown).is_err());
+        assert!(parse_telemetry_report(&telemetry_json(0.0, 8, 25.0)).is_err());
+    }
+
+    #[test]
+    fn telemetry_events_per_round_gates_both_directions() {
+        let base = parse_telemetry_report(&telemetry_json(20.0, 8, 25.0)).unwrap();
+        // Within tolerance either way: passes.
+        for close in [18.0, 22.0] {
+            let fresh = parse_telemetry_report(&telemetry_json(close, 8, 25.0)).unwrap();
+            let mut out = GateOutcome::default();
+            compare_telemetry(&mut out, &base, &fresh);
+            assert!(out.ok(), "{close}: {:?}", out.regressions);
+        }
+        // Instrumentation fell off a path (-25%): fails.
+        let lost = parse_telemetry_report(&telemetry_json(15.0, 8, 25.0)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_telemetry(&mut out, &base, &lost);
+        assert!(!out.ok());
+        // Control plane got chatty (+30%): fails.
+        let chatty = parse_telemetry_report(&telemetry_json(26.0, 8, 25.0)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_telemetry(&mut out, &base, &chatty);
+        assert!(!out.ok());
+        // The deterministic round count must match exactly.
+        let drifted = parse_telemetry_report(&telemetry_json(20.0, 9, 25.0)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_telemetry(&mut out, &base, &drifted);
+        assert!(!out.ok());
+        assert!(out.regressions.iter().any(|r| r.contains("rounds")));
+        // Slow machine: emit cost tripled — warns, never gates.
+        let slow = parse_telemetry_report(&telemetry_json(20.0, 8, 75.0)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_telemetry(&mut out, &base, &slow);
+        assert!(out.ok(), "{:?}", out.regressions);
+        assert!(out.warnings.iter().any(|w| w.contains("emit_wall_ns")));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod program;
 pub mod programs;
 pub mod session;
 pub mod stack;
+pub mod telemetry;
 
 pub use dmtcp_sim::memory::Memory;
 pub use dmtcp_sim::{
@@ -66,4 +67,7 @@ pub use program::{AppCtx, Flow, MpiProgram};
 pub use session::{
     Checkpointer, CkptPolicy, FaultPlan, Recovery, ReplicaPolicy, ResilienceReport, RunOutcome,
     Session, SessionBuilder, StorePolicy, TierPolicy,
+};
+pub use telemetry::{
+    Event, EventKind, MetricValue, MetricsRegistry, Telemetry, TelemetryConfig, TelemetrySnapshot,
 };

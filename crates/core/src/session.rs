@@ -1,7 +1,7 @@
 //! Sessions: binding the three legs of the stool at run time.
 
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use dmtcp_sim::coordinator::{BarrierTopology, CkptMode, Coordinator};
 use dmtcp_sim::image::WorldImage;
@@ -13,11 +13,12 @@ use mana_sim::ckpt::restore_rank;
 use mana_sim::ManaConfig;
 use muk::{MukOverhead, Vendor};
 use simnet::rank::RankCounters;
-use simnet::{ClusterSpec, RunPlan, VirtualTime, World};
+use simnet::{ClusterSpec, Fabric, RunPlan, VirtualTime, World};
 
 use crate::error::{to_sim, StoolError, StoolResult};
 use crate::program::{AppCtx, MpiProgram};
 use crate::stack::{Stack, StackSpec};
+use crate::telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
 
 /// The checkpointing leg of the stool.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -200,6 +201,15 @@ pub struct SessionConfig {
     /// Checkpoint-coordinator barrier topology override; `None` lets the
     /// coordinator pick by world size (flat ≤ 64 ranks, tree beyond).
     pub barrier_topology: Option<BarrierTopology>,
+    /// Echo every flight-recorder event to stderr as it is emitted (the
+    /// trace-level filter; default quiet, or on when the `CKPT_TRACE`
+    /// environment variable is set).
+    pub telemetry_echo: bool,
+    /// Where the end-of-run crash-dump timeline is written when the run
+    /// records incidents or fails. Defaults to the `STOOL_DUMP_DIR`
+    /// environment variable; `None` disables dumping (events stay
+    /// queryable through [`Session::telemetry`]).
+    pub dump_dir: Option<PathBuf>,
 }
 
 /// Builder for [`Session`].
@@ -226,6 +236,8 @@ impl Default for SessionBuilder {
                 deterministic_reductions: false,
                 rank_stack_bytes: None,
                 barrier_topology: None,
+                telemetry_echo: std::env::var_os("CKPT_TRACE").is_some(),
+                dump_dir: std::env::var_os("STOOL_DUMP_DIR").map(PathBuf::from),
             },
         }
     }
@@ -370,6 +382,25 @@ impl SessionBuilder {
         self
     }
 
+    /// Echo every flight-recorder event to stderr as it is emitted — the
+    /// trace knob that replaced the old ad-hoc `CKPT_TRACE` prints
+    /// (setting that environment variable still turns echoing on by
+    /// default).
+    pub fn telemetry_echo(mut self, on: bool) -> Self {
+        self.config.telemetry_echo = on;
+        self
+    }
+
+    /// Write the merged crash-dump timeline (JSON lines + Chrome
+    /// `trace_event`) under `dir` at the end of any run that recorded
+    /// incidents — recovery elections, quorum losses, sink errors,
+    /// failed tier ships, rank unwinds — or failed outright. Defaults to
+    /// the `STOOL_DUMP_DIR` environment variable.
+    pub fn crash_dump_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.dump_dir = Some(dir.into());
+        self
+    }
+
     /// Inject a global failure when the application reaches `step`,
     /// attributed to `node`.
     pub fn inject_node_failure(mut self, step: u64, node: usize) -> Self {
@@ -439,9 +470,7 @@ impl SessionBuilder {
                 )));
             }
         }
-        Ok(Session {
-            config: self.config,
-        })
+        Ok(Session::with_config(self.config))
     }
 }
 
@@ -450,6 +479,8 @@ impl SessionBuilder {
 pub struct Session {
     /// The configuration in force.
     pub config: SessionConfig,
+    /// The last run's unified observability snapshot.
+    last_telemetry: Mutex<Option<TelemetrySnapshot>>,
 }
 
 /// The result of running a program under a session.
@@ -567,6 +598,38 @@ impl Session {
         SessionBuilder::default()
     }
 
+    /// A session over a validated configuration.
+    fn with_config(config: SessionConfig) -> Session {
+        Session {
+            config,
+            last_telemetry: Mutex::new(None),
+        }
+    }
+
+    /// The unified observability snapshot of the most recent run under
+    /// this session — the flight recorder's merged event timeline and
+    /// metrics registry, plus the delta store's per-epoch stats, the
+    /// tier's shipping stats and the replica group's stats in one place.
+    /// `None` before the first launch/restore.
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        self.last_telemetry
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Carry a retry session's last snapshot over to this session, so
+    /// [`Session::run_resilient`] callers see the final attempt's
+    /// telemetry through [`Session::telemetry`].
+    fn adopt_telemetry(&self, retry: &Session) {
+        if let Some(snap) = retry.telemetry() {
+            *self
+                .last_telemetry
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()) = Some(snap);
+        }
+    }
+
     /// The effective MANA configuration: the configured one, with
     /// asynchronous image writes switched on when a store is attached.
     fn mana_config(&self) -> Option<ManaConfig> {
@@ -637,13 +700,38 @@ impl Session {
     ) -> StoolResult<RunOutcome> {
         let spec = self.stack_spec();
         let cluster = &self.config.cluster;
+        // The run's flight recorder: one lane per rank plus the four
+        // subsystem lanes, attached to every layer below before any rank
+        // starts. On incident (or failure) its merged virtual-clock
+        // timeline is dumped at the end of the run. Each run dumps into
+        // its own subdirectory so concurrent sessions sharing one
+        // configured directory (e.g. a CI-wide `STOOL_DUMP_DIR`) never
+        // overwrite each other's timelines.
+        let tel = Arc::new(Telemetry::with_config(
+            cluster.nranks(),
+            TelemetryConfig {
+                dump_dir: self.config.dump_dir.as_ref().map(|d| {
+                    static RUN_SEQ: std::sync::atomic::AtomicU64 =
+                        std::sync::atomic::AtomicU64::new(0);
+                    d.join(format!(
+                        "run-{}-{}",
+                        std::process::id(),
+                        RUN_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    ))
+                }),
+                echo: self.config.telemetry_echo,
+                ..TelemetryConfig::default()
+            },
+        ));
         let coordinator = match self.config.checkpointer {
             Checkpointer::Mana(_) => {
                 let topology = self
                     .config
                     .barrier_topology
                     .unwrap_or_else(|| BarrierTopology::auto(cluster.nranks()));
-                Some(Coordinator::with_topology(cluster.nranks(), topology))
+                let coord = Coordinator::with_topology(cluster.nranks(), topology);
+                coord.attach_telemetry(tel.clone());
+                Some(coord)
             }
             Checkpointer::None => None,
         };
@@ -667,24 +755,22 @@ impl Session {
             let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
             let group = ReplicaGroup::new(config, clock, logs).map_err(StoolError::Replica)?;
             group.script_faults(policy.faults.clone());
+            group.attach_telemetry(tel.clone());
             coord.attach_replicas(Arc::new(group));
         }
         // With a store attached, the background writer pool takes
         // ownership of each completed epoch at the rendezvous barrier and
         // persists it as a delta chain while the ranks run on.
+        let mut tier_stats = None;
         let store_writer = match (&self.config.store, &coordinator) {
             (Some(policy), Some(coord)) => {
-                let writer = match &policy.tier {
-                    None => StoreWriter::spawn(&policy.dir, policy.config),
-                    Some(t) => {
-                        let tier: Arc<dyn ObjectTier> = Arc::new(
-                            FsTier::open(&t.dir)
-                                .map_err(|e| StoolError::Store(StoreError::Tier(e)))?,
-                        );
-                        StoreWriter::spawn_with_tier(&policy.dir, policy.config, tier, t.config)
-                    }
-                };
-                let writer = Arc::new(writer.map_err(StoolError::Store)?);
+                // Open the store first so the recorder (and a live view
+                // of the tier shipper's stats) can attach before the
+                // store moves into the background writer thread.
+                let mut store = policy.open_store().map_err(StoolError::Store)?;
+                store.attach_telemetry(tel.clone());
+                tier_stats = store.tier_stats_handle();
+                let writer = Arc::new(StoreWriter::from_store(store));
                 coord.attach_sink(writer.clone(), self.config.vendor.name());
                 Some(writer)
             }
@@ -697,7 +783,13 @@ impl Session {
             Some(bytes) => RunPlan::with_stack_bytes(bytes),
             None => RunPlan::auto(cluster.nranks()),
         };
-        let outcome = World::run_with(cluster, plan, |ctx| {
+        // Build the fabric here (instead of letting `World::run_with` do
+        // it) so the recorder's hot-path counters attach before any rank
+        // sends its first message.
+        let cluster_arc = Arc::new(cluster.clone());
+        let (fabric, endpoints) = Fabric::new(&cluster_arc);
+        fabric.attach_telemetry(tel.clone());
+        let run_result = World::run_on_with(cluster_arc, fabric, endpoints, plan, |ctx| {
             let (mut stack, mut mem, resume) = match &image {
                 None => (Stack::build(&spec, &ctx), Memory::new(), None),
                 Some((img, mana_cfg)) => {
@@ -729,14 +821,50 @@ impl Session {
             let stopped = app.was_stopped();
             let failed_at = app.failed_at();
             Ok((mem, stopped, failed_at))
-        })
-        .map_err(StoolError::Sim)?;
+        });
 
         // Every submitted epoch must be durable before the outcome is
-        // inspected (restart may read the chain immediately).
-        if let Some(writer) = &store_writer {
-            writer.flush().map_err(StoolError::Store)?;
-        }
+        // inspected (restart may read the chain immediately). Flushed
+        // even when the run failed, so the telemetry snapshot and the
+        // crash dump below see the final store/tier state.
+        let flush_result = match &store_writer {
+            Some(writer) => writer.flush(),
+            None => Ok(()),
+        };
+
+        // Unify the run's observability: the recorder plus every
+        // subsystem's statistics in one snapshot, and — when the run
+        // recorded incidents or failed outright — the one-shot merged
+        // crash-dump timeline.
+        let reason = if run_result.is_err() {
+            "run failed: rank panic or unwind"
+        } else if flush_result.is_err() {
+            "checkpoint store writer failed"
+        } else {
+            "incidents recorded during the run"
+        };
+        let dump = if tel.incidents() > 0 || run_result.is_err() || flush_result.is_err() {
+            tel.dump(reason)
+        } else {
+            None
+        };
+        let snapshot = TelemetrySnapshot {
+            recorder: tel.clone(),
+            epochs: store_writer.as_ref().map(|w| w.stats()).unwrap_or_default(),
+            tier: tier_stats.as_ref().map(|h| h.stats()),
+            replica: coordinator
+                .as_ref()
+                .and_then(|c| c.replicas())
+                .map(|g| g.stats()),
+            dump,
+        };
+        *self
+            .last_telemetry
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = Some(snapshot);
+
+        let outcome = run_result.map_err(StoolError::Sim)?;
+        flush_result.map_err(StoolError::Store)?;
         // Collect the image of the last checkpoint this run completed:
         // from the staging area, or — when the store consumed the staged
         // images at the rendezvous — by rebuilding the chain head.
@@ -830,11 +958,11 @@ impl Session {
                 None => self.launch(program)?,
                 Some(image) => {
                     // The retry session: same stack, fault cleared.
-                    let mut retry = Session {
-                        config: self.config.clone(),
-                    };
+                    let mut retry = Session::with_config(self.config.clone());
                     retry.config.fault = None;
-                    retry.restore(image, program)?
+                    let outcome = retry.restore(image, program)?;
+                    self.adopt_telemetry(&retry);
+                    outcome
                 }
             };
             match outcome {
@@ -857,11 +985,10 @@ impl Session {
                     // retrying through a fault-free session when no image
                     // exists either.
                     if pending_image.is_none() {
-                        let mut retry = Session {
-                            config: self.config.clone(),
-                        };
+                        let mut retry = Session::with_config(self.config.clone());
                         retry.config.fault = None;
                         let outcome = retry.launch(program)?;
+                        self.adopt_telemetry(&retry);
                         return Ok(ResilienceReport {
                             outcome,
                             recoveries,

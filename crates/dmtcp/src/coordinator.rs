@@ -57,10 +57,21 @@
 //! survivors unwind with [`CkptError::Poisoned`] instead of hanging.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use simnet::telemetry::{EventKind, Telemetry};
 
 use crate::image::{ImageError, RankImage, WorldImage};
-use crate::replica::{BarrierPhase, ReplicaError, ReplicaGroup, ReplicaRecord};
+use crate::replica::{phase_code, BarrierPhase, ReplicaError, ReplicaGroup, ReplicaRecord};
+
+/// Numeric code for a [`CkptMode`] in telemetry event payloads
+/// (`0` = continue, `1` = stop).
+fn mode_code(mode: CkptMode) -> u64 {
+    match mode {
+        CkptMode::Continue => 0,
+        CkptMode::Stop => 1,
+    }
+}
 
 /// A consumer of completed world images, attached to the coordinator with
 /// [`Coordinator::attach_sink`]. The paradigm case is the asynchronous
@@ -482,6 +493,21 @@ struct Shared {
     /// First quorum-commit failure; latched like `sink_error` so every
     /// participant of the aborted round unwinds with the same error.
     replica_error: Mutex<Option<ReplicaError>>,
+    /// Attached flight recorder, if any. All coordinator protocol events
+    /// land on its dedicated coordinator lane, stamped with the latest
+    /// virtual clock the ranks have reported through
+    /// [`RankAgent::poll_at`].
+    telemetry: OnceLock<Arc<Telemetry>>,
+}
+
+impl Shared {
+    /// Emit a protocol event on the coordinator lane, if a recorder is
+    /// attached. Stamped with the most recently observed virtual clock.
+    fn emit(&self, kind: EventKind, a: u64, b: u64, c: u64) {
+        if let Some(tel) = self.telemetry.get() {
+            tel.emit(tel.coord_lane(), kind, tel.observed_now(), a, b, c);
+        }
+    }
 }
 
 /// Coordinator handle (cheap to clone; shared across threads).
@@ -523,6 +549,7 @@ impl Coordinator {
                 sink_error: Mutex::new(None),
                 replicas: Mutex::new(None),
                 replica_error: Mutex::new(None),
+                telemetry: OnceLock::new(),
             }),
         }
     }
@@ -552,6 +579,20 @@ impl Coordinator {
         self.shared.replicas.lock().expect("replicas lock").clone()
     }
 
+    /// Attach a flight recorder: every protocol transition (requests,
+    /// scheduled cuts, gather finalization, rendezvous entries, barrier
+    /// phases, epoch seals, resignations, poisons) is emitted as a
+    /// structured event on the recorder's coordinator lane. First
+    /// attachment wins; later calls are ignored.
+    pub fn attach_telemetry(&self, tel: Arc<Telemetry>) {
+        let _ = self.shared.telemetry.set(tel);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.shared.telemetry.get()
+    }
+
     /// World size this coordinator serves.
     pub fn nranks(&self) -> usize {
         self.shared.nranks
@@ -563,9 +604,8 @@ impl Coordinator {
     pub fn request_checkpoint(&self, mode: CkptMode) -> u64 {
         *self.shared.mode.lock().expect("mode lock") = mode;
         let e = self.shared.requested_epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        if std::env::var_os("CKPT_TRACE").is_some() {
-            eprintln!("[coord] request mode={mode:?} epoch={e}");
-        }
+        self.shared
+            .emit(EventKind::CkptRequest, e, mode_code(mode), 0);
         e
     }
 
@@ -592,9 +632,8 @@ impl Coordinator {
                 mode,
             };
             round.pos.fill(None);
-            if std::env::var_os("CKPT_TRACE").is_some() {
-                eprintln!("[coord] scheduled cut={step} mode={mode:?}");
-            }
+            self.shared
+                .emit(EventKind::CkptScheduled, step, mode_code(mode), round_no);
         }
         epoch
     }
@@ -662,6 +701,19 @@ impl RankAgent {
     #[inline]
     pub fn checkpoint_pending(&self) -> bool {
         self.shared.requested_epoch.load(Ordering::Relaxed) > self.seen_epoch
+    }
+
+    /// Like [`RankAgent::poll`], but first reports the rank's current
+    /// virtual-clock position to the attached flight recorder, so that
+    /// coordinator/store/tier/replica events emitted from clockless
+    /// threads are stamped with a virtual time no earlier than the ranks
+    /// that caused them. `vclock_ns` only ever advances the observed
+    /// clock (a stale value is ignored).
+    pub fn poll_at(&mut self, next_step: u64, vclock_ns: u64) -> Result<Poll<'_>, CkptError> {
+        if let Some(tel) = self.shared.telemetry.get() {
+            tel.observe_time(vclock_ns);
+        }
+        self.poll(next_step)
     }
 
     /// Poll at an application safe point. `next_step` is the step about to
@@ -737,12 +789,8 @@ impl RankAgent {
             .expect("nranks > 0");
         let epoch = self.shared.completed_rounds.load(Ordering::SeqCst) + 1;
         let mode = *self.shared.mode.lock().expect("mode lock");
-        if std::env::var_os("CKPT_TRACE").is_some() {
-            eprintln!(
-                "[coord] rank {} finalized cut={cut} epoch={epoch} mode={mode:?} pos={:?}",
-                self.rank, round.pos
-            );
-        }
+        self.shared
+            .emit(EventKind::CutFinalized, self.rank as u64, cut, epoch);
         round.phase = Phase::Rendezvous { cut, epoch, mode };
         self.at_rendezvous(round, next_step, cut, epoch, mode)
     }
@@ -760,9 +808,8 @@ impl RankAgent {
         if next_step < cut {
             Ok(Poll::KeepRunning)
         } else if next_step == cut {
-            if std::env::var_os("CKPT_TRACE").is_some() {
-                eprintln!("[coord] rank {} ENTER at cut={cut}", self.rank);
-            }
+            self.shared
+                .emit(EventKind::RendezvousEnter, self.rank as u64, cut, epoch);
             round.entered += 1;
             self.in_protocol = true;
             Ok(Poll::Enter(CkptSession {
@@ -793,21 +840,16 @@ impl RankAgent {
         let mut mid_round_death = false;
         match round.phase {
             Phase::Gather => {
-                if std::env::var_os("CKPT_TRACE").is_some() {
-                    eprintln!(
-                        "[coord] rank {} resign ABORTS gather, pos={:?}",
-                        self.rank, round.pos
-                    );
-                }
                 round.phase = Phase::Aborted {
                     epoch: self.shared.requested_epoch.load(Ordering::SeqCst),
                 };
                 mid_round_death = true;
             }
-            Phase::Rendezvous { .. } => {
+            Phase::Rendezvous { epoch, .. } => {
                 if round.entered > 0 {
                     // Peers are inside the barrier; without us it can
                     // never fill. Release them with an error.
+                    self.shared.emit(EventKind::Poison, epoch, 0, 0);
                     self.shared.sync.poison();
                 } else {
                     // Nobody is committed past recall yet (e.g. the cut
@@ -822,6 +864,12 @@ impl RankAgent {
             Phase::Idle | Phase::Aborted { .. } => {}
         }
         drop(round);
+        self.shared.emit(
+            EventKind::Resign,
+            self.rank as u64,
+            self.shared.requested_epoch.load(Ordering::SeqCst),
+            mid_round_death as u64,
+        );
         if mid_round_death {
             // A rank dying mid-round is a membership change the replicated
             // log should remember. Best-effort: the round is already
@@ -920,7 +968,17 @@ impl CkptSession<'_> {
             let replicas = shared.replicas.lock().expect("replicas lock").clone();
             let mut commit_ok = true;
             if let Some(group) = &replicas {
-                group.notify_phase(BarrierPhase::Arrive);
+                // Forward the latest rank-reported virtual clock to the
+                // replica group so its election/accept events sort after
+                // the rendezvous that triggered them.
+                if let Some(tel) = shared.telemetry.get() {
+                    group.stamp_vnow(tel.observed_now());
+                }
+                let phase = |p: BarrierPhase| {
+                    shared.emit(EventKind::BarrierPhase, phase_code(p), self.epoch, self.cut);
+                    group.notify_phase(p);
+                };
+                phase(BarrierPhase::Arrive);
                 let vendor = shared
                     .sink
                     .lock()
@@ -934,9 +992,9 @@ impl CkptSession<'_> {
                     stop: self.mode == CkptMode::Stop,
                     vendor,
                 };
-                group.notify_phase(BarrierPhase::PreSeal);
+                phase(BarrierPhase::PreSeal);
                 match group.commit(record) {
-                    Ok(_) => group.notify_phase(BarrierPhase::PostSeal),
+                    Ok(_) => phase(BarrierPhase::PostSeal),
                     Err(e) => {
                         *shared.replica_error.lock().expect("replica error lock") = Some(e);
                         commit_ok = false;
@@ -955,6 +1013,12 @@ impl CkptSession<'_> {
             if commit_ok {
                 shared.completed_epoch.store(self.epoch, Ordering::SeqCst);
                 shared.completed_rounds.fetch_add(1, Ordering::SeqCst);
+                shared.emit(
+                    EventKind::EpochCommit,
+                    self.epoch,
+                    self.cut,
+                    (self.mode == CkptMode::Stop) as u64,
+                );
             }
             drop(round);
             if commit_ok {
@@ -966,6 +1030,10 @@ impl CkptSession<'_> {
                 if let Some((sink, vendor_hint)) = sink {
                     if let Some(ranks) = shared.images.take_all_if_complete() {
                         if let Err(e) = sink.submit(WorldImage::new(vendor_hint, ranks)) {
+                            shared.emit(EventKind::SinkError, self.epoch, 0, 0);
+                            if let Some(tel) = shared.telemetry.get() {
+                                tel.note_incident();
+                            }
                             *shared.sink_error.lock().expect("sink error lock") = Some(e);
                         }
                     }
@@ -978,6 +1046,12 @@ impl CkptSession<'_> {
                 shared.images.clear();
             }
             if let Some(group) = &replicas {
+                shared.emit(
+                    EventKind::BarrierPhase,
+                    phase_code(BarrierPhase::Release),
+                    self.epoch,
+                    self.cut,
+                );
                 group.notify_phase(BarrierPhase::Release);
             }
         }

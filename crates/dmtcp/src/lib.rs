@@ -72,5 +72,5 @@ pub use store::{
 };
 pub use tier::{
     FlakyTier, FsTier, GetFault, MemTier, ObjectTier, PutFault, Scrubber, TierConfig, TierError,
-    TierStats,
+    TierStats, TierStatsHandle,
 };

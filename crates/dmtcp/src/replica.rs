@@ -34,9 +34,11 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+use simnet::telemetry::{EventKind, Telemetry};
 
 use crate::codec::{CodecError, Reader, Writer};
 use crate::tier::{get_retried, put_verified, ObjectTier, TierConfig, TierError};
@@ -359,6 +361,17 @@ pub enum BarrierPhase {
     Release,
 }
 
+/// Stable numeric code of a barrier phase, as recorded in telemetry
+/// events (0=Arrive, 1=PreSeal, 2=PostSeal, 3=Release).
+pub fn phase_code(phase: BarrierPhase) -> u64 {
+    match phase {
+        BarrierPhase::Arrive => 0,
+        BarrierPhase::PreSeal => 1,
+        BarrierPhase::PostSeal => 2,
+        BarrierPhase::Release => 3,
+    }
+}
+
 /// One scripted fault for the failover battery, consumed in script order
 /// when its phase is announced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -605,6 +618,12 @@ pub struct ReplicaGroup {
     timer: LivenessTimer,
     acceptors: Vec<Acceptor>,
     state: Mutex<GroupState>,
+    /// Attached flight recorder (absent on bare groups).
+    telemetry: OnceLock<Arc<Telemetry>>,
+    /// Virtual-clock stamp of the round being committed, set by the
+    /// coordinator before it drives the group (the group itself runs on
+    /// a wall [`Clock`] and has no virtual time of its own).
+    vnow_ns: AtomicU64,
 }
 
 impl ReplicaGroup {
@@ -658,7 +677,33 @@ impl ReplicaGroup {
                 faults: VecDeque::new(),
                 stats: ReplicaStats::default(),
             }),
+            telemetry: OnceLock::new(),
+            vnow_ns: AtomicU64::new(0),
         })
+    }
+
+    /// Attach a flight recorder (first attachment wins). Elections,
+    /// per-slot accepts, and quorum losses flow onto its replica lane.
+    pub fn attach_telemetry(&self, tel: Arc<Telemetry>) {
+        let _ = self.telemetry.set(tel);
+    }
+
+    /// Stamp the virtual-clock time of the round about to be driven
+    /// (called by the coordinator, which does carry a virtual clock).
+    pub fn stamp_vnow(&self, vclock_ns: u64) {
+        self.vnow_ns.fetch_max(vclock_ns, Ordering::SeqCst);
+        if let Some(tel) = self.telemetry.get() {
+            tel.observe_time(vclock_ns);
+        }
+    }
+
+    /// Emit one event on the replica lane, stamped with the round's
+    /// virtual clock.
+    fn emit(&self, kind: EventKind, a: u64, b: u64, c: u64) {
+        if let Some(tel) = self.telemetry.get() {
+            let vnow = self.vnow_ns.load(Ordering::SeqCst).max(tel.observed_now());
+            tel.emit(tel.replica_lane(), kind, vnow, a, b, c);
+        }
     }
 
     /// A group over fresh in-memory logs (tests and benches).
@@ -726,9 +771,7 @@ impl ReplicaGroup {
             }
         };
         if let Some(id) = victim {
-            if std::env::var_os("CKPT_TRACE").is_some() {
-                eprintln!("[replica] fault script kills leader {id} at {phase:?}");
-            }
+            self.emit(EventKind::FaultKill, id as u64, phase_code(phase), 0);
             self.kill(id);
         }
     }
@@ -774,6 +817,10 @@ impl ReplicaGroup {
             if st.ballot == ballot {
                 st.leader = None;
             }
+        }
+        self.emit(EventKind::QuorumLost, self.quorum() as u64, 0, 0);
+        if let Some(tel) = self.telemetry.get() {
+            tel.note_incident();
         }
         Err(ReplicaError::NoQuorum {
             need: self.quorum(),
@@ -866,7 +913,14 @@ impl ReplicaGroup {
         let mut retries = 0u64;
         let mut promises = Vec::new();
         for acceptor in &self.acceptors {
-            if let Some(accepted) = acceptor.prepare(ballot, self.config.log, &mut retries)? {
+            let accepted = acceptor.prepare(ballot, self.config.log, &mut retries)?;
+            self.emit(
+                EventKind::Prepare,
+                ballot,
+                acceptor.id as u64,
+                accepted.is_some() as u64,
+            );
+            if let Some(accepted) = accepted {
                 promises.push(accepted);
             }
         }
@@ -876,6 +930,15 @@ impl ReplicaGroup {
             st.stats.log_retries += retries;
         }
         if promises.len() < self.quorum() {
+            self.emit(
+                EventKind::QuorumLost,
+                self.quorum() as u64,
+                promises.len() as u64,
+                0,
+            );
+            if let Some(tel) = self.telemetry.get() {
+                tel.note_incident();
+            }
             return Err(ReplicaError::NoQuorum {
                 need: self.quorum(),
                 have: promises.len(),
@@ -925,8 +988,24 @@ impl ReplicaGroup {
                 }
             }
         }
-        if std::env::var_os("CKPT_TRACE").is_some() {
-            eprintln!("[replica] elected leader {candidate} ballot {ballot} (recovery={recovery})");
+        self.emit(
+            EventKind::BallotWon,
+            ballot,
+            candidate as u64,
+            promises.len() as u64,
+        );
+        self.emit(
+            EventKind::LeaderElected,
+            candidate as u64,
+            ballot,
+            recovery as u64,
+        );
+        if recovery {
+            // A takeover is the incident the flight recorder exists for:
+            // make sure the session dumps this round's timeline.
+            if let Some(tel) = self.telemetry.get() {
+                tel.note_incident();
+            }
         }
         Ok(())
     }
@@ -943,6 +1022,7 @@ impl ReplicaGroup {
         let mut retries = 0u64;
         for acceptor in &self.acceptors {
             if acceptor.accept(ballot, slot, record, self.config.log, &mut retries)? {
+                self.emit(EventKind::Accept, ballot, slot, acceptor.id as u64);
                 acks += 1;
             }
         }
@@ -951,9 +1031,14 @@ impl ReplicaGroup {
             st.stats.log_retries += retries;
         }
         if acks >= self.quorum() {
+            self.emit(EventKind::SlotCommit, slot, ballot, 0);
             return Ok(true);
         }
         if self.live() < self.quorum() {
+            self.emit(EventKind::QuorumLost, self.quorum() as u64, acks as u64, 0);
+            if let Some(tel) = self.telemetry.get() {
+                tel.note_incident();
+            }
             return Err(ReplicaError::NoQuorum {
                 need: self.quorum(),
                 have: acks,

@@ -94,6 +94,8 @@ use std::io::{Read, Write as IoWrite};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 
+use simnet::telemetry::Telemetry;
+
 use crate::codec::{crc32, fnv1a, fnv1a_seeded, CodecError, Reader, Writer};
 use crate::coordinator::ImageSink;
 use crate::image::{ImageError, RankImage, WorldImage};
@@ -683,6 +685,9 @@ pub struct DeltaStore {
     /// The remote second tier, when attached: handle, config, and the
     /// background shipper thread uploading sealed epochs.
     tier: Option<TierRuntime>,
+    /// Attached flight recorder: commits, GC decisions and quarantines
+    /// land on its store lane.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl DeltaStore {
@@ -760,9 +765,29 @@ impl DeltaStore {
             quarantined: Vec::new(),
             stats: Vec::new(),
             tier: None,
+            telemetry: None,
         };
         store.rebuild_head_state()?;
         Ok(store)
+    }
+
+    /// Attach a flight recorder. Commit/GC/quarantine events flow onto
+    /// its store lane; an attached tier runtime inherits it for its
+    /// ship/seal events.
+    pub fn attach_telemetry(&mut self, tel: Arc<Telemetry>) {
+        if let Some(tier) = &self.tier {
+            tier.attach_telemetry(tel.clone());
+        }
+        self.telemetry = Some(tel);
+    }
+
+    /// Emit one event on the store lane, stamped with the recorder's
+    /// observed virtual-clock high-water mark (the store writer runs on
+    /// a background thread with no virtual clock of its own).
+    fn emit(&self, kind: simnet::telemetry::EventKind, a: u64, b: u64, c: u64) {
+        if let Some(tel) = &self.telemetry {
+            tel.emit(tel.store_lane(), kind, tel.observed_now(), a, b, c);
+        }
     }
 
     /// Like [`DeltaStore::open_with`], with a remote second tier attached
@@ -890,6 +915,7 @@ impl DeltaStore {
         }
         self.epochs.retain(|&e| e != epoch);
         self.quarantined.push(epoch);
+        self.emit(simnet::telemetry::EventKind::Quarantine, epoch, 0, 0);
         Ok(())
     }
 
@@ -973,6 +999,9 @@ impl DeltaStore {
         }
         let sealed: BTreeSet<u64> = seals.keys().copied().collect();
         let runtime = TierRuntime::spawn(tier.clone(), config, self.dir.clone(), durable.clone());
+        if let Some(tel) = &self.telemetry {
+            runtime.attach_telemetry(tel.clone());
+        }
         self.tier = Some(runtime);
         let hydrated = self.hydrate_with(&*tier, config, &sealed)?;
         let runtime = self.tier.as_ref().expect("tier just attached");
@@ -1010,6 +1039,14 @@ impl DeltaStore {
     /// Shipping statistics, if a tier is attached.
     pub fn tier_stats(&self) -> Option<TierStats> {
         self.tier.as_ref().map(|t| t.stats())
+    }
+
+    /// A cloneable live view of the shipper's statistics, if a tier is
+    /// attached. Survives the store moving into a background writer
+    /// thread ([`StoreWriter::from_store`]), which is how a session keeps
+    /// reporting tier stats in its telemetry snapshot.
+    pub fn tier_stats_handle(&self) -> Option<crate::tier::TierStatsHandle> {
+        self.tier.as_ref().map(|t| t.stats_handle())
     }
 
     /// The shipper's sticky error, if it has failed.
@@ -1599,6 +1636,18 @@ impl DeltaStore {
             blocks_new,
         };
         self.stats.push(stats);
+        self.emit(
+            simnet::telemetry::EventKind::StoreCommit,
+            epoch,
+            full as u64,
+            blocks_new,
+        );
+        if let Some(tel) = &self.telemetry {
+            tel.metrics().counter("store.commits").incr();
+            tel.metrics()
+                .histogram("store.commit_bytes")
+                .observe(stats.bytes_written);
+        }
         Ok(stats)
     }
 
@@ -1621,11 +1670,12 @@ impl DeltaStore {
         // state — retention must not race a slow (or failed) shipper
         // into deleting it. Undurable epochs count as live; they become
         // collectable on the first GC after their seal lands.
+        let mut guarded = 0u64;
         if let Some(tier) = &self.tier {
             let durable = tier.durable();
             for &e in &self.epochs {
-                if !durable.contains(&e) {
-                    live.insert(e);
+                if !durable.contains(&e) && live.insert(e) {
+                    guarded += 1;
                 }
             }
         }
@@ -1650,6 +1700,7 @@ impl DeltaStore {
             }
         }
         let dir = self.dir.clone();
+        let before = self.epochs.len();
         self.epochs.retain(|e| {
             if live.contains(e) {
                 return true;
@@ -1662,6 +1713,12 @@ impl DeltaStore {
                 Err(_) => true,
             }
         });
+        self.emit(
+            simnet::telemetry::EventKind::GcDecision,
+            (before - self.epochs.len()) as u64,
+            self.epochs.len() as u64,
+            guarded,
+        );
         // Prune the dedup index of blocks whose epochs are gone; without
         // this, a later commit could reference a deleted epoch and
         // produce a manifest that cannot be restored. The section cache
@@ -1832,6 +1889,12 @@ impl StoreWriter {
         Ok(StoreWriter::spawn_store(store))
     }
 
+    /// Spawn the background writer around a store the caller opened (and
+    /// possibly configured — e.g. attached a flight recorder to) itself.
+    pub fn from_store(store: DeltaStore) -> StoreWriter {
+        StoreWriter::spawn_store(store)
+    }
+
     /// Spawn the background committer thread around an opened store.
     fn spawn_store(mut store: DeltaStore) -> StoreWriter {
         let shared = Arc::new(WriterShared {
@@ -1866,6 +1929,24 @@ impl StoreWriter {
                     // A slot just freed: wake blocked submitters early.
                     worker_shared.cv.notify_all();
                     let result = store.commit(&image);
+                    if let Err(e) = &result {
+                        // A failing sink is a flight-recorder incident:
+                        // record it before the error goes sticky so the
+                        // session's crash dump explains the red run.
+                        if let Some(tel) = &store.telemetry {
+                            let epoch = image.ranks.first().map_or(0, |r| r.epoch);
+                            tel.emit(
+                                tel.store_lane(),
+                                simnet::telemetry::EventKind::SinkError,
+                                tel.observed_now(),
+                                epoch,
+                                0,
+                                0,
+                            );
+                            tel.note_incident();
+                        }
+                        let _ = e;
+                    }
                     let mut st = worker_shared.state.lock().expect("writer lock");
                     st.in_flight = false;
                     match result {

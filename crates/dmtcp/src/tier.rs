@@ -37,8 +37,10 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
+
+use simnet::telemetry::{EventKind, Telemetry};
 
 use crate::codec::{crc32, fnv1a, CodecError, Reader, Writer};
 use crate::store::{DeltaStore, ScrubReport, StoreError};
@@ -753,6 +755,44 @@ struct ShipState {
 struct ShipShared {
     state: Mutex<ShipState>,
     cv: Condvar,
+    /// Attached flight recorder, shared with the shipper thread (which
+    /// may outlive the attach call site).
+    telemetry: OnceLock<Arc<Telemetry>>,
+}
+
+impl ShipShared {
+    /// Emit one event on the tier lane, stamped with the recorder's
+    /// observed virtual-clock high-water mark (the shipper is a wall
+    /// clock background thread).
+    fn emit(&self, kind: EventKind, a: u64, b: u64, c: u64) {
+        if let Some(tel) = self.telemetry.get() {
+            tel.emit(tel.tier_lane(), kind, tel.observed_now(), a, b, c);
+        }
+    }
+}
+
+/// A cloneable live view of the shipper's [`TierStats`], detached from
+/// the store that owns the [`TierRuntime`]. Lets a session keep reading
+/// shipping statistics after the store has moved into the background
+/// writer thread (`StoreWriter::from_store`).
+#[derive(Clone)]
+pub struct TierStatsHandle {
+    shared: Arc<ShipShared>,
+}
+
+impl TierStatsHandle {
+    /// The shipper's statistics right now.
+    pub fn stats(&self) -> TierStats {
+        self.shared.state.lock().expect("shipper lock").stats
+    }
+}
+
+impl std::fmt::Debug for TierStatsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierStatsHandle")
+            .field("stats", &self.stats())
+            .finish()
+    }
 }
 
 /// The live tier attachment of a [`DeltaStore`]: the tier handle, its
@@ -786,6 +826,7 @@ impl TierRuntime {
                 stats: TierStats::default(),
             }),
             cv: Condvar::new(),
+            telemetry: OnceLock::new(),
         });
         let worker_shared = shared.clone();
         let worker_tier = tier.clone();
@@ -811,8 +852,26 @@ impl TierRuntime {
                         st = worker_shared.cv.wait(st).expect("shipper wait");
                     }
                 };
+                worker_shared.emit(EventKind::TierShip, epoch, 0, 0);
                 let mut retries = 0u64;
                 let result = ship_epoch(&*worker_tier, config, &dir, epoch, &mut retries);
+                if let Some(tel) = worker_shared.telemetry.get() {
+                    if retries > 0 {
+                        tel.metrics().counter("tier.put_retries").add(retries);
+                    }
+                    match &result {
+                        Ok(bytes) => {
+                            worker_shared.emit(EventKind::SealDurable, epoch, *bytes, retries);
+                            tel.metrics().histogram("tier.ship_bytes").observe(*bytes);
+                        }
+                        Err(_) => {
+                            // An abandoned upload leaves this epoch's only
+                            // durable copy local: an incident worth a dump.
+                            worker_shared.emit(EventKind::TierFail, epoch, retries, 0);
+                            tel.note_incident();
+                        }
+                    }
+                }
                 let mut st = worker_shared.state.lock().expect("shipper lock");
                 st.in_flight = false;
                 st.stats.put_retries += retries;
@@ -836,6 +895,12 @@ impl TierRuntime {
             shared,
             worker: Mutex::new(Some(worker)),
         }
+    }
+
+    /// Attach a flight recorder (first attachment wins). Ship starts,
+    /// durable seals, and abandoned uploads flow onto its tier lane.
+    pub(crate) fn attach_telemetry(&self, tel: Arc<Telemetry>) {
+        let _ = self.shared.telemetry.set(tel);
     }
 
     /// Queue one committed epoch for upload. Never blocks and never
@@ -875,6 +940,14 @@ impl TierRuntime {
     /// Shipping statistics so far.
     pub(crate) fn stats(&self) -> TierStats {
         self.shared.state.lock().expect("shipper lock").stats
+    }
+
+    /// A cloneable handle that keeps reading the live statistics after
+    /// the owning store has moved to another thread.
+    pub(crate) fn stats_handle(&self) -> TierStatsHandle {
+        TierStatsHandle {
+            shared: self.shared.clone(),
+        }
     }
 
     /// The sticky shipper error, if any.

@@ -90,7 +90,14 @@ pub fn maybe_checkpoint(
     memory: &Memory,
     resume_step: u64,
 ) -> AbiResult<CkptAction> {
-    let session = match agent.poll(resume_step).map_err(|_| AbiError::Ckpt)? {
+    // Report this rank's virtual-clock position alongside the poll so
+    // flight-recorder events from the coordinator and its background
+    // threads are stamped no earlier than the safe point that caused them.
+    let vnow = mana.ctx.now().as_nanos();
+    let session = match agent
+        .poll_at(resume_step, vnow)
+        .map_err(|_| AbiError::Ckpt)?
+    {
         Poll::None | Poll::KeepRunning => return Ok(CkptAction::None),
         Poll::Enter(session) => session,
     };

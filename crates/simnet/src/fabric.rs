@@ -26,7 +26,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use bytes::Bytes;
 
@@ -34,6 +34,7 @@ use crate::cluster::ClusterSpec;
 use crate::envelope::Envelope;
 use crate::error::{SimError, SimResult};
 use crate::rank::RankCtx;
+use crate::telemetry::{Counter, Telemetry};
 
 /// Default number of lock stripes per destination mailbox. Eight stripes
 /// keep the per-mailbox footprint trivial while making an all-to-one
@@ -83,7 +84,8 @@ impl Mailbox {
 
     /// Enqueue one envelope from `src` and wake a sleeping receiver if one
     /// is registered. Only the stripe lock is taken on the fast path.
-    fn push(&self, src: usize, env: Envelope) {
+    /// Returns whether a sleeping receiver was woken.
+    fn push(&self, src: usize, env: Envelope) -> bool {
         let stamp = self.arrivals.fetch_add(1, Ordering::SeqCst);
         let stripe = &self.stripes[src % self.stripes.len()];
         {
@@ -100,7 +102,9 @@ impl Mailbox {
         // is ordered after our `queued` increment and it will not sleep.
         if self.waiters.load(Ordering::SeqCst) > 0 {
             self.wake_one();
+            return true;
         }
+        false
     }
 
     /// Pop the queued envelope with the smallest arrival stamp, if any.
@@ -170,6 +174,22 @@ impl Mailbox {
     }
 }
 
+/// The fabric's attached flight recorder plus cached counter handles,
+/// so the send and match hot paths pay one atomic add per metric
+/// instead of a registry lookup.
+pub(crate) struct FabricTelemetry {
+    pub(crate) tel: Arc<Telemetry>,
+    sends: Counter,
+    wakeups: Counter,
+    broadcast_wakeups: Counter,
+    /// Successful message matches (exact + wildcard), fed by [`crate::matching`].
+    pub(crate) match_hits: Counter,
+    /// Wildcard receives that had to scan candidate bucket fronts.
+    pub(crate) wildcard_scans: Counter,
+    /// Total candidate buckets compared across all wildcard scans.
+    pub(crate) wildcard_scanned: Counter,
+}
+
 struct Shared {
     nranks: usize,
     failed: Vec<AtomicBool>,
@@ -183,6 +203,8 @@ struct Shared {
     /// non-fault-tolerant MPI would.
     failure_detection: AtomicBool,
     mailboxes: Vec<Mailbox>,
+    /// Attached at most once, before ranks start; absent on bare fabrics.
+    telemetry: OnceLock<FabricTelemetry>,
 }
 
 /// Handle to the whole fabric: constructs endpoints, injects failures,
@@ -212,6 +234,7 @@ impl Fabric {
             shutdown: AtomicBool::new(false),
             failure_detection: AtomicBool::new(false),
             mailboxes: (0..nranks).map(|_| Mailbox::new(nstripes)).collect(),
+            telemetry: OnceLock::new(),
         });
         let fabric = Fabric { shared };
         let endpoints = (0..nranks)
@@ -237,6 +260,38 @@ impl Fabric {
             .map_or(1, |mb| mb.stripes.len())
     }
 
+    /// Attach a flight recorder to the fabric. First attachment wins;
+    /// later calls are no-ops. Send/wakeup counters and message-match
+    /// events flow into it from every endpoint.
+    pub fn attach_telemetry(&self, tel: Arc<Telemetry>) {
+        let _ = self.shared.telemetry.set(FabricTelemetry {
+            sends: tel.metrics().counter("fabric.sends"),
+            wakeups: tel.metrics().counter("fabric.wakeups"),
+            broadcast_wakeups: tel.metrics().counter("fabric.broadcast_wakeups"),
+            match_hits: tel.metrics().counter("match.hits"),
+            wildcard_scans: tel.metrics().counter("match.wildcard_scans"),
+            wildcard_scanned: tel.metrics().counter("match.wildcard_scanned_buckets"),
+            tel,
+        });
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.shared.telemetry.get().map(|ft| &ft.tel)
+    }
+
+    /// Cached counter handles for same-crate hot paths (matching).
+    pub(crate) fn tel_handles(&self) -> Option<&FabricTelemetry> {
+        self.shared.telemetry.get()
+    }
+
+    /// Count a broadcast wakeup (shutdown / fail-stop / detection flip).
+    fn note_broadcast_wakeup(&self) {
+        if let Some(ft) = self.shared.telemetry.get() {
+            ft.broadcast_wakeups.incr();
+        }
+    }
+
     /// Mark a rank as failed (fail-stop). Subsequent sends to it error with
     /// [`SimError::PeerFailed`]; blocked receivers are woken immediately
     /// and learn of it if failure detection is enabled.
@@ -247,6 +302,7 @@ impl Fabric {
         if !self.shared.failed[rank].swap(true, Ordering::SeqCst) {
             self.shared.failed_count.fetch_add(1, Ordering::SeqCst);
         }
+        self.note_broadcast_wakeup();
         for mb in &self.shared.mailboxes {
             mb.wake_all();
         }
@@ -272,6 +328,7 @@ impl Fabric {
     /// waiting forever like a non-fault-tolerant MPI.
     pub fn enable_failure_detection(&self) {
         self.shared.failure_detection.store(true, Ordering::SeqCst);
+        self.note_broadcast_wakeup();
         for mb in &self.shared.mailboxes {
             mb.wake_all();
         }
@@ -282,6 +339,7 @@ impl Fabric {
     /// panics so the remaining ranks unwind instead of deadlocking.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.note_broadcast_wakeup();
         for mb in &self.shared.mailboxes {
             mb.wake_all();
         }
@@ -380,7 +438,13 @@ impl Endpoint {
             seq,
         };
         ctx.count_send(env.len());
-        shared.mailboxes[dst].push(self.rank, env);
+        let woke = shared.mailboxes[dst].push(self.rank, env);
+        if let Some(ft) = shared.telemetry.get() {
+            ft.sends.incr();
+            if woke {
+                ft.wakeups.incr();
+            }
+        }
         Ok(())
     }
 

@@ -90,6 +90,7 @@ pub mod matching;
 pub mod noise;
 pub mod rank;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod world;
 
@@ -102,5 +103,9 @@ pub use matching::{ArrivalModel, MatchCore, MatchedMsg, SrcPattern, TagPattern, 
 pub use noise::NoiseModel;
 pub use rank::RankCtx;
 pub use stats::{mean, median, stddev, Summary};
+pub use telemetry::{
+    Counter, Event, EventKind, Gauge, Histogram, MetricValue, MetricsRegistry, Telemetry,
+    TelemetryConfig,
+};
 pub use time::VirtualTime;
 pub use world::{RunPlan, World, WorldOutcome};

@@ -42,6 +42,7 @@ use std::collections::{HashMap, VecDeque};
 use crate::envelope::Envelope;
 use crate::error::SimResult;
 use crate::rank::RankCtx;
+use crate::telemetry::EventKind;
 use crate::time::VirtualTime;
 
 /// Maps a raw envelope to its arrival time at this rank — the hook where
@@ -177,17 +178,20 @@ impl<M: ArrivalModel> MatchCore<M> {
         Ok(())
     }
 
-    /// The bucket key holding the first match for the pattern, if any.
-    /// Exact patterns are a single hash probe; wildcard patterns compare
-    /// candidate bucket fronts by arrival sequence.
-    fn locate(&self, ctx_id: u64, src: SrcPattern, tag: TagPattern) -> Option<Key> {
+    /// The bucket key holding the first match for the pattern, if any,
+    /// plus how many candidate buckets a wildcard scan compared (0 for
+    /// exact probes). Exact patterns are a single hash probe; wildcard
+    /// patterns compare candidate bucket fronts by arrival sequence.
+    fn locate(&self, ctx_id: u64, src: SrcPattern, tag: TagPattern) -> (Option<Key>, usize) {
         if let (SrcPattern::Is(s), TagPattern::Is(t)) = (src, tag) {
             let key = (ctx_id, s, t);
-            return self.buckets.contains_key(&key).then_some(key);
+            return (self.buckets.contains_key(&key).then_some(key), 0);
         }
         // by_ctx tracks exactly the live (nonempty) buckets: pick the
         // pattern-matching front with the smallest arrival sequence.
-        let keys = self.by_ctx.get(&ctx_id)?;
+        let Some(keys) = self.by_ctx.get(&ctx_id) else {
+            return (None, 0);
+        };
         let mut best: Option<(u64, Key)> = None;
         for &key in keys.iter() {
             let (_, ksrc, ktag) = key;
@@ -210,7 +214,7 @@ impl<M: ArrivalModel> MatchCore<M> {
                 best = Some((front_seq, key));
             }
         }
-        best.map(|(_, key)| key)
+        (best.map(|(_, key)| key), keys.len())
     }
 
     /// Non-blocking match: pump the wire, then deliver the first matching
@@ -234,7 +238,9 @@ impl<M: ArrivalModel> MatchCore<M> {
         src: SrcPattern,
         tag: TagPattern,
     ) -> Option<MatchedMsg> {
-        let key = self.locate(ctx_id, src, tag)?;
+        let (located, scanned) = self.locate(ctx_id, src, tag);
+        note_scan(ctx, scanned);
+        let key = located?;
         let bucket = self.buckets.get_mut(&key).expect("located bucket exists");
         let msg = bucket.pop_front().expect("located bucket nonempty");
         // Evict emptied buckets — and their by_ctx index entries — so no
@@ -252,6 +258,7 @@ impl<M: ArrivalModel> MatchCore<M> {
         }
         self.total -= 1;
         ctx.count_recv(msg.env.len());
+        note_match(ctx, &msg);
         Some(msg)
     }
 
@@ -286,7 +293,9 @@ impl<M: ArrivalModel> MatchCore<M> {
         tag: TagPattern,
     ) -> SimResult<Option<MatchedMsg>> {
         self.pump(ctx)?;
-        let key = match self.locate(ctx_id, src, tag) {
+        let (located, scanned) = self.locate(ctx_id, src, tag);
+        note_scan(ctx, scanned);
+        let key = match located {
             Some(key) => key,
             None => return Ok(None),
         };
@@ -307,6 +316,36 @@ impl<M: ArrivalModel> MatchCore<M> {
             }
             let env = ctx.endpoint().recv_raw()?;
             self.ingest(ctx, env);
+        }
+    }
+}
+
+/// Record a successful match on the rank's telemetry lane (if the
+/// fabric has a recorder attached): one `MsgMatch` event stamped with
+/// the message's virtual arrival time, plus the match-hit counter.
+#[inline]
+fn note_match(ctx: &RankCtx, msg: &MatchedMsg) {
+    if let Some(ft) = ctx.endpoint().fabric().tel_handles() {
+        ft.match_hits.incr();
+        ft.tel.emit_rank(
+            ctx.rank(),
+            EventKind::MsgMatch,
+            msg.arrival.as_nanos(),
+            msg.env.src as u64,
+            msg.env.tag as u32 as u64,
+            msg.seq,
+        );
+    }
+}
+
+/// Record a wildcard front scan over `scanned` candidate buckets
+/// (exact-probe lookups pass 0 and cost one branch).
+#[inline]
+fn note_scan(ctx: &RankCtx, scanned: usize) {
+    if scanned > 0 {
+        if let Some(ft) = ctx.endpoint().fabric().tel_handles() {
+            ft.wildcard_scans.incr();
+            ft.wildcard_scanned.add(scanned as u64);
         }
     }
 }

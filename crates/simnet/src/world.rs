@@ -267,6 +267,17 @@ impl World {
                 (rank, res, ctx.now(), ctx.counters())
             }
             Err(payload) => {
+                if let Some(tel) = fabric.telemetry() {
+                    tel.emit_rank(
+                        rank,
+                        crate::telemetry::EventKind::RankUnwind,
+                        ctx.now().as_nanos(),
+                        rank as u64,
+                        0,
+                        0,
+                    );
+                    tel.note_incident();
+                }
                 fabric.shutdown();
                 let message = payload
                     .downcast_ref::<&str>()

@@ -425,3 +425,106 @@ fn session_failover_restart_is_bit_identical_across_vendors() {
         std::fs::remove_dir_all(&rdir).ok();
     }
 }
+
+/// Flight-recorder acceptance: a forced leader kill mid-battery makes the
+/// session write a merged crash-dump timeline at the end of the run, and
+/// the dump contains the failed round's `BarrierPhase`, `LeaderElected`
+/// and `EpochCommit` events — in that order, sorted by virtual clock.
+#[test]
+fn leader_kill_writes_a_merged_crash_dump_timeline() {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("stool-dump-chain-{pid}"));
+    let rdir = std::env::temp_dir().join(format!("stool-dump-replicas-{pid}"));
+    let ddir = std::env::temp_dir().join(format!("stool-dump-out-{pid}"));
+    for d in [&dir, &rdir, &ddir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+
+    let mut policy = ReplicaPolicy::new(&rdir);
+    policy.election_timeout = Duration::from_millis(2);
+    policy.log.backoff = Duration::from_millis(1);
+    // Epoch 1 (step 20) primes the group; epoch 2 (step 40) consumes the
+    // scripted kill and fails over mid-commit — the "failed round".
+    policy.faults = vec![ReplicaFault::KillLeaderAt(BarrierPhase::PreSeal)];
+
+    let session = Session::builder()
+        .cluster(cluster())
+        .vendor(Vendor::Mpich)
+        .checkpointer(Checkpointer::mana())
+        .checkpoint_every(20)
+        .checkpoint_store(&dir)
+        .replicated_coordinator_with(policy)
+        .crash_dump_dir(&ddir)
+        .build()
+        .unwrap();
+    let out = session.launch(&solver()).unwrap();
+    assert!(out.is_completed(), "the takeover is transparent to the job");
+
+    // The unified snapshot: recorder + store + replica stats in one place.
+    let snap = session.telemetry().expect("telemetry after launch");
+    assert!(snap.incidents() >= 1, "a recovery election is an incident");
+    assert!(snap.replica.expect("replica stats in snapshot").recoveries >= 1);
+    assert!(
+        !snap.epochs.is_empty(),
+        "store epoch stats unified in the snapshot"
+    );
+
+    // The end-of-run dump fired because the run recorded incidents, even
+    // though the job itself completed.
+    let jsonl = snap.dump.clone().expect("crash dump written");
+    let text = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(
+        jsonl.with_file_name("flight.trace.json").exists(),
+        "Chrome trace written next to the JSON lines"
+    );
+
+    // The timeline is virtual-clock sorted.
+    let vt = |line: &str| -> u64 {
+        let at = line.find("\"vt_ns\":").expect("event has vt_ns") + 8;
+        line[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    let events: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"type\":\"event\""))
+        .collect();
+    assert!(
+        events.windows(2).all(|w| vt(w[0]) <= vt(w[1])),
+        "merged timeline must be ordered by virtual clock"
+    );
+
+    // The failed round's events, in virtual-clock order: its barrier
+    // phases, the recovery election that rode out the kill, then the
+    // round's eventual quorum commit.
+    let index_of = |pred: &dyn Fn(&str) -> bool, what: &str| -> usize {
+        events
+            .iter()
+            .position(|l| pred(l))
+            .unwrap_or_else(|| panic!("{what} missing from the dump"))
+    };
+    let barrier = index_of(
+        &|l| l.contains("\"kind\":\"BarrierPhase\"") && l.contains("\"epoch\":2"),
+        "BarrierPhase of the failed round",
+    );
+    let elected = index_of(
+        &|l| l.contains("\"kind\":\"LeaderElected\"") && l.contains("\"recovery\":1"),
+        "recovery LeaderElected",
+    );
+    let commit = index_of(
+        &|l| l.contains("\"kind\":\"EpochCommit\"") && l.contains("\"epoch\":2"),
+        "EpochCommit of the failed round",
+    );
+    assert!(
+        barrier < elected && elected < commit,
+        "failed round must read arrive → takeover → commit \
+         (got BarrierPhase@{barrier}, LeaderElected@{elected}, EpochCommit@{commit})"
+    );
+
+    for d in [&dir, &rdir, &ddir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
