@@ -14,10 +14,19 @@
 //! * `p2p_drain` / `allreduce` / `ckpt_rendezvous` — deterministic
 //!   **virtual-time** makespans through the full Session stack under both
 //!   vendors (these gate hard in benchgate; wall-clock only warns).
+//! * `cluster` — the multi-tenant saturation battery: a fixed-config
+//!   [`stool::cluster::Cluster`] of checkpointing tenants churning
+//!   through ONE shared committer and ONE shared tier. Tenant count and
+//!   total committed epochs gate exactly; the fairness spread
+//!   ((max − min) / mean of the tenants' virtual makespans) gates at
+//!   benchgate's tolerance; wall-clock only warns.
 //!
 //! `BENCH_SCALE_MAX` caps the largest world (default 1024) so constrained
 //! environments can trim the sweep; benchgate then compares only the rows
 //! present on both sides but requires ≥ 512 ranks in the fresh emit.
+//! `BENCH_CLUSTER_TENANTS` (nightly stress knob) additionally runs a
+//! bigger tenant sweep, printed and completion-asserted only — the gated
+//! `cluster` JSON section always comes from the fixed config.
 
 use std::time::Instant;
 
@@ -30,6 +39,8 @@ use dmtcp_sim::{
 use mpi_abi::{Handle, ReduceOp};
 use simnet::{ClusterSpec, Fabric, Interconnect};
 use std::sync::Arc;
+use stool::cluster::{Cluster, TenantSpec};
+use stool::programs::RingPings;
 use stool::{AppCtx, Checkpointer, MpiProgram, Session, StoolResult, Vendor};
 
 /// World sizes for the sweep; ranks per node stays at 64 (16 nodes at the
@@ -272,6 +283,95 @@ fn failover_recovery_rounds() -> u64 {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-tenant cluster saturation (deterministic fairness, wall warns)
+// ---------------------------------------------------------------------------
+
+/// Tenants in the *gated* saturation run. Fixed: the emitted `cluster`
+/// section must be a pure function of this config so benchgate can gate
+/// it, whatever knobs a nightly sweep adds on top.
+const CLUSTER_TENANTS: usize = 4;
+
+struct ClusterNumbers {
+    tenants: usize,
+    epochs_total: u64,
+    fairness_spread: f64,
+    wall_ms: f64,
+}
+
+/// Run `tenants` checkpointing worlds concurrently through ONE shared
+/// committer and ONE shared tier, alternating vendors, and distill the
+/// run into the gated numbers:
+///
+/// * `epochs_total` — committed epochs summed over every tenant lane.
+///   The per-tenant policy is fixed, so this is exact-deterministic.
+/// * `fairness_spread` — `(max − min) / mean` of the tenants' virtual
+///   makespans. Virtual time is per-world and independent of pool
+///   scheduling, so the spread is a deterministic function of the
+///   vendor mix: it widening means a shared component started taxing
+///   some tenants more than others.
+/// * `wall_ms` — wall-clock of the whole cluster run (machine-bound).
+fn cluster_saturation(tenants: usize) -> ClusterNumbers {
+    let root = std::env::temp_dir().join(format!(
+        "stool-bench-cluster-{}-{tenants}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut builder = Cluster::builder().worker_threads(4).tier(root.join("tier"));
+    for i in 0..tenants {
+        let vendor = if i.is_multiple_of(2) {
+            Vendor::Mpich
+        } else {
+            Vendor::OpenMpi
+        };
+        let session = Session::builder()
+            .cluster(ClusterSpec::builder().nodes(1).ranks_per_node(2).build())
+            .vendor(vendor)
+            .checkpointer(Checkpointer::mana())
+            .checkpoint_every(2)
+            .checkpoint_store(root.join(format!("chain_{i}")))
+            .build()
+            .expect("tenant session");
+        builder = builder.tenant(format!("t{i}"), TenantSpec::new(session));
+    }
+    let cluster = builder.build().expect("cluster");
+    let program = RingPings {
+        rounds: 6,
+        payload: 64,
+    };
+    let ids: Vec<String> = (0..tenants).map(|i| format!("t{i}")).collect();
+    let programs: Vec<(&str, &dyn MpiProgram)> = ids
+        .iter()
+        .map(|id| (id.as_str(), &program as &dyn MpiProgram))
+        .collect();
+    let start = Instant::now();
+    let report = cluster.run(&programs).expect("cluster run");
+    let wall_ms = (start.elapsed().as_secs_f64() * 1e3).max(1e-6);
+    assert!(
+        report.all_completed(),
+        "every saturation tenant must complete"
+    );
+    let epochs_total = report.tenants.values().map(|t| t.epochs.len() as u64).sum();
+    let makespans: Vec<f64> = report
+        .tenants
+        .values()
+        .map(|t| match &t.outcome {
+            Ok(o) => o.makespan().as_secs_f64(),
+            Err(e) => unreachable!("completed tenant with error: {e}"),
+        })
+        .collect();
+    let max = makespans.iter().fold(f64::MIN, |a, &b| a.max(b));
+    let min = makespans.iter().fold(f64::MAX, |a, &b| a.min(b));
+    let mean = makespans.iter().sum::<f64>() / makespans.len() as f64;
+    let _ = std::fs::remove_dir_all(&root);
+    ClusterNumbers {
+        tenants,
+        epochs_total,
+        fairness_spread: (max - min) / mean,
+        wall_ms,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // JSON emission
 // ---------------------------------------------------------------------------
 
@@ -281,6 +381,7 @@ struct Measurements {
     allreduce: Vec<(usize, &'static str, f64)>,
     ckpt: Vec<(usize, &'static str, f64)>,
     failover_recovery_rounds: u64,
+    cluster: ClusterNumbers,
 }
 
 fn vendor_rows(json: &mut String, key: &str, rows: &[(usize, &'static str, f64)]) {
@@ -314,7 +415,13 @@ fn emit_json(m: &Measurements, stripes: usize) {
     vendor_rows(&mut json, "allreduce", &m.allreduce);
     json.push_str(",\n");
     vendor_rows(&mut json, "ckpt_rendezvous", &m.ckpt);
-    json.push_str("\n}\n");
+    json.push_str(",\n");
+    json.push_str(&format!(
+        "  \"cluster\": {{\"tenants\": {}, \"epochs_total\": {}, \
+         \"fairness_spread\": {:.9}, \"wall_ms\": {:.6}}}\n",
+        m.cluster.tenants, m.cluster.epochs_total, m.cluster.fairness_spread, m.cluster.wall_ms
+    ));
+    json.push_str("}\n");
     // Land at the workspace root regardless of the bench CWD, so CI picks
     // one stable path up.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -331,12 +438,32 @@ fn measure_all() -> Measurements {
         allreduce: Vec::new(),
         ckpt: Vec::new(),
         failover_recovery_rounds: 0,
+        cluster: cluster_saturation(CLUSTER_TENANTS),
     };
     m.failover_recovery_rounds = failover_recovery_rounds();
     println!(
         "scale/failover battery: {} takeovers recovered",
         m.failover_recovery_rounds
     );
+    println!(
+        "scale/cluster: {} tenants, {} epochs, fairness spread {:.6}, {:.1} ms wall",
+        m.cluster.tenants, m.cluster.epochs_total, m.cluster.fairness_spread, m.cluster.wall_ms
+    );
+    // Nightly stress knob: a bigger tenant sweep, printed and
+    // completion-asserted only — never fed into the gated JSON above.
+    if let Some(n) = std::env::var("BENCH_CLUSTER_TENANTS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        if n > CLUSTER_TENANTS {
+            let big = cluster_saturation(n);
+            println!(
+                "scale/cluster nightly sweep: {} tenants, {} epochs, fairness spread {:.6}, \
+                 {:.1} ms wall (not gated)",
+                big.tenants, big.epochs_total, big.fairness_spread, big.wall_ms
+            );
+        }
+    }
     let p2p = RingDrain {
         rounds: 4,
         count: 16,

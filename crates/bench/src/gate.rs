@@ -456,6 +456,28 @@ pub struct TelemetryReport {
     pub events_per_sec_wall: f64,
 }
 
+/// The multi-tenant cluster saturation section of `BENCH_scale.json`:
+/// a fixed-config `Cluster` of checkpointing tenants churning through
+/// one shared committer and one shared tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSection {
+    /// Concurrent tenants in the fixed saturation config (deterministic;
+    /// must match the baseline exactly).
+    pub tenants: f64,
+    /// Committed epochs summed over every tenant lane (deterministic —
+    /// fixed checkpoint policy on a fixed program; must match exactly).
+    pub epochs_total: f64,
+    /// `(max − min) / mean` of the tenants' virtual makespans. Virtual
+    /// time is per-world and scheduling-independent, so this is a
+    /// deterministic function of the vendor mix: gates at [`TOLERANCE`]
+    /// in *both* directions (widening means shared infrastructure taxes
+    /// tenants unevenly; narrowing means the tenant mix changed).
+    pub fairness_spread: f64,
+    /// Wall-clock of the whole cluster run in milliseconds
+    /// (machine-dependent: warns, never gates).
+    pub wall_ms: f64,
+}
+
 /// Parsed, schema-checked `BENCH_scale.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScaleReport {
@@ -472,6 +494,8 @@ pub struct ScaleReport {
     /// Leader takeovers recovered by the coordinator failover battery
     /// (one scripted kill per barrier phase — fully deterministic).
     pub failover_recovery_rounds: f64,
+    /// The multi-tenant saturation battery.
+    pub cluster: ClusterSection,
 }
 
 fn field<'j>(
@@ -678,6 +702,7 @@ pub fn parse_scale_report(text: &str) -> Result<ScaleReport, GateError> {
             "p2p_drain",
             "allreduce",
             "ckpt_rendezvous",
+            "cluster",
         ],
     )?;
     let bench = field(top, "top level", "bench")?.str("bench")?;
@@ -701,11 +726,36 @@ pub fn parse_scale_report(text: &str) -> Result<ScaleReport, GateError> {
             tree_ms: positive(field(obj, &what, "tree_ms")?.num("tree_ms")?, "tree_ms")?,
         });
     }
+    let cl = field(top, "top level", "cluster")?.obj("cluster")?;
+    no_extra_keys(
+        cl,
+        "cluster",
+        &["tenants", "epochs_total", "fairness_spread", "wall_ms"],
+    )?;
+    let cluster = ClusterSection {
+        tenants: positive(
+            field(cl, "cluster", "tenants")?.num("tenants")?,
+            "cluster.tenants",
+        )?,
+        epochs_total: positive(
+            field(cl, "cluster", "epochs_total")?.num("epochs_total")?,
+            "cluster.epochs_total",
+        )?,
+        fairness_spread: positive(
+            field(cl, "cluster", "fairness_spread")?.num("fairness_spread")?,
+            "cluster.fairness_spread",
+        )?,
+        wall_ms: positive(
+            field(cl, "cluster", "wall_ms")?.num("wall_ms")?,
+            "cluster.wall_ms",
+        )?,
+    };
     Ok(ScaleReport {
         stripes: positive(
             field(top, "top level", "stripes")?.num("stripes")?,
             "stripes",
         )?,
+        cluster,
         rendezvous_wallclock: rendezvous,
         p2p_drain: parse_scale_rows(field(top, "top level", "p2p_drain")?, "p2p_drain")?,
         allreduce: parse_scale_rows(field(top, "top level", "allreduce")?, "allreduce")?,
@@ -964,6 +1014,48 @@ pub fn compare_scale(out: &mut GateOutcome, base: &ScaleReport, fresh: &ScaleRep
             }
         }
     }
+    // The multi-tenant saturation battery runs a fixed config: the
+    // tenant count and the total committed epochs are deterministic and
+    // must match the baseline exactly (a drift means the config or the
+    // checkpoint schedule silently changed, which invalidates the
+    // fairness comparison).
+    if fresh.cluster.tenants != base.cluster.tenants {
+        out.regressions.push(format!(
+            "scale/cluster/tenants: {} vs baseline {} (deterministic; must match)",
+            fresh.cluster.tenants, base.cluster.tenants
+        ));
+    } else {
+        out.passed += 1;
+    }
+    if fresh.cluster.epochs_total != base.cluster.epochs_total {
+        out.regressions.push(format!(
+            "scale/cluster/epochs_total: {} vs baseline {} (deterministic; must match)",
+            fresh.cluster.epochs_total, base.cluster.epochs_total
+        ));
+    } else {
+        out.passed += 1;
+    }
+    // Fairness gates in both directions: a wider spread means the shared
+    // committer/tier/pool stopped treating tenants fairly, a narrower
+    // one means the tenant mix itself changed under the gate's feet.
+    check_upper(
+        out,
+        "scale/cluster/fairness_spread",
+        base.cluster.fairness_spread,
+        fresh.cluster.fairness_spread,
+    );
+    check_lower(
+        out,
+        "scale/cluster/fairness_spread",
+        base.cluster.fairness_spread,
+        fresh.cluster.fairness_spread,
+    );
+    if fresh.cluster.wall_ms > base.cluster.wall_ms * (1.0 + TOLERANCE) {
+        out.warnings.push(format!(
+            "scale/cluster/wall_ms: {:.3} ms vs baseline {:.3} ms (wall-clock; not gated)",
+            fresh.cluster.wall_ms, base.cluster.wall_ms
+        ));
+    }
 }
 
 #[cfg(test)]
@@ -1126,7 +1218,9 @@ mod tests {
              {{\"ranks\": {max_ranks}, \"flat_ms\": 40.0, \"tree_ms\": 12.0}}], \
              \"p2p_drain\": [{{\"ranks\": 64, \"vendor\": \"MPICH\", \"virt_makespan_s\": {virt}}}], \
              \"allreduce\": [{{\"ranks\": 64, \"vendor\": \"MPICH\", \"virt_makespan_s\": {virt}}}], \
-             \"ckpt_rendezvous\": [{{\"ranks\": 64, \"vendor\": \"MPICH\", \"virt_makespan_s\": {virt}}}]}}"
+             \"ckpt_rendezvous\": [{{\"ranks\": 64, \"vendor\": \"MPICH\", \"virt_makespan_s\": {virt}}}], \
+             \"cluster\": {{\"tenants\": 4, \"epochs_total\": 12, \
+             \"fairness_spread\": 0.04, \"wall_ms\": 5.0}}}}"
         )
     }
 
@@ -1172,6 +1266,72 @@ mod tests {
         // A report missing the metric fails the schema outright.
         let missing = scale_json(1.0, 1024).replace("\"failover_recovery_rounds\": 4, ", "");
         assert!(parse_scale_report(&missing).is_err());
+    }
+
+    #[test]
+    fn cluster_saturation_gates_counts_exactly_and_fairness_at_tolerance() {
+        let base = parse_scale_report(&scale_json(1.0, 1024)).unwrap();
+        // The deterministic counts must match exactly.
+        for (from, to, what) in [
+            ("\"tenants\": 4", "\"tenants\": 5", "cluster/tenants"),
+            (
+                "\"epochs_total\": 12",
+                "\"epochs_total\": 11",
+                "cluster/epochs_total",
+            ),
+        ] {
+            let drifted = scale_json(1.0, 1024).replace(from, to);
+            let fresh = parse_scale_report(&drifted).unwrap();
+            let mut out = GateOutcome::default();
+            compare_scale(&mut out, &base, &fresh);
+            assert!(!out.ok(), "{what} drift must fail the gate");
+            assert!(out.regressions.iter().any(|r| r.contains(what)));
+        }
+        // Fairness spread within tolerance either way: passes.
+        for close in ["0.037", "0.045"] {
+            let near = scale_json(1.0, 1024).replace(
+                "\"fairness_spread\": 0.04",
+                &format!("\"fairness_spread\": {close}"),
+            );
+            let fresh = parse_scale_report(&near).unwrap();
+            let mut out = GateOutcome::default();
+            compare_scale(&mut out, &base, &fresh);
+            assert!(out.ok(), "{close}: {:?}", out.regressions);
+        }
+        // Beyond tolerance in either direction: fails.
+        for far in ["0.06", "0.02"] {
+            let drifted = scale_json(1.0, 1024).replace(
+                "\"fairness_spread\": 0.04",
+                &format!("\"fairness_spread\": {far}"),
+            );
+            let fresh = parse_scale_report(&drifted).unwrap();
+            let mut out = GateOutcome::default();
+            compare_scale(&mut out, &base, &fresh);
+            assert!(!out.ok(), "spread {far} must fail the gate");
+            assert!(out
+                .regressions
+                .iter()
+                .any(|r| r.contains("fairness_spread")));
+        }
+        // Slow machine: cluster wall tripled — warns, never gates.
+        let slow = scale_json(1.0, 1024).replace("\"wall_ms\": 5.0", "\"wall_ms\": 15.0");
+        let fresh = parse_scale_report(&slow).unwrap();
+        let mut out = GateOutcome::default();
+        compare_scale(&mut out, &base, &fresh);
+        assert!(out.ok(), "{:?}", out.regressions);
+        assert!(out.warnings.iter().any(|w| w.contains("cluster/wall_ms")));
+        // Schema: the section is mandatory, closed, and positive.
+        let missing = scale_json(1.0, 1024).replace(
+            ", \"cluster\": {\"tenants\": 4, \"epochs_total\": 12, \
+             \"fairness_spread\": 0.04, \"wall_ms\": 5.0}",
+            "",
+        );
+        assert!(parse_scale_report(&missing).is_err());
+        let unknown = scale_json(1.0, 1024).replace("\"wall_ms\"", "\"wall_mz\"");
+        assert!(parse_scale_report(&unknown).is_err());
+        let zero_spread =
+            scale_json(1.0, 1024).replace("\"fairness_spread\": 0.04", "\"fairness_spread\": 0");
+        assert!(parse_scale_report(&zero_spread).is_err());
     }
 
     fn telemetry_json(events_per_round: f64, rounds: u64, emit_ns: f64) -> String {

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod error;
 pub mod mpix;
 pub mod program;
@@ -49,24 +50,28 @@ pub mod session;
 pub mod stack;
 pub mod telemetry;
 
+pub use cluster::{Cluster, ClusterBuilder, ClusterReport, TenantReport, TenantSpec};
 pub use dmtcp_sim::memory::Memory;
+pub use dmtcp_sim::{
+    tenant_namespace, FlakyTier, FsTier, GetFault, MemTier, ObjectTier, PutFault, ScrubReport,
+    Scrubber, SharedTier, TierConfig, TierError, TierStats,
+};
 pub use dmtcp_sim::{
     BarrierPhase, ReplicaConfig, ReplicaError, ReplicaFault, ReplicaGroup, ReplicaRecord,
     ReplicaStats,
 };
 pub use dmtcp_sim::{BarrierTopology, CkptMode, ImageError, WorldImage};
-pub use dmtcp_sim::{Compression, DeltaStore, EpochStats, ManifestFormat, StoreConfig, StoreError};
 pub use dmtcp_sim::{
-    FlakyTier, FsTier, GetFault, MemTier, ObjectTier, PutFault, ScrubReport, Scrubber, TierConfig,
-    TierError, TierStats,
+    Compression, DeltaStore, EpochStats, ManifestFormat, SharedStoreWriter, StoreConfig,
+    StoreError, TenantQuota, TenantSink,
 };
 pub use error::{StoolError, StoolResult};
 pub use mana_sim::ManaConfig;
 pub use muk::{MukOverhead, Vendor};
 pub use program::{AppCtx, Flow, MpiProgram};
 pub use session::{
-    Checkpointer, CkptPolicy, FaultPlan, Recovery, ReplicaPolicy, ResilienceReport, RunOutcome,
-    Session, SessionBuilder, StorePolicy, TierPolicy,
+    Checkpointer, CkptPolicy, DurabilityPolicy, FaultPlan, Recovery, ReplicaPolicy,
+    ResilienceReport, RunOutcome, Session, SessionBuilder, StorePolicy, TierPolicy,
 };
 pub use telemetry::{
     Event, EventKind, MetricValue, MetricsRegistry, Telemetry, TelemetryConfig, TelemetrySnapshot,

@@ -7,13 +7,15 @@ use dmtcp_sim::coordinator::{BarrierTopology, CkptMode, Coordinator};
 use dmtcp_sim::image::WorldImage;
 use dmtcp_sim::memory::Memory;
 use dmtcp_sim::replica::{Clock, ReplicaConfig, ReplicaFault, ReplicaGroup, SystemClock};
-use dmtcp_sim::store::{DeltaStore, StoreConfig, StoreError, StoreWriter};
-use dmtcp_sim::tier::{FsTier, ObjectTier, TierConfig};
+use dmtcp_sim::store::{
+    DeltaStore, SharedStoreWriter, StoreConfig, StoreError, StoreWriter, TenantSink,
+};
+use dmtcp_sim::tier::{FsTier, ObjectTier, TierConfig, TierStatsHandle};
 use mana_sim::ckpt::restore_rank;
 use mana_sim::ManaConfig;
 use muk::{MukOverhead, Vendor};
 use simnet::rank::RankCounters;
-use simnet::{ClusterSpec, Fabric, RunPlan, VirtualTime, World};
+use simnet::{ClusterSpec, Fabric, RunPlan, VirtualTime, WorkerPool, World};
 
 use crate::error::{to_sim, StoolError, StoolResult};
 use crate::program::{AppCtx, MpiProgram};
@@ -83,19 +85,73 @@ pub struct StorePolicy {
     /// durability, and a restore with missing/corrupt local epochs
     /// hydrates from it transparently.
     pub tier: Option<TierPolicy>,
+    /// The tenant that owns this chain directory (empty = a classic
+    /// untagged single-session store). The first tenant-tagged open
+    /// writes a `TENANT` marker into the directory; any later open under
+    /// a different tenant (or untagged) gets a structured
+    /// [`StoreError::TenantMismatch`] instead of silently interleaving
+    /// its epochs into a foreign chain.
+    pub tenant: String,
 }
 
 impl StorePolicy {
-    /// Open the policy's store: plain when no tier is configured, with
-    /// the filesystem-backed tier attached (shipping reconciled,
-    /// missing local epochs hydrated) when one is.
+    /// Open the policy's store for its configured tenant: plain when no
+    /// tier is configured, with the filesystem-backed tier attached
+    /// (shipping reconciled, missing local epochs hydrated) when one is.
     pub fn open_store(&self) -> Result<DeltaStore, StoreError> {
+        self.open_store_for(&self.tenant)
+    }
+
+    /// Like [`StorePolicy::open_store`], claiming the chain directory
+    /// for `tenant` explicitly. The claim is durable: a `TENANT` marker
+    /// file next to the chain records the owner, and mismatched opens
+    /// fail with [`StoreError::TenantMismatch`] before touching the
+    /// chain.
+    pub fn open_store_for(&self, tenant: &str) -> Result<DeltaStore, StoreError> {
+        self.claim_for(tenant)?;
         match &self.tier {
             None => DeltaStore::open_with(&self.dir, self.config),
             Some(t) => {
                 let tier: Arc<dyn ObjectTier> =
                     Arc::new(FsTier::open(&t.dir).map_err(StoreError::Tier)?);
                 DeltaStore::open_with_tier(&self.dir, self.config, tier, t.config)
+            }
+        }
+    }
+
+    /// Check (and on first tenant-tagged open, write) the directory's
+    /// `TENANT` ownership marker.
+    fn claim_for(&self, tenant: &str) -> Result<(), StoreError> {
+        let marker = self.dir.join("TENANT");
+        match std::fs::read_to_string(&marker) {
+            Ok(found) => {
+                let found = found.trim();
+                if found != tenant {
+                    return Err(StoreError::TenantMismatch {
+                        dir: self.dir.clone(),
+                        expected: tenant.to_string(),
+                        found: found.to_string(),
+                    });
+                }
+                Ok(())
+            }
+            Err(_) => {
+                // No marker: untagged opens stay untagged (full
+                // back-compat); the first tenant-tagged open claims the
+                // directory.
+                if tenant.is_empty() {
+                    return Ok(());
+                }
+                std::fs::create_dir_all(&self.dir).map_err(|e| StoreError::Io {
+                    op: "create",
+                    path: self.dir.clone(),
+                    msg: e.to_string(),
+                })?;
+                std::fs::write(&marker, tenant).map_err(|e| StoreError::Io {
+                    op: "write",
+                    path: marker.clone(),
+                    msg: e.to_string(),
+                })
             }
         }
     }
@@ -152,6 +208,61 @@ impl ReplicaPolicy {
     }
 }
 
+/// The durability leg of a session in one composable value: local delta
+/// store, remote second tier and coordinator replication. Both
+/// [`SessionBuilder`] (whose `checkpoint_store` / `checkpoint_tier` /
+/// `replicated_coordinator` knobs are now thin delegates onto this) and
+/// [`crate::cluster::ClusterBuilder`] tenants consume the same policy, so
+/// a config tuned for a single session drops into a multi-tenant cluster
+/// unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityPolicy {
+    /// Asynchronous delta-checkpoint store, if attached.
+    pub store: Option<StorePolicy>,
+    /// Remote second tier requested free-standing (folded into the store
+    /// policy by [`DurabilityPolicy::resolve`]; requesting one without a
+    /// store is a validation error).
+    pub tier: Option<TierPolicy>,
+    /// Replicated coordinator, if attached: epoch records are
+    /// quorum-committed to the replica logs before any round completes.
+    pub replicas: Option<ReplicaPolicy>,
+}
+
+impl DurabilityPolicy {
+    /// Check internal consistency (the checks that need no session
+    /// context): a tier requires a store, a replica group needs ≥ 3
+    /// members.
+    pub fn validate(&self) -> StoolResult<()> {
+        if self.tier.is_some() && self.store.is_none() {
+            return Err(StoolError::Config(
+                "checkpoint_tier(..) requires checkpoint_store(..) on the session".into(),
+            ));
+        }
+        if let Some(replicas) = &self.replicas {
+            if replicas.replicas < 3 {
+                return Err(StoolError::Config(format!(
+                    "a replica group needs at least 3 replicas to survive one failure \
+                     (got {})",
+                    replicas.replicas
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate, then fold the free-standing tier into the store policy
+    /// (the canonical form every run path consumes).
+    pub fn resolve(mut self) -> StoolResult<DurabilityPolicy> {
+        self.validate()?;
+        if let Some(tier) = self.tier.take() {
+            if let Some(store) = &mut self.store {
+                store.tier = Some(tier);
+            }
+        }
+        Ok(self)
+    }
+}
+
 /// A deterministic injected failure: the job is killed when the application
 /// reaches the given safe-point step (the paper's motivating scenarios:
 /// node crash, allocation timeout, cluster shutdown).
@@ -185,11 +296,9 @@ pub struct SessionConfig {
     pub checkpointer: Checkpointer,
     /// Session-driven checkpoint policy.
     pub policy: CkptPolicy,
-    /// Asynchronous delta-checkpoint store, if attached.
-    pub store: Option<StorePolicy>,
-    /// Replicated coordinator, if attached: epoch records are
-    /// quorum-committed to the replica logs before any round completes.
-    pub replicas: Option<ReplicaPolicy>,
+    /// The durability leg: delta store, remote tier, coordinator
+    /// replication — one composable [`DurabilityPolicy`].
+    pub durability: DurabilityPolicy,
     /// Injected failure, if any (fault-tolerance experiments).
     pub fault: Option<FaultPlan>,
     /// Canonical rank-ordered reductions through the shim (bitwise
@@ -215,14 +324,11 @@ pub struct SessionConfig {
 /// Builder for [`Session`].
 pub struct SessionBuilder {
     config: SessionConfig,
-    /// Tier requested before (or without) a store: resolved in `build`.
-    pending_tier: Option<TierPolicy>,
 }
 
 impl Default for SessionBuilder {
     fn default() -> Self {
         SessionBuilder {
-            pending_tier: None,
             config: SessionConfig {
                 cluster: ClusterSpec::discovery(),
                 vendor: Vendor::Mpich,
@@ -230,8 +336,7 @@ impl Default for SessionBuilder {
                 muk_overhead: MukOverhead::default(),
                 checkpointer: Checkpointer::None,
                 policy: CkptPolicy::default(),
-                store: None,
-                replicas: None,
+                durability: DurabilityPolicy::default(),
                 fault: None,
                 deterministic_reductions: false,
                 rank_stack_bytes: None,
@@ -316,10 +421,11 @@ impl SessionBuilder {
     /// epoch) and the on-disk manifest format (`config.format`;
     /// [`dmtcp_sim::ManifestFormat::V1`] writes legacy chains).
     pub fn checkpoint_store_with(mut self, dir: impl Into<PathBuf>, config: StoreConfig) -> Self {
-        self.config.store = Some(StorePolicy {
+        self.config.durability.store = Some(StorePolicy {
             dir: dir.into(),
             config,
             tier: None,
+            tenant: String::new(),
         });
         self
     }
@@ -339,7 +445,7 @@ impl SessionBuilder {
     /// Like [`SessionBuilder::checkpoint_tier`], with explicit shipper
     /// tunables (upload attempts, retry backoff).
     pub fn checkpoint_tier_with(mut self, dir: impl Into<PathBuf>, config: TierConfig) -> Self {
-        self.pending_tier = Some(TierPolicy {
+        self.config.durability.tier = Some(TierPolicy {
             dir: dir.into(),
             config,
         });
@@ -361,7 +467,16 @@ impl SessionBuilder {
     /// [`ReplicaPolicy`] (group size, election timeout, log retry
     /// tunables, scripted faults for failover tests).
     pub fn replicated_coordinator_with(mut self, policy: ReplicaPolicy) -> Self {
-        self.config.replicas = Some(policy);
+        self.config.durability.replicas = Some(policy);
+        self
+    }
+
+    /// Install a complete [`DurabilityPolicy`] in one call — the
+    /// composable form the per-knob delegates above feed into, and what
+    /// [`crate::cluster::ClusterBuilder`] tenants share with plain
+    /// sessions.
+    pub fn durability(mut self, policy: DurabilityPolicy) -> Self {
+        self.config.durability = policy;
         self
     }
 
@@ -413,16 +528,7 @@ impl SessionBuilder {
 
     /// Validate and build.
     pub fn build(mut self) -> StoolResult<Session> {
-        if let Some(tier) = self.pending_tier.take() {
-            match &mut self.config.store {
-                Some(store) => store.tier = Some(tier),
-                None => {
-                    return Err(StoolError::Config(
-                        "checkpoint_tier(..) requires checkpoint_store(..) on the session".into(),
-                    ))
-                }
-            }
-        }
+        self.config.durability = std::mem::take(&mut self.config.durability).resolve()?;
         let c = &self.config;
         c.cluster.validate().map_err(StoolError::Config)?;
         if (c.policy.at_step.is_some() || c.policy.every_steps.is_some())
@@ -437,24 +543,15 @@ impl SessionBuilder {
                 "checkpoint_every(0) is meaningless".into(),
             ));
         }
-        if c.store.is_some() && matches!(c.checkpointer, Checkpointer::None) {
+        if c.durability.store.is_some() && matches!(c.checkpointer, Checkpointer::None) {
             return Err(StoolError::Config(
                 "a checkpoint store requires a checkpointing package".into(),
             ));
         }
-        if let Some(replicas) = &c.replicas {
-            if matches!(c.checkpointer, Checkpointer::None) {
-                return Err(StoolError::Config(
-                    "a replicated coordinator requires a checkpointing package".into(),
-                ));
-            }
-            if replicas.replicas < 3 {
-                return Err(StoolError::Config(format!(
-                    "a replica group needs at least 3 replicas to survive one failure \
-                     (got {})",
-                    replicas.replicas
-                )));
-            }
+        if c.durability.replicas.is_some() && matches!(c.checkpointer, Checkpointer::None) {
+            return Err(StoolError::Config(
+                "a replicated coordinator requires a checkpointing package".into(),
+            ));
         }
         if c.deterministic_reductions && !c.use_muk {
             return Err(StoolError::Config(
@@ -592,6 +689,57 @@ pub struct ResilienceReport {
     pub recoveries: Vec<Recovery>,
 }
 
+/// What a cluster tenant's run shares with its siblings: the bounded
+/// worker pool its world gang-admits onto, its lane of the one shared
+/// store writer (if it checkpoints through a store), a live view of its
+/// tier-shipping lane, and a pre-tagged flight recorder.
+pub(crate) struct TenantShared<'p> {
+    /// The cluster-wide bounded worker pool.
+    pub pool: &'p WorkerPool,
+    /// The shared committer and this tenant's lane in it.
+    pub writer: Option<(Arc<SharedStoreWriter>, usize)>,
+    /// Live view of the tenant's tier-shipping lane stats, if a shared
+    /// tier is attached.
+    pub tier_stats: Option<TierStatsHandle>,
+    /// The tenant's flight recorder, tagged with its id.
+    pub tel: Arc<Telemetry>,
+}
+
+/// Build a run's flight recorder: one lane per rank plus the four
+/// subsystem lanes, optionally tagged (cluster tenants stamp their id
+/// into every echo line and dump header). Each run dumps into its own
+/// subdirectory so concurrent runs sharing one configured directory
+/// (e.g. a CI-wide `STOOL_DUMP_DIR`) never overwrite each other's
+/// timelines.
+pub(crate) fn recorder_for(config: &SessionConfig, tag: Option<String>) -> Arc<Telemetry> {
+    Arc::new(Telemetry::with_config(
+        config.cluster.nranks(),
+        TelemetryConfig {
+            dump_dir: config.dump_dir.as_ref().map(|d| {
+                static RUN_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                d.join(format!(
+                    "run-{}-{}",
+                    std::process::id(),
+                    RUN_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                ))
+            }),
+            echo: config.telemetry_echo,
+            tag,
+            ..TelemetryConfig::default()
+        },
+    ))
+}
+
+/// How a run's completed epochs leave the rendezvous barrier.
+enum Sink {
+    /// No store attached: images stay in the coordinator's staging area.
+    None,
+    /// A private background writer (classic single session).
+    Own(Arc<StoreWriter>),
+    /// One lane of a cluster's shared committer.
+    Lane(Arc<SharedStoreWriter>, usize),
+}
+
 impl Session {
     /// Begin building a session.
     pub fn builder() -> SessionBuilder {
@@ -635,7 +783,7 @@ impl Session {
     fn mana_config(&self) -> Option<ManaConfig> {
         match self.config.checkpointer {
             Checkpointer::Mana(mut cfg) => {
-                cfg.async_image_writes = self.config.store.is_some();
+                cfg.async_image_writes = self.config.durability.store.is_some();
                 Some(cfg)
             }
             Checkpointer::None => None,
@@ -659,7 +807,18 @@ impl Session {
 
     /// Launch a program fresh.
     pub fn launch(&self, program: &dyn MpiProgram) -> StoolResult<RunOutcome> {
-        self.run_inner(program, None)
+        self.run_inner(program, None, None)
+    }
+
+    /// Internal: one tenant's run inside a [`crate::cluster::Cluster`] —
+    /// the same wiring path as [`Session::launch`], with the cluster's
+    /// shared pool, writer lane and tagged recorder attached.
+    pub(crate) fn run_shared(
+        &self,
+        program: &dyn MpiProgram,
+        shared: &TenantShared<'_>,
+    ) -> StoolResult<RunOutcome> {
+        self.run_inner(program, None, Some(shared))
     }
 
     /// Restore a checkpointed world image and continue the program —
@@ -675,7 +834,7 @@ impl Session {
                 self.config.cluster.nranks()
             )));
         }
-        self.run_inner(program, Some((image, mana_cfg)))
+        self.run_inner(program, Some((image, mana_cfg)), None)
     }
 
     /// Restart from the newest epoch of the session's attached delta
@@ -683,7 +842,7 @@ impl Session {
     /// vendor the chain was checkpointed under (the paper's headline
     /// scenario, now directly from deltas on disk).
     pub fn restore_from_store(&self, program: &dyn MpiProgram) -> StoolResult<RunOutcome> {
-        let policy = self.config.store.as_ref().ok_or_else(|| {
+        let policy = self.config.durability.store.as_ref().ok_or_else(|| {
             StoolError::Config(
                 "restore_from_store requires checkpoint_store(..) on the session".into(),
             )
@@ -697,32 +856,20 @@ impl Session {
         &self,
         program: &dyn MpiProgram,
         restore: Option<(&WorldImage, ManaConfig)>,
+        shared: Option<&TenantShared<'_>>,
     ) -> StoolResult<RunOutcome> {
         let spec = self.stack_spec();
         let cluster = &self.config.cluster;
         // The run's flight recorder: one lane per rank plus the four
         // subsystem lanes, attached to every layer below before any rank
         // starts. On incident (or failure) its merged virtual-clock
-        // timeline is dumped at the end of the run. Each run dumps into
-        // its own subdirectory so concurrent sessions sharing one
-        // configured directory (e.g. a CI-wide `STOOL_DUMP_DIR`) never
-        // overwrite each other's timelines.
-        let tel = Arc::new(Telemetry::with_config(
-            cluster.nranks(),
-            TelemetryConfig {
-                dump_dir: self.config.dump_dir.as_ref().map(|d| {
-                    static RUN_SEQ: std::sync::atomic::AtomicU64 =
-                        std::sync::atomic::AtomicU64::new(0);
-                    d.join(format!(
-                        "run-{}-{}",
-                        std::process::id(),
-                        RUN_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-                    ))
-                }),
-                echo: self.config.telemetry_echo,
-                ..TelemetryConfig::default()
-            },
-        ));
+        // timeline is dumped at the end of the run. Cluster tenants
+        // arrive with their own id-tagged recorder, already attached to
+        // their store lane.
+        let tel = match shared {
+            Some(ts) => ts.tel.clone(),
+            None => recorder_for(&self.config, None),
+        };
         let coordinator = match self.config.checkpointer {
             Checkpointer::Mana(_) => {
                 let topology = self
@@ -738,7 +885,7 @@ impl Session {
         // With a replicated coordinator, every epoch record must reach a
         // quorum of the replicas' durable logs before any round becomes
         // observable; the scripted faults drive the failover battery.
-        if let (Some(policy), Some(coord)) = (&self.config.replicas, &coordinator) {
+        if let (Some(policy), Some(coord)) = (&self.config.durability.replicas, &coordinator) {
             let config = ReplicaConfig {
                 replicas: policy.replicas,
                 election_timeout: policy.election_timeout,
@@ -758,23 +905,36 @@ impl Session {
             group.attach_telemetry(tel.clone());
             coord.attach_replicas(Arc::new(group));
         }
-        // With a store attached, the background writer pool takes
-        // ownership of each completed epoch at the rendezvous barrier and
-        // persists it as a delta chain while the ranks run on.
-        let mut tier_stats = None;
-        let store_writer = match (&self.config.store, &coordinator) {
-            (Some(policy), Some(coord)) => {
-                // Open the store first so the recorder (and a live view
-                // of the tier shipper's stats) can attach before the
-                // store moves into the background writer thread.
-                let mut store = policy.open_store().map_err(StoolError::Store)?;
-                store.attach_telemetry(tel.clone());
-                tier_stats = store.tier_stats_handle();
-                let writer = Arc::new(StoreWriter::from_store(store));
-                coord.attach_sink(writer.clone(), self.config.vendor.name());
-                Some(writer)
-            }
-            _ => None,
+        // With a store attached, a background committer takes ownership
+        // of each completed epoch at the rendezvous barrier and persists
+        // it as a delta chain while the ranks run on: a private writer
+        // for a classic session, the tenant's lane of the ONE shared
+        // committer inside a cluster.
+        let mut tier_stats = shared.and_then(|ts| ts.tier_stats.clone());
+        let sink = match (&coordinator, shared) {
+            (Some(coord), Some(ts)) => match &ts.writer {
+                Some((writer, lane)) => {
+                    let tenant_sink = Arc::new(TenantSink::new(writer.clone(), *lane));
+                    coord.attach_sink(tenant_sink, self.config.vendor.name());
+                    Sink::Lane(writer.clone(), *lane)
+                }
+                None => Sink::None,
+            },
+            (Some(coord), None) => match &self.config.durability.store {
+                Some(policy) => {
+                    // Open the store first so the recorder (and a live
+                    // view of the tier shipper's stats) can attach before
+                    // the store moves into the background writer thread.
+                    let mut store = policy.open_store().map_err(StoolError::Store)?;
+                    store.attach_telemetry(tel.clone());
+                    tier_stats = store.tier_stats_handle();
+                    let writer = Arc::new(StoreWriter::from_store(store));
+                    coord.attach_sink(writer.clone(), self.config.vendor.name());
+                    Sink::Own(writer)
+                }
+                None => Sink::None,
+            },
+            _ => Sink::None,
         };
         let policy = self.config.policy;
         let image = restore.map(|(img, cfg)| (Arc::new(img.clone()), cfg));
@@ -789,6 +949,11 @@ impl Session {
         let cluster_arc = Arc::new(cluster.clone());
         let (fabric, endpoints) = Fabric::new(&cluster_arc);
         fabric.attach_telemetry(tel.clone());
+        // Inside a cluster, the tenant's world gang-admits onto the
+        // shared bounded pool: all of its rank permits are taken at once
+        // (FIFO-ticketed, so a wide tenant is never starved by narrow
+        // ones) and held for the whole run.
+        let _gang = shared.map(|ts| ts.pool.acquire(cluster.nranks()));
         let run_result = World::run_on_with(cluster_arc, fabric, endpoints, plan, |ctx| {
             let (mut stack, mut mem, resume) = match &image {
                 None => (Stack::build(&spec, &ctx), Memory::new(), None),
@@ -827,9 +992,10 @@ impl Session {
         // inspected (restart may read the chain immediately). Flushed
         // even when the run failed, so the telemetry snapshot and the
         // crash dump below see the final store/tier state.
-        let flush_result = match &store_writer {
-            Some(writer) => writer.flush(),
-            None => Ok(()),
+        let flush_result = match &sink {
+            Sink::Own(writer) => writer.flush(),
+            Sink::Lane(writer, lane) => writer.flush_lane(*lane),
+            Sink::None => Ok(()),
         };
 
         // Unify the run's observability: the recorder plus every
@@ -850,7 +1016,11 @@ impl Session {
         };
         let snapshot = TelemetrySnapshot {
             recorder: tel.clone(),
-            epochs: store_writer.as_ref().map(|w| w.stats()).unwrap_or_default(),
+            epochs: match &sink {
+                Sink::Own(w) => w.stats(),
+                Sink::Lane(w, lane) => w.lane_stats(*lane),
+                Sink::None => Vec::new(),
+            },
             tier: tier_stats.as_ref().map(|h| h.stats()),
             replica: coordinator
                 .as_ref()
@@ -872,7 +1042,7 @@ impl Session {
             if c.completed_epoch() == 0 {
                 return Ok(None);
             }
-            match &self.config.store {
+            match &self.config.durability.store {
                 Some(policy) => {
                     let store = policy.open_store().map_err(StoolError::Store)?;
                     match store.load_latest() {

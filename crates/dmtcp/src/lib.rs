@@ -67,10 +67,10 @@ pub use replica::{
     ReplicaRecord, ReplicaStats, SystemClock, TestClock,
 };
 pub use store::{
-    Compression, DeltaStore, EpochStats, ManifestFormat, ScrubReport, StoreConfig, StoreError,
-    StoreWriter,
+    Compression, DeltaStore, EpochStats, ManifestFormat, ScrubReport, SharedStoreWriter,
+    StoreConfig, StoreError, StoreWriter, TenantQuota, TenantSink,
 };
 pub use tier::{
-    FlakyTier, FsTier, GetFault, MemTier, ObjectTier, PutFault, Scrubber, TierConfig, TierError,
-    TierStats, TierStatsHandle,
+    tenant_namespace, FlakyTier, FsTier, GetFault, MemTier, ObjectTier, PutFault, Scrubber,
+    SharedTier, TierConfig, TierError, TierStats, TierStatsHandle,
 };

@@ -100,7 +100,8 @@ use crate::codec::{crc32, fnv1a, fnv1a_seeded, CodecError, Reader, Writer};
 use crate::coordinator::ImageSink;
 use crate::image::{ImageError, RankImage, WorldImage};
 use crate::tier::{
-    fetch_sealed_epoch, sealed_epochs, ObjectTier, TierConfig, TierError, TierRuntime, TierStats,
+    fetch_sealed_epoch, sealed_epochs, ObjectTier, SharedTier, TierConfig, TierError, TierRuntime,
+    TierStats,
 };
 
 const MANIFEST_MAGIC: u64 = 0x434B_5054_4348_4E31; // "CKPTCHN1"
@@ -242,6 +243,17 @@ pub enum StoreError {
     Tier(TierError),
     /// A tier operation was requested but no tier is attached.
     NoTier,
+    /// The store directory is claimed by a different tenant: two tenants
+    /// (or a tenant and an untagged session) pointed at one chain
+    /// directory, which would silently interleave their epochs.
+    TenantMismatch {
+        /// The chain directory in dispute.
+        dir: PathBuf,
+        /// The tenant that tried to open the store (empty = untagged).
+        expected: String,
+        /// The tenant recorded in the directory's `TENANT` marker.
+        found: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -270,6 +282,16 @@ impl fmt::Display for StoreError {
             StoreError::Closed => write!(f, "checkpoint store writer is shut down"),
             StoreError::Tier(e) => write!(f, "remote tier: {e}"),
             StoreError::NoTier => write!(f, "no remote tier attached to the store"),
+            StoreError::TenantMismatch {
+                dir,
+                expected,
+                found,
+            } => write!(
+                f,
+                "store {} is claimed by tenant {found:?}, not {expected:?}: \
+                 distinct tenants must not share a chain directory",
+                dir.display()
+            ),
         }
     }
 }
@@ -660,6 +682,18 @@ struct SectionCache {
     refs: Vec<(BlockKey, BlockLoc)>,
 }
 
+/// One store's attachment to a tier shipper runtime: the runtime may be
+/// private to this store (the classic [`DeltaStore::attach_tier`] path,
+/// lane 0 of a runtime nobody else sees) or shared by many tenants'
+/// stores ([`DeltaStore::attach_shared_tier`]), in which case `lane`
+/// scopes this store's queue/durable-set/sticky-error and `ns` prefixes
+/// its keys in the tier.
+struct TierAttachment {
+    runtime: Arc<TierRuntime>,
+    lane: usize,
+    ns: String,
+}
+
 /// The synchronous store core: chunking, dedup, chain layout, GC, restore.
 /// Wrap it in a [`StoreWriter`] to take it off the ranks' critical path.
 pub struct DeltaStore {
@@ -682,9 +716,9 @@ pub struct DeltaStore {
     quarantined: Vec<u64>,
     /// Stats of the commits performed by this handle.
     stats: Vec<EpochStats>,
-    /// The remote second tier, when attached: handle, config, and the
-    /// background shipper thread uploading sealed epochs.
-    tier: Option<TierRuntime>,
+    /// The remote second tier, when attached: this store's lane in a
+    /// (possibly shared) shipper runtime, plus its key namespace.
+    tier: Option<TierAttachment>,
     /// Attached flight recorder: commits, GC decisions and quarantines
     /// land on its store lane.
     telemetry: Option<Arc<Telemetry>>,
@@ -776,7 +810,7 @@ impl DeltaStore {
     /// ship/seal events.
     pub fn attach_telemetry(&mut self, tel: Arc<Telemetry>) {
         if let Some(tier) = &self.tier {
-            tier.attach_telemetry(tel.clone());
+            tier.runtime.attach_telemetry(tier.lane, tel.clone());
         }
         self.telemetry = Some(tel);
     }
@@ -980,7 +1014,34 @@ impl DeltaStore {
         tier: Arc<dyn ObjectTier>,
         config: TierConfig,
     ) -> Result<Vec<u64>, StoreError> {
-        let seals = crate::tier::sealed_seals(&*tier, config)?;
+        let runtime = Arc::new(TierRuntime::spawn(tier, config));
+        self.attach_runtime(runtime, String::new())
+    }
+
+    /// Attach this store as one tenant lane of a [`SharedTier`]: epochs
+    /// ship through the shared shipper thread under `ns`-prefixed keys
+    /// (see [`crate::tier::tenant_namespace`]), with this store's own
+    /// queue, durable set, and sticky error. Reconcile/hydrate semantics
+    /// are exactly [`DeltaStore::attach_tier`]'s, scoped to the
+    /// namespace.
+    pub fn attach_shared_tier(
+        &mut self,
+        shared: &SharedTier,
+        ns: &str,
+    ) -> Result<Vec<u64>, StoreError> {
+        self.attach_runtime(shared.runtime().clone(), ns.to_string())
+    }
+
+    /// The shared attach engine: reconcile against the tier under `ns`,
+    /// register a lane, hydrate, queue the unshipped backlog.
+    fn attach_runtime(
+        &mut self,
+        runtime: Arc<TierRuntime>,
+        ns: String,
+    ) -> Result<Vec<u64>, StoreError> {
+        let tier = runtime.tier.clone();
+        let config = runtime.config;
+        let seals = crate::tier::sealed_seals(&*tier, config, &ns)?;
         let mut durable: BTreeSet<u64> = BTreeSet::new();
         for (&epoch, seal) in &seals {
             let manifest_path = self.epoch_dir(epoch).join("manifest.bin");
@@ -998,16 +1059,18 @@ impl DeltaStore {
             }
         }
         let sealed: BTreeSet<u64> = seals.keys().copied().collect();
-        let runtime = TierRuntime::spawn(tier.clone(), config, self.dir.clone(), durable.clone());
+        let lane = runtime.add_lane(self.dir.clone(), ns.clone(), durable.clone());
         if let Some(tel) = &self.telemetry {
-            runtime.attach_telemetry(tel.clone());
+            runtime.attach_telemetry(lane, tel.clone());
         }
-        self.tier = Some(runtime);
-        let hydrated = self.hydrate_with(&*tier, config, &sealed)?;
-        let runtime = self.tier.as_ref().expect("tier just attached");
+        self.tier = Some(TierAttachment { runtime, lane, ns });
+        let att = self.tier.as_ref().expect("tier just attached");
+        let ns = att.ns.clone();
+        let hydrated = self.hydrate_with(&*tier, config, &ns, &sealed)?;
+        let att = self.tier.as_ref().expect("tier just attached");
         for &e in &self.epochs {
             if !durable.contains(&e) {
-                runtime.enqueue(e);
+                att.runtime.enqueue(att.lane, e);
             }
         }
         Ok(hydrated)
@@ -1023,7 +1086,7 @@ impl DeltaStore {
     /// with no tier attached.
     pub fn tier_flush(&self) -> Result<(), StoreError> {
         match &self.tier {
-            Some(t) => t.flush().map_err(StoreError::Tier),
+            Some(t) => t.runtime.flush(t.lane).map_err(StoreError::Tier),
             None => Ok(()),
         }
     }
@@ -1032,13 +1095,13 @@ impl DeltaStore {
     pub fn tier_durable(&self) -> Vec<u64> {
         self.tier
             .as_ref()
-            .map(|t| t.durable().into_iter().collect())
+            .map(|t| t.runtime.durable(t.lane).into_iter().collect())
             .unwrap_or_default()
     }
 
     /// Shipping statistics, if a tier is attached.
     pub fn tier_stats(&self) -> Option<TierStats> {
-        self.tier.as_ref().map(|t| t.stats())
+        self.tier.as_ref().map(|t| t.runtime.stats(t.lane))
     }
 
     /// A cloneable live view of the shipper's statistics, if a tier is
@@ -1046,12 +1109,12 @@ impl DeltaStore {
     /// thread ([`StoreWriter::from_store`]), which is how a session keeps
     /// reporting tier stats in its telemetry snapshot.
     pub fn tier_stats_handle(&self) -> Option<crate::tier::TierStatsHandle> {
-        self.tier.as_ref().map(|t| t.stats_handle())
+        self.tier.as_ref().map(|t| t.runtime.stats_handle(t.lane))
     }
 
-    /// The shipper's sticky error, if it has failed.
+    /// This store's lane's sticky shipper error, if it has failed.
     pub fn tier_error(&self) -> Option<TierError> {
-        self.tier.as_ref().and_then(|t| t.error())
+        self.tier.as_ref().and_then(|t| t.runtime.error(t.lane))
     }
 
     /// Install one verified epoch's bytes as a local epoch directory,
@@ -1107,11 +1170,12 @@ impl DeltaStore {
     ///
     /// Returns the epochs installed, ascending.
     pub fn hydrate_from_tier(&mut self) -> Result<Vec<u64>, StoreError> {
-        let runtime = self.tier.as_ref().ok_or(StoreError::NoTier)?;
-        let tier = runtime.tier.clone();
-        let config = runtime.config;
-        let sealed = sealed_epochs(&*tier, config)?;
-        self.hydrate_with(&*tier, config, &sealed)
+        let att = self.tier.as_ref().ok_or(StoreError::NoTier)?;
+        let tier = att.runtime.tier.clone();
+        let config = att.runtime.config;
+        let ns = att.ns.clone();
+        let sealed = sealed_epochs(&*tier, config, &ns)?;
+        self.hydrate_with(&*tier, config, &ns, &sealed)
     }
 
     /// [`DeltaStore::hydrate_from_tier`] against an explicit tier handle
@@ -1120,6 +1184,7 @@ impl DeltaStore {
         &mut self,
         tier: &dyn ObjectTier,
         config: TierConfig,
+        ns: &str,
         sealed: &BTreeSet<u64>,
     ) -> Result<Vec<u64>, StoreError> {
         let tier_head = sealed.last().copied();
@@ -1137,7 +1202,7 @@ impl DeltaStore {
         let manifest_buf = if self.epoch_dir(target).is_dir() {
             Self::read_file(&self.epoch_dir(target).join("manifest.bin"))?
         } else {
-            let pair = fetch_sealed_epoch(tier, config, target)?;
+            let pair = fetch_sealed_epoch(tier, config, ns, target)?;
             let buf = pair.1.clone();
             fetched_target = Some(pair);
             buf
@@ -1173,7 +1238,7 @@ impl DeltaStore {
                 Some(pair) if epoch == target => pair,
                 other => {
                     fetched_target = other;
-                    fetch_sealed_epoch(tier, config, epoch)?
+                    fetch_sealed_epoch(tier, config, ns, epoch)?
                 }
             };
             self.install_epoch(epoch, &blocks, &manifest)?;
@@ -1205,10 +1270,11 @@ impl DeltaStore {
     /// same way. Scrubbing is idempotent: a healthy chain is a verified
     /// no-op, and a second pass after a heal finds nothing to do.
     pub fn scrub(&mut self) -> Result<ScrubReport, StoreError> {
-        let runtime = self.tier.as_ref().ok_or(StoreError::NoTier)?;
-        let tier = runtime.tier.clone();
-        let config = runtime.config;
-        self.scrub_with(&*tier, config)
+        let att = self.tier.as_ref().ok_or(StoreError::NoTier)?;
+        let tier = att.runtime.tier.clone();
+        let config = att.runtime.config;
+        let ns = att.ns.clone();
+        self.scrub_with(&*tier, config, &ns)
     }
 
     /// The scrub pass against an explicit tier handle (what
@@ -1218,6 +1284,7 @@ impl DeltaStore {
         &mut self,
         tier: &dyn ObjectTier,
         config: TierConfig,
+        ns: &str,
     ) -> Result<ScrubReport, StoreError> {
         let mut report = ScrubReport::default();
         // Candidates: every .bad directory on disk (durable evidence of
@@ -1242,7 +1309,7 @@ impl DeltaStore {
         }
         // One tier sweep serves the whole pass (quarantine healing and
         // live-chain repair both consult it).
-        let sealed = sealed_epochs(tier, config)?;
+        let sealed = sealed_epochs(tier, config, ns)?;
         for &epoch in &candidates {
             let live_ok = self.epoch_dir(epoch).is_dir() && self.read_manifest(epoch).is_ok();
             if live_ok {
@@ -1254,7 +1321,7 @@ impl DeltaStore {
                 report.missing.push(epoch);
                 continue;
             }
-            match fetch_sealed_epoch(tier, config, epoch) {
+            match fetch_sealed_epoch(tier, config, ns, epoch) {
                 Ok((blocks, manifest_buf)) => {
                     // Verify the manifest decodes before trusting the
                     // tier copy over the quarantined one.
@@ -1282,7 +1349,7 @@ impl DeltaStore {
                         report.missing.push(epoch);
                         continue;
                     }
-                    match fetch_sealed_epoch(tier, config, epoch) {
+                    match fetch_sealed_epoch(tier, config, ns, epoch) {
                         Ok((blocks, manifest_buf)) if Manifest::decode(&manifest_buf).is_ok() => {
                             self.install_epoch(epoch, &blocks, &manifest_buf)?;
                             report.healed.push(epoch);
@@ -1621,7 +1688,7 @@ impl DeltaStore {
         // undurable until its seal lands, so the guard below keeps it
         // (and everything it references) on local disk meanwhile.
         if let Some(tier) = &self.tier {
-            tier.enqueue(epoch);
+            tier.runtime.enqueue(tier.lane, epoch);
         }
         self.gc();
 
@@ -1672,7 +1739,7 @@ impl DeltaStore {
         // collectable on the first GC after their seal lands.
         let mut guarded = 0u64;
         if let Some(tier) = &self.tier {
-            let durable = tier.durable();
+            let durable = tier.runtime.durable(tier.lane);
             for &e in &self.epochs {
                 if !durable.contains(&e) && live.insert(e) {
                     guarded += 1;
@@ -1841,21 +1908,316 @@ impl DeltaStore {
 // The background writer
 // ---------------------------------------------------------------------------
 
-struct WriterState {
+/// Per-tenant admission limits on the shared writer: how much a tenant
+/// may have waiting (epochs and bytes) before its *own* submits block.
+/// Quotas isolate, they never share: a tenant over budget waits on its
+/// own backlog draining while every other tenant's submits proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Maximum queued (not yet finished) epochs; a submit beyond this
+    /// blocks. At least 1 is always allowed.
+    pub max_queue: usize,
+    /// Maximum bytes of world images queued or mid-commit. A single
+    /// image larger than the budget is admitted when the lane is empty
+    /// (otherwise it could never ship at all).
+    pub max_inflight_bytes: u64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> TenantQuota {
+        TenantQuota {
+            max_queue: StoreConfig::default().queue_depth,
+            max_inflight_bytes: u64::MAX,
+        }
+    }
+}
+
+struct MuxLane {
     queue: VecDeque<WorldImage>,
+    /// Bytes of every queued image plus the one mid-commit.
+    queued_bytes: u64,
     in_flight: bool,
-    closed: bool,
     error: Option<StoreError>,
     stats: Vec<EpochStats>,
+    quota: TenantQuota,
+    /// Submits that had to block on this lane's own quota.
+    quota_waits: u64,
 }
 
-struct WriterShared {
-    state: Mutex<WriterState>,
+struct MuxState {
+    lanes: Vec<MuxLane>,
+    closed: bool,
+    /// Round-robin cursor over lanes, so one tenant's burst cannot
+    /// starve the others of the single committer thread.
+    rr: usize,
+    /// Test hook: while held, the committer dispatches nothing, letting
+    /// tests fill quotas deterministically.
+    held: bool,
+}
+
+struct MuxShared {
+    state: Mutex<MuxState>,
     cv: Condvar,
-    queue_depth: usize,
 }
 
-/// The asynchronous face of the store: a background thread owns a
+/// The multi-tenant asynchronous face of the store: ONE background
+/// committer thread owns every tenant's [`DeltaStore`] and drains their
+/// bounded submit queues fair-share round-robin. Per lane, everything is
+/// scoped to the tenant: its queue, its [`TenantQuota`] backpressure,
+/// its sticky error, its [`EpochStats`]. The single-store
+/// [`StoreWriter`] is a one-lane wrapper over this.
+pub struct SharedStoreWriter {
+    shared: Arc<MuxShared>,
+    worker: Mutex<Option<std::thread::JoinHandle<Vec<DeltaStore>>>>,
+}
+
+impl SharedStoreWriter {
+    /// Spawn the committer over one store per lane, in lane order.
+    pub fn spawn_stores(stores: Vec<(DeltaStore, TenantQuota)>) -> SharedStoreWriter {
+        let mut owned = Vec::with_capacity(stores.len());
+        let mut lanes = Vec::with_capacity(stores.len());
+        for (store, quota) in stores {
+            owned.push(store);
+            lanes.push(MuxLane {
+                queue: VecDeque::new(),
+                queued_bytes: 0,
+                in_flight: false,
+                error: None,
+                stats: Vec::new(),
+                quota,
+                quota_waits: 0,
+            });
+        }
+        let shared = Arc::new(MuxShared {
+            state: Mutex::new(MuxState {
+                lanes,
+                closed: false,
+                rr: 0,
+                held: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let worker_shared = shared.clone();
+        let worker = std::thread::Builder::new()
+            .name("ckpt-store-writer".into())
+            .spawn(move || Self::committer(owned, worker_shared))
+            .expect("spawn store writer");
+        SharedStoreWriter {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// The committer thread: fair-share drain of every lane.
+    fn committer(mut stores: Vec<DeltaStore>, shared: Arc<MuxShared>) -> Vec<DeltaStore> {
+        loop {
+            let (lane, image) = {
+                let mut st = shared.state.lock().expect("writer lock");
+                'wait: loop {
+                    if !st.held {
+                        let n = st.lanes.len();
+                        for i in 0..n {
+                            let idx = (st.rr + i) % n.max(1);
+                            if let Some(img) = st.lanes[idx].queue.pop_front() {
+                                st.lanes[idx].in_flight = true;
+                                st.rr = (idx + 1) % n;
+                                break 'wait (idx, img);
+                            }
+                        }
+                        if st.closed {
+                            return stores;
+                        }
+                    }
+                    st = shared.cv.wait(st).expect("writer wait");
+                }
+            };
+            // A queue slot just freed: wake blocked submitters early
+            // (their bytes stay accounted until the commit finishes).
+            shared.cv.notify_all();
+            let image_bytes = image.total_bytes() as u64;
+            let result = stores[lane].commit(&image);
+            if result.is_err() {
+                // A failing sink is a flight-recorder incident: record it
+                // before the error goes sticky so the session's crash
+                // dump explains the red run.
+                if let Some(tel) = &stores[lane].telemetry {
+                    let epoch = image.ranks.first().map_or(0, |r| r.epoch);
+                    tel.emit(
+                        tel.store_lane(),
+                        simnet::telemetry::EventKind::SinkError,
+                        tel.observed_now(),
+                        epoch,
+                        0,
+                        0,
+                    );
+                    tel.note_incident();
+                }
+            }
+            let mut st = shared.state.lock().expect("writer lock");
+            let l = &mut st.lanes[lane];
+            l.in_flight = false;
+            l.queued_bytes = l.queued_bytes.saturating_sub(image_bytes);
+            match result {
+                Ok(s) => l.stats.push(s),
+                Err(e) => {
+                    l.error.get_or_insert(e);
+                }
+            }
+            shared.cv.notify_all();
+        }
+    }
+
+    /// How many lanes (tenants) this writer multiplexes.
+    pub fn lanes(&self) -> usize {
+        self.shared.state.lock().expect("writer lock").lanes.len()
+    }
+
+    /// Hand one epoch's world image to the background committer on
+    /// `lane`. Blocks only while THIS lane is over its [`TenantQuota`]
+    /// (queued epochs or in-flight bytes); a neighbor's backlog never
+    /// blocks it. The lane's sticky error is returned to the caller and
+    /// every later submitter.
+    pub fn submit(&self, lane: usize, image: WorldImage) -> Result<(), StoreError> {
+        let bytes = image.total_bytes() as u64;
+        let mut st = self.shared.state.lock().expect("writer lock");
+        let mut waited = false;
+        loop {
+            if let Some(e) = &st.lanes[lane].error {
+                return Err(e.clone());
+            }
+            if st.closed {
+                return Err(StoreError::Closed);
+            }
+            if !Self::over_quota(&st.lanes[lane], bytes) {
+                let l = &mut st.lanes[lane];
+                l.queue.push_back(image);
+                l.queued_bytes += bytes;
+                self.shared.cv.notify_all();
+                return Ok(());
+            }
+            if !waited {
+                waited = true;
+                st.lanes[lane].quota_waits += 1;
+            }
+            st = self.shared.cv.wait(st).expect("writer wait");
+        }
+    }
+
+    fn over_quota(lane: &MuxLane, incoming_bytes: u64) -> bool {
+        let pending = lane.queued_bytes;
+        lane.queue.len() >= lane.quota.max_queue.max(1)
+            || (pending > 0
+                && pending.saturating_add(incoming_bytes) > lane.quota.max_inflight_bytes)
+    }
+
+    /// Whether a submit of `bytes` on `lane` would block right now
+    /// (quota probe for tests and admission-aware schedulers).
+    pub fn would_block(&self, lane: usize, bytes: u64) -> bool {
+        let st = self.shared.state.lock().expect("writer lock");
+        Self::over_quota(&st.lanes[lane], bytes)
+    }
+
+    /// Submits that had to block on `lane`'s quota so far.
+    pub fn quota_waits(&self, lane: usize) -> u64 {
+        self.shared.state.lock().expect("writer lock").lanes[lane].quota_waits
+    }
+
+    /// Test hook: stop dispatching commits (current one finishes) until
+    /// [`SharedStoreWriter::release_commits`], so tests can fill a
+    /// lane's quota deterministically.
+    pub fn hold_commits(&self) {
+        self.shared.state.lock().expect("writer lock").held = true;
+    }
+
+    /// Resume dispatching after [`SharedStoreWriter::hold_commits`].
+    pub fn release_commits(&self) {
+        let mut st = self.shared.state.lock().expect("writer lock");
+        st.held = false;
+        self.shared.cv.notify_all();
+    }
+
+    /// Wait until every epoch submitted on `lane` is durably committed
+    /// (or the lane failed). Returns the lane's sticky error, if any.
+    pub fn flush_lane(&self, lane: usize) -> Result<(), StoreError> {
+        let mut st = self.shared.state.lock().expect("writer lock");
+        while (!st.lanes[lane].queue.is_empty() || st.lanes[lane].in_flight)
+            && st.lanes[lane].error.is_none()
+        {
+            st = self.shared.cv.wait(st).expect("writer wait");
+        }
+        match &st.lanes[lane].error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Stats of the epochs committed on `lane` so far, in commit order.
+    pub fn lane_stats(&self, lane: usize) -> Vec<EpochStats> {
+        self.shared.state.lock().expect("writer lock").lanes[lane]
+            .stats
+            .clone()
+    }
+
+    /// The lane's sticky error, if its commits have failed.
+    pub fn lane_error(&self, lane: usize) -> Option<StoreError> {
+        self.shared.state.lock().expect("writer lock").lanes[lane]
+            .error
+            .clone()
+    }
+
+    /// Close every queue, drain them, join the committer and hand back
+    /// the underlying stores in lane order. Lanes with a sticky error
+    /// return their store too — the chain on disk is still the restart
+    /// source; read the error first via
+    /// [`SharedStoreWriter::lane_error`].
+    pub fn finish(self) -> Result<Vec<DeltaStore>, StoreError> {
+        self.shutdown().ok_or(StoreError::Closed)
+    }
+
+    /// Mark closed and join the worker; idempotent.
+    fn shutdown(&self) -> Option<Vec<DeltaStore>> {
+        {
+            let mut st = self.shared.state.lock().expect("writer lock");
+            st.closed = true;
+            st.held = false;
+            self.shared.cv.notify_all();
+        }
+        let handle = self.worker.lock().expect("worker lock").take()?;
+        Some(handle.join().expect("store writer thread"))
+    }
+}
+
+impl Drop for SharedStoreWriter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One tenant's [`ImageSink`] face of a [`SharedStoreWriter`]: what the
+/// tenant's coordinator attaches, so its rendezvous hands epochs to its
+/// own lane of the shared committer.
+pub struct TenantSink {
+    writer: Arc<SharedStoreWriter>,
+    lane: usize,
+}
+
+impl TenantSink {
+    /// The sink for `lane` of `writer`.
+    pub fn new(writer: Arc<SharedStoreWriter>, lane: usize) -> TenantSink {
+        TenantSink { writer, lane }
+    }
+}
+
+impl ImageSink for TenantSink {
+    fn submit(&self, image: WorldImage) -> Result<(), ImageError> {
+        let epoch = image.ranks.first().map(|r| r.epoch).unwrap_or(0);
+        self.writer
+            .submit(self.lane, image)
+            .map_err(|e| e.into_image_error(epoch))
+    }
+}
+
+/// The asynchronous face of a single store: a background thread owns a
 /// [`DeltaStore`] and drains a bounded submit queue. Attach it to the
 /// coordinator ([`crate::coordinator::Coordinator::attach_sink`]) and the
 /// round leader hands each completed epoch over inside the rendezvous —
@@ -1864,16 +2226,19 @@ struct WriterShared {
 /// Backpressure is the double buffer: a submit blocks only when
 /// [`StoreConfig::queue_depth`] epochs are already waiting, which bounds
 /// memory at `queue_depth + 1` in-flight world images.
+///
+/// Since the multi-tenant redesign this is a one-lane
+/// [`SharedStoreWriter`]: same thread name, same queue semantics, one
+/// tenant.
 pub struct StoreWriter {
-    shared: Arc<WriterShared>,
-    worker: Mutex<Option<std::thread::JoinHandle<DeltaStore>>>,
+    inner: SharedStoreWriter,
 }
 
 impl StoreWriter {
     /// Open the store at `dir` and spawn the background writer.
     pub fn spawn(dir: impl Into<PathBuf>, config: StoreConfig) -> Result<StoreWriter, StoreError> {
         let store = DeltaStore::open_with(dir, config)?;
-        Ok(StoreWriter::spawn_store(store))
+        Ok(StoreWriter::from_store(store))
     }
 
     /// Like [`StoreWriter::spawn`], with a remote second tier attached:
@@ -1886,82 +2251,18 @@ impl StoreWriter {
         tier_config: TierConfig,
     ) -> Result<StoreWriter, StoreError> {
         let store = DeltaStore::open_with_tier(dir, config, tier, tier_config)?;
-        Ok(StoreWriter::spawn_store(store))
+        Ok(StoreWriter::from_store(store))
     }
 
     /// Spawn the background writer around a store the caller opened (and
     /// possibly configured — e.g. attached a flight recorder to) itself.
     pub fn from_store(store: DeltaStore) -> StoreWriter {
-        StoreWriter::spawn_store(store)
-    }
-
-    /// Spawn the background committer thread around an opened store.
-    fn spawn_store(mut store: DeltaStore) -> StoreWriter {
-        let shared = Arc::new(WriterShared {
-            state: Mutex::new(WriterState {
-                queue: VecDeque::new(),
-                in_flight: false,
-                closed: false,
-                error: None,
-                stats: Vec::new(),
-            }),
-            cv: Condvar::new(),
-            queue_depth: store.config.queue_depth,
-        });
-        let worker_shared = shared.clone();
-        let worker = std::thread::Builder::new()
-            .name("ckpt-store-writer".into())
-            .spawn(move || {
-                loop {
-                    let image = {
-                        let mut st = worker_shared.state.lock().expect("writer lock");
-                        loop {
-                            if let Some(img) = st.queue.pop_front() {
-                                st.in_flight = true;
-                                break img;
-                            }
-                            if st.closed {
-                                return store;
-                            }
-                            st = worker_shared.cv.wait(st).expect("writer wait");
-                        }
-                    };
-                    // A slot just freed: wake blocked submitters early.
-                    worker_shared.cv.notify_all();
-                    let result = store.commit(&image);
-                    if let Err(e) = &result {
-                        // A failing sink is a flight-recorder incident:
-                        // record it before the error goes sticky so the
-                        // session's crash dump explains the red run.
-                        if let Some(tel) = &store.telemetry {
-                            let epoch = image.ranks.first().map_or(0, |r| r.epoch);
-                            tel.emit(
-                                tel.store_lane(),
-                                simnet::telemetry::EventKind::SinkError,
-                                tel.observed_now(),
-                                epoch,
-                                0,
-                                0,
-                            );
-                            tel.note_incident();
-                        }
-                        let _ = e;
-                    }
-                    let mut st = worker_shared.state.lock().expect("writer lock");
-                    st.in_flight = false;
-                    match result {
-                        Ok(s) => st.stats.push(s),
-                        Err(e) => {
-                            st.error.get_or_insert(e);
-                        }
-                    }
-                    worker_shared.cv.notify_all();
-                }
-            })
-            .expect("spawn store writer");
+        let quota = TenantQuota {
+            max_queue: store.config.queue_depth,
+            max_inflight_bytes: u64::MAX,
+        };
         StoreWriter {
-            shared,
-            worker: Mutex::new(Some(worker)),
+            inner: SharedStoreWriter::spawn_stores(vec![(store, quota)]),
         }
     }
 
@@ -1969,65 +2270,28 @@ impl StoreWriter {
     /// while the bounded queue is full (backpressure); a sticky writer
     /// error is returned to the caller and every later submitter.
     pub fn submit(&self, image: WorldImage) -> Result<(), StoreError> {
-        let mut st = self.shared.state.lock().expect("writer lock");
-        loop {
-            if let Some(e) = &st.error {
-                return Err(e.clone());
-            }
-            if st.closed {
-                return Err(StoreError::Closed);
-            }
-            if st.queue.len() < self.shared.queue_depth {
-                st.queue.push_back(image);
-                self.shared.cv.notify_all();
-                return Ok(());
-            }
-            st = self.shared.cv.wait(st).expect("writer wait");
-        }
+        self.inner.submit(0, image)
     }
 
     /// Wait until every submitted epoch is durably committed (or the
     /// writer failed). Returns the sticky error, if any.
     pub fn flush(&self) -> Result<(), StoreError> {
-        let mut st = self.shared.state.lock().expect("writer lock");
-        while (!st.queue.is_empty() || st.in_flight) && st.error.is_none() {
-            st = self.shared.cv.wait(st).expect("writer wait");
-        }
-        match &st.error {
-            Some(e) => Err(e.clone()),
-            None => Ok(()),
-        }
+        self.inner.flush_lane(0)
     }
 
     /// Stats of the epochs committed so far, in commit order.
     pub fn stats(&self) -> Vec<EpochStats> {
-        self.shared.state.lock().expect("writer lock").stats.clone()
+        self.inner.lane_stats(0)
     }
 
     /// Close the queue, drain it, join the worker and hand back the
     /// underlying [`DeltaStore`] (e.g. to restart from the chain).
     pub fn finish(self) -> Result<(DeltaStore, Vec<EpochStats>), StoreError> {
         self.flush()?;
-        let store = self.shutdown().ok_or(StoreError::Closed)?;
+        let mut stores = self.inner.finish()?;
+        let store = stores.pop().ok_or(StoreError::Closed)?;
         let stats = store.stats.clone();
         Ok((store, stats))
-    }
-
-    /// Mark closed and join the worker; idempotent.
-    fn shutdown(&self) -> Option<DeltaStore> {
-        {
-            let mut st = self.shared.state.lock().expect("writer lock");
-            st.closed = true;
-            self.shared.cv.notify_all();
-        }
-        let handle = self.worker.lock().expect("worker lock").take()?;
-        Some(handle.join().expect("store writer thread"))
-    }
-}
-
-impl Drop for StoreWriter {
-    fn drop(&mut self) {
-        self.shutdown();
     }
 }
 

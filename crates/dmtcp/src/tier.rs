@@ -37,7 +37,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use simnet::telemetry::{EventKind, Telemetry};
@@ -176,13 +176,35 @@ pub struct TierStats {
 // Object keys and the seal record
 // ---------------------------------------------------------------------------
 
-/// Tier keys of one epoch's objects: `(blocks, manifest, seal)`.
-pub(crate) fn epoch_keys(epoch: u64) -> (String, String, String) {
+/// Tier keys of one epoch's objects under a namespace prefix:
+/// `(blocks, manifest, seal)`. The prefix is `""` for the legacy
+/// single-tenant layout, or `tenant/<id>/` for one tenant of a shared
+/// tier (see [`tenant_namespace`]).
+pub(crate) fn epoch_keys(ns: &str, epoch: u64) -> (String, String, String) {
     (
-        format!("epoch_{epoch:06}/blocks.bin"),
-        format!("epoch_{epoch:06}/manifest.bin"),
-        format!("epoch_{epoch:06}/seal"),
+        format!("{ns}epoch_{epoch:06}/blocks.bin"),
+        format!("{ns}epoch_{epoch:06}/manifest.bin"),
+        format!("{ns}epoch_{epoch:06}/seal"),
     )
+}
+
+/// The tier key namespace of one tenant: `tenant/<id>/`. Rejects ids
+/// that are not a single legal key segment (empty, containing `/` or
+/// `\`, `.`, `..`, or the reserved `.inflight`), so a tenant id can
+/// never escape its namespace or collide with another tenant's.
+pub fn tenant_namespace(id: &str) -> Result<String, TierError> {
+    let bad = id.is_empty()
+        || id == "."
+        || id == ".."
+        || id == ".inflight"
+        || id.contains('/')
+        || id.contains('\\');
+    if bad {
+        return Err(TierError::BadKey {
+            key: format!("tenant/{id}/"),
+        });
+    }
+    Ok(format!("tenant/{id}/"))
 }
 
 /// The seal record: written to the tier *after* an epoch's blocks and
@@ -240,10 +262,12 @@ impl Seal {
 pub(crate) fn sealed_seals(
     tier: &dyn ObjectTier,
     config: TierConfig,
+    ns: &str,
 ) -> Result<BTreeMap<u64, Seal>, TierError> {
     let mut sealed = BTreeMap::new();
-    for key in tier.list("epoch_")? {
-        let Some(rest) = key.strip_prefix("epoch_") else {
+    let prefix = format!("{ns}epoch_");
+    for key in tier.list(&prefix)? {
+        let Some(rest) = key.strip_prefix(&prefix) else {
             continue;
         };
         let Some(digits) = rest.strip_suffix("/seal") else {
@@ -274,8 +298,9 @@ pub(crate) fn sealed_seals(
 pub(crate) fn sealed_epochs(
     tier: &dyn ObjectTier,
     config: TierConfig,
+    ns: &str,
 ) -> Result<BTreeSet<u64>, TierError> {
-    Ok(sealed_seals(tier, config)?.into_keys().collect())
+    Ok(sealed_seals(tier, config, ns)?.into_keys().collect())
 }
 
 /// Fetch one sealed epoch, fully verified: the seal decodes, and both
@@ -286,9 +311,10 @@ pub(crate) fn sealed_epochs(
 pub(crate) fn fetch_sealed_epoch(
     tier: &dyn ObjectTier,
     config: TierConfig,
+    ns: &str,
     epoch: u64,
 ) -> Result<(Vec<u8>, Vec<u8>), TierError> {
-    let (blocks_key, manifest_key, seal_key) = epoch_keys(epoch);
+    let (blocks_key, manifest_key, seal_key) = epoch_keys(ns, epoch);
     let seal_buf = get_retried(tier, config, &seal_key)?;
     let seal = Seal::decode(&seal_buf).map_err(|e| TierError::Corrupt {
         key: seal_key.clone(),
@@ -743,47 +769,89 @@ impl ObjectTier for MemTier {
 // The background shipper
 // ---------------------------------------------------------------------------
 
-struct ShipState {
+/// One tenant's share of the shipper: its local store directory, its
+/// key namespace in the tier, and — crucially — its *own* queue, sticky
+/// error, durable set, and stats. A lane whose uploads go sticky stops
+/// shipping without touching its neighbors: the error is scoped to the
+/// tenant whose tier config is dead, never to the runtime.
+struct ShipLane {
+    dir: PathBuf,
+    ns: String,
     queue: VecDeque<u64>,
     in_flight: bool,
-    closed: bool,
     error: Option<TierError>,
     durable: BTreeSet<u64>,
     stats: TierStats,
+    /// Attached flight recorder of this lane's tenant, cloned out by
+    /// the shipper thread before uploading.
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+struct ShipState {
+    lanes: Vec<ShipLane>,
+    closed: bool,
+    /// Round-robin cursor: the lane the next dispatch starts scanning
+    /// from, so a chatty tenant cannot starve the others.
+    rr: usize,
+}
+
+impl ShipState {
+    /// Pop the next epoch to ship, fair-share round-robin across lanes,
+    /// skipping lanes with a sticky error. Returns
+    /// `(lane, epoch, dir, ns, telemetry)`.
+    #[allow(clippy::type_complexity)]
+    fn next_work(&mut self) -> Option<(usize, u64, PathBuf, String, Option<Arc<Telemetry>>)> {
+        let n = self.lanes.len();
+        for i in 0..n {
+            let idx = (self.rr + i) % n;
+            let lane = &mut self.lanes[idx];
+            if lane.error.is_some() {
+                continue;
+            }
+            if let Some(epoch) = lane.queue.pop_front() {
+                lane.in_flight = true;
+                self.rr = (idx + 1) % n;
+                return Some((
+                    idx,
+                    epoch,
+                    lane.dir.clone(),
+                    lane.ns.clone(),
+                    lane.telemetry.clone(),
+                ));
+            }
+        }
+        None
+    }
 }
 
 struct ShipShared {
     state: Mutex<ShipState>,
     cv: Condvar,
-    /// Attached flight recorder, shared with the shipper thread (which
-    /// may outlive the attach call site).
-    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
-impl ShipShared {
-    /// Emit one event on the tier lane, stamped with the recorder's
-    /// observed virtual-clock high-water mark (the shipper is a wall
-    /// clock background thread).
-    fn emit(&self, kind: EventKind, a: u64, b: u64, c: u64) {
-        if let Some(tel) = self.telemetry.get() {
-            tel.emit(tel.tier_lane(), kind, tel.observed_now(), a, b, c);
-        }
+/// Emit one event on a recorder's tier lane, stamped with its observed
+/// virtual-clock high-water mark (the shipper is a wall-clock
+/// background thread).
+fn emit_tier(tel: &Option<Arc<Telemetry>>, kind: EventKind, a: u64, b: u64, c: u64) {
+    if let Some(tel) = tel {
+        tel.emit(tel.tier_lane(), kind, tel.observed_now(), a, b, c);
     }
 }
 
-/// A cloneable live view of the shipper's [`TierStats`], detached from
+/// A cloneable live view of one lane's [`TierStats`], detached from
 /// the store that owns the [`TierRuntime`]. Lets a session keep reading
 /// shipping statistics after the store has moved into the background
 /// writer thread (`StoreWriter::from_store`).
 #[derive(Clone)]
 pub struct TierStatsHandle {
     shared: Arc<ShipShared>,
+    lane: usize,
 }
 
 impl TierStatsHandle {
-    /// The shipper's statistics right now.
+    /// The lane's shipping statistics right now.
     pub fn stats(&self) -> TierStats {
-        self.shared.state.lock().expect("shipper lock").stats
+        self.shared.state.lock().expect("shipper lock").lanes[self.lane].stats
     }
 }
 
@@ -795,11 +863,13 @@ impl std::fmt::Debug for TierStatsHandle {
     }
 }
 
-/// The live tier attachment of a [`DeltaStore`]: the tier handle, its
-/// config, and the background shipper thread that uploads sealed epochs.
-/// Mirrors `StoreWriter`: bounded-latency hand-off (the queue holds only
-/// epoch numbers; bytes are read on the shipper's thread), sticky first
-/// error, drain-and-join on drop.
+/// The live tier attachment of one or many [`DeltaStore`]s: the tier
+/// handle, its config, and ONE background shipper thread multiplexing
+/// sealed-epoch uploads from every registered lane, fair-share
+/// round-robin. Mirrors `StoreWriter`: bounded-latency hand-off (each
+/// lane's queue holds only epoch numbers; bytes are read on the
+/// shipper's thread), sticky first error *per lane*, drain-and-join on
+/// drop of the last handle.
 pub(crate) struct TierRuntime {
     pub(crate) tier: Arc<dyn ObjectTier>,
     pub(crate) config: TierConfig,
@@ -808,43 +878,27 @@ pub(crate) struct TierRuntime {
 }
 
 impl TierRuntime {
-    /// Spawn the shipper for the store at `dir`. `durable` preloads the
-    /// epochs already sealed in the tier (from a reconcile listing).
-    pub(crate) fn spawn(
-        tier: Arc<dyn ObjectTier>,
-        config: TierConfig,
-        dir: PathBuf,
-        durable: BTreeSet<u64>,
-    ) -> TierRuntime {
+    /// Spawn the shipper with no lanes yet; stores register via
+    /// [`TierRuntime::add_lane`].
+    pub(crate) fn spawn(tier: Arc<dyn ObjectTier>, config: TierConfig) -> TierRuntime {
         let shared = Arc::new(ShipShared {
             state: Mutex::new(ShipState {
-                queue: VecDeque::new(),
-                in_flight: false,
+                lanes: Vec::new(),
                 closed: false,
-                error: None,
-                durable,
-                stats: TierStats::default(),
+                rr: 0,
             }),
             cv: Condvar::new(),
-            telemetry: OnceLock::new(),
         });
         let worker_shared = shared.clone();
         let worker_tier = tier.clone();
         let worker = std::thread::Builder::new()
             .name("ckpt-tier-shipper".into())
             .spawn(move || loop {
-                let epoch = {
+                let (lane, epoch, dir, ns, tel) = {
                     let mut st = worker_shared.state.lock().expect("shipper lock");
                     loop {
-                        if st.error.is_some() {
-                            // Sticky: stop shipping. Everything still
-                            // queued stays undurable, which the GC guard
-                            // translates into local retention.
-                            return;
-                        }
-                        if let Some(e) = st.queue.pop_front() {
-                            st.in_flight = true;
-                            break e;
+                        if let Some(work) = st.next_work() {
+                            break work;
                         }
                         if st.closed {
                             return;
@@ -852,38 +906,49 @@ impl TierRuntime {
                         st = worker_shared.cv.wait(st).expect("shipper wait");
                     }
                 };
-                worker_shared.emit(EventKind::TierShip, epoch, 0, 0);
+                emit_tier(&tel, EventKind::TierShip, epoch, 0, 0);
                 let mut retries = 0u64;
-                let result = ship_epoch(&*worker_tier, config, &dir, epoch, &mut retries);
-                if let Some(tel) = worker_shared.telemetry.get() {
+                let result = ship_epoch(&*worker_tier, config, &dir, &ns, epoch, &mut retries);
+                if let Some(tel) = &tel {
                     if retries > 0 {
                         tel.metrics().counter("tier.put_retries").add(retries);
                     }
                     match &result {
                         Ok(bytes) => {
-                            worker_shared.emit(EventKind::SealDurable, epoch, *bytes, retries);
+                            emit_tier(
+                                &Some(tel.clone()),
+                                EventKind::SealDurable,
+                                epoch,
+                                *bytes,
+                                retries,
+                            );
                             tel.metrics().histogram("tier.ship_bytes").observe(*bytes);
                         }
                         Err(_) => {
                             // An abandoned upload leaves this epoch's only
                             // durable copy local: an incident worth a dump.
-                            worker_shared.emit(EventKind::TierFail, epoch, retries, 0);
+                            emit_tier(&Some(tel.clone()), EventKind::TierFail, epoch, retries, 0);
                             tel.note_incident();
                         }
                     }
                 }
                 let mut st = worker_shared.state.lock().expect("shipper lock");
-                st.in_flight = false;
-                st.stats.put_retries += retries;
+                let l = &mut st.lanes[lane];
+                l.in_flight = false;
+                l.stats.put_retries += retries;
                 match result {
                     Ok(bytes) => {
-                        st.durable.insert(epoch);
-                        st.stats.epochs_shipped += 1;
-                        st.stats.bytes_shipped += bytes;
+                        l.durable.insert(epoch);
+                        l.stats.epochs_shipped += 1;
+                        l.stats.bytes_shipped += bytes;
                     }
                     Err(e) => {
-                        st.stats.ship_failures += 1;
-                        st.error.get_or_insert(e);
+                        // Sticky FOR THIS LANE ONLY: its queued epochs stay
+                        // undurable (the GC guard translates that into
+                        // local retention) while every other lane keeps
+                        // shipping.
+                        l.stats.ship_failures += 1;
+                        l.error.get_or_insert(e);
                     }
                 }
                 worker_shared.cv.notify_all();
@@ -897,67 +962,132 @@ impl TierRuntime {
         }
     }
 
-    /// Attach a flight recorder (first attachment wins). Ship starts,
-    /// durable seals, and abandoned uploads flow onto its tier lane.
-    pub(crate) fn attach_telemetry(&self, tel: Arc<Telemetry>) {
-        let _ = self.shared.telemetry.set(tel);
+    /// Register one store's lane: its local chain directory, its key
+    /// namespace, and the epochs already durably sealed in the tier
+    /// (from a reconcile listing). Returns the lane index.
+    pub(crate) fn add_lane(&self, dir: PathBuf, ns: String, durable: BTreeSet<u64>) -> usize {
+        let mut st = self.shared.state.lock().expect("shipper lock");
+        st.lanes.push(ShipLane {
+            dir,
+            ns,
+            queue: VecDeque::new(),
+            in_flight: false,
+            error: None,
+            durable,
+            stats: TierStats::default(),
+            telemetry: None,
+        });
+        st.lanes.len() - 1
     }
 
-    /// Queue one committed epoch for upload. Never blocks and never
-    /// fails: after a sticky error the enqueue is dropped (the epoch
-    /// stays undurable and locally retained).
-    pub(crate) fn enqueue(&self, epoch: u64) {
+    /// How many lanes are registered.
+    pub(crate) fn lanes(&self) -> usize {
+        self.shared.state.lock().expect("shipper lock").lanes.len()
+    }
+
+    /// Attach a flight recorder to one lane (first attachment wins).
+    /// Ship starts, durable seals, and abandoned uploads flow onto its
+    /// tier lane.
+    pub(crate) fn attach_telemetry(&self, lane: usize, tel: Arc<Telemetry>) {
         let mut st = self.shared.state.lock().expect("shipper lock");
-        if st.closed || st.error.is_some() {
+        let slot = &mut st.lanes[lane].telemetry;
+        if slot.is_none() {
+            *slot = Some(tel);
+        }
+    }
+
+    /// Queue one committed epoch for upload on `lane`. Never blocks and
+    /// never fails: after the lane's sticky error the enqueue is dropped
+    /// (the epoch stays undurable and locally retained).
+    pub(crate) fn enqueue(&self, lane: usize, epoch: u64) {
+        let mut st = self.shared.state.lock().expect("shipper lock");
+        if st.closed || st.lanes[lane].error.is_some() {
             return;
         }
-        st.queue.push_back(epoch);
+        st.lanes[lane].queue.push_back(epoch);
         self.shared.cv.notify_all();
     }
 
-    /// Wait until every queued epoch is durable (or the shipper failed).
-    pub(crate) fn flush(&self) -> Result<(), TierError> {
+    /// Wait until every epoch queued on `lane` is durable (or the lane
+    /// failed). Other lanes' backlogs do not gate this wait beyond their
+    /// fair share of the single shipper thread.
+    pub(crate) fn flush(&self, lane: usize) -> Result<(), TierError> {
         let mut st = self.shared.state.lock().expect("shipper lock");
-        while (!st.queue.is_empty() || st.in_flight) && st.error.is_none() {
+        while (!st.lanes[lane].queue.is_empty() || st.lanes[lane].in_flight)
+            && st.lanes[lane].error.is_none()
+        {
             st = self.shared.cv.wait(st).expect("shipper wait");
         }
-        match &st.error {
+        match &st.lanes[lane].error {
             Some(e) => Err(e.clone()),
             None => Ok(()),
         }
     }
 
-    /// Epochs whose seal is durably in the tier.
-    pub(crate) fn durable(&self) -> BTreeSet<u64> {
-        self.shared
-            .state
-            .lock()
-            .expect("shipper lock")
+    /// Epochs whose seal is durably in the tier, for `lane`.
+    pub(crate) fn durable(&self, lane: usize) -> BTreeSet<u64> {
+        self.shared.state.lock().expect("shipper lock").lanes[lane]
             .durable
             .clone()
     }
 
-    /// Shipping statistics so far.
-    pub(crate) fn stats(&self) -> TierStats {
-        self.shared.state.lock().expect("shipper lock").stats
+    /// Shipping statistics of `lane` so far.
+    pub(crate) fn stats(&self, lane: usize) -> TierStats {
+        self.shared.state.lock().expect("shipper lock").lanes[lane].stats
     }
 
-    /// A cloneable handle that keeps reading the live statistics after
-    /// the owning store has moved to another thread.
-    pub(crate) fn stats_handle(&self) -> TierStatsHandle {
+    /// A cloneable handle that keeps reading one lane's live statistics
+    /// after the owning store has moved to another thread.
+    pub(crate) fn stats_handle(&self, lane: usize) -> TierStatsHandle {
         TierStatsHandle {
             shared: self.shared.clone(),
+            lane,
         }
     }
 
-    /// The sticky shipper error, if any.
-    pub(crate) fn error(&self) -> Option<TierError> {
-        self.shared
-            .state
-            .lock()
-            .expect("shipper lock")
+    /// The lane's sticky error, if any.
+    pub(crate) fn error(&self, lane: usize) -> Option<TierError> {
+        self.shared.state.lock().expect("shipper lock").lanes[lane]
             .error
             .clone()
+    }
+}
+
+/// A tier shipper shared by many stores: ONE background upload thread
+/// multiplexing every tenant's sealed epochs, fair-share round-robin,
+/// with per-tenant (per-lane) sticky errors, durable sets, and stats.
+/// Clone handles freely; the shipper drains and joins when the last
+/// handle (including every attached store) drops.
+#[derive(Clone)]
+pub struct SharedTier {
+    runtime: Arc<TierRuntime>,
+}
+
+impl SharedTier {
+    /// Spawn a shared shipper over `tier`.
+    pub fn new(tier: Arc<dyn ObjectTier>, config: TierConfig) -> SharedTier {
+        SharedTier {
+            runtime: Arc::new(TierRuntime::spawn(tier, config)),
+        }
+    }
+
+    /// The underlying object-tier handle.
+    pub fn tier(&self) -> Arc<dyn ObjectTier> {
+        self.runtime.tier.clone()
+    }
+
+    /// The retry/backoff policy every lane ships with.
+    pub fn config(&self) -> TierConfig {
+        self.runtime.config
+    }
+
+    /// How many store lanes have been registered.
+    pub fn lanes(&self) -> usize {
+        self.runtime.lanes()
+    }
+
+    pub(crate) fn runtime(&self) -> &Arc<TierRuntime> {
+        &self.runtime
     }
 }
 
@@ -1102,6 +1232,7 @@ fn ship_epoch(
     tier: &dyn ObjectTier,
     config: TierConfig,
     dir: &Path,
+    ns: &str,
     epoch: u64,
     retries: &mut u64,
 ) -> Result<u64, TierError> {
@@ -1109,7 +1240,7 @@ fn ship_epoch(
     let read_local = |name: &str| -> Result<Vec<u8>, TierError> {
         std::fs::read(edir.join(name)).map_err(|e| TierError::Io {
             op: "read local epoch",
-            key: format!("epoch_{epoch:06}/{name}"),
+            key: format!("{ns}epoch_{epoch:06}/{name}"),
             msg: e.to_string(),
         })
     };
@@ -1123,7 +1254,7 @@ fn ship_epoch(
         manifest_crc: crc32(&manifest),
     }
     .encode();
-    let (blocks_key, manifest_key, seal_key) = epoch_keys(epoch);
+    let (blocks_key, manifest_key, seal_key) = epoch_keys(ns, epoch);
     put_verified(tier, config, &blocks_key, &blocks, retries)?;
     put_verified(tier, config, &manifest_key, &manifest, retries)?;
     put_verified(tier, config, &seal_key, &seal, retries)?;
@@ -1145,6 +1276,7 @@ fn ship_epoch(
 pub struct Scrubber {
     tier: Arc<dyn ObjectTier>,
     config: TierConfig,
+    ns: String,
 }
 
 impl Scrubber {
@@ -1156,13 +1288,24 @@ impl Scrubber {
     /// A scrubber with an explicit retry/backoff/deadline policy for its
     /// downloads.
     pub fn with_config(tier: Arc<dyn ObjectTier>, config: TierConfig) -> Scrubber {
-        Scrubber { tier, config }
+        Scrubber {
+            tier,
+            config,
+            ns: String::new(),
+        }
+    }
+
+    /// Read under one tenant's key namespace ([`tenant_namespace`])
+    /// instead of the legacy root layout.
+    pub fn namespaced(mut self, ns: impl Into<String>) -> Scrubber {
+        self.ns = ns.into();
+        self
     }
 
     /// Heal `store`'s quarantined epochs from the tier. See
     /// [`DeltaStore::scrub`] for the exact semantics and the report.
     pub fn scrub(&self, store: &mut DeltaStore) -> Result<ScrubReport, StoreError> {
-        store.scrub_with(&*self.tier, self.config)
+        store.scrub_with(&*self.tier, self.config, &self.ns)
     }
 }
 

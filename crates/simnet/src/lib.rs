@@ -88,6 +88,7 @@ pub mod fabric;
 pub mod link;
 pub mod matching;
 pub mod noise;
+pub mod pool;
 pub mod rank;
 pub mod stats;
 pub mod telemetry;
@@ -101,6 +102,7 @@ pub use fabric::{Endpoint, Fabric};
 pub use link::{LinkClass, LinkModel};
 pub use matching::{ArrivalModel, MatchCore, MatchedMsg, SrcPattern, TagPattern, WireArrival};
 pub use noise::NoiseModel;
+pub use pool::{PoolGuard, WorkerPool};
 pub use rank::RankCtx;
 pub use stats::{mean, median, stddev, Summary};
 pub use telemetry::{

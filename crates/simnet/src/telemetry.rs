@@ -559,6 +559,10 @@ pub struct TelemetryConfig {
     /// Echo every emitted event to stderr (the trace-level filter;
     /// default quiet).
     pub echo: bool,
+    /// Label this recorder belongs to one tenant of a multi-tenant
+    /// cluster; stamped into dump headers and echo lines so interleaved
+    /// output from concurrent worlds stays attributable.
+    pub tag: Option<String>,
 }
 
 /// The flight recorder: per-rank + per-subsystem event lanes, the
@@ -574,6 +578,7 @@ pub struct Telemetry {
     dumped: AtomicBool,
     dump_dir: Option<PathBuf>,
     echo: AtomicBool,
+    tag: Option<String>,
 }
 
 impl Telemetry {
@@ -607,7 +612,13 @@ impl Telemetry {
             dumped: AtomicBool::new(false),
             dump_dir: config.dump_dir,
             echo: AtomicBool::new(config.echo),
+            tag: config.tag,
         }
+    }
+
+    /// The tenant tag this recorder was built with, if any.
+    pub fn tag(&self) -> Option<&str> {
+        self.tag.as_deref()
     }
 
     /// World size this recorder was built for.
@@ -710,12 +721,20 @@ impl Telemetry {
         slot.c.store(c, Ordering::SeqCst);
         slot.seq.store(2 * ticket + 2, Ordering::SeqCst);
         if self.echo() {
-            eprintln!(
-                "[tel] {} vt={}ns {} a={a} b={b} c={c}",
-                self.lane_name(lane),
-                vclock_ns,
-                kind.name(),
-            );
+            match self.tag.as_deref() {
+                Some(tag) => eprintln!(
+                    "[tel:{tag}] {} vt={}ns {} a={a} b={b} c={c}",
+                    self.lane_name(lane),
+                    vclock_ns,
+                    kind.name(),
+                ),
+                None => eprintln!(
+                    "[tel] {} vt={}ns {} a={a} b={b} c={c}",
+                    self.lane_name(lane),
+                    vclock_ns,
+                    kind.name(),
+                ),
+            }
         }
     }
 
@@ -809,8 +828,9 @@ impl Telemetry {
 
         let mut jsonl = String::new();
         jsonl.push_str(&format!(
-            "{{\"type\":\"header\",\"reason\":{},\"nranks\":{},\"events\":{},\"incidents\":{}}}\n",
+            "{{\"type\":\"header\",\"reason\":{},\"tenant\":{},\"nranks\":{},\"events\":{},\"incidents\":{}}}\n",
             json_string(reason),
+            json_string(self.tag.as_deref().unwrap_or("")),
             self.nranks,
             events.len(),
             self.incidents(),

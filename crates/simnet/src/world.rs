@@ -19,6 +19,7 @@ use std::sync::Arc;
 use crate::cluster::ClusterSpec;
 use crate::error::{SimError, SimResult};
 use crate::fabric::Fabric;
+use crate::pool::WorkerPool;
 use crate::rank::{RankCounters, RankCtx};
 use crate::time::VirtualTime;
 
@@ -182,18 +183,36 @@ impl World {
     }
 
     /// Run **independent** rank bodies through a bounded worker pool: at
-    /// most `max_threads` rank threads are live at any moment, executing
-    /// ranks in waves.
+    /// most `max_threads` rank threads are live at any moment, admitted in
+    /// strict rank order through a fresh [`WorkerPool`].
     ///
     /// This is the "where the engine allows it" escape from one thread per
-    /// rank: a rank in a later wave does not exist until the earlier waves
-    /// finish, so `f` must never *block on* another rank (sends are fine —
-    /// the fabric's mailboxes buffer them; receives may only consume
-    /// messages already sent by the same wave-or-earlier ranks). Use
-    /// [`World::run`] for communicating programs.
+    /// rank: a later rank does not exist until an earlier rank releases a
+    /// pool permit, so `f` must never *block on* a higher-numbered rank
+    /// (sends are fine — the fabric's mailboxes buffer them; a blocking
+    /// receive may only wait on lower-numbered ranks, which are always
+    /// admitted first). Use [`World::run`] for communicating programs.
     pub fn run_pooled<R, F>(
         spec: &ClusterSpec,
         max_threads: usize,
+        f: F,
+    ) -> SimResult<WorldOutcome<R>>
+    where
+        R: Send,
+        F: Fn(Rc<RankCtx>) -> SimResult<R> + Sync,
+    {
+        let pool = WorkerPool::new(max_threads);
+        Self::run_pooled_on(spec, &pool, f)
+    }
+
+    /// Like [`World::run_pooled`] over a caller-provided (possibly shared)
+    /// [`WorkerPool`]. Each rank holds one pool permit for its lifetime;
+    /// permits are acquired on the launcher thread in rank order, so
+    /// admission is deterministic and FIFO-fair against other users of
+    /// the same pool.
+    pub fn run_pooled_on<R, F>(
+        spec: &ClusterSpec,
+        pool: &WorkerPool,
         f: F,
     ) -> SimResult<WorldOutcome<R>>
     where
@@ -204,37 +223,36 @@ impl World {
         let spec = Arc::new(spec.clone());
         let (fabric, endpoints) = Fabric::new(&spec);
         let nranks = spec.nranks();
-        let wave = max_threads.max(1);
-        let plan = RunPlan::auto(wave.min(nranks));
+        let plan = RunPlan::auto(pool.capacity().min(nranks));
         let f = &f;
 
         let mut slots: Vec<Option<(SimResult<R>, VirtualTime, RankCounters)>> =
             (0..nranks).map(|_| None).collect();
 
-        let mut endpoints = endpoints.into_iter().enumerate();
-        loop {
-            let batch: Vec<_> = endpoints.by_ref().take(wave).collect();
-            if batch.is_empty() {
-                break;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nranks);
+            for (rank, ep) in endpoints.into_iter().enumerate() {
+                // Admission happens here, on the launcher thread: rank N+1
+                // is not spawned until a permit frees, and never before
+                // rank N was admitted.
+                let permit = pool.acquire(1);
+                let spec = spec.clone();
+                let fabric = fabric.clone();
+                let handle = plan
+                    .builder(rank)
+                    .spawn_scoped(scope, move || {
+                        let out = Self::rank_body(rank, spec, fabric, ep, f);
+                        drop(permit);
+                        out
+                    })
+                    .expect("spawn rank thread");
+                handles.push(handle);
             }
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(batch.len());
-                for (rank, ep) in batch {
-                    let spec = spec.clone();
-                    let fabric = fabric.clone();
-                    let handle = plan
-                        .builder(rank)
-                        .spawn_scoped(scope, move || Self::rank_body(rank, spec, fabric, ep, f))
-                        .expect("spawn rank thread");
-                    handles.push(handle);
-                }
-                for handle in handles {
-                    let (rank, res, clock, counters) =
-                        handle.join().expect("rank thread join failed");
-                    slots[rank] = Some((res, clock, counters));
-                }
-            });
-        }
+            for handle in handles {
+                let (rank, res, clock, counters) = handle.join().expect("rank thread join failed");
+                slots[rank] = Some((res, clock, counters));
+            }
+        });
 
         Self::collect(slots)
     }
