@@ -30,6 +30,7 @@ struct Args {
 }
 
 fn usage() -> ! {
+    // lint:allow(no-eprintln) — gate tooling reports on stderr by design.
     eprintln!(
         "usage: benchgate [--ckpt PATH] [--scale PATH] [--telemetry PATH] [--baselines DIR] \
          [--write-baselines]\n\
@@ -129,6 +130,7 @@ fn run() -> Result<GateOutcome, String> {
 fn main() -> ExitCode {
     match run() {
         Err(msg) => {
+            // lint:allow(no-eprintln) — gate tooling reports on stderr by design.
             eprintln!("benchgate: FAIL (invalid input): {msg}");
             ExitCode::from(2)
         }
@@ -145,8 +147,10 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             } else {
                 for r in &out.regressions {
+                    // lint:allow(no-eprintln) — gate tooling reports on stderr by design.
                     eprintln!("benchgate: REGRESSION: {r}");
                 }
+                // lint:allow(no-eprintln) — gate tooling reports on stderr by design.
                 eprintln!(
                     "benchgate: FAIL — {} regression(s); if intentional, refresh with \
                      `cargo run -p stool-bench --bin benchgate -- --write-baselines` \

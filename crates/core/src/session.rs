@@ -998,6 +998,15 @@ impl Session {
             Sink::None => Ok(()),
         };
 
+        // Fold any lock-discipline findings (cycles, guards carried into
+        // a rendezvous) into the recorder before deciding whether to
+        // dump: a lockcheck hit is an incident like any other and must
+        // show up as `LockCycle` events in the timeline.
+        let lock_incidents = sanity::lockcheck::take_incidents();
+        if !lock_incidents.is_empty() {
+            tel.note_lock_incidents(tel.coord_lane(), &lock_incidents);
+        }
+
         // Unify the run's observability: the recorder plus every
         // subsystem's statistics in one snapshot, and — when the run
         // recorded incidents or failed outright — the one-shot merged

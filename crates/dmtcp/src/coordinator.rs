@@ -57,7 +57,9 @@
 //! survivors unwind with [`CkptError::Poisoned`] instead of hanging.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use sanity::lockcheck::{self, TrackedCondvar, TrackedMutex};
 
 use simnet::telemetry::{EventKind, Telemetry};
 
@@ -207,8 +209,8 @@ impl BarrierTopology {
 /// One poisonable arrive/release cell (a counter, a generation, and the
 /// condvar its waiters sleep on). Building block for both barrier shapes.
 struct WaitCell {
-    state: Mutex<CellState>,
-    cv: Condvar,
+    state: TrackedMutex<CellState>,
+    cv: TrackedCondvar,
 }
 
 struct CellState {
@@ -220,12 +222,15 @@ struct CellState {
 impl WaitCell {
     fn new() -> WaitCell {
         WaitCell {
-            state: Mutex::new(CellState {
-                arrived: 0,
-                generation: 0,
-                poisoned: false,
-            }),
-            cv: Condvar::new(),
+            state: TrackedMutex::named(
+                "coord.waitcell",
+                CellState {
+                    arrived: 0,
+                    generation: 0,
+                    poisoned: false,
+                },
+            ),
+            cv: TrackedCondvar::new(),
         }
     }
 
@@ -308,6 +313,10 @@ impl SyncPoint {
     /// Wait for every rank. Returns `true` on exactly one caller per
     /// generation (the leader).
     fn wait(&self, rank: usize) -> Result<bool, CkptError> {
+        // The rank is about to park until the whole world arrives: any
+        // tracked guard still held here starves every peer (the PR 6
+        // deadlock class). Lockcheck reports it before we block.
+        lockcheck::rendezvous_crossing("coord.rendezvous");
         match &self.shape {
             SyncShape::Flat(cell) => {
                 let leader = cell.arrive_or_wait(self.nranks)?;
@@ -362,7 +371,7 @@ impl SyncPoint {
 /// slot `r / nshards`.
 struct ShardedSlots<T> {
     nranks: usize,
-    shards: Vec<Mutex<Vec<Option<T>>>>,
+    shards: Vec<TrackedMutex<Vec<Option<T>>>>,
 }
 
 impl<T> ShardedSlots<T> {
@@ -372,7 +381,7 @@ impl<T> ShardedSlots<T> {
         let shards = (0..nshards)
             .map(|s| {
                 let slots = nranks / nshards + usize::from(s < nranks % nshards);
-                Mutex::new((0..slots).map(|_| None).collect())
+                TrackedMutex::named("coord.shard", (0..slots).map(|_| None).collect())
             })
             .collect();
         ShardedSlots { nranks, shards }
@@ -472,8 +481,8 @@ struct Round {
 struct Shared {
     nranks: usize,
     requested_epoch: AtomicU64,
-    mode: Mutex<CkptMode>,
-    round: Mutex<Round>,
+    mode: TrackedMutex<CkptMode>,
+    round: TrackedMutex<Round>,
     sync: SyncPoint,
     /// Per-rank (sent_to, received_from) matrices for the drain protocol.
     counters: ShardedSlots<DrainCounters>,
@@ -482,17 +491,17 @@ struct Shared {
     completed_rounds: AtomicU64,
     /// Attached image consumer plus the vendor hint to stamp on forwarded
     /// world images, if any.
-    sink: Mutex<Option<(Arc<dyn ImageSink>, String)>>,
+    sink: TrackedMutex<Option<(Arc<dyn ImageSink>, String)>>,
     /// First sink failure; latched so every participant of the failing
     /// round (and any later round) unwinds with the same error.
-    sink_error: Mutex<Option<ImageError>>,
+    sink_error: TrackedMutex<Option<ImageError>>,
     /// Attached coordinator replica group, if any. When present, every
     /// completed round's epoch record must reach a quorum of replica logs
     /// before the leader bumps `completed_epoch` or releases the barrier.
-    replicas: Mutex<Option<Arc<ReplicaGroup>>>,
+    replicas: TrackedMutex<Option<Arc<ReplicaGroup>>>,
     /// First quorum-commit failure; latched like `sink_error` so every
     /// participant of the aborted round unwinds with the same error.
-    replica_error: Mutex<Option<ReplicaError>>,
+    replica_error: TrackedMutex<Option<ReplicaError>>,
     /// Attached flight recorder, if any. All coordinator protocol events
     /// land on its dedicated coordinator lane, stamped with the latest
     /// virtual clock the ranks have reported through
@@ -532,23 +541,26 @@ impl Coordinator {
             shared: Arc::new(Shared {
                 nranks,
                 requested_epoch: AtomicU64::new(0),
-                mode: Mutex::new(CkptMode::Continue),
-                round: Mutex::new(Round {
-                    phase: Phase::Idle,
-                    pos: (0..nranks).map(|_| None).collect(),
-                    finished: 0,
-                    entered: 0,
-                    consumed_epoch: 0,
-                }),
+                mode: TrackedMutex::named("coord.mode", CkptMode::Continue),
+                round: TrackedMutex::named(
+                    "coord.round",
+                    Round {
+                        phase: Phase::Idle,
+                        pos: (0..nranks).map(|_| None).collect(),
+                        finished: 0,
+                        entered: 0,
+                        consumed_epoch: 0,
+                    },
+                ),
                 sync: SyncPoint::new(nranks, topology),
                 counters: ShardedSlots::new(nranks),
                 images: ShardedSlots::new(nranks),
                 completed_epoch: AtomicU64::new(0),
                 completed_rounds: AtomicU64::new(0),
-                sink: Mutex::new(None),
-                sink_error: Mutex::new(None),
-                replicas: Mutex::new(None),
-                replica_error: Mutex::new(None),
+                sink: TrackedMutex::named("coord.sink", None),
+                sink_error: TrackedMutex::named("coord.sink_error", None),
+                replicas: TrackedMutex::named("coord.replicas", None),
+                replica_error: TrackedMutex::named("coord.replica_error", None),
                 telemetry: OnceLock::new(),
             }),
         }
@@ -1433,7 +1445,7 @@ mod tests {
 
     #[test]
     fn attached_sink_takes_ownership_of_each_epoch() {
-        struct Collect(Mutex<Vec<WorldImage>>);
+        struct Collect(std::sync::Mutex<Vec<WorldImage>>);
         impl ImageSink for Collect {
             fn submit(&self, image: WorldImage) -> Result<(), crate::image::ImageError> {
                 self.0.lock().unwrap().push(image);
@@ -1442,7 +1454,7 @@ mod tests {
         }
         let n = 3;
         let coord = Coordinator::new(n);
-        let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+        let sink = Arc::new(Collect(std::sync::Mutex::new(Vec::new())));
         coord.attach_sink(sink.clone(), "MPICH");
         coord.request_checkpoint(CkptMode::Continue);
         std::thread::scope(|s| {

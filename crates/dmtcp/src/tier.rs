@@ -1145,6 +1145,7 @@ fn backoff_or_timeout(
         }
     }
     *retries += 1;
+    // lint:allow(no-sleep-poll) — jittered retry backoff on the tier upload path, not a poll loop.
     std::thread::sleep(sleep);
     Ok(())
 }

@@ -1,0 +1,51 @@
+//! End-to-end `stoolint` binary checks: real process, real exit codes,
+//! real JSON on stdout.
+
+use std::process::Command;
+
+fn fixture_tree(tag: &str, lib_rs: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("stoolint-bin-{tag}-{}", std::process::id()));
+    let src = dir.join("crates/fixture/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(src.join("lib.rs"), lib_rs).unwrap();
+    dir
+}
+
+#[test]
+fn seeded_violation_exits_2_with_json_report() {
+    let dir = fixture_tree("bad", "fn f() {\n    eprintln!(\"seeded\");\n}\n");
+    let out = Command::new(env!("CARGO_BIN_EXE_stoolint"))
+        .args(["--root", dir.to_str().unwrap()])
+        .output()
+        .expect("stoolint runs");
+    assert_eq!(out.status.code(), Some(2), "violations must exit 2");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"rule\":\"no-eprintln\""),
+        "json: {stdout}"
+    );
+    assert!(stdout.contains("\"line\":2"), "json: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("VIOLATION"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_tree_exits_0() {
+    let dir = fixture_tree("good", "fn f() {}\n");
+    let out = Command::new(env!("CARGO_BIN_EXE_stoolint"))
+        .args(["--root", dir.to_str().unwrap(), "--quiet"])
+        .output()
+        .expect("stoolint runs");
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn driver_error_exits_1() {
+    let out = Command::new(env!("CARGO_BIN_EXE_stoolint"))
+        .args(["--no-such-flag"])
+        .output()
+        .expect("stoolint runs");
+    assert_eq!(out.status.code(), Some(1), "bad usage is a driver error");
+}

@@ -16,7 +16,9 @@
 //!
 //! [`World::run_pooled`]: crate::world::World::run_pooled
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use sanity::lockcheck::{self, TrackedCondvar, TrackedMutex};
 
 /// Bounded permit pool with FIFO (ticketed) gang admission.
 #[derive(Clone)]
@@ -26,8 +28,8 @@ pub struct WorkerPool {
 
 struct PoolInner {
     capacity: usize,
-    state: Mutex<PoolState>,
-    cv: Condvar,
+    state: TrackedMutex<PoolState>,
+    cv: TrackedCondvar,
 }
 
 struct PoolState {
@@ -45,12 +47,15 @@ impl WorkerPool {
         WorkerPool {
             inner: Arc::new(PoolInner {
                 capacity,
-                state: Mutex::new(PoolState {
-                    available: capacity,
-                    next_ticket: 0,
-                    serving: 0,
-                }),
-                cv: Condvar::new(),
+                state: TrackedMutex::named(
+                    "pool.state",
+                    PoolState {
+                        available: capacity,
+                        next_ticket: 0,
+                        serving: 0,
+                    },
+                ),
+                cv: TrackedCondvar::new(),
             }),
         }
     }
@@ -71,6 +76,9 @@ impl WorkerPool {
     /// `capacity` permits (it runs alone).
     pub fn acquire(&self, n: usize) -> PoolGuard {
         let want = n.max(1).min(self.inner.capacity);
+        // Gang admission parks the caller until the whole gang fits: a
+        // tracked guard carried in from outside would block every peer.
+        lockcheck::rendezvous_crossing("pool.acquire");
         let mut state = self.inner.state.lock().expect("pool lock");
         let ticket = state.next_ticket;
         state.next_ticket += 1;
@@ -113,6 +121,7 @@ impl Drop for PoolGuard {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
     use std::time::Duration;
 
     #[test]

@@ -1,0 +1,195 @@
+//! `loom::sync`: model-checked mutexes and atomics.
+//!
+//! Mutual exclusion is enforced by the scheduler (exactly one model
+//! thread runs at a time), so the data cells here are plain
+//! `UnsafeCell`s; what the types add is the *scheduling point* at every
+//! visible operation and the blocked/runnable bookkeeping that lets the
+//! engine detect deadlocks.
+
+use std::cell::UnsafeCell;
+use std::sync::LockResult;
+
+use crate::rt;
+
+/// A model-checked mutex; mirrors the `std::sync::Mutex` API subset
+/// the workspace uses (`new`, `lock`, guard deref).
+pub struct Mutex<T> {
+    id: usize,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: the exploration scheduler runs exactly one model thread at a
+// time, and `lock` blocks until the engine grants exclusive ownership,
+// so the cell is never accessed concurrently.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// A new mutex registered with the current execution.
+    pub fn new(value: T) -> Mutex<T> {
+        let (exec, _) = rt::current();
+        Mutex {
+            id: exec.register_lock(),
+            cell: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire (a scheduling point; blocks while another model thread
+    /// holds the lock). Never poisoned: a panicking thread aborts the
+    /// whole model instead.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (exec, me) = rt::current();
+        exec.lock_acquire(me, self.id);
+        Ok(MutexGuard { mx: self })
+    }
+}
+
+/// Guard for [`Mutex`]; releases (and reschedules) on drop.
+pub struct MutexGuard<'a, T> {
+    mx: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the engine granted this thread exclusive ownership.
+        unsafe { &*self.mx.cell.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above; `&mut self` forbids aliased guards too.
+        unsafe { &mut *self.mx.cell.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let (exec, me) = rt::current();
+        if std::thread::panicking() {
+            // Unwinding (assertion, deadlock, abort): release the lock
+            // state but do not reschedule — scheduling can panic, and a
+            // panic inside this destructor would abort the process.
+            exec.lock_release_quiet(me, self.mx.id);
+        } else {
+            exec.lock_release(me, self.mx.id);
+        }
+    }
+}
+
+pub mod atomic {
+    //! Model-checked atomics. Every operation is a scheduling point;
+    //! all orderings behave `SeqCst` (see the crate docs).
+
+    use std::cell::UnsafeCell;
+
+    use crate::rt;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic {
+        ($name:ident, $ty:ty) => {
+            /// Model-checked atomic; every op is a scheduling point.
+            pub struct $name {
+                cell: UnsafeCell<$ty>,
+            }
+
+            // SAFETY: only the token-holding model thread touches the
+            // cell, and each access completes before the token moves.
+            unsafe impl Send for $name {}
+            unsafe impl Sync for $name {}
+
+            impl $name {
+                /// A new atomic with `value`.
+                pub fn new(value: $ty) -> $name {
+                    $name {
+                        cell: UnsafeCell::new(value),
+                    }
+                }
+
+                fn with<R>(&self, f: impl FnOnce(&mut $ty) -> R) -> R {
+                    let (exec, me) = rt::current();
+                    // SAFETY: exclusive by token scheduling.
+                    let out = f(unsafe { &mut *self.cell.get() });
+                    exec.schedule(me);
+                    out
+                }
+
+                /// Atomic load (`SeqCst` regardless of `order`).
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    self.with(|v| *v)
+                }
+
+                /// Atomic store (`SeqCst` regardless of `order`).
+                pub fn store(&self, value: $ty, _order: Ordering) {
+                    self.with(|v| *v = value)
+                }
+
+                /// Atomic swap, returning the previous value.
+                pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.with(|v| std::mem::replace(v, value))
+                }
+
+                /// Atomic compare-exchange (`Ok(previous)` on success).
+                pub fn compare_exchange(
+                    &self,
+                    expect: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.with(|v| {
+                        if *v == expect {
+                            *v = new;
+                            Ok(expect)
+                        } else {
+                            Err(*v)
+                        }
+                    })
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicBool, bool);
+    model_atomic!(AtomicUsize, usize);
+    model_atomic!(AtomicU64, u64);
+
+    macro_rules! model_atomic_arith {
+        ($name:ident, $ty:ty) => {
+            impl $name {
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, delta: $ty, _order: Ordering) -> $ty {
+                    self.with(|v| {
+                        let prev = *v;
+                        *v = prev.wrapping_add(delta);
+                        prev
+                    })
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, delta: $ty, _order: Ordering) -> $ty {
+                    self.with(|v| {
+                        let prev = *v;
+                        *v = prev.wrapping_sub(delta);
+                        prev
+                    })
+                }
+
+                /// Atomic max, returning the previous value.
+                pub fn fetch_max(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.with(|v| {
+                        let prev = *v;
+                        *v = prev.max(value);
+                        prev
+                    })
+                }
+            }
+        };
+    }
+
+    model_atomic_arith!(AtomicUsize, usize);
+    model_atomic_arith!(AtomicU64, u64);
+}

@@ -75,4 +75,5 @@ pub use mana_sim as mana;
 pub use mpich_sim as mpich;
 pub use muk;
 pub use ompi_sim as ompi;
+pub use sanity;
 pub use simnet;

@@ -1,0 +1,88 @@
+//! Lockcheck battery (runs only with `--features lockcheck`): the
+//! runtime lock-order detector must flag an intentional two-mutex
+//! cycle and a guard carried into a real rendezvous point, and both
+//! must surface as `LockCycle` events in a flight-recorder dump.
+//!
+//! Everything lives in ONE `#[test]`: the incident buffer is
+//! process-global and `take_incidents` drains it, so parallel tests
+//! would steal each other's reports.
+
+#![cfg(feature = "lockcheck")]
+
+use std::sync::Arc;
+
+use mpi_stool::sanity::lockcheck::{self, LockIncident, TrackedMutex};
+use mpi_stool::simnet::pool::WorkerPool;
+use mpi_stool::simnet::{Telemetry, TelemetryConfig};
+
+#[test]
+fn cycle_and_rendezvous_incidents_reach_the_flight_dump() {
+    assert!(lockcheck::enabled());
+
+    // Drop whatever earlier crate init left behind so the assertions
+    // below are about the hazards seeded here.
+    let _ = lockcheck::take_incidents();
+
+    // 1. An intentional ordering cycle: A→B recorded, then B→A closes it.
+    let a = TrackedMutex::named("test.cycle_a", 0u32);
+    let b = TrackedMutex::named("test.cycle_b", 0u32);
+    {
+        let _ga = a.lock().unwrap();
+        let _gb = b.lock().unwrap();
+    }
+    {
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+    }
+
+    // 2. A guard carried into a real rendezvous point: the worker
+    //    pool's gang admission declares a crossing before it parks.
+    let pool = WorkerPool::new(2);
+    {
+        let _guard = a.lock().unwrap();
+        let _permits = pool.acquire(1);
+    }
+
+    let incidents = lockcheck::take_incidents();
+    assert!(
+        incidents.iter().any(|i| matches!(
+            i,
+            LockIncident::Cycle { held, acquire }
+                if held == "test.cycle_b" && acquire == "test.cycle_a"
+        )),
+        "the seeded B→A acquisition must close a cycle, got {incidents:?}"
+    );
+    assert!(
+        incidents.iter().any(|i| matches!(
+            i,
+            LockIncident::GuardAcrossRendezvous { barrier, held }
+                if barrier == "pool.acquire" && held.contains(&"test.cycle_a".to_string())
+        )),
+        "the guard carried into pool.acquire must be reported, got {incidents:?}"
+    );
+
+    // 3. Through the flight recorder: the incidents become LockCycle
+    //    events and force a dump, exactly as the session layer does.
+    let dir = std::env::temp_dir().join(format!("stool-lockcheck-dump-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let tel = Arc::new(Telemetry::with_config(
+        1,
+        TelemetryConfig {
+            dump_dir: Some(dir.clone()),
+            ..TelemetryConfig::default()
+        },
+    ));
+    tel.note_lock_incidents(tel.coord_lane(), &incidents);
+    assert_eq!(tel.incidents(), incidents.len() as u64);
+
+    let path = tel
+        .dump("lockcheck battery")
+        .expect("incidents must produce a dump");
+    let dump = std::fs::read_to_string(&path).expect("dump readable");
+    assert!(
+        dump.contains("LockCycle"),
+        "dump at {} must carry LockCycle events:\n{dump}",
+        path.display()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,202 @@
+//! Loom models of the workspace's two hand-rolled concurrency
+//! protocols: the telemetry seqlock (`simnet::telemetry::Telemetry::emit`
+//! vs. the reader's double-checked collect) and the shared store's
+//! mux-lane round-robin cursor (`dmtcp::store::SharedStoreWriter`).
+//!
+//! The models *mirror* the production protocols rather than
+//! instantiating them (the production types bundle I/O and rings the
+//! model checker has no business exploring); each model names the code
+//! it shadows, and `docs/static-analysis.md` records the pairing so
+//! protocol changes update both sides. Exploration is exhaustive at the
+//! default bounds — see `shims/loom` for exactly what that claims.
+
+use std::sync::Arc;
+
+use loom::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use loom::sync::Mutex;
+use loom::thread;
+
+/// Mirror of one telemetry ring slot mid-emit (telemetry.rs `emit`):
+/// the writer stores `seq = 2·ticket+1`, the payload fields, then
+/// publishes `seq = 2·ticket+2`. A reader (`Lane::collect`) reads the
+/// seq, the payload, then the seq again, and surfaces the payload only
+/// if both reads saw the same published value. The property: no
+/// interleaving lets a reader surface a torn (half-written) slot.
+#[test]
+fn seqlock_reader_never_surfaces_a_torn_slot() {
+    loom::model(|| {
+        let seq = Arc::new(AtomicU64::new(0));
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+
+        let writer = {
+            let (seq, a, b) = (seq.clone(), a.clone(), b.clone());
+            thread::spawn(move || {
+                // Ticket 0: 2·0+1 mid-write, 2·0+2 published.
+                seq.store(1, SeqCst);
+                a.store(7, SeqCst);
+                b.store(9, SeqCst);
+                seq.store(2, SeqCst);
+            })
+        };
+
+        // Concurrent reader, double-check protocol of `Lane::collect`.
+        let s1 = seq.load(SeqCst);
+        if s1 == 2 {
+            let ra = a.load(SeqCst);
+            let rb = b.load(SeqCst);
+            let s2 = seq.load(SeqCst);
+            if s2 == s1 {
+                // Both checks passed: the payload must be complete.
+                assert_eq!((ra, rb), (7, 9), "published slot read torn");
+            }
+        }
+        // Odd (mid-write) or zero (empty) seq: the reader skips the
+        // slot — there is no payload assertion to get wrong.
+
+        writer.join().unwrap();
+        // Once the writer retires, the slot is published and intact.
+        assert_eq!(seq.load(SeqCst), 2);
+        assert_eq!((a.load(SeqCst), b.load(SeqCst)), (7, 9));
+    });
+}
+
+/// Mirror of two concurrent emitters on one lane: each takes a unique
+/// ticket from the lane head (`head.fetch_add`) and publishes its own
+/// slot. The property: tickets never collide, so no write is lost —
+/// both slots end up published with their writer's payload.
+#[test]
+fn concurrent_emitters_never_lose_a_write() {
+    loom::model(|| {
+        let head = Arc::new(AtomicU64::new(0));
+        let seqs: Vec<Arc<AtomicU64>> = (0..2).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let vals: Vec<Arc<AtomicU64>> = (0..2).map(|_| Arc::new(AtomicU64::new(0))).collect();
+
+        let handles: Vec<_> = (0..2u64)
+            .map(|w| {
+                let head = head.clone();
+                let seqs = seqs.clone();
+                let vals = vals.clone();
+                thread::spawn(move || {
+                    let ticket = head.fetch_add(1, SeqCst);
+                    let slot = ticket as usize;
+                    seqs[slot].store(2 * ticket + 1, SeqCst);
+                    vals[slot].store(100 + w, SeqCst);
+                    seqs[slot].store(2 * ticket + 2, SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        assert_eq!(head.load(SeqCst), 2, "each emitter took one ticket");
+        let published: Vec<u64> = (0..2)
+            .map(|s| {
+                assert_eq!(seqs[s].load(SeqCst), 2 * s as u64 + 2, "slot {s} published");
+                vals[s].load(SeqCst)
+            })
+            .collect();
+        let mut sorted = published.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![100, 101], "no write lost, none duplicated");
+    });
+}
+
+/// Mirror of the shared store committer's lane state
+/// (store.rs `MuxState`): per-lane backlogs, the fair round-robin
+/// cursor, and the test hook that holds one lane closed.
+struct MuxState {
+    lanes: Vec<u32>,
+    rr: usize,
+    held: Option<usize>,
+}
+
+/// Mirror of the committer's pop: scan from the cursor, skip a held
+/// lane, and park the cursor one past the lane served (store.rs:
+/// `st.rr = (idx + 1) % n` — the PR 8 fairness fix).
+fn pop_next(st: &mut MuxState) -> Option<usize> {
+    let n = st.lanes.len();
+    for k in 0..n {
+        let idx = (st.rr + k) % n;
+        if st.held == Some(idx) || st.lanes[idx] == 0 {
+            continue;
+        }
+        st.lanes[idx] -= 1;
+        st.rr = (idx + 1) % n;
+        return Some(idx);
+    }
+    None
+}
+
+/// A held lane is skipped but never starves the rest, and once
+/// released (concurrently, from another thread) its backlog drains
+/// too: every lane is served exactly its backlog, in every
+/// interleaving of the release.
+#[test]
+fn mux_round_robin_drains_every_lane_around_a_held_lane() {
+    loom::model(|| {
+        let st = Arc::new(Mutex::new(MuxState {
+            lanes: vec![1, 1, 1],
+            rr: 0,
+            held: Some(0),
+        }));
+        let releaser = {
+            let st = st.clone();
+            thread::spawn(move || {
+                st.lock().unwrap().held = None;
+            })
+        };
+
+        let mut popped = Vec::new();
+        for _ in 0..2 {
+            let mut g = st.lock().unwrap();
+            if let Some(idx) = pop_next(&mut g) {
+                assert_ne!(g.held, Some(idx), "served a lane while it was held");
+                popped.push(idx);
+            }
+        }
+        releaser.join().unwrap();
+        while let Some(idx) = pop_next(&mut st.lock().unwrap()) {
+            popped.push(idx);
+        }
+
+        popped.sort_unstable();
+        assert_eq!(popped, vec![0, 1, 2], "every lane drained exactly once");
+    });
+}
+
+/// With two backlogged lanes, the cursor alternates strictly — a
+/// tenant refilling lane 0 mid-drain (any interleaving) cannot starve
+/// lane 1. This is the committer property the PR 8 cursor fix bought.
+#[test]
+fn mux_cursor_alternates_under_a_backlogged_lane() {
+    loom::model(|| {
+        let st = Arc::new(Mutex::new(MuxState {
+            lanes: vec![2, 2],
+            rr: 0,
+            held: None,
+        }));
+        let pusher = {
+            let st = st.clone();
+            thread::spawn(move || {
+                // Lane 0's tenant keeps feeding it mid-drain.
+                st.lock().unwrap().lanes[0] += 1;
+            })
+        };
+
+        let mut popped = Vec::new();
+        for _ in 0..4 {
+            if let Some(idx) = pop_next(&mut st.lock().unwrap()) {
+                popped.push(idx);
+            }
+        }
+        pusher.join().unwrap();
+
+        assert_eq!(
+            popped,
+            vec![0, 1, 0, 1],
+            "strict alternation regardless of when the push lands"
+        );
+    });
+}

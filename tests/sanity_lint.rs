@@ -1,0 +1,230 @@
+//! `stoolint` battery: per-rule fixtures (violating, suppressed, and
+//! clean forms) with exact spans, manifest checking, exit-code
+//! semantics, and — the self-enforcing acceptance test — a clean run
+//! over this very repository.
+
+use mpi_stool::sanity::lint::{default_rules, lint_manifest, lint_source, lint_tree};
+
+fn findings_for(path: &str, source: &str) -> Vec<(String, u32, u32)> {
+    lint_source(path, source, &default_rules())
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line, f.col))
+        .collect()
+}
+
+// -------------------------------------------------------------------------
+// no-eprintln
+// -------------------------------------------------------------------------
+
+#[test]
+fn no_eprintln_fires_with_exact_span() {
+    let src = "fn f() {\n    eprintln!(\"boom\");\n}\n";
+    assert_eq!(
+        findings_for("crates/foo/src/a.rs", src),
+        vec![("no-eprintln".to_string(), 2, 5)]
+    );
+}
+
+#[test]
+fn no_eprintln_suppressed_by_lint_allow() {
+    let src = "fn f() {\n    // lint:allow(no-eprintln) — gate output\n    eprintln!(\"ok\");\n}\n";
+    assert!(findings_for("crates/foo/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn no_eprintln_ignores_strings_and_test_mods() {
+    // The macro name inside a string literal is not an invocation.
+    let in_string = "fn f() { let s = \"eprintln!(no)\"; }\n";
+    assert!(findings_for("crates/foo/src/a.rs", in_string).is_empty());
+
+    // `#[cfg(test)] mod` bodies are exempt (skip_tests rule).
+    let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { eprintln!(\"t\"); }\n}\n";
+    assert!(findings_for("crates/foo/src/a.rs", in_test).is_empty());
+}
+
+// -------------------------------------------------------------------------
+// no-sleep-poll
+// -------------------------------------------------------------------------
+
+#[test]
+fn no_sleep_poll_flags_raw_os_sleep_only() {
+    // A raw OS sleep on a hot path fires...
+    let raw = "fn f(d: Duration) {\n    std::thread::sleep(d);\n}\n";
+    assert_eq!(
+        findings_for("crates/simnet/src/x.rs", raw),
+        vec![("no-sleep-poll".to_string(), 2, 10)]
+    );
+
+    // ...but the injectable Clock trait (the sanctioned wait) does not:
+    // `clock.sleep(d)` is a method call, not the `thread::sleep` path.
+    let via_clock = "fn f(c: &dyn Clock, d: Duration) {\n    c.sleep(d);\n}\n";
+    assert!(findings_for("crates/simnet/src/x.rs", via_clock).is_empty());
+
+    // The rule is scoped to the simnet/dmtcp hot paths.
+    let elsewhere = "fn f(d: Duration) {\n    std::thread::sleep(d);\n}\n";
+    assert!(findings_for("crates/bench/src/x.rs", elsewhere).is_empty());
+}
+
+#[test]
+fn no_sleep_poll_flags_spinning() {
+    let spin = "fn f() {\n    std::hint::spin_loop();\n}\n";
+    assert_eq!(
+        findings_for("crates/dmtcp/src/x.rs", spin),
+        vec![("no-sleep-poll".to_string(), 2, 10)]
+    );
+}
+
+// -------------------------------------------------------------------------
+// no-alloc-in-emit
+// -------------------------------------------------------------------------
+
+#[test]
+fn no_alloc_in_emit_is_region_scoped() {
+    let src = "\
+fn emit(&self, v: u64) {
+    let label = format!(\"pre\"); // fine: outside the region
+    // lint:region-start(no-alloc-in-emit)
+    self.buf.push(v);
+    // lint:region-end(no-alloc-in-emit)
+    self.done.push(label); // fine again: region closed
+}
+";
+    assert_eq!(
+        findings_for("crates/simnet/src/t.rs", src),
+        vec![("no-alloc-in-emit".to_string(), 4, 14)]
+    );
+}
+
+// -------------------------------------------------------------------------
+// guard-across-barrier
+// -------------------------------------------------------------------------
+
+#[test]
+fn guard_across_barrier_receiver_evaluated_first_form() {
+    // The PR 6 deadlock, verbatim shape: the lock guard (receiver) is
+    // evaluated before `session.finish()` parks in the barrier.
+    let src = "fn f() {\n    results.lock().unwrap().push(session.finish());\n}\n";
+    let hits = findings_for("tests/battery.rs", src);
+    assert_eq!(hits, vec![("guard-across-barrier".to_string(), 2, 42)]);
+}
+
+#[test]
+fn guard_across_barrier_live_let_binding_form() {
+    let src = "\
+fn f() {
+    let st = slots.lock().unwrap();
+    session.finish();
+}
+";
+    let hits = findings_for("crates/dmtcp/src/x.rs", src);
+    assert_eq!(hits, vec![("guard-across-barrier".to_string(), 3, 13)]);
+}
+
+#[test]
+fn guard_across_barrier_clean_forms_pass() {
+    // Bind the outcome first, lock second: the fixed PR 6 shape.
+    let fixed =
+        "fn f() {\n    let out = session.finish();\n    results.lock().unwrap().push(out);\n}\n";
+    assert!(findings_for("tests/battery.rs", fixed).is_empty());
+
+    // An explicit drop releases the guard before the barrier.
+    let dropped = "\
+fn f() {
+    let st = slots.lock().unwrap();
+    drop(st);
+    session.finish();
+}
+";
+    assert!(findings_for("crates/dmtcp/src/x.rs", dropped).is_empty());
+
+    // A scope-bounded guard is dead by the time the barrier runs.
+    let scoped = "\
+fn f() {
+    {
+        let st = slots.lock().unwrap();
+        st.len();
+    }
+    session.finish();
+}
+";
+    assert!(findings_for("crates/dmtcp/src/x.rs", scoped).is_empty());
+}
+
+// -------------------------------------------------------------------------
+// shims-only-deps (manifests)
+// -------------------------------------------------------------------------
+
+#[test]
+fn shims_only_deps_flags_registry_dependencies() {
+    let bad = "\
+[package]
+name = \"x\"
+
+[dependencies]
+serde = \"1\"
+";
+    let hits = lint_manifest("crates/x/Cargo.toml", bad);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].rule, "shims-only-deps");
+    assert_eq!(hits[0].line, 5);
+
+    let good = "\
+[package]
+name = \"x\"
+
+[dependencies]
+simnet = { workspace = true }
+loom = { path = \"../../shims/loom\" }
+
+[dependencies.tracing]
+path = \"../tracing\"
+";
+    assert!(lint_manifest("crates/x/Cargo.toml", good).is_empty());
+}
+
+// -------------------------------------------------------------------------
+// Exit codes + whole-tree acceptance
+// -------------------------------------------------------------------------
+
+#[test]
+fn exit_codes_mirror_benchgate_semantics() {
+    let dir = std::env::temp_dir().join(format!("stoolint-fixture-{}", std::process::id()));
+    let src_dir = dir.join("crates/seeded/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "fn f() {\n    eprintln!(\"seeded violation\");\n}\n",
+    )
+    .unwrap();
+
+    let report = lint_tree(&dir).unwrap();
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.exit_code(), 2, "violations exit 2");
+
+    std::fs::write(src_dir.join("lib.rs"), "fn f() {}\n").unwrap();
+    let report = lint_tree(&dir).unwrap();
+    assert!(report.findings.is_empty());
+    assert_eq!(report.exit_code(), 0, "clean tree exits 0");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance criterion, self-enforced: the repository this test
+/// ships in must lint clean. A PR that reintroduces a banned pattern
+/// fails here even before CI runs the binary.
+#[test]
+fn this_repository_lints_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_tree(root).unwrap();
+    assert!(
+        report.findings.is_empty(),
+        "stoolint must pass on the shipped tree:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(report.exit_code(), 0);
+}
