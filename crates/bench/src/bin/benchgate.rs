@@ -17,14 +17,15 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use stool_bench::gate::{
-    compare_ckpt, compare_scale, compare_telemetry, parse_ckpt_report, parse_scale_report,
-    parse_telemetry_report, GateOutcome, TOLERANCE,
+    compare_ckpt, compare_matrix, compare_scale, compare_telemetry, parse_ckpt_report,
+    parse_matrix_report, parse_scale_report, parse_telemetry_report, GateOutcome, TOLERANCE,
 };
 
 struct Args {
     ckpt: PathBuf,
     scale: PathBuf,
     telemetry: PathBuf,
+    matrix: Option<PathBuf>,
     baselines: PathBuf,
     write_baselines: bool,
 }
@@ -34,8 +35,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: benchgate [--ckpt PATH] [--scale PATH] [--telemetry PATH] [--baselines DIR] \
          [--write-baselines]\n\
+         \x20      benchgate --matrix PATH [--baselines DIR] [--write-baselines]\n\
          defaults: --ckpt BENCH_ckpt.json --scale BENCH_scale.json \
-         --telemetry BENCH_telemetry.json --baselines benches/baselines"
+         --telemetry BENCH_telemetry.json --baselines benches/baselines\n\
+         --matrix gates a scenario-matrix emit (BENCH_matrix.json) instead of the \
+         perf reports; see docs/scenarios.md"
     );
     std::process::exit(2);
 }
@@ -45,6 +49,7 @@ fn parse_args() -> Args {
         ckpt: PathBuf::from("BENCH_ckpt.json"),
         scale: PathBuf::from("BENCH_scale.json"),
         telemetry: PathBuf::from("BENCH_telemetry.json"),
+        matrix: None,
         baselines: PathBuf::from("benches/baselines"),
         write_baselines: false,
     };
@@ -54,6 +59,7 @@ fn parse_args() -> Args {
             "--ckpt" => args.ckpt = it.next().unwrap_or_else(|| usage()).into(),
             "--scale" => args.scale = it.next().unwrap_or_else(|| usage()).into(),
             "--telemetry" => args.telemetry = it.next().unwrap_or_else(|| usage()).into(),
+            "--matrix" => args.matrix = Some(it.next().unwrap_or_else(|| usage()).into()),
             "--baselines" => args.baselines = it.next().unwrap_or_else(|| usage()).into(),
             "--write-baselines" => args.write_baselines = true,
             _ => usage(),
@@ -66,8 +72,52 @@ fn read(path: &Path) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
 }
 
+/// The `--matrix` mode: gate a scenario-matrix emit instead of the perf
+/// reports. Kept exclusive so PR CI can run it as a separate, clearly
+/// labelled step (the perf gate and the correctness gate fail for
+/// different reasons and want different remedies).
+fn run_matrix(args: &Args, fresh_path: &Path) -> Result<GateOutcome, String> {
+    let fresh_text = read(fresh_path)?;
+    let fresh = parse_matrix_report(&fresh_text)
+        .map_err(|e| format!("{} is malformed: {e}", fresh_path.display()))?;
+    println!(
+        "benchgate: validated {} ({} suite, {} scenarios of {} in spec)",
+        fresh_path.display(),
+        fresh.suite,
+        fresh.scenarios.len(),
+        fresh.spec_scenarios
+    );
+
+    if args.write_baselines {
+        if fresh.suite != "full" {
+            return Err(format!(
+                "matrix baselines must come from the full suite, not '{}'",
+                fresh.suite
+            ));
+        }
+        std::fs::create_dir_all(&args.baselines)
+            .map_err(|e| format!("cannot create {}: {e}", args.baselines.display()))?;
+        let to = args.baselines.join("BENCH_matrix.json");
+        std::fs::write(&to, &fresh_text)
+            .map_err(|e| format!("cannot write {}: {e}", to.display()))?;
+        println!("benchgate: matrix baseline refreshed at {}", to.display());
+        return Ok(GateOutcome::default());
+    }
+
+    let base_path = args.baselines.join("BENCH_matrix.json");
+    let base = parse_matrix_report(&read(&base_path)?)
+        .map_err(|e| format!("{} is malformed: {e}", base_path.display()))?;
+    let mut out = GateOutcome::default();
+    compare_matrix(&mut out, &base, &fresh);
+    Ok(out)
+}
+
 fn run() -> Result<GateOutcome, String> {
     let args = parse_args();
+
+    if let Some(matrix) = args.matrix.clone() {
+        return run_matrix(&args, &matrix);
+    }
 
     // Strict validation first: a fresh emit that does not parse is a CI
     // failure regardless of baselines (the former silent-artifact bug).

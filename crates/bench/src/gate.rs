@@ -498,6 +498,47 @@ pub struct ScaleReport {
     pub cluster: ClusterSection,
 }
 
+/// One scenario row of `BENCH_matrix.json` (see `stool::scenario`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixRow {
+    /// Scenario name (unique within the matrix).
+    pub name: String,
+    /// Application token ("ring", "wave", ...).
+    pub app: String,
+    /// Launch vendor label ("MPICH", "Open MPI").
+    pub vendor: String,
+    /// Whether the row belongs to the pinned PR-CI subset.
+    pub pr: bool,
+    /// Whether every invariant held.
+    pub passed: bool,
+    /// Global restarts forced by kill events (deterministic: scheduled).
+    pub recovery_rounds: f64,
+    /// Kill events consumed (deterministic: scheduled).
+    pub kills: f64,
+    /// Epochs left on the final chain (warns on drift).
+    pub epochs: f64,
+    /// Tier upload retries observed (warns on drift).
+    pub put_retries: f64,
+    /// Straggler stalls recorded (warns on drift).
+    pub stalls: f64,
+    /// Replica failover recoveries observed (warns on drift).
+    pub elections: f64,
+    /// Invariant failures (empty iff `passed`).
+    pub failures: Vec<String>,
+}
+
+/// Parsed, schema-checked `BENCH_matrix.json` — the scenario-matrix
+/// harness's result artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixReport {
+    /// Which suite ran: "pr" (the pinned subset) or "full".
+    pub suite: String,
+    /// Total scenarios declared by the committed spec file (both suites).
+    pub spec_scenarios: f64,
+    /// One row per executed scenario, in spec order.
+    pub scenarios: Vec<MatrixRow>,
+}
+
 fn field<'j>(
     obj: &'j BTreeMap<String, Json>,
     what: &str,
@@ -767,6 +808,117 @@ pub fn parse_scale_report(text: &str) -> Result<ScaleReport, GateError> {
             field(top, "top level", "failover_recovery_rounds")?.num("failover_recovery_rounds")?,
             "failover_recovery_rounds",
         )?,
+    })
+}
+
+fn boolean(j: &Json, what: &str) -> Result<bool, GateError> {
+    match j {
+        Json::Bool(b) => Ok(*b),
+        other => Err(GateError::schema(format!(
+            "{what}: expected bool, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Strictly parse `BENCH_matrix.json`.
+pub fn parse_matrix_report(text: &str) -> Result<MatrixReport, GateError> {
+    let doc = parse_json(text)?;
+    let top = doc.obj("top level")?;
+    no_extra_keys(top, "top level", &["suite", "spec_scenarios", "scenarios"])?;
+    let suite = field(top, "top level", "suite")?.str("suite")?.to_string();
+    if suite != "pr" && suite != "full" {
+        return Err(GateError::schema(format!(
+            "suite: expected \"pr\" or \"full\", got \"{suite}\""
+        )));
+    }
+    let spec_scenarios = positive(
+        field(top, "top level", "spec_scenarios")?.num("spec_scenarios")?,
+        "spec_scenarios",
+    )?;
+    let rows = field(top, "top level", "scenarios")?.arr("scenarios")?;
+    if rows.is_empty() {
+        return Err(GateError::schema("scenarios: empty"));
+    }
+    let mut scenarios = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let what = format!("scenarios[{i}]");
+        let obj = row.obj(&what)?;
+        no_extra_keys(
+            obj,
+            &what,
+            &[
+                "name",
+                "app",
+                "vendor",
+                "pr",
+                "passed",
+                "recovery_rounds",
+                "kills",
+                "epochs",
+                "put_retries",
+                "stalls",
+                "elections",
+                "failures",
+            ],
+        )?;
+        let name = field(obj, &what, "name")?.str("name")?.to_string();
+        if name.is_empty() {
+            return Err(GateError::schema(format!("{what}: empty name")));
+        }
+        if scenarios.iter().any(|r: &MatrixRow| r.name == name) {
+            return Err(GateError::schema(format!(
+                "{what}: duplicate scenario name \"{name}\""
+            )));
+        }
+        let failures: Vec<String> = field(obj, &what, "failures")?
+            .arr("failures")?
+            .iter()
+            .enumerate()
+            .map(|(j, f)| f.str(&format!("{what}.failures[{j}]")).map(String::from))
+            .collect::<Result<_, _>>()?;
+        let passed = boolean(field(obj, &what, "passed")?, "passed")?;
+        if passed != failures.is_empty() {
+            return Err(GateError::schema(format!(
+                "{what}: passed={passed} contradicts {} recorded failure(s)",
+                failures.len()
+            )));
+        }
+        scenarios.push(MatrixRow {
+            name,
+            app: field(obj, &what, "app")?.str("app")?.to_string(),
+            vendor: field(obj, &what, "vendor")?.str("vendor")?.to_string(),
+            pr: boolean(field(obj, &what, "pr")?, "pr")?,
+            passed,
+            recovery_rounds: non_negative(
+                field(obj, &what, "recovery_rounds")?.num("recovery_rounds")?,
+                "recovery_rounds",
+            )?,
+            kills: non_negative(field(obj, &what, "kills")?.num("kills")?, "kills")?,
+            epochs: non_negative(field(obj, &what, "epochs")?.num("epochs")?, "epochs")?,
+            put_retries: non_negative(
+                field(obj, &what, "put_retries")?.num("put_retries")?,
+                "put_retries",
+            )?,
+            stalls: non_negative(field(obj, &what, "stalls")?.num("stalls")?, "stalls")?,
+            elections: non_negative(
+                field(obj, &what, "elections")?.num("elections")?,
+                "elections",
+            )?,
+            failures,
+        });
+    }
+    if scenarios.len() > spec_scenarios as usize {
+        return Err(GateError::schema(format!(
+            "scenarios: {} rows exceed spec_scenarios = {}",
+            scenarios.len(),
+            spec_scenarios
+        )));
+    }
+    Ok(MatrixReport {
+        suite,
+        spec_scenarios,
+        scenarios,
     })
 }
 
@@ -1055,6 +1207,102 @@ pub fn compare_scale(out: &mut GateOutcome, base: &ScaleReport, fresh: &ScaleRep
             "scale/cluster/wall_ms: {:.3} ms vs baseline {:.3} ms (wall-clock; not gated)",
             fresh.cluster.wall_ms, base.cluster.wall_ms
         ));
+    }
+}
+
+/// The committed scenario matrix must keep at least this many rows (the
+/// harness's raison d'être: breadth as data, not bespoke tests).
+pub const MIN_MATRIX_SCENARIOS: f64 = 24.0;
+
+/// Compare a fresh scenario-matrix report against the committed baseline.
+///
+/// Every gated metric here is fully deterministic (scheduled faults on a
+/// virtual clock), so the checks are *exact*: the executed row set must be
+/// the baseline's rows for the suite that ran ("pr" → the pinned subset,
+/// "full" → everything), every row must pass its invariants, and the
+/// recovery-round / kill counts must match the baseline. Environment-tinged
+/// observations (epochs retained, tier retries, stalls, elections) warn on
+/// drift.
+pub fn compare_matrix(out: &mut GateOutcome, base: &MatrixReport, fresh: &MatrixReport) {
+    if fresh.spec_scenarios != base.spec_scenarios {
+        out.regressions.push(format!(
+            "matrix/spec_scenarios: {} vs baseline {} (regenerate the baseline when the \
+             committed spec changes)",
+            fresh.spec_scenarios, base.spec_scenarios
+        ));
+    } else {
+        out.passed += 1;
+    }
+    if fresh.spec_scenarios < MIN_MATRIX_SCENARIOS {
+        out.regressions.push(format!(
+            "matrix/spec_scenarios: {} rows, the committed matrix must keep >= {}",
+            fresh.spec_scenarios, MIN_MATRIX_SCENARIOS
+        ));
+    } else {
+        out.passed += 1;
+    }
+    let expected: Vec<&MatrixRow> = base
+        .scenarios
+        .iter()
+        .filter(|r| fresh.suite == "full" || r.pr)
+        .collect();
+    let expected_names: Vec<&str> = expected.iter().map(|r| r.name.as_str()).collect();
+    let fresh_names: Vec<&str> = fresh.scenarios.iter().map(|r| r.name.as_str()).collect();
+    if expected_names != fresh_names {
+        out.regressions.push(format!(
+            "matrix/{}: executed rows {fresh_names:?} differ from the baseline's suite rows \
+             {expected_names:?}",
+            fresh.suite
+        ));
+        return;
+    }
+    out.passed += 1;
+    for (b, f) in expected.iter().zip(&fresh.scenarios) {
+        let row = format!("matrix/{}", b.name);
+        if !f.passed {
+            out.regressions.push(format!(
+                "{row}: invariant failure(s): {}",
+                f.failures.join("; ")
+            ));
+        } else {
+            out.passed += 1;
+        }
+        if f.app != b.app || f.vendor != b.vendor || f.pr != b.pr {
+            out.regressions.push(format!(
+                "{row}: identity drift (app/vendor/pr {}/{}/{} vs baseline {}/{}/{})",
+                f.app, f.vendor, f.pr, b.app, b.vendor, b.pr
+            ));
+        } else {
+            out.passed += 1;
+        }
+        if f.recovery_rounds != b.recovery_rounds {
+            out.regressions.push(format!(
+                "{row}/recovery_rounds: {} vs baseline {} (deterministic; must match)",
+                f.recovery_rounds, b.recovery_rounds
+            ));
+        } else {
+            out.passed += 1;
+        }
+        if f.kills != b.kills {
+            out.regressions.push(format!(
+                "{row}/kills: {} vs baseline {} (deterministic; must match)",
+                f.kills, b.kills
+            ));
+        } else {
+            out.passed += 1;
+        }
+        for (what, fv, bv) in [
+            ("epochs", f.epochs, b.epochs),
+            ("put_retries", f.put_retries, b.put_retries),
+            ("stalls", f.stalls, b.stalls),
+            ("elections", f.elections, b.elections),
+        ] {
+            if fv != bv {
+                out.warnings.push(format!(
+                    "{row}/{what}: {fv} vs baseline {bv} (observation; not gated)"
+                ));
+            }
+        }
     }
 }
 
@@ -1388,6 +1636,132 @@ mod tests {
         compare_telemetry(&mut out, &base, &slow);
         assert!(out.ok(), "{:?}", out.regressions);
         assert!(out.warnings.iter().any(|w| w.contains("emit_wall_ns")));
+    }
+
+    fn matrix_row(name: &str, pr: bool, passed: bool, rounds: u64, kills: u64) -> String {
+        let failures = if passed { "" } else { "\"chain torn\"" };
+        format!(
+            "{{\"name\": \"{name}\", \"app\": \"ring\", \"vendor\": \"MPICH\", \"pr\": {pr}, \
+             \"passed\": {passed}, \"recovery_rounds\": {rounds}, \"kills\": {kills}, \
+             \"epochs\": 3, \"put_retries\": 0, \"stalls\": 0, \"elections\": 0, \
+             \"failures\": [{failures}]}}"
+        )
+    }
+
+    fn matrix_json_doc(suite: &str, rows: &[String]) -> String {
+        format!(
+            "{{\"suite\": \"{suite}\", \"spec_scenarios\": 24, \"scenarios\": [{}]}}",
+            rows.join(", ")
+        )
+    }
+
+    fn matrix_base() -> MatrixReport {
+        let rows = vec![
+            matrix_row("a-storm", true, true, 1, 1),
+            matrix_row("b-quiet", false, true, 0, 0),
+            matrix_row("c-leader", true, true, 0, 0),
+        ];
+        parse_matrix_report(&matrix_json_doc("full", &rows)).unwrap()
+    }
+
+    #[test]
+    fn matrix_schema_accepts_wellformed_and_rejects_malformed() {
+        let base = matrix_base();
+        assert_eq!(base.scenarios.len(), 3);
+        assert_eq!(base.spec_scenarios, 24.0);
+        // passed contradicting the failure list is a schema error.
+        let lie = matrix_json_doc("full", &[matrix_row("a", true, true, 0, 0)])
+            .replace("\"failures\": []", "\"failures\": [\"broken\"]");
+        assert!(parse_matrix_report(&lie).is_err());
+        // Unknown suite, unknown keys, duplicate names, empty rows.
+        let rows = vec![matrix_row("a", true, true, 0, 0)];
+        assert!(parse_matrix_report(&matrix_json_doc("nightly", &rows)).is_err());
+        let unknown = matrix_json_doc("pr", &rows).replace("\"kills\"", "\"killz\"");
+        assert!(parse_matrix_report(&unknown).is_err());
+        let dup = vec![
+            matrix_row("a", true, true, 0, 0),
+            matrix_row("a", true, true, 0, 0),
+        ];
+        assert!(parse_matrix_report(&matrix_json_doc("pr", &dup)).is_err());
+        assert!(parse_matrix_report(
+            "{\"suite\": \"pr\", \"spec_scenarios\": 24, \
+             \"scenarios\": []}"
+        )
+        .is_err());
+        // More executed rows than the spec declares is a schema error.
+        let overfull = matrix_json_doc("pr", &rows).replace("24", "0.5");
+        assert!(parse_matrix_report(&overfull).is_err());
+    }
+
+    #[test]
+    fn matrix_gate_requires_exact_rows_and_pass_states() {
+        let base = matrix_base();
+        // The full suite re-run matches exactly: passes.
+        let fresh = matrix_base();
+        let mut out = GateOutcome::default();
+        compare_matrix(&mut out, &base, &fresh);
+        assert!(out.ok(), "{:?}", out.regressions);
+        // The PR suite runs exactly the pr=true subset: passes.
+        let pr_rows = vec![
+            matrix_row("a-storm", true, true, 1, 1),
+            matrix_row("c-leader", true, true, 0, 0),
+        ];
+        let fresh = parse_matrix_report(&matrix_json_doc("pr", &pr_rows)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_matrix(&mut out, &base, &fresh);
+        assert!(out.ok(), "{:?}", out.regressions);
+        // A failed scenario is a regression naming its failures.
+        let broken = vec![
+            matrix_row("a-storm", true, false, 1, 1),
+            matrix_row("c-leader", true, true, 0, 0),
+        ];
+        let fresh = parse_matrix_report(&matrix_json_doc("pr", &broken)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_matrix(&mut out, &base, &fresh);
+        assert!(!out.ok());
+        assert!(out.regressions.iter().any(|r| r.contains("chain torn")));
+        // A missing row fails the row-set check.
+        let short = vec![matrix_row("a-storm", true, true, 1, 1)];
+        let fresh = parse_matrix_report(&matrix_json_doc("pr", &short)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_matrix(&mut out, &base, &fresh);
+        assert!(!out.ok());
+        // Recovery rounds are deterministic and must match exactly.
+        let drifted = vec![
+            matrix_row("a-storm", true, true, 2, 1),
+            matrix_row("c-leader", true, true, 0, 0),
+        ];
+        let fresh = parse_matrix_report(&matrix_json_doc("pr", &drifted)).unwrap();
+        let mut out = GateOutcome::default();
+        compare_matrix(&mut out, &base, &fresh);
+        assert!(!out.ok());
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.contains("recovery_rounds")));
+        // Spec shrinking below the floor fails even if rows match.
+        let mut small_base = matrix_base();
+        small_base.spec_scenarios = 12.0;
+        let mut small_fresh = matrix_base();
+        small_fresh.spec_scenarios = 12.0;
+        let mut out = GateOutcome::default();
+        compare_matrix(&mut out, &small_base, &small_fresh);
+        assert!(!out.ok());
+        assert!(out.regressions.iter().any(|r| r.contains(">= 24")));
+        // Observation drift (epochs) warns but never gates.
+        let obs = matrix_json_doc(
+            "pr",
+            &[
+                matrix_row("a-storm", true, true, 1, 1),
+                matrix_row("c-leader", true, true, 0, 0),
+            ],
+        )
+        .replacen("\"epochs\": 3", "\"epochs\": 4", 1);
+        let fresh = parse_matrix_report(&obs).unwrap();
+        let mut out = GateOutcome::default();
+        compare_matrix(&mut out, &base, &fresh);
+        assert!(out.ok(), "{:?}", out.regressions);
+        assert!(out.warnings.iter().any(|w| w.contains("epochs")));
     }
 
     #[test]

@@ -30,10 +30,12 @@
 pub mod configs;
 pub mod figdata;
 pub mod gate;
+pub mod matrix;
 pub mod report;
 
 pub use configs::{paper_cluster, quick_cluster, ConfigKind};
 pub use figdata::{
     fig5_data, fig6_data, fig6_data_via_store, osu_figure, AppBar, OsuFigure, RestartFigure,
 };
+pub use matrix::app_for;
 pub use report::{print_fig5, print_osu_figure, print_restart_figure, Series};

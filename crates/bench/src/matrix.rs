@@ -1,0 +1,66 @@
+//! The scenario-matrix program factory.
+//!
+//! [`stool::scenario`] keeps application choice as a plain token so the
+//! matrix spec stays data; this module is where tokens become programs.
+//! The mapping mirrors the paper's workload split: the session smoke
+//! programs (`ring`, `sleepy`) from `stool::programs` and the §5
+//! evaluation applications (`wave`, `comd`) from `mpi-apps`.
+//!
+//! `payload` is the per-app size knob: ring payload doubles, wave grid
+//! points, CoMD lattice edge. `steps` is always the safe-point count.
+
+use mpi_apps::{CoMdMini, WaveMpi};
+use simnet::VirtualTime;
+use stool::programs::{RingPings, SleepyProgram};
+use stool::{MpiProgram, ScenarioSpec};
+
+/// Instantiate the program a scenario row names, or explain why the token
+/// is unknown. Keep this in sync with the token list documented on
+/// [`ScenarioSpec::app`] and in `docs/scenarios.md`.
+pub fn app_for(spec: &ScenarioSpec) -> Result<Box<dyn MpiProgram>, String> {
+    match spec.app.as_str() {
+        "ring" => Ok(Box::new(RingPings {
+            rounds: spec.steps,
+            payload: spec.payload as usize,
+        })),
+        "sleepy" => Ok(Box::new(SleepyProgram {
+            steps: spec.steps,
+            nap: VirtualTime::from_micros(50),
+        })),
+        "wave" => Ok(Box::new(WaveMpi {
+            npoints: spec.payload as usize,
+            nsteps: spec.steps,
+            ..WaveMpi::default()
+        })),
+        "comd" => Ok(Box::new(CoMdMini {
+            nx: spec.payload as usize,
+            nsteps: spec.steps,
+            ..CoMdMini::default()
+        })),
+        other => Err(format!(
+            "scenario '{}': unknown app token '{other}' (expected ring, sleepy, wave or comd)",
+            spec.name
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_documented_token_resolves() {
+        for token in ["ring", "sleepy", "wave", "comd"] {
+            let mut spec = ScenarioSpec::named("t");
+            spec.app = token.into();
+            let program = app_for(&spec).unwrap();
+            assert!(!program.name().is_empty());
+        }
+        let mut spec = ScenarioSpec::named("t");
+        spec.app = "lammps".into();
+        let err = app_for(&spec)
+            .err()
+            .expect("unknown token must be rejected");
+        assert!(err.contains("unknown app token"));
+    }
+}

@@ -46,6 +46,7 @@ pub mod error;
 pub mod mpix;
 pub mod program;
 pub mod programs;
+pub mod scenario;
 pub mod session;
 pub mod stack;
 pub mod telemetry;
@@ -69,6 +70,10 @@ pub use error::{StoolError, StoolResult};
 pub use mana_sim::ManaConfig;
 pub use muk::{MukOverhead, Vendor};
 pub use program::{AppCtx, Flow, MpiProgram};
+pub use scenario::{
+    matrix_json, parse_matrix, run_scenario, DurabilityKind, FaultSchedule, KillEvent,
+    ScenarioResult, ScenarioSpec, Straggler, Victims,
+};
 pub use session::{
     Checkpointer, CkptPolicy, DurabilityPolicy, FaultPlan, Recovery, ReplicaPolicy,
     ResilienceReport, RunOutcome, Session, SessionBuilder, StorePolicy, TierPolicy,

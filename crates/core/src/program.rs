@@ -9,16 +9,19 @@
 //! unchanged.
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use dmtcp_sim::coordinator::{CkptMode, Coordinator, RankAgent};
 use dmtcp_sim::memory::Memory;
 use mana_sim::ckpt::CkptAction;
 use mpi_abi::MpiAbi;
+use simnet::telemetry::{EventKind, Telemetry};
 use simnet::{RankCtx, VirtualTime};
 
 use crate::error::{StoolError, StoolResult};
 use crate::mpix::Pmpi;
-use crate::session::{CkptPolicy, FaultPlan};
+use crate::scenario::{ResolvedKill, Straggler};
+use crate::session::CkptPolicy;
 use crate::stack::Stack;
 
 /// Whether the application should keep running after a safe point.
@@ -58,7 +61,12 @@ pub struct AppCtx<'a> {
     pub(crate) sim: Rc<RankCtx>,
     pub(crate) resume: Option<u64>,
     pub(crate) policy: CkptPolicy,
-    pub(crate) fault: Option<FaultPlan>,
+    /// Resolved kill schedule (legacy plan + fault schedule), sorted by
+    /// step; shared read-only across ranks.
+    pub(crate) kills: Arc<Vec<ResolvedKill>>,
+    /// This rank's straggler window, if the schedule delays it.
+    pub(crate) straggle: Option<Straggler>,
+    pub(crate) tel: Arc<Telemetry>,
     pub(crate) coordinator: Option<Coordinator>,
     pub(crate) agent: Option<RankAgent>,
     pub(crate) stopped: bool,
@@ -132,14 +140,43 @@ impl AppCtx<'_> {
         if self.stopped || self.failed_at.is_some() {
             return Ok(Flow::Stop);
         }
+        // Injected straggler delay: a slow-but-alive rank stalls its
+        // virtual clock on entry to the safe point. The cut must not care
+        // — every rank still announces the same step, so the coordinator
+        // pins the checkpoint there regardless of arrival skew.
+        if let Some(s) = self.straggle {
+            if s.rank == self.sim.rank() && (s.from_step..s.until_step).contains(&next_step) {
+                self.sim.stall(s.delay);
+                self.tel.emit_rank(
+                    self.sim.rank(),
+                    EventKind::RankStall,
+                    self.sim.now().as_nanos(),
+                    self.sim.rank() as u64,
+                    s.delay.as_nanos(),
+                    next_step,
+                );
+            }
+        }
         // Injected failure: the job dies on entry to this step, before any
         // checkpoint it might have taken here (the adversarial ordering —
-        // recovery must come from an *earlier* image).
-        if let Some(fault) = self.fault {
-            if fault.at_step == next_step {
-                self.failed_at = Some(next_step);
-                return Ok(Flow::Stop);
+        // recovery must come from an *earlier* image). Victims record a
+        // RankKill incident carrying the blamed node-group; every other
+        // rank unwinds cooperatively at the same safe point.
+        if let Some(kill) = self.kills.iter().find(|k| k.at_step == next_step) {
+            self.failed_at = Some(next_step);
+            let rank = self.sim.rank();
+            if kill.victims.contains(&rank) {
+                self.tel.emit_rank(
+                    rank,
+                    EventKind::RankKill,
+                    self.sim.now().as_nanos(),
+                    rank as u64,
+                    next_step,
+                    kill.node as u64,
+                );
+                self.tel.note_incident();
             }
+            return Ok(Flow::Stop);
         }
         // Policy-driven checkpoints are *scheduled*: every rank runs the
         // same policy and announces the same step before polling there, so

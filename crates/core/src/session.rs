@@ -10,7 +10,9 @@ use dmtcp_sim::replica::{Clock, ReplicaConfig, ReplicaFault, ReplicaGroup, Syste
 use dmtcp_sim::store::{
     DeltaStore, SharedStoreWriter, StoreConfig, StoreError, StoreWriter, TenantSink,
 };
-use dmtcp_sim::tier::{FsTier, ObjectTier, TierConfig, TierStatsHandle};
+use dmtcp_sim::tier::{
+    FlakyTier, FsTier, GetFault, ObjectTier, PutFault, TierConfig, TierStatsHandle,
+};
 use mana_sim::ckpt::restore_rank;
 use mana_sim::ManaConfig;
 use muk::{MukOverhead, Vendor};
@@ -19,6 +21,7 @@ use simnet::{ClusterSpec, Fabric, RunPlan, VirtualTime, WorkerPool, World};
 
 use crate::error::{to_sim, StoolError, StoolResult};
 use crate::program::{AppCtx, MpiProgram};
+use crate::scenario::FaultSchedule;
 use crate::stack::{Stack, StackSpec};
 use crate::telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
 
@@ -117,6 +120,26 @@ impl StorePolicy {
                 DeltaStore::open_with_tier(&self.dir, self.config, tier, t.config)
             }
         }
+    }
+
+    /// Like [`StorePolicy::open_store`], with a fault-injection wrapper
+    /// ([`dmtcp_sim::FlakyTier`]) between the store and its tier, loaded
+    /// with the given FIFO upload/download fault scripts. Used by the
+    /// fault-schedule harness: the run's sink open scripts `puts`
+    /// (torn/failed uploads mid-ship), the restore open scripts `gets`
+    /// (torn/failed downloads during hydration). Requires a tier.
+    pub(crate) fn open_store_flaky(
+        &self,
+        puts: &[PutFault],
+        gets: &[GetFault],
+    ) -> Result<DeltaStore, StoreError> {
+        self.claim_for(&self.tenant)?;
+        let t = self.tier.as_ref().ok_or(StoreError::NoTier)?;
+        let inner: Arc<dyn ObjectTier> = Arc::new(FsTier::open(&t.dir).map_err(StoreError::Tier)?);
+        let flaky = FlakyTier::new(inner);
+        flaky.script_puts(puts.to_vec());
+        flaky.script_gets(gets.to_vec());
+        DeltaStore::open_with_tier(&self.dir, self.config, Arc::new(flaky), t.config)
     }
 
     /// Check (and on first tenant-tagged open, write) the directory's
@@ -272,11 +295,18 @@ impl DurabilityPolicy {
 /// at the same safe point. Recovery is Reinit-style global restart from the
 /// last completed checkpoint image ([`Session::run_resilient`]) — under any
 /// vendor, which is this paper's contribution.
+/// `FaultPlan` is the single-shot form; [`crate::scenario::FaultSchedule`]
+/// generalizes it to a composable schedule (fail-storms, node-group kills,
+/// stragglers, tier faults, leader kills). A plan is folded into the
+/// schedule at run time as a node-group kill at `at_step`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     /// The safe-point step at which the failure strikes.
     pub at_step: u64,
-    /// The node blamed for the failure (cosmetic: selects the error text).
+    /// The node-group blamed for the failure: every rank hosted on this
+    /// node is a victim, and the flight recorder's
+    /// [`simnet::telemetry::EventKind::RankKill`] events carry it as
+    /// their `node` payload.
     pub node: usize,
 }
 
@@ -301,6 +331,11 @@ pub struct SessionConfig {
     pub durability: DurabilityPolicy,
     /// Injected failure, if any (fault-tolerance experiments).
     pub fault: Option<FaultPlan>,
+    /// Composable fault schedule (scenario-matrix experiments): scheduled
+    /// kills, stragglers, tier fault scripts and replica fault scripts in
+    /// one data value. The single-shot `fault` above is folded into the
+    /// schedule's kill list at run time.
+    pub schedule: FaultSchedule,
     /// Canonical rank-ordered reductions through the shim (bitwise
     /// reproducible across vendors; requires `use_muk`).
     pub deterministic_reductions: bool,
@@ -338,6 +373,7 @@ impl Default for SessionBuilder {
                 policy: CkptPolicy::default(),
                 durability: DurabilityPolicy::default(),
                 fault: None,
+                schedule: FaultSchedule::default(),
                 deterministic_reductions: false,
                 rank_stack_bytes: None,
                 barrier_topology: None,
@@ -526,6 +562,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Install a composable [`FaultSchedule`]: scheduled rank/node/world
+    /// kills, slow-but-alive stragglers, FIFO tier upload/download fault
+    /// scripts and coordinator-replica fault scripts in one data value
+    /// (the scenario-matrix harness, `stool::scenario`). Composes with
+    /// [`SessionBuilder::inject_node_failure`]: the single-shot plan is
+    /// folded into the schedule's kill list at run time.
+    pub fn fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
     /// Validate and build.
     pub fn build(mut self) -> StoolResult<Session> {
         self.config.durability = std::mem::take(&mut self.config.durability).resolve()?;
@@ -566,6 +613,26 @@ impl SessionBuilder {
                     fault.node, c.cluster.nodes
                 )));
             }
+        }
+        c.schedule
+            .validate(&c.cluster)
+            .map_err(StoolError::Config)?;
+        if !c.schedule.is_empty() && matches!(c.checkpointer, Checkpointer::None) {
+            return Err(StoolError::Config(
+                "a fault schedule requires a checkpointing package".into(),
+            ));
+        }
+        if (!c.schedule.tier_puts.is_empty() || !c.schedule.tier_gets.is_empty())
+            && c.durability.store.as_ref().is_none_or(|s| s.tier.is_none())
+        {
+            return Err(StoolError::Config(
+                "tier fault scripts require checkpoint_tier(..) on the session".into(),
+            ));
+        }
+        if !c.schedule.replica.is_empty() && c.durability.replicas.is_none() {
+            return Err(StoolError::Config(
+                "replica fault scripts require a replicated coordinator".into(),
+            ));
         }
         Ok(Session::with_config(self.config))
     }
@@ -847,7 +914,13 @@ impl Session {
                 "restore_from_store requires checkpoint_store(..) on the session".into(),
             )
         })?;
-        let store = policy.open_store()?;
+        // A scheduled download-fault script makes the hydration path
+        // itself flaky (torn/failed tier gets while the chain is pulled).
+        let store = if self.config.schedule.tier_gets.is_empty() {
+            policy.open_store()?
+        } else {
+            policy.open_store_flaky(&[], &self.config.schedule.tier_gets)?
+        };
         let image = store.load_latest()?;
         self.restore(&image, program)
     }
@@ -901,8 +974,19 @@ impl Session {
                 .collect::<StoolResult<_>>()?;
             let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
             let group = ReplicaGroup::new(config, clock, logs).map_err(StoolError::Replica)?;
-            group.script_faults(policy.faults.clone());
+            // The policy's own scripted faults run first, then the fault
+            // schedule's (both are FIFO-consumed at barrier phases).
+            let mut faults = policy.faults.clone();
+            faults.extend(self.config.schedule.replica.iter().cloned());
+            let scripted = !faults.is_empty();
+            group.script_faults(faults);
             group.attach_telemetry(tel.clone());
+            if scripted {
+                // A phase-scripted leader kill needs an incumbent from the
+                // very first epoch barrier; elect one now instead of
+                // lazily inside that barrier's commit.
+                group.prime().map_err(StoolError::Replica)?;
+            }
             coord.attach_replicas(Arc::new(group));
         }
         // With a store attached, a background committer takes ownership
@@ -925,7 +1009,15 @@ impl Session {
                     // Open the store first so the recorder (and a live
                     // view of the tier shipper's stats) can attach before
                     // the store moves into the background writer thread.
-                    let mut store = policy.open_store().map_err(StoolError::Store)?;
+                    // A scheduled upload-fault script wraps the tier in
+                    // its fault-injection double for this run only.
+                    let mut store = if self.config.schedule.tier_puts.is_empty() {
+                        policy.open_store().map_err(StoolError::Store)?
+                    } else {
+                        policy
+                            .open_store_flaky(&self.config.schedule.tier_puts, &[])
+                            .map_err(StoolError::Store)?
+                    };
                     store.attach_telemetry(tel.clone());
                     tier_stats = store.tier_stats_handle();
                     let writer = Arc::new(StoreWriter::from_store(store));
@@ -938,6 +1030,13 @@ impl Session {
         };
         let policy = self.config.policy;
         let image = restore.map(|(img, cfg)| (Arc::new(img.clone()), cfg));
+        // The legacy single-shot plan and the schedule's kill list resolve
+        // into one sorted kill sequence, shared read-only by every rank.
+        let kills = Arc::new(
+            self.config
+                .schedule
+                .resolved_kills(cluster, self.config.fault),
+        );
 
         let plan = match self.config.rank_stack_bytes {
             Some(bytes) => RunPlan::with_stack_bytes(bytes),
@@ -973,10 +1072,12 @@ impl Session {
             let mut app = AppCtx {
                 stack: &mut stack,
                 mem: &mut mem,
+                straggle: self.config.schedule.straggler_for(ctx.rank()),
                 sim: ctx.clone(),
                 resume,
                 policy,
-                fault: self.config.fault,
+                kills: kills.clone(),
+                tel: tel.clone(),
                 coordinator: coordinator.clone(),
                 agent,
                 stopped: false,
@@ -997,6 +1098,16 @@ impl Session {
             Sink::Lane(writer, lane) => writer.flush_lane(*lane),
             Sink::None => Ok(()),
         };
+        // Local durability settled; now drain the background tier shipper
+        // too, so the snapshot below reports final shipping statistics
+        // (upload retries included) instead of racing the thread. A
+        // sticky ship error is not a run error — it shows up as
+        // `ship_failures`/`TierFail` in the telemetry it exists to feed.
+        if flush_result.is_ok() {
+            if let Some(handle) = &tier_stats {
+                let _ = handle.wait_durable();
+            }
+        }
 
         // Fold any lock-discipline findings (cycles, guards carried into
         // a rendezvous) into the recorder before deciding whether to
@@ -1136,9 +1247,12 @@ impl Session {
             let outcome = match &pending_image {
                 None => self.launch(program)?,
                 Some(image) => {
-                    // The retry session: same stack, fault cleared.
+                    // The retry session: same stack, fault cleared (both
+                    // the single-shot plan and any scheduled kills — the
+                    // crashed node was replaced).
                     let mut retry = Session::with_config(self.config.clone());
                     retry.config.fault = None;
+                    retry.config.schedule.kills.clear();
                     let outcome = retry.restore(image, program)?;
                     self.adopt_telemetry(&retry);
                     outcome
@@ -1166,6 +1280,7 @@ impl Session {
                     if pending_image.is_none() {
                         let mut retry = Session::with_config(self.config.clone());
                         retry.config.fault = None;
+                        retry.config.schedule.kills.clear();
                         let outcome = retry.launch(program)?;
                         self.adopt_telemetry(&retry);
                         return Ok(ResilienceReport {

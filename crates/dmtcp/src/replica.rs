@@ -753,6 +753,16 @@ impl ReplicaGroup {
         self.state.lock().expect("group lock").faults.extend(faults);
     }
 
+    /// Install the initial leader now instead of lazily at the first
+    /// commit. Idempotent. Sessions running a phase-scripted failover
+    /// battery prime the group on attach so a `KillLeaderAt` fault has an
+    /// incumbent to strike from the very first epoch barrier (otherwise
+    /// the first round's kill waits for a leader that is only elected
+    /// *inside* that round's commit).
+    pub fn prime(&self) -> Result<(), ReplicaError> {
+        self.ensure_leader()
+    }
+
     /// Announce a barrier phase (called by the coordinator's `finish()`
     /// leader). If the front of the fault script names this phase *and* a
     /// live leader exists, that leader is fail-stopped here; with no live

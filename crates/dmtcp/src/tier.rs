@@ -853,6 +853,24 @@ impl TierStatsHandle {
     pub fn stats(&self) -> TierStats {
         self.shared.state.lock().expect("shipper lock").lanes[self.lane].stats
     }
+
+    /// Block until every upload queued on this lane so far is durable or
+    /// the lane's sticky error is set. Unlike `DeltaStore::tier_flush`
+    /// this works after the store has moved into the writer thread —
+    /// sessions drain the shipper through it so a telemetry snapshot sees
+    /// final shipping statistics instead of racing the background thread.
+    pub fn wait_durable(&self) -> Result<(), TierError> {
+        let mut st = self.shared.state.lock().expect("shipper lock");
+        while (!st.lanes[self.lane].queue.is_empty() || st.lanes[self.lane].in_flight)
+            && st.lanes[self.lane].error.is_none()
+        {
+            st = self.shared.cv.wait(st).expect("shipper wait");
+        }
+        match &st.lanes[self.lane].error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
 }
 
 impl std::fmt::Debug for TierStatsHandle {

@@ -23,6 +23,8 @@ pub struct RankCounters {
     pub bytes_received: u64,
     /// Split-process context switches charged (MANA accounting).
     pub context_switches: u64,
+    /// Injected straggler stalls served (fault-schedule slow-rank model).
+    pub stalls: u64,
 }
 
 /// The execution context handed to each rank's thread.
@@ -116,6 +118,18 @@ impl RankCtx {
     /// OSU benchmark uses to leave room for a checkpoint).
     pub fn sleep(&self, dt: VirtualTime) {
         self.advance(dt);
+    }
+
+    /// Injected straggler delay: stall this rank's virtual clock by `dt`
+    /// and count the stall. Unlike [`RankCtx::compute`] the span is *not*
+    /// scaled by the cluster CPU speed — a straggler models external slowness
+    /// (an overheated node, a noisy neighbour), not application work. Used
+    /// by the fault-schedule harness to model slow-but-alive ranks.
+    pub fn stall(&self, dt: VirtualTime) {
+        self.advance(dt);
+        let mut c = self.counters.get();
+        c.stalls += 1;
+        self.counters.set(c);
     }
 
     /// When an envelope arrives at this rank: departure (which already

@@ -53,7 +53,7 @@ pub const DEFAULT_SYSTEM_RING: usize = 1024;
 // ---------------------------------------------------------------------------
 
 /// Number of event kinds (the size of the per-kind counter table).
-pub const KIND_COUNT: usize = 25;
+pub const KIND_COUNT: usize = 27;
 
 /// What happened. Each kind carries up to three `u64` payload fields
 /// whose meanings are given by [`EventKind::field_names`].
@@ -120,6 +120,12 @@ pub enum EventKind {
     /// across a rendezvous point), `locks` involved, `fingerprint`
     /// (stable hash of the lock-name set, for dedup across dumps).
     LockCycle = 24,
+    /// An injected straggler delay stalled a rank at a safe point (rank
+    /// lane): `rank`, `delay_ns`, `step`.
+    RankStall = 25,
+    /// A fault-schedule kill event struck a rank (rank lane): `victim`,
+    /// `step`, `node` (the blamed node-group).
+    RankKill = 26,
 }
 
 impl EventKind {
@@ -150,6 +156,8 @@ impl EventKind {
         EventKind::SinkError,
         EventKind::RankUnwind,
         EventKind::LockCycle,
+        EventKind::RankStall,
+        EventKind::RankKill,
     ];
 
     /// The kind's stable name (used in dumps and metric keys).
@@ -180,6 +188,8 @@ impl EventKind {
             EventKind::SinkError => "SinkError",
             EventKind::RankUnwind => "RankUnwind",
             EventKind::LockCycle => "LockCycle",
+            EventKind::RankStall => "RankStall",
+            EventKind::RankKill => "RankKill",
         }
     }
 
@@ -211,6 +221,8 @@ impl EventKind {
             EventKind::SinkError => ["epoch", "_", "_"],
             EventKind::RankUnwind => ["rank", "_", "_"],
             EventKind::LockCycle => ["code", "locks", "fingerprint"],
+            EventKind::RankStall => ["rank", "delay_ns", "step"],
+            EventKind::RankKill => ["victim", "step", "node"],
         }
     }
 

@@ -443,8 +443,10 @@ fn leader_kill_writes_a_merged_crash_dump_timeline() {
     let mut policy = ReplicaPolicy::new(&rdir);
     policy.election_timeout = Duration::from_millis(2);
     policy.log.backoff = Duration::from_millis(1);
-    // Epoch 1 (step 20) primes the group; epoch 2 (step 40) consumes the
-    // scripted kill and fails over mid-commit — the "failed round".
+    // A fault-scripted session primes the group with its initial election
+    // on attach, so epoch 1 (step 20) already has an incumbent to strike:
+    // the scripted kill fires in the very first round — the "failed round"
+    // — and its commit rides the failover election.
     policy.faults = vec![ReplicaFault::KillLeaderAt(BarrierPhase::PreSeal)];
 
     let session = Session::builder()
@@ -507,7 +509,7 @@ fn leader_kill_writes_a_merged_crash_dump_timeline() {
             .unwrap_or_else(|| panic!("{what} missing from the dump"))
     };
     let barrier = index_of(
-        &|l| l.contains("\"kind\":\"BarrierPhase\"") && l.contains("\"epoch\":2"),
+        &|l| l.contains("\"kind\":\"BarrierPhase\"") && l.contains("\"epoch\":1"),
         "BarrierPhase of the failed round",
     );
     let elected = index_of(
@@ -515,7 +517,7 @@ fn leader_kill_writes_a_merged_crash_dump_timeline() {
         "recovery LeaderElected",
     );
     let commit = index_of(
-        &|l| l.contains("\"kind\":\"EpochCommit\"") && l.contains("\"epoch\":2"),
+        &|l| l.contains("\"kind\":\"EpochCommit\"") && l.contains("\"epoch\":1"),
         "EpochCommit of the failed round",
     );
     assert!(
